@@ -1,0 +1,117 @@
+// Ablation bench — which model ingredients produce the paper's §6 WAN
+// anomaly? (DESIGN.md §8 flags the receiver model as the one calibrated
+// component; this bench shows what each knob contributes.)
+//
+// Sweeps, all on the Matisse WAN with 1 and 4 streams:
+//   A. per-hot-socket cost 0 → 180 µs   (0 = no multi-socket penalty)
+//   B. hot-window threshold sweep       (who counts as "hot")
+//   C. hot-dwell 0 vs 30 s              (hysteresis through recovery)
+//   D. SACK on vs off                   (recovery model sensitivity)
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "netsim/profiles.hpp"
+#include "netsim/tcp.hpp"
+
+using namespace jamm;          // NOLINT: bench brevity
+using namespace jamm::netsim;  // NOLINT
+
+namespace {
+
+double RunWan(int streams, const ReceiverModel& model, bool sack,
+              Duration span = 15 * kSecond) {
+  Simulator sim;
+  Network net(sim, 42);
+  MatisseTopology topo = BuildMatisseWan(net, streams);
+  net.SetReceiverModel(topo.compute, model);  // override the default
+  std::vector<std::unique_ptr<TcpFlow>> flows;
+  for (int i = 0; i < streams; ++i) {
+    TcpConfig config = PaperTcpConfig();
+    config.total_bytes = 1ull << 40;
+    config.enable_sack = sack;
+    flows.push_back(std::make_unique<TcpFlow>(
+        net, topo.dpss[static_cast<std::size_t>(i)], topo.compute, config));
+    flows.back()->Start();
+  }
+  sim.RunUntil(span);
+  double total = 0;
+  for (const auto& flow : flows) total += flow->ThroughputBps() / 1e6;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation — receiver-model knobs vs the §6 WAN shape "
+              "(target: 1 stream ≈ 140, 4 streams ≈ 30 Mbit/s)\n\n");
+
+  std::printf("A. per-hot-socket cost (paper calibration: 90 µs)\n");
+  std::printf("   %-12s %12s %12s %10s\n", "cost (µs)", "1 stream",
+              "4 streams", "collapse");
+  for (double cost : {0.0, 30.0, 60.0, 90.0, 140.0, 180.0}) {
+    ReceiverModel model = PaperReceiverModel();
+    model.per_hot_socket_cost_us = cost;
+    const double one = RunWan(1, model, true);
+    const double four = RunWan(4, model, true);
+    std::printf("   %-12.0f %9.1f Mb %9.1f Mb %9.1fx\n", cost, one, four,
+                one / four);
+  }
+  std::printf("   → with no penalty (0 µs) four streams do NOT collapse: "
+              "the multi-socket cost is the anomaly's cause.\n\n");
+
+  std::printf("B. hot-window threshold (paper calibration: 384 KB)\n");
+  std::printf("   %-12s %12s %12s\n", "threshold", "4 WAN", "4 LAN");
+  for (double kb : {64.0, 192.0, 384.0, 1024.0}) {
+    ReceiverModel model = PaperReceiverModel();
+    model.hot_window_bytes = kb * 1024;
+    const double wan = RunWan(4, model, true);
+    // LAN with the same model override.
+    Simulator sim;
+    Network net(sim, 42);
+    LanTopology lan = BuildGigabitLan(net, 4);
+    net.SetReceiverModel(lan.receiver, model);
+    std::vector<std::unique_ptr<TcpFlow>> flows;
+    for (int i = 0; i < 4; ++i) {
+      TcpConfig config = PaperTcpConfig();
+      config.total_bytes = 1ull << 40;
+      flows.push_back(std::make_unique<TcpFlow>(
+          net, lan.senders[static_cast<std::size_t>(i)], lan.receiver,
+          config));
+      flows.back()->Start();
+    }
+    sim.RunUntil(15 * kSecond);
+    double lan_total = 0;
+    for (const auto& flow : flows) lan_total += flow->ThroughputBps() / 1e6;
+    std::printf("   %-9.0fKB %9.1f Mb %9.1f Mb\n", kb, wan, lan_total);
+  }
+  std::printf("   → too low a threshold drags the LAN down too; too high "
+              "and WAN sockets never count as hot.\n     The WAN/LAN "
+              "separation exists because WAN windows (~1 MB) and LAN "
+              "windows (~10s of KB) straddle it.\n\n");
+
+  std::printf("C. hot-dwell hysteresis (paper calibration: 30 s)\n");
+  std::printf("   %-12s %12s\n", "dwell", "4 WAN streams");
+  for (Duration dwell : {Duration{0}, 2 * kSecond, 30 * kSecond}) {
+    ReceiverModel model = PaperReceiverModel();
+    model.hot_dwell = dwell;
+    std::printf("   %-9.0fs %12.1f Mb\n", ToSeconds(dwell),
+                RunWan(4, model, true));
+  }
+  std::printf("   → without hysteresis the penalty flaps with the cwnd "
+              "sawtooth and throughput partially recovers.\n\n");
+
+  std::printf("D. recovery model (SACK vs plain NewReno)\n");
+  const double sack1 = RunWan(1, PaperReceiverModel(), true);
+  const double sack4 = RunWan(4, PaperReceiverModel(), true);
+  const double reno1 = RunWan(1, PaperReceiverModel(), false);
+  const double reno4 = RunWan(4, PaperReceiverModel(), false);
+  std::printf("   %-14s %12s %12s\n", "", "1 stream", "4 streams");
+  std::printf("   %-14s %9.1f Mb %9.1f Mb\n", "SACK (default)", sack1, sack4);
+  std::printf("   %-14s %9.1f Mb %9.1f Mb\n", "NewReno only", reno1, reno4);
+  std::printf("   → one-hole-per-RTT recovery on a 60 ms path exaggerates "
+              "the collapse far beyond the paper's 30 Mbit/s;\n     "
+              "2000-era stacks had SACK, so the SACK model is the "
+              "faithful one.\n");
+  return 0;
+}

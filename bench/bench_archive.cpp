@@ -1,0 +1,89 @@
+// E12 (§2.2, event archives): ingest rate (with and without sampling) and
+// historical time-range query latency vs archive size — the archive must
+// keep up as "just another consumer" and still answer "compare the
+// current system to a previously working system" queries.
+#include <benchmark/benchmark.h>
+
+#include "archive/archive.hpp"
+
+using namespace jamm;  // NOLINT: bench brevity
+
+namespace {
+
+ulm::Record MakeEvent(TimePoint ts, int i) {
+  ulm::Record rec(ts, "host" + std::to_string(i % 8), "vmstat",
+                  i % 50 ? "Usage" : "Warning",
+                  i % 2 ? "VMSTAT_SYS_TIME" : "VMSTAT_FREE_MEMORY");
+  rec.SetField("VAL", static_cast<std::int64_t>(i % 100));
+  return rec;
+}
+
+void BM_IngestKeepAll(benchmark::State& state) {
+  archive::EventArchive ar("bench");
+  int i = 0;
+  for (auto _ : state) {
+    ar.Ingest(MakeEvent(i * kSecond, i));
+    ++i;
+  }
+  state.SetItemsProcessed(i);
+}
+BENCHMARK(BM_IngestKeepAll);
+
+void BM_IngestSampled10pct(benchmark::State& state) {
+  archive::EventArchive ar("bench");
+  ar.SetSamplingPolicy(0.1);
+  int i = 0;
+  for (auto _ : state) {
+    ar.Ingest(MakeEvent(i * kSecond, i));
+    ++i;
+  }
+  state.SetItemsProcessed(i);
+  state.SetLabel("kept " + std::to_string(ar.size()) + "/" +
+                 std::to_string(ar.ingested()));
+}
+BENCHMARK(BM_IngestSampled10pct);
+
+void BM_QueryRange(benchmark::State& state) {
+  archive::EventArchive ar("bench");
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) ar.Ingest(MakeEvent(i * kSecond, i));
+  // Query a fixed-width hour window in the middle.
+  const TimePoint mid = (n / 2) * kSecond;
+  for (auto _ : state) {
+    auto slice = ar.QueryRange(mid, mid + kHour);
+    benchmark::DoNotOptimize(slice);
+  }
+  state.SetLabel(std::to_string(n) + " stored");
+}
+BENCHMARK(BM_QueryRange)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_QueryEventGlob(benchmark::State& state) {
+  archive::EventArchive ar("bench");
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) ar.Ingest(MakeEvent(i * kSecond, i));
+  for (auto _ : state) {
+    auto slice = ar.QueryEvents("VMSTAT_SYS*", 0, n * kSecond);
+    benchmark::DoNotOptimize(slice);
+  }
+  state.SetLabel(std::to_string(n) + " stored");
+}
+BENCHMARK(BM_QueryEventGlob)->Arg(1000)->Arg(10000);
+
+void BM_QueryHost(benchmark::State& state) {
+  archive::EventArchive ar("bench");
+  for (int i = 0; i < 10000; ++i) ar.Ingest(MakeEvent(i * kSecond, i));
+  for (auto _ : state) {
+    auto slice = ar.QueryHost("host3", 0, 10000 * kSecond);
+    benchmark::DoNotOptimize(slice);
+  }
+}
+BENCHMARK(BM_QueryHost);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E12 / §2.2 — event archive: ingest and historical query\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

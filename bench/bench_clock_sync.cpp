@@ -1,0 +1,92 @@
+// E10 (§4.3): NTP synchronization accuracy vs distance from the time
+// source. Paper: "By installing a GPS-based NTP server on each subnet...
+// all the hosts' clocks can be synchronized to within about 0.25ms. If
+// the closest time source is several IP router hops away, accuracy may
+// decrease somewhat... synchronization within 1 ms is accurate enough for
+// many types of analysis."
+//
+// Sweep: router hops 0..8 with per-hop queueing jitter; per hop, run an
+// xntpd-style daemon on a drifting clock and report the residual error.
+#include <cmath>
+#include <cstdio>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "ntp/ntp.hpp"
+
+using namespace jamm;  // NOLINT: bench brevity
+
+namespace {
+
+struct Residuals {
+  double median_us = 0;
+  double p95_us = 0;
+};
+
+Residuals Run(int hops, Duration jitter_per_hop) {
+  netsim::Simulator sim;
+  netsim::Network net(sim, 97 + static_cast<std::uint64_t>(hops));
+  netsim::LinkConfig link;
+  link.bandwidth_bps = 100e6;
+  link.delay = 300;  // 300 µs per hop
+  link.jitter = jitter_per_hop;
+  netsim::NodeId prev = net.AddNode("gps-ntp-server");
+  const netsim::NodeId server_node = prev;
+  for (int i = 0; i < hops; ++i) {
+    netsim::NodeId router = net.AddNode("router" + std::to_string(i));
+    net.Connect(prev, router, link);
+    prev = router;
+  }
+  const netsim::NodeId client_node = net.AddNode("client");
+  net.Connect(prev, client_node, link);
+
+  ntp::HostClock clock(sim.clock(), /*initial_offset=*/700 * kMillisecond,
+                       /*drift_ppm=*/80);
+  ntp::SntpServer server(net, server_node);
+  ntp::SntpClient client(net, client_node, clock, server);
+  ntp::NtpDaemon daemon(sim, client, /*interval=*/64 * kSecond);
+  daemon.Start();
+
+  // Warm up, then sample the residual error once a second for 10 min.
+  sim.RunFor(2 * kMinute);
+  std::vector<double> errors;
+  for (int s = 0; s < 600; ++s) {
+    sim.RunFor(kSecond);
+    errors.push_back(std::abs(static_cast<double>(clock.ErrorVsTrue())));
+  }
+  std::sort(errors.begin(), errors.end());
+  return {errors[errors.size() / 2], errors[errors.size() * 95 / 100]};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10 / §4.3 — NTP accuracy vs router hops to the GPS time "
+              "source\n");
+  std::printf("(xntpd-style daemon, 64 s poll, 80 ppm drifting clock, "
+              "300 µs/hop + queueing jitter)\n\n");
+  std::printf("%6s %16s %16s   %s\n", "hops", "median error", "p95 error",
+              "paper reference");
+  for (int hops : {0, 1, 2, 4, 6, 8}) {
+    Residuals r = Run(hops, /*jitter_per_hop=*/200);
+    const char* note = hops == 0   ? "≈0.25 ms on the GPS subnet"
+                       : hops == 4 ? "'several hops': ≲1 ms"
+                                   : "";
+    std::printf("%6d %13.0f µs %13.0f µs   %s\n", hops, r.median_us,
+                r.p95_us, note);
+  }
+  Residuals subnet = Run(0, 200);
+  Residuals far = Run(6, 200);
+  std::printf("\nshape checks:\n");
+  std::printf("  subnet-local sync ≈ %.0f µs (paper ~250 µs)  %s\n",
+              subnet.median_us, subnet.median_us < 600 ? "OK" : "OFF");
+  std::printf("  several hops ≈ %.0f µs, still within the paper's "
+              "'1 ms is accurate enough'  %s\n",
+              far.median_us, far.median_us < 1500 ? "OK" : "OFF");
+  std::printf("  accuracy degrades with hops  %s\n",
+              far.median_us > subnet.median_us ? "OK" : "OFF");
+  return 0;
+}

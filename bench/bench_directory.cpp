@@ -1,0 +1,165 @@
+// E9 (§2.2, directory service): "Current implementations of LDAP servers
+// are optimized for read access, and do not work well in an environment
+// with many updates." Plus the replication/failover requirement:
+// "Replication is critical to JAMM."
+//
+// google-benchmark microbenchmarks: cached vs uncached search, lookup,
+// update, and mixed read/write workloads showing updates poisoning the
+// read cache; plus a replication-failover walkthrough printed at exit.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "directory/replication.hpp"
+#include "directory/schema.hpp"
+#include "directory/server.hpp"
+
+using namespace jamm;             // NOLINT: bench brevity
+using namespace jamm::directory;  // NOLINT
+
+namespace {
+
+Dn Suffix() { return *Dn::Parse("ou=sensors, o=jamm"); }
+
+std::unique_ptr<DirectoryServer> Populate(int hosts, int sensors_per_host) {
+  auto server = std::make_unique<DirectoryServer>(Suffix(), "ldap://bench");
+  for (int h = 0; h < hosts; ++h) {
+    const std::string host = "host" + std::to_string(h);
+    (void)server->Upsert(schema::MakeHostEntry(Suffix(), host));
+    for (int s = 0; s < sensors_per_host; ++s) {
+      (void)server->Upsert(schema::MakeSensorEntry(
+          Suffix(), host, "sensor" + std::to_string(s),
+          s % 2 ? "cpu" : "network", "gw." + host, 1000, 0));
+    }
+  }
+  return server;
+}
+
+void BM_SearchCached(benchmark::State& state) {
+  auto server = Populate(static_cast<int>(state.range(0)), 8);
+  const Filter filter = *Filter::Parse("(objectclass=jammSensor)");
+  for (auto _ : state) {
+    auto result = server->Search(Suffix(), SearchScope::kSubtree, filter);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(server->stats().entries) + " entries");
+}
+BENCHMARK(BM_SearchCached)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SearchUncached(benchmark::State& state) {
+  // A write before every search invalidates the cache — the paper's
+  // "many updates" environment.
+  auto server = Populate(static_cast<int>(state.range(0)), 8);
+  const Filter filter = *Filter::Parse("(objectclass=jammSensor)");
+  auto touch = schema::MakeHostEntry(Suffix(), "host0");
+  int beat = 0;
+  for (auto _ : state) {
+    touch.Set("heartbeat", std::to_string(++beat));
+    (void)server->Upsert(touch);
+    auto result = server->Search(Suffix(), SearchScope::kSubtree, filter);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(server->stats().entries) + " entries");
+}
+BENCHMARK(BM_SearchUncached)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_Lookup(benchmark::State& state) {
+  auto server = Populate(64, 8);
+  const Dn dn = schema::SensorDn(Suffix(), "host32", "sensor3");
+  for (auto _ : state) {
+    auto entry = server->Lookup(dn);
+    benchmark::DoNotOptimize(entry);
+  }
+}
+BENCHMARK(BM_Lookup);
+
+void BM_Update(benchmark::State& state) {
+  auto server = Populate(64, 8);
+  auto entry = schema::MakeSensorEntry(Suffix(), "host32", "sensor3", "cpu",
+                                       "gw", 1000, 0);
+  int beat = 0;
+  for (auto _ : state) {
+    entry.Set("lastmessage", std::to_string(++beat));
+    auto status = server->Upsert(entry);
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_Update);
+
+void BM_MixedReadWrite(benchmark::State& state) {
+  // write_pct of operations are updates; shows search cost rising with
+  // write share (cache hit rate collapsing).
+  const int write_pct = static_cast<int>(state.range(0));
+  auto server = Populate(64, 8);
+  const Filter filter = *Filter::Parse("(sensortype=cpu)");
+  auto entry = schema::MakeHostEntry(Suffix(), "host1");
+  int i = 0;
+  for (auto _ : state) {
+    if (++i % 100 < write_pct) {
+      entry.Set("heartbeat", std::to_string(i));
+      (void)server->Upsert(entry);
+    } else {
+      auto result = server->Search(Suffix(), SearchScope::kSubtree, filter);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  const auto stats = server->stats();
+  state.SetLabel("cache hit rate " +
+                 std::to_string(stats.cache_hits * 100 /
+                                std::max<std::uint64_t>(
+                                    stats.cache_hits + stats.cache_misses,
+                                    1)) +
+                 "%");
+}
+BENCHMARK(BM_MixedReadWrite)->Arg(0)->Arg(5)->Arg(25)->Arg(75);
+
+void BM_ReplicationSync(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto primary = std::make_shared<DirectoryServer>(Suffix(), "primary");
+    auto replica = std::make_shared<DirectoryServer>(Suffix(), "replica");
+    Replicator replicator(primary);
+    replicator.AddReplica(replica);
+    for (int h = 0; h < static_cast<int>(state.range(0)); ++h) {
+      (void)primary->Upsert(
+          schema::MakeHostEntry(Suffix(), "h" + std::to_string(h)));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(replicator.SyncAll());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " changes");
+}
+BENCHMARK(BM_ReplicationSync)->Arg(16)->Arg(256);
+
+void FailoverWalkthrough() {
+  auto primary = std::make_shared<DirectoryServer>(Suffix(), "ldap://primary");
+  auto replica = std::make_shared<DirectoryServer>(Suffix(), "ldap://replica");
+  Replicator replicator(primary);
+  replicator.AddReplica(replica);
+  DirectoryPool pool;
+  pool.AddServer(primary);
+  pool.AddServer(replica);
+  (void)primary->Upsert(schema::MakeHostEntry(Suffix(), "dpss1"));
+  (void)replicator.SyncAll();
+
+  std::printf("\nE9 failover walkthrough (paper: 'Replication is critical "
+              "to JAMM'):\n");
+  (void)pool.Lookup(schema::HostDn(Suffix(), "dpss1"));
+  std::printf("  lookup served by %s\n", pool.last_served_by().c_str());
+  primary->SetAlive(false);
+  auto after = pool.Lookup(schema::HostDn(Suffix(), "dpss1"));
+  std::printf("  primary killed; lookup %s via %s\n",
+              after.ok() ? "still succeeds" : "FAILS",
+              pool.last_served_by().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E9 / §2.2 — directory service: read-optimized store vs "
+              "updates\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  FailoverWalkthrough();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E5 (§6): frame-rate burstiness. "Performance from the point of view of
+// the client was quite bursty. Sometimes images arrived at 6 frames/sec,
+// and other times only 1-2 frames/sec." — with 4 DPSS servers; a single
+// server (the fix) delivers a steady ~6 fps. Prints per-2s frame-rate
+// series for both configurations.
+#include <cmath>
+#include <cstdio>
+
+#include "matisse/matisse.hpp"
+#include "netlogger/analysis.hpp"
+#include "netlogger/nlv.hpp"
+
+using namespace jamm;  // NOLINT: bench brevity
+
+namespace {
+
+std::vector<netlogger::SeriesPoint> RunFps(int servers, Duration span) {
+  netsim::Simulator sim;
+  netsim::Network net(sim, 2000);
+  auto topo = netsim::BuildMatisseWan(net, servers);
+  matisse::MatisseConfig config;
+  config.dpss_servers = servers;
+  matisse::MatisseApp app(sim, net, topo, config);
+  app.Start();
+  sim.RunUntil(span);
+  return netlogger::RatePerSecond(app.frame_arrivals(), 0, span,
+                                  2 * kSecond);
+}
+
+void Print(const char* label, const std::vector<netlogger::SeriesPoint>& fps) {
+  std::printf("%s\n  t(s): ", label);
+  for (const auto& p : fps) std::printf("%5.0f", ToSeconds(p.ts));
+  std::printf("\n  fps : ");
+  double lo = 1e9, hi = 0, sum = 0;
+  for (const auto& p : fps) {
+    std::printf("%5.1f", p.value);
+    lo = std::min(lo, p.value);
+    hi = std::max(hi, p.value);
+    sum += p.value;
+  }
+  std::printf("\n  min %.1f / mean %.1f / max %.1f fps\n\n", lo,
+              sum / static_cast<double>(fps.size()), hi);
+}
+
+}  // namespace
+
+int main() {
+  constexpr Duration kSpan = 40 * kSecond;
+  std::printf("E5 / §6 — frame rate at the client (2-second buckets)\n");
+  std::printf("paper: bursty 1-6 fps with 4 servers; the single-server "
+              "fix gives steady ~6 fps.\n\n");
+
+  auto four = RunFps(4, kSpan);
+  auto one = RunFps(1, kSpan);
+  Print("4 DPSS servers (demo configuration):", four);
+  Print("1 DPSS server (the fix):", one);
+
+  // Shape: the 4-server run dips to <2 fps; the 1-server run holds a
+  // tight band near 6 once past slow start.
+  double four_min = 1e9, one_steady_min = 1e9, one_steady_max = 0;
+  for (const auto& p : four) four_min = std::min(four_min, p.value);
+  for (const auto& p : one) {
+    if (p.ts >= 10 * kSecond) {
+      one_steady_min = std::min(one_steady_min, p.value);
+      one_steady_max = std::max(one_steady_max, p.value);
+    }
+  }
+  std::printf("shape checks:\n");
+  std::printf("  4-server rate dips to %.1f fps (paper: 'other times only "
+              "1-2')  %s\n",
+              four_min, four_min < 2.5 ? "OK" : "NOT REPRODUCED");
+  std::printf("  1-server steady band %.1f-%.1f fps (paper: ~6 steady)  "
+              "%s\n",
+              one_steady_min, one_steady_max,
+              (one_steady_min > 4 && one_steady_max < 8) ? "OK"
+                                                         : "NOT REPRODUCED");
+  return 0;
+}

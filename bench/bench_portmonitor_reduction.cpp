@@ -1,0 +1,106 @@
+// E6 (§2.2): "The port monitor has proven itself to be a very useful
+// component, greatly reducing the total amount of monitoring data that
+// must be collected and managed."
+//
+// Workload: a day of intermittent FTP sessions at several duty cycles;
+// the same netstat+vmstat sensors run either always-on or port-triggered.
+// Reports events collected and the reduction factor per duty cycle.
+#include <cstdio>
+
+#include "gateway/gateway.hpp"
+#include "manager/sensor_manager.hpp"
+#include "sensors/host_sensors.hpp"
+
+using namespace jamm;  // NOLINT: bench brevity
+
+namespace {
+
+struct Outcome {
+  std::uint64_t always_events = 0;
+  std::uint64_t triggered_events = 0;
+  std::uint64_t triggers = 0;
+};
+
+/// `active_minutes_per_hour`: how much of each hour has FTP traffic.
+Outcome Run(int active_minutes_per_hour) {
+  SimClock clock;
+  sysmon::SimHost host("ftp.lbl.gov", clock);
+  gateway::EventGateway gateway("gw", clock);
+  manager::SensorManager::Options options;
+  options.clock = &clock;
+  options.host = &host;
+  options.gateway = &gateway;
+  options.gateway_address = "gw";
+  options.port_idle_timeout = 10 * kSecond;
+  manager::SensorManager manager(std::move(options));
+  auto config = Config::ParseString(R"(
+[sensor]
+name = netstat-always
+kind = netstat
+interval_ms = 1000
+mode = always
+
+[sensor]
+name = vmstat-always
+kind = vmstat
+interval_ms = 1000
+mode = always
+
+[sensor]
+name = netstat-ftp
+kind = netstat
+interval_ms = 1000
+mode = on-port
+ports = 21
+
+[sensor]
+name = vmstat-ftp
+kind = vmstat
+interval_ms = 1000
+mode = on-port
+ports = 21
+)");
+  (void)manager.ApplyConfig(*config);
+
+  // 24 simulated hours; each hour starts with the active window.
+  for (int hour = 0; hour < 24; ++hour) {
+    for (int second = 0; second < 3600; ++second) {
+      if (second < active_minutes_per_hour * 60) {
+        host.AddPortTraffic(21, 20000);  // FTP transfer in progress
+      }
+      manager.Tick();
+      clock.Advance(kSecond);
+    }
+  }
+  Outcome out;
+  out.always_events = manager.FindSensor("netstat-always")->events_emitted() +
+                      manager.FindSensor("vmstat-always")->events_emitted();
+  out.triggered_events = manager.FindSensor("netstat-ftp")->events_emitted() +
+                         manager.FindSensor("vmstat-ftp")->events_emitted();
+  out.triggers = manager.stats().port_triggers;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6 / §2.2 — port-monitor data reduction "
+              "(24 simulated hours of intermittent FTP)\n\n");
+  std::printf("%-22s %14s %16s %10s %10s\n", "FTP duty cycle",
+              "always-on", "port-triggered", "reduction", "triggers");
+  for (int active : {1, 5, 15, 30, 60}) {
+    Outcome out = Run(active);
+    std::printf("%3d min/hour %9s %14llu %16llu %9.1fx %10llu\n", active,
+                "", static_cast<unsigned long long>(out.always_events),
+                static_cast<unsigned long long>(out.triggered_events),
+                static_cast<double>(out.always_events) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        out.triggered_events, 1)),
+                static_cast<unsigned long long>(out.triggers));
+  }
+  std::printf("\npaper: on-demand monitoring 'greatly reduces the total "
+              "amount of data collected';\nshape: reduction grows as the "
+              "monitored application idles more — OK if the factor above "
+              "rises as duty cycle falls.\n");
+  return 0;
+}

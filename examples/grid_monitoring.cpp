@@ -1,0 +1,175 @@
+// grid_monitoring — the paper's operational scenarios on a two-host grid:
+//
+//  * on-demand monitoring (§2.0/§2.2): "an FTP client connecting to an
+//    FTP server could automatically trigger netstat and vmstat monitoring
+//    on both the client and server for the duration of the connection" —
+//    the port monitor starts sensors when traffic hits port 21 and stops
+//    them when the connection goes idle;
+//  * configuration served from a central HTTP server, hot-reloaded;
+//  * a process monitor that restarts a crashed server and emails the
+//    admin;
+//  * an overview monitor that pages only when BOTH the primary and the
+//    backup server are down (§2.2's 2 A.M. example);
+//  * an archiver recording a sampled history.
+#include <cstdio>
+
+#include "archive/archive.hpp"
+#include "consumers/archiver.hpp"
+#include "consumers/overview_monitor.hpp"
+#include "consumers/process_monitor.hpp"
+#include "directory/replication.hpp"
+#include "manager/sensor_manager.hpp"
+#include "rpc/httpsim.hpp"
+#include "sensors/host_sensors.hpp"
+#include "sensors/process_sensor.hpp"
+
+using namespace jamm;  // NOLINT: example brevity
+
+namespace {
+
+struct GridHost {
+  GridHost(const std::string& name, SimClock& clock,
+           directory::DirectoryPool* pool, const directory::Dn& suffix)
+      : machine(name, clock), gateway("gw." + name, clock) {
+    manager::SensorManager::Options options;
+    options.clock = &clock;
+    options.host = &machine;
+    options.gateway = &gateway;
+    options.directory = pool;
+    options.directory_suffix = suffix;
+    options.gateway_address = "gw." + name;
+    options.port_idle_timeout = 5 * kSecond;
+    manager = std::make_unique<manager::SensorManager>(std::move(options));
+  }
+
+  sysmon::SimHost machine;
+  gateway::EventGateway gateway;
+  std::unique_ptr<manager::SensorManager> manager;
+};
+
+}  // namespace
+
+int main() {
+  SimClock clock;
+  auto suffix = *directory::Dn::Parse("ou=sensors, o=jamm");
+  auto ldap = std::make_shared<directory::DirectoryServer>(suffix,
+                                                           "ldap://grid");
+  directory::DirectoryPool pool;
+  pool.AddServer(ldap);
+
+  GridHost ftp_server("ftp.lbl.gov", clock, &pool, suffix);
+  GridHost backup("ftp-backup.lbl.gov", clock, &pool, suffix);
+
+  // Central configuration on an HTTP server (paper §2.2/§5.0).
+  rpc::HttpSimServer http;
+  http.Put("/jamm/grid.conf", R"(
+[sensor]
+name = vmstat
+kind = vmstat
+interval_ms = 1000
+mode = always
+
+[sensor]
+name = netstat-ftp
+kind = netstat
+interval_ms = 1000
+mode = on-port
+ports = 21
+
+[sensor]
+name = ftpd-watch
+kind = process
+process = ftpd
+interval_ms = 1000
+mode = always
+)");
+  ftp_server.manager->SetConfigFetcher(http.MakeFetcher("/jamm/grid.conf"));
+  backup.manager->SetConfigFetcher(http.MakeFetcher("/jamm/grid.conf"));
+
+  ftp_server.machine.StartProcess("ftpd");
+  backup.machine.StartProcess("ftpd");
+
+  // Consumers.
+  consumers::ProcessMonitorConsumer procmon("procmon", clock);
+  consumers::ProcessActions actions;
+  actions.restart = true;
+  actions.email = [](const std::string& what) {
+    std::printf("  [email to admin] %s — restarted automatically\n",
+                what.c_str());
+  };
+  (void)procmon.Watch(ftp_server.gateway, &ftp_server.machine, "ftpd",
+                      actions);
+
+  consumers::OverviewMonitor overview("overview");
+  (void)overview.SubscribeTo(ftp_server.gateway);
+  (void)overview.SubscribeTo(backup.gateway);
+  auto down = [](const ulm::Record& rec) {
+    return rec.event_name() == sensors::event::kProcDiedAbnormal ||
+           rec.event_name() == sensors::event::kProcDiedNormal;
+  };
+  overview.AddRule(
+      "both-ftp-down",
+      {{"ftp.lbl.gov", "PROC_*", down},
+       {"ftp-backup.lbl.gov", "PROC_*", down}},
+      [](const std::string& rule) {
+        std::printf("  [PAGE the admin at 2 A.M.!] rule '%s' fired\n",
+                    rule.c_str());
+      });
+
+  archive::EventArchive archive("grid-history");
+  archive.SetSamplingPolicy(0.25);  // sample normal traffic, keep errors
+  consumers::ArchiverAgent archiver("grid-history", archive,
+                                    "inproc:archive");
+  (void)archiver.SubscribeTo(ftp_server.gateway);
+  (void)archiver.SubscribeTo(backup.gateway);
+
+  auto tick = [&](int seconds, auto&& perturb) {
+    for (int s = 0; s < seconds; ++s) {
+      perturb(s);
+      ftp_server.manager->Tick();
+      backup.manager->Tick();
+      clock.Advance(kSecond);
+    }
+  };
+
+  std::printf("== phase 1: idle grid (netstat-ftp should stay OFF) ==\n");
+  tick(20, [](int) {});
+  std::printf("  running on ftp.lbl.gov:");
+  for (const auto& name : ftp_server.manager->RunningSensors()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+
+  std::printf("== phase 2: an FTP session arrives (port 21 active) ==\n");
+  tick(15, [&](int s) {
+    if (s < 10) ftp_server.machine.AddPortTraffic(21, 50000);
+  });
+  std::printf("  during transfer:");
+  for (const auto& name : ftp_server.manager->RunningSensors()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n  port triggers so far: %llu, port stops: %llu\n",
+              static_cast<unsigned long long>(
+                  ftp_server.manager->stats().port_triggers),
+              static_cast<unsigned long long>(
+                  ftp_server.manager->stats().port_stops));
+
+  std::printf("== phase 3: ftpd crashes on the primary ==\n");
+  ftp_server.machine.StopProcess("ftpd", /*crashed=*/true);
+  tick(5, [](int) {});
+
+  std::printf("== phase 4: both servers die → overview pages ==\n");
+  ftp_server.machine.StopProcess("ftpd", true);
+  backup.machine.StopProcess("ftpd", true);
+  tick(5, [](int) {});
+
+  (void)archiver.PublishTo(pool, suffix);
+  auto entry = pool.Lookup(directory::schema::ArchiveDn(suffix,
+                                                        "grid-history"));
+  std::printf("== archive directory entry ==\n");
+  if (entry.ok()) std::printf("%s", entry->ToString().c_str());
+  std::printf("archive holds %zu of %llu ingested events (sampled)\n",
+              archive.size(),
+              static_cast<unsigned long long>(archive.ingested()));
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "archive/archive.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace jamm::archive {
+
+EventArchive::EventArchive(std::string name, std::uint64_t sampling_seed)
+    : name_(std::move(name)), rng_(sampling_seed) {}
+
+void EventArchive::SetSamplingPolicy(double normal_fraction,
+                                     bool keep_abnormal) {
+  normal_fraction_ = std::min(1.0, std::max(0.0, normal_fraction));
+  keep_abnormal_ = keep_abnormal;
+}
+
+bool EventArchive::IsAbnormal(const ulm::Record& rec) {
+  const std::string& lvl = rec.lvl();
+  return lvl == ulm::level::kError || lvl == ulm::level::kWarning ||
+         lvl == ulm::level::kAlert || lvl == ulm::level::kEmergency;
+}
+
+void EventArchive::Ingest(const ulm::Record& rec) {
+  ++ingested_;
+  const bool keep = (keep_abnormal_ && IsAbnormal(rec)) ||
+                    normal_fraction_ >= 1.0 || rng_.Chance(normal_fraction_);
+  if (!keep) {
+    ++dropped_;
+    return;
+  }
+  store_.emplace(rec.timestamp(), rec);
+  if (!rec.event_name().empty()) ++event_counts_[rec.event_name()];
+}
+
+std::vector<ulm::Record> EventArchive::QueryRange(TimePoint t0,
+                                                  TimePoint t1) const {
+  std::vector<ulm::Record> out;
+  for (auto it = store_.lower_bound(t0); it != store_.end() && it->first < t1;
+       ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<ulm::Record> EventArchive::QueryEvents(
+    const std::string& event_glob, TimePoint t0, TimePoint t1) const {
+  std::vector<ulm::Record> out;
+  for (auto it = store_.lower_bound(t0); it != store_.end() && it->first < t1;
+       ++it) {
+    if (event_glob.empty() || GlobMatch(event_glob, it->second.event_name())) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+std::vector<ulm::Record> EventArchive::QueryHost(const std::string& host,
+                                                 TimePoint t0,
+                                                 TimePoint t1) const {
+  std::vector<ulm::Record> out;
+  for (auto it = store_.lower_bound(t0); it != store_.end() && it->first < t1;
+       ++it) {
+    if (it->second.host() == host) out.push_back(it->second);
+  }
+  return out;
+}
+
+Status EventArchive::SaveTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Unavailable("cannot open " + path);
+  for (const auto& [ts, rec] : store_) {
+    out << rec.ToAscii() << '\n';
+  }
+  out.flush();
+  if (!out) return Status::Unavailable("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<EventArchive> EventArchive::LoadFrom(const std::string& name,
+                                            const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("archive file not found: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Status error;
+  auto records = ulm::ParseLog(buf.str(), &error);
+  if (!error.ok()) return error;
+  EventArchive archive(name);
+  for (const auto& rec : records) archive.Ingest(rec);
+  return archive;
+}
+
+std::string EventArchive::ContentsSummary() const {
+  std::string out;
+  for (const auto& [event_name, count] : event_counts_) {
+    if (!out.empty()) out += ' ';
+    out += event_name + "(" + std::to_string(count) + ")";
+  }
+  return out;
+}
+
+}  // namespace jamm::archive

@@ -1,0 +1,81 @@
+// Event archive (paper §2.2): "It is important to archive event data in
+// order to provide the ability to do historical analysis of system
+// performance... While it may not be desirable to archive all monitoring
+// data, it is necessary to archive a good sampling of both 'normal' and
+// 'abnormal' system operation."
+//
+// The archive is an ingest-time-sampled, time-indexed store: abnormal
+// events (Error/Warning/Alert/Emergency) are always kept, normal events
+// are kept at a configurable sampling fraction (deterministic for a given
+// seed). Queries select by time range, event-name glob, and host.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "ulm/record.hpp"
+
+namespace jamm::archive {
+
+class EventArchive {
+ public:
+  explicit EventArchive(std::string name, std::uint64_t sampling_seed = 1);
+
+  const std::string& name() const { return name_; }
+
+  /// Keep `normal_fraction` (0..1] of normal events; abnormal events
+  /// (LVL in {Error, Warning, Alert, Emergency}) are always kept when
+  /// `keep_abnormal` (default). Default policy keeps everything.
+  void SetSamplingPolicy(double normal_fraction, bool keep_abnormal = true);
+
+  /// Store (subject to sampling). Never fails on policy drops — a dropped
+  /// event is policy, not an error.
+  void Ingest(const ulm::Record& rec);
+
+  // -------------------------------------------------------------- queries
+
+  /// All stored records with t0 <= ts < t1, time-ordered.
+  std::vector<ulm::Record> QueryRange(TimePoint t0, TimePoint t1) const;
+  /// Range narrowed by NL.EVNT glob ("" = all).
+  std::vector<ulm::Record> QueryEvents(const std::string& event_glob,
+                                       TimePoint t0, TimePoint t1) const;
+  /// Range narrowed by host.
+  std::vector<ulm::Record> QueryHost(const std::string& host, TimePoint t0,
+                                     TimePoint t1) const;
+
+  // ---------------------------------------------------------- persistence
+
+  Status SaveTo(const std::string& path) const;
+  static Result<EventArchive> LoadFrom(const std::string& name,
+                                       const std::string& path);
+
+  // -------------------------------------------------------------- stats
+
+  std::size_t size() const { return store_.size(); }
+  std::uint64_t ingested() const { return ingested_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// "EVNT_A(120) EVNT_B(3) ..." — fills the archive directory entry's
+  /// contents attribute ("creates an archive directory service entry
+  /// indicating the contents of the archive").
+  std::string ContentsSummary() const;
+
+ private:
+  static bool IsAbnormal(const ulm::Record& rec);
+
+  std::string name_;
+  Rng rng_;
+  double normal_fraction_ = 1.0;
+  bool keep_abnormal_ = true;
+  std::multimap<TimePoint, ulm::Record> store_;
+  std::map<std::string, std::uint64_t> event_counts_;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace jamm::archive

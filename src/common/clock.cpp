@@ -1,0 +1,18 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+
+namespace jamm {
+
+TimePoint SystemClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+SystemClock& SystemClock::Instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace jamm

@@ -1,0 +1,62 @@
+// Clock abstraction. Everything in jamm that needs "now" takes a Clock&,
+// so simulations and tests run deterministically (DESIGN.md §8) while the
+// real-transport examples use the system clock.
+//
+// Time is a 64-bit count of microseconds since the Unix epoch (UTC); the
+// paper's ULM DATE field carries microsecond precision, so this is the
+// native resolution of the whole system.
+#pragma once
+
+#include <cstdint>
+
+namespace jamm {
+
+/// Microseconds since the Unix epoch (UTC).
+using TimePoint = std::int64_t;
+/// Microsecond duration.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+
+/// Fractional seconds from a Duration, for reporting.
+inline double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+inline Duration FromSeconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+};
+
+/// Wall clock (gettimeofday resolution via std::chrono::system_clock).
+class SystemClock final : public Clock {
+ public:
+  TimePoint Now() const override;
+
+  /// Shared process-wide instance.
+  static SystemClock& Instance();
+};
+
+/// Manually advanced clock for deterministic tests and simulations.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimePoint start = 0) : now_(start) {}
+
+  TimePoint Now() const override { return now_; }
+
+  void Advance(Duration d) { now_ += d; }
+  void Set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace jamm

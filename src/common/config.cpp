@@ -1,0 +1,143 @@
+#include "common/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace jamm {
+
+bool ConfigSection::Has(std::string_view key) const {
+  return entries_.find(std::string(key)) != entries_.end();
+}
+
+std::string ConfigSection::GetString(std::string_view key,
+                                     std::string_view dflt) const {
+  auto it = entries_.find(std::string(key));
+  return it == entries_.end() ? std::string(dflt) : it->second;
+}
+
+std::int64_t ConfigSection::GetInt(std::string_view key,
+                                   std::int64_t dflt) const {
+  auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) return dflt;
+  auto parsed = ParseInt(it->second);
+  return parsed.ok() ? *parsed : dflt;
+}
+
+double ConfigSection::GetDouble(std::string_view key, double dflt) const {
+  auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) return dflt;
+  auto parsed = ParseDouble(it->second);
+  return parsed.ok() ? *parsed : dflt;
+}
+
+bool ConfigSection::GetBool(std::string_view key, bool dflt) const {
+  auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) return dflt;
+  const std::string v = ToLower(it->second);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  return dflt;
+}
+
+std::vector<std::string> ConfigSection::GetList(std::string_view key) const {
+  std::vector<std::string> out;
+  auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) return out;
+  for (const auto& piece : Split(it->second, ',')) {
+    std::string trimmed = Trim(piece);
+    if (!trimmed.empty()) out.push_back(std::move(trimmed));
+  }
+  return out;
+}
+
+void ConfigSection::Set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+std::string ConfigSection::ToString() const {
+  std::string out;
+  if (!name_.empty()) {
+    out += "[" + name_ + "]\n";
+  }
+  for (const auto& [k, v] : entries_) {
+    out += k + " = " + v + "\n";
+  }
+  return out;
+}
+
+Result<Config> Config::ParseString(std::string_view text) {
+  Config config;
+  ConfigSection* current = nullptr;
+  int line_no = 0;
+  for (const auto& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = TrimView(raw_line);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        return Status::ParseError("config line " + std::to_string(line_no) +
+                                  ": malformed section header");
+      }
+      current = &config.AddSection(Trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("config line " + std::to_string(line_no) +
+                                ": expected key = value");
+    }
+    std::string key = Trim(line.substr(0, eq));
+    std::string value = Trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status::ParseError("config line " + std::to_string(line_no) +
+                                ": empty key");
+    }
+    if (current == nullptr) {
+      current = &config.AddSection("");  // global section
+    }
+    current->Set(std::move(key), std::move(value));
+  }
+  return config;
+}
+
+Result<Config> Config::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("config file not found: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseString(buf.str());
+}
+
+std::vector<const ConfigSection*> Config::SectionsNamed(
+    std::string_view name) const {
+  std::vector<const ConfigSection*> out;
+  for (const auto& s : sections_) {
+    if (s.name() == name) out.push_back(&s);
+  }
+  return out;
+}
+
+const ConfigSection* Config::FindSection(std::string_view name) const {
+  for (const auto& s : sections_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+ConfigSection& Config::AddSection(std::string name) {
+  sections_.emplace_back(std::move(name));
+  return sections_.back();
+}
+
+std::string Config::ToString() const {
+  std::string out;
+  for (const auto& s : sections_) {
+    out += s.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace jamm

@@ -1,0 +1,76 @@
+// INI-style configuration, the on-disk format of the sensor manager's
+// configuration file (paper §2.2: "Sensors to be run are specified by a
+// configuration file, which may be local or on a remote HTTP server").
+//
+// Format:
+//   # comment
+//   [section-name]
+//   key = value
+//
+// Section names repeat (one [sensor] block per sensor); order is preserved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace jamm {
+
+class ConfigSection {
+ public:
+  ConfigSection() = default;
+  explicit ConfigSection(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  bool Has(std::string_view key) const;
+
+  /// Value lookups with typed defaults; keys are case-sensitive.
+  std::string GetString(std::string_view key, std::string_view dflt = "") const;
+  std::int64_t GetInt(std::string_view key, std::int64_t dflt = 0) const;
+  double GetDouble(std::string_view key, double dflt = 0.0) const;
+  bool GetBool(std::string_view key, bool dflt = false) const;
+
+  /// Comma-separated list value ("ports = 21, 80, 8080").
+  std::vector<std::string> GetList(std::string_view key) const;
+
+  void Set(std::string key, std::string value);
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+  /// Serialize back to INI text (used for remote config serving).
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> entries_;
+};
+
+class Config {
+ public:
+  static Result<Config> ParseString(std::string_view text);
+  static Result<Config> LoadFile(const std::string& path);
+
+  /// All sections, in file order. The unnamed leading section (global keys
+  /// before any [header]) has an empty name and is present only if used.
+  const std::vector<ConfigSection>& sections() const { return sections_; }
+
+  /// All sections with the given name, in order.
+  std::vector<const ConfigSection*> SectionsNamed(std::string_view name) const;
+
+  /// First section with the given name, or nullptr.
+  const ConfigSection* FindSection(std::string_view name) const;
+
+  ConfigSection& AddSection(std::string name);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ConfigSection> sections_;
+};
+
+}  // namespace jamm

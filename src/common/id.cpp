@@ -1,0 +1,16 @@
+#include "common/id.hpp"
+
+#include <atomic>
+
+namespace jamm {
+
+std::uint64_t NextId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1) + 1;
+}
+
+std::string MakeId(const std::string& prefix) {
+  return prefix + "-" + std::to_string(NextId());
+}
+
+}  // namespace jamm

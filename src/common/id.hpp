@@ -1,0 +1,16 @@
+// Process-unique identifiers for sensors, subscriptions, sessions, and
+// NetLogger object lifelines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jamm {
+
+/// Monotonically increasing process-wide id; thread-safe.
+std::uint64_t NextId();
+
+/// "prefix-<n>" convenience, e.g. MakeId("sub") -> "sub-17".
+std::string MakeId(const std::string& prefix);
+
+}  // namespace jamm

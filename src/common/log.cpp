@@ -1,0 +1,40 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace jamm {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+
+void LogWrite(LogLevel level, const std::string& component,
+              const std::string& message) {
+  if (level < g_level.load()) return;
+  std::lock_guard lock(g_write_mu);
+  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace internal
+}  // namespace jamm

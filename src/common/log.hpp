@@ -1,0 +1,43 @@
+// Internal diagnostic logging for the jamm components themselves (distinct
+// from the ULM monitoring events the system exists to move around).
+// Writes to stderr; level-filtered; safe from multiple threads.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace jamm {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; default kWarn so tests/benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogWrite(LogLevel level, const std::string& component,
+              const std::string& message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { LogWrite(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define JAMM_LOG(level, component) \
+  ::jamm::internal::LogLine(::jamm::LogLevel::level, component)
+
+}  // namespace jamm

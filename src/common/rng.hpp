@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation for simulations, workload
+// generators, and property tests. xoshiro256** seeded via SplitMix64 —
+// fast, high quality, and reproducible across platforms (unlike
+// std::default_random_engine, whose behaviour is implementation-defined).
+#pragma once
+
+#include <cstdint>
+
+namespace jamm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t Uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// Bernoulli trial with probability p of true.
+  bool Chance(double p);
+
+  /// Exponential with the given mean (> 0); used for inter-arrival times.
+  double Exponential(double mean);
+
+  /// Normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  /// Pareto with shape alpha (> 0) and minimum xm (> 0); heavy-tailed sizes.
+  double Pareto(double xm, double alpha);
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return Next(); }
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace jamm

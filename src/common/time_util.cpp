@@ -1,0 +1,142 @@
+#include "common/time_util.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace jamm {
+namespace {
+
+// Howard Hinnant's proleptic-Gregorian algorithms; branch-free, valid far
+// beyond any timestamp this system will see, and independent of the C
+// library's timezone database.
+constexpr std::int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+struct Civil {
+  int year;
+  unsigned month;  // [1, 12]
+  unsigned day;    // [1, 31]
+};
+
+constexpr Civil CivilFromDays(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);               // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);               // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                    // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                            // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                                 // [1, 12]
+  return {static_cast<int>(y + (m <= 2)), m, d};
+}
+
+struct BrokenDown {
+  Civil date;
+  unsigned hour, minute, second;
+  std::int64_t micros;
+};
+
+BrokenDown Decompose(TimePoint t) {
+  std::int64_t secs = t / kSecond;
+  std::int64_t micros = t % kSecond;
+  if (micros < 0) {  // floor division for pre-epoch times
+    micros += kSecond;
+    secs -= 1;
+  }
+  std::int64_t days = secs / 86400;
+  std::int64_t sod = secs % 86400;
+  if (sod < 0) {
+    sod += 86400;
+    days -= 1;
+  }
+  BrokenDown out;
+  out.date = CivilFromDays(days);
+  out.hour = static_cast<unsigned>(sod / 3600);
+  out.minute = static_cast<unsigned>((sod / 60) % 60);
+  out.second = static_cast<unsigned>(sod % 60);
+  out.micros = micros;
+  return out;
+}
+
+bool ParseDigits(std::string_view s, std::size_t pos, std::size_t n,
+                 std::int64_t& out) {
+  if (pos + n > s.size()) return false;
+  std::int64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = s[pos + i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string FormatUlmDate(TimePoint t) {
+  const BrokenDown b = Decompose(t);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d%02u%02u%02u%02u%02u.%06" PRId64,
+                b.date.year, b.date.month, b.date.day, b.hour, b.minute,
+                b.second, b.micros);
+  return buf;
+}
+
+std::string FormatIsoDate(TimePoint t) {
+  const BrokenDown b = Decompose(t);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u %02u:%02u:%02u.%06" PRId64,
+                b.date.year, b.date.month, b.date.day, b.hour, b.minute,
+                b.second, b.micros);
+  return buf;
+}
+
+Result<TimePoint> ParseUlmDate(std::string_view text) {
+  // YYYYMMDDHHMMSS[.f{1,6}]
+  std::int64_t year, month, day, hour, minute, second;
+  if (!ParseDigits(text, 0, 4, year) || !ParseDigits(text, 4, 2, month) ||
+      !ParseDigits(text, 6, 2, day) || !ParseDigits(text, 8, 2, hour) ||
+      !ParseDigits(text, 10, 2, minute) || !ParseDigits(text, 12, 2, second)) {
+    return Status::ParseError("ULM DATE too short or non-numeric: '" +
+                              std::string(text) + "'");
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 ||
+      minute > 59 || second > 60) {
+    return Status::ParseError("ULM DATE field out of range: '" +
+                              std::string(text) + "'");
+  }
+  std::int64_t micros = 0;
+  if (text.size() > 14) {
+    if (text[14] != '.') {
+      return Status::ParseError("ULM DATE: expected '.' before fraction");
+    }
+    std::string_view frac = text.substr(15);
+    if (frac.empty() || frac.size() > 6) {
+      return Status::ParseError("ULM DATE: fraction must be 1-6 digits");
+    }
+    std::int64_t scale = 100000;
+    for (char c : frac) {
+      if (c < '0' || c > '9') {
+        return Status::ParseError("ULM DATE: non-digit in fraction");
+      }
+      micros += (c - '0') * scale;
+      scale /= 10;
+    }
+  }
+  const std::int64_t days = DaysFromCivil(static_cast<int>(year),
+                                          static_cast<unsigned>(month),
+                                          static_cast<unsigned>(day));
+  const std::int64_t secs =
+      days * 86400 + hour * 3600 + minute * 60 + second;
+  return secs * kSecond + micros;
+}
+
+}  // namespace jamm

@@ -1,0 +1,25 @@
+// Conversions between jamm::TimePoint (µs since epoch, UTC) and the ULM
+// DATE field format used by the paper: YYYYMMDDHHMMSS.ffffff, e.g.
+// "20000330112320.957943" (§4.2). All conversions are UTC; the original
+// NetLogger required synchronized clocks, not local time.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace jamm {
+
+/// Format a TimePoint as a ULM DATE: "YYYYMMDDHHMMSS.ffffff".
+std::string FormatUlmDate(TimePoint t);
+
+/// Parse a ULM DATE. Accepts 1-6 fractional digits (NetLogger default is 6);
+/// a missing fractional part is treated as .000000.
+Result<TimePoint> ParseUlmDate(std::string_view text);
+
+/// Human-oriented "YYYY-MM-DD HH:MM:SS.ffffff" for reports and diagnostics.
+std::string FormatIsoDate(TimePoint t);
+
+}  // namespace jamm

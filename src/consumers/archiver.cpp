@@ -1,0 +1,42 @@
+#include "consumers/archiver.hpp"
+
+namespace jamm::consumers {
+
+ArchiverAgent::ArchiverAgent(std::string name, archive::EventArchive& archive,
+                             std::string address)
+    : name_(std::move(name)),
+      archive_(archive),
+      address_(std::move(address)) {}
+
+ArchiverAgent::~ArchiverAgent() { UnsubscribeAll(); }
+
+Status ArchiverAgent::SubscribeTo(gateway::EventGateway& gw,
+                                  const gateway::FilterSpec& spec,
+                                  const std::string& principal) {
+  auto sub = gw.Subscribe(
+      name_, spec, [this](const ulm::Record& rec) { archive_.Ingest(rec); },
+      principal);
+  if (!sub.ok()) return sub.status();
+  subscriptions_.emplace_back(&gw, *sub);
+  return Status::Ok();
+}
+
+Status ArchiverAgent::PublishTo(directory::DirectoryPool& pool,
+                                const directory::Dn& suffix) {
+  // The archives live under "ou=archives, <suffix>"; make sure that
+  // container exists before publishing into it.
+  directory::Entry container(suffix.Child("ou", "archives"));
+  container.Set(directory::schema::kAttrObjectClass, "organizationalUnit");
+  (void)pool.Upsert(container);
+  return pool.Upsert(directory::schema::MakeArchiveEntry(
+      suffix, name_, address_, archive_.ContentsSummary()));
+}
+
+void ArchiverAgent::UnsubscribeAll() {
+  for (auto& [gw, id] : subscriptions_) {
+    (void)gw->Unsubscribe(id);
+  }
+  subscriptions_.clear();
+}
+
+}  // namespace jamm::consumers

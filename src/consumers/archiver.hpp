@@ -1,0 +1,48 @@
+// Archiver agent (paper §2.2): "This consumer is used to collect data for
+// an archive service. It subscribes to the logging agents, collects the
+// event data, and places it in the archive. It also creates an archive
+// directory service entry indicating the contents of the archive."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "archive/archive.hpp"
+#include "directory/replication.hpp"
+#include "directory/schema.hpp"
+#include "gateway/gateway.hpp"
+
+namespace jamm::consumers {
+
+class ArchiverAgent {
+ public:
+  ArchiverAgent(std::string name, archive::EventArchive& archive,
+                std::string address = "");
+  ~ArchiverAgent();
+
+  ArchiverAgent(const ArchiverAgent&) = delete;
+  ArchiverAgent& operator=(const ArchiverAgent&) = delete;
+
+  /// Subscribe to a gateway; everything delivered is ingested (the
+  /// archive's own sampling policy decides what is kept).
+  Status SubscribeTo(gateway::EventGateway& gw,
+                     const gateway::FilterSpec& spec = {},
+                     const std::string& principal = "");
+
+  /// Publish/refresh the archive's directory entry with a current
+  /// contents summary.
+  Status PublishTo(directory::DirectoryPool& pool,
+                   const directory::Dn& suffix);
+
+  archive::EventArchive& archive() { return archive_; }
+
+  void UnsubscribeAll();
+
+ private:
+  std::string name_;
+  archive::EventArchive& archive_;
+  std::string address_;
+  std::vector<std::pair<gateway::EventGateway*, std::string>> subscriptions_;
+};
+
+}  // namespace jamm::consumers

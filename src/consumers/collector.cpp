@@ -1,0 +1,69 @@
+#include "consumers/collector.hpp"
+
+#include <set>
+
+namespace jamm::consumers {
+
+EventCollector::EventCollector(std::string name, GatewayResolver resolver)
+    : name_(std::move(name)), resolver_(std::move(resolver)) {}
+
+EventCollector::~EventCollector() { UnsubscribeAll(); }
+
+Result<std::size_t> EventCollector::DiscoverAndSubscribe(
+    directory::DirectoryPool& pool, const directory::Dn& suffix,
+    const directory::Filter& sensor_filter, const gateway::FilterSpec& spec,
+    const std::string& principal) {
+  auto result = pool.Search(suffix, directory::SearchScope::kSubtree,
+                            sensor_filter, principal);
+  if (!result.ok()) return result.status();
+
+  std::set<std::string> gateway_addresses;
+  for (const auto& entry : result->entries) {
+    if (entry.Get(directory::schema::kAttrObjectClass) !=
+        directory::schema::kSensorClass) {
+      continue;
+    }
+    if (entry.Get(directory::schema::kAttrStatus) != "running") continue;
+    const std::string gw = entry.Get(directory::schema::kAttrGateway);
+    if (!gw.empty()) gateway_addresses.insert(gw);
+  }
+
+  std::size_t subscribed = 0;
+  for (const auto& address : gateway_addresses) {
+    gateway::EventGateway* gw = resolver_ ? resolver_(address) : nullptr;
+    if (!gw) continue;  // stale directory entry; skip
+    if (SubscribeTo(*gw, spec, principal).ok()) ++subscribed;
+  }
+  return subscribed;
+}
+
+Status EventCollector::SubscribeTo(gateway::EventGateway& gw,
+                                   const gateway::FilterSpec& spec,
+                                   const std::string& principal) {
+  auto sub = gw.Subscribe(
+      name_, spec,
+      [this](const ulm::Record& rec) { collected_.push_back(rec); },
+      principal);
+  if (!sub.ok()) return sub.status();
+  subscriptions_.emplace_back(&gw, *sub);
+  return Status::Ok();
+}
+
+std::vector<ulm::Record> EventCollector::Merged() const {
+  std::vector<ulm::Record> out = collected_;
+  netlogger::SortByTime(out);
+  return out;
+}
+
+Status EventCollector::WriteMerged(const std::string& path) const {
+  return netlogger::WriteLogFile(path, Merged());
+}
+
+void EventCollector::UnsubscribeAll() {
+  for (auto& [gw, id] : subscriptions_) {
+    (void)gw->Unsubscribe(id);
+  }
+  subscriptions_.clear();
+}
+
+}  // namespace jamm::consumers

@@ -1,0 +1,65 @@
+// Event collector consumer (paper §2.2): "used to collect monitoring data
+// in real time for use by real-time analysis tools. It checks the
+// directory service to see what data is available, and then 'subscribes',
+// via the event gateway, to all the sensors it is interested in... Data
+// from many sensors ... is then merged into a file for use by programs
+// such as nlv."
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "directory/replication.hpp"
+#include "directory/schema.hpp"
+#include "gateway/gateway.hpp"
+#include "netlogger/merge.hpp"
+
+namespace jamm::consumers {
+
+class EventCollector {
+ public:
+  /// Maps a gateway address from a directory entry to the live gateway —
+  /// the in-process analogue of dialing the address.
+  using GatewayResolver =
+      std::function<gateway::EventGateway*(const std::string& address)>;
+
+  EventCollector(std::string name, GatewayResolver resolver);
+  ~EventCollector();
+
+  EventCollector(const EventCollector&) = delete;
+  EventCollector& operator=(const EventCollector&) = delete;
+
+  /// Directory-driven discovery: search `suffix` for sensors matching
+  /// `sensor_filter`, group them by gateway, and subscribe once per
+  /// gateway with `spec`. Returns how many gateways were subscribed.
+  Result<std::size_t> DiscoverAndSubscribe(
+      directory::DirectoryPool& pool, const directory::Dn& suffix,
+      const directory::Filter& sensor_filter, const gateway::FilterSpec& spec,
+      const std::string& principal = "");
+
+  /// Direct subscription to one gateway.
+  Status SubscribeTo(gateway::EventGateway& gw, const gateway::FilterSpec& spec,
+                     const std::string& principal = "");
+
+  /// Everything collected so far, time-merged.
+  std::vector<ulm::Record> Merged() const;
+
+  /// Merge and write an nlv-ready log file.
+  Status WriteMerged(const std::string& path) const;
+
+  std::size_t collected_count() const { return collected_.size(); }
+  void Clear() { collected_.clear(); }
+
+  /// Tear down all subscriptions (also runs on destruction).
+  void UnsubscribeAll();
+
+ private:
+  std::string name_;
+  GatewayResolver resolver_;
+  std::vector<ulm::Record> collected_;
+  std::vector<std::pair<gateway::EventGateway*, std::string>> subscriptions_;
+};
+
+}  // namespace jamm::consumers

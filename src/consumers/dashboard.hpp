@@ -1,0 +1,24 @@
+// Text rendering of the paper's administrative GUIs (§5.0): "The JAMM
+// Sensor Data GUI lists all sensors stored in a specific LDAP server, and
+// displays their current status, including such details as frequency,
+// duration, startup time, current number of consumers, and last message."
+// A library reproduction renders the same table from the directory.
+#pragma once
+
+#include <string>
+
+#include "directory/replication.hpp"
+
+namespace jamm::consumers {
+
+/// The Sensor Data GUI table: every jammSensor entry under `suffix`.
+std::string RenderSensorTable(directory::DirectoryPool& pool,
+                              const directory::Dn& suffix,
+                              const std::string& principal = "");
+
+/// The archive view: every jammArchive entry with its contents summary.
+std::string RenderArchiveTable(directory::DirectoryPool& pool,
+                               const directory::Dn& suffix,
+                               const std::string& principal = "");
+
+}  // namespace jamm::consumers

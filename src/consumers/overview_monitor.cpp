@@ -1,0 +1,72 @@
+#include "consumers/overview_monitor.hpp"
+
+#include "common/strings.hpp"
+
+namespace jamm::consumers {
+
+OverviewMonitor::OverviewMonitor(std::string name) : name_(std::move(name)) {}
+
+OverviewMonitor::~OverviewMonitor() { UnsubscribeAll(); }
+
+Status OverviewMonitor::SubscribeTo(gateway::EventGateway& gw,
+                                    const std::string& principal) {
+  gateway::FilterSpec spec;  // all events
+  auto sub = gw.Subscribe(
+      name_, spec, [this](const ulm::Record& rec) { HandleEvent(rec); },
+      principal);
+  if (!sub.ok()) return sub.status();
+  subscriptions_.emplace_back(&gw, *sub);
+  return Status::Ok();
+}
+
+void OverviewMonitor::AddRule(
+    std::string rule_name, std::vector<RuleCondition> conditions,
+    std::function<void(const std::string&)> action) {
+  Rule rule;
+  rule.name = std::move(rule_name);
+  rule.satisfied.assign(conditions.size(), false);
+  rule.conditions = std::move(conditions);
+  rule.action = std::move(action);
+  rules_.push_back(std::move(rule));
+}
+
+void OverviewMonitor::HandleEvent(const ulm::Record& rec) {
+  for (auto& rule : rules_) {
+    bool touched = false;
+    for (std::size_t i = 0; i < rule.conditions.size(); ++i) {
+      const RuleCondition& cond = rule.conditions[i];
+      if (!cond.host.empty() && cond.host != rec.host()) continue;
+      if (!cond.event_glob.empty() &&
+          !GlobMatch(cond.event_glob, rec.event_name())) {
+        continue;
+      }
+      rule.satisfied[i] = cond.predicate(rec);
+      touched = true;
+    }
+    if (!touched) continue;
+    bool all = true;
+    for (bool s : rule.satisfied) all = all && s;
+    if (all && !rule.firing) {
+      rule.firing = true;
+      ++rule.fire_count;
+      fire_counts_[rule.name] = rule.fire_count;
+      if (rule.action) rule.action(rule.name);
+    } else if (!all) {
+      rule.firing = false;  // re-arm
+    }
+  }
+}
+
+std::uint64_t OverviewMonitor::fires(const std::string& rule_name) const {
+  auto it = fire_counts_.find(rule_name);
+  return it == fire_counts_.end() ? 0 : it->second;
+}
+
+void OverviewMonitor::UnsubscribeAll() {
+  for (auto& [gw, id] : subscriptions_) {
+    (void)gw->Unsubscribe(id);
+  }
+  subscriptions_.clear();
+}
+
+}  // namespace jamm::consumers

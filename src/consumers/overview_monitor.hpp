@@ -1,0 +1,72 @@
+// Overview monitor consumer (paper §2.2): "This consumer collects
+// information from sensors on several hosts, and uses the combined
+// information to make some decision that could not be made on the basis of
+// data from only one host. For example, one may want to trigger a page to
+// a system administrator at 2 A.M. only if both the primary and backup
+// servers are down."
+//
+// A rule is a conjunction of per-source conditions over the latest state
+// each source reported; when every condition holds the rule fires once
+// (re-arming when the conjunction stops holding).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gateway/gateway.hpp"
+
+namespace jamm::consumers {
+
+class OverviewMonitor {
+ public:
+  explicit OverviewMonitor(std::string name);
+  ~OverviewMonitor();
+
+  OverviewMonitor(const OverviewMonitor&) = delete;
+  OverviewMonitor& operator=(const OverviewMonitor&) = delete;
+
+  /// Feed this monitor everything a gateway sees.
+  Status SubscribeTo(gateway::EventGateway& gw,
+                     const std::string& principal = "");
+
+  /// Predicate over the most recent record a (host, event glob) source
+  /// produced; absent state means the condition is not (yet) satisfied.
+  using Condition = std::function<bool(const ulm::Record&)>;
+
+  struct RuleCondition {
+    std::string host;        // "" = any host may satisfy it
+    std::string event_glob;  // which events update this condition
+    Condition predicate;
+  };
+
+  /// Register a rule; `action` runs when ALL conditions hold
+  /// simultaneously (edge-triggered).
+  void AddRule(std::string rule_name, std::vector<RuleCondition> conditions,
+               std::function<void(const std::string&)> action);
+
+  std::uint64_t fires(const std::string& rule_name) const;
+
+  void UnsubscribeAll();
+
+ private:
+  struct Rule {
+    std::string name;
+    std::vector<RuleCondition> conditions;
+    std::vector<bool> satisfied;
+    std::function<void(const std::string&)> action;
+    bool firing = false;
+    std::uint64_t fire_count = 0;
+  };
+
+  void HandleEvent(const ulm::Record& rec);
+
+  std::string name_;
+  std::vector<Rule> rules_;
+  std::vector<std::pair<gateway::EventGateway*, std::string>> subscriptions_;
+  std::map<std::string, std::uint64_t> fire_counts_;
+};
+
+}  // namespace jamm::consumers

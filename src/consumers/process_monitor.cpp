@@ -1,0 +1,64 @@
+#include "consumers/process_monitor.hpp"
+
+namespace jamm::consumers {
+
+ProcessMonitorConsumer::ProcessMonitorConsumer(std::string name,
+                                               const Clock& clock)
+    : name_(std::move(name)), clock_(clock) {}
+
+ProcessMonitorConsumer::~ProcessMonitorConsumer() { UnsubscribeAll(); }
+
+Status ProcessMonitorConsumer::Watch(gateway::EventGateway& gw,
+                                     sysmon::SimHost* host,
+                                     const std::string& process_name,
+                                     ProcessActions actions) {
+  gateway::FilterSpec spec;
+  spec.mode = gateway::FilterSpec::Mode::kAll;
+  spec.event_glob = "PROC_*";
+  auto sub = gw.Subscribe(
+      name_, spec,
+      [this, host, process_name, actions](const ulm::Record& rec) {
+        HandleEvent(rec, host, process_name, actions);
+      });
+  if (!sub.ok()) return sub.status();
+  watched_.push_back({&gw, *sub});
+  return Status::Ok();
+}
+
+void ProcessMonitorConsumer::HandleEvent(const ulm::Record& rec,
+                                         sysmon::SimHost* host,
+                                         const std::string& process_name,
+                                         const ProcessActions& actions) {
+  const auto proc = rec.GetField("PROC");
+  if (!proc || *proc != process_name) return;
+  const std::string& ev = rec.event_name();
+  if (ev != sensors::event::kProcDiedNormal &&
+      ev != sensors::event::kProcDiedAbnormal) {
+    return;
+  }
+  ++stats_.deaths_seen;
+  const std::string description =
+      process_name + " on " + rec.host() + " " +
+      (ev == sensors::event::kProcDiedAbnormal ? "crashed" : "exited");
+  if (actions.restart && host) {
+    host->StartProcess(process_name);
+    ++stats_.restarts;
+  }
+  if (actions.email) {
+    actions.email(description);
+    ++stats_.emails;
+  }
+  if (actions.page) {
+    actions.page(description);
+    ++stats_.pages;
+  }
+}
+
+void ProcessMonitorConsumer::UnsubscribeAll() {
+  for (auto& w : watched_) {
+    (void)w.gw->Unsubscribe(w.subscription_id);
+  }
+  watched_.clear();
+}
+
+}  // namespace jamm::consumers

@@ -1,0 +1,65 @@
+// Process monitor consumer (paper §2.2): "This consumer can be used to
+// trigger an action based on an event from a server process. For example,
+// it might run a script to restart the processes, send email to a system
+// administrator, or call a pager."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gateway/gateway.hpp"
+#include "sensors/process_sensor.hpp"
+#include "sysmon/simhost.hpp"
+
+namespace jamm::consumers {
+
+/// What to do when a watched process dies.
+struct ProcessActions {
+  /// Restart the process on its host (like the paper's restart script).
+  bool restart = false;
+  /// Notification callbacks; invoked with a human-readable description.
+  std::function<void(const std::string&)> email;
+  std::function<void(const std::string&)> page;
+};
+
+class ProcessMonitorConsumer {
+ public:
+  ProcessMonitorConsumer(std::string name, const Clock& clock);
+  ~ProcessMonitorConsumer();
+
+  ProcessMonitorConsumer(const ProcessMonitorConsumer&) = delete;
+  ProcessMonitorConsumer& operator=(const ProcessMonitorConsumer&) = delete;
+
+  /// Watch `process_name` events arriving through `gw`; `host` is needed
+  /// for the restart action.
+  Status Watch(gateway::EventGateway& gw, sysmon::SimHost* host,
+               const std::string& process_name, ProcessActions actions);
+
+  struct Stats {
+    std::uint64_t deaths_seen = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t emails = 0;
+    std::uint64_t pages = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  void UnsubscribeAll();
+
+ private:
+  void HandleEvent(const ulm::Record& rec, sysmon::SimHost* host,
+                   const std::string& process_name,
+                   const ProcessActions& actions);
+
+  std::string name_;
+  const Clock& clock_;
+  struct Watched {
+    gateway::EventGateway* gw;
+    std::string subscription_id;
+  };
+  std::vector<Watched> watched_;
+  Stats stats_;
+};
+
+}  // namespace jamm::consumers

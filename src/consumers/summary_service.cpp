@@ -1,0 +1,81 @@
+#include "consumers/summary_service.hpp"
+
+#include "common/strings.hpp"
+
+namespace jamm::consumers {
+
+SummaryPublisher::SummaryPublisher(gateway::EventGateway& gw,
+                                   directory::DirectoryPool& pool,
+                                   directory::Dn suffix, std::string host)
+    : gw_(gw), pool_(pool), suffix_(std::move(suffix)),
+      host_(std::move(host)) {}
+
+void SummaryPublisher::AddMetric(const std::string& event_name,
+                                 const std::string& metric, Window window) {
+  gw_.EnableSummary(event_name);
+  metrics_.push_back({event_name, metric, window});
+}
+
+std::size_t SummaryPublisher::PublishOnce() {
+  std::size_t published = 0;
+  // Make sure the host container exists.
+  (void)pool_.Upsert(directory::schema::MakeHostEntry(suffix_, host_));
+  for (const auto& m : metrics_) {
+    auto summary = gw_.GetSummary(m.event_name);
+    if (!summary.ok()) continue;
+    double value = 0;
+    std::size_t count = 0;
+    switch (m.window) {
+      case Window::k1m: value = summary->avg_1m; count = summary->count_1m; break;
+      case Window::k10m: value = summary->avg_10m; count = summary->count_10m; break;
+      case Window::k60m: value = summary->avg_60m; count = summary->count_60m; break;
+    }
+    if (count == 0) continue;  // nothing meaningful to publish yet
+    if (pool_.Upsert(directory::schema::MakeSummaryEntry(suffix_, host_,
+                                                         m.metric, value))
+            .ok()) {
+      ++published;
+    }
+  }
+  return published;
+}
+
+namespace {
+
+Result<double> ReadMetric(directory::DirectoryPool& pool,
+                          const directory::Dn& suffix,
+                          const std::string& host,
+                          const std::string& metric) {
+  auto entry = pool.Lookup(
+      directory::schema::HostDn(suffix, host).Child("cn", "summary-" + metric));
+  if (!entry.ok()) return entry.status();
+  return ParseDouble(entry->Get(directory::schema::kAttrValue));
+}
+
+}  // namespace
+
+Result<PathSummary> ReadPathSummary(directory::DirectoryPool& pool,
+                                    const directory::Dn& suffix,
+                                    const std::string& host) {
+  auto throughput = ReadMetric(pool, suffix, host, "net.throughput.bps");
+  if (!throughput.ok()) return throughput.status();
+  auto rtt = ReadMetric(pool, suffix, host, "net.rtt.s");
+  if (!rtt.ok()) return rtt.status();
+  PathSummary out;
+  out.throughput_bps = *throughput;
+  out.rtt_s = *rtt;
+  return out;
+}
+
+Result<double> OptimalTcpWindowBytes(directory::DirectoryPool& pool,
+                                     const directory::Dn& suffix,
+                                     const std::string& host) {
+  auto summary = ReadPathSummary(pool, suffix, host);
+  if (!summary.ok()) return summary.status();
+  if (summary->throughput_bps <= 0 || summary->rtt_s <= 0) {
+    return Status::InvalidArgument("published path summary is degenerate");
+  }
+  return summary->throughput_bps * summary->rtt_s / 8.0;  // BDP in bytes
+}
+
+}  // namespace jamm::consumers

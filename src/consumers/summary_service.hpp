@@ -1,0 +1,73 @@
+// Summary data service (paper §7.0, future work): "We are also developing
+// a summary data service and client API... For example, network sensors
+// publish summary throughput and latency data in the directory service,
+// which is used by a 'network-aware' client to optimally set its TCP
+// buffer size. The summary data service might be part of the sensor
+// directory, could be a separate LDAP server, or could be built into the
+// gateways."
+//
+// This implementation takes the built-into-the-gateway option: a
+// SummaryPublisher periodically copies selected gateway summary windows
+// into directory entries; the network-aware client API computes the
+// optimal TCP window (bandwidth × delay) from the published figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "directory/replication.hpp"
+#include "directory/schema.hpp"
+#include "gateway/gateway.hpp"
+
+namespace jamm::consumers {
+
+class SummaryPublisher {
+ public:
+  /// Publishes summaries about `host` under `suffix`.
+  SummaryPublisher(gateway::EventGateway& gw,
+                   directory::DirectoryPool& pool, directory::Dn suffix,
+                   std::string host);
+
+  /// Which gateway summary window feeds which directory metric.
+  enum class Window { k1m, k10m, k60m };
+  void AddMetric(const std::string& event_name, const std::string& metric,
+                 Window window = Window::k10m);
+
+  /// Copy every configured metric's current average into the directory.
+  /// Returns the number of metrics published (metrics whose summary has
+  /// no samples yet are skipped).
+  std::size_t PublishOnce();
+
+ private:
+  struct Metric {
+    std::string event_name;
+    std::string metric;
+    Window window;
+  };
+
+  gateway::EventGateway& gw_;
+  directory::DirectoryPool& pool_;
+  directory::Dn suffix_;
+  std::string host_;
+  std::vector<Metric> metrics_;
+};
+
+/// Network-aware client API (the §7.0 consumer of the summary service).
+struct PathSummary {
+  double throughput_bps = 0;
+  double rtt_s = 0;
+};
+
+/// Read the published path summary for `host` ("net.throughput.bps" and
+/// "net.rtt.s" metrics).
+Result<PathSummary> ReadPathSummary(directory::DirectoryPool& pool,
+                                    const directory::Dn& suffix,
+                                    const std::string& host);
+
+/// The paper's use case: "optimally set its TCP buffer size" — the
+/// bandwidth-delay product of the published path figures.
+Result<double> OptimalTcpWindowBytes(directory::DirectoryPool& pool,
+                                     const directory::Dn& suffix,
+                                     const std::string& host);
+
+}  // namespace jamm::consumers

@@ -1,0 +1,77 @@
+#include "directory/replication.hpp"
+
+namespace jamm::directory {
+
+void Replicator::AddReplica(std::shared_ptr<DirectoryServer> replica) {
+  replicas_.push_back({std::move(replica), 0});
+}
+
+std::size_t Replicator::SyncAll() {
+  std::size_t applied = 0;
+  for (auto& tracked : replicas_) {
+    if (!tracked.server->alive()) continue;
+    for (const auto& change : primary_->ChangesSince(tracked.applied_seq)) {
+      if (tracked.server->ApplyReplicated(change).ok()) {
+        tracked.applied_seq = change.seq;
+        ++applied;
+      } else {
+        break;  // keep ordering; retry from this change next sync
+      }
+    }
+  }
+  return applied;
+}
+
+bool Replicator::Converged() const {
+  const std::uint64_t head = primary_->last_seq();
+  for (const auto& tracked : replicas_) {
+    if (tracked.server->alive() && tracked.applied_seq < head) return false;
+  }
+  return true;
+}
+
+void DirectoryPool::AddServer(std::shared_ptr<DirectoryServer> server) {
+  servers_.push_back(std::move(server));
+}
+
+Result<Entry> DirectoryPool::Lookup(const Dn& dn,
+                                    const std::string& principal) {
+  Status last = Status::Unavailable("directory pool empty");
+  for (const auto& server : servers_) {
+    auto result = server->Lookup(dn, principal);
+    if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
+      last_served_by_ = server->address();
+      return result;
+    }
+    last = result.status();
+  }
+  return last;
+}
+
+Result<SearchResult> DirectoryPool::Search(const Dn& base, SearchScope scope,
+                                           const Filter& filter,
+                                           const std::string& principal) {
+  Status last = Status::Unavailable("directory pool empty");
+  for (const auto& server : servers_) {
+    auto result = server->Search(base, scope, filter, principal);
+    if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
+      last_served_by_ = server->address();
+      return result;
+    }
+    last = result.status();
+  }
+  return last;
+}
+
+Status DirectoryPool::Upsert(const Entry& entry,
+                             const std::string& principal) {
+  if (servers_.empty()) return Status::Unavailable("directory pool empty");
+  return servers_.front()->Upsert(entry, principal);
+}
+
+Status DirectoryPool::Delete(const Dn& dn, const std::string& principal) {
+  if (servers_.empty()) return Status::Unavailable("directory pool empty");
+  return servers_.front()->Delete(dn, principal);
+}
+
+}  // namespace jamm::directory

@@ -1,0 +1,72 @@
+// Directory replication and failover. The paper (§2.2): "LDAP also
+// supports the notion of replicated servers, providing fault tolerance.
+// Replication is critical to JAMM. Otherwise, failure of the sensor
+// directory server could take down the entire system."
+//
+// Replicator pushes the primary's change log to read-only replicas;
+// DirectoryPool is the consumer-side view that transparently fails over
+// to a replica when the primary dies.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "directory/server.hpp"
+
+namespace jamm::directory {
+
+class Replicator {
+ public:
+  explicit Replicator(std::shared_ptr<DirectoryServer> primary)
+      : primary_(std::move(primary)) {}
+
+  void AddReplica(std::shared_ptr<DirectoryServer> replica);
+
+  /// Push all changes each replica hasn't seen yet. Unreachable replicas
+  /// are skipped and caught up on a later sync. Returns the number of
+  /// changes applied across all replicas.
+  std::size_t SyncAll();
+
+  /// True if every live replica has the primary's full change log.
+  bool Converged() const;
+
+  std::size_t replica_count() const { return replicas_.size(); }
+
+ private:
+  struct Tracked {
+    std::shared_ptr<DirectoryServer> server;
+    std::uint64_t applied_seq = 0;
+  };
+
+  std::shared_ptr<DirectoryServer> primary_;
+  std::vector<Tracked> replicas_;
+};
+
+/// Ordered server list with read failover: reads try each server until one
+/// answers; writes go to the primary (index 0) only, as LDAP replicas are
+/// read-only.
+class DirectoryPool {
+ public:
+  void AddServer(std::shared_ptr<DirectoryServer> server);
+
+  Result<Entry> Lookup(const Dn& dn, const std::string& principal = "");
+  Result<SearchResult> Search(const Dn& base, SearchScope scope,
+                              const Filter& filter,
+                              const std::string& principal = "");
+  Status Upsert(const Entry& entry, const std::string& principal = "");
+  Status Delete(const Dn& dn, const std::string& principal = "");
+
+  /// Address of the server that satisfied the most recent read; lets
+  /// tests and benches observe failover happening.
+  const std::string& last_served_by() const { return last_served_by_; }
+
+  std::size_t size() const { return servers_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<DirectoryServer>> servers_;
+  std::string last_served_by_;
+};
+
+}  // namespace jamm::directory

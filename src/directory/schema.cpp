@@ -1,0 +1,78 @@
+#include "directory/schema.hpp"
+
+#include "common/time_util.hpp"
+
+namespace jamm::directory::schema {
+
+Dn HostDn(const Dn& suffix, const std::string& host) {
+  return suffix.Child("host", host);
+}
+
+Dn SensorDn(const Dn& suffix, const std::string& host,
+            const std::string& sensor_name) {
+  return HostDn(suffix, host).Child("cn", sensor_name);
+}
+
+Dn GatewayDn(const Dn& suffix, const std::string& host) {
+  return HostDn(suffix, host).Child("cn", "gateway");
+}
+
+Dn ArchiveDn(const Dn& suffix, const std::string& archive_name) {
+  return suffix.Child("ou", "archives").Child("cn", archive_name);
+}
+
+Entry MakeHostEntry(const Dn& suffix, const std::string& host) {
+  Entry entry(HostDn(suffix, host));
+  entry.Set(kAttrObjectClass, std::string(kHostClass));
+  entry.Set(kAttrHost, host);
+  return entry;
+}
+
+Entry MakeSensorEntry(const Dn& suffix, const std::string& host,
+                      const std::string& sensor_name,
+                      const std::string& sensor_type,
+                      const std::string& gateway_address,
+                      std::int64_t frequency_ms, TimePoint start_time) {
+  Entry entry(SensorDn(suffix, host, sensor_name));
+  entry.Set(kAttrObjectClass, std::string(kSensorClass));
+  entry.Set(kAttrHost, host);
+  entry.Set(kAttrSensorName, sensor_name);
+  entry.Set(kAttrSensorType, sensor_type);
+  entry.Set(kAttrGateway, gateway_address);
+  entry.Set(kAttrFrequencyMs, std::to_string(frequency_ms));
+  entry.Set(kAttrStatus, "running");
+  entry.Set(kAttrStartTime, FormatUlmDate(start_time));
+  entry.Set(kAttrConsumers, "0");
+  return entry;
+}
+
+Entry MakeGatewayEntry(const Dn& suffix, const std::string& host,
+                       const std::string& address) {
+  Entry entry(GatewayDn(suffix, host));
+  entry.Set(kAttrObjectClass, std::string(kGatewayClass));
+  entry.Set(kAttrHost, host);
+  entry.Set(kAttrAddress, address);
+  return entry;
+}
+
+Entry MakeArchiveEntry(const Dn& suffix, const std::string& archive_name,
+                       const std::string& address,
+                       const std::string& contents) {
+  Entry entry(ArchiveDn(suffix, archive_name));
+  entry.Set(kAttrObjectClass, std::string(kArchiveClass));
+  entry.Set(kAttrAddress, address);
+  entry.Set(kAttrContents, contents);
+  return entry;
+}
+
+Entry MakeSummaryEntry(const Dn& suffix, const std::string& host,
+                       const std::string& metric, double value) {
+  Entry entry(HostDn(suffix, host).Child("cn", "summary-" + metric));
+  entry.Set(kAttrObjectClass, std::string(kSummaryClass));
+  entry.Set(kAttrHost, host);
+  entry.Set(kAttrMetric, metric);
+  entry.Set(kAttrValue, std::to_string(value));
+  return entry;
+}
+
+}  // namespace jamm::directory::schema

@@ -1,0 +1,72 @@
+// JAMM directory schema conventions: how sensors, gateways, and archives
+// publish themselves. The paper's Sensor Data GUI "lists all sensors
+// stored in a specific LDAP server, and displays their current status,
+// including such details as frequency, duration, startup time, current
+// number of consumers, and last message" — those are the attributes here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.hpp"
+#include "directory/entry.hpp"
+
+namespace jamm::directory::schema {
+
+// objectclass values
+inline constexpr char kSensorClass[] = "jammSensor";
+inline constexpr char kGatewayClass[] = "jammGateway";
+inline constexpr char kArchiveClass[] = "jammArchive";
+inline constexpr char kHostClass[] = "jammHost";
+inline constexpr char kSummaryClass[] = "jammSummary";
+
+// attribute names (lower-case, the directory's canonical form)
+inline constexpr char kAttrObjectClass[] = "objectclass";
+inline constexpr char kAttrHost[] = "host";
+inline constexpr char kAttrSensorName[] = "sensorname";
+inline constexpr char kAttrSensorType[] = "sensortype";
+inline constexpr char kAttrGateway[] = "gateway";        // gateway address
+inline constexpr char kAttrFrequencyMs[] = "frequencyms";
+inline constexpr char kAttrStatus[] = "status";          // running | stopped
+inline constexpr char kAttrStartTime[] = "starttime";    // ULM DATE
+inline constexpr char kAttrConsumers[] = "consumers";    // current count
+inline constexpr char kAttrLastMessage[] = "lastmessage";
+inline constexpr char kAttrAddress[] = "address";
+inline constexpr char kAttrContents[] = "contents";      // archive contents
+inline constexpr char kAttrMetric[] = "metric";          // summary data name
+inline constexpr char kAttrValue[] = "value";            // summary data value
+
+/// "host=<host>, <suffix>"
+Dn HostDn(const Dn& suffix, const std::string& host);
+/// "cn=<sensor>, host=<host>, <suffix>"
+Dn SensorDn(const Dn& suffix, const std::string& host,
+            const std::string& sensor_name);
+/// "cn=gateway, host=<host>, <suffix>"
+Dn GatewayDn(const Dn& suffix, const std::string& host);
+/// "cn=<archive>, ou=archives, <suffix>"
+Dn ArchiveDn(const Dn& suffix, const std::string& archive_name);
+
+Entry MakeHostEntry(const Dn& suffix, const std::string& host);
+
+/// Publication entry for an active sensor; `gateway_address` is where
+/// consumers subscribe (paper: "publish the location of all sensors and
+/// their associated gateway").
+Entry MakeSensorEntry(const Dn& suffix, const std::string& host,
+                      const std::string& sensor_name,
+                      const std::string& sensor_type,
+                      const std::string& gateway_address,
+                      std::int64_t frequency_ms, TimePoint start_time);
+
+Entry MakeGatewayEntry(const Dn& suffix, const std::string& host,
+                       const std::string& address);
+
+Entry MakeArchiveEntry(const Dn& suffix, const std::string& archive_name,
+                       const std::string& address,
+                       const std::string& contents);
+
+/// Summary-data publication (paper §7.0: "network sensors publish summary
+/// throughput and latency data in the directory service").
+Entry MakeSummaryEntry(const Dn& suffix, const std::string& host,
+                       const std::string& metric, double value);
+
+}  // namespace jamm::directory::schema

@@ -1,0 +1,259 @@
+#include "directory/server.hpp"
+
+namespace jamm::directory {
+
+DirectoryServer::DirectoryServer(Dn suffix, std::string address)
+    : suffix_(std::move(suffix)), address_(std::move(address)) {}
+
+Status DirectoryServer::CheckAlive() const {
+  if (!alive_) return Status::Unavailable("directory server down: " + address_);
+  return Status::Ok();
+}
+
+Status DirectoryServer::CheckAccess(Operation op, const Dn& target,
+                                    const std::string& principal) const {
+  if (access_checker_ && !access_checker_(op, target, principal)) {
+    return Status::PermissionDenied(
+        (principal.empty() ? std::string("anonymous") : principal) +
+        " may not access " + target.ToString());
+  }
+  return Status::Ok();
+}
+
+Status DirectoryServer::AddLocked(const Entry& entry) {
+  const Dn& dn = entry.dn();
+  if (!dn.IsUnder(suffix_)) {
+    return Status::InvalidArgument("DN outside suffix: " + dn.ToString());
+  }
+  const std::string key = dn.ToString();
+  if (entries_.count(key)) {
+    return Status::AlreadyExists("entry exists: " + key);
+  }
+  if (dn != suffix_) {
+    // The suffix acts as an implicit mount point; anything deeper needs an
+    // existing parent (LDAP tree integrity).
+    const Dn parent = dn.Parent();
+    if (parent != suffix_ && !entries_.count(parent.ToString())) {
+      return Status::NotFound("parent entry missing: " + parent.ToString());
+    }
+  }
+  entries_[key] = entry;
+  return Status::Ok();
+}
+
+Status DirectoryServer::ModifyLocked(const Entry& entry) {
+  const std::string key = entry.dn().ToString();
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Status::NotFound("no entry: " + key);
+  it->second = entry;
+  return Status::Ok();
+}
+
+Status DirectoryServer::DeleteLocked(const Dn& dn) {
+  const std::string key = dn.ToString();
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Status::NotFound("no entry: " + key);
+  for (const auto& [other_key, other] : entries_) {
+    if (other_key != key && other.dn().IsChildOf(dn)) {
+      return Status::InvalidArgument("entry has children: " + key);
+    }
+  }
+  entries_.erase(it);
+  return Status::Ok();
+}
+
+void DirectoryServer::LogChange(Change::Type type, const Entry& entry) {
+  Change change;
+  change.seq = next_seq_++;
+  change.type = type;
+  change.entry = entry;
+  changelog_.push_back(std::move(change));
+  search_cache_.clear();  // writes invalidate the read-optimized cache
+}
+
+Status DirectoryServer::Add(const Entry& entry, const std::string& principal) {
+  std::lock_guard lock(mu_);
+  JAMM_RETURN_IF_ERROR(CheckAlive());
+  JAMM_RETURN_IF_ERROR(CheckAccess(Operation::kWrite, entry.dn(), principal));
+  JAMM_RETURN_IF_ERROR(AddLocked(entry));
+  ++stats_.writes;
+  LogChange(Change::Type::kAdd, entry);
+  return Status::Ok();
+}
+
+Status DirectoryServer::Modify(const Entry& entry,
+                               const std::string& principal) {
+  std::lock_guard lock(mu_);
+  JAMM_RETURN_IF_ERROR(CheckAlive());
+  JAMM_RETURN_IF_ERROR(CheckAccess(Operation::kWrite, entry.dn(), principal));
+  JAMM_RETURN_IF_ERROR(ModifyLocked(entry));
+  ++stats_.writes;
+  LogChange(Change::Type::kModify, entry);
+  return Status::Ok();
+}
+
+Status DirectoryServer::Upsert(const Entry& entry,
+                               const std::string& principal) {
+  std::lock_guard lock(mu_);
+  JAMM_RETURN_IF_ERROR(CheckAlive());
+  JAMM_RETURN_IF_ERROR(CheckAccess(Operation::kWrite, entry.dn(), principal));
+  const bool exists = entries_.count(entry.dn().ToString()) > 0;
+  JAMM_RETURN_IF_ERROR(exists ? ModifyLocked(entry) : AddLocked(entry));
+  ++stats_.writes;
+  LogChange(exists ? Change::Type::kModify : Change::Type::kAdd, entry);
+  return Status::Ok();
+}
+
+Status DirectoryServer::Delete(const Dn& dn, const std::string& principal) {
+  std::lock_guard lock(mu_);
+  JAMM_RETURN_IF_ERROR(CheckAlive());
+  JAMM_RETURN_IF_ERROR(CheckAccess(Operation::kWrite, dn, principal));
+  JAMM_RETURN_IF_ERROR(DeleteLocked(dn));
+  ++stats_.writes;
+  Entry tombstone(dn);
+  LogChange(Change::Type::kDelete, tombstone);
+  return Status::Ok();
+}
+
+Result<Entry> DirectoryServer::Lookup(const Dn& dn,
+                                      const std::string& principal) const {
+  std::lock_guard lock(mu_);
+  JAMM_RETURN_IF_ERROR(CheckAlive());
+  JAMM_RETURN_IF_ERROR(CheckAccess(Operation::kRead, dn, principal));
+  ++stats_.reads;
+  auto it = entries_.find(dn.ToString());
+  if (it == entries_.end()) return Status::NotFound("no entry: " + dn.ToString());
+  return it->second;
+}
+
+std::string DirectoryServer::CacheKey(const Dn& base, SearchScope scope,
+                                      const Filter& filter) const {
+  return base.ToString() + "\x1f" +
+         std::to_string(static_cast<int>(scope)) + "\x1f" + filter.ToString();
+}
+
+Result<SearchResult> DirectoryServer::Search(
+    const Dn& base, SearchScope scope, const Filter& filter,
+    const std::string& principal) const {
+  std::lock_guard lock(mu_);
+  JAMM_RETURN_IF_ERROR(CheckAlive());
+  JAMM_RETURN_IF_ERROR(CheckAccess(Operation::kRead, base, principal));
+  ++stats_.reads;
+  const std::string key = CacheKey(base, scope, filter);
+  if (auto it = search_cache_.find(key); it != search_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  ++stats_.cache_misses;
+  SearchResult result;
+  for (const auto& [dn_str, entry] : entries_) {
+    const Dn& dn = entry.dn();
+    const bool in_scope = scope == SearchScope::kBase
+                              ? dn == base
+                              : scope == SearchScope::kOneLevel
+                                    ? dn.IsChildOf(base)
+                                    : dn.IsUnder(base);
+    if (in_scope && filter.Matches(entry)) {
+      result.entries.push_back(entry);
+    }
+  }
+  // Continuation references: referrals whose subtree intersects the search.
+  for (const auto& ref : referrals_) {
+    if (ref.suffix.IsUnder(base) || base.IsUnder(ref.suffix)) {
+      result.referrals.push_back(ref);
+    }
+  }
+  search_cache_[key] = result;
+  return result;
+}
+
+void DirectoryServer::SetCredential(const Dn& user,
+                                    const std::string& password) {
+  std::lock_guard lock(mu_);
+  creds_[user.ToString()] = password;
+}
+
+Status DirectoryServer::Bind(const Dn& user,
+                             const std::string& password) const {
+  std::lock_guard lock(mu_);
+  JAMM_RETURN_IF_ERROR(CheckAlive());
+  auto it = creds_.find(user.ToString());
+  if (it == creds_.end() || it->second != password) {
+    return Status::PermissionDenied("invalid credentials for " +
+                                    user.ToString());
+  }
+  return Status::Ok();
+}
+
+void DirectoryServer::SetAccessChecker(AccessChecker checker) {
+  std::lock_guard lock(mu_);
+  access_checker_ = std::move(checker);
+}
+
+void DirectoryServer::AddReferral(Dn suffix, std::string target) {
+  std::lock_guard lock(mu_);
+  referrals_.push_back({std::move(suffix), std::move(target)});
+  search_cache_.clear();
+}
+
+std::vector<Change> DirectoryServer::ChangesSince(
+    std::uint64_t after_seq) const {
+  std::lock_guard lock(mu_);
+  std::vector<Change> out;
+  for (const auto& c : changelog_) {
+    if (c.seq > after_seq) out.push_back(c);
+  }
+  return out;
+}
+
+std::uint64_t DirectoryServer::last_seq() const {
+  std::lock_guard lock(mu_);
+  return next_seq_ - 1;
+}
+
+Status DirectoryServer::ApplyReplicated(const Change& change) {
+  std::lock_guard lock(mu_);
+  JAMM_RETURN_IF_ERROR(CheckAlive());
+  Status s;
+  switch (change.type) {
+    case Change::Type::kAdd:
+      s = AddLocked(change.entry);
+      // Replays after restart may collide with existing entries; treat the
+      // add as a modify so replicas converge.
+      if (s.code() == StatusCode::kAlreadyExists) {
+        s = ModifyLocked(change.entry);
+      }
+      break;
+    case Change::Type::kModify:
+      s = ModifyLocked(change.entry);
+      break;
+    case Change::Type::kDelete:
+      s = DeleteLocked(change.entry.dn());
+      if (s.code() == StatusCode::kNotFound) s = Status::Ok();
+      break;
+  }
+  if (s.ok()) {
+    search_cache_.clear();
+    if (change.seq >= next_seq_) next_seq_ = change.seq + 1;
+  }
+  return s;
+}
+
+void DirectoryServer::SetAlive(bool alive) {
+  std::lock_guard lock(mu_);
+  alive_ = alive;
+}
+
+bool DirectoryServer::alive() const {
+  std::lock_guard lock(mu_);
+  return alive_;
+}
+
+DirectoryServer::Stats DirectoryServer::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace jamm::directory

@@ -1,0 +1,158 @@
+// The directory server: a hierarchical, read-optimized entry store with
+// LDAP semantics — the paper's sensor directory. Supports search scopes,
+// referrals to other servers (hierarchical LDAP deployments with per-site
+// referrals, §2.2), simple bind, an access-control hook (§7.1), and a
+// change log that feeds replication (replication.hpp).
+//
+// Read-optimization is modeled the way real slapd behaves: repeated
+// searches hit a result cache; ANY write invalidates it. This reproduces
+// the paper's observation that "current implementations of LDAP servers
+// are optimized for read access, and do not work well in an environment
+// with many updates" — measurable in bench_directory (E9).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "directory/dn.hpp"
+#include "directory/entry.hpp"
+#include "directory/filter.hpp"
+
+namespace jamm::directory {
+
+enum class SearchScope {
+  kBase,      // the base entry only
+  kOneLevel,  // direct children of the base
+  kSubtree,   // base and everything beneath
+};
+
+enum class Operation { kRead, kWrite, kBind };
+
+struct Referral {
+  Dn suffix;            // subtree this referral covers
+  std::string target;   // address of the server holding it
+};
+
+struct SearchResult {
+  std::vector<Entry> entries;
+  std::vector<Referral> referrals;  // continuation references hit
+};
+
+/// Change-log record driving replication.
+struct Change {
+  enum class Type { kAdd, kModify, kDelete };
+  std::uint64_t seq = 0;
+  Type type = Type::kAdd;
+  Entry entry;  // for kDelete only the dn matters
+};
+
+class DirectoryServer {
+ public:
+  /// `suffix` roots this server's tree (e.g. "ou=sensors, o=jamm");
+  /// `address` is its dialable name for referrals/diagnostics.
+  DirectoryServer(Dn suffix, std::string address);
+
+  const Dn& suffix() const { return suffix_; }
+  const std::string& address() const { return address_; }
+
+  // ------------------------------------------------------------- writes
+
+  /// Add an entry. Its DN must be the suffix itself or have an existing
+  /// parent under the suffix (LDAP tree integrity).
+  Status Add(const Entry& entry, const std::string& principal = "");
+
+  /// Replace the attributes of an existing entry (DN unchanged).
+  Status Modify(const Entry& entry, const std::string& principal = "");
+
+  /// Add or modify, whichever applies.
+  Status Upsert(const Entry& entry, const std::string& principal = "");
+
+  /// Delete a leaf entry.
+  Status Delete(const Dn& dn, const std::string& principal = "");
+
+  // -------------------------------------------------------------- reads
+
+  Result<Entry> Lookup(const Dn& dn, const std::string& principal = "") const;
+
+  Result<SearchResult> Search(const Dn& base, SearchScope scope,
+                              const Filter& filter,
+                              const std::string& principal = "") const;
+
+  // ------------------------------------------------------ bind / access
+
+  /// Register a simple-bind credential ("user/password style protection",
+  /// §7.1). Passwords are stored as-is: the paper notes they normally
+  /// travel in clear text; the security module layers certificates on top.
+  void SetCredential(const Dn& user, const std::string& password);
+  Status Bind(const Dn& user, const std::string& password) const;
+
+  /// Authorization hook consulted on every operation when set; principal
+  /// is whatever identity the caller presented (possibly empty).
+  using AccessChecker =
+      std::function<bool(Operation op, const Dn& target,
+                         const std::string& principal)>;
+  void SetAccessChecker(AccessChecker checker);
+
+  // ---------------------------------------------------------- referrals
+
+  void AddReferral(Dn suffix, std::string target);
+
+  // -------------------------------------------------------- replication
+
+  /// Changes with seq > `after_seq`, for replica catch-up.
+  std::vector<Change> ChangesSince(std::uint64_t after_seq) const;
+  std::uint64_t last_seq() const;
+
+  /// Apply a replicated change without re-logging it (replica side).
+  Status ApplyReplicated(const Change& change);
+
+  // -------------------------------------------------------- life / stats
+
+  /// Simulated crash/restart for failover experiments: a down server
+  /// returns Unavailable from every operation.
+  void SetAlive(bool alive);
+  bool alive() const;
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  Status CheckAccess(Operation op, const Dn& target,
+                     const std::string& principal) const;
+  Status CheckAlive() const;
+  Status AddLocked(const Entry& entry);
+  Status ModifyLocked(const Entry& entry);
+  Status DeleteLocked(const Dn& dn);
+  void LogChange(Change::Type type, const Entry& entry);
+  std::string CacheKey(const Dn& base, SearchScope scope,
+                       const Filter& filter) const;
+
+  Dn suffix_;
+  std::string address_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;       // key: DN string (normalized)
+  std::map<std::string, std::string> creds_;   // user DN → password
+  std::vector<Referral> referrals_;
+  std::vector<Change> changelog_;
+  std::uint64_t next_seq_ = 1;
+  AccessChecker access_checker_;
+  bool alive_ = true;
+
+  // Read-optimization model: search-result cache invalidated by writes.
+  mutable std::map<std::string, SearchResult> search_cache_;
+  mutable Stats stats_;
+};
+
+}  // namespace jamm::directory

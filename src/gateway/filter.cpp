@@ -1,0 +1,120 @@
+#include "gateway/filter.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace jamm::gateway {
+
+Result<FilterSpec> FilterSpec::Parse(std::string_view text) {
+  FilterSpec spec;
+  auto parts = Split(text, '|');
+  const std::string mode = Trim(parts[0]);
+  if (mode == "all") {
+    spec.mode = Mode::kAll;
+  } else if (mode == "on-change") {
+    spec.mode = Mode::kOnChange;
+  } else if (StartsWith(mode, "threshold:")) {
+    spec.mode = Mode::kThreshold;
+    auto v = ParseDouble(mode.substr(10));
+    if (!v.ok()) return Status::ParseError("bad threshold in '" + mode + "'");
+    spec.threshold = *v;
+  } else if (StartsWith(mode, "delta:")) {
+    spec.mode = Mode::kDeltaPercent;
+    auto v = ParseDouble(mode.substr(6));
+    if (!v.ok() || *v <= 0) {
+      return Status::ParseError("bad delta percent in '" + mode + "'");
+    }
+    spec.delta_percent = *v;
+  } else {
+    return Status::ParseError("unknown filter mode '" + mode + "'");
+  }
+  if (parts.size() > 1) spec.event_glob = Trim(parts[1]);
+  if (parts.size() > 2 && !Trim(parts[2]).empty()) {
+    spec.value_field = Trim(parts[2]);
+  }
+  if (parts.size() > 3) {
+    return Status::ParseError("too many '|' sections in filter spec");
+  }
+  return spec;
+}
+
+std::string FilterSpec::ToString() const {
+  std::string out;
+  switch (mode) {
+    case Mode::kAll: out = "all"; break;
+    case Mode::kOnChange: out = "on-change"; break;
+    case Mode::kThreshold: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "threshold:%g", threshold);
+      out = buf;
+      break;
+    }
+    case Mode::kDeltaPercent: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "delta:%g", delta_percent);
+      out = buf;
+      break;
+    }
+  }
+  if (!event_glob.empty() || value_field != "VAL") {
+    out += "|" + event_glob;
+    if (value_field != "VAL") out += "|" + value_field;
+  }
+  return out;
+}
+
+bool EventFilter::ShouldDeliver(const ulm::Record& rec) {
+  if (!spec_.event_glob.empty() &&
+      !GlobMatch(spec_.event_glob, rec.event_name())) {
+    return false;
+  }
+  if (spec_.mode == FilterSpec::Mode::kAll) return true;
+
+  // The value-based modes need the value field; records without it pass
+  // through (they are status events a value filter has no opinion on).
+  auto value = rec.GetDouble(spec_.value_field);
+  if (!value.ok()) return true;
+
+  const std::string key = rec.host() + "|" + rec.prog() + "|" + rec.event_name();
+  SourceState& state = sources_[key];
+
+  switch (spec_.mode) {
+    case FilterSpec::Mode::kAll:
+      return true;
+    case FilterSpec::Mode::kOnChange: {
+      const bool deliver = !state.has_last || *value != state.last_value;
+      state.has_last = true;
+      state.last_value = *value;
+      return deliver;
+    }
+    case FilterSpec::Mode::kThreshold: {
+      const bool above = *value > spec_.threshold;
+      // Deliver on every crossing, plus the first sample if it is already
+      // above ("send an event if CPU load becomes greater than 50%").
+      const bool deliver = state.has_side ? (above != state.above) : above;
+      state.has_side = true;
+      state.above = above;
+      return deliver;
+    }
+    case FilterSpec::Mode::kDeltaPercent: {
+      if (!state.has_last) {
+        state.has_last = true;
+        state.last_value = *value;
+        return true;
+      }
+      const double base = std::abs(state.last_value);
+      const double change = std::abs(*value - state.last_value);
+      const double pct = base > 0 ? 100.0 * change / base
+                                  : (change > 0 ? spec_.delta_percent : 0);
+      if (pct >= spec_.delta_percent) {
+        state.last_value = *value;  // delta is relative to last *delivered*
+        return true;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace jamm::gateway

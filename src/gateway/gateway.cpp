@@ -1,0 +1,146 @@
+#include "gateway/gateway.hpp"
+
+#include "common/id.hpp"
+#include "common/strings.hpp"
+#include "ulm/xml.hpp"
+
+namespace jamm::gateway {
+
+EventGateway::EventGateway(std::string name, const Clock& clock)
+    : name_(std::move(name)), clock_(clock) {}
+
+void EventGateway::Publish(const ulm::Record& rec) {
+  ++stats_.events_in;
+  last_event_ = rec;
+  if (!rec.event_name().empty()) {
+    last_by_event_.insert_or_assign(rec.event_name(), rec);
+  }
+
+  // Summaries.
+  if (auto it = summaries_.find(rec.event_name()); it != summaries_.end()) {
+    auto value = rec.GetDouble(summary_fields_[rec.event_name()]);
+    if (value.ok()) it->second.Add(rec.timestamp(), *value);
+  }
+
+  // Fan-out with per-subscription filtering.
+  for (auto& [id, sub] : subscriptions_) {
+    if (sub.filter.ShouldDeliver(rec)) {
+      ++stats_.events_delivered;
+      sub.callback(rec);
+    } else {
+      ++stats_.events_filtered;
+    }
+  }
+}
+
+Status EventGateway::CheckAccess(Action action,
+                                 const std::string& principal) const {
+  if (access_checker_ && !access_checker_(action, principal)) {
+    return Status::PermissionDenied(
+        (principal.empty() ? std::string("anonymous") : principal) +
+        " denied by gateway " + name_);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> EventGateway::Subscribe(const std::string& consumer,
+                                            FilterSpec spec,
+                                            EventCallback callback,
+                                            const std::string& principal) {
+  JAMM_RETURN_IF_ERROR(CheckAccess(Action::kSubscribe, principal));
+  if (!callback) {
+    return Status::InvalidArgument("subscription needs a callback");
+  }
+  const std::string id = MakeId("sub");
+  subscriptions_.emplace(
+      id, Subscription{id, consumer, EventFilter(std::move(spec)),
+                       std::move(callback)});
+  return id;
+}
+
+Status EventGateway::Unsubscribe(const std::string& subscription_id) {
+  if (subscriptions_.erase(subscription_id) == 0) {
+    return Status::NotFound("no subscription " + subscription_id);
+  }
+  return Status::Ok();
+}
+
+Result<ulm::Record> EventGateway::Query(const std::string& event_glob,
+                                        const std::string& principal) const {
+  JAMM_RETURN_IF_ERROR(CheckAccess(Action::kQuery, principal));
+  if (event_glob.empty()) {
+    if (!last_event_) return Status::NotFound("gateway has seen no events");
+    return *last_event_;
+  }
+  // Exact name fast path, then glob scan over the per-event latest map.
+  if (auto it = last_by_event_.find(event_glob); it != last_by_event_.end()) {
+    return it->second;
+  }
+  const ulm::Record* best = nullptr;
+  for (const auto& [ev_name, rec] : last_by_event_) {
+    if (GlobMatch(event_glob, ev_name) &&
+        (!best || rec.timestamp() > best->timestamp())) {
+      best = &rec;
+    }
+  }
+  if (!best) return Status::NotFound("no event matching '" + event_glob + "'");
+  return *best;
+}
+
+Result<std::string> EventGateway::QueryXml(const std::string& event_glob,
+                                           const std::string& principal) const {
+  auto rec = Query(event_glob, principal);
+  if (!rec.ok()) return rec.status();
+  return ulm::ToXml(*rec);
+}
+
+Status EventGateway::StartSensor(const std::string& sensor,
+                                 const std::string& principal) {
+  JAMM_RETURN_IF_ERROR(CheckAccess(Action::kStartSensor, principal));
+  if (!sensor_control_) {
+    return Status::Unimplemented("gateway " + name_ +
+                                 " has no sensor manager attached");
+  }
+  return sensor_control_(sensor, /*start=*/true);
+}
+
+Status EventGateway::StopSensor(const std::string& sensor,
+                                const std::string& principal) {
+  JAMM_RETURN_IF_ERROR(CheckAccess(Action::kStartSensor, principal));
+  if (!sensor_control_) {
+    return Status::Unimplemented("gateway " + name_ +
+                                 " has no sensor manager attached");
+  }
+  return sensor_control_(sensor, /*start=*/false);
+}
+
+void EventGateway::EnableSummary(const std::string& event_name,
+                                 const std::string& value_field) {
+  summaries_[event_name];  // default-construct the window
+  summary_fields_[event_name] = value_field;
+}
+
+Result<SummaryData> EventGateway::GetSummary(
+    const std::string& event_name, const std::string& principal) const {
+  JAMM_RETURN_IF_ERROR(CheckAccess(Action::kSummary, principal));
+  auto it = summaries_.find(event_name);
+  if (it == summaries_.end()) {
+    return Status::NotFound("no summary configured for " + event_name);
+  }
+  return it->second.Compute(clock_.Now());
+}
+
+EventGateway::Stats EventGateway::stats() const {
+  Stats s = stats_;
+  s.subscriptions = subscriptions_.size();
+  return s;
+}
+
+std::vector<std::string> EventGateway::consumers() const {
+  std::vector<std::string> out;
+  out.reserve(subscriptions_.size());
+  for (const auto& [id, sub] : subscriptions_) out.push_back(sub.consumer);
+  return out;
+}
+
+}  // namespace jamm::gateway

@@ -1,0 +1,141 @@
+// EventGateway — the producer-side "event channel" (paper §2.1: "the event
+// channel is embedded in the producer of the data, which is responsible
+// for multiplexing/demultiplexing events").
+//
+// Responsibilities (§2.2):
+//   * accept streaming subscriptions and one-shot queries from consumers;
+//   * filter per subscription (all / on-change / threshold / delta);
+//   * compute 1/10/60-minute summary data;
+//   * fan out: N consumers cost the monitored host ONE event stream — the
+//     gateway, typically on a separate host, does the multiplication
+//     (§2.3 scalability);
+//   * enforce access control per action (§2.2: "provide access control to
+//     the sensors, allowing different access to different classes of
+//     users", e.g. streams internal-only, summaries off-site).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "gateway/filter.hpp"
+#include "gateway/summary.hpp"
+#include "ulm/record.hpp"
+
+namespace jamm::gateway {
+
+/// Consumer-visible actions, for the access-control hook.
+enum class Action { kSubscribe, kQuery, kSummary, kStartSensor };
+
+class EventGateway {
+ public:
+  EventGateway(std::string name, const Clock& clock);
+
+  const std::string& name() const { return name_; }
+
+  // ------------------------------------------------------- producer side
+
+  /// Sensors' events enter here (the sensor manager pushes each poll's
+  /// output). One call per record regardless of consumer count.
+  void Publish(const ulm::Record& rec);
+
+  // ------------------------------------------------------- consumer side
+
+  using EventCallback = std::function<void(const ulm::Record&)>;
+
+  /// Open a streaming subscription ("the consumer opens an event channel
+  /// and the events are returned in a stream"). Returns the subscription
+  /// id used to unsubscribe.
+  Result<std::string> Subscribe(const std::string& consumer, FilterSpec spec,
+                                EventCallback callback,
+                                const std::string& principal = "");
+
+  Status Unsubscribe(const std::string& subscription_id);
+
+  /// Query mode: "the consumer does not open an event channel, but only
+  /// requests the most recent event". `event_glob` narrows by NL.EVNT
+  /// (empty = the most recent event of any kind).
+  Result<ulm::Record> Query(const std::string& event_glob = "",
+                            const std::string& principal = "") const;
+
+  /// Query with the result converted to XML (paper §7.0: "a consumer can
+  /// request either format").
+  Result<std::string> QueryXml(const std::string& event_glob = "",
+                               const std::string& principal = "") const;
+
+  // ----------------------------------------------------------- summaries
+
+  /// Track 1/10/60-minute averages of `value_field` for events matching
+  /// `event_name` exactly.
+  void EnableSummary(const std::string& event_name,
+                     const std::string& value_field = "VAL");
+
+  Result<SummaryData> GetSummary(const std::string& event_name,
+                                 const std::string& principal = "") const;
+
+  // ------------------------------------------------------ sensor control
+
+  /// §7.1: "Starting new sensors is done by a request to a gateway, which
+  /// then contacts a sensor manager." The host's manager registers this
+  /// hook; remote consumers call StartSensor/StopSensor (access-checked
+  /// as Action::kStartSensor).
+  using SensorControl =
+      std::function<Status(const std::string& sensor, bool start)>;
+  void SetSensorControl(SensorControl control) {
+    sensor_control_ = std::move(control);
+  }
+  Status StartSensor(const std::string& sensor,
+                     const std::string& principal = "");
+  Status StopSensor(const std::string& sensor,
+                    const std::string& principal = "");
+
+  // ------------------------------------------------------ access control
+
+  using AccessChecker =
+      std::function<bool(Action action, const std::string& principal)>;
+  void SetAccessChecker(AccessChecker checker) {
+    access_checker_ = std::move(checker);
+  }
+
+  // ----------------------------------------------------------- telemetry
+
+  struct Stats {
+    std::uint64_t events_in = 0;         // records Published
+    std::uint64_t events_delivered = 0;  // records × subscribers delivered
+    std::uint64_t events_filtered = 0;   // suppressed by filters
+    std::size_t subscriptions = 0;
+  };
+  Stats stats() const;
+
+  std::size_t subscription_count() const { return subscriptions_.size(); }
+  /// Consumers currently subscribed, for directory publication.
+  std::vector<std::string> consumers() const;
+
+ private:
+  Status CheckAccess(Action action, const std::string& principal) const;
+
+  struct Subscription {
+    std::string id;
+    std::string consumer;
+    EventFilter filter;
+    EventCallback callback;
+  };
+
+  std::string name_;
+  const Clock& clock_;
+  std::map<std::string, Subscription> subscriptions_;
+  std::map<std::string, SummaryWindow> summaries_;      // event name → window
+  std::map<std::string, std::string> summary_fields_;   // event name → field
+  std::optional<ulm::Record> last_event_;
+  std::map<std::string, ulm::Record> last_by_event_;    // event name → last
+  AccessChecker access_checker_;
+  SensorControl sensor_control_;
+  mutable Stats stats_;
+};
+
+}  // namespace jamm::gateway

@@ -1,0 +1,279 @@
+#include "gateway/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "transport/net_sink.hpp"
+#include "ulm/xml.hpp"
+
+namespace jamm::gateway {
+namespace {
+
+transport::Message ErrorMessage(const Status& status) {
+  return {"gw.error", status.ToString()};
+}
+
+std::string EncodeSummary(const SummaryData& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%.6f,%.6f,%.6f,%zu,%zu,%zu", s.avg_1m,
+                s.avg_10m, s.avg_60m, s.count_1m, s.count_10m, s.count_60m);
+  return buf;
+}
+
+Result<SummaryData> DecodeSummary(const std::string& text) {
+  auto parts = Split(text, ',');
+  if (parts.size() != 6) return Status::ParseError("bad summary payload");
+  SummaryData s;
+  auto a1 = ParseDouble(parts[0]);
+  auto a10 = ParseDouble(parts[1]);
+  auto a60 = ParseDouble(parts[2]);
+  auto c1 = ParseInt(parts[3]);
+  auto c10 = ParseInt(parts[4]);
+  auto c60 = ParseInt(parts[5]);
+  if (!a1.ok() || !a10.ok() || !a60.ok() || !c1.ok() || !c10.ok() || !c60.ok()) {
+    return Status::ParseError("bad summary payload");
+  }
+  s.avg_1m = *a1;
+  s.avg_10m = *a10;
+  s.avg_60m = *a60;
+  s.count_1m = static_cast<std::size_t>(*c1);
+  s.count_10m = static_cast<std::size_t>(*c10);
+  s.count_60m = static_cast<std::size_t>(*c60);
+  return s;
+}
+
+}  // namespace
+
+GatewayService::GatewayService(EventGateway& gateway,
+                               std::unique_ptr<transport::Listener> listener)
+    : gateway_(gateway),
+      listener_(std::move(listener)),
+      address_(listener_->address()) {}
+
+std::size_t GatewayService::PollOnce() {
+  // Accept whatever is waiting (non-blocking).
+  while (true) {
+    auto channel = listener_->Accept(0);
+    if (!channel.ok()) break;
+    Connection conn;
+    conn.channel = std::shared_ptr<transport::Channel>(std::move(*channel));
+    connections_.push_back(std::move(conn));
+  }
+  // Service pending requests; collect dead connections.
+  std::size_t handled = 0;
+  for (auto& conn : connections_) {
+    while (auto msg = conn.channel->TryReceive()) {
+      HandleMessage(conn, *msg);
+      ++handled;
+    }
+  }
+  auto dead = std::partition(
+      connections_.begin(), connections_.end(),
+      [](const Connection& c) { return c.channel->IsOpen(); });
+  for (auto it = dead; it != connections_.end(); ++it) DropConnection(*it);
+  connections_.erase(dead, connections_.end());
+  return handled;
+}
+
+void GatewayService::HandleMessage(Connection& conn,
+                                   const transport::Message& msg) {
+  if (msg.type == "gw.auth") {
+    conn.principal = msg.payload;
+    (void)conn.channel->Send({"gw.ok", ""});
+    return;
+  }
+  if (msg.type == "gw.subscribe") {
+    auto lines = Split(msg.payload, '\n');
+    const std::string consumer = lines.empty() ? "" : lines[0];
+    auto spec = FilterSpec::Parse(lines.size() > 1 ? lines[1] : "all");
+    if (!spec.ok()) {
+      (void)conn.channel->Send(ErrorMessage(spec.status()));
+      return;
+    }
+    const bool as_xml = lines.size() > 2 && lines[2] == "xml";
+    // The subscription callback writes straight onto this connection's
+    // channel; a consumer that stops reading eventually closes the channel
+    // and PollOnce reaps the subscription.
+    std::shared_ptr<transport::Channel> channel = conn.channel;
+    auto sub = gateway_.Subscribe(
+        consumer, *spec,
+        [channel, as_xml](const ulm::Record& rec) {
+          if (as_xml) {
+            (void)channel->Send({"gw.event.xml", ulm::ToXml(rec)});
+          } else {
+            (void)channel->Send({transport::kEventMessageType,
+                                 rec.ToAscii()});
+          }
+        },
+        conn.principal);
+    if (!sub.ok()) {
+      (void)conn.channel->Send(ErrorMessage(sub.status()));
+      return;
+    }
+    conn.subscription_ids.push_back(*sub);
+    (void)conn.channel->Send({"gw.ok", *sub});
+    return;
+  }
+  if (msg.type == "gw.unsubscribe") {
+    Status s = gateway_.Unsubscribe(msg.payload);
+    std::erase(conn.subscription_ids, msg.payload);
+    (void)conn.channel->Send(s.ok() ? transport::Message{"gw.ok", ""}
+                                    : ErrorMessage(s));
+    return;
+  }
+  if (msg.type == "gw.query") {
+    auto rec = gateway_.Query(msg.payload, conn.principal);
+    if (!rec.ok()) {
+      (void)conn.channel->Send(ErrorMessage(rec.status()));
+      return;
+    }
+    // A distinct type: streamed subscription events may interleave on this
+    // channel and must not be mistaken for the query reply.
+    (void)conn.channel->Send({"gw.query.reply", rec->ToAscii()});
+    return;
+  }
+  if (msg.type == "gw.query.xml") {
+    auto xml = gateway_.QueryXml(msg.payload, conn.principal);
+    if (!xml.ok()) {
+      (void)conn.channel->Send(ErrorMessage(xml.status()));
+      return;
+    }
+    (void)conn.channel->Send({"gw.xml", *xml});
+    return;
+  }
+  if (msg.type == "gw.sensor.start" || msg.type == "gw.sensor.stop") {
+    Status s = msg.type == "gw.sensor.start"
+                   ? gateway_.StartSensor(msg.payload, conn.principal)
+                   : gateway_.StopSensor(msg.payload, conn.principal);
+    (void)conn.channel->Send(s.ok() ? transport::Message{"gw.ok", ""}
+                                    : ErrorMessage(s));
+    return;
+  }
+  if (msg.type == "gw.summary") {
+    auto summary = gateway_.GetSummary(msg.payload, conn.principal);
+    if (!summary.ok()) {
+      (void)conn.channel->Send(ErrorMessage(summary.status()));
+      return;
+    }
+    (void)conn.channel->Send({"gw.summary", EncodeSummary(*summary)});
+    return;
+  }
+  (void)conn.channel->Send(
+      ErrorMessage(Status::InvalidArgument("unknown request: " + msg.type)));
+}
+
+void GatewayService::DropConnection(Connection& conn) {
+  for (const auto& id : conn.subscription_ids) {
+    (void)gateway_.Unsubscribe(id);
+  }
+  conn.subscription_ids.clear();
+  conn.channel->Close();
+}
+
+// ----------------------------------------------------------------- client
+
+Result<transport::Message> GatewayClient::WaitFor(const std::string& type,
+                                                  Duration timeout) {
+  // Events that arrive while awaiting a control reply are buffered.
+  while (true) {
+    auto msg = channel_->Receive(timeout);
+    if (!msg.ok()) return msg.status();
+    if (msg->type == type) return std::move(*msg);
+    if (msg->type == "gw.error") {
+      return Status::Internal("gateway error: " + msg->payload);
+    }
+    if (msg->type == transport::kEventMessageType) {
+      auto rec = ulm::Record::FromAscii(msg->payload);
+      if (rec.ok()) pending_events_.push_back(std::move(*rec));
+      continue;
+    }
+    // Unexpected control message; skip it.
+  }
+}
+
+Status GatewayClient::Authenticate(const std::string& principal) {
+  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.auth", principal}));
+  auto reply = WaitFor("gw.ok", kSecond);
+  return reply.ok() ? Status::Ok() : reply.status();
+}
+
+Result<std::string> GatewayClient::Subscribe(const std::string& consumer,
+                                             const FilterSpec& spec,
+                                             bool xml) {
+  std::string payload = consumer + "\n" + spec.ToString();
+  if (xml) payload += "\nxml";
+  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.subscribe", payload}));
+  auto reply = WaitFor("gw.ok", kSecond);
+  if (!reply.ok()) return reply.status();
+  return reply->payload;
+}
+
+Status GatewayClient::StartSensor(const std::string& sensor) {
+  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.sensor.start", sensor}));
+  auto reply = WaitFor("gw.ok", kSecond);
+  return reply.ok() ? Status::Ok() : reply.status();
+}
+
+Status GatewayClient::StopSensor(const std::string& sensor) {
+  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.sensor.stop", sensor}));
+  auto reply = WaitFor("gw.ok", kSecond);
+  return reply.ok() ? Status::Ok() : reply.status();
+}
+
+Status GatewayClient::Unsubscribe(const std::string& subscription_id) {
+  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.unsubscribe", subscription_id}));
+  auto reply = WaitFor("gw.ok", kSecond);
+  return reply.ok() ? Status::Ok() : reply.status();
+}
+
+Result<ulm::Record> GatewayClient::Query(const std::string& event_glob,
+                                         Duration timeout) {
+  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.query", event_glob}));
+  auto msg = WaitFor("gw.query.reply", timeout);
+  if (!msg.ok()) return msg.status();
+  return ulm::Record::FromAscii(msg->payload);
+}
+
+Result<std::string> GatewayClient::QueryXml(const std::string& event_glob,
+                                            Duration timeout) {
+  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.query.xml", event_glob}));
+  auto msg = WaitFor("gw.xml", timeout);
+  if (!msg.ok()) return msg.status();
+  return msg->payload;
+}
+
+Result<SummaryData> GatewayClient::Summary(const std::string& event_name,
+                                           Duration timeout) {
+  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.summary", event_name}));
+  auto msg = WaitFor("gw.summary", timeout);
+  if (!msg.ok()) return msg.status();
+  return DecodeSummary(msg->payload);
+}
+
+Result<ulm::Record> GatewayClient::NextEvent(Duration timeout) {
+  if (!pending_events_.empty()) {
+    ulm::Record rec = std::move(pending_events_.front());
+    pending_events_.erase(pending_events_.begin());
+    return rec;
+  }
+  auto msg = channel_->Receive(timeout);
+  if (!msg.ok()) return msg.status();
+  if (msg->type != transport::kEventMessageType) {
+    return Status::Internal("expected event, got " + msg->type);
+  }
+  return ulm::Record::FromAscii(msg->payload);
+}
+
+std::vector<ulm::Record> GatewayClient::DrainEvents() {
+  std::vector<ulm::Record> out;
+  out.swap(pending_events_);
+  while (auto msg = channel_->TryReceive()) {
+    if (msg->type != transport::kEventMessageType) continue;
+    auto rec = ulm::Record::FromAscii(msg->payload);
+    if (rec.ok()) out.push_back(std::move(*rec));
+  }
+  return out;
+}
+
+}  // namespace jamm::gateway

@@ -1,0 +1,101 @@
+// GatewayService — serves an EventGateway to remote consumers over the
+// transport layer (in-proc or TCP). This is the wire interface consumers
+// use after discovering the gateway's address in the sensor directory.
+//
+// Protocol (Message.type / payload):
+//   "gw.auth"         principal            — identify this connection
+//   "gw.subscribe"    consumer\nfilterspec[\nxml]
+//                                          — open stream; reply gw.ok <id>;
+//                                            with "xml" events arrive as
+//                                            gw.event.xml (§7.0's "consumer
+//                                            can request either format")
+//   "gw.unsubscribe"  subscription id      — reply gw.ok
+//   "gw.query"        event glob           — reply ulm.event / gw.error
+//   "gw.query.xml"    event glob           — reply gw.xml / gw.error
+//   "gw.summary"      event name           — reply gw.summary CSV
+//   "gw.sensor.start" sensor name          — ask the host's manager to
+//   "gw.sensor.stop"  sensor name            start/stop a sensor; gw.ok
+// Server → consumer:
+//   "ulm.event"       ASCII ULM record     — subscription traffic
+//   "gw.ok" / "gw.error" / "gw.xml" / "gw.summary"
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gateway/gateway.hpp"
+#include "transport/message.hpp"
+
+namespace jamm::gateway {
+
+class GatewayService {
+ public:
+  GatewayService(EventGateway& gateway,
+                 std::unique_ptr<transport::Listener> listener);
+
+  /// Accept pending connections and process every pending request; returns
+  /// the number of requests handled. Call from the host's poll loop.
+  std::size_t PollOnce();
+
+  const std::string& address() const { return address_; }
+  std::size_t connection_count() const { return connections_.size(); }
+
+ private:
+  struct Connection {
+    std::shared_ptr<transport::Channel> channel;
+    std::string principal;
+    std::vector<std::string> subscription_ids;
+  };
+
+  void HandleMessage(Connection& conn, const transport::Message& msg);
+  void DropConnection(Connection& conn);
+
+  EventGateway& gateway_;
+  std::unique_ptr<transport::Listener> listener_;
+  std::string address_;
+  std::vector<Connection> connections_;
+};
+
+/// Consumer-side convenience wrapper around the protocol.
+class GatewayClient {
+ public:
+  explicit GatewayClient(std::unique_ptr<transport::Channel> channel)
+      : channel_(std::move(channel)) {}
+
+  Status Authenticate(const std::string& principal);
+
+  /// Subscribe; the stream then arrives via Receive()/TryReceive().
+  /// `xml` requests the XML event format.
+  Result<std::string> Subscribe(const std::string& consumer,
+                                const FilterSpec& spec, bool xml = false);
+
+  /// Ask the host's sensor manager (via the gateway) to start or stop a
+  /// sensor by name.
+  Status StartSensor(const std::string& sensor);
+  Status StopSensor(const std::string& sensor);
+  Status Unsubscribe(const std::string& subscription_id);
+
+  Result<ulm::Record> Query(const std::string& event_glob,
+                            Duration timeout = kSecond);
+  Result<std::string> QueryXml(const std::string& event_glob,
+                               Duration timeout = kSecond);
+  Result<SummaryData> Summary(const std::string& event_name,
+                              Duration timeout = kSecond);
+
+  /// Next streamed event (blocking with timeout). Control replies are
+  /// consumed internally; only events come back.
+  Result<ulm::Record> NextEvent(Duration timeout);
+  /// Drain any already-arrived events without blocking.
+  std::vector<ulm::Record> DrainEvents();
+
+  transport::Channel& channel() { return *channel_; }
+
+ private:
+  Result<transport::Message> WaitFor(const std::string& type,
+                                     Duration timeout);
+
+  std::unique_ptr<transport::Channel> channel_;
+  std::vector<ulm::Record> pending_events_;
+};
+
+}  // namespace jamm::gateway

@@ -1,0 +1,38 @@
+#include "gateway/summary.hpp"
+
+namespace jamm::gateway {
+
+void SummaryWindow::Add(TimePoint ts, double value) {
+  samples_.push_back({ts, value});
+}
+
+void SummaryWindow::Prune(TimePoint now) {
+  while (!samples_.empty() && samples_.front().ts < now - 60 * kMinute) {
+    samples_.pop_front();
+  }
+}
+
+SummaryData SummaryWindow::Compute(TimePoint now) const {
+  const_cast<SummaryWindow*>(this)->Prune(now);
+  SummaryData out;
+  double sum1 = 0, sum10 = 0, sum60 = 0;
+  for (const auto& s : samples_) {
+    if (s.ts > now) continue;  // future samples (clock skew) ignored
+    sum60 += s.value;
+    ++out.count_60m;
+    if (s.ts >= now - 10 * kMinute) {
+      sum10 += s.value;
+      ++out.count_10m;
+    }
+    if (s.ts >= now - kMinute) {
+      sum1 += s.value;
+      ++out.count_1m;
+    }
+  }
+  if (out.count_1m) out.avg_1m = sum1 / static_cast<double>(out.count_1m);
+  if (out.count_10m) out.avg_10m = sum10 / static_cast<double>(out.count_10m);
+  if (out.count_60m) out.avg_60m = sum60 / static_cast<double>(out.count_60m);
+  return out;
+}
+
+}  // namespace jamm::gateway

@@ -1,0 +1,39 @@
+// Summary data (paper §2.2): "The event gateway can also be configured to
+// compute summary data. For example, it can compute 1, 10, and 60 minute
+// averages of CPU usage, and make this information available to
+// consumers." Sliding-window averages over the value field of one event
+// species; samples age out of each window independently.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "common/clock.hpp"
+
+namespace jamm::gateway {
+
+struct SummaryData {
+  double avg_1m = 0, avg_10m = 0, avg_60m = 0;
+  std::size_t count_1m = 0, count_10m = 0, count_60m = 0;
+};
+
+class SummaryWindow {
+ public:
+  void Add(TimePoint ts, double value);
+
+  /// Averages over the trailing 1/10/60 minutes ending at `now`.
+  SummaryData Compute(TimePoint now) const;
+
+  std::size_t sample_count() const { return samples_.size(); }
+
+ private:
+  struct Sample {
+    TimePoint ts;
+    double value;
+  };
+  void Prune(TimePoint now);
+
+  mutable std::deque<Sample> samples_;  // pruned lazily in Compute
+};
+
+}  // namespace jamm::gateway

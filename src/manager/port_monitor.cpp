@@ -1,0 +1,34 @@
+#include "manager/port_monitor.hpp"
+
+namespace jamm::manager {
+
+PortMonitor::PortMonitor(const Clock& clock, const sysmon::SimHost& host,
+                         Duration idle_timeout)
+    : clock_(clock), host_(host), idle_timeout_(idle_timeout) {}
+
+void PortMonitor::AddPort(std::uint16_t port) { ports_.insert(port); }
+
+void PortMonitor::RemovePort(std::uint16_t port) { ports_.erase(port); }
+
+bool PortMonitor::IsActive(std::uint16_t port) const {
+  if (!ports_.count(port)) return false;
+  const TimePoint last = host_.LastPortActivity(port);
+  return last >= 0 && clock_.Now() - last <= idle_timeout_;
+}
+
+std::vector<std::uint16_t> PortMonitor::ActivePorts() const {
+  std::vector<std::uint16_t> out;
+  for (std::uint16_t port : ports_) {
+    if (IsActive(port)) out.push_back(port);
+  }
+  return out;
+}
+
+bool PortMonitor::AnyActive(const std::vector<std::uint16_t>& ports) const {
+  for (std::uint16_t port : ports) {
+    if (IsActive(port)) return true;
+  }
+  return false;
+}
+
+}  // namespace jamm::manager

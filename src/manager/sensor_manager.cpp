@@ -1,0 +1,235 @@
+#include "manager/sensor_manager.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace jamm::manager {
+
+Result<RunMode> ParseRunMode(std::string_view text) {
+  if (text == "always" || text.empty()) return RunMode::kAlways;
+  if (text == "on-request") return RunMode::kOnRequest;
+  if (text == "on-port") return RunMode::kOnPort;
+  return Status::InvalidArgument("unknown run mode '" + std::string(text) +
+                                 "'");
+}
+
+SensorManager::SensorManager(Options options)
+    : options_(std::move(options)),
+      port_monitor_(*options_.clock, *options_.host,
+                    options_.port_idle_timeout) {
+  // §7.1: consumers start sensors "by a request to a gateway, which then
+  // contacts a sensor manager" — wire that path up. The manager must
+  // outlive the gateway's use of this hook (they share the host's
+  // lifetime in every deployment here).
+  if (options_.gateway) {
+    options_.gateway->SetSensorControl(
+        [this](const std::string& name, bool start) {
+          return start ? StartSensor(name) : StopSensor(name);
+        });
+  }
+}
+
+Status SensorManager::ApplyConfig(const Config& config) {
+  sensors::SensorContext context;
+  context.clock = options_.clock;
+  context.host = options_.host;
+  context.devices = options_.devices;
+
+  std::map<std::string, const ConfigSection*> wanted;
+  for (const ConfigSection* section : config.SectionsNamed("sensor")) {
+    const std::string name = section->GetString("name");
+    if (name.empty()) {
+      return Status::InvalidArgument("sensor block missing 'name'");
+    }
+    wanted[name] = section;
+  }
+
+  // Remove sensors no longer configured.
+  for (auto it = sensors_.begin(); it != sensors_.end();) {
+    if (!wanted.count(it->first)) {
+      (void)StopManaged(it->second);
+      UnpublishSensor(it->first);
+      it = sensors_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Add new / recreate changed sensors.
+  for (const auto& [name, section] : wanted) {
+    const std::string fingerprint = section->ToString();
+    auto existing = sensors_.find(name);
+    if (existing != sensors_.end() &&
+        existing->second.config_fingerprint == fingerprint) {
+      continue;  // unchanged
+    }
+    auto mode = ParseRunMode(section->GetString("mode", "always"));
+    if (!mode.ok()) return mode.status();
+    auto sensor = sensors::CreateSensor(*section, context);
+    if (!sensor.ok()) return sensor.status();
+
+    if (existing != sensors_.end()) {
+      (void)StopManaged(existing->second);
+      UnpublishSensor(name);
+      sensors_.erase(existing);
+    }
+    Managed managed;
+    managed.sensor = std::move(*sensor);
+    managed.mode = *mode;
+    managed.config_fingerprint = fingerprint;
+    for (const auto& port_text : section->GetList("ports")) {
+      auto port = ParseInt(port_text);
+      if (!port.ok() || *port <= 0 || *port > 65535) {
+        return Status::InvalidArgument("sensor '" + name + "': bad port '" +
+                                       port_text + "'");
+      }
+      managed.ports.push_back(static_cast<std::uint16_t>(*port));
+      port_monitor_.AddPort(static_cast<std::uint16_t>(*port));
+    }
+    if (managed.mode == RunMode::kOnPort && managed.ports.empty()) {
+      return Status::InvalidArgument("sensor '" + name +
+                                     "': mode on-port needs ports");
+    }
+    auto [it, inserted] = sensors_.emplace(name, std::move(managed));
+    (void)inserted;
+    if (it->second.mode == RunMode::kAlways) {
+      JAMM_RETURN_IF_ERROR(StartManaged(it->second));
+    }
+  }
+  return Status::Ok();
+}
+
+void SensorManager::SetConfigFetcher(
+    std::function<Result<std::string>()> fetcher) {
+  config_fetcher_ = std::move(fetcher);
+}
+
+Status SensorManager::RefreshConfig() {
+  if (!config_fetcher_) return Status::Ok();
+  auto text = config_fetcher_();
+  if (!text.ok()) return text.status();
+  ++stats_.config_refreshes;
+  if (*text == last_config_text_) return Status::Ok();
+  auto config = Config::ParseString(*text);
+  if (!config.ok()) return config.status();
+  JAMM_RETURN_IF_ERROR(ApplyConfig(*config));
+  last_config_text_ = std::move(*text);
+  return Status::Ok();
+}
+
+Status SensorManager::StartManaged(Managed& managed) {
+  if (managed.sensor->running()) return Status::Ok();
+  JAMM_RETURN_IF_ERROR(managed.sensor->Start());
+  managed.next_poll = options_.clock->Now();
+  PublishSensor(managed);
+  return Status::Ok();
+}
+
+Status SensorManager::StopManaged(Managed& managed) {
+  if (!managed.sensor->running()) return Status::Ok();
+  JAMM_RETURN_IF_ERROR(managed.sensor->Stop());
+  // Keep the directory entry but mark it stopped, so the Sensor Data GUI
+  // still lists the sensor.
+  if (options_.directory) {
+    auto entry = options_.directory->Lookup(directory::schema::SensorDn(
+        options_.directory_suffix, options_.host->host(),
+        managed.sensor->name()));
+    if (entry.ok()) {
+      entry->Set(directory::schema::kAttrStatus, "stopped");
+      (void)options_.directory->Upsert(*entry);
+    }
+  }
+  return Status::Ok();
+}
+
+void SensorManager::PublishSensor(const Managed& managed) {
+  if (!options_.directory) return;
+  const std::string& host = options_.host->host();
+  (void)options_.directory->Upsert(directory::schema::MakeHostEntry(
+      options_.directory_suffix, host));
+  (void)options_.directory->Upsert(directory::schema::MakeSensorEntry(
+      options_.directory_suffix, host, managed.sensor->name(),
+      managed.sensor->type(), options_.gateway_address,
+      managed.sensor->interval() / kMillisecond, options_.clock->Now()));
+}
+
+void SensorManager::UnpublishSensor(const std::string& name) {
+  if (!options_.directory) return;
+  (void)options_.directory->Delete(directory::schema::SensorDn(
+      options_.directory_suffix, options_.host->host(), name));
+}
+
+void SensorManager::Tick() {
+  const TimePoint now = options_.clock->Now();
+
+  // Periodic configuration refresh.
+  if (options_.config_refresh > 0 && config_fetcher_ &&
+      now >= next_config_refresh_) {
+    next_config_refresh_ = now + options_.config_refresh;
+    Status s = RefreshConfig();
+    if (!s.ok()) {
+      JAMM_LOG(kWarn, "sensor-manager")
+          << options_.host->host() << ": config refresh failed: "
+          << s.ToString();
+    }
+  }
+
+  // Port-monitor triggering.
+  for (auto& [name, managed] : sensors_) {
+    if (managed.mode != RunMode::kOnPort) continue;
+    const bool want_running = port_monitor_.AnyActive(managed.ports);
+    if (want_running && !managed.sensor->running()) {
+      if (StartManaged(managed).ok()) ++stats_.port_triggers;
+    } else if (!want_running && managed.sensor->running()) {
+      if (StopManaged(managed).ok()) ++stats_.port_stops;
+    }
+  }
+
+  // Poll due sensors; forward everything to the gateway.
+  std::vector<ulm::Record> events;
+  for (auto& [name, managed] : sensors_) {
+    if (!managed.sensor->running() || now < managed.next_poll) continue;
+    managed.next_poll = now + managed.sensor->interval();
+    events.clear();
+    managed.sensor->Poll(events);
+    ++stats_.polls;
+    for (const auto& rec : events) {
+      if (options_.gateway) options_.gateway->Publish(rec);
+      ++stats_.events_forwarded;
+    }
+  }
+}
+
+Status SensorManager::StartSensor(const std::string& name) {
+  auto it = sensors_.find(name);
+  if (it == sensors_.end()) return Status::NotFound("no sensor " + name);
+  return StartManaged(it->second);
+}
+
+Status SensorManager::StopSensor(const std::string& name) {
+  auto it = sensors_.find(name);
+  if (it == sensors_.end()) return Status::NotFound("no sensor " + name);
+  return StopManaged(it->second);
+}
+
+sensors::Sensor* SensorManager::FindSensor(const std::string& name) {
+  auto it = sensors_.find(name);
+  return it == sensors_.end() ? nullptr : it->second.sensor.get();
+}
+
+std::vector<std::string> SensorManager::SensorNames() const {
+  std::vector<std::string> out;
+  out.reserve(sensors_.size());
+  for (const auto& [name, managed] : sensors_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> SensorManager::RunningSensors() const {
+  std::vector<std::string> out;
+  for (const auto& [name, managed] : sensors_) {
+    if (managed.sensor->running()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace jamm::manager

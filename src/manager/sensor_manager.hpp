@@ -1,0 +1,119 @@
+// SensorManager — the per-host agent (paper §2.2): "The sensor manager
+// agent is responsible for starting and stopping the sensors, and keeping
+// the sensor directory up to date. Sensors to be run are specified by a
+// configuration file, which may be local or on a remote HTTP server.
+// Sensors can be configured to run always, when requested by a sensor
+// manager GUI, or when requested by the port monitor agent. There is
+// typically one sensor manager per host."
+//
+// The manager is driven by Tick(): it polls due sensors, forwards their
+// events to the host's event gateway, applies port-monitor triggering, and
+// periodically re-fetches its configuration ("Every few minutes the sensor
+// managers check for updates to the configuration file, and activate new
+// sensors if necessary, publishing them in the sensor directory", §5.0).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "directory/replication.hpp"
+#include "directory/schema.hpp"
+#include "gateway/gateway.hpp"
+#include "manager/port_monitor.hpp"
+#include "sensors/factory.hpp"
+
+namespace jamm::manager {
+
+enum class RunMode { kAlways, kOnRequest, kOnPort };
+
+Result<RunMode> ParseRunMode(std::string_view text);
+
+class SensorManager {
+ public:
+  struct Options {
+    const Clock* clock = nullptr;
+    sysmon::SimHost* host = nullptr;                 // machine being managed
+    gateway::EventGateway* gateway = nullptr;        // events go here
+    directory::DirectoryPool* directory = nullptr;   // optional publication
+    directory::Dn directory_suffix;                  // e.g. ou=sensors,o=jamm
+    std::string gateway_address;                     // published per sensor
+    /// SNMP devices reachable from this manager (for kind=snmp sensors).
+    std::map<std::string, const sysmon::SnmpAgent*> devices;
+    /// How often Tick() re-fetches configuration; 0 disables.
+    Duration config_refresh = 2 * kMinute;
+    /// How long a port must stay quiet before port-triggered sensors stop.
+    Duration port_idle_timeout = 5 * kSecond;
+  };
+
+  explicit SensorManager(Options options);
+
+  // ------------------------------------------------------- configuration
+
+  /// Replace the sensor set with the blocks in `config`: new [sensor]
+  /// names are created, vanished names stopped and unpublished, changed
+  /// blocks recreated.
+  Status ApplyConfig(const Config& config);
+
+  /// Where RefreshConfig() pulls text from — a local file reader or the
+  /// rpc module's HTTP-sim fetch. The manager stores the last text and
+  /// skips re-applying when unchanged.
+  void SetConfigFetcher(std::function<Result<std::string>()> fetcher);
+  Status RefreshConfig();
+
+  // ------------------------------------------------------------ runtime
+
+  /// One scheduler step: refresh config if due, apply port triggering,
+  /// poll due sensors, forward events to the gateway. Call this every
+  /// simulation step / loop iteration.
+  void Tick();
+
+  /// On-request control (the paper's sensor manager GUI, or a gateway
+  /// relaying a consumer's start request).
+  Status StartSensor(const std::string& name);
+  Status StopSensor(const std::string& name);
+
+  // ---------------------------------------------------------- inspection
+
+  sensors::Sensor* FindSensor(const std::string& name);
+  std::vector<std::string> SensorNames() const;
+  std::vector<std::string> RunningSensors() const;
+  PortMonitor& port_monitor() { return port_monitor_; }
+
+  struct Stats {
+    std::uint64_t polls = 0;
+    std::uint64_t events_forwarded = 0;
+    std::uint64_t config_refreshes = 0;
+    std::uint64_t port_triggers = 0;   // sensor starts caused by ports
+    std::uint64_t port_stops = 0;      // sensor stops caused by idle ports
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Managed {
+    std::unique_ptr<sensors::Sensor> sensor;
+    RunMode mode = RunMode::kAlways;
+    std::vector<std::uint16_t> ports;
+    TimePoint next_poll = 0;
+    std::string config_fingerprint;  // to detect changed blocks
+  };
+
+  void PublishSensor(const Managed& managed);
+  void UnpublishSensor(const std::string& name);
+  Status StartManaged(Managed& managed);
+  Status StopManaged(Managed& managed);
+
+  Options options_;
+  PortMonitor port_monitor_;
+  std::map<std::string, Managed> sensors_;
+  std::function<Result<std::string>()> config_fetcher_;
+  std::string last_config_text_;
+  TimePoint next_config_refresh_ = 0;
+  Stats stats_;
+};
+
+}  // namespace jamm::manager

@@ -1,0 +1,249 @@
+#include "netlogger/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jamm::netlogger {
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+LatencyStats ToLatencyStats(const SummaryStats& s) {
+  LatencyStats out;
+  out.count = s.count;
+  out.mean_s = s.mean;
+  out.min_s = s.min;
+  out.max_s = s.max;
+  out.p50_s = s.p50;
+  out.p95_s = s.p95;
+  out.stddev_s = s.stddev;
+  return out;
+}
+
+}  // namespace
+
+std::vector<Lifeline> BuildLifelines(
+    const std::vector<ulm::Record>& records,
+    const std::vector<std::string>& id_fields) {
+  std::map<std::string, Lifeline> by_id;
+  for (const auto& rec : records) {
+    std::string id;
+    bool complete = true;
+    for (const auto& f : id_fields) {
+      auto v = rec.GetField(f);
+      if (!v) {
+        complete = false;
+        break;
+      }
+      if (!id.empty()) id += '/';
+      id += *v;
+    }
+    if (!complete || id_fields.empty()) continue;
+    Lifeline& line = by_id[id];
+    line.object_id = id;
+    line.events.push_back({rec.timestamp(), rec.event_name(), rec.host()});
+  }
+  std::vector<Lifeline> out;
+  out.reserve(by_id.size());
+  for (auto& [id, line] : by_id) {
+    std::stable_sort(line.events.begin(), line.events.end(),
+                     [](const LifelineEvent& a, const LifelineEvent& b) {
+                       return a.ts < b.ts;
+                     });
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+LatencyStats SegmentLatency(const std::vector<Lifeline>& lifelines,
+                            const std::string& from_event,
+                            const std::string& to_event) {
+  std::vector<double> latencies;
+  for (const auto& line : lifelines) {
+    TimePoint from_ts = -1;
+    for (const auto& ev : line.events) {
+      if (from_ts < 0 && ev.event_name == from_event) {
+        from_ts = ev.ts;
+      } else if (from_ts >= 0 && ev.event_name == to_event) {
+        latencies.push_back(ToSeconds(ev.ts - from_ts));
+        break;
+      }
+    }
+  }
+  return ToLatencyStats(ComputeStats(std::move(latencies)));
+}
+
+std::vector<SeriesPoint> ExtractSeries(const std::vector<ulm::Record>& records,
+                                       const std::string& event_name,
+                                       const std::string& value_field) {
+  std::vector<SeriesPoint> out;
+  for (const auto& rec : records) {
+    if (!event_name.empty() && rec.event_name() != event_name) continue;
+    auto v = rec.GetDouble(value_field);
+    if (!v.ok()) continue;
+    out.push_back({rec.timestamp(), *v});
+  }
+  return out;
+}
+
+std::vector<TimePoint> ExtractPoints(const std::vector<ulm::Record>& records,
+                                     const std::string& event_name) {
+  std::vector<TimePoint> out;
+  for (const auto& rec : records) {
+    if (rec.event_name() == event_name) out.push_back(rec.timestamp());
+  }
+  return out;
+}
+
+std::vector<SeriesPoint> ExtractScatter(const std::vector<ulm::Record>& records,
+                                        const std::string& event_name,
+                                        const std::string& value_field) {
+  return ExtractSeries(records, event_name, value_field);
+}
+
+std::vector<SeriesPoint> ResampleMean(const std::vector<SeriesPoint>& series,
+                                      Duration bucket) {
+  if (bucket <= 0 || series.empty()) return {};
+  std::map<std::int64_t, std::pair<double, std::size_t>> buckets;
+  for (const auto& p : series) {
+    auto& [sum, n] = buckets[p.ts / bucket];
+    sum += p.value;
+    ++n;
+  }
+  std::vector<SeriesPoint> out;
+  out.reserve(buckets.size());
+  for (const auto& [b, agg] : buckets) {
+    out.push_back({b * bucket + bucket / 2,
+                   agg.first / static_cast<double>(agg.second)});
+  }
+  return out;
+}
+
+std::vector<SeriesPoint> RatePerSecond(const std::vector<TimePoint>& points,
+                                       TimePoint t0, TimePoint t1,
+                                       Duration bucket) {
+  if (bucket <= 0 || t1 <= t0) return {};
+  const std::size_t nbuckets =
+      static_cast<std::size_t>((t1 - t0 + bucket - 1) / bucket);
+  std::vector<std::size_t> counts(nbuckets, 0);
+  for (TimePoint p : points) {
+    if (p < t0 || p >= t1) continue;
+    counts[static_cast<std::size_t>((p - t0) / bucket)]++;
+  }
+  std::vector<SeriesPoint> out;
+  out.reserve(nbuckets);
+  const double bucket_s = ToSeconds(bucket);
+  for (std::size_t i = 0; i < nbuckets; ++i) {
+    out.push_back({t0 + static_cast<Duration>(i) * bucket + bucket / 2,
+                   static_cast<double>(counts[i]) / bucket_s});
+  }
+  return out;
+}
+
+SummaryStats ComputeStats(std::vector<double> values) {
+  SummaryStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  s.p50 = Percentile(values, 0.50);
+  s.p95 = Percentile(values, 0.95);
+  return s;
+}
+
+std::vector<double> FindClusters1D(const std::vector<double>& values,
+                                   std::size_t k) {
+  if (values.empty() || k == 0) return {};
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  k = std::min(k, sorted.size());
+  // Quantile initialization makes the result deterministic and well-spread.
+  std::vector<double> centers(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double q = (static_cast<double>(i) + 0.5) / static_cast<double>(k);
+    centers[i] = Percentile(sorted, q);
+  }
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<double> sums(k, 0);
+    std::vector<std::size_t> counts(k, 0);
+    for (double v : sorted) {
+      std::size_t best = 0;
+      double best_d = std::abs(v - centers[0]);
+      for (std::size_t c = 1; c < k; ++c) {
+        const double d = std::abs(v - centers[c]);
+        if (d < best_d) {
+          best = c;
+          best_d = d;
+        }
+      }
+      sums[best] += v;
+      counts[best]++;
+    }
+    bool changed = false;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      const double next = sums[c] / static_cast<double>(counts[c]);
+      if (std::abs(next - centers[c]) > 1e-9) changed = true;
+      centers[c] = next;
+    }
+    if (!changed) break;
+  }
+  std::sort(centers.begin(), centers.end());
+  return centers;
+}
+
+double ClusterTightness(const std::vector<double>& values,
+                        const std::vector<double>& centers, double radius) {
+  if (values.empty() || centers.empty()) return 0;
+  std::size_t close = 0;
+  for (double v : values) {
+    for (double c : centers) {
+      if (std::abs(v - c) <= radius) {
+        ++close;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(close) / static_cast<double>(values.size());
+}
+
+std::vector<Gap> FindGaps(const std::vector<TimePoint>& sorted_times,
+                          Duration min_gap) {
+  std::vector<Gap> out;
+  for (std::size_t i = 1; i < sorted_times.size(); ++i) {
+    if (sorted_times[i] - sorted_times[i - 1] >= min_gap) {
+      out.push_back({sorted_times[i - 1], sorted_times[i]});
+    }
+  }
+  return out;
+}
+
+std::size_t CountPointsInGaps(const std::vector<TimePoint>& points,
+                              const std::vector<Gap>& gaps, Duration slack) {
+  std::size_t n = 0;
+  for (TimePoint p : points) {
+    for (const Gap& g : gaps) {
+      if (p >= g.start - slack && p <= g.end + slack) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace jamm::netlogger

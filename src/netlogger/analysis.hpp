@@ -1,0 +1,132 @@
+// nlv analysis primitives (paper §4.5, Figure 2). nlv draws three graph
+// species from a merged event log:
+//
+//   * lifeline — the "life" of an object (datum/computation) through the
+//     distributed system: ordered events on the y-axis vs time; the slope
+//     exposes latency. Objects are identified by the combined values of
+//     one or more ULM fields ("object ID").
+//   * loadline — a continuous segmented curve of scaled values (CPU load,
+//     free memory).
+//   * point   — single occurrences (TCP retransmits); optionally scaled by
+//     a value to form a scatter plot (Figure 3).
+//
+// This module provides the data extraction + statistics layer; rendering
+// lives in nlv.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "ulm/record.hpp"
+
+namespace jamm::netlogger {
+
+// ---------------------------------------------------------------- lifelines
+
+struct LifelineEvent {
+  TimePoint ts = 0;
+  std::string event_name;
+  std::string host;
+};
+
+struct Lifeline {
+  std::string object_id;  // concatenated id-field values
+  std::vector<LifelineEvent> events;  // time-ordered
+
+  TimePoint start() const { return events.empty() ? 0 : events.front().ts; }
+  TimePoint end() const { return events.empty() ? 0 : events.back().ts; }
+  Duration elapsed() const { return end() - start(); }
+};
+
+/// Group records into lifelines keyed by the combined values of
+/// `id_fields` (e.g. {"FRAME.ID"}); records lacking any id field are
+/// ignored. Events within a lifeline are sorted by time.
+std::vector<Lifeline> BuildLifelines(const std::vector<ulm::Record>& records,
+                                     const std::vector<std::string>& id_fields);
+
+struct LatencyStats {
+  std::size_t count = 0;
+  double mean_s = 0, min_s = 0, max_s = 0, p50_s = 0, p95_s = 0, stddev_s = 0;
+};
+
+/// Latency of the `from_event` → `to_event` segment across lifelines (first
+/// occurrence of each within a lifeline, `to` after `from`).
+LatencyStats SegmentLatency(const std::vector<Lifeline>& lifelines,
+                            const std::string& from_event,
+                            const std::string& to_event);
+
+// ---------------------------------------------------------------- series
+
+struct SeriesPoint {
+  TimePoint ts = 0;
+  double value = 0;
+};
+
+/// Loadline extraction: (timestamp, value_field) for records whose NL.EVNT
+/// matches `event_name`. Empty event_name matches every record carrying
+/// the field.
+std::vector<SeriesPoint> ExtractSeries(const std::vector<ulm::Record>& records,
+                                       const std::string& event_name,
+                                       const std::string& value_field);
+
+/// Point extraction: timestamps of matching events.
+std::vector<TimePoint> ExtractPoints(const std::vector<ulm::Record>& records,
+                                     const std::string& event_name);
+
+/// Scatter extraction (Figure 3): matching events scaled by a value field.
+std::vector<SeriesPoint> ExtractScatter(const std::vector<ulm::Record>& records,
+                                        const std::string& event_name,
+                                        const std::string& value_field);
+
+/// Average value per fixed time bucket; buckets with no samples are
+/// omitted. Input need not be sorted.
+std::vector<SeriesPoint> ResampleMean(const std::vector<SeriesPoint>& series,
+                                      Duration bucket);
+
+/// Events per second in fixed buckets across [t0, t1) — frame-rate curves.
+std::vector<SeriesPoint> RatePerSecond(const std::vector<TimePoint>& points,
+                                       TimePoint t0, TimePoint t1,
+                                       Duration bucket);
+
+// ---------------------------------------------------------------- stats
+
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0, min = 0, max = 0, p50 = 0, p95 = 0, stddev = 0;
+};
+
+SummaryStats ComputeStats(std::vector<double> values);
+
+// ---------------------------------------------------------------- fig 3/7
+
+/// 1-D k-means for the Figure-3 "clustering of the data around two distinct
+/// values" observation. Returns sorted cluster centers; deterministic
+/// (quantile initialization, fixed iteration count).
+std::vector<double> FindClusters1D(const std::vector<double>& values,
+                                   std::size_t k);
+
+/// Fraction of samples within `radius` of their nearest center; ~1.0 means
+/// tight clustering.
+double ClusterTightness(const std::vector<double>& values,
+                        const std::vector<double>& centers, double radius);
+
+struct Gap {
+  TimePoint start = 0;
+  TimePoint end = 0;
+  Duration length() const { return end - start; }
+};
+
+/// Intervals of silence (>= min_gap) between consecutive sorted timestamps
+/// — the Figure-7 "large gap with no data being received".
+std::vector<Gap> FindGaps(const std::vector<TimePoint>& sorted_times,
+                          Duration min_gap);
+
+/// How many of `points` fall inside any gap widened by `slack` on both
+/// sides. Used to correlate TCP retransmit points with frame-arrival gaps.
+std::size_t CountPointsInGaps(const std::vector<TimePoint>& points,
+                              const std::vector<Gap>& gaps, Duration slack);
+
+}  // namespace jamm::netlogger

@@ -1,0 +1,93 @@
+#include "netlogger/logger.hpp"
+
+namespace jamm::netlogger {
+
+NetLogger::NetLogger(std::string prog, const Clock& clock, std::string host,
+                     std::size_t buffer_capacity)
+    : prog_(std::move(prog)),
+      clock_(clock),
+      host_(std::move(host)),
+      buffer_capacity_(buffer_capacity == 0 ? 1 : buffer_capacity) {
+  buffer_.reserve(buffer_capacity_);
+}
+
+NetLogger::~NetLogger() { (void)Close(); }
+
+Status NetLogger::OpenFile(const std::string& path, bool truncate) {
+  auto sink = std::make_shared<FileSink>(path, truncate);
+  JAMM_RETURN_IF_ERROR(sink->Open());
+  sink_ = std::move(sink);
+  memory_.reset();
+  return Status::Ok();
+}
+
+void NetLogger::OpenMemory() {
+  memory_ = std::make_shared<MemorySink>();
+  sink_ = memory_;
+}
+
+void NetLogger::OpenSyslog(const std::string& facility) {
+  sink_ = std::make_shared<SyslogSimSink>(facility);
+  memory_.reset();
+}
+
+void NetLogger::OpenSink(std::shared_ptr<LogSink> sink) {
+  sink_ = std::move(sink);
+  memory_.reset();
+}
+
+Status NetLogger::Write(
+    std::string_view event_name,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        fields) {
+  ulm::Record rec(clock_.Now(), host_, prog_, std::string(ulm::level::kUsage),
+                  std::string(event_name));
+  for (const auto& [k, v] : fields) rec.SetField(k, v);
+  return Write(std::move(rec));
+}
+
+Status NetLogger::Write(
+    std::string_view event_name, std::string_view lvl,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  ulm::Record rec(clock_.Now(), host_, prog_, std::string(lvl),
+                  std::string(event_name));
+  for (const auto& [k, v] : fields) rec.SetField(k, std::string_view(v));
+  return Write(std::move(rec));
+}
+
+Status NetLogger::Write(ulm::Record rec) {
+  buffer_.push_back(std::move(rec));
+  if (buffer_.size() >= buffer_capacity_) return Flush();
+  return Status::Ok();
+}
+
+Status NetLogger::Flush() {
+  if (!sink_) {
+    // No destination yet: keep buffering (the paper's memory mode).
+    return Status::Ok();
+  }
+  Status first;
+  for (auto& rec : buffer_) {
+    Status s = sink_->Write(rec);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  buffer_.clear();
+  Status s = sink_->Flush();
+  if (!s.ok() && first.ok()) first = s;
+  return first;
+}
+
+Status NetLogger::Close() {
+  Status s = Flush();
+  sink_.reset();
+  return s;
+}
+
+std::vector<ulm::Record> NetLogger::TakeBuffered() {
+  if (memory_) return memory_->TakeRecords();
+  std::vector<ulm::Record> out;
+  out.swap(buffer_);
+  return out;
+}
+
+}  // namespace jamm::netlogger

@@ -1,0 +1,93 @@
+#include "netlogger/merge.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <queue>
+#include <sstream>
+
+namespace jamm::netlogger {
+
+void SortByTime(std::vector<ulm::Record>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const ulm::Record& a, const ulm::Record& b) {
+                     return a.timestamp() < b.timestamp();
+                   });
+}
+
+std::vector<ulm::Record> MergeSorted(
+    const std::vector<std::vector<ulm::Record>>& streams) {
+  // Heap of (next timestamp, stream index, element index); stream index as
+  // tie-break keeps the merge deterministic.
+  struct Cursor {
+    TimePoint ts;
+    std::size_t stream;
+    std::size_t index;
+  };
+  auto greater = [](const Cursor& a, const Cursor& b) {
+    return a.ts != b.ts ? a.ts > b.ts : a.stream > b.stream;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
+      greater);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    total += streams[s].size();
+    if (!streams[s].empty()) {
+      heap.push({streams[s][0].timestamp(), s, 0});
+    }
+  }
+  std::vector<ulm::Record> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    out.push_back(streams[c.stream][c.index]);
+    if (c.index + 1 < streams[c.stream].size()) {
+      heap.push({streams[c.stream][c.index + 1].timestamp(), c.stream,
+                 c.index + 1});
+    }
+  }
+  return out;
+}
+
+std::vector<ulm::Record> MergeLogs(
+    const std::vector<std::vector<ulm::Record>>& logs) {
+  std::vector<ulm::Record> out;
+  std::size_t total = 0;
+  for (const auto& log : logs) total += log.size();
+  out.reserve(total);
+  for (const auto& log : logs) out.insert(out.end(), log.begin(), log.end());
+  SortByTime(out);
+  return out;
+}
+
+Result<std::vector<ulm::Record>> LoadLogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("log file not found: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Status error;
+  auto records = ulm::ParseLog(buf.str(), &error);
+  if (!error.ok()) return error;
+  return records;
+}
+
+Status WriteLogFile(const std::string& path,
+                    const std::vector<ulm::Record>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Unavailable("cannot open for write: " + path);
+  for (const auto& rec : records) {
+    out << rec.ToAscii() << '\n';
+  }
+  out.flush();
+  if (!out) return Status::Unavailable("write failed: " + path);
+  return Status::Ok();
+}
+
+bool IsSortedByTime(const std::vector<ulm::Record>& records) {
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (records[i].timestamp() < records[i - 1].timestamp()) return false;
+  }
+  return true;
+}
+
+}  // namespace jamm::netlogger

@@ -1,0 +1,36 @@
+// Log collection/sorting tools (paper §4.1: "a set of tools for collecting
+// and sorting log files"). The event collector merges many sensor streams
+// into one time-ordered file for nlv; these are the primitives it uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ulm/record.hpp"
+
+namespace jamm::netlogger {
+
+/// Stable sort by timestamp (ties keep input order, so events that share a
+/// microsecond stay in arrival order).
+void SortByTime(std::vector<ulm::Record>& records);
+
+/// K-way merge of already-sorted streams into one sorted stream.
+std::vector<ulm::Record> MergeSorted(
+    const std::vector<std::vector<ulm::Record>>& streams);
+
+/// Merge arbitrary (possibly unsorted) logs: concatenates then sorts.
+std::vector<ulm::Record> MergeLogs(
+    const std::vector<std::vector<ulm::Record>>& logs);
+
+/// Load an ASCII ULM log file.
+Result<std::vector<ulm::Record>> LoadLogFile(const std::string& path);
+
+/// Write records to an ASCII ULM log file (one per line).
+Status WriteLogFile(const std::string& path,
+                    const std::vector<ulm::Record>& records);
+
+/// True if timestamps are non-decreasing.
+bool IsSortedByTime(const std::vector<ulm::Record>& records);
+
+}  // namespace jamm::netlogger

@@ -1,0 +1,141 @@
+#include "netlogger/nlv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace jamm::netlogger {
+namespace {
+constexpr char kLoadRamp[] = " .:-=+*#%@";
+constexpr int kRampMax = 9;
+}  // namespace
+
+NlvRenderer::NlvRenderer(TimePoint t0, TimePoint t1, int width)
+    : t0_(t0), t1_(std::max(t1, t0 + 1)), width_(std::max(width, 10)) {}
+
+int NlvRenderer::ColumnFor(TimePoint ts) const {
+  if (ts < t0_) return -1;
+  if (ts >= t1_) return -1;
+  const double frac = static_cast<double>(ts - t0_) /
+                      static_cast<double>(t1_ - t0_);
+  int col = static_cast<int>(frac * width_);
+  return std::min(col, width_ - 1);
+}
+
+void NlvRenderer::AddPointRow(const std::string& label,
+                              const std::vector<TimePoint>& points,
+                              char mark) {
+  Row row{label, std::string(static_cast<std::size_t>(width_), ' ')};
+  for (TimePoint p : points) {
+    const int col = ColumnFor(p);
+    if (col >= 0) row.cells[static_cast<std::size_t>(col)] = mark;
+  }
+  rows_.push_back(std::move(row));
+}
+
+void NlvRenderer::AddLoadlineRow(const std::string& label,
+                                 const std::vector<SeriesPoint>& series) {
+  Row row{label, std::string(static_cast<std::size_t>(width_), ' ')};
+  if (!series.empty()) {
+    double lo = series[0].value, hi = series[0].value;
+    for (const auto& p : series) {
+      lo = std::min(lo, p.value);
+      hi = std::max(hi, p.value);
+    }
+    const double span = hi > lo ? hi - lo : 1.0;
+    // Per column keep the max ramp level so bursts stay visible.
+    for (const auto& p : series) {
+      const int col = ColumnFor(p.ts);
+      if (col < 0) continue;
+      const int level =
+          1 + static_cast<int>((p.value - lo) / span * (kRampMax - 1));
+      char& cell = row.cells[static_cast<std::size_t>(col)];
+      const int existing =
+          cell == ' ' ? 0
+                      : static_cast<int>(std::string(kLoadRamp).find(cell));
+      if (level > existing) cell = kLoadRamp[level];
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+void NlvRenderer::AddLifelines(const std::vector<std::string>& event_rows,
+                               const std::vector<Lifeline>& lifelines) {
+  // nlv stacks event names bottom-up; our canvas renders top-down, so
+  // reverse. One mark per event occurrence; successive lifelines cycle
+  // through mark characters so individual object paths stay traceable.
+  std::vector<Row> grid;
+  grid.reserve(event_rows.size());
+  for (auto it = event_rows.rbegin(); it != event_rows.rend(); ++it) {
+    grid.push_back({*it, std::string(static_cast<std::size_t>(width_), ' ')});
+  }
+  auto row_for = [&](const std::string& name) -> Row* {
+    for (std::size_t i = 0; i < event_rows.size(); ++i) {
+      if (event_rows[event_rows.size() - 1 - i] == name) return &grid[i];
+    }
+    return nullptr;
+  };
+  constexpr char kMarks[] = "ox+*%&";
+  std::size_t line_idx = 0;
+  for (const auto& line : lifelines) {
+    const char mark = kMarks[line_idx++ % (sizeof(kMarks) - 1)];
+    for (const auto& ev : line.events) {
+      Row* row = row_for(ev.event_name);
+      if (!row) continue;
+      const int col = ColumnFor(ev.ts);
+      if (col >= 0) row->cells[static_cast<std::size_t>(col)] = mark;
+    }
+  }
+  for (auto& row : grid) rows_.push_back(std::move(row));
+}
+
+std::string NlvRenderer::Render() const {
+  std::size_t label_width = 0;
+  for (const auto& row : rows_) {
+    label_width = std::max(label_width, row.label.size());
+  }
+  std::string out;
+  for (const auto& row : rows_) {
+    std::string label = row.label;
+    label.resize(label_width, ' ');
+    out += label + " |" + row.cells + "|\n";
+  }
+  // x-axis ruler in seconds relative to t0.
+  std::string axis(static_cast<std::size_t>(width_), '-');
+  out += std::string(label_width, ' ') + " +" + axis + "+\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "0s");
+  std::string ticks = std::string(label_width, ' ') + "  " + buf;
+  std::snprintf(buf, sizeof(buf), "%.2fs", ToSeconds(t1_ - t0_));
+  const std::string end_tick(buf);
+  const std::size_t total = label_width + 2 + static_cast<std::size_t>(width_);
+  if (ticks.size() + end_tick.size() < total) {
+    ticks += std::string(total - ticks.size() - end_tick.size(), ' ');
+  }
+  out += ticks + end_tick + "\n";
+  return out;
+}
+
+std::string SeriesToCsv(const std::vector<SeriesPoint>& series,
+                        TimePoint t_base) {
+  std::string out = "time_s,value\n";
+  char buf[64];
+  for (const auto& p : series) {
+    std::snprintf(buf, sizeof(buf), "%.6f,%.6f\n", ToSeconds(p.ts - t_base),
+                  p.value);
+    out += buf;
+  }
+  return out;
+}
+
+std::string PointsToCsv(const std::vector<TimePoint>& points,
+                        TimePoint t_base) {
+  std::string out = "time_s\n";
+  char buf[32];
+  for (TimePoint p : points) {
+    std::snprintf(buf, sizeof(buf), "%.6f\n", ToSeconds(p - t_base));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace jamm::netlogger

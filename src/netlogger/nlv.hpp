@@ -1,0 +1,57 @@
+// nlv — text renderer for the NetLogger visualization primitives. The
+// original nlv is a Tk GUI; for a library reproduction we render the same
+// three primitives (lifeline / loadline / point, Figure 2) onto a character
+// canvas with time on the x-axis and labeled rows on the y-axis, plus CSV
+// emitters so the series can be re-plotted elsewhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "netlogger/analysis.hpp"
+
+namespace jamm::netlogger {
+
+class NlvRenderer {
+ public:
+  /// Renders [t0, t1) across `width` columns.
+  NlvRenderer(TimePoint t0, TimePoint t1, int width = 100);
+
+  /// Point primitive: one row, a mark per occurrence.
+  void AddPointRow(const std::string& label,
+                   const std::vector<TimePoint>& points, char mark = 'X');
+
+  /// Loadline primitive: one row rendered as a density sparkline, value
+  /// scaled between the series min and max.
+  void AddLoadlineRow(const std::string& label,
+                      const std::vector<SeriesPoint>& series);
+
+  /// Lifeline primitive: one row per event name (given bottom-up order as
+  /// in nlv); each lifeline marks its events; steeper = faster.
+  void AddLifelines(const std::vector<std::string>& event_rows,
+                    const std::vector<Lifeline>& lifelines);
+
+  /// Full chart with y labels and an x-axis ruler in seconds.
+  std::string Render() const;
+
+ private:
+  int ColumnFor(TimePoint ts) const;
+
+  struct Row {
+    std::string label;
+    std::string cells;
+  };
+
+  TimePoint t0_, t1_;
+  int width_;
+  std::vector<Row> rows_;  // rendered top-down
+};
+
+/// "ts_seconds,value" lines; `t_base` subtracts a common origin.
+std::string SeriesToCsv(const std::vector<SeriesPoint>& series,
+                        TimePoint t_base = 0);
+std::string PointsToCsv(const std::vector<TimePoint>& points,
+                        TimePoint t_base = 0);
+
+}  // namespace jamm::netlogger

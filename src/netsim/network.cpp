@@ -1,0 +1,254 @@
+#include "netsim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace jamm::netsim {
+
+Network::Network(Simulator& sim, std::uint64_t seed) : sim_(sim), rng_(seed) {}
+
+NodeId Network::AddNode(const std::string& name) {
+  Node node;
+  node.name = name;
+  node.snmp = std::make_unique<sysmon::SnmpAgent>(name);
+  nodes_.push_back(std::move(node));
+  routes_dirty_ = true;
+  return nodes_.size() - 1;
+}
+
+void Network::Connect(NodeId a, NodeId b, const LinkConfig& config) {
+  assert(a < nodes_.size() && b < nodes_.size());
+  for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    Link link;
+    link.from = from;
+    link.to = to;
+    link.config = config;
+    link.busy_until = 0;
+    link.ifindex_at_from =
+        static_cast<std::uint32_t>(nodes_[from].links.size() + 1);
+    links_.push_back(link);
+    nodes_[from].links.push_back(links_.size() - 1);
+  }
+  routes_dirty_ = true;
+}
+
+const std::string& Network::NodeName(NodeId node) const {
+  return nodes_[node].name;
+}
+
+Result<NodeId> Network::FindNode(const std::string& name) const {
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return i;
+  }
+  return Status::NotFound("no node named " + name);
+}
+
+sysmon::SnmpAgent& Network::Snmp(NodeId node) { return *nodes_[node].snmp; }
+
+void Network::SetReceiverModel(NodeId node, const ReceiverModel& model) {
+  auto state = std::make_unique<ReceiverState>();
+  state->model = model;
+  state->window_start = sim_.Now();
+  nodes_[node].receiver = std::move(state);
+}
+
+double Network::ReceiverCpuPct(NodeId node) const {
+  const auto& receiver = nodes_[node].receiver;
+  if (!receiver) return 0;
+  // Busy fraction: blend the completed 1 s window with the in-progress one
+  // for a smooth gauge (one CPU = 1e6 µs of service per second).
+  const TimePoint now = sim_.Now();
+  const Duration elapsed = now - receiver->window_start;
+  if (elapsed <= 0) return receiver->last_window_pct;
+  const double in_progress =
+      100.0 * receiver->used_us_window / static_cast<double>(elapsed);
+  if (elapsed >= kSecond) return std::min(100.0, in_progress);
+  const double w = ToSeconds(elapsed);
+  return std::min(100.0,
+                  receiver->last_window_pct * (1 - w) + in_progress * w);
+}
+
+void Network::ComputeRoutes() {
+  // BFS from every node (topologies are tiny: a dozen nodes).
+  for (NodeId src = 0; src < nodes_.size(); ++src) {
+    auto& table = nodes_[src].next_hop;
+    table.clear();
+    std::deque<NodeId> frontier{src};
+    std::vector<std::size_t> via(nodes_.size(), SIZE_MAX);
+    std::vector<bool> seen(nodes_.size(), false);
+    seen[src] = true;
+    while (!frontier.empty()) {
+      NodeId at = frontier.front();
+      frontier.pop_front();
+      for (std::size_t link_idx : nodes_[at].links) {
+        const Link& link = links_[link_idx];
+        if (seen[link.to]) continue;
+        seen[link.to] = true;
+        via[link.to] = at == src ? link_idx : via[at];
+        frontier.push_back(link.to);
+      }
+    }
+    for (NodeId dst = 0; dst < nodes_.size(); ++dst) {
+      if (dst != src && via[dst] != SIZE_MAX) table[dst] = via[dst];
+    }
+  }
+  routes_dirty_ = false;
+}
+
+void Network::SendPacket(const Packet& packet) {
+  if (routes_dirty_) ComputeRoutes();
+  ++stats_.packets_sent;
+  ForwardFrom(packet.src, packet);
+}
+
+void Network::ForwardFrom(NodeId node, const Packet& packet) {
+  if (node == packet.dst) {
+    Deliver(node, packet);
+    return;
+  }
+  auto it = nodes_[node].next_hop.find(packet.dst);
+  if (it == nodes_[node].next_hop.end()) {
+    Drop(DropInfo::Cause::kQueueFull, node, packet);  // unroutable
+    return;
+  }
+  Link& link = links_[it->second];
+
+  // Drop-tail queue: packets whose serialization hasn't finished count
+  // against the queue depth.
+  if (link.in_queue >= link.config.queue_packets) {
+    Drop(DropInfo::Cause::kQueueFull, node, packet);
+    return;
+  }
+  if (link.config.random_loss > 0 && rng_.Chance(link.config.random_loss)) {
+    // Bit errors show up in the device's SNMP error counters (§6 monitored
+    // "SNMP errors on the end switches and routers").
+    nodes_[node].snmp->AddErrors(link.ifindex_at_from, 1, 1);
+    Drop(DropInfo::Cause::kRandomLoss, node, packet);
+    return;
+  }
+
+  const TimePoint now = sim_.Now();
+  const Duration tx_time = static_cast<Duration>(
+      static_cast<double>(packet.size) * 8.0 / link.config.bandwidth_bps *
+      kSecond);
+  const TimePoint start = std::max(now, link.busy_until);
+  const TimePoint departs = start + std::max<Duration>(tx_time, 1);
+  link.busy_until = departs;
+  link.in_queue++;
+
+  nodes_[node].snmp->AddTraffic(link.ifindex_at_from, 0,
+                                static_cast<std::int64_t>(packet.size));
+
+  Duration extra = 0;
+  if (link.config.jitter > 0) {
+    extra = rng_.Uniform(0, link.config.jitter);
+  }
+  const TimePoint arrives = departs + link.config.delay + extra;
+  NodeId next = link.to;
+  Link* link_ptr = &link;
+  sim_.ScheduleAt(departs, [link_ptr] { link_ptr->in_queue--; });
+  sim_.ScheduleAt(arrives, [this, next, packet, link_ptr] {
+    nodes_[next].snmp->AddTraffic(
+        // Inbound counter on the receiving side of the link: use the
+        // reverse direction's ifindex if present, else 1.
+        1, static_cast<std::int64_t>(packet.size), 0);
+    (void)link_ptr;
+    ForwardFrom(next, packet);
+  });
+}
+
+void Network::Deliver(NodeId node, const Packet& packet) {
+  ReceiverState* receiver = nodes_[node].receiver.get();
+  if (!receiver || packet.is_ack) {
+    // No host model (or an ACK, which bypasses the data path): hand the
+    // packet to the endpoint immediately.
+    HandOff(node, packet);
+    return;
+  }
+
+  // NIC descriptor ring: overflow is dropped before any ACK is generated.
+  if (receiver->in_ring >= receiver->model.ring_packets) {
+    Drop(DropInfo::Cause::kReceiverOverload, node, packet);
+    return;
+  }
+  ++receiver->in_ring;
+
+  const TimePoint now = sim_.Now();
+  // Roll the CPU usage window.
+  if (now - receiver->window_start >= kSecond) {
+    receiver->last_window_pct =
+        std::min(100.0, 100.0 * receiver->used_us_window /
+                            static_cast<double>(now - receiver->window_start));
+    receiver->used_us_window = 0;
+    receiver->window_start = now;
+  }
+
+  // Per-packet service cost grows with the number of OTHER hot sockets
+  // (see the model rationale in the header). Hotness is sticky for
+  // hot_dwell after the window shrinks.
+  std::size_t other_hot = 0;
+  for (auto& [flow, socket] : receiver->sockets) {
+    if (socket.probe() > receiver->model.hot_window_bytes) {
+      socket.last_hot = now;
+    }
+    if (flow != packet.flow && socket.last_hot >= 0 &&
+        now - socket.last_hot <= receiver->model.hot_dwell) {
+      ++other_hot;
+    }
+  }
+  const double cost =
+      receiver->model.base_cost_us +
+      receiver->model.per_hot_socket_cost_us * static_cast<double>(other_hot);
+  receiver->used_us_window += cost;
+
+  // Single-server CPU: serve after whatever is already queued.
+  const TimePoint start = std::max(now, receiver->busy_until);
+  const TimePoint done = start + std::max<Duration>(
+                                     static_cast<Duration>(cost), 1);
+  receiver->busy_until = done;
+  sim_.ScheduleAt(done, [this, node, packet] {
+    ReceiverState* r = nodes_[node].receiver.get();
+    if (r && r->in_ring > 0) --r->in_ring;
+    HandOff(node, packet);
+  });
+}
+
+void Network::HandOff(NodeId node, const Packet& packet) {
+  ++stats_.packets_delivered;
+  auto it = handlers_.find({node, packet.flow});
+  if (it != handlers_.end()) it->second(packet);
+}
+
+void Network::Drop(DropInfo::Cause cause, NodeId at, const Packet& packet) {
+  switch (cause) {
+    case DropInfo::Cause::kQueueFull: ++stats_.drops_queue; break;
+    case DropInfo::Cause::kRandomLoss: ++stats_.drops_loss; break;
+    case DropInfo::Cause::kReceiverOverload: ++stats_.drops_receiver; break;
+  }
+  if (drop_tap_) drop_tap_({cause, at, packet});
+}
+
+void Network::RegisterSocketWindow(NodeId node, std::uint64_t flow,
+                                   WindowProbe probe) {
+  if (nodes_[node].receiver) {
+    nodes_[node].receiver->sockets[flow].probe = std::move(probe);
+  }
+}
+
+void Network::UnregisterSocketWindow(NodeId node, std::uint64_t flow) {
+  if (nodes_[node].receiver) {
+    nodes_[node].receiver->sockets.erase(flow);
+  }
+}
+
+void Network::SetDeliverHandler(NodeId node, std::uint64_t flow,
+                                DeliverHandler handler) {
+  handlers_[{node, flow}] = std::move(handler);
+}
+
+void Network::ClearDeliverHandler(NodeId node, std::uint64_t flow) {
+  handlers_.erase({node, flow});
+}
+
+}  // namespace jamm::netsim

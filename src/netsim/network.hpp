@@ -1,0 +1,199 @@
+// Network topology model: nodes joined by full-duplex links with
+// bandwidth, propagation delay, a drop-tail queue, and optional random
+// loss; static shortest-path routing; per-node SNMP agents so JAMM network
+// sensors can watch the simulated routers; and a receiver-side host model
+// reproducing the paper's §6 observation that the receiving host's NIC /
+// device driver becomes the bottleneck with multiple sockets.
+//
+// Receiver model (DESIGN.md §2): the receiving host's NIC/driver is a
+// single-server queue. Each data packet waits in a ring of
+// `ring_packets` descriptors (overflow → drop before the ACK) and takes
+// `base_cost` µs of CPU to deliver, plus `per_hot_socket_cost` µs for
+// every OTHER concurrently receiving socket whose congestion window
+// exceeds `hot_window_bytes`. The ACK leaves only after service, so TCP
+// is ack-paced by the host's real drain rate.
+//
+// This encodes the paper's §6 hypothesis — "the amount of load the
+// gigabit ethernet card and device driver place on the system" grows when
+// the kernel juggles several sockets with megabyte-scale windows per
+// interrupt — and reproduces why the collapse "is only observed with
+// wide-area transfers": WAN streams need big windows (BDP ≈ 1 MB at
+// 140 Mbit/s × 60 ms) so parallel WAN sockets are all hot, while LAN
+// windows stay small and never trip the penalty regardless of count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "netsim/simulator.hpp"
+#include "sysmon/snmp.hpp"
+
+namespace jamm::netsim {
+
+using NodeId = std::size_t;
+
+struct LinkConfig {
+  double bandwidth_bps = 100e6;
+  Duration delay = kMillisecond;
+  std::size_t queue_packets = 64;  // drop-tail queue depth
+  double random_loss = 0;          // bit-error style loss probability
+  /// Per-packet uniform random extra delay in [0, jitter] — models router
+  /// processing variance; the asymmetry it introduces is what degrades
+  /// NTP accuracy across hops (paper §4.3).
+  Duration jitter = 0;
+};
+
+struct ReceiverModel {
+  /// µs of CPU to deliver one packet when this is the only busy socket.
+  double base_cost_us = 55;
+  /// Extra µs per OTHER receiving socket whose window is "hot".
+  double per_hot_socket_cost_us = 70;
+  /// A socket is hot when its congestion window exceeds this many bytes
+  /// (WAN windows ≈ MB are hot; LAN windows ≈ KB are not).
+  double hot_window_bytes = 64 * 1024;
+  /// Hysteresis: a socket stays hot this long after its window shrinks
+  /// (the kernel's per-socket buffers don't deflate the instant cwnd
+  /// does), so the penalty persists through WAN loss recovery.
+  Duration hot_dwell = 30 * kSecond;
+  /// NIC descriptor ring depth; arrivals beyond it are dropped.
+  std::size_t ring_packets = 64;
+};
+
+struct Packet {
+  std::uint64_t flow = 0;     // flow id (also the "socket")
+  std::uint64_t seq = 0;      // first byte index
+  std::size_t size = 1500;    // bytes on the wire
+  bool is_ack = false;
+  std::uint64_t ack_seq = 0;  // cumulative ack (next expected byte)
+  NodeId src = 0;
+  NodeId dst = 0;
+  /// Small datagram payload for non-TCP protocols (NTP timestamps, RPC
+  /// correlation ids); zero for TCP segments.
+  std::int64_t aux = 0;
+  std::uint64_t reply_to = 0;  // flow id replies should be addressed to
+};
+
+class Network {
+ public:
+  explicit Network(Simulator& sim, std::uint64_t seed = 1);
+
+  // ----------------------------------------------------------- topology
+
+  NodeId AddNode(const std::string& name);
+  /// Adds a full-duplex link (two directions with the same config).
+  void Connect(NodeId a, NodeId b, const LinkConfig& config);
+
+  const std::string& NodeName(NodeId node) const;
+  Result<NodeId> FindNode(const std::string& name) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// SNMP agent for a node (router/switch MIB is fed by link traffic; the
+  /// interface index is the link's index at that node, 1-based).
+  sysmon::SnmpAgent& Snmp(NodeId node);
+
+  // ------------------------------------------------------ receiver model
+
+  void SetReceiverModel(NodeId node, const ReceiverModel& model);
+
+  /// Fraction of receiver CPU used over the last second (0-100); 0 for
+  /// nodes without a receiver model. Drives VMSTAT_SYS_TIME traces.
+  double ReceiverCpuPct(NodeId node) const;
+
+  /// TCP flows terminating at a modeled receiver register a probe the
+  /// receiver uses to judge "hot" sockets (window > hot_window_bytes).
+  using WindowProbe = std::function<double()>;  // current cwnd in bytes
+  void RegisterSocketWindow(NodeId node, std::uint64_t flow,
+                            WindowProbe probe);
+  void UnregisterSocketWindow(NodeId node, std::uint64_t flow);
+
+  // ----------------------------------------------------------- transport
+
+  /// Inject a packet at its src; it is forwarded hop-by-hop to dst and, if
+  /// it survives queues/loss/receiver CPU, handed to the deliver handler
+  /// registered for (dst, flow).
+  void SendPacket(const Packet& packet);
+
+  using DeliverHandler = std::function<void(const Packet&)>;
+  /// Register the endpoint handler for packets of `flow` arriving at
+  /// `node` (both the data receiver and the ack receiver do this).
+  void SetDeliverHandler(NodeId node, std::uint64_t flow,
+                         DeliverHandler handler);
+  void ClearDeliverHandler(NodeId node, std::uint64_t flow);
+
+  // --------------------------------------------------------- observation
+
+  struct DropInfo {
+    enum class Cause { kQueueFull, kRandomLoss, kReceiverOverload };
+    Cause cause;
+    NodeId at;
+    Packet packet;
+  };
+  using DropTap = std::function<void(const DropInfo&)>;
+  void SetDropTap(DropTap tap) { drop_tap_ = std::move(tap); }
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t drops_queue = 0;
+    std::uint64_t drops_loss = 0;
+    std::uint64_t drops_receiver = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  Simulator& sim() { return sim_; }
+
+ private:
+  struct Link {
+    NodeId from, to;
+    LinkConfig config;
+    TimePoint busy_until = 0;       // serialization tail
+    std::size_t in_queue = 0;       // packets queued (incl. in service)
+    std::uint32_t ifindex_at_from;  // SNMP interface index on `from`
+  };
+
+  struct ReceiverState {
+    ReceiverModel model;
+    std::size_t in_ring = 0;        // packets queued or in service
+    TimePoint busy_until = 0;       // CPU service tail
+    struct Socket {
+      WindowProbe probe;
+      TimePoint last_hot = -1;  // -1: never exceeded the threshold
+    };
+    std::map<std::uint64_t, Socket> sockets;  // flow → probe + hot stamp
+    // CPU usage accounting over a rolling 1s window.
+    double used_us_window = 0;
+    TimePoint window_start = 0;
+    double last_window_pct = 0;
+  };
+
+  struct Node {
+    std::string name;
+    std::unique_ptr<sysmon::SnmpAgent> snmp;
+    std::vector<std::size_t> links;             // indices into links_
+    std::map<NodeId, std::size_t> next_hop;     // dst → link index
+    std::unique_ptr<ReceiverState> receiver;
+  };
+
+  void ComputeRoutes();
+  void ForwardFrom(NodeId node, const Packet& packet);
+  void Deliver(NodeId node, const Packet& packet);
+  void HandOff(NodeId node, const Packet& packet);
+  void Drop(DropInfo::Cause cause, NodeId at, const Packet& packet);
+
+  Simulator& sim_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  bool routes_dirty_ = false;
+  std::map<std::pair<NodeId, std::uint64_t>, DeliverHandler> handlers_;
+  DropTap drop_tap_;
+  Stats stats_;
+};
+
+}  // namespace jamm::netsim

@@ -1,0 +1,92 @@
+#include "netsim/profiles.hpp"
+
+namespace jamm::netsim {
+
+MatisseTopology BuildMatisseWan(Network& net, int dpss_servers) {
+  MatisseTopology topo;
+  topo.lbl_router = net.AddNode("lbl-router");
+  topo.supernet = net.AddNode("supernet-core");
+  topo.isi_router = net.AddNode("isi-router");
+  topo.compute = net.AddNode("compute-cluster");
+  topo.viz = net.AddNode("mems.cairn.net");
+
+  // Storage cluster on gigabit ethernet into the LBL border router. Host
+  // uplinks get deep queues: a sender's first hop is its own NIC/socket
+  // buffer, which backpressures rather than dropping bursts.
+  LinkConfig gigabit;
+  gigabit.bandwidth_bps = 1e9;
+  gigabit.delay = 50;  // 50 µs
+  gigabit.queue_packets = 2048;
+  for (int i = 0; i < dpss_servers; ++i) {
+    const NodeId id = net.AddNode("dpss" + std::to_string(i + 1) + ".lbl.gov");
+    net.Connect(id, topo.lbl_router, gigabit);
+    topo.dpss.push_back(id);
+  }
+
+  // OC-12 access link into Supernet (Figure 5 labels the LBL side OC-12).
+  LinkConfig oc12;
+  oc12.bandwidth_bps = 622e6;
+  oc12.delay = 2 * kMillisecond;
+  oc12.queue_packets = 1024;  // ≈ BDP-sized router buffers
+  net.Connect(topo.lbl_router, topo.supernet, oc12);
+
+  // OC-48 core, coast to coast: the bulk of the ~60 ms RTT.
+  LinkConfig oc48;
+  oc48.bandwidth_bps = 2.4e9;
+  oc48.delay = 26 * kMillisecond;
+  oc48.queue_packets = 1024;
+  net.Connect(topo.supernet, topo.isi_router, oc48);
+
+  // ISI East campus: gigabit to the compute cluster and viz host.
+  LinkConfig campus = gigabit;
+  campus.delay = 2 * kMillisecond;
+  net.Connect(topo.isi_router, topo.compute, campus);
+  net.Connect(topo.compute, topo.viz, gigabit);
+
+  // The receiving compute host is the one with the paper's NIC bottleneck.
+  net.SetReceiverModel(topo.compute, PaperReceiverModel());
+  return topo;
+}
+
+LanTopology BuildGigabitLan(Network& net, int senders) {
+  LanTopology topo;
+  topo.ethernet_switch = net.AddNode("lan-switch");
+  topo.receiver = net.AddNode("lan-receiver");
+  LinkConfig switch_port;  // shallow switch buffers (real 2000-era gear)
+  switch_port.bandwidth_bps = 1e9;
+  switch_port.delay = 50;  // 50 µs per hop → ~0.2 ms RTT
+  switch_port.queue_packets = 128;
+  net.Connect(topo.ethernet_switch, topo.receiver, switch_port);
+  LinkConfig host_uplink = switch_port;  // host NIC: backpressured buffer
+  host_uplink.queue_packets = 2048;
+  for (int i = 0; i < senders; ++i) {
+    const NodeId id = net.AddNode("lan-sender" + std::to_string(i + 1));
+    net.Connect(id, topo.ethernet_switch, host_uplink);
+    topo.senders.push_back(id);
+  }
+  net.SetReceiverModel(topo.receiver, PaperReceiverModel());
+  return topo;
+}
+
+TcpConfig PaperTcpConfig() {
+  TcpConfig config;
+  config.mss = 1460;
+  config.max_cwnd_pkts = 719;  // ≈ 1 MB window / 1460 B
+  return config;
+}
+
+ReceiverModel PaperReceiverModel() {
+  ReceiverModel model;
+  // Calibrated against the §6 figures (see DESIGN.md and EXPERIMENTS.md):
+  // with these values the simulator yields ≈132 Mbit/s for one WAN stream,
+  // ≈30 Mbit/s aggregate for four, and ≈205 Mbit/s on the LAN for either —
+  // the paper reports 140 / 30 / 200 / 200.
+  model.base_cost_us = 55;            // ≈ 210 Mbit/s single-socket ceiling
+  model.per_hot_socket_cost_us = 90;  // 4 hot sockets → ≈ 36 Mbit/s ceiling
+  model.hot_window_bytes = 384 * 1024;   // < WAN windows, > LAN windows
+  model.hot_dwell = 30 * kSecond;     // buffer pressure outlives cwnd dips
+  model.ring_packets = 512;
+  return model;
+}
+
+}  // namespace jamm::netsim

@@ -1,0 +1,49 @@
+// Canned topologies and calibrated parameters for the paper's evaluation
+// environment (Figure 5): the Matisse testbed — DPSS storage cluster at
+// LBNL, DARPA Supernet (OC-12 access, OC-48 core, ~60 ms RTT coast to
+// coast), compute cluster / visualization host at ISI East — plus a
+// plain gigabit LAN for the §6 LAN comparison.
+//
+// Calibration notes (DESIGN.md §2):
+//  * PaperTcpConfig caps the window at 1 MB (2000-era default socket
+//    buffers); 1 MB / 60 ms ≈ 140 Mbit/s — the paper's single-stream
+//    WAN figure.
+//  * PaperReceiverModel gives the receiving host ~210 Mbit/s of
+//    single-socket receive capacity (≈ the paper's 200 Mbit/s LAN figure)
+//    which collapses when several megabyte-window sockets are hot.
+#pragma once
+
+#include "netsim/network.hpp"
+#include "netsim/tcp.hpp"
+
+namespace jamm::netsim {
+
+struct MatisseTopology {
+  std::vector<NodeId> dpss;  // storage servers (Berkeley)
+  NodeId lbl_router = 0;
+  NodeId supernet = 0;       // OC-48 core, modeled as one transit node
+  NodeId isi_router = 0;
+  NodeId compute = 0;        // compute cluster head (Arlington)
+  NodeId viz = 0;            // visualization workstation / mems.cairn.net
+};
+
+/// Figure 5 environment. `dpss_servers` storage nodes (the demo used 4).
+MatisseTopology BuildMatisseWan(Network& net, int dpss_servers = 4);
+
+struct LanTopology {
+  std::vector<NodeId> senders;
+  NodeId ethernet_switch = 0;
+  NodeId receiver = 0;
+};
+
+/// Gigabit LAN: senders and receiver on one switch (~0.2 ms RTT).
+LanTopology BuildGigabitLan(Network& net, int senders = 4);
+
+/// 2000-era TCP parameters: 1 MB max window.
+TcpConfig PaperTcpConfig();
+
+/// The receiving host of §6 (gigabit NIC, ~200 Mbit/s single-socket
+/// receive capacity).
+ReceiverModel PaperReceiverModel();
+
+}  // namespace jamm::netsim

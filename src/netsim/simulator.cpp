@@ -1,0 +1,42 @@
+#include "netsim/simulator.hpp"
+
+#include <cassert>
+
+namespace jamm::netsim {
+
+void Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  ScheduleAt(clock_.Now() + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+void Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  assert(when >= clock_.Now() && "scheduling into the past");
+  queue_.push({when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the handler is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  clock_.Set(event.when);
+  ++executed_;
+  event.fn();
+  return true;
+}
+
+void Simulator::RunUntil(TimePoint until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Step();
+  }
+  if (clock_.Now() < until) clock_.Set(until);
+}
+
+void Simulator::RunFor(Duration span) { RunUntil(clock_.Now() + span); }
+
+void Simulator::RunAll() {
+  while (Step()) {
+  }
+}
+
+}  // namespace jamm::netsim

@@ -1,0 +1,66 @@
+// Discrete-event simulation engine. Everything time-driven in the netsim,
+// ntp, and matisse modules runs on this: events execute in timestamp order
+// (FIFO for ties), advancing a SimClock that the rest of jamm (sensors,
+// gateways, managers) reads — so a whole monitored "grid" runs
+// deterministically inside one process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace jamm::netsim {
+
+class Simulator {
+ public:
+  explicit Simulator(TimePoint start = 0) : clock_(start) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// The simulation clock; pass it to any component needing "now".
+  SimClock& clock() { return clock_; }
+  const Clock& clock() const { return clock_; }
+  TimePoint Now() const { return clock_.Now(); }
+
+  /// Schedule `fn` to run `delay` from now (>= 0).
+  void Schedule(Duration delay, std::function<void()> fn);
+  /// Schedule at an absolute time (>= Now()).
+  void ScheduleAt(TimePoint when, std::function<void()> fn);
+
+  /// Run the next event; false when the queue is empty.
+  bool Step();
+
+  /// Run events until the queue drains or the clock passes `until`.
+  /// The clock lands exactly on `until` if the simulation outlives it.
+  void RunUntil(TimePoint until);
+  /// Convenience: RunUntil(Now() + span).
+  void RunFor(Duration span);
+  /// Drain the queue completely.
+  void RunAll();
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;  // FIFO tie-break
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  SimClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace jamm::netsim

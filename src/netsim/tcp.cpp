@@ -1,0 +1,262 @@
+#include "netsim/tcp.hpp"
+
+#include <algorithm>
+
+#include "common/id.hpp"
+
+namespace jamm::netsim {
+
+TcpFlow::TcpFlow(Network& net, NodeId src, NodeId dst, TcpConfig config)
+    : net_(net),
+      src_(src),
+      dst_(dst),
+      config_(config),
+      flow_id_(NextId()),
+      rto_(config.min_rto) {
+  offered_ = config_.total_bytes;
+  cwnd_ = config_.init_cwnd_pkts * static_cast<double>(config_.mss);
+  ssthresh_ = config_.max_cwnd_pkts * static_cast<double>(config_.mss);
+  net_.SetDeliverHandler(src_, flow_id_,
+                         [this](const Packet& p) { OnSenderPacket(p); });
+  net_.SetDeliverHandler(dst_, flow_id_,
+                         [this](const Packet& p) { OnReceiverPacket(p); });
+  net_.RegisterSocketWindow(dst_, flow_id_, [this] { return cwnd_; });
+}
+
+TcpFlow::~TcpFlow() {
+  net_.ClearDeliverHandler(src_, flow_id_);
+  net_.ClearDeliverHandler(dst_, flow_id_);
+  net_.UnregisterSocketWindow(dst_, flow_id_);
+  // Invalidate any in-flight RTO timer.
+  ++rto_generation_;
+}
+
+void TcpFlow::Start() {
+  if (started_) return;
+  started_ = true;
+  stats_.start_time = net_.sim().Now();
+  TrySend();
+}
+
+void TcpFlow::OfferBytes(std::uint64_t n) {
+  offered_ += n;
+  if (started_) TrySend();
+}
+
+bool TcpFlow::complete() const {
+  return config_.total_bytes > 0 && stats_.bytes_acked >= config_.total_bytes;
+}
+
+double TcpFlow::ThroughputBps() const {
+  const TimePoint end =
+      complete() ? stats_.complete_time : net_.sim().Now();
+  const Duration elapsed = end - stats_.start_time;
+  if (elapsed <= 0) return 0;
+  return static_cast<double>(stats_.bytes_acked) * 8.0 / ToSeconds(elapsed);
+}
+
+void TcpFlow::SetCwnd(double bytes) {
+  const double max_bytes =
+      config_.max_cwnd_pkts * static_cast<double>(config_.mss);
+  const double min_bytes = static_cast<double>(config_.mss);
+  bytes = std::clamp(bytes, min_bytes, max_bytes);
+  if (bytes != cwnd_) {
+    cwnd_ = bytes;
+    if (on_window_change) on_window_change(cwnd_);
+  }
+}
+
+void TcpFlow::TrySend() {
+  if (!started_) return;
+  while (next_seq_ < offered_ &&
+         static_cast<double>(next_seq_ - snd_una_) + config_.mss <= cwnd_) {
+    SendSegment(next_seq_, /*is_retransmit=*/false);
+    next_seq_ += std::min<std::uint64_t>(config_.mss, offered_ - next_seq_);
+  }
+  if (next_seq_ > snd_una_) ArmRtoTimer();
+}
+
+void TcpFlow::SendSegment(std::uint64_t seq, bool is_retransmit) {
+  Packet pkt;
+  pkt.flow = flow_id_;
+  pkt.seq = seq;
+  const std::uint64_t payload =
+      std::min<std::uint64_t>(config_.mss, offered_ - seq);
+  pkt.size = static_cast<std::size_t>(payload) + config_.header_bytes;
+  pkt.is_ack = false;
+  pkt.src = src_;
+  pkt.dst = dst_;
+  ++stats_.segments_sent;
+  if (is_retransmit) {
+    ++stats_.retransmits;
+    retransmitted_.insert(seq);
+    if (on_retransmit) on_retransmit(net_.sim().Now());
+  } else {
+    send_times_.emplace(seq, net_.sim().Now());
+  }
+  net_.SendPacket(pkt);
+}
+
+int TcpFlow::RetransmitHoles(int budget) {
+  if (!config_.enable_sack) {
+    // Plain NewReno: only the head-of-line hole is known to the sender.
+    if (rexmitted_in_recovery_.count(snd_una_)) return 0;
+    SendSegment(snd_una_, /*is_retransmit=*/true);
+    rexmitted_in_recovery_.insert(snd_una_);
+    return 1;
+  }
+  int sent = 0;
+  for (std::uint64_t seq = snd_una_; seq < recover_ && sent < budget;
+       seq += config_.mss) {
+    if (out_of_order_.count(seq) || seq < rcv_next_) continue;  // delivered
+    if (rexmitted_in_recovery_.count(seq)) continue;            // in flight
+    SendSegment(seq, /*is_retransmit=*/true);
+    rexmitted_in_recovery_.insert(seq);
+    ++sent;
+  }
+  return sent;
+}
+
+void TcpFlow::UpdateRtt(Duration sample) {
+  const double s = static_cast<double>(sample);
+  if (srtt_ == 0) {
+    srtt_ = s;
+    rttvar_ = s / 2;
+  } else {
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - s);
+    srtt_ = 0.875 * srtt_ + 0.125 * s;
+  }
+  rto_ = std::clamp<Duration>(static_cast<Duration>(srtt_ + 4 * rttvar_),
+                              config_.min_rto, config_.max_rto);
+}
+
+void TcpFlow::OnSenderPacket(const Packet& ack) {
+  if (!ack.is_ack) return;
+  const std::uint64_t acked = ack.ack_seq;
+  if (acked > snd_una_) {
+    // New data acknowledged.
+    const std::uint64_t newly = acked - snd_una_;
+    // RTT sample from the most recent newly-acked, never-retransmitted
+    // segment (Karn's algorithm).
+    for (auto it = send_times_.begin();
+         it != send_times_.end() && it->first < acked;) {
+      if (!retransmitted_.count(it->first)) {
+        UpdateRtt(net_.sim().Now() - it->second);
+      }
+      retransmitted_.erase(it->first);
+      it = send_times_.erase(it);
+    }
+    snd_una_ = acked;
+    stats_.bytes_acked += newly;
+    dupacks_ = 0;
+    if (in_recovery_ && acked < recover_) {
+      // Partial ack during recovery: keep repairing the scoreboard.
+      // (NewReno mode: the partial ack exposes a new head hole, so the
+      // in-flight marker for the old head no longer blocks us.)
+      if (!config_.enable_sack) rexmitted_in_recovery_.clear();
+      RetransmitHoles(2);
+    } else {
+      if (in_recovery_) {
+        in_recovery_ = false;  // full ack: recovery done
+        rexmitted_in_recovery_.clear();
+      }
+      if (cwnd_ < ssthresh_) {
+        SetCwnd(cwnd_ + static_cast<double>(config_.mss));  // slow start
+      } else {
+        SetCwnd(cwnd_ + static_cast<double>(config_.mss) *
+                            static_cast<double>(config_.mss) / cwnd_);  // CA
+      }
+    }
+    rto_ = std::max(rto_ / 2, config_.min_rto);  // decay backoff on progress
+    if (complete()) {
+      if (stats_.complete_time == 0) {
+        stats_.complete_time = net_.sim().Now();
+        ++rto_generation_;  // disarm timer
+        if (on_complete) on_complete();
+      }
+      return;
+    }
+    ArmRtoTimer();
+    TrySend();
+    return;
+  }
+  if (acked == snd_una_ && next_seq_ > snd_una_) {
+    // Duplicate ACK while data is outstanding.
+    ++dupacks_;
+    if (dupacks_ == 3 && !in_recovery_) {
+      ++stats_.fast_retransmits;
+      in_recovery_ = true;
+      recover_ = next_seq_;
+      rexmitted_in_recovery_.clear();
+      ssthresh_ = std::max(static_cast<double>(next_seq_ - snd_una_) / 2,
+                           2.0 * static_cast<double>(config_.mss));
+      SetCwnd(ssthresh_);
+      RetransmitHoles(2);
+      ArmRtoTimer();
+    } else if (dupacks_ > 3 && in_recovery_) {
+      // Each further dupack signals another delivery: repair more holes.
+      RetransmitHoles(1);
+    }
+  }
+}
+
+void TcpFlow::OnReceiverPacket(const Packet& data) {
+  if (data.is_ack) return;
+  const std::uint64_t payload =
+      data.size > config_.header_bytes ? data.size - config_.header_bytes : 0;
+  if (data.seq == rcv_next_) {
+    rcv_next_ += payload;
+    std::uint64_t delivered = payload;
+    // Drain any buffered out-of-order segments that are now in order.
+    auto it = out_of_order_.find(rcv_next_);
+    while (it != out_of_order_.end()) {
+      const std::uint64_t seg_payload =
+          std::min<std::uint64_t>(config_.mss, offered_ - *it);
+      rcv_next_ += seg_payload;
+      delivered += seg_payload;
+      out_of_order_.erase(it);
+      it = out_of_order_.find(rcv_next_);
+    }
+    stats_.bytes_delivered += delivered;
+    if (on_deliver) on_deliver(delivered, net_.sim().Now());
+  } else if (data.seq > rcv_next_) {
+    out_of_order_.insert(data.seq);
+  }
+  // Cumulative ACK for every arriving data segment (dupacks included).
+  SendAck();
+}
+
+void TcpFlow::SendAck() {
+  Packet ack;
+  ack.flow = flow_id_;
+  ack.is_ack = true;
+  ack.ack_seq = rcv_next_;
+  ack.size = config_.header_bytes;
+  ack.src = dst_;
+  ack.dst = src_;
+  net_.SendPacket(ack);
+}
+
+void TcpFlow::ArmRtoTimer() {
+  const std::uint64_t generation = ++rto_generation_;
+  rto_armed_ = true;
+  net_.sim().Schedule(rto_, [this, generation] { OnRtoFire(generation); });
+}
+
+void TcpFlow::OnRtoFire(std::uint64_t generation) {
+  if (generation != rto_generation_ || !rto_armed_) return;
+  if (snd_una_ >= next_seq_) return;  // nothing outstanding
+  ++stats_.timeouts;
+  in_recovery_ = true;
+  recover_ = next_seq_;
+  rexmitted_in_recovery_.clear();
+  ssthresh_ = std::max(cwnd_ / 2, 2.0 * static_cast<double>(config_.mss));
+  SetCwnd(static_cast<double>(config_.mss));
+  dupacks_ = 0;
+  rto_ = std::min<Duration>(rto_ * 2, config_.max_rto);  // Karn backoff
+  SendSegment(snd_una_, /*is_retransmit=*/true);
+  rexmitted_in_recovery_.insert(snd_una_);
+  ArmRtoTimer();
+}
+
+}  // namespace jamm::netsim

@@ -1,0 +1,136 @@
+#include "ntp/ntp.hpp"
+
+#include <algorithm>
+
+#include "common/id.hpp"
+
+namespace jamm::ntp {
+
+namespace {
+constexpr std::size_t kNtpPacketBytes = 76;  // 48B NTP + UDP/IP headers
+}  // namespace
+
+HostClock::HostClock(const Clock& true_clock, Duration initial_offset,
+                     double drift_ppm)
+    : true_clock_(true_clock),
+      drift_ppm_(drift_ppm),
+      anchor_truth_(true_clock.Now()),
+      phase_(true_clock.Now() + initial_offset) {}
+
+TimePoint HostClock::Now() const {
+  const TimePoint truth = true_clock_.Now();
+  const double drifted = static_cast<double>(truth - anchor_truth_) *
+                         (1.0 + (drift_ppm_ + freq_adjust_ppm_) / 1e6);
+  return phase_ + static_cast<Duration>(drifted);
+}
+
+void HostClock::Checkpoint() {
+  const TimePoint now_local = Now();
+  anchor_truth_ = true_clock_.Now();
+  phase_ = now_local;
+}
+
+void HostClock::Adjust(Duration correction) {
+  Checkpoint();
+  phase_ += correction;
+}
+
+void HostClock::AdjustFrequency(double delta_ppm) {
+  Checkpoint();
+  freq_adjust_ppm_ += delta_ppm;
+}
+
+Duration HostClock::ErrorVsTrue() const {
+  return Now() - true_clock_.Now();
+}
+
+SntpServer::SntpServer(netsim::Network& net, netsim::NodeId node)
+    : net_(net), node_(node), flow_id_(NextId()) {
+  // The server answers any request addressed to its well-known flow:
+  // stamp with true time and bounce the packet to the requester's flow.
+  net_.SetDeliverHandler(node_, flow_id_, [this](const netsim::Packet& req) {
+    netsim::Packet reply;
+    reply.flow = req.reply_to;
+    reply.seq = req.seq;  // correlate
+    reply.size = kNtpPacketBytes;
+    reply.src = node_;
+    reply.dst = req.src;
+    reply.aux = net_.sim().Now();  // t2 ≈ t3: GPS-true server time
+    net_.SendPacket(reply);
+  });
+}
+
+SntpServer::~SntpServer() { net_.ClearDeliverHandler(node_, flow_id_); }
+
+SntpClient::SntpClient(netsim::Network& net, netsim::NodeId node,
+                       HostClock& clock, const SntpServer& server)
+    : net_(net),
+      node_(node),
+      clock_(clock),
+      server_(server.node()),
+      server_flow_(server.flow_id()) {
+  flow_id_ = NextId();
+  net_.SetDeliverHandler(node_, flow_id_,
+                         [this](const netsim::Packet& p) { OnReply(p); });
+}
+
+SntpClient::~SntpClient() { net_.ClearDeliverHandler(node_, flow_id_); }
+
+void SntpClient::SyncOnce(SyncCallback done) {
+  netsim::Packet req;
+  req.flow = server_flow_;
+  req.seq = next_req_++;
+  req.size = kNtpPacketBytes;
+  req.src = node_;
+  req.dst = server_;
+  req.reply_to = flow_id_;
+  pending_[req.seq] = {clock_.Now(), std::move(done)};
+  net_.SendPacket(req);
+}
+
+void SntpClient::OnReply(const netsim::Packet& reply) {
+  auto it = pending_.find(reply.seq);
+  if (it == pending_.end()) return;
+  const TimePoint t1 = it->second.t1_local;
+  const TimePoint t4 = clock_.Now();
+  const TimePoint t2 = reply.aux;  // == t3
+  // offset = ((t2 - t1) + (t3 - t4)) / 2, with t3 == t2.
+  const Duration offset = ((t2 - t1) + (t2 - t4)) / 2;
+  const Duration delay = t4 - t1;  // minus server processing (zero here)
+  clock_.Adjust(offset);
+  // Frequency discipline (xntpd PLL, simplified): the offset accumulated
+  // since the previous sync estimates the residual frequency error.
+  if (last_sync_local_ >= 0) {
+    const Duration elapsed = t4 - last_sync_local_;
+    if (elapsed > kSecond) {
+      double ppm_error = static_cast<double>(offset) /
+                         static_cast<double>(elapsed) * 1e6;
+      ppm_error = std::clamp(ppm_error, -500.0, 500.0);
+      clock_.AdjustFrequency(0.7 * ppm_error);
+    }
+  }
+  last_sync_local_ = t4;
+  last_offset_ = offset;
+  last_delay_ = delay;
+  ++syncs_completed_;
+  SyncCallback done = std::move(it->second.done);
+  pending_.erase(it);
+  if (done) done(offset, delay);
+}
+
+NtpDaemon::NtpDaemon(netsim::Simulator& sim, SntpClient& client,
+                     Duration interval)
+    : sim_(sim), client_(client), interval_(interval) {}
+
+void NtpDaemon::Start() {
+  if (running_) return;
+  running_ = true;
+  Tick();
+}
+
+void NtpDaemon::Tick() {
+  client_.SyncOnce();
+  sim_.Schedule(interval_, [this] { Tick(); });
+}
+
+}  // namespace jamm::ntp

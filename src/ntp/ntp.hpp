@@ -1,0 +1,136 @@
+// Clock synchronization substrate (paper §4.3): NetLogger "assumes the
+// existence of accurate and synchronized system clocks", achieved with
+// NTP against GPS-served servers — "all the hosts' clocks can be
+// synchronized to within about 0.25ms. If the closest time source is
+// several IP router hops away, accuracy may decrease somewhat...
+// synchronization within 1 ms is accurate enough for many types of
+// analysis."
+//
+// HostClock models a drifting local clock; SntpClient runs the classic
+// four-timestamp exchange over the network simulator (request t1 → server
+// stamps t2/t3 → reply t4; offset = ((t2-t1)+(t3-t4))/2) and slews the
+// clock; NtpDaemon re-syncs periodically. Accuracy degrades with path
+// asymmetry, i.e. the per-hop jitter configured on the links.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "netsim/network.hpp"
+
+namespace jamm::ntp {
+
+/// A host's local clock: true time plus a fixed offset, a drift rate, and
+/// whatever corrections NTP has applied. The clock is piecewise-linear:
+/// phase and frequency adjustments checkpoint the current reading and
+/// change the rate only going forward (as adjtime/ntp_adjtime do).
+class HostClock final : public Clock {
+ public:
+  /// `drift_ppm`: parts-per-million frequency error (typical crystal:
+  /// tens of ppm).
+  HostClock(const Clock& true_clock, Duration initial_offset,
+            double drift_ppm);
+
+  TimePoint Now() const override;
+
+  /// Step the clock by `correction` (NTP phase adjustment).
+  void Adjust(Duration correction);
+
+  /// Discipline the clock frequency by `delta_ppm` going forward
+  /// (xntpd's frequency lock — without it, drift between polls dominates
+  /// the error budget).
+  void AdjustFrequency(double delta_ppm);
+  double frequency_adjustment_ppm() const { return freq_adjust_ppm_; }
+
+  /// Signed error vs true time right now (what the paper's "accuracy"
+  /// measures; only the simulation can see this).
+  Duration ErrorVsTrue() const;
+
+ private:
+  void Checkpoint();
+
+  const Clock& true_clock_;
+  double drift_ppm_;
+  double freq_adjust_ppm_ = 0;
+  TimePoint anchor_truth_;  // true time of the last checkpoint
+  TimePoint phase_;         // local reading at the last checkpoint
+};
+
+/// One NTP server node; assumed GPS-disciplined (serves true time), as the
+/// paper's per-subnet GPS NTP servers were.
+class SntpServer {
+ public:
+  SntpServer(netsim::Network& net, netsim::NodeId node);
+  ~SntpServer();
+
+  netsim::NodeId node() const { return node_; }
+  /// The server's well-known request flow (the simulator's "port 123").
+  std::uint64_t flow_id() const { return flow_id_; }
+
+ private:
+  netsim::Network& net_;
+  netsim::NodeId node_;
+  std::uint64_t flow_id_;
+};
+
+class SntpClient {
+ public:
+  SntpClient(netsim::Network& net, netsim::NodeId node, HostClock& clock,
+             const SntpServer& server);
+  ~SntpClient();
+
+  /// Perform one exchange; `done` (optional) runs after the correction is
+  /// applied with the measured offset and round-trip delay.
+  using SyncCallback = std::function<void(Duration offset, Duration delay)>;
+  void SyncOnce(SyncCallback done = nullptr);
+
+  Duration last_offset() const { return last_offset_; }
+  Duration last_delay() const { return last_delay_; }
+  std::uint64_t syncs_completed() const { return syncs_completed_; }
+
+ private:
+  void OnReply(const netsim::Packet& reply);
+
+  netsim::Network& net_;
+  netsim::NodeId node_;
+  HostClock& clock_;
+  netsim::NodeId server_;
+  std::uint64_t server_flow_;
+  std::uint64_t flow_id_;
+
+  struct Pending {
+    TimePoint t1_local;
+    SyncCallback done;
+  };
+  std::map<std::uint64_t, Pending> pending_;  // request seq → state
+  std::uint64_t next_req_ = 1;
+  Duration last_offset_ = 0;
+  Duration last_delay_ = 0;
+  TimePoint last_sync_local_ = -1;  // for the frequency discipline
+  std::uint64_t syncs_completed_ = 0;
+};
+
+/// Periodic re-sync, like xntpd: first sync at start, then every
+/// `interval`.
+class NtpDaemon {
+ public:
+  NtpDaemon(netsim::Simulator& sim, SntpClient& client,
+            Duration interval = 64 * kSecond);
+
+  void Start();
+
+ private:
+  void Tick();
+
+  netsim::Simulator& sim_;
+  SntpClient& client_;
+  Duration interval_;
+  bool running_ = false;
+};
+
+/// NTP message payload layout note: the simulator carries the server
+/// receive/transmit stamps in the reply packet's payload; since netsim
+/// packets have no payload field, stamps travel in a side table keyed by
+/// (flow, seq) inside SntpServer — see ntp.cpp.
+}  // namespace jamm::ntp

@@ -1,0 +1,57 @@
+#include "rpc/httpsim.hpp"
+
+namespace jamm::rpc {
+
+void HttpSimServer::Put(const std::string& path, std::string content) {
+  std::lock_guard lock(mu_);
+  Doc& doc = docs_[path];
+  doc.content = std::move(content);
+  ++doc.version;
+}
+
+Result<std::string> HttpSimServer::Get(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  ++requests_;
+  if (!available_) return Status::Unavailable("http server down");
+  auto it = docs_.find(path);
+  if (it == docs_.end()) return Status::NotFound("404: " + path);
+  return it->second.content;
+}
+
+Result<std::string> HttpSimServer::GetIfModified(
+    const std::string& path, std::uint64_t known_version,
+    std::uint64_t* version_out) const {
+  std::lock_guard lock(mu_);
+  ++requests_;
+  if (!available_) return Status::Unavailable("http server down");
+  auto it = docs_.find(path);
+  if (it == docs_.end()) return Status::NotFound("404: " + path);
+  if (it->second.version == known_version) {
+    return Status::Aborted("304: not modified");
+  }
+  if (version_out) *version_out = it->second.version;
+  return it->second.content;
+}
+
+std::uint64_t HttpSimServer::Version(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  auto it = docs_.find(path);
+  return it == docs_.end() ? 0 : it->second.version;
+}
+
+void HttpSimServer::SetAvailable(bool available) {
+  std::lock_guard lock(mu_);
+  available_ = available;
+}
+
+std::uint64_t HttpSimServer::request_count() const {
+  std::lock_guard lock(mu_);
+  return requests_;
+}
+
+std::function<Result<std::string>()> HttpSimServer::MakeFetcher(
+    const std::string& path) {
+  return [this, path]() { return Get(path); };
+}
+
+}  // namespace jamm::rpc

@@ -1,0 +1,54 @@
+// HTTP-sim codebase/config server. The paper relies on HTTP in two places:
+// "Sensors to be run are specified by a configuration file, which may be
+// local or on a remote HTTP server" (§2.2) and "RMI objects can be
+// dynamically downloaded from an HTTP server every time the RMI daemon is
+// restarted, making software updates trivial" (§3). This in-process
+// document store provides those semantics: versioned documents, GET with
+// not-modified short-circuit, and availability fault injection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace jamm::rpc {
+
+class HttpSimServer {
+ public:
+  /// Store/replace a document; bumps its version.
+  void Put(const std::string& path, std::string content);
+
+  Result<std::string> Get(const std::string& path) const;
+
+  /// Conditional GET: NotFound if missing, Aborted if unchanged since
+  /// `known_version` (the 304 analogue), otherwise content + version out.
+  Result<std::string> GetIfModified(const std::string& path,
+                                    std::uint64_t known_version,
+                                    std::uint64_t* version_out) const;
+
+  std::uint64_t Version(const std::string& path) const;  // 0 if missing
+
+  /// Fault injection: while down, every request is Unavailable.
+  void SetAvailable(bool available);
+
+  std::uint64_t request_count() const;
+
+  /// A fetcher closure for SensorManager::SetConfigFetcher.
+  std::function<Result<std::string>()> MakeFetcher(const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  struct Doc {
+    std::string content;
+    std::uint64_t version = 0;
+  };
+  std::map<std::string, Doc> docs_;
+  bool available_ = true;
+  mutable std::uint64_t requests_ = 0;
+};
+
+}  // namespace jamm::rpc

@@ -1,0 +1,84 @@
+#include "rpc/registry.hpp"
+
+namespace jamm::rpc {
+
+Result<std::string> MethodTableObject::Invoke(
+    const std::string& method, const std::vector<std::string>& args) {
+  auto it = methods_.find(method);
+  if (it == methods_.end()) {
+    return Status::NotFound("no method " + method);
+  }
+  return it->second(args);
+}
+
+Status Registry::RegisterActivatable(const std::string& name, Factory factory,
+                                     Duration idle_timeout) {
+  if (slots_.count(name)) return Status::AlreadyExists("object " + name);
+  if (!factory) return Status::InvalidArgument("null factory for " + name);
+  Slot slot;
+  slot.factory = std::move(factory);
+  slot.idle_timeout = idle_timeout;
+  slots_[name] = std::move(slot);
+  return Status::Ok();
+}
+
+Status Registry::RegisterResident(const std::string& name,
+                                  std::shared_ptr<RemoteObject> object) {
+  if (slots_.count(name)) return Status::AlreadyExists("object " + name);
+  if (!object) return Status::InvalidArgument("null object for " + name);
+  Slot slot;
+  slot.object = std::move(object);
+  slots_[name] = std::move(slot);
+  return Status::Ok();
+}
+
+Status Registry::Unregister(const std::string& name) {
+  if (slots_.erase(name) == 0) return Status::NotFound("object " + name);
+  return Status::Ok();
+}
+
+Result<std::string> Registry::Invoke(const std::string& name,
+                                     const std::string& method,
+                                     const std::vector<std::string>& args) {
+  auto it = slots_.find(name);
+  if (it == slots_.end()) return Status::NotFound("no object " + name);
+  Slot& slot = it->second;
+  if (!slot.object) {
+    // Activation on first use.
+    slot.object = slot.factory();
+    if (!slot.object) return Status::Internal("factory for " + name +
+                                              " returned null");
+    ++stats_.activations;
+  }
+  slot.last_used = clock_.Now();
+  ++stats_.invocations;
+  return slot.object->Invoke(method, args);
+}
+
+std::size_t Registry::MaintenanceTick() {
+  const TimePoint now = clock_.Now();
+  std::size_t unloaded = 0;
+  for (auto& [name, slot] : slots_) {
+    if (slot.factory && slot.object &&
+        now - slot.last_used >= slot.idle_timeout) {
+      slot.object.reset();  // "unload themselves after a period of inactivity"
+      ++unloaded;
+      ++stats_.unloads;
+    }
+  }
+  return unloaded;
+}
+
+bool Registry::IsActive(const std::string& name) const {
+  auto it = slots_.find(name);
+  return it != slots_.end() && it->second.object != nullptr;
+}
+
+std::vector<std::string> Registry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) out.push_back(name);
+  return out;
+}
+
+}  // namespace jamm::rpc

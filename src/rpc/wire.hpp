@@ -1,0 +1,57 @@
+// RPC over the transport layer: marshalled call/reply messages serving a
+// Registry to remote callers, so sensor managers and gateways can be
+// invoked across hosts as the paper's RMI objects were.
+//
+// Message protocol:
+//   "rpc.call"   payload = marshalled [object, method, arg0, arg1, ...]
+//   "rpc.ok"     payload = marshalled [result]
+//   "rpc.error"  payload = status text
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/registry.hpp"
+#include "transport/message.hpp"
+
+namespace jamm::rpc {
+
+/// Marshal a string list (varint length-prefixed, binary-safe).
+std::string EncodeStrings(const std::vector<std::string>& parts);
+Result<std::vector<std::string>> DecodeStrings(std::string_view data);
+
+class RpcServer {
+ public:
+  RpcServer(Registry& registry,
+            std::unique_ptr<transport::Listener> listener);
+
+  /// Accept pending connections, serve pending calls; returns calls
+  /// served. Also runs the registry's idle-unload maintenance.
+  std::size_t PollOnce();
+
+  const std::string& address() const { return address_; }
+
+ private:
+  Registry& registry_;
+  std::unique_ptr<transport::Listener> listener_;
+  std::string address_;
+  std::vector<std::shared_ptr<transport::Channel>> connections_;
+};
+
+class RpcClient {
+ public:
+  explicit RpcClient(std::unique_ptr<transport::Channel> channel)
+      : channel_(std::move(channel)) {}
+
+  /// Synchronous call; waits up to `timeout` for the reply.
+  Result<std::string> Call(const std::string& object,
+                           const std::string& method,
+                           const std::vector<std::string>& args = {},
+                           Duration timeout = 5 * kSecond);
+
+ private:
+  std::unique_ptr<transport::Channel> channel_;
+};
+
+}  // namespace jamm::rpc

@@ -1,0 +1,112 @@
+#include "security/akenti.hpp"
+
+#include "common/strings.hpp"
+
+namespace jamm::security {
+
+void PolicyEngine::AddUseCondition(const std::string& resource,
+                                   UseCondition condition) {
+  conditions_[resource].push_back(std::move(condition));
+}
+
+std::set<std::string> PolicyEngine::AllowedActions(
+    const std::string& resource, const Certificate& identity,
+    const std::vector<Certificate>& attributes) const {
+  std::set<std::string> granted;
+  auto it = conditions_.find(resource);
+  if (it == conditions_.end()) return granted;
+  for (const auto& cond : it->second) {
+    if (!cond.subject_glob.empty() &&
+        !GlobMatch(cond.subject_glob, identity.subject)) {
+      continue;
+    }
+    if (!cond.required_attr.empty()) {
+      bool satisfied = false;
+      for (const auto& attr_cert : attributes) {
+        if (attr_cert.subject != identity.subject) continue;
+        auto attr = attr_cert.attributes.find(cond.required_attr);
+        if (attr != attr_cert.attributes.end() &&
+            attr->second == cond.required_value) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) continue;
+    }
+    granted.insert(cond.actions.begin(), cond.actions.end());
+  }
+  return granted;
+}
+
+Authorizer::Authorizer(PolicyEngine& policy,
+                       std::vector<Certificate> trusted_roots,
+                       const Clock& clock)
+    : policy_(policy), trusted_roots_(std::move(trusted_roots)), clock_(clock) {}
+
+Result<std::string> Authorizer::Authenticate(
+    const Certificate& identity,
+    const std::vector<Certificate>& attribute_certs) {
+  const TimePoint now = clock_.Now();
+  JAMM_RETURN_IF_ERROR(VerifyCertificate(identity, trusted_roots_, now));
+  Session session;
+  session.identity = identity;
+  // Only verified attribute certificates about this subject count.
+  for (const auto& attr : attribute_certs) {
+    if (attr.subject == identity.subject &&
+        VerifyCertificate(attr, trusted_roots_, now).ok()) {
+      session.attributes.push_back(attr);
+    }
+  }
+  sessions_[identity.subject] = std::move(session);
+  return identity.subject;
+}
+
+std::set<std::string> Authorizer::AllowedActions(
+    const std::string& resource, const std::string& principal) const {
+  auto it = sessions_.find(principal);
+  if (it == sessions_.end()) return {};
+  return policy_.AllowedActions(resource, it->second.identity,
+                                it->second.attributes);
+}
+
+bool Authorizer::Check(const std::string& resource, const std::string& action,
+                       const std::string& principal) const {
+  return AllowedActions(resource, principal).count(action) > 0;
+}
+
+Result<std::string> Authorizer::LocalUser(const std::string& principal) const {
+  if (!has_gridmap_) return Status::NotFound("no gridmap configured");
+  return gridmap_.MapSubject(principal);
+}
+
+gateway::EventGateway::AccessChecker Authorizer::GatewayChecker(
+    const std::string& resource) const {
+  return [this, resource](gateway::Action act, const std::string& principal) {
+    const char* name = nullptr;
+    switch (act) {
+      case gateway::Action::kSubscribe: name = action::kSubscribe; break;
+      case gateway::Action::kQuery: name = action::kQuery; break;
+      case gateway::Action::kSummary: name = action::kSummary; break;
+      case gateway::Action::kStartSensor: name = action::kStartSensor; break;
+    }
+    return Check(resource, name, principal);
+  };
+}
+
+directory::DirectoryServer::AccessChecker Authorizer::DirectoryChecker(
+    const std::string& resource) const {
+  return [this, resource](directory::Operation op, const directory::Dn&,
+                          const std::string& principal) {
+    switch (op) {
+      case directory::Operation::kRead:
+        return Check(resource, action::kLookup, principal);
+      case directory::Operation::kWrite:
+        return Check(resource, action::kPublish, principal);
+      case directory::Operation::kBind:
+        return true;  // binding is how you become a principal
+    }
+    return false;
+  };
+}
+
+}  // namespace jamm::security

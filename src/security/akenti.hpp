@@ -1,0 +1,112 @@
+// Akenti-style policy engine and the single authorization interface
+// (paper §7.1): "Akenti provides a way for the resource stakeholders to
+// remotely determine the authorization for resource use based on
+// components of the users distinguished name or attribute certificates...
+// A wrapper to the LDAP server and the gateway could both call the same
+// authorization interface with the user's identity and the name of the
+// resource the user wants to access. This authorization interface could
+// return a list of allowed actions, or simply deny access if the user is
+// unauthorized."
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "directory/server.hpp"
+#include "gateway/gateway.hpp"
+#include "security/certificate.hpp"
+#include "security/gridmap.hpp"
+
+namespace jamm::security {
+
+/// A stakeholder's use-condition: requesters matching the constraint are
+/// granted `actions` on the resource. Conditions are additive (union of
+/// granted actions across all satisfied conditions).
+struct UseCondition {
+  std::vector<std::string> actions;  // e.g. {"subscribe", "query"}
+  /// Constraint on the identity's distinguished name ("" = any subject).
+  std::string subject_glob;
+  /// Required attribute asserted by a verified attribute certificate
+  /// ("" = no attribute requirement).
+  std::string required_attr;
+  std::string required_value;
+};
+
+/// Canonical action names used by the adapters.
+namespace action {
+inline constexpr char kSubscribe[] = "subscribe";
+inline constexpr char kQuery[] = "query";
+inline constexpr char kSummary[] = "summary";
+inline constexpr char kStartSensor[] = "start-sensor";
+inline constexpr char kLookup[] = "lookup";
+inline constexpr char kPublish[] = "publish";
+}  // namespace action
+
+class PolicyEngine {
+ public:
+  void AddUseCondition(const std::string& resource, UseCondition condition);
+
+  /// Union of actions granted to `identity` (with supporting verified
+  /// `attributes`) on `resource`.
+  std::set<std::string> AllowedActions(
+      const std::string& resource, const Certificate& identity,
+      const std::vector<Certificate>& attributes) const;
+
+ private:
+  std::map<std::string, std::vector<UseCondition>> conditions_;
+};
+
+/// The shared authorization interface. Principals authenticate once by
+/// presenting certificates (over the secure channel); each access point
+/// (gateway, directory, manager) then asks the same object whether an
+/// action is allowed.
+class Authorizer {
+ public:
+  Authorizer(PolicyEngine& policy, std::vector<Certificate> trusted_roots,
+             const Clock& clock);
+
+  /// Verify the identity (and any attribute certificates) and register
+  /// the session. The returned principal token (the subject DN) is what
+  /// callers pass to gateways/directories.
+  Result<std::string> Authenticate(
+      const Certificate& identity,
+      const std::vector<Certificate>& attribute_certs = {});
+
+  /// The paper's "return a list of allowed actions".
+  std::set<std::string> AllowedActions(const std::string& resource,
+                                       const std::string& principal) const;
+
+  bool Check(const std::string& resource, const std::string& action,
+             const std::string& principal) const;
+
+  /// Optional gridmap: maps authenticated subjects to local accounts.
+  void SetGridMap(GridMap map) { gridmap_ = std::move(map); has_gridmap_ = true; }
+  Result<std::string> LocalUser(const std::string& principal) const;
+
+  // ----------------------------------------------------------- adapters
+
+  /// Access checker for an EventGateway guarding `resource`.
+  gateway::EventGateway::AccessChecker GatewayChecker(
+      const std::string& resource) const;
+
+  /// Access checker for a DirectoryServer guarding `resource`.
+  directory::DirectoryServer::AccessChecker DirectoryChecker(
+      const std::string& resource) const;
+
+ private:
+  struct Session {
+    Certificate identity;
+    std::vector<Certificate> attributes;
+  };
+
+  PolicyEngine& policy_;
+  std::vector<Certificate> trusted_roots_;
+  const Clock& clock_;
+  std::map<std::string, Session> sessions_;  // principal → session
+  GridMap gridmap_;
+  bool has_gridmap_ = false;
+};
+
+}  // namespace jamm::security

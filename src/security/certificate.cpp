@@ -1,0 +1,79 @@
+#include "security/certificate.hpp"
+
+namespace jamm::security {
+
+std::string Certificate::SignedPayload() const {
+  std::string out;
+  out += kind == Kind::kIdentity ? "identity\n" : "attribute\n";
+  out += "subject=" + subject + "\n";
+  out += "issuer=" + issuer + "\n";
+  out += "key=" + public_key + "\n";
+  out += "from=" + std::to_string(not_before) + "\n";
+  out += "to=" + std::to_string(not_after) + "\n";
+  for (const auto& [k, v] : attributes) {
+    out += "attr:" + k + "=" + v + "\n";
+  }
+  return out;
+}
+
+CertificateAuthority::CertificateAuthority(std::string subject, Rng& rng)
+    : subject_(std::move(subject)), keys_(GenerateKeyPair(rng)) {
+  Certificate cert;
+  cert.kind = Certificate::Kind::kIdentity;
+  cert.subject = subject_;
+  cert.issuer = subject_;  // self-signed root
+  cert.public_key = keys_.public_key;
+  cert.not_before = 0;
+  cert.not_after = 1ll << 62;
+  ca_cert_ = SignCert(std::move(cert));
+}
+
+Certificate CertificateAuthority::SignCert(Certificate cert) const {
+  cert.signature = Sign(keys_.private_key, cert.SignedPayload());
+  return cert;
+}
+
+Certificate CertificateAuthority::IssueIdentity(
+    const std::string& subject, const std::string& subject_public_key,
+    TimePoint not_before, TimePoint not_after) const {
+  Certificate cert;
+  cert.kind = Certificate::Kind::kIdentity;
+  cert.subject = subject;
+  cert.issuer = subject_;
+  cert.public_key = subject_public_key;
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  return SignCert(std::move(cert));
+}
+
+Certificate CertificateAuthority::IssueAttribute(
+    const std::string& subject, std::map<std::string, std::string> attributes,
+    TimePoint not_before, TimePoint not_after) const {
+  Certificate cert;
+  cert.kind = Certificate::Kind::kAttribute;
+  cert.subject = subject;
+  cert.issuer = subject_;
+  cert.attributes = std::move(attributes);
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  return SignCert(std::move(cert));
+}
+
+Status VerifyCertificate(const Certificate& cert,
+                         const std::vector<Certificate>& trusted,
+                         TimePoint now) {
+  if (now < cert.not_before || now > cert.not_after) {
+    return Status::PermissionDenied("certificate for " + cert.subject +
+                                    " expired or not yet valid");
+  }
+  for (const auto& anchor : trusted) {
+    if (anchor.subject != cert.issuer) continue;
+    if (Verify(anchor.public_key, cert.SignedPayload(), cert.signature)) {
+      return Status::Ok();
+    }
+  }
+  return Status::PermissionDenied("no trusted issuer validates " +
+                                  cert.subject);
+}
+
+}  // namespace jamm::security

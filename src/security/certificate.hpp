@@ -1,0 +1,70 @@
+// X.509-style identity and attribute certificates (paper §7.1): "Public
+// key based X.509 identity certificates are a recognized solution for
+// cross-realm identification of users... Akenti provides a way for the
+// resource stakeholders to remotely determine the authorization for
+// resource use based on components of the users distinguished name or
+// attribute certificates."
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "security/crypto.hpp"
+
+namespace jamm::security {
+
+struct Certificate {
+  enum class Kind { kIdentity, kAttribute };
+
+  Kind kind = Kind::kIdentity;
+  std::string subject;     // distinguished name, e.g. "/O=LBNL/CN=tierney"
+  std::string issuer;      // issuing CA's subject
+  std::string public_key;  // subject's public key (identity certs)
+  TimePoint not_before = 0;
+  TimePoint not_after = 0;
+  /// Attribute certs carry assertions about the subject ("group=didc").
+  std::map<std::string, std::string> attributes;
+
+  std::string signature;   // issuer's signature over the fields above
+
+  /// Canonical byte string the signature covers.
+  std::string SignedPayload() const;
+};
+
+class CertificateAuthority {
+ public:
+  /// Self-signed root CA.
+  CertificateAuthority(std::string subject, Rng& rng);
+
+  const std::string& subject() const { return subject_; }
+  /// The CA's own (self-signed) certificate — the trust anchor.
+  const Certificate& ca_certificate() const { return ca_cert_; }
+
+  /// Issue an identity certificate binding `subject` to `subject_key`.
+  Certificate IssueIdentity(const std::string& subject,
+                            const std::string& subject_public_key,
+                            TimePoint not_before, TimePoint not_after) const;
+
+  /// Issue an attribute certificate asserting `attributes` about
+  /// `subject` (Akenti-style).
+  Certificate IssueAttribute(const std::string& subject,
+                             std::map<std::string, std::string> attributes,
+                             TimePoint not_before, TimePoint not_after) const;
+
+ private:
+  Certificate SignCert(Certificate cert) const;
+
+  std::string subject_;
+  KeyPair keys_;
+  Certificate ca_cert_;
+};
+
+/// Verify `cert` was signed by one of `trusted` CA certificates and is
+/// valid at `now`.
+Status VerifyCertificate(const Certificate& cert,
+                         const std::vector<Certificate>& trusted,
+                         TimePoint now);
+
+}  // namespace jamm::security

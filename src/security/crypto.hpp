@@ -1,0 +1,44 @@
+// Simulated public-key primitives for the security layer (paper §7.1).
+//
+// *** NOT CRYPTOGRAPHY. *** The paper's design uses X.509 identity
+// certificates over SSL; what the reproduction needs is the TRUST and
+// AUTHORIZATION structure (who signed what, which subject is asserted,
+// which actions follow), not actual hardness. Key pairs here are random
+// identifiers; "signatures" are 64-bit FNV-1a digests keyed by the
+// private value; verification consults a process-global table emulating
+// the asymmetric math (only the matching public key validates). See
+// DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace jamm::security {
+
+/// FNV-1a 64-bit digest, rendered as hex.
+std::string Digest(std::string_view data);
+
+struct KeyPair {
+  std::string public_key;   // shareable identifier
+  std::string private_key;  // signing secret
+};
+
+/// Deterministic given the rng state; registers the pair so Verify works.
+KeyPair GenerateKeyPair(Rng& rng);
+
+/// Sign `message` with a private key.
+std::string Sign(const std::string& private_key, std::string_view message);
+
+/// True iff `signature` was produced over `message` by the private key
+/// matching `public_key`.
+bool Verify(const std::string& public_key, std::string_view message,
+            std::string_view signature);
+
+/// Test hook: forget all registered key pairs.
+void ResetKeyRegistryForTest();
+
+}  // namespace jamm::security

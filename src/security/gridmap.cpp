@@ -1,0 +1,47 @@
+#include "security/gridmap.hpp"
+
+#include "common/strings.hpp"
+
+namespace jamm::security {
+
+Result<GridMap> GridMap::Parse(std::string_view text) {
+  GridMap map;
+  int line_no = 0;
+  for (const auto& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = TrimView(raw);
+    if (line.empty() || line[0] == '#') continue;
+    // Subject is quoted (it contains spaces); local user follows.
+    if (line[0] != '"') {
+      return Status::ParseError("gridmap line " + std::to_string(line_no) +
+                                ": subject must be quoted");
+    }
+    const std::size_t close = line.find('"', 1);
+    if (close == std::string_view::npos) {
+      return Status::ParseError("gridmap line " + std::to_string(line_no) +
+                                ": unterminated subject");
+    }
+    std::string subject(line.substr(1, close - 1));
+    std::string user = Trim(line.substr(close + 1));
+    if (subject.empty() || user.empty()) {
+      return Status::ParseError("gridmap line " + std::to_string(line_no) +
+                                ": empty subject or user");
+    }
+    map.Add(std::move(subject), std::move(user));
+  }
+  return map;
+}
+
+void GridMap::Add(std::string subject, std::string local_user) {
+  entries_[std::move(subject)] = std::move(local_user);
+}
+
+Result<std::string> GridMap::MapSubject(const std::string& subject) const {
+  auto it = entries_.find(subject);
+  if (it == entries_.end()) {
+    return Status::NotFound("no gridmap entry for " + subject);
+  }
+  return it->second;
+}
+
+}  // namespace jamm::security

@@ -1,0 +1,32 @@
+// GSI-style gridmap (paper §7.1): "A server side map file is used to map
+// the Globus X.509 user identities to local user-ids which can be used by
+// existing access control mechanisms."
+//
+// File format, one mapping per line:
+//   "/O=LBNL/CN=Brian Tierney" tierney
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace jamm::security {
+
+class GridMap {
+ public:
+  static Result<GridMap> Parse(std::string_view text);
+
+  void Add(std::string subject, std::string local_user);
+
+  /// Local account for a certificate subject; NotFound when unmapped
+  /// (the user has no local identity → deny).
+  Result<std::string> MapSubject(const std::string& subject) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace jamm::security

@@ -1,0 +1,187 @@
+#include "security/secure_channel.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "rpc/wire.hpp"
+
+namespace jamm::security {
+namespace {
+
+// A nonce proving the handshake message is fresh and that the sender
+// holds the certificate's private key: sig over (payload + nonce).
+struct Hello {
+  Certificate cert;
+  std::string nonce;
+  std::string proof;  // Sign(private_key, cert payload + nonce)
+};
+
+}  // namespace
+
+std::string SerializeCertificate(const Certificate& cert) {
+  std::vector<std::string> fields;
+  fields.push_back(cert.kind == Certificate::Kind::kIdentity ? "id" : "attr");
+  fields.push_back(cert.subject);
+  fields.push_back(cert.issuer);
+  fields.push_back(cert.public_key);
+  fields.push_back(std::to_string(cert.not_before));
+  fields.push_back(std::to_string(cert.not_after));
+  fields.push_back(cert.signature);
+  for (const auto& [k, v] : cert.attributes) {
+    fields.push_back(k);
+    fields.push_back(v);
+  }
+  return rpc::EncodeStrings(fields);
+}
+
+Result<Certificate> ParseCertificate(std::string_view data) {
+  auto fields = rpc::DecodeStrings(data);
+  if (!fields.ok()) return fields.status();
+  if (fields->size() < 7 || (fields->size() - 7) % 2 != 0) {
+    return Status::ParseError("certificate: wrong field count");
+  }
+  Certificate cert;
+  cert.kind = (*fields)[0] == "id" ? Certificate::Kind::kIdentity
+                                   : Certificate::Kind::kAttribute;
+  cert.subject = (*fields)[1];
+  cert.issuer = (*fields)[2];
+  cert.public_key = (*fields)[3];
+  auto from = ParseInt((*fields)[4]);
+  auto to = ParseInt((*fields)[5]);
+  if (!from.ok() || !to.ok()) {
+    return Status::ParseError("certificate: bad validity stamps");
+  }
+  cert.not_before = *from;
+  cert.not_after = *to;
+  cert.signature = (*fields)[6];
+  for (std::size_t i = 7; i + 1 < fields->size(); i += 2) {
+    cert.attributes[(*fields)[i]] = (*fields)[i + 1];
+  }
+  return cert;
+}
+
+SecureChannel::SecureChannel(std::unique_ptr<transport::Channel> inner,
+                             SecureChannelOptions options)
+    : inner_(std::move(inner)), options_(std::move(options)) {}
+
+Status SecureChannel::Handshake() {
+  if (handshake_done_) return Status::Ok();
+
+  // Send our hello.
+  const std::string nonce =
+      Digest(options_.local_cert.subject + "|" +
+             std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+  const std::string proof =
+      Sign(options_.local_private_key,
+           options_.local_cert.SignedPayload() + nonce);
+  JAMM_RETURN_IF_ERROR(inner_->Send(
+      {"tls.hello", rpc::EncodeStrings({SerializeCertificate(
+                                            options_.local_cert),
+                                        nonce, proof})}));
+
+  // Receive and verify the peer's hello.
+  auto msg = inner_->Receive(options_.handshake_timeout);
+  if (!msg.ok()) return msg.status();
+  if (msg->type != "tls.hello") {
+    return Status::PermissionDenied("peer did not start TLS-sim handshake");
+  }
+  auto parts = rpc::DecodeStrings(msg->payload);
+  if (!parts.ok() || parts->size() != 3) {
+    return Status::ParseError("malformed tls.hello");
+  }
+  auto peer_cert = ParseCertificate((*parts)[0]);
+  if (!peer_cert.ok()) return peer_cert.status();
+  const std::string& peer_nonce = (*parts)[1];
+  const std::string& peer_proof = (*parts)[2];
+
+  // Certificate chain: must descend from a trusted root and be in date.
+  // (Validity uses the peer cert's own window against "now" unknown here;
+  // the caller's trusted roots carry the clock policy. We check issuer
+  // signature; date checks happen at authorization time.)
+  bool trusted = false;
+  for (const auto& root : options_.trusted_roots) {
+    if (root.subject == peer_cert->issuer &&
+        Verify(root.public_key, peer_cert->SignedPayload(),
+               peer_cert->signature)) {
+      trusted = true;
+      break;
+    }
+  }
+  if (!trusted) {
+    return Status::PermissionDenied("peer certificate not signed by a "
+                                    "trusted CA: " + peer_cert->subject);
+  }
+  // Proof of possession: the peer must hold the certificate's key.
+  if (!Verify(peer_cert->public_key,
+              peer_cert->SignedPayload() + peer_nonce, peer_proof)) {
+    return Status::PermissionDenied("peer failed proof of key possession");
+  }
+  // Manager-style allowlist.
+  if (!options_.allowed_peers.empty() &&
+      !options_.allowed_peers.count(peer_cert->subject)) {
+    return Status::PermissionDenied("peer " + peer_cert->subject +
+                                    " not in the allowed list");
+  }
+
+  // Session key: symmetric derivation both ends compute identically.
+  std::vector<std::string> material = {options_.local_cert.public_key,
+                                       peer_cert->public_key, nonce,
+                                       peer_nonce};
+  std::sort(material.begin(), material.end());
+  session_key_ = Digest(Join(material, "|"));
+  peer_subject_ = peer_cert->subject;
+  handshake_done_ = true;
+  return Status::Ok();
+}
+
+Status SecureChannel::Send(const transport::Message& msg) {
+  if (!handshake_done_) {
+    return Status::PermissionDenied("secure channel: handshake not done");
+  }
+  const std::string mac = Digest(session_key_ + "|" + msg.type + "|" +
+                                 msg.payload);
+  return inner_->Send(
+      {"tls.msg", rpc::EncodeStrings({msg.type, msg.payload, mac})});
+}
+
+Result<transport::Message> SecureChannel::Unwrap(
+    const transport::Message& wire) {
+  if (wire.type != "tls.msg") {
+    return Status::PermissionDenied("plaintext message on secure channel: " +
+                                    wire.type);
+  }
+  auto parts = rpc::DecodeStrings(wire.payload);
+  if (!parts.ok() || parts->size() != 3) {
+    return Status::ParseError("malformed tls.msg");
+  }
+  const std::string expected =
+      Digest(session_key_ + "|" + (*parts)[0] + "|" + (*parts)[1]);
+  if (expected != (*parts)[2]) {
+    return Status::PermissionDenied("message authentication failed");
+  }
+  return transport::Message{(*parts)[0], (*parts)[1]};
+}
+
+Result<transport::Message> SecureChannel::Receive(Duration timeout) {
+  if (!handshake_done_) {
+    return Status::PermissionDenied("secure channel: handshake not done");
+  }
+  auto wire = inner_->Receive(timeout);
+  if (!wire.ok()) return wire.status();
+  return Unwrap(*wire);
+}
+
+std::optional<transport::Message> SecureChannel::TryReceive() {
+  if (!handshake_done_) return std::nullopt;
+  auto wire = inner_->TryReceive();
+  if (!wire) return std::nullopt;
+  auto msg = Unwrap(*wire);
+  if (!msg.ok()) return std::nullopt;  // tampered frames are dropped
+  return std::move(*msg);
+}
+
+std::string SecureChannel::peer() const {
+  return "tls:" + (peer_subject_.empty() ? inner_->peer() : peer_subject_);
+}
+
+}  // namespace jamm::security

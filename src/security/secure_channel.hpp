@@ -1,0 +1,71 @@
+// SSL-sim secure channel (paper §7.1): "When the certificate is presented
+// through a secure protocol such as SSL, the server side can be assured
+// that the connection is indeed to the legitimate user named in the
+// certificate." Also supports the manager-side peer allowlist: "a sensor
+// manager only needs to communicate with a small known set of gateway
+// agents and thus can just have a list of the Identity Certificates for
+// each agent to which it will allow a connection."
+//
+// Handshake: each side sends its certificate + nonce; both verify against
+// their trusted roots (and the optional subject allowlist); a session key
+// is derived and every subsequent message carries a keyed digest. Uses
+// the simulated PKI from crypto.hpp — NOT real cryptography.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "security/certificate.hpp"
+#include "transport/message.hpp"
+
+namespace jamm::security {
+
+/// Serialize/parse certificates for the wire.
+std::string SerializeCertificate(const Certificate& cert);
+Result<Certificate> ParseCertificate(std::string_view data);
+
+struct SecureChannelOptions {
+  Certificate local_cert;                 // presented to the peer
+  std::string local_private_key;          // proves cert ownership
+  std::vector<Certificate> trusted_roots;
+  /// When non-empty, only these peer subjects may connect (the sensor
+  /// manager's known-gateways list).
+  std::set<std::string> allowed_peers;
+  Duration handshake_timeout = 5 * kSecond;
+};
+
+/// Wraps an established (plaintext) channel in the authenticated
+/// envelope. Both sides must call Handshake before exchanging messages.
+class SecureChannel final : public transport::Channel {
+ public:
+  SecureChannel(std::unique_ptr<transport::Channel> inner,
+                SecureChannelOptions options);
+
+  /// Run the certificate exchange. On success, peer_subject() is set.
+  Status Handshake();
+
+  const std::string& peer_subject() const { return peer_subject_; }
+  bool handshake_done() const { return handshake_done_; }
+
+  // transport::Channel interface (envelope-protected).
+  Status Send(const transport::Message& msg) override;
+  Result<transport::Message> Receive(Duration timeout) override;
+  std::optional<transport::Message> TryReceive() override;
+  void Close() override { inner_->Close(); }
+  bool IsOpen() const override { return inner_->IsOpen(); }
+  std::string peer() const override;
+
+ private:
+  Result<transport::Message> Unwrap(const transport::Message& wire);
+
+  std::unique_ptr<transport::Channel> inner_;
+  SecureChannelOptions options_;
+  std::string session_key_;
+  std::string peer_subject_;
+  bool handshake_done_ = false;
+};
+
+}  // namespace jamm::security

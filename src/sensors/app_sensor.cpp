@@ -1,0 +1,45 @@
+#include "sensors/app_sensor.hpp"
+
+namespace jamm::sensors {
+
+AppSensorBridge::AppSensorBridge(std::string name, const Clock& clock,
+                                 std::string host, Duration interval)
+    : Sensor(std::move(name), type::kApplication, clock, std::move(host),
+             interval),
+      buffer_(std::make_shared<netlogger::MemorySink>()) {
+  sink_ = buffer_;
+}
+
+void AppSensorBridge::Inject(ulm::Record rec) {
+  (void)buffer_->Write(std::move(rec));
+}
+
+void AppSensorBridge::SetStaticThreshold(std::string field, double limit) {
+  threshold_field_ = std::move(field);
+  threshold_limit_ = limit;
+  threshold_set_ = true;
+}
+
+void AppSensorBridge::DoPoll(std::vector<ulm::Record>& out) {
+  for (auto& rec : buffer_->TakeRecords()) {
+    bool fire_threshold = false;
+    double value = 0;
+    if (threshold_set_) {
+      auto v = rec.GetDouble(threshold_field_);
+      if (v.ok() && *v > threshold_limit_) {
+        fire_threshold = true;
+        value = *v;
+      }
+    }
+    out.push_back(std::move(rec));
+    if (fire_threshold) {
+      auto alert = MakeEvent(event::kAppThreshold, ulm::level::kWarning);
+      alert.SetField("FIELD", threshold_field_);
+      alert.SetField("VAL", value);
+      alert.SetField("THRESHOLD", threshold_limit_);
+      out.push_back(std::move(alert));
+    }
+  }
+}
+
+}  // namespace jamm::sensors

@@ -1,0 +1,71 @@
+#include "sensors/factory.hpp"
+
+#include "sensors/app_sensor.hpp"
+#include "sensors/host_sensors.hpp"
+#include "sensors/network_sensor.hpp"
+#include "sensors/process_sensor.hpp"
+
+namespace jamm::sensors {
+
+Result<std::unique_ptr<Sensor>> CreateSensor(const ConfigSection& section,
+                                             const SensorContext& context) {
+  if (context.clock == nullptr || context.host == nullptr) {
+    return Status::InvalidArgument("sensor context missing clock or host");
+  }
+  const std::string name = section.GetString("name");
+  if (name.empty()) {
+    return Status::InvalidArgument("sensor config missing 'name'");
+  }
+  const std::string kind = section.GetString("kind");
+  const Duration interval = section.GetInt("interval_ms", 1000) * kMillisecond;
+  if (interval <= 0) {
+    return Status::InvalidArgument("sensor '" + name + "': bad interval");
+  }
+
+  if (kind == "vmstat") {
+    return std::unique_ptr<Sensor>(
+        new VmstatSensor(name, *context.clock, *context.host, interval));
+  }
+  if (kind == "netstat") {
+    return std::unique_ptr<Sensor>(new NetstatSensor(
+        name, *context.clock, *context.host, interval,
+        section.GetBool("emit_raw_counter", true)));
+  }
+  if (kind == "iostat") {
+    return std::unique_ptr<Sensor>(
+        new IostatSensor(name, *context.clock, *context.host, interval));
+  }
+  if (kind == "process") {
+    const std::string process = section.GetString("process");
+    if (process.empty()) {
+      return Status::InvalidArgument("sensor '" + name +
+                                     "': process kind needs 'process'");
+    }
+    std::optional<double> threshold;
+    if (section.Has("user_threshold")) {
+      threshold = section.GetDouble("user_threshold");
+    }
+    return std::unique_ptr<Sensor>(new ProcessSensor(
+        name, *context.clock, *context.host, process, interval, threshold,
+        section.GetInt("threshold_window_s", 60) * kSecond));
+  }
+  if (kind == "snmp") {
+    const std::string device = section.GetString("device");
+    auto it = context.devices.find(device);
+    if (it == context.devices.end()) {
+      return Status::NotFound("sensor '" + name + "': unknown device '" +
+                              device + "'");
+    }
+    return std::unique_ptr<Sensor>(new SnmpNetworkSensor(
+        name, *context.clock, *it->second,
+        static_cast<std::uint32_t>(section.GetInt("ifindex", 1)), interval));
+  }
+  if (kind == "application") {
+    return std::unique_ptr<Sensor>(new AppSensorBridge(
+        name, *context.clock, context.host->host(), interval));
+  }
+  return Status::InvalidArgument("sensor '" + name + "': unknown kind '" +
+                                 kind + "'");
+}
+
+}  // namespace jamm::sensors

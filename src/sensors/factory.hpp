@@ -1,0 +1,39 @@
+// Config-driven sensor construction — how the sensor manager turns a
+// configuration-file [sensor] block into a live sensor (paper §2.2:
+// "Sensors to be run are specified by a configuration file").
+//
+// Recognized keys:
+//   name        = vmstat-dpss1          (required, unique per host)
+//   kind        = vmstat | netstat | iostat | process | snmp | application
+//   interval_ms = 1000                  (default 1000)
+//   process     = dpss_server           (kind=process)
+//   user_threshold / threshold_window_s (kind=process, optional)
+//   device      = router-east           (kind=snmp)
+//   ifindex     = 1                     (kind=snmp)
+//   mode        = always | on-request | on-port   (consumed by the manager)
+//   ports       = 21, 8080                        (mode=on-port)
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/config.hpp"
+#include "sensors/sensor.hpp"
+#include "sysmon/simhost.hpp"
+#include "sysmon/snmp.hpp"
+
+namespace jamm::sensors {
+
+/// Everything a factory call may need; the manager owns one per host.
+struct SensorContext {
+  const Clock* clock = nullptr;
+  sysmon::SimHost* host = nullptr;  // also the MetricsProvider
+  /// SNMP devices reachable from this manager, by name.
+  std::map<std::string, const sysmon::SnmpAgent*> devices;
+};
+
+Result<std::unique_ptr<Sensor>> CreateSensor(const ConfigSection& section,
+                                             const SensorContext& context);
+
+}  // namespace jamm::sensors

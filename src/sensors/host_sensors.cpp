@@ -1,0 +1,94 @@
+#include "sensors/host_sensors.hpp"
+
+namespace jamm::sensors {
+
+VmstatSensor::VmstatSensor(std::string name, const Clock& clock,
+                           sysmon::MetricsProvider& provider,
+                           Duration interval)
+    : Sensor(std::move(name), type::kCpu, clock, provider.host(), interval),
+      provider_(provider) {}
+
+void VmstatSensor::DoPoll(std::vector<ulm::Record>& out) {
+  auto metrics = provider_.Sample();
+  if (!metrics.ok()) return;  // tool failed this round; try next poll
+
+  auto user = MakeEvent(event::kVmstatUserTime);
+  user.SetField("VAL", metrics->cpu_user_pct);
+  out.push_back(std::move(user));
+
+  auto sys = MakeEvent(event::kVmstatSysTime);
+  sys.SetField("VAL", metrics->cpu_sys_pct);
+  out.push_back(std::move(sys));
+
+  auto mem = MakeEvent(event::kVmstatFreeMemory);
+  mem.SetField("VAL", metrics->mem_free_kb);
+  out.push_back(std::move(mem));
+
+  if (have_last_) {
+    auto intr = MakeEvent(event::kVmstatInterrupts);
+    intr.SetField("VAL", metrics->interrupts - last_interrupts_);
+    out.push_back(std::move(intr));
+  }
+  last_interrupts_ = metrics->interrupts;
+  have_last_ = true;
+}
+
+NetstatSensor::NetstatSensor(std::string name, const Clock& clock,
+                             sysmon::MetricsProvider& provider,
+                             Duration interval, bool emit_raw_counter)
+    : Sensor(std::move(name), type::kNetwork, clock, provider.host(),
+             interval),
+      provider_(provider),
+      emit_raw_counter_(emit_raw_counter) {}
+
+void NetstatSensor::DoPoll(std::vector<ulm::Record>& out) {
+  auto metrics = provider_.Sample();
+  if (!metrics.ok()) return;
+
+  if (emit_raw_counter_) {
+    auto raw = MakeEvent(event::kNetstatRetrans);
+    raw.SetField("VAL", metrics->tcp_retransmits);
+    out.push_back(std::move(raw));
+  }
+
+  if (have_last_) {
+    const std::int64_t delta = metrics->tcp_retransmits - last_retransmits_;
+    if (delta > 0) {
+      auto retrans = MakeEvent(event::kTcpdRetransmits, ulm::level::kWarning);
+      retrans.SetField("VAL", delta);
+      out.push_back(std::move(retrans));
+    }
+    if (metrics->tcp_window_bytes != last_window_) {
+      auto window = MakeEvent(event::kTcpdWindowSize);
+      window.SetField("VAL", metrics->tcp_window_bytes);
+      out.push_back(std::move(window));
+    }
+  }
+  last_retransmits_ = metrics->tcp_retransmits;
+  last_window_ = metrics->tcp_window_bytes;
+  have_last_ = true;
+}
+
+IostatSensor::IostatSensor(std::string name, const Clock& clock,
+                           sysmon::MetricsProvider& provider,
+                           Duration interval)
+    : Sensor(std::move(name), type::kDisk, clock, provider.host(), interval),
+      provider_(provider) {}
+
+void IostatSensor::DoPoll(std::vector<ulm::Record>& out) {
+  auto metrics = provider_.Sample();
+  if (!metrics.ok()) return;
+  if (have_last_) {
+    auto read = MakeEvent(event::kIostatReadKb);
+    read.SetField("VAL", metrics->disk_read_kb - last_read_kb_);
+    out.push_back(std::move(read));
+    auto write = MakeEvent(event::kIostatWriteKb);
+    write.SetField("VAL", metrics->disk_write_kb - last_write_kb_);
+    out.push_back(std::move(write));
+  }
+  last_read_kb_ = metrics->disk_read_kb;
+  last_write_kb_ = metrics->disk_write_kb;
+  have_last_ = true;
+}
+
+}  // namespace jamm::sensors

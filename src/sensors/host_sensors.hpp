@@ -1,0 +1,80 @@
+// Host sensors — the vmstat / netstat / iostat equivalents the paper's
+// sensor manager launches (§2.0: "designed to facilitate the execution of
+// monitoring programs, such as netstat, iostat, and vmstat"). Each poll
+// reads a MetricsProvider snapshot and emits the same figures the real
+// tool prints; event names follow the paper's Figure 7 trace
+// (VMSTAT_SYS_TIME, VMSTAT_USER_TIME, VMSTAT_FREE_MEMORY,
+// TCPD_RETRANSMITS, ...).
+#pragma once
+
+#include "sensors/sensor.hpp"
+#include "sysmon/metrics.hpp"
+
+namespace jamm::sensors {
+
+/// Event names emitted by host sensors.
+namespace event {
+inline constexpr char kVmstatUserTime[] = "VMSTAT_USER_TIME";
+inline constexpr char kVmstatSysTime[] = "VMSTAT_SYS_TIME";
+inline constexpr char kVmstatFreeMemory[] = "VMSTAT_FREE_MEMORY";
+inline constexpr char kVmstatInterrupts[] = "VMSTAT_INTERRUPTS";
+inline constexpr char kNetstatRetrans[] = "NETSTAT_RETRANS";
+inline constexpr char kTcpdRetransmits[] = "TCPD_RETRANSMITS";
+inline constexpr char kTcpdWindowSize[] = "TCPD_WINDOW_SIZE";
+inline constexpr char kIostatReadKb[] = "IOSTAT_READ_KB";
+inline constexpr char kIostatWriteKb[] = "IOSTAT_WRITE_KB";
+}  // namespace event
+
+/// CPU + memory sensor; every poll emits VMSTAT_USER_TIME / VMSTAT_SYS_TIME
+/// / VMSTAT_FREE_MEMORY (+ interrupt rate) with the value in "VAL".
+class VmstatSensor final : public Sensor {
+ public:
+  VmstatSensor(std::string name, const Clock& clock,
+               sysmon::MetricsProvider& provider, Duration interval);
+
+ private:
+  void DoPoll(std::vector<ulm::Record>& out) override;
+
+  sysmon::MetricsProvider& provider_;
+  std::int64_t last_interrupts_ = 0;
+  bool have_last_ = false;
+};
+
+/// TCP sensor modeled on the paper's modified tcpdump [21]: emits a
+/// TCPD_RETRANSMITS point event whenever the retransmit counter advanced
+/// since the previous poll (VAL = delta), and TCPD_WINDOW_SIZE whenever
+/// the advertised window changed. Also emits the raw NETSTAT_RETRANS
+/// counter every poll — the paper's example of data most consumers want
+/// filtered to changes only (§2.2 event gateway).
+class NetstatSensor final : public Sensor {
+ public:
+  NetstatSensor(std::string name, const Clock& clock,
+                sysmon::MetricsProvider& provider, Duration interval,
+                bool emit_raw_counter = true);
+
+ private:
+  void DoPoll(std::vector<ulm::Record>& out) override;
+
+  sysmon::MetricsProvider& provider_;
+  bool emit_raw_counter_;
+  std::int64_t last_retransmits_ = 0;
+  std::int64_t last_window_ = -1;
+  bool have_last_ = false;
+};
+
+/// Disk I/O rates, as iostat would report per interval.
+class IostatSensor final : public Sensor {
+ public:
+  IostatSensor(std::string name, const Clock& clock,
+               sysmon::MetricsProvider& provider, Duration interval);
+
+ private:
+  void DoPoll(std::vector<ulm::Record>& out) override;
+
+  sysmon::MetricsProvider& provider_;
+  std::int64_t last_read_kb_ = 0;
+  std::int64_t last_write_kb_ = 0;
+  bool have_last_ = false;
+};
+
+}  // namespace jamm::sensors

@@ -1,0 +1,53 @@
+#include "sensors/network_sensor.hpp"
+
+namespace jamm::sensors {
+
+SnmpNetworkSensor::SnmpNetworkSensor(std::string name, const Clock& clock,
+                                     const sysmon::SnmpAgent& device,
+                                     std::uint32_t ifindex, Duration interval)
+    : Sensor(std::move(name), type::kNetwork, clock, device.name(), interval),
+      device_(device),
+      ifindex_(ifindex) {}
+
+void SnmpNetworkSensor::DoPoll(std::vector<ulm::Record>& out) {
+  const std::int64_t in =
+      device_.Counter(sysmon::oid::IfInOctets(ifindex_)).value_or(0);
+  const std::int64_t out_octets =
+      device_.Counter(sysmon::oid::IfOutOctets(ifindex_)).value_or(0);
+  const std::int64_t errors =
+      device_.Counter(sysmon::oid::IfInErrors(ifindex_)).value_or(0);
+  const std::int64_t crc =
+      device_.Counter(sysmon::oid::IfCrcErrors(ifindex_)).value_or(0);
+
+  if (have_last_) {
+    auto in_rec = MakeEvent(event::kSnmpIfInOctets);
+    in_rec.SetField("IF", static_cast<std::int64_t>(ifindex_));
+    in_rec.SetField("VAL", in - last_in_);
+    out.push_back(std::move(in_rec));
+
+    auto out_rec = MakeEvent(event::kSnmpIfOutOctets);
+    out_rec.SetField("IF", static_cast<std::int64_t>(ifindex_));
+    out_rec.SetField("VAL", out_octets - last_out_);
+    out.push_back(std::move(out_rec));
+
+    if (errors > last_errors_) {
+      auto rec = MakeEvent(event::kSnmpIfErrors, ulm::level::kError);
+      rec.SetField("IF", static_cast<std::int64_t>(ifindex_));
+      rec.SetField("VAL", errors - last_errors_);
+      out.push_back(std::move(rec));
+    }
+    if (crc > last_crc_) {
+      auto rec = MakeEvent(event::kSnmpCrcErrors, ulm::level::kError);
+      rec.SetField("IF", static_cast<std::int64_t>(ifindex_));
+      rec.SetField("VAL", crc - last_crc_);
+      out.push_back(std::move(rec));
+    }
+  }
+  last_in_ = in;
+  last_out_ = out_octets;
+  last_errors_ = errors;
+  last_crc_ = crc;
+  have_last_ = true;
+}
+
+}  // namespace jamm::sensors

@@ -1,0 +1,39 @@
+// Network sensors (paper §2.2): "perform SNMP queries to a network device,
+// typically a router or switch." Each poll walks the interface counters of
+// one device and reports throughput deltas plus error/CRC point events
+// (§6 monitored "SNMP errors on the end switches and routers").
+#pragma once
+
+#include <map>
+
+#include "sensors/sensor.hpp"
+#include "sysmon/snmp.hpp"
+
+namespace jamm::sensors {
+
+namespace event {
+inline constexpr char kSnmpIfInOctets[] = "SNMP_IF_IN_OCTETS";
+inline constexpr char kSnmpIfOutOctets[] = "SNMP_IF_OUT_OCTETS";
+inline constexpr char kSnmpIfErrors[] = "SNMP_IF_ERRORS";
+inline constexpr char kSnmpCrcErrors[] = "SNMP_CRC_ERRORS";
+}  // namespace event
+
+class SnmpNetworkSensor final : public Sensor {
+ public:
+  /// Monitors interface `ifindex` of `device`. The HOST field carries the
+  /// device name — the sensor may run anywhere ("Host sensors may be
+  /// layered on top of SNMP-based tools, and therefore run remotely").
+  SnmpNetworkSensor(std::string name, const Clock& clock,
+                    const sysmon::SnmpAgent& device, std::uint32_t ifindex,
+                    Duration interval);
+
+ private:
+  void DoPoll(std::vector<ulm::Record>& out) override;
+
+  const sysmon::SnmpAgent& device_;
+  std::uint32_t ifindex_;
+  std::int64_t last_in_ = 0, last_out_ = 0, last_errors_ = 0, last_crc_ = 0;
+  bool have_last_ = false;
+};
+
+}  // namespace jamm::sensors

@@ -1,0 +1,68 @@
+#include "sensors/process_sensor.hpp"
+
+namespace jamm::sensors {
+
+ProcessSensor::ProcessSensor(std::string name, const Clock& clock,
+                             sysmon::SimHost& host, std::string process_name,
+                             Duration interval,
+                             std::optional<double> user_threshold,
+                             Duration threshold_window)
+    : Sensor(std::move(name), type::kProcess, clock, host.host(), interval),
+      host_machine_(host),
+      process_name_(std::move(process_name)),
+      user_threshold_(user_threshold),
+      threshold_window_(threshold_window) {}
+
+void ProcessSensor::DoPoll(std::vector<ulm::Record>& out) {
+  const auto info = host_machine_.FindProcess(process_name_);
+  const bool running = info && info->running;
+
+  // Status-change events. A process that has never been seen and isn't
+  // running produces nothing (nothing to report yet).
+  if (last_running_.has_value() && running != *last_running_) {
+    if (running) {
+      auto rec = MakeEvent(event::kProcStarted);
+      rec.SetField("PROC", process_name_);
+      rec.SetField("PID", static_cast<std::int64_t>(info->pid));
+      out.push_back(std::move(rec));
+    } else {
+      const bool crashed = info && info->crashed;
+      auto rec = MakeEvent(
+          crashed ? event::kProcDiedAbnormal : event::kProcDiedNormal,
+          crashed ? ulm::level::kError : ulm::level::kWarning);
+      rec.SetField("PROC", process_name_);
+      out.push_back(std::move(rec));
+    }
+  } else if (!last_running_.has_value() && running) {
+    auto rec = MakeEvent(event::kProcStarted);
+    rec.SetField("PROC", process_name_);
+    rec.SetField("PID", static_cast<std::int64_t>(info->pid));
+    out.push_back(std::move(rec));
+  }
+  last_running_ = running;
+
+  // Dynamic threshold on the sliding average of the user gauge.
+  if (user_threshold_ && running) {
+    const TimePoint now = clock().Now();
+    user_samples_.push_back({now, info->users});
+    while (!user_samples_.empty() &&
+           user_samples_.front().ts < now - threshold_window_) {
+      user_samples_.pop_front();
+    }
+    double sum = 0;
+    for (const auto& s : user_samples_) sum += static_cast<double>(s.users);
+    const double avg = sum / static_cast<double>(user_samples_.size());
+    if (avg > *user_threshold_ && !above_threshold_) {
+      above_threshold_ = true;
+      auto rec = MakeEvent(event::kProcThreshold, ulm::level::kWarning);
+      rec.SetField("PROC", process_name_);
+      rec.SetField("AVG_USERS", avg);
+      rec.SetField("THRESHOLD", *user_threshold_);
+      out.push_back(std::move(rec));
+    } else if (avg <= *user_threshold_) {
+      above_threshold_ = false;  // re-arm
+    }
+  }
+}
+
+}  // namespace jamm::sensors

@@ -1,0 +1,51 @@
+// Process sensors (paper §2.2): "generate events when there is a change in
+// process status (for example, when it starts, dies normally, or dies
+// abnormally). They might also generate an event if some dynamic threshold
+// is reached (for example, if the average number of users over a certain
+// time period exceeds a given threshold)."
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sensors/sensor.hpp"
+#include "sysmon/simhost.hpp"
+
+namespace jamm::sensors {
+
+namespace event {
+inline constexpr char kProcStarted[] = "PROC_STARTED";
+inline constexpr char kProcDiedNormal[] = "PROC_DIED_NORMAL";
+inline constexpr char kProcDiedAbnormal[] = "PROC_DIED_ABNORMAL";
+inline constexpr char kProcThreshold[] = "PROC_THRESHOLD_EXCEEDED";
+}  // namespace event
+
+class ProcessSensor final : public Sensor {
+ public:
+  /// Optional dynamic threshold: fire PROC_THRESHOLD_EXCEEDED when the
+  /// average of the process's `users` gauge over `threshold_window`
+  /// exceeds `user_threshold` (edge-triggered; re-arms when it drops back).
+  ProcessSensor(std::string name, const Clock& clock, sysmon::SimHost& host,
+                std::string process_name, Duration interval,
+                std::optional<double> user_threshold = std::nullopt,
+                Duration threshold_window = 60 * kSecond);
+
+ private:
+  void DoPoll(std::vector<ulm::Record>& out) override;
+
+  sysmon::SimHost& host_machine_;
+  std::string process_name_;
+  std::optional<double> user_threshold_;
+  Duration threshold_window_;
+
+  std::optional<bool> last_running_;   // unknown before first poll
+  bool above_threshold_ = false;
+
+  struct UserSample {
+    TimePoint ts;
+    std::int64_t users;
+  };
+  std::deque<UserSample> user_samples_;
+};
+
+}  // namespace jamm::sensors

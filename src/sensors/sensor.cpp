@@ -1,0 +1,39 @@
+#include "sensors/sensor.hpp"
+
+namespace jamm::sensors {
+
+Sensor::Sensor(std::string name, std::string type, const Clock& clock,
+               std::string host, Duration interval)
+    : name_(std::move(name)),
+      type_(std::move(type)),
+      clock_(clock),
+      host_(std::move(host)),
+      interval_(interval) {}
+
+Status Sensor::Start() {
+  if (running_) return Status::Ok();
+  JAMM_RETURN_IF_ERROR(OnStart());
+  running_ = true;
+  return Status::Ok();
+}
+
+Status Sensor::Stop() {
+  if (!running_) return Status::Ok();
+  running_ = false;
+  return OnStop();
+}
+
+void Sensor::Poll(std::vector<ulm::Record>& out) {
+  if (!running_) return;
+  const std::size_t before = out.size();
+  DoPoll(out);
+  events_emitted_ += out.size() - before;
+}
+
+ulm::Record Sensor::MakeEvent(std::string_view event_name,
+                              std::string_view lvl) const {
+  return ulm::Record(clock_.Now(), host_, name_, std::string(lvl),
+                     std::string(event_name));
+}
+
+}  // namespace jamm::sensors

@@ -1,0 +1,81 @@
+// Sensor framework. Paper §2.2: "A sensor is any program that generates a
+// time-stamped performance monitoring event." Four species exist — host,
+// network, process, and application sensors — all producing ULM records.
+//
+// Sensors are passive pollable objects: the sensor manager starts them,
+// polls them at their configured interval, and routes the emitted events
+// to the gateway. That matches the paper's design, where sensors are
+// external programs whose output the agents collect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "ulm/record.hpp"
+
+namespace jamm::sensors {
+
+class Sensor {
+ public:
+  virtual ~Sensor() = default;
+
+  Sensor(const Sensor&) = delete;
+  Sensor& operator=(const Sensor&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// Sensor species for directory publication: "cpu", "memory", "network",
+  /// "process", "application", ...
+  const std::string& type() const { return type_; }
+  const std::string& host() const { return host_; }
+  Duration interval() const { return interval_; }
+
+  bool running() const { return running_; }
+
+  /// Lifecycle. Start/Stop are idempotent; subclasses extend via On*.
+  Status Start();
+  Status Stop();
+
+  /// Collect events since the last poll into `out`. Only legal while
+  /// running. The manager calls this every `interval()`.
+  void Poll(std::vector<ulm::Record>& out);
+
+  /// Events emitted across the sensor's lifetime (for data-volume benches).
+  std::uint64_t events_emitted() const { return events_emitted_; }
+
+ protected:
+  Sensor(std::string name, std::string type, const Clock& clock,
+         std::string host, Duration interval);
+
+  virtual Status OnStart() { return Status::Ok(); }
+  virtual Status OnStop() { return Status::Ok(); }
+  virtual void DoPoll(std::vector<ulm::Record>& out) = 0;
+
+  /// New record stamped with now/host/sensor-name.
+  ulm::Record MakeEvent(std::string_view event_name,
+                        std::string_view lvl = "Usage") const;
+
+  const Clock& clock() const { return clock_; }
+
+ private:
+  std::string name_;
+  std::string type_;
+  const Clock& clock_;
+  std::string host_;
+  Duration interval_;
+  bool running_ = false;
+  std::uint64_t events_emitted_ = 0;
+};
+
+/// Canonical sensor type strings.
+namespace type {
+inline constexpr char kCpu[] = "cpu";
+inline constexpr char kMemory[] = "memory";
+inline constexpr char kNetwork[] = "network";
+inline constexpr char kProcess[] = "process";
+inline constexpr char kApplication[] = "application";
+inline constexpr char kDisk[] = "disk";
+}  // namespace type
+
+}  // namespace jamm::sensors

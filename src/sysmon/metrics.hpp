@@ -1,0 +1,47 @@
+// Host metrics substrate. JAMM host sensors are thin wrappers over tools
+// like vmstat/netstat/iostat; in this reproduction those tools read from a
+// MetricsProvider. SimHost (simhost.hpp) provides controllable synthetic
+// counters; ProcfsProvider (procfs.hpp) reads the real /proc on Linux.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace jamm::sysmon {
+
+/// One snapshot of a host's counters. Percentages are 0-100; *cumulative*
+/// counters only ever grow (sensors report deltas or current values as the
+/// underlying tools would).
+struct HostMetrics {
+  // vmstat-style
+  double cpu_user_pct = 0;
+  double cpu_sys_pct = 0;
+  double cpu_idle_pct = 100;
+  std::int64_t mem_total_kb = 0;
+  std::int64_t mem_free_kb = 0;
+  std::int64_t interrupts = 0;      // cumulative
+  std::int64_t context_switches = 0;  // cumulative
+
+  // netstat/tcpdump-style
+  std::int64_t tcp_retransmits = 0;  // cumulative
+  std::int64_t tcp_window_bytes = 0;  // current advertised window
+
+  // iostat-style
+  std::int64_t disk_read_kb = 0;   // cumulative
+  std::int64_t disk_write_kb = 0;  // cumulative
+};
+
+class MetricsProvider {
+ public:
+  virtual ~MetricsProvider() = default;
+
+  /// The host this provider describes (fills the ULM HOST field).
+  virtual const std::string& host() const = 0;
+
+  /// Take one snapshot. May fail (e.g. /proc unreadable).
+  virtual Result<HostMetrics> Sample() = 0;
+};
+
+}  // namespace jamm::sysmon

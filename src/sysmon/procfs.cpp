@@ -1,0 +1,119 @@
+#include "sysmon/procfs.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace jamm::sysmon {
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::Unavailable("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+ProcfsProvider::ProcfsProvider(std::string hostname, std::string proc_root)
+    : hostname_(std::move(hostname)), proc_root_(std::move(proc_root)) {}
+
+Result<ProcfsProvider::CpuJiffies> ProcfsProvider::ReadCpu() const {
+  auto text = ReadFile(proc_root_ + "/stat");
+  if (!text.ok()) return text.status();
+  for (const auto& line : Split(*text, '\n')) {
+    if (!StartsWith(line, "cpu ")) continue;
+    auto fields = SplitWhitespace(line);
+    if (fields.size() < 8) {
+      return Status::ParseError("short cpu line in /proc/stat");
+    }
+    CpuJiffies j;
+    j.user = ParseInt(fields[1]).value_or(0);
+    j.nice = ParseInt(fields[2]).value_or(0);
+    j.system = ParseInt(fields[3]).value_or(0);
+    j.idle = ParseInt(fields[4]).value_or(0);
+    j.iowait = ParseInt(fields[5]).value_or(0);
+    j.irq = ParseInt(fields[6]).value_or(0);
+    j.softirq = ParseInt(fields[7]).value_or(0);
+    return j;
+  }
+  return Status::ParseError("no cpu line in /proc/stat");
+}
+
+Result<HostMetrics> ProcfsProvider::Sample() {
+  HostMetrics m;
+
+  // CPU: percentage over the jiffy delta since the previous sample; the
+  // first sample reports the since-boot average.
+  auto cpu = ReadCpu();
+  if (!cpu.ok()) return cpu.status();
+  CpuJiffies delta = *cpu;
+  if (have_last_) {
+    delta.user -= last_.user;
+    delta.nice -= last_.nice;
+    delta.system -= last_.system;
+    delta.idle -= last_.idle;
+    delta.iowait -= last_.iowait;
+    delta.irq -= last_.irq;
+    delta.softirq -= last_.softirq;
+  }
+  last_ = *cpu;
+  have_last_ = true;
+  const double total = static_cast<double>(std::max<std::int64_t>(delta.total(), 1));
+  m.cpu_user_pct = 100.0 * static_cast<double>(delta.user + delta.nice) / total;
+  m.cpu_sys_pct = 100.0 *
+                  static_cast<double>(delta.system + delta.irq + delta.softirq) /
+                  total;
+  m.cpu_idle_pct = 100.0 * static_cast<double>(delta.idle + delta.iowait) / total;
+
+  // Interrupt / context-switch counters also live in /proc/stat.
+  if (auto text = ReadFile(proc_root_ + "/stat"); text.ok()) {
+    for (const auto& line : Split(*text, '\n')) {
+      auto fields = SplitWhitespace(line);
+      if (fields.size() >= 2 && fields[0] == "intr") {
+        m.interrupts = ParseInt(fields[1]).value_or(0);
+      } else if (fields.size() >= 2 && fields[0] == "ctxt") {
+        m.context_switches = ParseInt(fields[1]).value_or(0);
+      }
+    }
+  }
+
+  // Memory.
+  if (auto text = ReadFile(proc_root_ + "/meminfo"); text.ok()) {
+    for (const auto& line : Split(*text, '\n')) {
+      auto fields = SplitWhitespace(line);
+      if (fields.size() >= 2 && fields[0] == "MemTotal:") {
+        m.mem_total_kb = ParseInt(fields[1]).value_or(0);
+      } else if (fields.size() >= 2 && fields[0] == "MemAvailable:") {
+        m.mem_free_kb = ParseInt(fields[1]).value_or(0);
+      }
+    }
+  }
+
+  // TCP retransmits: /proc/net/snmp has a header line naming the columns
+  // followed by a value line; find RetransSegs.
+  if (auto text = ReadFile(proc_root_ + "/net/snmp"); text.ok()) {
+    std::vector<std::string> header;
+    for (const auto& line : Split(*text, '\n')) {
+      if (!StartsWith(line, "Tcp:")) continue;
+      auto fields = SplitWhitespace(line);
+      if (header.empty()) {
+        header = fields;
+        continue;
+      }
+      for (std::size_t i = 0; i < header.size() && i < fields.size(); ++i) {
+        if (header[i] == "RetransSegs") {
+          m.tcp_retransmits = ParseInt(fields[i]).value_or(0);
+        }
+      }
+      break;
+    }
+  }
+
+  return m;
+}
+
+}  // namespace jamm::sysmon

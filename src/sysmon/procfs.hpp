@@ -1,0 +1,41 @@
+// ProcfsProvider: best-effort real-host metrics from the Linux /proc
+// filesystem, so the TCP-transport examples monitor the machine they run
+// on. Reads /proc/stat (CPU, interrupts, context switches), /proc/meminfo
+// (memory), and /proc/net/snmp (TCP retransmits). CPU percentages are
+// derived from jiffy deltas between consecutive samples.
+#pragma once
+
+#include <string>
+
+#include "sysmon/metrics.hpp"
+
+namespace jamm::sysmon {
+
+class ProcfsProvider final : public MetricsProvider {
+ public:
+  /// `proc_root` overridable for tests (point at a fixture directory).
+  explicit ProcfsProvider(std::string hostname,
+                          std::string proc_root = "/proc");
+
+  const std::string& host() const override { return hostname_; }
+
+  Result<HostMetrics> Sample() override;
+
+ private:
+  struct CpuJiffies {
+    std::int64_t user = 0, nice = 0, system = 0, idle = 0, iowait = 0,
+                 irq = 0, softirq = 0;
+    std::int64_t total() const {
+      return user + nice + system + idle + iowait + irq + softirq;
+    }
+  };
+
+  Result<CpuJiffies> ReadCpu() const;
+
+  std::string hostname_;
+  std::string proc_root_;
+  CpuJiffies last_;
+  bool have_last_ = false;
+};
+
+}  // namespace jamm::sysmon

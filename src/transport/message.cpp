@@ -1,0 +1,53 @@
+#include "transport/message.hpp"
+
+namespace jamm::transport {
+namespace {
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) out.push_back(static_cast<char>((v >> (8 * b)) & 0xFF));
+}
+
+bool GetU32(std::string_view data, std::size_t i, std::uint32_t& v) {
+  if (i + 4 > data.size()) return false;
+  v = 0;
+  for (int b = 0; b < 4; ++b) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i + b]))
+         << (8 * b);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Message& msg) {
+  std::string out;
+  out.reserve(8 + msg.type.size() + msg.payload.size());
+  PutU32(out, static_cast<std::uint32_t>(msg.type.size()));
+  out += msg.type;
+  PutU32(out, static_cast<std::uint32_t>(msg.payload.size()));
+  out += msg.payload;
+  return out;
+}
+
+Result<Message> DecodeFrame(std::string_view data, std::size_t* offset) {
+  std::size_t i = *offset;
+  std::uint32_t type_len;
+  if (!GetU32(data, i, type_len)) return Status::NotFound("incomplete frame");
+  if (type_len > kMaxFrameBytes) return Status::ParseError("frame type too large");
+  i += 4;
+  if (i + type_len > data.size()) return Status::NotFound("incomplete frame");
+  std::string type(data.substr(i, type_len));
+  i += type_len;
+  std::uint32_t payload_len;
+  if (!GetU32(data, i, payload_len)) return Status::NotFound("incomplete frame");
+  if (payload_len > kMaxFrameBytes) {
+    return Status::ParseError("frame payload too large");
+  }
+  i += 4;
+  if (i + payload_len > data.size()) return Status::NotFound("incomplete frame");
+  Message msg{std::move(type), std::string(data.substr(i, payload_len))};
+  *offset = i + payload_len;
+  return msg;
+}
+
+}  // namespace jamm::transport

@@ -1,0 +1,76 @@
+// Message transport abstraction. The paper's components talk over Java RMI;
+// our C++ reproduction moves typed messages over a Channel, with two
+// interchangeable implementations:
+//
+//   * in-process (deterministic, queue-backed) — used by tests, benches,
+//     and everything driven by the discrete-event simulator;
+//   * TCP (POSIX sockets) — the production plumbing, exercised by the
+//     realtime_tcp example and the transport integration tests.
+//
+// Wire framing (TCP): u32-LE type length, type bytes, u32-LE payload
+// length, payload bytes. Messages are independent frames; a stream of them
+// concatenates.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace jamm::transport {
+
+struct Message {
+  std::string type;     // dispatch key, e.g. "event", "subscribe", "rpc.call"
+  std::string payload;  // opaque bytes (ULM ASCII/binary, RPC args, ...)
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Upper bound on a single frame; protects against corrupt length prefixes.
+inline constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+/// Serialize/deserialize one frame (used by the TCP channel and tests).
+std::string EncodeFrame(const Message& msg);
+/// Decodes one frame starting at *offset, advancing it. NotFound means
+/// "incomplete frame — need more bytes" (distinct from a ParseError).
+Result<Message> DecodeFrame(std::string_view data, std::size_t* offset);
+
+/// Bidirectional, ordered, reliable message channel.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual Status Send(const Message& msg) = 0;
+
+  /// Blocks up to `timeout`; Timeout status if nothing arrived, Unavailable
+  /// if the peer closed and the buffer is drained.
+  virtual Result<Message> Receive(Duration timeout) = 0;
+
+  /// Non-blocking receive.
+  virtual std::optional<Message> TryReceive() = 0;
+
+  virtual void Close() = 0;
+  virtual bool IsOpen() const = 0;
+
+  /// Diagnostic peer name ("inproc:gateway-a", "127.0.0.1:4823").
+  virtual std::string peer() const = 0;
+};
+
+/// Accepts inbound channels.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Blocks up to `timeout` for one inbound connection.
+  virtual Result<std::unique_ptr<Channel>> Accept(Duration timeout) = 0;
+
+  virtual void Close() = 0;
+
+  /// Dialable address ("inproc:name" or "127.0.0.1:port").
+  virtual std::string address() const = 0;
+};
+
+}  // namespace jamm::transport

@@ -1,0 +1,35 @@
+// Binary ULM codec — the paper (§3) plans "a binary format option for high
+// throughput event data that can not tolerate the parsing overhead of ASCII
+// formats". Layout (little-endian):
+//
+//   magic   u16   0x554C ("UL")
+//   version u8    1
+//   ts      i64   microseconds since epoch
+//   nfields varint  number of (key,value) pairs INCLUDING the required
+//                   HOST/PROG/LVL/NL.EVNT carried as pairs 0..3
+//   pairs   (varint len + bytes) * 2 per field
+//
+// Encoded records are self-delimiting, so streams concatenate directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ulm/record.hpp"
+
+namespace jamm::ulm {
+
+/// Append the binary encoding of `rec` to `out`.
+void EncodeBinary(const Record& rec, std::string& out);
+std::string EncodeBinary(const Record& rec);
+
+/// Decode one record starting at *offset; advances *offset past it.
+Result<Record> DecodeBinary(std::string_view data, std::size_t* offset);
+
+/// Decode a whole concatenated stream.
+Result<std::vector<Record>> DecodeBinaryStream(std::string_view data);
+
+}  // namespace jamm::ulm

@@ -1,0 +1,54 @@
+#include "ulm/xml.hpp"
+
+#include "common/time_util.hpp"
+
+namespace jamm::ulm {
+
+std::string XmlEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string ToXml(const Record& rec) {
+  std::string out = "<event date=\"" + FormatUlmDate(rec.timestamp()) +
+                    "\" host=\"" + XmlEscape(rec.host()) + "\" prog=\"" +
+                    XmlEscape(rec.prog()) + "\" lvl=\"" + XmlEscape(rec.lvl()) +
+                    "\"";
+  if (!rec.event_name().empty()) {
+    out += " name=\"" + XmlEscape(rec.event_name()) + "\"";
+  }
+  if (rec.fields().empty()) {
+    out += "/>";
+    return out;
+  }
+  out += ">";
+  for (const auto& [k, v] : rec.fields()) {
+    out += "<field name=\"" + XmlEscape(k) + "\">" + XmlEscape(v) + "</field>";
+  }
+  out += "</event>";
+  return out;
+}
+
+std::string ToXmlDocument(const std::vector<Record>& records) {
+  std::string out = "<?xml version=\"1.0\"?>\n<events>\n";
+  for (const auto& rec : records) {
+    out += "  ";
+    out += ToXml(rec);
+    out += "\n";
+  }
+  out += "</events>\n";
+  return out;
+}
+
+}  // namespace jamm::ulm

@@ -1,0 +1,26 @@
+// ULM → XML conversion. The paper (§7.0) describes "a ULM to XML filter for
+// the gateway, so a consumer can request either format for event data".
+// The schema is a straightforward attribute/element mapping since the Grid
+// Forum schema standardization the paper awaited never applied here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ulm/record.hpp"
+
+namespace jamm::ulm {
+
+/// One <event> element:
+///   <event date="..." host="..." prog="..." lvl="..." name="...">
+///     <field name="SEND.SZ">49332</field>
+///   </event>
+std::string ToXml(const Record& rec);
+
+/// A whole <events> document.
+std::string ToXmlDocument(const std::vector<Record>& records);
+
+/// Escape &<>"' for attribute and text positions.
+std::string XmlEscape(std::string_view text);
+
+}  // namespace jamm::ulm

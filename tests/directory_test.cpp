@@ -1,0 +1,524 @@
+// Tests for the LDAP-model directory service: DN algebra, filter parsing
+// and matching (with property sweeps), the server's tree integrity, search
+// scopes, referrals, bind/access control, change log, replication, and
+// pool failover.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "directory/dn.hpp"
+#include "directory/filter.hpp"
+#include "directory/replication.hpp"
+#include "directory/schema.hpp"
+#include "directory/server.hpp"
+
+namespace jamm::directory {
+namespace {
+
+Dn MustParse(std::string_view text) {
+  auto dn = Dn::Parse(text);
+  EXPECT_TRUE(dn.ok()) << text;
+  return *dn;
+}
+
+Filter MustFilter(std::string_view text) {
+  auto f = Filter::Parse(text);
+  EXPECT_TRUE(f.ok()) << text << ": " << f.status().ToString();
+  return *f;
+}
+
+// --------------------------------------------------------------------- DN
+
+TEST(DnTest, ParseAndToString) {
+  Dn dn = MustParse("cn=vmstat, host=dpss1.lbl.gov, ou=sensors, o=jamm");
+  EXPECT_EQ(dn.depth(), 4u);
+  EXPECT_EQ(dn.leaf().attr, "cn");
+  EXPECT_EQ(dn.leaf().value, "vmstat");
+  EXPECT_EQ(dn.ToString(), "cn=vmstat, host=dpss1.lbl.gov, ou=sensors, o=jamm");
+}
+
+TEST(DnTest, AttributeNamesCaseFold) {
+  EXPECT_EQ(MustParse("CN=x, O=y"), MustParse("cn=x, o=y"));
+  EXPECT_NE(MustParse("cn=X"), MustParse("cn=x"));  // values case-sensitive
+}
+
+TEST(DnTest, RootParsesFromEmpty) {
+  Dn root = MustParse("");
+  EXPECT_TRUE(root.IsRoot());
+  EXPECT_EQ(root.ToString(), "");
+  EXPECT_TRUE(root.Parent().IsRoot());
+}
+
+TEST(DnTest, ParentAndChild) {
+  Dn base = MustParse("ou=sensors, o=jamm");
+  Dn child = base.Child("host", "dpss1");
+  EXPECT_EQ(child.ToString(), "host=dpss1, ou=sensors, o=jamm");
+  EXPECT_EQ(child.Parent(), base);
+  EXPECT_TRUE(child.IsChildOf(base));
+  EXPECT_FALSE(base.IsChildOf(child));
+}
+
+TEST(DnTest, IsUnderSemantics) {
+  Dn base = MustParse("ou=sensors, o=jamm");
+  Dn deep = MustParse("cn=vmstat, host=dpss1, ou=sensors, o=jamm");
+  EXPECT_TRUE(deep.IsUnder(base));
+  EXPECT_TRUE(base.IsUnder(base));
+  EXPECT_FALSE(base.IsUnder(deep));
+  EXPECT_FALSE(deep.IsChildOf(base));  // two levels down, not a child
+  EXPECT_FALSE(MustParse("ou=sensors, o=other").IsUnder(base));
+  EXPECT_TRUE(deep.IsUnder(Dn{}));  // everything is under the root
+}
+
+TEST(DnTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Dn::Parse("noequals").ok());
+  EXPECT_FALSE(Dn::Parse("=value").ok());
+  EXPECT_FALSE(Dn::Parse("cn=").ok());
+  EXPECT_FALSE(Dn::Parse("cn=a,,o=b").ok());
+}
+
+// ----------------------------------------------------------------- Filter
+
+Entry SensorEntry() {
+  Entry e(MustParse("cn=vmstat, host=dpss1.lbl.gov, ou=sensors, o=jamm"));
+  e.Set("objectclass", "jammSensor");
+  e.Set("sensortype", "cpu");
+  e.Set("host", "dpss1.lbl.gov");
+  e.Set("frequencyms", "1000");
+  return e;
+}
+
+TEST(FilterTest, EqualityMatch) {
+  EXPECT_TRUE(MustFilter("(sensortype=cpu)").Matches(SensorEntry()));
+  EXPECT_FALSE(MustFilter("(sensortype=memory)").Matches(SensorEntry()));
+  EXPECT_FALSE(MustFilter("(absent=x)").Matches(SensorEntry()));
+}
+
+TEST(FilterTest, AttributeNameCaseInsensitive) {
+  EXPECT_TRUE(MustFilter("(SensorType=cpu)").Matches(SensorEntry()));
+}
+
+TEST(FilterTest, PresenceAndSubstring) {
+  EXPECT_TRUE(MustFilter("(objectclass=*)").Matches(SensorEntry()));
+  EXPECT_FALSE(MustFilter("(nope=*)").Matches(SensorEntry()));
+  EXPECT_TRUE(MustFilter("(host=dpss*.lbl.gov)").Matches(SensorEntry()));
+  EXPECT_FALSE(MustFilter("(host=dpss*.anl.gov)").Matches(SensorEntry()));
+  EXPECT_TRUE(MustFilter("(host=*lbl*)").Matches(SensorEntry()));
+}
+
+TEST(FilterTest, NumericComparisons) {
+  EXPECT_TRUE(MustFilter("(frequencyms>=500)").Matches(SensorEntry()));
+  EXPECT_TRUE(MustFilter("(frequencyms<=1000)").Matches(SensorEntry()));
+  EXPECT_FALSE(MustFilter("(frequencyms>=2000)").Matches(SensorEntry()));
+  // Numeric, not lexicographic: "1000" >= "500" numerically though "1" < "5".
+  EXPECT_TRUE(MustFilter("(frequencyms>=999)").Matches(SensorEntry()));
+}
+
+TEST(FilterTest, BooleanCombinators) {
+  EXPECT_TRUE(MustFilter("(&(objectclass=jammSensor)(sensortype=cpu))")
+                  .Matches(SensorEntry()));
+  EXPECT_FALSE(MustFilter("(&(objectclass=jammSensor)(sensortype=mem))")
+                   .Matches(SensorEntry()));
+  EXPECT_TRUE(MustFilter("(|(sensortype=mem)(sensortype=cpu))")
+                  .Matches(SensorEntry()));
+  EXPECT_TRUE(MustFilter("(!(sensortype=mem))").Matches(SensorEntry()));
+  EXPECT_TRUE(
+      MustFilter("(&(objectclass=*)(|(sensortype=cpu)(sensortype=mem))"
+                 "(!(host=evil.example)))")
+          .Matches(SensorEntry()));
+}
+
+TEST(FilterTest, MultiValuedAttributesAnyMatch) {
+  Entry e(MustParse("cn=x, o=jamm"));
+  e.Add("port", "21");
+  e.Add("port", "8080");
+  EXPECT_TRUE(MustFilter("(port=8080)").Matches(e));
+  EXPECT_TRUE(MustFilter("(port=21)").Matches(e));
+  EXPECT_FALSE(MustFilter("(port=80)").Matches(e));
+}
+
+TEST(FilterTest, MatchAllMatchesAnythingWithClass) {
+  EXPECT_TRUE(Filter::MatchAll().Matches(SensorEntry()));
+}
+
+TEST(FilterTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Filter::Parse("").ok());
+  EXPECT_FALSE(Filter::Parse("sensortype=cpu").ok());   // missing parens
+  EXPECT_FALSE(Filter::Parse("(sensortype=cpu").ok());  // unterminated
+  EXPECT_FALSE(Filter::Parse("(&)").ok());              // empty conjunction
+  EXPECT_FALSE(Filter::Parse("(=cpu)").ok());           // empty attr
+  EXPECT_FALSE(Filter::Parse("(a=b)(c=d)").ok());       // trailing junk
+  EXPECT_FALSE(Filter::Parse("(nocomparison)").ok());
+}
+
+TEST(FilterTest, ToStringRoundTripsThroughParse) {
+  const char* filters[] = {
+      "(sensortype=cpu)",
+      "(objectclass=*)",
+      "(host=dpss*.lbl.gov)",
+      "(frequencyms>=500)",
+      "(frequencyms<=99)",
+      "(&(a=1)(b=2))",
+      "(|(a=1)(!(b=2)))",
+  };
+  for (const char* text : filters) {
+    Filter f = MustFilter(text);
+    Filter again = MustFilter(f.ToString());
+    EXPECT_EQ(f.ToString(), again.ToString()) << text;
+  }
+}
+
+TEST(FilterTest, PropertyRandomFiltersAgreeWithDirectEval) {
+  // Random equality/AND/OR trees evaluated against random entries must
+  // agree with a straightforward recursive evaluation oracle.
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    Entry e(MustParse("cn=x, o=p"));
+    const int attr_count = static_cast<int>(rng.Uniform(0, 4));
+    for (int a = 0; a < attr_count; ++a) {
+      e.Set("a" + std::to_string(a), std::to_string(rng.Uniform(0, 2)));
+    }
+    // (a0=0) and (a1=1) ground truth:
+    const bool m0 = e.Get("a0") == "0";
+    const bool m1 = e.Get("a1") == "1";
+    EXPECT_EQ(MustFilter("(&(a0=0)(a1=1))").Matches(e), m0 && m1);
+    EXPECT_EQ(MustFilter("(|(a0=0)(a1=1))").Matches(e), m0 || m1);
+    EXPECT_EQ(MustFilter("(!(a0=0))").Matches(e), !m0);
+  }
+}
+
+// ----------------------------------------------------------------- Server
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest()
+      : suffix_(MustParse("ou=sensors, o=jamm")),
+        server_(suffix_, "ldap://primary") {}
+
+  void AddHostAndSensor(const std::string& host, const std::string& sensor,
+                        const std::string& type = "cpu") {
+    (void)server_.Upsert(schema::MakeHostEntry(suffix_, host));
+    ASSERT_TRUE(server_
+                    .Add(schema::MakeSensorEntry(suffix_, host, sensor, type,
+                                                 "inproc:gw." + host, 1000, 0))
+                    .ok());
+  }
+
+  Dn suffix_;
+  DirectoryServer server_;
+};
+
+TEST_F(ServerTest, AddLookupRoundTrip) {
+  AddHostAndSensor("dpss1", "vmstat");
+  auto entry = server_.Lookup(schema::SensorDn(suffix_, "dpss1", "vmstat"));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->Get(schema::kAttrSensorType), "cpu");
+  EXPECT_EQ(entry->Get(schema::kAttrGateway), "inproc:gw.dpss1");
+}
+
+TEST_F(ServerTest, AddRequiresParent) {
+  Entry orphan(MustParse("cn=x, host=ghost, ou=sensors, o=jamm"));
+  auto s = server_.Add(orphan);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServerTest, AddRejectsOutsideSuffix) {
+  Entry alien(MustParse("cn=x, o=elsewhere"));
+  auto s = server_.Add(alien);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, DuplicateAddRejectedUpsertAccepted) {
+  AddHostAndSensor("dpss1", "vmstat");
+  auto dup = schema::MakeSensorEntry(suffix_, "dpss1", "vmstat", "cpu",
+                                     "inproc:gw.dpss1", 1000, 0);
+  EXPECT_EQ(server_.Add(dup).code(), StatusCode::kAlreadyExists);
+  dup.Set(schema::kAttrStatus, "stopped");
+  ASSERT_TRUE(server_.Upsert(dup).ok());
+  auto entry = server_.Lookup(dup.dn());
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->Get(schema::kAttrStatus), "stopped");
+}
+
+TEST_F(ServerTest, DeleteLeafOnlyAndChildrenBlock) {
+  AddHostAndSensor("dpss1", "vmstat");
+  const Dn host_dn = schema::HostDn(suffix_, "dpss1");
+  auto blocked = server_.Delete(host_dn);
+  ASSERT_FALSE(blocked.ok());
+  ASSERT_TRUE(
+      server_.Delete(schema::SensorDn(suffix_, "dpss1", "vmstat")).ok());
+  EXPECT_TRUE(server_.Delete(host_dn).ok());
+  EXPECT_EQ(server_.Lookup(host_dn).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServerTest, SearchScopes) {
+  AddHostAndSensor("dpss1", "vmstat", "cpu");
+  AddHostAndSensor("dpss1", "netstat", "network");
+  AddHostAndSensor("dpss2", "vmstat", "cpu");
+
+  auto all = server_.Search(suffix_, SearchScope::kSubtree,
+                            MustFilter("(objectclass=jammSensor)"));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->entries.size(), 3u);
+
+  auto hosts = server_.Search(suffix_, SearchScope::kOneLevel,
+                              MustFilter("(objectclass=*)"));
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_EQ(hosts->entries.size(), 2u);  // the two host entries
+
+  auto base = server_.Search(schema::HostDn(suffix_, "dpss1"),
+                             SearchScope::kBase, MustFilter("(objectclass=*)"));
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->entries.size(), 1u);
+
+  auto cpu = server_.Search(suffix_, SearchScope::kSubtree,
+                            MustFilter("(&(objectclass=jammSensor)"
+                                       "(sensortype=cpu))"));
+  ASSERT_TRUE(cpu.ok());
+  EXPECT_EQ(cpu->entries.size(), 2u);
+}
+
+TEST_F(ServerTest, SearchCacheHitsUntilWrite) {
+  AddHostAndSensor("dpss1", "vmstat");
+  const Filter f = MustFilter("(objectclass=jammSensor)");
+  (void)server_.Search(suffix_, SearchScope::kSubtree, f);
+  (void)server_.Search(suffix_, SearchScope::kSubtree, f);
+  (void)server_.Search(suffix_, SearchScope::kSubtree, f);
+  auto stats = server_.stats();
+  EXPECT_EQ(stats.cache_hits, 2u);
+  AddHostAndSensor("dpss2", "vmstat");  // write invalidates
+  (void)server_.Search(suffix_, SearchScope::kSubtree, f);
+  stats = server_.stats();
+  EXPECT_EQ(stats.cache_hits, 2u);  // this one missed
+  EXPECT_GE(stats.cache_misses, 2u);
+}
+
+TEST_F(ServerTest, ReferralsReturnedForIntersectingSubtrees) {
+  server_.AddReferral(MustParse("site=anl, ou=sensors, o=jamm"),
+                      "ldap://anl-directory");
+  auto result = server_.Search(suffix_, SearchScope::kSubtree,
+                               Filter::MatchAll());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->referrals.size(), 1u);
+  EXPECT_EQ(result->referrals[0].target, "ldap://anl-directory");
+
+  auto narrow = server_.Search(MustParse("host=x, site=anl, ou=sensors, o=jamm"),
+                               SearchScope::kSubtree, Filter::MatchAll());
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_EQ(narrow->referrals.size(), 1u);
+}
+
+TEST_F(ServerTest, BindChecksCredentials) {
+  const Dn user = MustParse("uid=tierney, ou=people, o=jamm");
+  server_.SetCredential(user, "s3cret");
+  EXPECT_TRUE(server_.Bind(user, "s3cret").ok());
+  EXPECT_EQ(server_.Bind(user, "wrong").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(server_.Bind(MustParse("uid=nobody, o=jamm"), "x").code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(ServerTest, AccessCheckerEnforced) {
+  AddHostAndSensor("dpss1", "vmstat");
+  server_.SetAccessChecker([](Operation op, const Dn&, const std::string& who) {
+    return op == Operation::kRead ? !who.empty() : who == "admin";
+  });
+  EXPECT_EQ(server_.Lookup(schema::SensorDn(suffix_, "dpss1", "vmstat"), "")
+                .status()
+                .code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_TRUE(
+      server_.Lookup(schema::SensorDn(suffix_, "dpss1", "vmstat"), "alice")
+          .ok());
+  EXPECT_EQ(server_.Upsert(schema::MakeHostEntry(suffix_, "h9"), "alice").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_TRUE(server_.Upsert(schema::MakeHostEntry(suffix_, "h9"), "admin").ok());
+}
+
+TEST_F(ServerTest, DownServerUnavailable) {
+  AddHostAndSensor("dpss1", "vmstat");
+  server_.SetAlive(false);
+  EXPECT_EQ(server_.Lookup(schema::HostDn(suffix_, "dpss1")).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(server_.Upsert(schema::MakeHostEntry(suffix_, "x")).code(),
+            StatusCode::kUnavailable);
+  server_.SetAlive(true);
+  EXPECT_TRUE(server_.Lookup(schema::HostDn(suffix_, "dpss1")).ok());
+}
+
+TEST_F(ServerTest, ChangeLogRecordsSequence) {
+  AddHostAndSensor("dpss1", "vmstat");
+  auto changes = server_.ChangesSince(0);
+  ASSERT_EQ(changes.size(), 2u);  // host + sensor
+  EXPECT_EQ(changes[0].seq, 1u);
+  EXPECT_EQ(changes[1].seq, 2u);
+  EXPECT_EQ(server_.ChangesSince(2).size(), 0u);
+  EXPECT_EQ(server_.last_seq(), 2u);
+}
+
+// ------------------------------------------------------------ Replication
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest()
+      : suffix_(MustParse("ou=sensors, o=jamm")),
+        primary_(std::make_shared<DirectoryServer>(suffix_, "ldap://primary")),
+        replica_(std::make_shared<DirectoryServer>(suffix_, "ldap://replica")),
+        replicator_(primary_) {
+    replicator_.AddReplica(replica_);
+  }
+
+  Dn suffix_;
+  std::shared_ptr<DirectoryServer> primary_;
+  std::shared_ptr<DirectoryServer> replica_;
+  Replicator replicator_;
+};
+
+TEST_F(ReplicationTest, ChangesPropagate) {
+  (void)primary_->Upsert(schema::MakeHostEntry(suffix_, "dpss1"));
+  (void)primary_->Upsert(schema::MakeSensorEntry(suffix_, "dpss1", "vmstat",
+                                                 "cpu", "gw", 1000, 0));
+  EXPECT_FALSE(replicator_.Converged());
+  EXPECT_EQ(replicator_.SyncAll(), 2u);
+  EXPECT_TRUE(replicator_.Converged());
+  auto entry = replica_->Lookup(schema::SensorDn(suffix_, "dpss1", "vmstat"));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->Get(schema::kAttrSensorType), "cpu");
+}
+
+TEST_F(ReplicationTest, ModifyAndDeletePropagate) {
+  (void)primary_->Upsert(schema::MakeHostEntry(suffix_, "dpss1"));
+  (void)replicator_.SyncAll();
+  auto host = schema::MakeHostEntry(suffix_, "dpss1");
+  host.Set("status", "degraded");
+  (void)primary_->Modify(host);
+  (void)replicator_.SyncAll();
+  auto entry = replica_->Lookup(schema::HostDn(suffix_, "dpss1"));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->Get("status"), "degraded");
+
+  (void)primary_->Delete(schema::HostDn(suffix_, "dpss1"));
+  (void)replicator_.SyncAll();
+  EXPECT_EQ(replica_->Lookup(schema::HostDn(suffix_, "dpss1")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ReplicationTest, DownReplicaCatchesUpLater) {
+  replica_->SetAlive(false);
+  (void)primary_->Upsert(schema::MakeHostEntry(suffix_, "dpss1"));
+  EXPECT_EQ(replicator_.SyncAll(), 0u);
+  replica_->SetAlive(true);
+  EXPECT_EQ(replicator_.SyncAll(), 1u);
+  EXPECT_TRUE(replica_->Lookup(schema::HostDn(suffix_, "dpss1")).ok());
+}
+
+TEST_F(ReplicationTest, SyncIsIdempotent) {
+  (void)primary_->Upsert(schema::MakeHostEntry(suffix_, "dpss1"));
+  EXPECT_EQ(replicator_.SyncAll(), 1u);
+  EXPECT_EQ(replicator_.SyncAll(), 0u);
+}
+
+TEST_F(ReplicationTest, PropertyRandomOpsConverge) {
+  Rng rng(17);
+  std::vector<std::string> hosts;
+  for (int op = 0; op < 300; ++op) {
+    const int kind = static_cast<int>(rng.Uniform(0, 2));
+    if (kind == 0 || hosts.empty()) {
+      std::string host = "h" + std::to_string(op);
+      (void)primary_->Upsert(schema::MakeHostEntry(suffix_, host));
+      hosts.push_back(host);
+    } else if (kind == 1) {
+      auto e = schema::MakeHostEntry(
+          suffix_, hosts[static_cast<std::size_t>(
+                       rng.Uniform(0, static_cast<std::int64_t>(hosts.size()) - 1))]);
+      e.Set("load", std::to_string(rng.Uniform(0, 100)));
+      (void)primary_->Upsert(e);
+    } else {
+      const std::size_t idx = static_cast<std::size_t>(
+          rng.Uniform(0, static_cast<std::int64_t>(hosts.size()) - 1));
+      (void)primary_->Delete(schema::HostDn(suffix_, hosts[idx]));
+      hosts.erase(hosts.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    if (rng.Chance(0.2)) (void)replicator_.SyncAll();
+  }
+  (void)replicator_.SyncAll();
+  EXPECT_TRUE(replicator_.Converged());
+  auto p = primary_->Search(suffix_, SearchScope::kSubtree, Filter::MatchAll());
+  auto r = replica_->Search(suffix_, SearchScope::kSubtree, Filter::MatchAll());
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(p->entries.size(), r->entries.size());
+}
+
+// ---------------------------------------------------------------- Failover
+
+TEST_F(ReplicationTest, PoolFailsOverToReplica) {
+  (void)primary_->Upsert(schema::MakeHostEntry(suffix_, "dpss1"));
+  (void)replicator_.SyncAll();
+
+  DirectoryPool pool;
+  pool.AddServer(primary_);
+  pool.AddServer(replica_);
+
+  ASSERT_TRUE(pool.Lookup(schema::HostDn(suffix_, "dpss1")).ok());
+  EXPECT_EQ(pool.last_served_by(), "ldap://primary");
+
+  primary_->SetAlive(false);  // the paper's "failure of the sensor
+                              // directory server" scenario
+  ASSERT_TRUE(pool.Lookup(schema::HostDn(suffix_, "dpss1")).ok());
+  EXPECT_EQ(pool.last_served_by(), "ldap://replica");
+
+  auto search = pool.Search(suffix_, SearchScope::kSubtree, Filter::MatchAll());
+  ASSERT_TRUE(search.ok());
+  EXPECT_EQ(search->entries.size(), 1u);
+
+  // Writes require the primary.
+  EXPECT_EQ(pool.Upsert(schema::MakeHostEntry(suffix_, "x")).code(),
+            StatusCode::kUnavailable);
+
+  replica_->SetAlive(false);
+  EXPECT_EQ(pool.Lookup(schema::HostDn(suffix_, "dpss1")).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(DirectoryPoolTest, EmptyPoolUnavailable) {
+  DirectoryPool pool;
+  EXPECT_EQ(pool.Lookup(MustParse("o=x")).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(pool.Upsert(Entry(MustParse("o=x"))).code(),
+            StatusCode::kUnavailable);
+}
+
+// ------------------------------------------------------------------ Schema
+
+TEST(SchemaTest, SensorEntryShape) {
+  const Dn suffix = MustParse("ou=sensors, o=jamm");
+  Entry e = schema::MakeSensorEntry(suffix, "dpss1.lbl.gov", "netstat",
+                                    "network", "inproc:gw.dpss1", 500,
+                                    42 * kSecond);
+  EXPECT_EQ(e.dn().ToString(),
+            "cn=netstat, host=dpss1.lbl.gov, ou=sensors, o=jamm");
+  EXPECT_EQ(e.Get(schema::kAttrObjectClass), "jammSensor");
+  EXPECT_EQ(e.Get(schema::kAttrFrequencyMs), "500");
+  EXPECT_EQ(e.Get(schema::kAttrStatus), "running");
+  EXPECT_EQ(e.Get(schema::kAttrStartTime), "19700101000042.000000");
+}
+
+TEST(SchemaTest, GatewayArchiveSummaryShapes) {
+  const Dn suffix = MustParse("ou=sensors, o=jamm");
+  Entry gw = schema::MakeGatewayEntry(suffix, "dpss1", "inproc:gw.dpss1");
+  EXPECT_EQ(gw.Get(schema::kAttrObjectClass), "jammGateway");
+  EXPECT_EQ(gw.dn().leaf().value, "gateway");
+
+  Entry ar = schema::MakeArchiveEntry(suffix, "main", "inproc:archive",
+                                      "router+host data");
+  EXPECT_EQ(ar.Get(schema::kAttrObjectClass), "jammArchive");
+  EXPECT_TRUE(ar.dn().IsUnder(suffix));
+
+  Entry sum = schema::MakeSummaryEntry(suffix, "dpss1", "net.throughput.mbps",
+                                       140.0);
+  EXPECT_EQ(sum.Get(schema::kAttrObjectClass), "jammSummary");
+  EXPECT_EQ(sum.Get(schema::kAttrMetric), "net.throughput.mbps");
+}
+
+}  // namespace
+}  // namespace jamm::directory

@@ -1,0 +1,422 @@
+// Tests for the event gateway: filter spec parsing, the four filter modes
+// (including the paper's literal examples — retransmit counter on-change,
+// CPU > 50%, load changes by 20%), summary windows, pub/sub fan-out,
+// query mode, access control, and the remote service protocol over both
+// transports.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gateway/filter.hpp"
+#include "gateway/gateway.hpp"
+#include "gateway/service.hpp"
+#include "transport/inproc.hpp"
+#include "transport/tcp.hpp"
+
+namespace jamm::gateway {
+namespace {
+
+ulm::Record ValueEvent(TimePoint ts, const std::string& event, double value,
+                       const std::string& host = "h1",
+                       const std::string& prog = "sensor") {
+  ulm::Record rec(ts, host, prog, "Usage", event);
+  rec.SetField("VAL", value);
+  return rec;
+}
+
+// -------------------------------------------------------------- FilterSpec
+
+TEST(FilterSpecTest, ParseAllForms) {
+  auto all = FilterSpec::Parse("all");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->mode, FilterSpec::Mode::kAll);
+
+  auto change = FilterSpec::Parse("on-change|NETSTAT_RETRANS");
+  ASSERT_TRUE(change.ok());
+  EXPECT_EQ(change->mode, FilterSpec::Mode::kOnChange);
+  EXPECT_EQ(change->event_glob, "NETSTAT_RETRANS");
+
+  auto thresh = FilterSpec::Parse("threshold:50|VMSTAT_SYS_TIME|VAL");
+  ASSERT_TRUE(thresh.ok());
+  EXPECT_EQ(thresh->mode, FilterSpec::Mode::kThreshold);
+  EXPECT_DOUBLE_EQ(thresh->threshold, 50);
+
+  auto delta = FilterSpec::Parse("delta:20");
+  ASSERT_TRUE(delta.ok());
+  EXPECT_DOUBLE_EQ(delta->delta_percent, 20);
+}
+
+TEST(FilterSpecTest, ParseRejectsBad) {
+  EXPECT_FALSE(FilterSpec::Parse("sometimes").ok());
+  EXPECT_FALSE(FilterSpec::Parse("threshold:abc").ok());
+  EXPECT_FALSE(FilterSpec::Parse("delta:-5").ok());
+  EXPECT_FALSE(FilterSpec::Parse("all|x|y|z").ok());
+}
+
+TEST(FilterSpecTest, RoundTripsToString) {
+  for (const char* text :
+       {"all", "on-change", "threshold:50", "delta:20",
+        "on-change|NETSTAT_RETRANS", "threshold:50|CPU|LOAD"}) {
+    auto spec = FilterSpec::Parse(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    auto again = FilterSpec::Parse(spec->ToString());
+    ASSERT_TRUE(again.ok()) << spec->ToString();
+    EXPECT_EQ(again->ToString(), spec->ToString());
+  }
+}
+
+// ------------------------------------------------------------- EventFilter
+
+TEST(EventFilterTest, OnChangeSuppressesRepeats) {
+  // The paper's example: netstat emits the retransmission counter every
+  // second; consumers only want changes.
+  EventFilter filter(*FilterSpec::Parse("on-change"));
+  EXPECT_TRUE(filter.ShouldDeliver(ValueEvent(1, "NETSTAT_RETRANS", 10)));
+  EXPECT_FALSE(filter.ShouldDeliver(ValueEvent(2, "NETSTAT_RETRANS", 10)));
+  EXPECT_FALSE(filter.ShouldDeliver(ValueEvent(3, "NETSTAT_RETRANS", 10)));
+  EXPECT_TRUE(filter.ShouldDeliver(ValueEvent(4, "NETSTAT_RETRANS", 14)));
+  EXPECT_FALSE(filter.ShouldDeliver(ValueEvent(5, "NETSTAT_RETRANS", 14)));
+}
+
+TEST(EventFilterTest, OnChangeTracksSourcesIndependently) {
+  EventFilter filter(*FilterSpec::Parse("on-change"));
+  EXPECT_TRUE(filter.ShouldDeliver(ValueEvent(1, "E", 5, "hostA")));
+  EXPECT_TRUE(filter.ShouldDeliver(ValueEvent(2, "E", 5, "hostB")));
+  EXPECT_FALSE(filter.ShouldDeliver(ValueEvent(3, "E", 5, "hostA")));
+  EXPECT_FALSE(filter.ShouldDeliver(ValueEvent(4, "E", 5, "hostB")));
+}
+
+TEST(EventFilterTest, ThresholdCrossings) {
+  // "if CPU load becomes greater than 50%" — deliver on crossings.
+  EventFilter filter(*FilterSpec::Parse("threshold:50"));
+  EXPECT_FALSE(filter.ShouldDeliver(ValueEvent(1, "CPU", 30)));  // below
+  EXPECT_FALSE(filter.ShouldDeliver(ValueEvent(2, "CPU", 45)));
+  EXPECT_TRUE(filter.ShouldDeliver(ValueEvent(3, "CPU", 60)));   // crossed up
+  EXPECT_FALSE(filter.ShouldDeliver(ValueEvent(4, "CPU", 70)));  // stays above
+  EXPECT_TRUE(filter.ShouldDeliver(ValueEvent(5, "CPU", 40)));   // crossed down
+}
+
+TEST(EventFilterTest, ThresholdFirstSampleAboveDelivers) {
+  EventFilter filter(*FilterSpec::Parse("threshold:50"));
+  EXPECT_TRUE(filter.ShouldDeliver(ValueEvent(1, "CPU", 80)));
+}
+
+TEST(EventFilterTest, DeltaPercent) {
+  // "if load changes by more than 20%" — relative to last delivered.
+  EventFilter filter(*FilterSpec::Parse("delta:20"));
+  EXPECT_TRUE(filter.ShouldDeliver(ValueEvent(1, "CPU", 50)));   // first
+  EXPECT_FALSE(filter.ShouldDeliver(ValueEvent(2, "CPU", 55)));  // +10%
+  EXPECT_FALSE(filter.ShouldDeliver(ValueEvent(3, "CPU", 59)));  // +18% of 50
+  EXPECT_TRUE(filter.ShouldDeliver(ValueEvent(4, "CPU", 60)));   // +20%
+  EXPECT_FALSE(filter.ShouldDeliver(ValueEvent(5, "CPU", 65)));  // +8.3% of 60
+  EXPECT_TRUE(filter.ShouldDeliver(ValueEvent(6, "CPU", 48)));   // -20%
+}
+
+TEST(EventFilterTest, EventGlobRestricts) {
+  EventFilter filter(*FilterSpec::Parse("all|VMSTAT_*"));
+  EXPECT_TRUE(filter.ShouldDeliver(ValueEvent(1, "VMSTAT_SYS_TIME", 1)));
+  EXPECT_FALSE(filter.ShouldDeliver(ValueEvent(2, "TCPD_RETRANSMITS", 1)));
+}
+
+TEST(EventFilterTest, ValuelessRecordsPassValueFilters) {
+  EventFilter filter(*FilterSpec::Parse("threshold:50"));
+  ulm::Record status(1, "h", "p", "Error", "PROC_DIED_ABNORMAL");
+  EXPECT_TRUE(filter.ShouldDeliver(status));
+}
+
+// ----------------------------------------------------------- SummaryWindow
+
+TEST(SummaryWindowTest, WindowedAverages) {
+  SummaryWindow window;
+  const TimePoint now = 100 * kMinute;
+  window.Add(now - 30 * kSecond, 10);   // inside all windows
+  window.Add(now - 5 * kMinute, 20);    // inside 10m, 60m
+  window.Add(now - 30 * kMinute, 30);   // inside 60m only
+  auto s = window.Compute(now);
+  EXPECT_EQ(s.count_1m, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_1m, 10);
+  EXPECT_EQ(s.count_10m, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_10m, 15);
+  EXPECT_EQ(s.count_60m, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_60m, 20);
+}
+
+TEST(SummaryWindowTest, OldSamplesAgeOut) {
+  SummaryWindow window;
+  window.Add(0, 100);
+  auto s = window.Compute(2 * kHour);
+  EXPECT_EQ(s.count_60m, 0u);
+  EXPECT_EQ(window.sample_count(), 0u);  // pruned
+}
+
+TEST(SummaryWindowTest, MatchesBruteForceOnRandomData) {
+  Rng rng;
+  SummaryWindow window;
+  std::vector<std::pair<TimePoint, double>> samples;
+  SimClock clock(0);
+  for (int i = 0; i < 2000; ++i) {
+    clock.Advance(rng.Uniform(100 * kMillisecond, 5 * kSecond));
+    const double v = rng.UniformReal(0, 100);
+    window.Add(clock.Now(), v);
+    samples.emplace_back(clock.Now(), v);
+  }
+  const TimePoint now = clock.Now();
+  auto s = window.Compute(now);
+  auto brute = [&](Duration span) {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& [ts, v] : samples) {
+      if (ts >= now - span && ts <= now) {
+        sum += v;
+        ++n;
+      }
+    }
+    return std::make_pair(n ? sum / static_cast<double>(n) : 0.0, n);
+  };
+  auto [avg1, n1] = brute(kMinute);
+  auto [avg10, n10] = brute(10 * kMinute);
+  auto [avg60, n60] = brute(60 * kMinute);
+  EXPECT_EQ(s.count_1m, n1);
+  EXPECT_EQ(s.count_10m, n10);
+  EXPECT_EQ(s.count_60m, n60);
+  EXPECT_NEAR(s.avg_1m, avg1, 1e-9);
+  EXPECT_NEAR(s.avg_10m, avg10, 1e-9);
+  EXPECT_NEAR(s.avg_60m, avg60, 1e-9);
+}
+
+// ------------------------------------------------------------ EventGateway
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  GatewayTest() : clock_(0), gw_("gw.hostA", clock_) {}
+
+  SimClock clock_;
+  EventGateway gw_;
+};
+
+TEST_F(GatewayTest, FanOutToMultipleSubscribers) {
+  std::vector<ulm::Record> a, b;
+  ASSERT_TRUE(gw_.Subscribe("consA", {}, [&](const ulm::Record& r) {
+                   a.push_back(r);
+                 }).ok());
+  ASSERT_TRUE(gw_.Subscribe("consB", {}, [&](const ulm::Record& r) {
+                   b.push_back(r);
+                 }).ok());
+  gw_.Publish(ValueEvent(1, "E", 1));
+  gw_.Publish(ValueEvent(2, "E", 2));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 2u);
+  auto stats = gw_.stats();
+  EXPECT_EQ(stats.events_in, 2u);
+  EXPECT_EQ(stats.events_delivered, 4u);
+  EXPECT_EQ(stats.subscriptions, 2u);
+}
+
+TEST_F(GatewayTest, PerSubscriptionFiltering) {
+  std::vector<ulm::Record> all, changes;
+  (void)gw_.Subscribe("all", *FilterSpec::Parse("all"),
+                      [&](const ulm::Record& r) { all.push_back(r); });
+  (void)gw_.Subscribe("changes", *FilterSpec::Parse("on-change"),
+                      [&](const ulm::Record& r) { changes.push_back(r); });
+  for (int i = 0; i < 10; ++i) {
+    gw_.Publish(ValueEvent(i, "NETSTAT_RETRANS", 7));  // constant
+  }
+  gw_.Publish(ValueEvent(10, "NETSTAT_RETRANS", 9));
+  EXPECT_EQ(all.size(), 11u);
+  EXPECT_EQ(changes.size(), 2u);  // first + the change
+  EXPECT_EQ(gw_.stats().events_filtered, 9u);
+}
+
+TEST_F(GatewayTest, UnsubscribeStopsDelivery) {
+  std::vector<ulm::Record> got;
+  auto sub = gw_.Subscribe("c", {}, [&](const ulm::Record& r) {
+    got.push_back(r);
+  });
+  ASSERT_TRUE(sub.ok());
+  gw_.Publish(ValueEvent(1, "E", 1));
+  ASSERT_TRUE(gw_.Unsubscribe(*sub).ok());
+  gw_.Publish(ValueEvent(2, "E", 2));
+  EXPECT_EQ(got.size(), 1u);
+  EXPECT_FALSE(gw_.Unsubscribe(*sub).ok());  // already gone
+  EXPECT_FALSE(gw_.Unsubscribe("sub-999999").ok());
+}
+
+TEST_F(GatewayTest, QueryMostRecent) {
+  EXPECT_FALSE(gw_.Query().ok());  // nothing yet
+  gw_.Publish(ValueEvent(1, "A", 10));
+  gw_.Publish(ValueEvent(2, "B", 20));
+  auto latest = gw_.Query();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->event_name(), "B");
+  auto a = gw_.Query("A");
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR(*a->GetDouble("VAL"), 10, 1e-9);
+  auto glob = gw_.Query("VMSTAT_*");
+  EXPECT_FALSE(glob.ok());
+  gw_.Publish(ValueEvent(3, "VMSTAT_SYS_TIME", 33));
+  glob = gw_.Query("VMSTAT_*");
+  ASSERT_TRUE(glob.ok());
+  EXPECT_EQ(glob->event_name(), "VMSTAT_SYS_TIME");
+}
+
+TEST_F(GatewayTest, QueryXmlFormat) {
+  gw_.Publish(ValueEvent(1, "A", 10));
+  auto xml = gw_.QueryXml("A");
+  ASSERT_TRUE(xml.ok());
+  EXPECT_NE(xml->find("<event "), std::string::npos);
+  EXPECT_NE(xml->find("name=\"A\""), std::string::npos);
+}
+
+TEST_F(GatewayTest, SummariesComputedFromPublishedEvents) {
+  gw_.EnableSummary("VMSTAT_SYS_TIME");
+  clock_.Set(10 * kMinute);
+  gw_.Publish(ValueEvent(10 * kMinute - 30 * kSecond, "VMSTAT_SYS_TIME", 40));
+  gw_.Publish(ValueEvent(10 * kMinute - 20 * kSecond, "VMSTAT_SYS_TIME", 60));
+  gw_.Publish(ValueEvent(5 * kMinute, "VMSTAT_SYS_TIME", 20));
+  auto s = gw_.GetSummary("VMSTAT_SYS_TIME");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->count_1m, 2u);
+  EXPECT_DOUBLE_EQ(s->avg_1m, 50);
+  EXPECT_EQ(s->count_10m, 3u);
+  EXPECT_DOUBLE_EQ(s->avg_10m, 40);
+  EXPECT_FALSE(gw_.GetSummary("NOT_CONFIGURED").ok());
+}
+
+TEST_F(GatewayTest, AccessControlPerAction) {
+  // The paper's policy example: real-time streams internal only, summary
+  // data available off-site.
+  gw_.EnableSummary("CPU");
+  gw_.SetAccessChecker([](Action action, const std::string& principal) {
+    if (principal == "internal") return true;
+    return action == Action::kSummary;
+  });
+  auto denied = gw_.Subscribe("offsite", {}, [](const ulm::Record&) {},
+                              "external");
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_TRUE(gw_.Subscribe("inside", {}, [](const ulm::Record&) {},
+                            "internal")
+                  .ok());
+  EXPECT_FALSE(gw_.Query("", "external").ok());
+  EXPECT_TRUE(gw_.GetSummary("CPU", "external").ok());
+}
+
+// ---------------------------------------------------------- GatewayService
+
+TEST(GatewayServiceTest, SubscribeQuerySummaryOverInProc) {
+  SimClock clock(0);
+  EventGateway gw("gw", clock);
+  gw.EnableSummary("CPU");
+
+  transport::InProcNetwork net;
+  auto listener = net.Listen("gw");
+  ASSERT_TRUE(listener.ok());
+  GatewayService service(gw, std::move(*listener));
+
+  auto channel = net.Dial("gw");
+  ASSERT_TRUE(channel.ok());
+  GatewayClient client(std::move(*channel));
+  service.PollOnce();  // accept
+
+  // The client helpers block on the reply, so in this single-threaded test
+  // requests are sent raw, the service polled, then replies read.
+  ASSERT_TRUE(client.channel().Send({"gw.auth", "alice"}).ok());
+  service.PollOnce();
+  auto auth_reply = client.channel().Receive(kSecond);
+  ASSERT_TRUE(auth_reply.ok());
+  EXPECT_EQ(auth_reply->type, "gw.ok");
+
+  ASSERT_TRUE(
+      client.channel().Send({"gw.subscribe", "remote-consumer\nall"}).ok());
+  service.PollOnce();
+  auto sub_reply = client.channel().Receive(kSecond);
+  ASSERT_TRUE(sub_reply.ok());
+  ASSERT_EQ(sub_reply->type, "gw.ok");
+  EXPECT_FALSE(sub_reply->payload.empty());
+
+  clock.Set(kSecond);
+  gw.Publish(ValueEvent(kSecond, "CPU", 42));
+  auto event = client.NextEvent(kSecond);
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(event->event_name(), "CPU");
+
+  // Query mode.
+  auto query_sent = client.channel().Send({"gw.query", "CPU"});
+  ASSERT_TRUE(query_sent.ok());
+  service.PollOnce();
+  auto reply = client.channel().Receive(kSecond);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, "gw.query.reply");
+
+  // Summary.
+  ASSERT_TRUE(client.channel().Send({"gw.summary", "CPU"}).ok());
+  service.PollOnce();
+  reply = client.channel().Receive(kSecond);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, "gw.summary");
+
+  // Unknown request type gets an error.
+  ASSERT_TRUE(client.channel().Send({"gw.bogus", ""}).ok());
+  service.PollOnce();
+  reply = client.channel().Receive(kSecond);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, "gw.error");
+}
+
+TEST(GatewayServiceTest, DisconnectReapsSubscriptions) {
+  SimClock clock(0);
+  EventGateway gw("gw", clock);
+  transport::InProcNetwork net;
+  auto listener = net.Listen("gw");
+  ASSERT_TRUE(listener.ok());
+  GatewayService service(gw, std::move(*listener));
+
+  auto channel = net.Dial("gw");
+  ASSERT_TRUE(channel.ok());
+  {
+    GatewayClient client(std::move(*channel));
+    service.PollOnce();
+    ASSERT_TRUE(client.channel().Send({"gw.subscribe", "c\nall"}).ok());
+    service.PollOnce();
+    auto reply = client.channel().Receive(kSecond);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->type, "gw.ok");
+    EXPECT_EQ(gw.subscription_count(), 1u);
+  }  // client destroyed → channel closed
+  service.PollOnce();
+  EXPECT_EQ(gw.subscription_count(), 0u);
+  EXPECT_EQ(service.connection_count(), 0u);
+}
+
+TEST(GatewayServiceTest, WorksOverRealTcp) {
+  SimClock clock(0);
+  EventGateway gw("gw", clock);
+  auto listener = transport::TcpListener::Create();
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = (*listener)->port();
+  GatewayService service(gw, std::move(*listener));
+
+  auto channel = transport::TcpDial("127.0.0.1", port);
+  ASSERT_TRUE(channel.ok());
+  GatewayClient client(std::move(*channel));
+  // TCP accept+request processing needs a few poll rounds because the
+  // client request races service polling.
+  std::string sub_id;
+  ASSERT_TRUE(client.channel().Send(
+      {"gw.subscribe", std::string("tcp-consumer\nall")}).ok());
+  for (int i = 0; i < 50 && sub_id.empty(); ++i) {
+    service.PollOnce();
+    if (auto msg = client.channel().TryReceive()) {
+      ASSERT_EQ(msg->type, "gw.ok");
+      sub_id = msg->payload;
+    }
+  }
+  ASSERT_FALSE(sub_id.empty());
+
+  gw.Publish(ValueEvent(1, "CPU", 50));
+  auto event = client.NextEvent(kSecond);
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(event->event_name(), "CPU");
+}
+
+}  // namespace
+}  // namespace jamm::gateway

@@ -1,0 +1,280 @@
+// Tests for the sensor manager agent and port monitor: config-driven
+// sensor sets, run modes (always / on-request / on-port), port-triggered
+// start/stop, directory publication, config hot-reload (including the
+// remote-fetch path), and the Tick scheduler.
+#include <gtest/gtest.h>
+
+#include "directory/replication.hpp"
+#include "directory/schema.hpp"
+#include "gateway/gateway.hpp"
+#include "manager/port_monitor.hpp"
+#include "manager/sensor_manager.hpp"
+
+namespace jamm::manager {
+namespace {
+
+using directory::Dn;
+using directory::schema::SensorDn;
+
+constexpr char kBaseConfig[] = R"(
+[sensor]
+name = vmstat
+kind = vmstat
+interval_ms = 1000
+mode = always
+
+[sensor]
+name = netstat-ftp
+kind = netstat
+interval_ms = 1000
+mode = on-port
+ports = 21
+
+[sensor]
+name = manual
+kind = iostat
+mode = on-request
+)";
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  ManagerTest()
+      : clock_(0),
+        host_("dpss1.lbl.gov", clock_),
+        gateway_("gw.dpss1", clock_),
+        suffix_(*Dn::Parse("ou=sensors, o=jamm")),
+        primary_(std::make_shared<directory::DirectoryServer>(
+            suffix_, "ldap://primary")) {
+    pool_.AddServer(primary_);
+    SensorManager::Options options;
+    options.clock = &clock_;
+    options.host = &host_;
+    options.gateway = &gateway_;
+    options.directory = &pool_;
+    options.directory_suffix = suffix_;
+    options.gateway_address = "inproc:gw.dpss1";
+    options.port_idle_timeout = 5 * kSecond;
+    manager_ = std::make_unique<SensorManager>(std::move(options));
+  }
+
+  Status Apply(const std::string& text) {
+    auto config = Config::ParseString(text);
+    EXPECT_TRUE(config.ok());
+    return manager_->ApplyConfig(*config);
+  }
+
+  Result<directory::Entry> SensorEntry(const std::string& name) {
+    return pool_.Lookup(SensorDn(suffix_, "dpss1.lbl.gov", name));
+  }
+
+  SimClock clock_;
+  sysmon::SimHost host_;
+  gateway::EventGateway gateway_;
+  Dn suffix_;
+  std::shared_ptr<directory::DirectoryServer> primary_;
+  directory::DirectoryPool pool_;
+  std::unique_ptr<SensorManager> manager_;
+};
+
+TEST(ParseRunModeTest, AllModes) {
+  EXPECT_EQ(*ParseRunMode("always"), RunMode::kAlways);
+  EXPECT_EQ(*ParseRunMode(""), RunMode::kAlways);
+  EXPECT_EQ(*ParseRunMode("on-request"), RunMode::kOnRequest);
+  EXPECT_EQ(*ParseRunMode("on-port"), RunMode::kOnPort);
+  EXPECT_FALSE(ParseRunMode("sometimes").ok());
+}
+
+TEST_F(ManagerTest, AppliesConfigAndStartsAlwaysSensors) {
+  ASSERT_TRUE(Apply(kBaseConfig).ok());
+  EXPECT_EQ(manager_->SensorNames().size(), 3u);
+  auto running = manager_->RunningSensors();
+  ASSERT_EQ(running.size(), 1u);
+  EXPECT_EQ(running[0], "vmstat");
+}
+
+TEST_F(ManagerTest, PublishesRunningSensorsInDirectory) {
+  ASSERT_TRUE(Apply(kBaseConfig).ok());
+  auto entry = SensorEntry("vmstat");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->Get(directory::schema::kAttrStatus), "running");
+  EXPECT_EQ(entry->Get(directory::schema::kAttrGateway), "inproc:gw.dpss1");
+  EXPECT_EQ(entry->Get(directory::schema::kAttrSensorType), "cpu");
+  // on-port sensor not yet running → not published.
+  EXPECT_FALSE(SensorEntry("netstat-ftp").ok());
+}
+
+TEST_F(ManagerTest, TickPollsAtConfiguredInterval) {
+  ASSERT_TRUE(Apply(kBaseConfig).ok());
+  manager_->Tick();  // t=0: vmstat due immediately
+  const auto first = gateway_.stats().events_in;
+  EXPECT_GT(first, 0u);
+  clock_.Advance(200 * kMillisecond);
+  manager_->Tick();  // not due again yet
+  EXPECT_EQ(gateway_.stats().events_in, first);
+  clock_.Advance(kSecond);
+  manager_->Tick();
+  EXPECT_GT(gateway_.stats().events_in, first);
+}
+
+TEST_F(ManagerTest, OnRequestSensorStartsAndStopsByName) {
+  ASSERT_TRUE(Apply(kBaseConfig).ok());
+  EXPECT_FALSE(manager_->FindSensor("manual")->running());
+  ASSERT_TRUE(manager_->StartSensor("manual").ok());
+  EXPECT_TRUE(manager_->FindSensor("manual")->running());
+  ASSERT_TRUE(SensorEntry("manual").ok());  // published on start
+  ASSERT_TRUE(manager_->StopSensor("manual").ok());
+  EXPECT_FALSE(manager_->FindSensor("manual")->running());
+  auto entry = SensorEntry("manual");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->Get(directory::schema::kAttrStatus), "stopped");
+  EXPECT_FALSE(manager_->StartSensor("ghost").ok());
+}
+
+TEST_F(ManagerTest, PortTriggeredStartStop) {
+  // The paper's FTP example: traffic on port 21 triggers monitoring on
+  // both hosts for the duration of the connection.
+  ASSERT_TRUE(Apply(kBaseConfig).ok());
+  manager_->Tick();
+  EXPECT_FALSE(manager_->FindSensor("netstat-ftp")->running());
+
+  host_.AddPortTraffic(21, 1500);  // FTP connection arrives
+  manager_->Tick();
+  EXPECT_TRUE(manager_->FindSensor("netstat-ftp")->running());
+  EXPECT_EQ(manager_->stats().port_triggers, 1u);
+  ASSERT_TRUE(SensorEntry("netstat-ftp").ok());
+
+  // Keep traffic flowing: stays up.
+  for (int i = 0; i < 3; ++i) {
+    clock_.Advance(2 * kSecond);
+    host_.AddPortTraffic(21, 1000);
+    manager_->Tick();
+    EXPECT_TRUE(manager_->FindSensor("netstat-ftp")->running());
+  }
+
+  // Connection ends; after the idle timeout the sensor stops.
+  clock_.Advance(6 * kSecond);
+  manager_->Tick();
+  EXPECT_FALSE(manager_->FindSensor("netstat-ftp")->running());
+  EXPECT_EQ(manager_->stats().port_stops, 1u);
+}
+
+TEST_F(ManagerTest, ConfigReloadAddsAndRemoves) {
+  ASSERT_TRUE(Apply(kBaseConfig).ok());
+  ASSERT_TRUE(SensorEntry("vmstat").ok());
+  // New config drops vmstat, adds iostat-always.
+  ASSERT_TRUE(Apply(R"(
+[sensor]
+name = iostat2
+kind = iostat
+mode = always
+)").ok());
+  EXPECT_EQ(manager_->SensorNames().size(), 1u);
+  EXPECT_EQ(manager_->FindSensor("vmstat"), nullptr);
+  EXPECT_FALSE(SensorEntry("vmstat").ok());  // unpublished
+  EXPECT_TRUE(manager_->FindSensor("iostat2")->running());
+}
+
+TEST_F(ManagerTest, ConfigReloadRecreatesChangedSensor) {
+  ASSERT_TRUE(Apply("[sensor]\nname = vm\nkind = vmstat\ninterval_ms = 1000\n").ok());
+  EXPECT_EQ(manager_->FindSensor("vm")->interval(), kSecond);
+  ASSERT_TRUE(Apply("[sensor]\nname = vm\nkind = vmstat\ninterval_ms = 250\n").ok());
+  EXPECT_EQ(manager_->FindSensor("vm")->interval(), 250 * kMillisecond);
+}
+
+TEST_F(ManagerTest, RemoteConfigFetchOnTick) {
+  // Paper §5.0: "Every few minutes the sensor managers check for updates
+  // to the configuration file, and activate new sensors if necessary."
+  std::string remote_config = "[sensor]\nname = vm\nkind = vmstat\n";
+  int fetches = 0;
+  manager_->SetConfigFetcher([&]() -> Result<std::string> {
+    ++fetches;
+    return remote_config;
+  });
+  manager_->Tick();  // first tick fetches
+  EXPECT_EQ(fetches, 1);
+  EXPECT_NE(manager_->FindSensor("vm"), nullptr);
+
+  clock_.Advance(30 * kSecond);
+  manager_->Tick();  // refresh not due (2 min default)
+  EXPECT_EQ(fetches, 1);
+
+  remote_config += "[sensor]\nname = net\nkind = netstat\n";
+  clock_.Advance(2 * kMinute);
+  manager_->Tick();
+  EXPECT_EQ(fetches, 2);
+  EXPECT_NE(manager_->FindSensor("net"), nullptr);
+}
+
+TEST_F(ManagerTest, FetcherFailureKeepsOldSensors) {
+  manager_->SetConfigFetcher(
+      []() -> Result<std::string> { return std::string(
+          "[sensor]\nname = vm\nkind = vmstat\n"); });
+  manager_->Tick();
+  ASSERT_NE(manager_->FindSensor("vm"), nullptr);
+  manager_->SetConfigFetcher([]() -> Result<std::string> {
+    return Status::Unavailable("http server down");
+  });
+  clock_.Advance(3 * kMinute);
+  manager_->Tick();  // refresh fails; sensors untouched
+  EXPECT_NE(manager_->FindSensor("vm"), nullptr);
+  EXPECT_TRUE(manager_->FindSensor("vm")->running());
+}
+
+TEST_F(ManagerTest, BadConfigsRejected) {
+  EXPECT_FALSE(Apply("[sensor]\nkind = vmstat\n").ok());  // no name
+  EXPECT_FALSE(Apply("[sensor]\nname = x\nkind = netstat\nmode = on-port\n")
+                   .ok());  // on-port without ports
+  EXPECT_FALSE(
+      Apply("[sensor]\nname = x\nkind = netstat\nmode = on-port\n"
+            "ports = 99999\n")
+          .ok());  // port out of range
+  EXPECT_FALSE(Apply("[sensor]\nname = x\nkind = vmstat\nmode = never\n").ok());
+}
+
+// ------------------------------------------------------------ PortMonitor
+
+TEST(PortMonitorTest, ActivityWindow) {
+  SimClock clock(0);
+  sysmon::SimHost host("h", clock);
+  PortMonitor monitor(clock, host, 5 * kSecond);
+  monitor.AddPort(21);
+  monitor.AddPort(8080);
+
+  EXPECT_FALSE(monitor.IsActive(21));  // never any traffic
+  host.AddPortTraffic(21, 100);
+  EXPECT_TRUE(monitor.IsActive(21));
+  EXPECT_FALSE(monitor.IsActive(8080));
+  EXPECT_EQ(monitor.ActivePorts(), std::vector<std::uint16_t>{21});
+
+  clock.Advance(4 * kSecond);
+  EXPECT_TRUE(monitor.IsActive(21));
+  clock.Advance(2 * kSecond);
+  EXPECT_FALSE(monitor.IsActive(21));  // idle timeout passed
+}
+
+TEST(PortMonitorTest, UnwatchedPortsNeverActive) {
+  SimClock clock(0);
+  sysmon::SimHost host("h", clock);
+  PortMonitor monitor(clock, host);
+  host.AddPortTraffic(23, 100);
+  EXPECT_FALSE(monitor.IsActive(23));  // 23 not configured
+  monitor.AddPort(23);
+  EXPECT_TRUE(monitor.IsActive(23));
+  monitor.RemovePort(23);
+  EXPECT_FALSE(monitor.IsActive(23));
+}
+
+TEST(PortMonitorTest, AnyActiveAcrossList) {
+  SimClock clock(0);
+  sysmon::SimHost host("h", clock);
+  PortMonitor monitor(clock, host);
+  monitor.AddPort(21);
+  monitor.AddPort(80);
+  EXPECT_FALSE(monitor.AnyActive({21, 80}));
+  host.AddPortTraffic(80, 1);
+  EXPECT_TRUE(monitor.AnyActive({21, 80}));
+  EXPECT_FALSE(monitor.AnyActive({21}));
+}
+
+}  // namespace
+}  // namespace jamm::manager

@@ -1,0 +1,388 @@
+// Tests for the NetLogger toolkit: client API buffering/flushing and all
+// sink types, merge/sort tools, and the nlv analysis primitives (lifeline,
+// loadline, point, clustering, gap correlation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "netlogger/analysis.hpp"
+#include "netlogger/logger.hpp"
+#include "netlogger/merge.hpp"
+#include "netlogger/nlv.hpp"
+#include "netlogger/sinks.hpp"
+
+namespace jamm::netlogger {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+ulm::Record MakeEvent(TimePoint ts, const std::string& event,
+                      const std::string& host = "h1") {
+  return ulm::Record(ts, host, "test", "Usage", event);
+}
+
+// ------------------------------------------------------------------ logger
+
+TEST(NetLoggerTest, PaperApiShape) {
+  // Mirrors the paper's Java snippet: construct, open, write, close.
+  SimClock clock;
+  clock.Set(TimePoint{954415400957943});  // ~2000-03-30
+  NetLogger log("testprog", clock, "dpss1.lbl.gov");
+  log.OpenMemory();
+  ASSERT_TRUE(log.Write("WriteIt", {{"SEND.SZ", "49332"}}).ok());
+  ASSERT_TRUE(log.Flush().ok());
+  auto records = log.TakeBuffered();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].prog(), "testprog");
+  EXPECT_EQ(records[0].host(), "dpss1.lbl.gov");
+  EXPECT_EQ(records[0].event_name(), "WriteIt");
+  EXPECT_EQ(*records[0].GetInt("SEND.SZ"), 49332);
+}
+
+TEST(NetLoggerTest, TimestampsComeFromClock) {
+  SimClock clock(1000);
+  NetLogger log("p", clock, "h");
+  log.OpenMemory();
+  (void)log.Write("A");
+  clock.Advance(5 * kSecond);
+  (void)log.Write("B");
+  (void)log.Flush();
+  auto records = log.TakeBuffered();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].timestamp() - records[0].timestamp(), 5 * kSecond);
+}
+
+TEST(NetLoggerTest, AutoFlushWhenBufferFull) {
+  SimClock clock;
+  NetLogger log("p", clock, "h", /*buffer_capacity=*/4);
+  auto memory = std::make_shared<MemorySink>();
+  log.OpenSink(memory);
+  for (int i = 0; i < 3; ++i) (void)log.Write("E");
+  EXPECT_TRUE(memory->records().empty());  // below capacity: still buffered
+  (void)log.Write("E");
+  EXPECT_EQ(memory->records().size(), 4u);  // hit capacity: auto-flushed
+}
+
+TEST(NetLoggerTest, BuffersWithoutDestination) {
+  SimClock clock;
+  NetLogger log("p", clock, "h", 2);
+  EXPECT_TRUE(log.Write("A").ok());
+  EXPECT_TRUE(log.Write("B").ok());  // triggers flush with no sink: kept
+  EXPECT_TRUE(log.Write("C").ok());
+  EXPECT_EQ(log.TakeBuffered().size(), 3u);
+}
+
+TEST(NetLoggerTest, FileSinkWritesParseableLog) {
+  const std::string path = TempPath("jamm_netlogger_test.log");
+  SimClock clock(42 * kSecond);
+  {
+    NetLogger log("p", clock, "h");
+    ASSERT_TRUE(log.OpenFile(path).ok());
+    (void)log.Write("A", {{"K", "1"}});
+    (void)log.Write("B");
+    ASSERT_TRUE(log.Close().ok());
+  }
+  auto records = LoadLogFile(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].event_name(), "A");
+  std::remove(path.c_str());
+}
+
+TEST(NetLoggerTest, SyslogSimRecordsByFacility) {
+  SyslogSimSink::Reset();
+  SimClock clock;
+  NetLogger log("p", clock, "h");
+  log.OpenSyslog("daemon");
+  (void)log.Write("ServerDied");
+  (void)log.Flush();
+  auto records = SyslogSimSink::Read("daemon");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].event_name(), "ServerDied");
+  EXPECT_TRUE(SyslogSimSink::Read("other").empty());
+  SyslogSimSink::Reset();
+}
+
+TEST(NetLoggerTest, CallbackAndTeeSinks) {
+  int called = 0;
+  auto tee = std::make_shared<TeeSink>();
+  auto memory = std::make_shared<MemorySink>();
+  tee->Add(memory);
+  tee->Add(std::make_shared<CallbackSink>(
+      [&called](const ulm::Record&) { ++called; }));
+  SimClock clock;
+  NetLogger log("p", clock, "h", 1);  // flush every record
+  log.OpenSink(tee);
+  (void)log.Write("A");
+  (void)log.Write("B");
+  EXPECT_EQ(called, 2);
+  EXPECT_EQ(memory->records().size(), 2u);
+}
+
+TEST(NetLoggerTest, WriteWithLevelAndVectorFields) {
+  SimClock clock;
+  NetLogger log("p", clock, "h");
+  log.OpenMemory();
+  (void)log.Write("Crash", ulm::level::kError, {{"PID", "123"}});
+  (void)log.Flush();
+  auto records = log.TakeBuffered();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].lvl(), "Error");
+  EXPECT_EQ(*records[0].GetInt("PID"), 123);
+}
+
+// ------------------------------------------------------------------ merge
+
+TEST(MergeTest, SortByTimeStable) {
+  std::vector<ulm::Record> log = {MakeEvent(30, "C"), MakeEvent(10, "A1"),
+                                  MakeEvent(10, "A2"), MakeEvent(20, "B")};
+  SortByTime(log);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0].event_name(), "A1");
+  EXPECT_EQ(log[1].event_name(), "A2");  // stable tie
+  EXPECT_EQ(log[3].event_name(), "C");
+  EXPECT_TRUE(IsSortedByTime(log));
+}
+
+TEST(MergeTest, MergeSortedInterleaves) {
+  std::vector<std::vector<ulm::Record>> streams = {
+      {MakeEvent(1, "a"), MakeEvent(4, "b"), MakeEvent(7, "c")},
+      {MakeEvent(2, "d"), MakeEvent(5, "e")},
+      {},
+      {MakeEvent(3, "f"), MakeEvent(6, "g")},
+  };
+  auto merged = MergeSorted(streams);
+  ASSERT_EQ(merged.size(), 7u);
+  EXPECT_TRUE(IsSortedByTime(merged));
+  EXPECT_EQ(merged[0].event_name(), "a");
+  EXPECT_EQ(merged[6].event_name(), "c");
+}
+
+TEST(MergeTest, MergeSortedPropertySweep) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::vector<ulm::Record>> streams(rng.Uniform(1, 6));
+    std::size_t total = 0;
+    for (auto& s : streams) {
+      TimePoint t = 0;
+      const int n = static_cast<int>(rng.Uniform(0, 40));
+      for (int i = 0; i < n; ++i) {
+        t += rng.Uniform(0, 100);
+        s.push_back(MakeEvent(t, "e"));
+      }
+      total += s.size();
+    }
+    auto merged = MergeSorted(streams);
+    EXPECT_EQ(merged.size(), total);
+    EXPECT_TRUE(IsSortedByTime(merged));
+  }
+}
+
+TEST(MergeTest, MergeLogsHandlesUnsorted) {
+  auto merged = MergeLogs({{MakeEvent(9, "z"), MakeEvent(1, "a")},
+                           {MakeEvent(5, "m")}});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_TRUE(IsSortedByTime(merged));
+}
+
+TEST(MergeTest, WriteThenLoadRoundTrips) {
+  const std::string path = TempPath("jamm_merge_test.log");
+  std::vector<ulm::Record> log = {MakeEvent(1, "A"), MakeEvent(2, "B")};
+  ASSERT_TRUE(WriteLogFile(path, log).ok());
+  auto loaded = LoadLogFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, log);
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------- analysis
+
+std::vector<ulm::Record> FramePipeline(int nframes, Duration step) {
+  // Synthetic client-server path per frame: request → arrive → done.
+  std::vector<ulm::Record> log;
+  for (int f = 0; f < nframes; ++f) {
+    const TimePoint base = f * step;
+    auto add = [&](Duration offset, const std::string& name) {
+      auto rec = MakeEvent(base + offset, name);
+      rec.SetField("FRAME.ID", static_cast<std::int64_t>(f));
+      log.push_back(rec);
+    };
+    add(0, "REQUEST");
+    add(10 * kMillisecond, "ARRIVE");
+    add(25 * kMillisecond, "DONE");
+  }
+  return log;
+}
+
+TEST(AnalysisTest, BuildLifelinesGroupsById) {
+  auto log = FramePipeline(5, kSecond);
+  auto lifelines = BuildLifelines(log, {"FRAME.ID"});
+  ASSERT_EQ(lifelines.size(), 5u);
+  for (const auto& line : lifelines) {
+    ASSERT_EQ(line.events.size(), 3u);
+    EXPECT_EQ(line.events[0].event_name, "REQUEST");
+    EXPECT_EQ(line.events[2].event_name, "DONE");
+    EXPECT_EQ(line.elapsed(), 25 * kMillisecond);
+  }
+}
+
+TEST(AnalysisTest, LifelineIgnoresRecordsWithoutId) {
+  auto log = FramePipeline(2, kSecond);
+  log.push_back(MakeEvent(99, "NOISE"));
+  auto lifelines = BuildLifelines(log, {"FRAME.ID"});
+  EXPECT_EQ(lifelines.size(), 2u);
+}
+
+TEST(AnalysisTest, CompositeIdFields) {
+  std::vector<ulm::Record> log;
+  auto rec = MakeEvent(1, "E", "hostA");
+  rec.SetField("SET", "s1");
+  rec.SetField("BLOCK", "7");
+  log.push_back(rec);
+  rec = MakeEvent(2, "E", "hostA");
+  rec.SetField("SET", "s1");
+  rec.SetField("BLOCK", "8");
+  log.push_back(rec);
+  auto lifelines = BuildLifelines(log, {"SET", "BLOCK"});
+  EXPECT_EQ(lifelines.size(), 2u);
+}
+
+TEST(AnalysisTest, SegmentLatencyStats) {
+  auto log = FramePipeline(100, 100 * kMillisecond);
+  auto lifelines = BuildLifelines(log, {"FRAME.ID"});
+  auto stats = SegmentLatency(lifelines, "REQUEST", "ARRIVE");
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_NEAR(stats.mean_s, 0.010, 1e-9);
+  EXPECT_NEAR(stats.min_s, 0.010, 1e-9);
+  EXPECT_NEAR(stats.max_s, 0.010, 1e-9);
+  auto e2e = SegmentLatency(lifelines, "REQUEST", "DONE");
+  EXPECT_NEAR(e2e.mean_s, 0.025, 1e-9);
+  auto missing = SegmentLatency(lifelines, "REQUEST", "NOPE");
+  EXPECT_EQ(missing.count, 0u);
+}
+
+TEST(AnalysisTest, ExtractSeriesAndResample) {
+  std::vector<ulm::Record> log;
+  for (int i = 0; i < 10; ++i) {
+    auto rec = MakeEvent(i * kSecond, "VMSTAT_SYS_TIME");
+    rec.SetField("VAL", static_cast<double>(i));
+    log.push_back(rec);
+  }
+  auto series = ExtractSeries(log, "VMSTAT_SYS_TIME", "VAL");
+  ASSERT_EQ(series.size(), 10u);
+  auto resampled = ResampleMean(series, 5 * kSecond);
+  ASSERT_EQ(resampled.size(), 2u);
+  EXPECT_NEAR(resampled[0].value, 2.0, 1e-9);  // mean of 0..4
+  EXPECT_NEAR(resampled[1].value, 7.0, 1e-9);  // mean of 5..9
+}
+
+TEST(AnalysisTest, ExtractPointsFiltersByName) {
+  std::vector<ulm::Record> log = {MakeEvent(1, "TCPD_RETRANSMITS"),
+                                  MakeEvent(2, "OTHER"),
+                                  MakeEvent(3, "TCPD_RETRANSMITS")};
+  auto points = ExtractPoints(log, "TCPD_RETRANSMITS");
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0], 1);
+  EXPECT_EQ(points[1], 3);
+}
+
+TEST(AnalysisTest, RatePerSecondBuckets) {
+  std::vector<TimePoint> points;
+  for (int i = 0; i < 12; ++i) points.push_back(i * 250 * kMillisecond);
+  auto rate = RatePerSecond(points, 0, 3 * kSecond, kSecond);
+  ASSERT_EQ(rate.size(), 3u);
+  EXPECT_NEAR(rate[0].value, 4.0, 1e-9);
+  EXPECT_NEAR(rate[1].value, 4.0, 1e-9);
+}
+
+TEST(AnalysisTest, ComputeStatsKnownValues) {
+  auto s = ComputeStats({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-9);
+  EXPECT_EQ(ComputeStats({}).count, 0u);
+}
+
+TEST(AnalysisTest, FindClustersTwoModes) {
+  // Figure 3's shape: read() sizes clustered around two distinct values.
+  Rng rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.Normal(8192, 50));
+  for (int i = 0; i < 500; ++i) values.push_back(rng.Normal(49000, 80));
+  auto centers = FindClusters1D(values, 2);
+  ASSERT_EQ(centers.size(), 2u);
+  EXPECT_NEAR(centers[0], 8192, 200);
+  EXPECT_NEAR(centers[1], 49000, 300);
+  EXPECT_GT(ClusterTightness(values, centers, 500), 0.99);
+}
+
+TEST(AnalysisTest, FindClustersDegenerateInputs) {
+  EXPECT_TRUE(FindClusters1D({}, 2).empty());
+  auto one = FindClusters1D({5.0}, 3);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 5.0);
+}
+
+TEST(AnalysisTest, FindGapsAndCorrelation) {
+  std::vector<TimePoint> frames;
+  for (int i = 0; i < 10; ++i) frames.push_back(i * kSecond);
+  for (int i = 0; i < 10; ++i) frames.push_back(15 * kSecond + i * kSecond);
+  auto gaps = FindGaps(frames, 2 * kSecond);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].start, 9 * kSecond);
+  EXPECT_EQ(gaps[0].end, 15 * kSecond);
+  std::vector<TimePoint> retransmits = {10 * kSecond, 12 * kSecond,
+                                        40 * kSecond};
+  EXPECT_EQ(CountPointsInGaps(retransmits, gaps, 0), 2u);
+}
+
+// -------------------------------------------------------------------- nlv
+
+TEST(NlvTest, RendersAllPrimitives) {
+  NlvRenderer nlv(0, 10 * kSecond, 50);
+  nlv.AddPointRow("TCPD_RETRANSMITS", {1 * kSecond, 2 * kSecond}, 'X');
+  std::vector<SeriesPoint> load;
+  for (int i = 0; i < 10; ++i) {
+    load.push_back({i * kSecond, static_cast<double>(i)});
+  }
+  nlv.AddLoadlineRow("VMSTAT_SYS_TIME", load);
+  auto log = FramePipeline(3, 3 * kSecond);
+  auto lifelines = BuildLifelines(log, {"FRAME.ID"});
+  nlv.AddLifelines({"REQUEST", "ARRIVE", "DONE"}, lifelines);
+  const std::string out = nlv.Render();
+  EXPECT_NE(out.find("TCPD_RETRANSMITS"), std::string::npos);
+  EXPECT_NE(out.find("X"), std::string::npos);
+  EXPECT_NE(out.find("VMSTAT_SYS_TIME"), std::string::npos);
+  EXPECT_NE(out.find("REQUEST"), std::string::npos);
+  // Lifeline row order is bottom-up: DONE above ARRIVE above REQUEST.
+  EXPECT_LT(out.find("DONE"), out.find("REQUEST"));
+  EXPECT_NE(out.find("0s"), std::string::npos);
+  EXPECT_NE(out.find("10.00s"), std::string::npos);
+}
+
+TEST(NlvTest, PointsOutsideRangeIgnored) {
+  NlvRenderer nlv(10 * kSecond, 20 * kSecond, 20);
+  nlv.AddPointRow("P", {0, 25 * kSecond}, 'X');
+  const std::string out = nlv.Render();
+  EXPECT_EQ(out.find('X'), std::string::npos);
+}
+
+TEST(NlvTest, CsvEmitters) {
+  std::vector<SeriesPoint> series = {{kSecond, 1.5}, {2 * kSecond, 2.5}};
+  const std::string csv = SeriesToCsv(series);
+  EXPECT_NE(csv.find("time_s,value"), std::string::npos);
+  EXPECT_NE(csv.find("1.000000,1.500000"), std::string::npos);
+  const std::string pcsv = PointsToCsv({3 * kSecond}, kSecond);
+  EXPECT_NE(pcsv.find("2.000000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jamm::netlogger

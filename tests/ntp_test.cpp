@@ -1,0 +1,139 @@
+// Tests for the clock-sync substrate: drifting host clocks, the SNTP
+// exchange over the network simulator, daemon-maintained accuracy, and
+// the paper's accuracy-vs-hops shape (≈0.25 ms on the subnet, ≲1 ms
+// across routers, §4.3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netsim/network.hpp"
+#include "ntp/ntp.hpp"
+
+namespace jamm::ntp {
+namespace {
+
+TEST(HostClockTest, OffsetAndDriftAccumulate) {
+  netsim::Simulator sim;
+  HostClock clock(sim.clock(), /*initial_offset=*/500 * kMillisecond,
+                  /*drift_ppm=*/100);
+  EXPECT_EQ(clock.ErrorVsTrue(), 500 * kMillisecond);
+  sim.clock().Advance(100 * kSecond);
+  // 100 ppm over 100 s = 10 ms of extra drift.
+  EXPECT_NEAR(static_cast<double>(clock.ErrorVsTrue()),
+              static_cast<double>(500 * kMillisecond + 10 * kMillisecond),
+              5.0);
+}
+
+TEST(HostClockTest, AdjustSlewsClock) {
+  netsim::Simulator sim;
+  HostClock clock(sim.clock(), kSecond, 0);
+  clock.Adjust(-kSecond);
+  EXPECT_EQ(clock.ErrorVsTrue(), 0);
+}
+
+struct NtpRig {
+  /// `hops` routers between client and server; `jitter` per link.
+  explicit NtpRig(int hops, Duration jitter = 0, Duration offset = kSecond,
+                  double drift_ppm = 50)
+      : net(sim, 7), host_clock(sim.clock(), offset, drift_ppm) {
+    netsim::LinkConfig link;
+    link.bandwidth_bps = 100e6;
+    link.delay = 200;  // 200 µs per hop
+    link.jitter = jitter;
+    netsim::NodeId prev = net.AddNode("server");
+    server_node = prev;
+    for (int i = 0; i < hops; ++i) {
+      netsim::NodeId router = net.AddNode("router" + std::to_string(i));
+      net.Connect(prev, router, link);
+      prev = router;
+    }
+    client_node = net.AddNode("client");
+    net.Connect(prev, client_node, link);
+    server = std::make_unique<SntpServer>(net, server_node);
+    client = std::make_unique<SntpClient>(net, client_node, host_clock,
+                                          *server);
+  }
+
+  netsim::Simulator sim;
+  netsim::Network net;
+  HostClock host_clock;
+  netsim::NodeId server_node, client_node;
+  std::unique_ptr<SntpServer> server;
+  std::unique_ptr<SntpClient> client;
+};
+
+TEST(SntpTest, SingleExchangeCorrectsSymmetricPath) {
+  NtpRig rig(/*hops=*/0, /*jitter=*/0, /*offset=*/2 * kSecond);
+  bool called = false;
+  rig.client->SyncOnce([&](Duration offset, Duration delay) {
+    called = true;
+    EXPECT_LT(offset, -kSecond);  // clock was fast → negative correction
+    EXPECT_GT(delay, 0);
+  });
+  rig.sim.RunFor(kSecond);
+  EXPECT_TRUE(called);
+  EXPECT_EQ(rig.client->syncs_completed(), 1u);
+  // Symmetric constant-delay path → near-perfect correction.
+  EXPECT_LT(std::abs(rig.host_clock.ErrorVsTrue()), 100);  // < 0.1 ms
+}
+
+TEST(SntpTest, NegativeOffsetAlsoCorrected) {
+  NtpRig rig(0, 0, /*offset=*/-3 * kSecond);
+  rig.client->SyncOnce();
+  rig.sim.RunFor(kSecond);
+  EXPECT_LT(std::abs(rig.host_clock.ErrorVsTrue()), 100);
+}
+
+TEST(SntpTest, JitterBoundsAccuracy) {
+  // Error after sync is bounded by half the round-trip asymmetry.
+  NtpRig rig(/*hops=*/3, /*jitter=*/kMillisecond, /*offset=*/kSecond);
+  rig.client->SyncOnce();
+  rig.sim.RunFor(kSecond);
+  const Duration error = std::abs(rig.host_clock.ErrorVsTrue());
+  EXPECT_LT(error, 4 * kMillisecond);  // 4 jittery hops each way
+  EXPECT_GT(error, 0);
+}
+
+TEST(SntpTest, DaemonHoldsDriftBounded) {
+  NtpRig rig(/*hops=*/0, /*jitter=*/0, /*offset=*/kSecond,
+             /*drift_ppm=*/200);
+  NtpDaemon daemon(rig.sim, *rig.client, /*interval=*/16 * kSecond);
+  daemon.Start();
+  rig.sim.RunFor(10 * kMinute);
+  EXPECT_GT(rig.client->syncs_completed(), 30u);
+  // 200 ppm × 16 s between syncs ≈ 3.2 ms max error.
+  EXPECT_LT(std::abs(rig.host_clock.ErrorVsTrue()), 4 * kMillisecond);
+}
+
+TEST(SntpTest, WithoutDaemonDriftGrows) {
+  NtpRig rig(0, 0, 0, /*drift_ppm=*/200);
+  rig.sim.RunFor(10 * kMinute);
+  // 200 ppm over 600 s = 120 ms.
+  EXPECT_GT(std::abs(rig.host_clock.ErrorVsTrue()), 100 * kMillisecond);
+}
+
+TEST(SntpTest, AccuracyDegradesWithHops) {
+  // The paper's §4.3 shape: ~0.25 ms with a subnet-local GPS source,
+  // ≲1 ms when several router hops away.
+  auto residual = [](int hops) {
+    NtpRig rig(hops, /*jitter=*/300, /*offset=*/kSecond);
+    // Median of several syncs for stability.
+    std::vector<double> errors;
+    for (int i = 0; i < 9; ++i) {
+      rig.client->SyncOnce();
+      rig.sim.RunFor(kSecond);
+      errors.push_back(std::abs(
+          static_cast<double>(rig.host_clock.ErrorVsTrue())));
+    }
+    std::sort(errors.begin(), errors.end());
+    return errors[errors.size() / 2];
+  };
+  const double near = residual(0);
+  const double far = residual(6);
+  EXPECT_LT(near, 300);          // ≈0.25 ms on the subnet
+  EXPECT_LT(far, 1500);          // still ≲1.5 ms far away
+  EXPECT_GT(far, near);          // but measurably worse
+}
+
+}  // namespace
+}  // namespace jamm::ntp

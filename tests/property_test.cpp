@@ -1,0 +1,288 @@
+// Parameterized property sweeps (TEST_P): invariants checked across a
+// grid of configurations rather than single examples.
+//
+//  * ULM round-trip fidelity across codecs × record shapes;
+//  * TCP conservation (every byte delivered exactly once, in order,
+//    completion) across bandwidth/delay/queue/loss grids;
+//  * gateway filter-mode semantics across modes;
+//  * directory search-scope counting across tree shapes;
+//  * NTP convergence across drift/offset grids.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/time_util.hpp"
+#include "directory/schema.hpp"
+#include "directory/server.hpp"
+#include "gateway/filter.hpp"
+#include "netsim/tcp.hpp"
+#include "ntp/ntp.hpp"
+#include "ulm/binary.hpp"
+#include "ulm/record.hpp"
+
+namespace jamm {
+namespace {
+
+// ------------------------------------------------------- ULM round-trips
+
+struct UlmShape {
+  int field_count;
+  bool nasty_values;  // quotes/backslashes/newlines/spaces
+  bool with_event_name;
+};
+
+class UlmRoundTrip : public ::testing::TestWithParam<UlmShape> {};
+
+ulm::Record RandomRecord(Rng& rng, const UlmShape& shape) {
+  ulm::Record rec(rng.Uniform(0, 4102444800ll * kSecond),
+                  "host" + std::to_string(rng.Uniform(0, 9)), "prog",
+                  "Usage",
+                  shape.with_event_name ? "Ev" + std::to_string(rng.Next() % 100)
+                                        : "");
+  for (int f = 0; f < shape.field_count; ++f) {
+    std::string value;
+    const int len = static_cast<int>(rng.Uniform(0, 24));
+    for (int c = 0; c < len; ++c) {
+      value += shape.nasty_values
+                   ? static_cast<char>(rng.Uniform(32, 126))
+                   : static_cast<char>(rng.Uniform('a', 'z'));
+    }
+    if (shape.nasty_values && rng.Chance(0.3)) value += "\"\\\n end";
+    rec.SetField("F" + std::to_string(f), std::string_view(value));
+  }
+  return rec;
+}
+
+TEST_P(UlmRoundTrip, AsciiAndBinaryPreserveEverything) {
+  Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(GetParam().field_count));
+  for (int trial = 0; trial < 100; ++trial) {
+    const ulm::Record rec = RandomRecord(rng, GetParam());
+    auto ascii = ulm::Record::FromAscii(rec.ToAscii());
+    ASSERT_TRUE(ascii.ok()) << rec.ToAscii();
+    EXPECT_EQ(*ascii, rec);
+    std::size_t offset = 0;
+    auto binary = ulm::DecodeBinary(ulm::EncodeBinary(rec), &offset);
+    ASSERT_TRUE(binary.ok());
+    EXPECT_EQ(*binary, rec);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, UlmRoundTrip,
+    ::testing::Values(UlmShape{0, false, true}, UlmShape{1, false, true},
+                      UlmShape{4, true, true}, UlmShape{16, true, false},
+                      UlmShape{64, true, true}),
+    [](const ::testing::TestParamInfo<UlmShape>& info) {
+      return "fields" + std::to_string(info.param.field_count) +
+             (info.param.nasty_values ? "_nasty" : "_plain") +
+             (info.param.with_event_name ? "_named" : "_anon");
+    });
+
+// ---------------------------------------------------- TCP conservation
+
+struct TcpCase {
+  double bandwidth_mbps;
+  int delay_ms;
+  int queue_packets;
+  double loss;
+};
+
+class TcpConservation : public ::testing::TestWithParam<TcpCase> {};
+
+TEST_P(TcpConservation, EveryByteDeliveredExactlyOnceInOrder) {
+  const TcpCase& c = GetParam();
+  netsim::Simulator sim;
+  netsim::Network net(sim, 0xBEEF);
+  netsim::NodeId src = net.AddNode("src");
+  netsim::NodeId dst = net.AddNode("dst");
+  netsim::LinkConfig link;
+  link.bandwidth_bps = c.bandwidth_mbps * 1e6;
+  link.delay = c.delay_ms * kMillisecond;
+  link.queue_packets = static_cast<std::size_t>(c.queue_packets);
+  link.random_loss = c.loss;
+  net.Connect(src, dst, link);
+
+  netsim::TcpConfig config;
+  config.total_bytes = 600 * 1024;
+  netsim::TcpFlow flow(net, src, dst, config);
+  std::uint64_t delivered = 0;
+  bool monotone = true;
+  flow.on_deliver = [&](std::uint64_t bytes, TimePoint) {
+    monotone = monotone && bytes > 0;
+    delivered += bytes;
+  };
+  flow.Start();
+  sim.RunUntil(10 * kMinute);
+
+  ASSERT_TRUE(flow.complete())
+      << "bw=" << c.bandwidth_mbps << " delay=" << c.delay_ms
+      << " q=" << c.queue_packets << " loss=" << c.loss;
+  EXPECT_EQ(delivered, config.total_bytes);          // exactly once
+  EXPECT_EQ(flow.stats().bytes_acked, config.total_bytes);
+  EXPECT_TRUE(monotone);
+  if (c.loss > 0 || c.queue_packets <= 16) {
+    EXPECT_GT(flow.stats().retransmits, 0u);  // machinery was exercised
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TcpConservation,
+    ::testing::Values(TcpCase{100, 1, 256, 0},    // clean LAN-ish
+                      TcpCase{100, 1, 8, 0},      // tiny queue
+                      TcpCase{10, 30, 32, 0},     // slow WAN
+                      TcpCase{100, 5, 64, 0.01},  // 1% loss
+                      TcpCase{50, 30, 64, 0.03},  // lossy WAN
+                      TcpCase{622, 30, 512, 0},   // OC-12-like
+                      TcpCase{1, 1, 16, 0.05}),   // awful path
+    [](const ::testing::TestParamInfo<TcpCase>& info) {
+      const TcpCase& c = info.param;
+      return "bw" + std::to_string(static_cast<int>(c.bandwidth_mbps)) +
+             "_d" + std::to_string(c.delay_ms) + "_q" +
+             std::to_string(c.queue_packets) + "_l" +
+             std::to_string(static_cast<int>(c.loss * 100));
+    });
+
+// ------------------------------------------------- gateway filter modes
+
+struct FilterCase {
+  const char* spec;
+  // Deliveries expected for the value sequence below.
+  std::vector<int> delivered_indices;
+};
+
+const double kValueSequence[] = {40, 40, 55, 55, 45, 80, 80, 30};
+
+class FilterModes : public ::testing::TestWithParam<FilterCase> {};
+
+TEST_P(FilterModes, DeliveryPatternMatchesSemantics) {
+  auto spec = gateway::FilterSpec::Parse(GetParam().spec);
+  ASSERT_TRUE(spec.ok());
+  gateway::EventFilter filter(*spec);
+  std::vector<int> delivered;
+  for (int i = 0; i < static_cast<int>(std::size(kValueSequence)); ++i) {
+    ulm::Record rec(i, "h", "p", "Usage", "CPU");
+    rec.SetField("VAL", kValueSequence[i]);
+    if (filter.ShouldDeliver(rec)) delivered.push_back(i);
+  }
+  EXPECT_EQ(delivered, GetParam().delivered_indices) << GetParam().spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, FilterModes,
+    ::testing::Values(
+        // all: everything.
+        FilterCase{"all", {0, 1, 2, 3, 4, 5, 6, 7}},
+        // on-change: first sample + every change.
+        FilterCase{"on-change", {0, 2, 4, 5, 7}},
+        // threshold 50: crossings (up at 2, down at 4, up at 5, down at 7).
+        FilterCase{"threshold:50", {2, 4, 5, 7}},
+        // delta 25%: 40→55 (+37%), 55→80 (+45%), 80→30 (-62%).
+        FilterCase{"delta:25", {0, 2, 5, 7}}),
+    [](const ::testing::TestParamInfo<FilterCase>& info) {
+      std::string name = info.param.spec;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// --------------------------------------------------- directory scopes
+
+struct ScopeCase {
+  directory::SearchScope scope;
+  int hosts;
+  int sensors_per_host;
+  std::size_t expected;  // entries matched from the suffix base
+};
+
+class DirectoryScopes : public ::testing::TestWithParam<ScopeCase> {};
+
+TEST_P(DirectoryScopes, SubtreeCountsMatch) {
+  const ScopeCase& c = GetParam();
+  auto suffix = *directory::Dn::Parse("ou=sensors, o=jamm");
+  directory::DirectoryServer server(suffix, "bench");
+  for (int h = 0; h < c.hosts; ++h) {
+    const std::string host = "h" + std::to_string(h);
+    (void)server.Upsert(directory::schema::MakeHostEntry(suffix, host));
+    for (int s = 0; s < c.sensors_per_host; ++s) {
+      (void)server.Upsert(directory::schema::MakeSensorEntry(
+          suffix, host, "s" + std::to_string(s), "cpu", "gw", 1000, 0));
+    }
+  }
+  auto result = server.Search(suffix, c.scope, directory::Filter::MatchAll());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entries.size(), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scopes, DirectoryScopes,
+    ::testing::Values(
+        ScopeCase{directory::SearchScope::kBase, 3, 4, 0},  // suffix has no entry
+        ScopeCase{directory::SearchScope::kOneLevel, 3, 4, 3},
+        ScopeCase{directory::SearchScope::kSubtree, 3, 4, 15},
+        ScopeCase{directory::SearchScope::kSubtree, 10, 0, 10},
+        ScopeCase{directory::SearchScope::kOneLevel, 0, 0, 0}),
+    [](const ::testing::TestParamInfo<ScopeCase>& info) {
+      const char* scope = info.param.scope == directory::SearchScope::kBase
+                              ? "base"
+                          : info.param.scope ==
+                                  directory::SearchScope::kOneLevel
+                              ? "onelevel"
+                              : "subtree";
+      return std::string(scope) + "_h" + std::to_string(info.param.hosts) +
+             "_s" + std::to_string(info.param.sensors_per_host);
+    });
+
+// ------------------------------------------------------ NTP convergence
+
+struct NtpCase {
+  int offset_ms;   // initial clock error (may be negative)
+  int drift_ppm;
+};
+
+class NtpConvergence : public ::testing::TestWithParam<NtpCase> {};
+
+TEST_P(NtpConvergence, DaemonConvergesAndHolds) {
+  const NtpCase& c = GetParam();
+  netsim::Simulator sim;
+  netsim::Network net(sim, 5);
+  netsim::NodeId server_node = net.AddNode("server");
+  netsim::NodeId client_node = net.AddNode("client");
+  netsim::LinkConfig link;
+  link.bandwidth_bps = 100e6;
+  link.delay = 500;
+  link.jitter = 100;
+  net.Connect(server_node, client_node, link);
+
+  ntp::HostClock clock(sim.clock(), c.offset_ms * kMillisecond,
+                       c.drift_ppm);
+  ntp::SntpServer server(net, server_node);
+  ntp::SntpClient client(net, client_node, clock, server);
+  ntp::NtpDaemon daemon(sim, client, 32 * kSecond);
+  daemon.Start();
+  sim.RunFor(5 * kMinute);  // converge
+  // Hold phase: error must stay bounded for another 10 minutes.
+  Duration worst = 0;
+  for (int s = 0; s < 600; ++s) {
+    sim.RunFor(kSecond);
+    worst = std::max<Duration>(worst, std::abs(clock.ErrorVsTrue()));
+  }
+  EXPECT_LT(worst, 2 * kMillisecond)
+      << "offset=" << c.offset_ms << "ms drift=" << c.drift_ppm << "ppm";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NtpConvergence,
+    ::testing::Values(NtpCase{0, 0}, NtpCase{500, 50}, NtpCase{-2000, 100},
+                      NtpCase{10000, -150}, NtpCase{-60000, 300}),
+    [](const ::testing::TestParamInfo<NtpCase>& info) {
+      auto absname = [](int v) {
+        return v < 0 ? "neg" + std::to_string(-v) : std::to_string(v);
+      };
+      return "off" + absname(info.param.offset_ms) + "ms_drift" +
+             absname(info.param.drift_ppm) + "ppm";
+    });
+
+}  // namespace
+}  // namespace jamm

@@ -1,0 +1,250 @@
+// Tests for the RMI-like RPC layer: activation-on-invoke, idle unload and
+// transparent re-activation, remote calls over transport, marshalling
+// round-trips, and the HTTP-sim codebase/config server.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "rpc/httpsim.hpp"
+#include "rpc/registry.hpp"
+#include "rpc/wire.hpp"
+#include "transport/inproc.hpp"
+
+namespace jamm::rpc {
+namespace {
+
+std::unique_ptr<RemoteObject> MakeEchoObject(int* constructed = nullptr) {
+  if (constructed) ++*constructed;
+  auto obj = std::make_unique<MethodTableObject>();
+  obj->Register("echo", [](const std::vector<std::string>& args) {
+    return Result<std::string>(args.empty() ? "" : args[0]);
+  });
+  obj->Register("concat", [](const std::vector<std::string>& args) {
+    std::string out;
+    for (const auto& a : args) out += a;
+    return Result<std::string>(out);
+  });
+  obj->Register("fail", [](const std::vector<std::string>&) {
+    return Result<std::string>(Status::Internal("boom"));
+  });
+  return obj;
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(RegistryTest, ActivatesOnFirstInvoke) {
+  SimClock clock;
+  Registry registry(clock);
+  int constructed = 0;
+  ASSERT_TRUE(registry
+                  .RegisterActivatable(
+                      "echo", [&] { return MakeEchoObject(&constructed); })
+                  .ok());
+  EXPECT_FALSE(registry.IsActive("echo"));
+  EXPECT_EQ(constructed, 0);
+
+  auto result = registry.Invoke("echo", "echo", {"hello"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "hello");
+  EXPECT_TRUE(registry.IsActive("echo"));
+  EXPECT_EQ(constructed, 1);
+  EXPECT_EQ(registry.stats().activations, 1u);
+
+  // Second call reuses the instance.
+  (void)registry.Invoke("echo", "echo", {"again"});
+  EXPECT_EQ(constructed, 1);
+}
+
+TEST(RegistryTest, IdleUnloadAndReactivation) {
+  // Paper §3: activatable objects "will unload themselves automatically
+  // after a period of inactivity."
+  SimClock clock;
+  Registry registry(clock);
+  int constructed = 0;
+  (void)registry.RegisterActivatable(
+      "echo", [&] { return MakeEchoObject(&constructed); },
+      /*idle_timeout=*/kMinute);
+  (void)registry.Invoke("echo", "echo", {"x"});
+  EXPECT_EQ(constructed, 1);
+
+  clock.Advance(30 * kSecond);
+  EXPECT_EQ(registry.MaintenanceTick(), 0u);  // not idle long enough
+  EXPECT_TRUE(registry.IsActive("echo"));
+
+  clock.Advance(31 * kSecond);
+  EXPECT_EQ(registry.MaintenanceTick(), 1u);
+  EXPECT_FALSE(registry.IsActive("echo"));
+  EXPECT_EQ(registry.stats().unloads, 1u);
+
+  // Next call re-activates transparently.
+  auto result = registry.Invoke("echo", "echo", {"back"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(constructed, 2);
+}
+
+TEST(RegistryTest, ResidentObjectsNeverUnload) {
+  SimClock clock;
+  Registry registry(clock);
+  auto obj = std::shared_ptr<RemoteObject>(MakeEchoObject());
+  ASSERT_TRUE(registry.RegisterResident("svc", obj).ok());
+  (void)registry.Invoke("svc", "echo", {"x"});
+  clock.Advance(24 * kHour);
+  EXPECT_EQ(registry.MaintenanceTick(), 0u);
+  EXPECT_TRUE(registry.IsActive("svc"));
+}
+
+TEST(RegistryTest, ErrorsPropagate) {
+  SimClock clock;
+  Registry registry(clock);
+  (void)registry.RegisterActivatable("echo", [] { return MakeEchoObject(); });
+  EXPECT_EQ(registry.Invoke("ghost", "echo", {}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry.Invoke("echo", "nope", {}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry.Invoke("echo", "fail", {}).status().code(),
+            StatusCode::kInternal);
+  EXPECT_FALSE(registry.RegisterActivatable("echo", [] {
+    return MakeEchoObject();
+  }).ok());  // duplicate name
+  EXPECT_TRUE(registry.Unregister("echo").ok());
+  EXPECT_FALSE(registry.Unregister("echo").ok());
+}
+
+// -------------------------------------------------------------- marshalling
+
+TEST(MarshalTest, RoundTripsStringLists) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::string> parts(static_cast<std::size_t>(
+        rng.Uniform(0, 6)));
+    for (auto& p : parts) {
+      const int len = static_cast<int>(rng.Uniform(0, 64));
+      for (int i = 0; i < len; ++i) {
+        p.push_back(static_cast<char>(rng.Uniform(0, 255)));
+      }
+    }
+    auto decoded = DecodeStrings(EncodeStrings(parts));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, parts);
+  }
+}
+
+TEST(MarshalTest, RejectsTruncatedAndTrailing) {
+  const std::string good = EncodeStrings({"abc", "def"});
+  EXPECT_FALSE(DecodeStrings(good.substr(0, good.size() - 1)).ok());
+  EXPECT_FALSE(DecodeStrings(good + "x").ok());
+}
+
+// -------------------------------------------------------------------- wire
+
+TEST(RpcWireTest, CallOverInProcTransport) {
+  SimClock clock;
+  Registry registry(clock);
+  (void)registry.RegisterActivatable("echo", [] { return MakeEchoObject(); });
+
+  transport::InProcNetwork net;
+  auto listener = net.Listen("rpc");
+  ASSERT_TRUE(listener.ok());
+  RpcServer server(registry, std::move(*listener));
+
+  auto channel = net.Dial("rpc");
+  ASSERT_TRUE(channel.ok());
+  RpcClient client(std::move(*channel));
+  server.PollOnce();  // accept
+
+  // Single-threaded test: send the call manually, poll, then read.
+  auto chan2 = net.Dial("rpc");
+  ASSERT_TRUE(chan2.ok());
+  ASSERT_TRUE((*chan2)
+                  ->Send({"rpc.call",
+                          EncodeStrings({"echo", "concat", "a", "b", "c"})})
+                  .ok());
+  server.PollOnce();
+  auto reply = (*chan2)->Receive(kSecond);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, "rpc.ok");
+  auto decoded = DecodeStrings(reply->payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0], "abc");
+}
+
+TEST(RpcWireTest, RemoteErrorsAndMalformedCalls) {
+  SimClock clock;
+  Registry registry(clock);
+  (void)registry.RegisterActivatable("echo", [] { return MakeEchoObject(); });
+  transport::InProcNetwork net;
+  auto listener = net.Listen("rpc");
+  ASSERT_TRUE(listener.ok());
+  RpcServer server(registry, std::move(*listener));
+
+  auto chan = net.Dial("rpc");
+  ASSERT_TRUE(chan.ok());
+  ASSERT_TRUE(
+      (*chan)->Send({"rpc.call", EncodeStrings({"echo", "fail"})}).ok());
+  server.PollOnce();
+  auto reply = (*chan)->Receive(kSecond);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, "rpc.error");
+
+  ASSERT_TRUE((*chan)->Send({"rpc.call", "garbage-not-marshalled"}).ok());
+  server.PollOnce();
+  reply = (*chan)->Receive(kSecond);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, "rpc.error");
+
+  ASSERT_TRUE((*chan)->Send({"wrong.type", ""}).ok());
+  server.PollOnce();
+  reply = (*chan)->Receive(kSecond);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, "rpc.error");
+}
+
+// ----------------------------------------------------------------- httpsim
+
+TEST(HttpSimTest, PutGetVersioning) {
+  HttpSimServer http;
+  EXPECT_FALSE(http.Get("/config").ok());
+  EXPECT_EQ(http.Version("/config"), 0u);
+
+  http.Put("/config", "[sensor]\nname = vm\n");
+  auto body = http.Get("/config");
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(http.Version("/config"), 1u);
+
+  http.Put("/config", "[sensor]\nname = vm2\n");
+  EXPECT_EQ(http.Version("/config"), 2u);
+}
+
+TEST(HttpSimTest, ConditionalGet) {
+  HttpSimServer http;
+  http.Put("/config", "v1");
+  std::uint64_t version = 0;
+  auto body = http.GetIfModified("/config", 0, &version);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(version, 1u);
+  // Unchanged → 304 analogue.
+  auto unchanged = http.GetIfModified("/config", version, nullptr);
+  ASSERT_FALSE(unchanged.ok());
+  EXPECT_EQ(unchanged.status().code(), StatusCode::kAborted);
+}
+
+TEST(HttpSimTest, AvailabilityFaultInjection) {
+  HttpSimServer http;
+  http.Put("/x", "data");
+  http.SetAvailable(false);
+  EXPECT_EQ(http.Get("/x").status().code(), StatusCode::kUnavailable);
+  http.SetAvailable(true);
+  EXPECT_TRUE(http.Get("/x").ok());
+  EXPECT_GE(http.request_count(), 2u);
+}
+
+TEST(HttpSimTest, FetcherClosureWorks) {
+  HttpSimServer http;
+  http.Put("/cfg", "content");
+  auto fetcher = http.MakeFetcher("/cfg");
+  auto body = fetcher();
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(*body, "content");
+}
+
+}  // namespace
+}  // namespace jamm::rpc

@@ -1,0 +1,386 @@
+// Tests for the security layer (§7.1): simulated PKI signatures,
+// certificate issuance/verification, gridmap parsing, Akenti-style
+// use-conditions + the shared authorization interface, its gateway and
+// directory adapters, and the SSL-sim secure channel (including the
+// sensor manager's known-gateways allowlist).
+#include <gtest/gtest.h>
+
+#include "directory/schema.hpp"
+#include "security/akenti.hpp"
+#include "security/certificate.hpp"
+#include "security/crypto.hpp"
+#include "security/gridmap.hpp"
+#include "rpc/wire.hpp"
+#include "security/secure_channel.hpp"
+#include "transport/inproc.hpp"
+
+#include <thread>
+
+namespace jamm::security {
+namespace {
+
+// ------------------------------------------------------------------ crypto
+
+TEST(CryptoTest, SignVerifyRoundTrip) {
+  Rng rng(1);
+  KeyPair pair = GenerateKeyPair(rng);
+  const std::string sig = Sign(pair.private_key, "message");
+  EXPECT_TRUE(Verify(pair.public_key, "message", sig));
+  EXPECT_FALSE(Verify(pair.public_key, "other message", sig));
+  EXPECT_FALSE(Verify(pair.public_key, "message", "forged"));
+}
+
+TEST(CryptoTest, DifferentKeysDontVerify) {
+  Rng rng(2);
+  KeyPair a = GenerateKeyPair(rng);
+  KeyPair b = GenerateKeyPair(rng);
+  const std::string sig = Sign(a.private_key, "msg");
+  EXPECT_FALSE(Verify(b.public_key, "msg", sig));
+  EXPECT_FALSE(Verify("pub-unknown", "msg", sig));
+}
+
+TEST(CryptoTest, DigestDeterministic) {
+  EXPECT_EQ(Digest("abc"), Digest("abc"));
+  EXPECT_NE(Digest("abc"), Digest("abd"));
+}
+
+// ------------------------------------------------------------- certificates
+
+class CertTest : public ::testing::Test {
+ protected:
+  CertTest() : rng_(7), ca_("/O=DOEGrids/CN=CA", rng_) {}
+
+  Rng rng_;
+  CertificateAuthority ca_;
+};
+
+TEST_F(CertTest, IssuedIdentityVerifiesAgainstRoot) {
+  KeyPair user = GenerateKeyPair(rng_);
+  Certificate cert = ca_.IssueIdentity("/O=LBNL/CN=Brian Tierney",
+                                       user.public_key, 0, 100 * kSecond);
+  EXPECT_TRUE(
+      VerifyCertificate(cert, {ca_.ca_certificate()}, 50 * kSecond).ok());
+}
+
+TEST_F(CertTest, ExpiredOrFutureRejected) {
+  KeyPair user = GenerateKeyPair(rng_);
+  Certificate cert = ca_.IssueIdentity("/CN=u", user.public_key,
+                                       10 * kSecond, 20 * kSecond);
+  EXPECT_FALSE(
+      VerifyCertificate(cert, {ca_.ca_certificate()}, 5 * kSecond).ok());
+  EXPECT_FALSE(
+      VerifyCertificate(cert, {ca_.ca_certificate()}, 25 * kSecond).ok());
+  EXPECT_TRUE(
+      VerifyCertificate(cert, {ca_.ca_certificate()}, 15 * kSecond).ok());
+}
+
+TEST_F(CertTest, TamperedCertRejected) {
+  KeyPair user = GenerateKeyPair(rng_);
+  Certificate cert =
+      ca_.IssueIdentity("/CN=alice", user.public_key, 0, kHour);
+  cert.subject = "/CN=mallory";  // re-bind the signature to a new subject
+  EXPECT_FALSE(VerifyCertificate(cert, {ca_.ca_certificate()}, 1).ok());
+}
+
+TEST_F(CertTest, UntrustedIssuerRejected) {
+  Rng rng2(99);
+  CertificateAuthority rogue("/O=Rogue/CN=CA", rng2);
+  KeyPair user = GenerateKeyPair(rng2);
+  Certificate cert = rogue.IssueIdentity("/CN=alice", user.public_key, 0,
+                                         kHour);
+  EXPECT_FALSE(VerifyCertificate(cert, {ca_.ca_certificate()}, 1).ok());
+  EXPECT_TRUE(VerifyCertificate(cert, {rogue.ca_certificate()}, 1).ok());
+}
+
+TEST_F(CertTest, AttributeCertCarriesAssertions) {
+  Certificate attr = ca_.IssueAttribute(
+      "/CN=alice", {{"group", "didc"}, {"role", "admin"}}, 0, kHour);
+  EXPECT_EQ(attr.kind, Certificate::Kind::kAttribute);
+  EXPECT_EQ(attr.attributes.at("group"), "didc");
+  EXPECT_TRUE(VerifyCertificate(attr, {ca_.ca_certificate()}, 1).ok());
+}
+
+TEST_F(CertTest, SerializationRoundTrips) {
+  Certificate attr = ca_.IssueAttribute("/CN=alice", {{"group", "didc"}},
+                                        5, kHour);
+  auto parsed = ParseCertificate(SerializeCertificate(attr));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->subject, attr.subject);
+  EXPECT_EQ(parsed->signature, attr.signature);
+  EXPECT_EQ(parsed->attributes, attr.attributes);
+  EXPECT_EQ(parsed->not_before, 5);
+  EXPECT_TRUE(VerifyCertificate(*parsed, {ca_.ca_certificate()}, 10).ok());
+  EXPECT_FALSE(ParseCertificate("junk").ok());
+}
+
+// ---------------------------------------------------------------- gridmap
+
+TEST(GridMapTest, ParseAndMap) {
+  auto map = GridMap::Parse(R"(
+# grid-mapfile
+"/O=LBNL/CN=Brian Tierney" tierney
+"/O=ANL/CN=Ian Foster"     foster
+)");
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->size(), 2u);
+  EXPECT_EQ(*map->MapSubject("/O=LBNL/CN=Brian Tierney"), "tierney");
+  EXPECT_FALSE(map->MapSubject("/O=Evil/CN=X").ok());
+}
+
+TEST(GridMapTest, RejectsMalformed) {
+  EXPECT_FALSE(GridMap::Parse("/CN=unquoted user\n").ok());
+  EXPECT_FALSE(GridMap::Parse("\"/CN=noclose user\n").ok());
+  EXPECT_FALSE(GridMap::Parse("\"/CN=nouser\"\n").ok());
+}
+
+// ----------------------------------------------------------------- policy
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest()
+      : rng_(13),
+        ca_("/O=Grid/CN=CA", rng_),
+        clock_(kSecond),
+        authorizer_(policy_, {ca_.ca_certificate()}, clock_) {
+    // Resource "gw.lbl": anyone at LBNL may query; subscribing needs the
+    // didc group attribute; publishing reserved for the admin DN.
+    policy_.AddUseCondition("gw.lbl",
+                            {{action::kQuery}, "/O=LBNL/*", "", ""});
+    policy_.AddUseCondition(
+        "gw.lbl", {{action::kSubscribe}, "", "group", "didc"});
+    policy_.AddUseCondition(
+        "gw.lbl", {{action::kPublish, action::kStartSensor},
+                   "/O=LBNL/CN=admin", "", ""});
+  }
+
+  Certificate Identity(const std::string& subject) {
+    KeyPair keys = GenerateKeyPair(rng_);
+    return ca_.IssueIdentity(subject, keys.public_key, 0, kHour);
+  }
+
+  Rng rng_;
+  CertificateAuthority ca_;
+  SimClock clock_;
+  PolicyEngine policy_;
+  Authorizer authorizer_;
+};
+
+TEST_F(PolicyTest, SubjectGlobGrants) {
+  Certificate alice = Identity("/O=LBNL/CN=alice");
+  auto actions = policy_.AllowedActions("gw.lbl", alice, {});
+  EXPECT_TRUE(actions.count(action::kQuery));
+  EXPECT_FALSE(actions.count(action::kSubscribe));
+  EXPECT_FALSE(actions.count(action::kPublish));
+}
+
+TEST_F(PolicyTest, AttributeCertGrants) {
+  Certificate bob = Identity("/O=ANL/CN=bob");
+  EXPECT_TRUE(policy_.AllowedActions("gw.lbl", bob, {}).empty());
+  Certificate attr =
+      ca_.IssueAttribute("/O=ANL/CN=bob", {{"group", "didc"}}, 0, kHour);
+  auto actions = policy_.AllowedActions("gw.lbl", bob, {attr});
+  EXPECT_TRUE(actions.count(action::kSubscribe));
+  // An attribute cert about someone else does not help.
+  Certificate other =
+      ca_.IssueAttribute("/O=ANL/CN=carol", {{"group", "didc"}}, 0, kHour);
+  EXPECT_TRUE(policy_.AllowedActions("gw.lbl", bob, {other}).empty());
+}
+
+TEST_F(PolicyTest, AuthorizerEndToEnd) {
+  Certificate admin = Identity("/O=LBNL/CN=admin");
+  auto principal = authorizer_.Authenticate(admin);
+  ASSERT_TRUE(principal.ok());
+  EXPECT_TRUE(authorizer_.Check("gw.lbl", action::kPublish, *principal));
+  EXPECT_TRUE(authorizer_.Check("gw.lbl", action::kQuery, *principal));
+  EXPECT_FALSE(authorizer_.Check("gw.lbl", action::kSubscribe, *principal));
+  // Unauthenticated principals get nothing.
+  EXPECT_FALSE(authorizer_.Check("gw.lbl", action::kQuery, "/CN=ghost"));
+}
+
+TEST_F(PolicyTest, AuthenticateRejectsBadCerts) {
+  Rng rng2(55);
+  CertificateAuthority rogue("/O=Rogue/CN=CA", rng2);
+  KeyPair keys = GenerateKeyPair(rng2);
+  Certificate fake = rogue.IssueIdentity("/CN=spy", keys.public_key, 0,
+                                         kHour);
+  EXPECT_FALSE(authorizer_.Authenticate(fake).ok());
+  // Expired identity.
+  KeyPair keys2 = GenerateKeyPair(rng_);
+  Certificate expired =
+      ca_.IssueIdentity("/CN=old", keys2.public_key, 0, kMillisecond);
+  EXPECT_FALSE(authorizer_.Authenticate(expired).ok());
+}
+
+TEST_F(PolicyTest, GatewayAdapterEnforces) {
+  Certificate alice = Identity("/O=LBNL/CN=alice");
+  auto principal = authorizer_.Authenticate(alice);
+  ASSERT_TRUE(principal.ok());
+
+  gateway::EventGateway gw("gw.lbl", clock_);
+  gw.SetAccessChecker(authorizer_.GatewayChecker("gw.lbl"));
+  gw.Publish(ulm::Record(1, "h", "p", "Usage", "E"));
+  EXPECT_TRUE(gw.Query("", *principal).ok());           // query allowed
+  EXPECT_FALSE(gw.Subscribe("c", {}, [](const ulm::Record&) {},
+                            *principal)
+                   .ok());                              // subscribe denied
+  EXPECT_FALSE(gw.Query("", "anonymous-subject").ok()); // strangers denied
+}
+
+TEST_F(PolicyTest, DirectoryAdapterEnforces) {
+  Certificate admin = Identity("/O=LBNL/CN=admin");
+  Certificate alice = Identity("/O=LBNL/CN=alice");
+  auto admin_p = authorizer_.Authenticate(admin);
+  auto alice_p = authorizer_.Authenticate(alice);
+  ASSERT_TRUE(admin_p.ok());
+  ASSERT_TRUE(alice_p.ok());
+  // Directory guarded by the same resource policy: publish = write.
+  policy_.AddUseCondition("gw.lbl", {{action::kLookup}, "/O=LBNL/*", "", ""});
+
+  auto suffix = *directory::Dn::Parse("ou=sensors, o=jamm");
+  directory::DirectoryServer dir(suffix, "ldap://x");
+  dir.SetAccessChecker(authorizer_.DirectoryChecker("gw.lbl"));
+
+  auto entry = directory::schema::MakeHostEntry(suffix, "h1");
+  EXPECT_FALSE(dir.Add(entry, *alice_p).ok());  // alice cannot publish
+  EXPECT_TRUE(dir.Add(entry, *admin_p).ok());   // admin can
+  EXPECT_TRUE(dir.Lookup(entry.dn(), *alice_p).ok());  // both can look up
+}
+
+TEST_F(PolicyTest, GridMapIntegration) {
+  GridMap map;
+  map.Add("/O=LBNL/CN=alice", "alice");
+  authorizer_.SetGridMap(std::move(map));
+  Certificate alice = Identity("/O=LBNL/CN=alice");
+  auto principal = authorizer_.Authenticate(alice);
+  ASSERT_TRUE(principal.ok());
+  auto local = authorizer_.LocalUser(*principal);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(*local, "alice");
+  EXPECT_FALSE(authorizer_.LocalUser("/CN=unmapped").ok());
+}
+
+// ---------------------------------------------------------- secure channel
+
+class SecureChannelTest : public ::testing::Test {
+ protected:
+  SecureChannelTest() : rng_(21), ca_("/O=Grid/CN=CA", rng_) {}
+
+  SecureChannelOptions MakeOptions(const std::string& subject) {
+    KeyPair keys = GenerateKeyPair(rng_);
+    SecureChannelOptions options;
+    options.local_cert = ca_.IssueIdentity(subject, keys.public_key, 0,
+                                           1ll << 60);
+    options.local_private_key = keys.private_key;
+    options.trusted_roots = {ca_.ca_certificate()};
+    return options;
+  }
+
+  Rng rng_;
+  CertificateAuthority ca_;
+};
+
+/// Both Handshake() calls block on the peer's hello, so one side runs on
+/// a helper thread (as distinct processes would in a real deployment).
+std::pair<Status, Status> DoHandshake(SecureChannel& a, SecureChannel& b) {
+  Status b_status;
+  std::thread peer([&] { b_status = b.Handshake(); });
+  Status a_status = a.Handshake();
+  peer.join();
+  return {a_status, b_status};
+}
+
+TEST_F(SecureChannelTest, HandshakeAndAuthenticatedTraffic) {
+  auto [a_raw, b_raw] = transport::MakeChannelPair();
+  SecureChannel a(std::move(a_raw), MakeOptions("/CN=consumer"));
+  SecureChannel b(std::move(b_raw), MakeOptions("/CN=gateway"));
+  auto [sa, sb] = DoHandshake(a, b);
+  ASSERT_TRUE(sa.ok()) << sa.ToString();
+  ASSERT_TRUE(sb.ok()) << sb.ToString();
+  EXPECT_EQ(a.peer_subject(), "/CN=gateway");
+  EXPECT_EQ(b.peer_subject(), "/CN=consumer");
+
+  ASSERT_TRUE(a.Send({"event", "payload"}).ok());
+  auto msg = b.Receive(kSecond);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->type, "event");
+  EXPECT_EQ(msg->payload, "payload");
+}
+
+TEST_F(SecureChannelTest, UntrustedPeerRejected) {
+  Rng rng2(77);
+  CertificateAuthority rogue("/O=Rogue/CN=CA", rng2);
+  KeyPair keys = GenerateKeyPair(rng2);
+  SecureChannelOptions bad;
+  bad.local_cert = rogue.IssueIdentity("/CN=spy", keys.public_key, 0,
+                                       1ll << 60);
+  bad.local_private_key = keys.private_key;
+  bad.trusted_roots = {rogue.ca_certificate(), ca_.ca_certificate()};
+
+  auto [a_raw, b_raw] = transport::MakeChannelPair();
+  SecureChannel good(std::move(a_raw), MakeOptions("/CN=gateway"));
+  SecureChannel spy(std::move(b_raw), std::move(bad));
+  auto [good_status, spy_status] = DoHandshake(good, spy);
+  (void)spy_status;  // the spy may well accept our legitimate cert
+  ASSERT_FALSE(good_status.ok());
+  EXPECT_EQ(good_status.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(SecureChannelTest, AllowlistRestrictsPeers) {
+  // §7.1: the sensor manager accepts only its known gateway agents.
+  auto manager_options = MakeOptions("/CN=sensor-manager");
+  manager_options.allowed_peers = {"/CN=gateway-1", "/CN=gateway-2"};
+
+  {
+    auto [a_raw, b_raw] = transport::MakeChannelPair();
+    SecureChannel manager(std::move(a_raw), manager_options);
+    SecureChannel gw(std::move(b_raw), MakeOptions("/CN=gateway-1"));
+    auto [m_status, g_status] = DoHandshake(manager, gw);
+    EXPECT_TRUE(m_status.ok()) << m_status.ToString();
+    EXPECT_TRUE(g_status.ok()) << g_status.ToString();
+  }
+  {
+    auto [a_raw, b_raw] = transport::MakeChannelPair();
+    SecureChannel manager(std::move(a_raw), manager_options);
+    SecureChannel intruder(std::move(b_raw), MakeOptions("/CN=malory"));
+    auto [m_status, i_status] = DoHandshake(manager, intruder);
+    (void)i_status;
+    ASSERT_FALSE(m_status.ok());
+    EXPECT_EQ(m_status.code(), StatusCode::kPermissionDenied);
+  }
+}
+
+TEST_F(SecureChannelTest, TrafficBeforeHandshakeRefused) {
+  auto [a_raw, b_raw] = transport::MakeChannelPair();
+  SecureChannel a(std::move(a_raw), MakeOptions("/CN=x"));
+  EXPECT_FALSE(a.Send({"event", "x"}).ok());
+  EXPECT_FALSE(a.Receive(kMillisecond).ok());
+  (void)b_raw;
+}
+
+TEST_F(SecureChannelTest, TamperedFramesRejected) {
+  auto [a_raw, b_raw] = transport::MakeChannelPair();
+  // Keep a raw handle on b's side to inject forged frames.
+  transport::Channel* b_injector = b_raw.get();
+  SecureChannel a(std::move(a_raw), MakeOptions("/CN=a"));
+  SecureChannel b_side(std::move(b_raw), MakeOptions("/CN=b"));
+  auto [sa, sb] = DoHandshake(a, b_side);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+
+  // Forge a tls.msg with a wrong MAC.
+  ASSERT_TRUE(b_injector
+                  ->Send({"tls.msg",
+                          rpc::EncodeStrings({"event", "evil", "badmac"})})
+                  .ok());
+  auto msg = a.Receive(50 * kMillisecond);
+  ASSERT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kPermissionDenied);
+
+  // Plaintext injection is refused too.
+  ASSERT_TRUE(b_injector->Send({"event", "plaintext"}).ok());
+  msg = a.Receive(50 * kMillisecond);
+  ASSERT_FALSE(msg.ok());
+}
+
+}  // namespace
+}  // namespace jamm::security

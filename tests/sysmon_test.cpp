@@ -1,0 +1,313 @@
+// Tests for the sysmon substrate: SimHost counters/workloads/process
+// table/port activity, the SNMP-lite OID/MIB machinery, and the procfs
+// provider against fixture files.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/clock.hpp"
+#include "sysmon/procfs.hpp"
+#include "sysmon/simhost.hpp"
+#include "sysmon/snmp.hpp"
+
+namespace jamm::sysmon {
+namespace {
+
+// ---------------------------------------------------------------- SimHost
+
+TEST(SimHostTest, BaselineSampleSane) {
+  SimClock clock;
+  SimHost host("dpss1.lbl.gov", clock);
+  auto m = host.Sample();
+  ASSERT_TRUE(m.ok());
+  EXPECT_GE(m->cpu_user_pct, 0);
+  EXPECT_LE(m->cpu_user_pct, 100);
+  EXPECT_NEAR(m->cpu_user_pct + m->cpu_sys_pct + m->cpu_idle_pct, 100.0, 0.5);
+  EXPECT_GT(m->mem_total_kb, 0);
+  EXPECT_LE(m->mem_free_kb, m->mem_total_kb);
+  EXPECT_EQ(host.host(), "dpss1.lbl.gov");
+}
+
+TEST(SimHostTest, BaseLoadReflectedInSamples) {
+  SimClock clock;
+  SimHost host("h", clock);
+  host.SetBaseLoad(40, 20);
+  auto m = host.Sample();
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->cpu_user_pct, 40, 2.0);  // ±1.5 noise
+  EXPECT_NEAR(m->cpu_sys_pct, 20, 2.0);
+}
+
+TEST(SimHostTest, LoadBurstExpires) {
+  SimClock clock;
+  SimHost host("h", clock);
+  host.SetBaseLoad(5, 2);
+  host.AddLoadBurst(50, 30, 10 * kSecond);
+  auto during = host.Sample();
+  ASSERT_TRUE(during.ok());
+  EXPECT_NEAR(during->cpu_user_pct, 55, 2.0);
+  EXPECT_NEAR(during->cpu_sys_pct, 32, 2.0);
+  clock.Advance(11 * kSecond);
+  auto after = host.Sample();
+  ASSERT_TRUE(after.ok());
+  EXPECT_NEAR(after->cpu_user_pct, 5, 2.0);
+}
+
+TEST(SimHostTest, BurstsStack) {
+  SimClock clock;
+  SimHost host("h", clock);
+  host.SetBaseLoad(0, 0);
+  host.AddLoadBurst(10, 5, 10 * kSecond);
+  host.AddLoadBurst(20, 10, 10 * kSecond);
+  auto m = host.Sample();
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->cpu_user_pct, 30, 2.0);
+  EXPECT_NEAR(m->cpu_sys_pct, 15, 2.0);
+}
+
+TEST(SimHostTest, MemoryConsumeRelease) {
+  SimClock clock;
+  SimHost host("h", clock);
+  host.SetMemory(1000, 800);
+  host.ConsumeMemory(300);
+  EXPECT_EQ(host.Sample()->mem_free_kb, 500);
+  host.ConsumeMemory(9999);  // floors at 0
+  EXPECT_EQ(host.Sample()->mem_free_kb, 0);
+  host.ReleaseMemory(250);
+  EXPECT_EQ(host.Sample()->mem_free_kb, 250);
+  host.ReleaseMemory(99999);  // caps at total
+  EXPECT_EQ(host.Sample()->mem_free_kb, 1000);
+}
+
+TEST(SimHostTest, CumulativeCountersGrow) {
+  SimClock clock;
+  SimHost host("h", clock);
+  host.AddTcpRetransmits(3);
+  host.AddTcpRetransmits(2);
+  host.AddDiskIo(100, 50);
+  host.AddInterrupts(1000);
+  auto m = host.Sample();
+  EXPECT_EQ(m->tcp_retransmits, 5);
+  EXPECT_EQ(m->disk_read_kb, 100);
+  EXPECT_EQ(m->disk_write_kb, 50);
+  EXPECT_EQ(m->interrupts, 1000);
+}
+
+TEST(SimHostTest, ProcessLifecycle) {
+  SimClock clock;
+  SimHost host("h", clock);
+  EXPECT_FALSE(host.FindProcess("dpss").has_value());
+  const int pid = host.StartProcess("dpss");
+  auto info = host.FindProcess("dpss");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->running);
+  EXPECT_EQ(info->pid, pid);
+  host.StopProcess("dpss", /*crashed=*/true);
+  info = host.FindProcess("dpss");
+  EXPECT_FALSE(info->running);
+  EXPECT_TRUE(info->crashed);
+  const int pid2 = host.StartProcess("dpss");  // restart gets a new pid
+  EXPECT_NE(pid2, pid);
+  EXPECT_TRUE(host.FindProcess("dpss")->running);
+  EXPECT_FALSE(host.FindProcess("dpss")->crashed);
+}
+
+TEST(SimHostTest, ProcessUsersGauge) {
+  SimClock clock;
+  SimHost host("h", clock);
+  host.StartProcess("ftp");
+  host.SetProcessUsers("ftp", 12);
+  EXPECT_EQ(host.FindProcess("ftp")->users, 12);
+  EXPECT_EQ(host.Processes().size(), 1u);
+}
+
+TEST(SimHostTest, PortActivityStamps) {
+  SimClock clock(100 * kSecond);
+  SimHost host("h", clock);
+  EXPECT_EQ(host.LastPortActivity(21), -1);
+  EXPECT_EQ(host.PortTraffic(21), 0);
+  host.AddPortTraffic(21, 1500);
+  EXPECT_EQ(host.PortTraffic(21), 1500);
+  EXPECT_EQ(host.LastPortActivity(21), 100 * kSecond);
+  clock.Advance(7 * kSecond);
+  host.AddPortTraffic(21, 500);
+  EXPECT_EQ(host.PortTraffic(21), 2000);
+  EXPECT_EQ(host.LastPortActivity(21), 107 * kSecond);
+}
+
+TEST(SimHostTest, NoiseDeterministicPerSeed) {
+  SimClock clock;
+  SimHost a("h", clock, 42), b("h", clock, 42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.Sample()->cpu_user_pct, b.Sample()->cpu_user_pct);
+  }
+}
+
+// ------------------------------------------------------------------- SNMP
+
+TEST(OidTest, ParseAndToString) {
+  auto oid = Oid::Parse("1.3.6.1.2.1.2.2.1.10.1");
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(oid->arcs().size(), 11u);
+  EXPECT_EQ(oid->ToString(), "1.3.6.1.2.1.2.2.1.10.1");
+  EXPECT_FALSE(Oid::Parse("").ok());
+  EXPECT_FALSE(Oid::Parse("1.2.x").ok());
+  EXPECT_FALSE(Oid::Parse("1..2").ok());
+}
+
+TEST(OidTest, OrderingIsLexicographic) {
+  EXPECT_LT(*Oid::Parse("1.3.6"), *Oid::Parse("1.3.6.1"));
+  EXPECT_LT(*Oid::Parse("1.3.6.1.2"), *Oid::Parse("1.3.6.2"));
+  EXPECT_LT(*Oid::Parse("1.3.6.1.9"), *Oid::Parse("1.3.6.1.10"));  // numeric arcs
+}
+
+TEST(OidTest, PrefixAndExtend) {
+  const Oid table = oid::IfTable();
+  const Oid counter = oid::IfInOctets(3);
+  EXPECT_TRUE(table.IsPrefixOf(counter));
+  EXPECT_FALSE(counter.IsPrefixOf(table));
+  EXPECT_TRUE(table.IsPrefixOf(table));
+  EXPECT_EQ(table.Extend(99).arcs().back(), 99u);
+}
+
+TEST(MibTreeTest, GetSetAndMissing) {
+  MibTree mib;
+  mib.Set(*Oid::Parse("1.2.3"), SnmpValue::Integer(7));
+  auto v = mib.Get(*Oid::Parse("1.2.3"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->number, 7);
+  EXPECT_EQ(mib.Get(*Oid::Parse("1.2.4")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MibTreeTest, GetNextTraversal) {
+  MibTree mib;
+  mib.Set(*Oid::Parse("1.2.3"), SnmpValue::Integer(1));
+  mib.Set(*Oid::Parse("1.2.5"), SnmpValue::Integer(2));
+  mib.Set(*Oid::Parse("1.3.1"), SnmpValue::Integer(3));
+  auto next = mib.GetNext(*Oid::Parse("1.2.3"));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->first.ToString(), "1.2.5");
+  next = mib.GetNext(*Oid::Parse("1.2.4"));  // between entries
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->first.ToString(), "1.2.5");
+  next = mib.GetNext(*Oid::Parse("1.3.1"));
+  EXPECT_FALSE(next.ok());  // endOfMibView
+}
+
+TEST(MibTreeTest, WalkSubtree) {
+  MibTree mib;
+  mib.Set(*Oid::Parse("1.2.3.1"), SnmpValue::Counter(10));
+  mib.Set(*Oid::Parse("1.2.3.2"), SnmpValue::Counter(20));
+  mib.Set(*Oid::Parse("1.2.4.1"), SnmpValue::Counter(30));
+  auto walk = mib.Walk(*Oid::Parse("1.2.3"));
+  ASSERT_EQ(walk.size(), 2u);
+  EXPECT_EQ(walk[0].second.number, 10);
+  EXPECT_EQ(walk[1].second.number, 20);
+  EXPECT_EQ(mib.Walk(*Oid::Parse("9")).size(), 0u);
+}
+
+TEST(MibTreeTest, BumpCreatesAndAccumulates) {
+  MibTree mib;
+  mib.Bump(oid::IfInOctets(1), 100);
+  mib.Bump(oid::IfInOctets(1), 50);
+  auto v = mib.Get(oid::IfInOctets(1));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->number, 150);
+}
+
+TEST(SnmpAgentTest, TrafficAndErrors) {
+  SnmpAgent router("router-east");
+  router.AddTraffic(1, 1000, 2000);
+  router.AddTraffic(1, 500, 500);
+  router.AddErrors(1, 2, 1);
+  EXPECT_EQ(*router.Counter(oid::IfInOctets(1)), 1500);
+  EXPECT_EQ(*router.Counter(oid::IfOutOctets(1)), 2500);
+  EXPECT_EQ(*router.Counter(oid::IfInErrors(1)), 2);
+  EXPECT_EQ(*router.Counter(oid::IfCrcErrors(1)), 1);
+  // sysName is a string; Counter() refuses it.
+  EXPECT_FALSE(router.Counter(oid::SysName()).ok());
+  auto name = router.mib().Get(oid::SysName());
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->text, "router-east");
+}
+
+// ----------------------------------------------------------------- procfs
+
+class ProcfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() / "jamm_procfs_test")
+                .string();
+    std::filesystem::create_directories(root_ + "/net");
+    WriteFixture("/stat",
+                 "cpu  100 0 50 800 10 5 5 0 0 0\n"
+                 "cpu0 100 0 50 800 10 5 5 0 0 0\n"
+                 "intr 12345 1 2 3\n"
+                 "ctxt 67890\n");
+    WriteFixture("/meminfo",
+                 "MemTotal:       16384 kB\n"
+                 "MemFree:         4096 kB\n"
+                 "MemAvailable:    8192 kB\n");
+    WriteFixture("/net/snmp",
+                 "Tcp: RtoAlgorithm RtoMin RtoMax MaxConn ActiveOpens "
+                 "PassiveOpens AttemptFails EstabResets CurrEstab InSegs "
+                 "OutSegs RetransSegs InErrs OutRsts\n"
+                 "Tcp: 1 200 120000 -1 10 20 1 2 3 1000 900 42 0 5\n");
+  }
+
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  void WriteFixture(const std::string& rel, const std::string& content) {
+    std::ofstream out(root_ + rel);
+    out << content;
+  }
+
+  std::string root_;
+};
+
+TEST_F(ProcfsTest, ParsesFixtures) {
+  ProcfsProvider provider("myhost", root_);
+  auto m = provider.Sample();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->mem_total_kb, 16384);
+  EXPECT_EQ(m->mem_free_kb, 8192);  // MemAvailable
+  EXPECT_EQ(m->interrupts, 12345);
+  EXPECT_EQ(m->context_switches, 67890);
+  EXPECT_EQ(m->tcp_retransmits, 42);
+  // First sample: since-boot CPU averages; user=(100+0)/970.
+  EXPECT_NEAR(m->cpu_user_pct, 100.0 * 100 / 970, 0.1);
+}
+
+TEST_F(ProcfsTest, DeltaBasedCpuOnSecondSample) {
+  ProcfsProvider provider("myhost", root_);
+  ASSERT_TRUE(provider.Sample().ok());
+  // Advance counters: +100 user jiffies, +100 idle.
+  WriteFixture("/stat",
+               "cpu  200 0 50 900 10 5 5 0 0 0\nintr 1\nctxt 1\n");
+  auto m = provider.Sample();
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->cpu_user_pct, 50.0, 0.1);  // 100 of 200 new jiffies
+  EXPECT_NEAR(m->cpu_sys_pct, 0.0, 0.1);
+}
+
+TEST_F(ProcfsTest, MissingProcUnavailable) {
+  ProcfsProvider provider("myhost", root_ + "/nonexistent");
+  EXPECT_FALSE(provider.Sample().ok());
+}
+
+TEST(ProcfsRealTest, ReadsRealProcIfPresent) {
+  // On the Linux build machines /proc exists; this exercises the real
+  // parser end-to-end without asserting on volatile values.
+  if (!std::filesystem::exists("/proc/stat")) GTEST_SKIP();
+  ProcfsProvider provider("localhost");
+  auto m = provider.Sample();
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->mem_total_kb, 0);
+  EXPECT_GE(m->cpu_user_pct, 0);
+  EXPECT_LE(m->cpu_user_pct, 100.001);
+}
+
+}  // namespace
+}  // namespace jamm::sysmon

@@ -1,0 +1,367 @@
+// Tests for the transport layer: frame codec, in-proc channels and the
+// named endpoint registry, real TCP channels on localhost, and the
+// NetLogger-over-transport sink in both ASCII and binary encodings.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "netlogger/logger.hpp"
+#include "transport/inproc.hpp"
+#include "transport/message.hpp"
+#include "transport/net_sink.hpp"
+#include "transport/tcp.hpp"
+
+namespace jamm::transport {
+namespace {
+
+// ------------------------------------------------------------------ frames
+
+TEST(FrameTest, RoundTripsOneMessage) {
+  Message msg{"event", "DATE=... HOST=h"};
+  const std::string data = EncodeFrame(msg);
+  std::size_t offset = 0;
+  auto decoded = DecodeFrame(data, &offset);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, msg);
+  EXPECT_EQ(offset, data.size());
+}
+
+TEST(FrameTest, ConcatenatedFramesDecodeSequentially) {
+  std::string data = EncodeFrame({"a", "1"}) + EncodeFrame({"b", "2"});
+  std::size_t offset = 0;
+  auto first = DecodeFrame(data, &offset);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->type, "a");
+  auto second = DecodeFrame(data, &offset);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->type, "b");
+  EXPECT_EQ(offset, data.size());
+}
+
+TEST(FrameTest, IncompleteFrameReportsNotFound) {
+  const std::string data = EncodeFrame({"event", "payload"});
+  for (std::size_t cut = 0; cut < data.size(); ++cut) {
+    std::size_t offset = 0;
+    auto decoded = DecodeFrame(data.substr(0, cut), &offset);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kNotFound) << cut;
+    EXPECT_EQ(offset, 0u);  // offset untouched on failure
+  }
+}
+
+TEST(FrameTest, OversizedLengthIsParseErrorNotNotFound) {
+  std::string data(4, '\xff');  // type length = 0xffffffff
+  std::size_t offset = 0;
+  auto decoded = DecodeFrame(data, &offset);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(FrameTest, EmptyTypeAndPayloadAllowed) {
+  std::size_t offset = 0;
+  auto decoded = DecodeFrame(EncodeFrame({"", ""}), &offset);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, "");
+  EXPECT_EQ(decoded->payload, "");
+}
+
+TEST(FrameTest, BinaryPayloadSurvives) {
+  std::string payload;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    payload.push_back(static_cast<char>(rng.Uniform(0, 255)));
+  }
+  std::size_t offset = 0;
+  auto decoded = DecodeFrame(EncodeFrame({"bin", payload}), &offset);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->payload, payload);
+}
+
+// ------------------------------------------------------------------ inproc
+
+TEST(InProcTest, PairDeliversBothDirections) {
+  auto [a, b] = MakeChannelPair();
+  ASSERT_TRUE(a->Send({"ping", "1"}).ok());
+  auto msg = b->Receive(kSecond);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->type, "ping");
+  ASSERT_TRUE(b->Send({"pong", "2"}).ok());
+  auto reply = a->Receive(kSecond);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, "pong");
+}
+
+TEST(InProcTest, OrderingPreserved) {
+  auto [a, b] = MakeChannelPair();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a->Send({"n", std::to_string(i)}).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto msg = b->Receive(kSecond);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->payload, std::to_string(i));
+  }
+}
+
+TEST(InProcTest, TryReceiveNonBlocking) {
+  auto [a, b] = MakeChannelPair();
+  EXPECT_FALSE(b->TryReceive().has_value());
+  (void)a->Send({"x", ""});
+  auto msg = b->TryReceive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, "x");
+}
+
+TEST(InProcTest, ReceiveTimesOut) {
+  auto [a, b] = MakeChannelPair();
+  auto msg = b->Receive(5 * kMillisecond);
+  ASSERT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kTimeout);
+  (void)a;
+}
+
+TEST(InProcTest, CloseMakesPeerUnavailable) {
+  auto [a, b] = MakeChannelPair();
+  a->Close();
+  EXPECT_FALSE(b->Send({"x", ""}).ok());
+  auto msg = b->Receive(5 * kMillisecond);
+  ASSERT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(a->IsOpen());
+}
+
+TEST(InProcTest, NetworkDialAndAccept) {
+  InProcNetwork net;
+  auto listener = net.Listen("gateway.hostA");
+  ASSERT_TRUE(listener.ok());
+  EXPECT_EQ((*listener)->address(), "inproc:gateway.hostA");
+  EXPECT_TRUE(net.HasEndpoint("gateway.hostA"));
+
+  auto client = net.Dial("gateway.hostA");
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->Accept(kSecond);
+  ASSERT_TRUE(server.ok());
+
+  ASSERT_TRUE((*client)->Send({"subscribe", "cpu"}).ok());
+  auto msg = (*server)->Receive(kSecond);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->payload, "cpu");
+}
+
+TEST(InProcTest, DialWithoutListenerFails) {
+  InProcNetwork net;
+  auto client = net.Dial("nobody");
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(InProcTest, DuplicateListenRejected) {
+  InProcNetwork net;
+  auto first = net.Listen("ep");
+  ASSERT_TRUE(first.ok());
+  auto second = net.Listen("ep");
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(InProcTest, ListenerCloseFreesName) {
+  InProcNetwork net;
+  auto first = net.Listen("ep");
+  ASSERT_TRUE(first.ok());
+  (*first)->Close();
+  EXPECT_FALSE(net.HasEndpoint("ep"));
+  auto second = net.Listen("ep");
+  EXPECT_TRUE(second.ok());
+}
+
+TEST(InProcTest, AcceptTimesOutWithoutDial) {
+  InProcNetwork net;
+  auto listener = net.Listen("ep");
+  ASSERT_TRUE(listener.ok());
+  auto chan = (*listener)->Accept(5 * kMillisecond);
+  ASSERT_FALSE(chan.ok());
+  EXPECT_EQ(chan.status().code(), StatusCode::kTimeout);
+}
+
+// --------------------------------------------------------------------- tcp
+
+TEST(TcpTest, ConnectSendReceive) {
+  auto listener = TcpListener::Create();
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = (*listener)->port();
+  ASSERT_GT(port, 0);
+
+  auto client = TcpDial("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->Accept(kSecond);
+  ASSERT_TRUE(server.ok());
+
+  ASSERT_TRUE((*client)->Send({"hello", "world"}).ok());
+  auto msg = (*server)->Receive(kSecond);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->type, "hello");
+  EXPECT_EQ(msg->payload, "world");
+
+  ASSERT_TRUE((*server)->Send({"reply", "ok"}).ok());
+  auto reply = (*client)->Receive(kSecond);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->payload, "ok");
+}
+
+TEST(TcpTest, LocalhostAliasAccepted) {
+  auto listener = TcpListener::Create();
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpDial("localhost", (*listener)->port());
+  EXPECT_TRUE(client.ok());
+}
+
+TEST(TcpTest, ManyMessagesArriveInOrder) {
+  auto listener = TcpListener::Create();
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpDial("127.0.0.1", (*listener)->port());
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->Accept(kSecond);
+  ASSERT_TRUE(server.ok());
+
+  constexpr int kCount = 500;
+  std::thread sender([&] {
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_TRUE((*client)->Send({"n", std::to_string(i)}).ok());
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    auto msg = (*server)->Receive(5 * kSecond);
+    ASSERT_TRUE(msg.ok()) << i << ": " << msg.status().ToString();
+    EXPECT_EQ(msg->payload, std::to_string(i));
+  }
+  sender.join();
+}
+
+TEST(TcpTest, LargePayloadCrossesManyReads) {
+  auto listener = TcpListener::Create();
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpDial("127.0.0.1", (*listener)->port());
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->Accept(kSecond);
+  ASSERT_TRUE(server.ok());
+
+  std::string big(1 << 20, 'x');  // 1 MiB
+  std::thread sender([&] { ASSERT_TRUE((*client)->Send({"big", big}).ok()); });
+  auto msg = (*server)->Receive(10 * kSecond);
+  sender.join();
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->payload.size(), big.size());
+  EXPECT_EQ(msg->payload, big);
+}
+
+TEST(TcpTest, ReceiveTimesOut) {
+  auto listener = TcpListener::Create();
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpDial("127.0.0.1", (*listener)->port());
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->Accept(kSecond);
+  ASSERT_TRUE(server.ok());
+  auto msg = (*server)->Receive(10 * kMillisecond);
+  ASSERT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kTimeout);
+}
+
+TEST(TcpTest, PeerCloseObserved) {
+  auto listener = TcpListener::Create();
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpDial("127.0.0.1", (*listener)->port());
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->Accept(kSecond);
+  ASSERT_TRUE(server.ok());
+  (*client)->Close();
+  auto msg = (*server)->Receive(kSecond);
+  ASSERT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(TcpTest, DialRefusedPort) {
+  // Create-then-close a listener to get a port that refuses connections.
+  auto listener = TcpListener::Create();
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = (*listener)->port();
+  (*listener)->Close();
+  auto client = TcpDial("127.0.0.1", port, 200 * kMillisecond);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(TcpTest, DialBadAddress) {
+  auto client = TcpDial("not-an-ip", 1234, 100 * kMillisecond);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- net sink
+
+TEST(NetSinkTest, ShipsAsciiRecordsOverChannel) {
+  auto [tx, rx] = MakeChannelPair();
+  std::shared_ptr<Channel> tx_shared = std::move(tx);
+  SimClock clock(42 * kSecond);
+  netlogger::NetLogger log("prog", clock, "hostA", 1);
+  log.OpenSink(std::make_shared<NetSink>(tx_shared));
+  ASSERT_TRUE(log.Write("Ev", {{"K", "7"}}).ok());
+
+  auto msg = rx->Receive(kSecond);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->type, kEventMessageType);
+  auto rec = DecodeEventMessage(*msg);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->event_name(), "Ev");
+  EXPECT_EQ(*rec->GetInt("K"), 7);
+  EXPECT_EQ(rec->timestamp(), 42 * kSecond);
+}
+
+TEST(NetSinkTest, BinaryModeRoundTrips) {
+  auto [tx, rx] = MakeChannelPair();
+  std::shared_ptr<Channel> tx_shared = std::move(tx);
+  SimClock clock;
+  netlogger::NetLogger log("prog", clock, "hostA", 1);
+  log.OpenSink(std::make_shared<NetSink>(tx_shared, /*binary=*/true));
+  ASSERT_TRUE(log.Write("Ev", {{"K", "7"}}).ok());
+
+  auto msg = rx->Receive(kSecond);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->type, kBinaryEventMessageType);
+  auto rec = DecodeEventMessage(*msg);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->event_name(), "Ev");
+}
+
+TEST(NetSinkTest, RejectsForeignMessageType) {
+  auto rec = DecodeEventMessage({"rpc.call", "stuff"});
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetSinkTest, EndToEndOverRealTcp) {
+  auto listener = TcpListener::Create();
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpDial("127.0.0.1", (*listener)->port());
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->Accept(kSecond);
+  ASSERT_TRUE(server.ok());
+
+  std::shared_ptr<Channel> tx = std::move(*client);
+  SimClock clock;
+  netlogger::NetLogger log("prog", clock, "hostA", 4);
+  log.OpenSink(std::make_shared<NetSink>(tx));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(log.Write("Ev", {{"SEQ", std::to_string(i)}}).ok());
+  }
+  ASSERT_TRUE(log.Flush().ok());
+  for (int i = 0; i < 8; ++i) {
+    auto msg = (*server)->Receive(kSecond);
+    ASSERT_TRUE(msg.ok());
+    auto rec = DecodeEventMessage(*msg);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(*rec->GetInt("SEQ"), i);
+  }
+}
+
+}  // namespace
+}  // namespace jamm::transport

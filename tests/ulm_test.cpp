@@ -1,0 +1,280 @@
+// Tests for the ULM record format: ASCII parse/serialize round-trips
+// (including the paper's literal example), quoting, binary codec, XML
+// emission, and randomized property sweeps.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/time_util.hpp"
+#include "ulm/binary.hpp"
+#include "ulm/record.hpp"
+#include "ulm/xml.hpp"
+
+namespace jamm::ulm {
+namespace {
+
+Record SampleRecord() {
+  auto ts = ParseUlmDate("20000330112320.957943");
+  Record rec(*ts, "dpss1.lbl.gov", "testProg", std::string(level::kUsage),
+             "WriteData");
+  rec.SetField("SEND.SZ", std::int64_t{49332});
+  return rec;
+}
+
+// ------------------------------------------------------------------ ASCII
+
+TEST(UlmAsciiTest, SerializesPaperExample) {
+  // Paper §4.2 sample event, verbatim.
+  EXPECT_EQ(SampleRecord().ToAscii(),
+            "DATE=20000330112320.957943 HOST=dpss1.lbl.gov PROG=testProg "
+            "LVL=Usage NL.EVNT=WriteData SEND.SZ=49332");
+}
+
+TEST(UlmAsciiTest, ParsesPaperExample) {
+  auto rec = Record::FromAscii(
+      "DATE=20000330112320.957943 HOST=dpss1.lbl.gov PROG=testProg "
+      "LVL=Usage NL.EVNT=WriteData SEND.SZ=49332");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->host(), "dpss1.lbl.gov");
+  EXPECT_EQ(rec->prog(), "testProg");
+  EXPECT_EQ(rec->lvl(), "Usage");
+  EXPECT_EQ(rec->event_name(), "WriteData");
+  EXPECT_EQ(*rec->GetInt("SEND.SZ"), 49332);
+  EXPECT_EQ(FormatUlmDate(rec->timestamp()), "20000330112320.957943");
+}
+
+TEST(UlmAsciiTest, RoundTripsExactly) {
+  Record rec = SampleRecord();
+  auto parsed = Record::FromAscii(rec.ToAscii());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rec);
+}
+
+TEST(UlmAsciiTest, FieldOrderPreserved) {
+  Record rec = SampleRecord();
+  rec.SetField("B", "2");
+  rec.SetField("A", "1");
+  auto parsed = Record::FromAscii(rec.ToAscii());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->fields().size(), 3u);
+  EXPECT_EQ(parsed->fields()[0].first, "SEND.SZ");
+  EXPECT_EQ(parsed->fields()[1].first, "B");
+  EXPECT_EQ(parsed->fields()[2].first, "A");
+}
+
+TEST(UlmAsciiTest, QuotesValuesWithSpaces) {
+  Record rec = SampleRecord();
+  rec.SetField("MSG", "server exited with status 1");
+  const std::string line = rec.ToAscii();
+  EXPECT_NE(line.find("MSG=\"server exited with status 1\""),
+            std::string::npos);
+  auto parsed = Record::FromAscii(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed->GetField("MSG"), "server exited with status 1");
+}
+
+TEST(UlmAsciiTest, EscapesQuotesBackslashesNewlines) {
+  Record rec = SampleRecord();
+  rec.SetField("MSG", "a \"quoted\" \\ multi\nline");
+  auto parsed = Record::FromAscii(rec.ToAscii());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed->GetField("MSG"), "a \"quoted\" \\ multi\nline");
+}
+
+TEST(UlmAsciiTest, EmptyValueQuoted) {
+  Record rec = SampleRecord();
+  rec.SetField("EMPTY", "");
+  auto parsed = Record::FromAscii(rec.ToAscii());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed->GetField("EMPTY"), "");
+}
+
+TEST(UlmAsciiTest, MissingRequiredFieldRejected) {
+  EXPECT_FALSE(Record::FromAscii("HOST=h PROG=p LVL=Usage").ok());     // no DATE
+  EXPECT_FALSE(
+      Record::FromAscii("DATE=20000101000000.0 PROG=p LVL=Usage").ok());  // no HOST
+  EXPECT_FALSE(
+      Record::FromAscii("DATE=20000101000000.0 HOST=h LVL=Usage").ok());  // no PROG
+  EXPECT_FALSE(
+      Record::FromAscii("DATE=20000101000000.0 HOST=h PROG=p").ok());     // no LVL
+}
+
+TEST(UlmAsciiTest, MalformedPairsRejected) {
+  EXPECT_FALSE(Record::FromAscii("DATE").ok());
+  EXPECT_FALSE(Record::FromAscii("DATE=20000101000000.0 HOST=h PROG=p "
+                                 "LVL=Usage MSG=\"unterminated")
+                   .ok());
+  EXPECT_FALSE(Record::FromAscii("=v").ok());
+}
+
+TEST(UlmAsciiTest, SetFieldOverwrites) {
+  Record rec = SampleRecord();
+  rec.SetField("SEND.SZ", std::int64_t{100});
+  EXPECT_EQ(*rec.GetInt("SEND.SZ"), 100);
+  EXPECT_EQ(rec.fields().size(), 1u);
+}
+
+TEST(UlmAsciiTest, SetFieldRoutesRequiredNames) {
+  Record rec = SampleRecord();
+  rec.SetField("HOST", "other.lbl.gov");
+  EXPECT_EQ(rec.host(), "other.lbl.gov");
+  EXPECT_TRUE(rec.fields().empty() || rec.fields()[0].first != "HOST");
+  rec.SetField("NL.EVNT", "ReadData");
+  EXPECT_EQ(rec.event_name(), "ReadData");
+}
+
+TEST(UlmAsciiTest, GetDoubleAndMissingField) {
+  Record rec = SampleRecord();
+  rec.SetField("LOAD", 0.75);
+  EXPECT_NEAR(*rec.GetDouble("LOAD"), 0.75, 1e-9);
+  EXPECT_FALSE(rec.GetInt("ABSENT").ok());
+  EXPECT_FALSE(rec.GetField("ABSENT").has_value());
+  EXPECT_TRUE(rec.HasField("LOAD"));
+}
+
+TEST(UlmAsciiTest, ValidateCatchesBadRecords) {
+  Record rec = SampleRecord();
+  EXPECT_TRUE(rec.Validate().ok());
+  Record no_host = rec;
+  no_host.set_host("");
+  EXPECT_FALSE(no_host.Validate().ok());
+  Record neg = rec;
+  neg.set_timestamp(-1);
+  EXPECT_FALSE(neg.Validate().ok());
+}
+
+TEST(UlmAsciiTest, ParseLogSkipsBlanksCollectsError) {
+  Status error;
+  auto records = ParseLog(
+      "DATE=20000101000000.0 HOST=h PROG=p LVL=Usage NL.EVNT=A\n"
+      "\n"
+      "garbage line\n"
+      "DATE=20000101000001.0 HOST=h PROG=p LVL=Usage NL.EVNT=B\n",
+      &error);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_FALSE(error.ok());
+}
+
+// ----------------------------------------------------------------- binary
+
+TEST(UlmBinaryTest, RoundTripsSample) {
+  Record rec = SampleRecord();
+  std::string data = EncodeBinary(rec);
+  std::size_t offset = 0;
+  auto decoded = DecodeBinary(data, &offset);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(offset, data.size());
+  EXPECT_EQ(*decoded, rec);
+}
+
+TEST(UlmBinaryTest, StreamsConcatenate) {
+  std::string data;
+  for (int i = 0; i < 10; ++i) {
+    Record rec = SampleRecord();
+    rec.set_timestamp(rec.timestamp() + i);
+    rec.SetField("SEQ", static_cast<std::int64_t>(i));
+    EncodeBinary(rec, data);
+  }
+  auto decoded = DecodeBinaryStream(data);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(*(*decoded)[i].GetInt("SEQ"), i);
+  }
+}
+
+TEST(UlmBinaryTest, RejectsCorruption) {
+  std::string data = EncodeBinary(SampleRecord());
+  std::size_t offset = 0;
+  std::string bad_magic = data;
+  bad_magic[0] = 'Z';
+  EXPECT_FALSE(DecodeBinary(bad_magic, &offset).ok());
+
+  offset = 0;
+  std::string bad_version = data;
+  bad_version[2] = 99;
+  EXPECT_FALSE(DecodeBinary(bad_version, &offset).ok());
+
+  offset = 0;
+  std::string truncated = data.substr(0, data.size() / 2);
+  EXPECT_FALSE(DecodeBinary(truncated, &offset).ok());
+
+  offset = 0;
+  EXPECT_FALSE(DecodeBinary("", &offset).ok());
+}
+
+TEST(UlmBinaryTest, BinarySmallerThanAsciiForNumericHeavyRecords) {
+  Record rec = SampleRecord();
+  for (int i = 0; i < 20; ++i) {
+    rec.SetField("F" + std::to_string(i), static_cast<std::int64_t>(i * 1000));
+  }
+  EXPECT_LT(EncodeBinary(rec).size(), rec.ToAscii().size());
+}
+
+TEST(UlmBinaryTest, PropertyRandomRecordsRoundTrip) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    Record rec(rng.Uniform(0, 4102444800ll * kSecond),
+               "host" + std::to_string(rng.Uniform(0, 99)), "prog",
+               std::string(level::kUsage),
+               trial % 3 ? "Event" + std::to_string(trial) : "");
+    const int nfields = static_cast<int>(rng.Uniform(0, 8));
+    for (int f = 0; f < nfields; ++f) {
+      std::string value;
+      const int len = static_cast<int>(rng.Uniform(0, 20));
+      for (int c = 0; c < len; ++c) {
+        value += static_cast<char>(rng.Uniform(32, 126));
+      }
+      rec.SetField("F" + std::to_string(f), std::string_view(value));
+    }
+    // Binary round-trip.
+    std::string data = EncodeBinary(rec);
+    std::size_t offset = 0;
+    auto bin = DecodeBinary(data, &offset);
+    ASSERT_TRUE(bin.ok());
+    EXPECT_EQ(*bin, rec);
+    // ASCII round-trip.
+    auto asc = Record::FromAscii(rec.ToAscii());
+    ASSERT_TRUE(asc.ok()) << rec.ToAscii();
+    EXPECT_EQ(*asc, rec);
+  }
+}
+
+// -------------------------------------------------------------------- XML
+
+TEST(UlmXmlTest, EmitsEventElement) {
+  const std::string xml = ToXml(SampleRecord());
+  EXPECT_NE(xml.find("<event date=\"20000330112320.957943\""),
+            std::string::npos);
+  EXPECT_NE(xml.find("host=\"dpss1.lbl.gov\""), std::string::npos);
+  EXPECT_NE(xml.find("name=\"WriteData\""), std::string::npos);
+  EXPECT_NE(xml.find("<field name=\"SEND.SZ\">49332</field>"),
+            std::string::npos);
+}
+
+TEST(UlmXmlTest, SelfClosesWithoutFields) {
+  Record rec(0, "h", "p", "Usage", "E");
+  EXPECT_NE(ToXml(rec).find("/>"), std::string::npos);
+}
+
+TEST(UlmXmlTest, EscapesSpecials) {
+  Record rec(0, "h", "p", "Usage", "E");
+  rec.SetField("MSG", "a<b&c>\"d'");
+  const std::string xml = ToXml(rec);
+  EXPECT_NE(xml.find("a&lt;b&amp;c&gt;&quot;d&apos;"), std::string::npos);
+  EXPECT_EQ(xml.find("a<b"), std::string::npos);
+}
+
+TEST(UlmXmlTest, DocumentWrapsAll) {
+  std::vector<Record> records = {SampleRecord(), SampleRecord()};
+  const std::string doc = ToXmlDocument(records);
+  EXPECT_NE(doc.find("<?xml version=\"1.0\"?>"), std::string::npos);
+  std::size_t count = 0, pos = 0;
+  while ((pos = doc.find("<event ", pos)) != std::string::npos) {
+    ++count;
+    pos += 7;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace jamm::ulm
