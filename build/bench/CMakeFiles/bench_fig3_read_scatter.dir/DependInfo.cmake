@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_read_scatter.cpp" "bench/CMakeFiles/bench_fig3_read_scatter.dir/bench_fig3_read_scatter.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_read_scatter.dir/bench_fig3_read_scatter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matisse/CMakeFiles/jamm_matisse.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlogger/CMakeFiles/jamm_netlogger.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/jamm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ulm/CMakeFiles/jamm_ulm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysmon/CMakeFiles/jamm_sysmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jamm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

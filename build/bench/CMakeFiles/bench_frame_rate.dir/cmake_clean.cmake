@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frame_rate.dir/bench_frame_rate.cpp.o"
+  "CMakeFiles/bench_frame_rate.dir/bench_frame_rate.cpp.o.d"
+  "bench_frame_rate"
+  "bench_frame_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frame_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

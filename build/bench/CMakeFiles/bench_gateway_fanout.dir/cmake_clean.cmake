@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gateway_fanout.dir/bench_gateway_fanout.cpp.o"
+  "CMakeFiles/bench_gateway_fanout.dir/bench_gateway_fanout.cpp.o.d"
+  "bench_gateway_fanout"
+  "bench_gateway_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gateway_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gateway_filtering.dir/bench_gateway_filtering.cpp.o"
+  "CMakeFiles/bench_gateway_filtering.dir/bench_gateway_filtering.cpp.o.d"
+  "bench_gateway_filtering"
+  "bench_gateway_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gateway_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

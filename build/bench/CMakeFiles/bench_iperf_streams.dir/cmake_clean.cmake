@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iperf_streams.dir/bench_iperf_streams.cpp.o"
+  "CMakeFiles/bench_iperf_streams.dir/bench_iperf_streams.cpp.o.d"
+  "bench_iperf_streams"
+  "bench_iperf_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iperf_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nlv_primitives.dir/bench_nlv_primitives.cpp.o"
+  "CMakeFiles/bench_nlv_primitives.dir/bench_nlv_primitives.cpp.o.d"
+  "bench_nlv_primitives"
+  "bench_nlv_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nlv_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

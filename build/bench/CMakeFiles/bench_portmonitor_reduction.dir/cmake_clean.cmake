@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_portmonitor_reduction.dir/bench_portmonitor_reduction.cpp.o"
+  "CMakeFiles/bench_portmonitor_reduction.dir/bench_portmonitor_reduction.cpp.o.d"
+  "bench_portmonitor_reduction"
+  "bench_portmonitor_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_portmonitor_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpc_activation.dir/bench_rpc_activation.cpp.o"
+  "CMakeFiles/bench_rpc_activation.dir/bench_rpc_activation.cpp.o.d"
+  "bench_rpc_activation"
+  "bench_rpc_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpc_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ulm_codec.dir/bench_ulm_codec.cpp.o"
+  "CMakeFiles/bench_ulm_codec.dir/bench_ulm_codec.cpp.o.d"
+  "bench_ulm_codec"
+  "bench_ulm_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ulm_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matisse_demo.dir/matisse_demo.cpp.o"
+  "CMakeFiles/matisse_demo.dir/matisse_demo.cpp.o.d"
+  "matisse_demo"
+  "matisse_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matisse_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_tcp.dir/realtime_tcp.cpp.o"
+  "CMakeFiles/realtime_tcp.dir/realtime_tcp.cpp.o.d"
+  "realtime_tcp"
+  "realtime_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

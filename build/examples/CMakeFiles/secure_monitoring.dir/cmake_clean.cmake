@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_monitoring.dir/secure_monitoring.cpp.o"
+  "CMakeFiles/secure_monitoring.dir/secure_monitoring.cpp.o.d"
+  "secure_monitoring"
+  "secure_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

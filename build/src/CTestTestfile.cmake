@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ulm")
+subdirs("netlogger")
+subdirs("transport")
+subdirs("rpc")
+subdirs("directory")
+subdirs("sysmon")
+subdirs("sensors")
+subdirs("manager")
+subdirs("gateway")
+subdirs("consumers")
+subdirs("archive")
+subdirs("security")
+subdirs("netsim")
+subdirs("ntp")
+subdirs("matisse")

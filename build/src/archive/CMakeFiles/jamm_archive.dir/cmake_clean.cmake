@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_archive.dir/archive.cpp.o"
+  "CMakeFiles/jamm_archive.dir/archive.cpp.o.d"
+  "libjamm_archive.a"
+  "libjamm_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_common.dir/clock.cpp.o"
+  "CMakeFiles/jamm_common.dir/clock.cpp.o.d"
+  "CMakeFiles/jamm_common.dir/config.cpp.o"
+  "CMakeFiles/jamm_common.dir/config.cpp.o.d"
+  "CMakeFiles/jamm_common.dir/id.cpp.o"
+  "CMakeFiles/jamm_common.dir/id.cpp.o.d"
+  "CMakeFiles/jamm_common.dir/log.cpp.o"
+  "CMakeFiles/jamm_common.dir/log.cpp.o.d"
+  "CMakeFiles/jamm_common.dir/rng.cpp.o"
+  "CMakeFiles/jamm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/jamm_common.dir/status.cpp.o"
+  "CMakeFiles/jamm_common.dir/status.cpp.o.d"
+  "CMakeFiles/jamm_common.dir/strings.cpp.o"
+  "CMakeFiles/jamm_common.dir/strings.cpp.o.d"
+  "CMakeFiles/jamm_common.dir/time_util.cpp.o"
+  "CMakeFiles/jamm_common.dir/time_util.cpp.o.d"
+  "libjamm_common.a"
+  "libjamm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consumers/archiver.cpp" "src/consumers/CMakeFiles/jamm_consumers.dir/archiver.cpp.o" "gcc" "src/consumers/CMakeFiles/jamm_consumers.dir/archiver.cpp.o.d"
+  "/root/repo/src/consumers/collector.cpp" "src/consumers/CMakeFiles/jamm_consumers.dir/collector.cpp.o" "gcc" "src/consumers/CMakeFiles/jamm_consumers.dir/collector.cpp.o.d"
+  "/root/repo/src/consumers/dashboard.cpp" "src/consumers/CMakeFiles/jamm_consumers.dir/dashboard.cpp.o" "gcc" "src/consumers/CMakeFiles/jamm_consumers.dir/dashboard.cpp.o.d"
+  "/root/repo/src/consumers/overview_monitor.cpp" "src/consumers/CMakeFiles/jamm_consumers.dir/overview_monitor.cpp.o" "gcc" "src/consumers/CMakeFiles/jamm_consumers.dir/overview_monitor.cpp.o.d"
+  "/root/repo/src/consumers/process_monitor.cpp" "src/consumers/CMakeFiles/jamm_consumers.dir/process_monitor.cpp.o" "gcc" "src/consumers/CMakeFiles/jamm_consumers.dir/process_monitor.cpp.o.d"
+  "/root/repo/src/consumers/summary_service.cpp" "src/consumers/CMakeFiles/jamm_consumers.dir/summary_service.cpp.o" "gcc" "src/consumers/CMakeFiles/jamm_consumers.dir/summary_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gateway/CMakeFiles/jamm_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/jamm_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/jamm_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlogger/CMakeFiles/jamm_netlogger.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysmon/CMakeFiles/jamm_sysmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/jamm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/ulm/CMakeFiles/jamm_ulm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jamm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_consumers.dir/archiver.cpp.o"
+  "CMakeFiles/jamm_consumers.dir/archiver.cpp.o.d"
+  "CMakeFiles/jamm_consumers.dir/collector.cpp.o"
+  "CMakeFiles/jamm_consumers.dir/collector.cpp.o.d"
+  "CMakeFiles/jamm_consumers.dir/dashboard.cpp.o"
+  "CMakeFiles/jamm_consumers.dir/dashboard.cpp.o.d"
+  "CMakeFiles/jamm_consumers.dir/overview_monitor.cpp.o"
+  "CMakeFiles/jamm_consumers.dir/overview_monitor.cpp.o.d"
+  "CMakeFiles/jamm_consumers.dir/process_monitor.cpp.o"
+  "CMakeFiles/jamm_consumers.dir/process_monitor.cpp.o.d"
+  "CMakeFiles/jamm_consumers.dir/summary_service.cpp.o"
+  "CMakeFiles/jamm_consumers.dir/summary_service.cpp.o.d"
+  "libjamm_consumers.a"
+  "libjamm_consumers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_consumers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

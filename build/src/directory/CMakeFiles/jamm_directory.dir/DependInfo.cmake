@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/directory/dn.cpp" "src/directory/CMakeFiles/jamm_directory.dir/dn.cpp.o" "gcc" "src/directory/CMakeFiles/jamm_directory.dir/dn.cpp.o.d"
+  "/root/repo/src/directory/entry.cpp" "src/directory/CMakeFiles/jamm_directory.dir/entry.cpp.o" "gcc" "src/directory/CMakeFiles/jamm_directory.dir/entry.cpp.o.d"
+  "/root/repo/src/directory/filter.cpp" "src/directory/CMakeFiles/jamm_directory.dir/filter.cpp.o" "gcc" "src/directory/CMakeFiles/jamm_directory.dir/filter.cpp.o.d"
+  "/root/repo/src/directory/replication.cpp" "src/directory/CMakeFiles/jamm_directory.dir/replication.cpp.o" "gcc" "src/directory/CMakeFiles/jamm_directory.dir/replication.cpp.o.d"
+  "/root/repo/src/directory/schema.cpp" "src/directory/CMakeFiles/jamm_directory.dir/schema.cpp.o" "gcc" "src/directory/CMakeFiles/jamm_directory.dir/schema.cpp.o.d"
+  "/root/repo/src/directory/server.cpp" "src/directory/CMakeFiles/jamm_directory.dir/server.cpp.o" "gcc" "src/directory/CMakeFiles/jamm_directory.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jamm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_directory.dir/dn.cpp.o"
+  "CMakeFiles/jamm_directory.dir/dn.cpp.o.d"
+  "CMakeFiles/jamm_directory.dir/entry.cpp.o"
+  "CMakeFiles/jamm_directory.dir/entry.cpp.o.d"
+  "CMakeFiles/jamm_directory.dir/filter.cpp.o"
+  "CMakeFiles/jamm_directory.dir/filter.cpp.o.d"
+  "CMakeFiles/jamm_directory.dir/replication.cpp.o"
+  "CMakeFiles/jamm_directory.dir/replication.cpp.o.d"
+  "CMakeFiles/jamm_directory.dir/schema.cpp.o"
+  "CMakeFiles/jamm_directory.dir/schema.cpp.o.d"
+  "CMakeFiles/jamm_directory.dir/server.cpp.o"
+  "CMakeFiles/jamm_directory.dir/server.cpp.o.d"
+  "libjamm_directory.a"
+  "libjamm_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gateway/filter.cpp" "src/gateway/CMakeFiles/jamm_gateway.dir/filter.cpp.o" "gcc" "src/gateway/CMakeFiles/jamm_gateway.dir/filter.cpp.o.d"
+  "/root/repo/src/gateway/gateway.cpp" "src/gateway/CMakeFiles/jamm_gateway.dir/gateway.cpp.o" "gcc" "src/gateway/CMakeFiles/jamm_gateway.dir/gateway.cpp.o.d"
+  "/root/repo/src/gateway/service.cpp" "src/gateway/CMakeFiles/jamm_gateway.dir/service.cpp.o" "gcc" "src/gateway/CMakeFiles/jamm_gateway.dir/service.cpp.o.d"
+  "/root/repo/src/gateway/summary.cpp" "src/gateway/CMakeFiles/jamm_gateway.dir/summary.cpp.o" "gcc" "src/gateway/CMakeFiles/jamm_gateway.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jamm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ulm/CMakeFiles/jamm_ulm.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/jamm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlogger/CMakeFiles/jamm_netlogger.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_gateway.dir/filter.cpp.o"
+  "CMakeFiles/jamm_gateway.dir/filter.cpp.o.d"
+  "CMakeFiles/jamm_gateway.dir/gateway.cpp.o"
+  "CMakeFiles/jamm_gateway.dir/gateway.cpp.o.d"
+  "CMakeFiles/jamm_gateway.dir/service.cpp.o"
+  "CMakeFiles/jamm_gateway.dir/service.cpp.o.d"
+  "CMakeFiles/jamm_gateway.dir/summary.cpp.o"
+  "CMakeFiles/jamm_gateway.dir/summary.cpp.o.d"
+  "libjamm_gateway.a"
+  "libjamm_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_manager.dir/port_monitor.cpp.o"
+  "CMakeFiles/jamm_manager.dir/port_monitor.cpp.o.d"
+  "CMakeFiles/jamm_manager.dir/sensor_manager.cpp.o"
+  "CMakeFiles/jamm_manager.dir/sensor_manager.cpp.o.d"
+  "libjamm_manager.a"
+  "libjamm_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_matisse.dir/matisse.cpp.o"
+  "CMakeFiles/jamm_matisse.dir/matisse.cpp.o.d"
+  "libjamm_matisse.a"
+  "libjamm_matisse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_matisse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlogger/analysis.cpp" "src/netlogger/CMakeFiles/jamm_netlogger.dir/analysis.cpp.o" "gcc" "src/netlogger/CMakeFiles/jamm_netlogger.dir/analysis.cpp.o.d"
+  "/root/repo/src/netlogger/logger.cpp" "src/netlogger/CMakeFiles/jamm_netlogger.dir/logger.cpp.o" "gcc" "src/netlogger/CMakeFiles/jamm_netlogger.dir/logger.cpp.o.d"
+  "/root/repo/src/netlogger/merge.cpp" "src/netlogger/CMakeFiles/jamm_netlogger.dir/merge.cpp.o" "gcc" "src/netlogger/CMakeFiles/jamm_netlogger.dir/merge.cpp.o.d"
+  "/root/repo/src/netlogger/nlv.cpp" "src/netlogger/CMakeFiles/jamm_netlogger.dir/nlv.cpp.o" "gcc" "src/netlogger/CMakeFiles/jamm_netlogger.dir/nlv.cpp.o.d"
+  "/root/repo/src/netlogger/sinks.cpp" "src/netlogger/CMakeFiles/jamm_netlogger.dir/sinks.cpp.o" "gcc" "src/netlogger/CMakeFiles/jamm_netlogger.dir/sinks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ulm/CMakeFiles/jamm_ulm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jamm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

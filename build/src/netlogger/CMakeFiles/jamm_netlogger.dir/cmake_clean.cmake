@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_netlogger.dir/analysis.cpp.o"
+  "CMakeFiles/jamm_netlogger.dir/analysis.cpp.o.d"
+  "CMakeFiles/jamm_netlogger.dir/logger.cpp.o"
+  "CMakeFiles/jamm_netlogger.dir/logger.cpp.o.d"
+  "CMakeFiles/jamm_netlogger.dir/merge.cpp.o"
+  "CMakeFiles/jamm_netlogger.dir/merge.cpp.o.d"
+  "CMakeFiles/jamm_netlogger.dir/nlv.cpp.o"
+  "CMakeFiles/jamm_netlogger.dir/nlv.cpp.o.d"
+  "CMakeFiles/jamm_netlogger.dir/sinks.cpp.o"
+  "CMakeFiles/jamm_netlogger.dir/sinks.cpp.o.d"
+  "libjamm_netlogger.a"
+  "libjamm_netlogger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_netlogger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

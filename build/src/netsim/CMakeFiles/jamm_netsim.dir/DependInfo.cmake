@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/network.cpp" "src/netsim/CMakeFiles/jamm_netsim.dir/network.cpp.o" "gcc" "src/netsim/CMakeFiles/jamm_netsim.dir/network.cpp.o.d"
+  "/root/repo/src/netsim/profiles.cpp" "src/netsim/CMakeFiles/jamm_netsim.dir/profiles.cpp.o" "gcc" "src/netsim/CMakeFiles/jamm_netsim.dir/profiles.cpp.o.d"
+  "/root/repo/src/netsim/simulator.cpp" "src/netsim/CMakeFiles/jamm_netsim.dir/simulator.cpp.o" "gcc" "src/netsim/CMakeFiles/jamm_netsim.dir/simulator.cpp.o.d"
+  "/root/repo/src/netsim/tcp.cpp" "src/netsim/CMakeFiles/jamm_netsim.dir/tcp.cpp.o" "gcc" "src/netsim/CMakeFiles/jamm_netsim.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jamm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysmon/CMakeFiles/jamm_sysmon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_netsim.dir/network.cpp.o"
+  "CMakeFiles/jamm_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/jamm_netsim.dir/profiles.cpp.o"
+  "CMakeFiles/jamm_netsim.dir/profiles.cpp.o.d"
+  "CMakeFiles/jamm_netsim.dir/simulator.cpp.o"
+  "CMakeFiles/jamm_netsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/jamm_netsim.dir/tcp.cpp.o"
+  "CMakeFiles/jamm_netsim.dir/tcp.cpp.o.d"
+  "libjamm_netsim.a"
+  "libjamm_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

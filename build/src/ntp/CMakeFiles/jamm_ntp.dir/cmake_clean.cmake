@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_ntp.dir/ntp.cpp.o"
+  "CMakeFiles/jamm_ntp.dir/ntp.cpp.o.d"
+  "libjamm_ntp.a"
+  "libjamm_ntp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_ntp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/httpsim.cpp" "src/rpc/CMakeFiles/jamm_rpc.dir/httpsim.cpp.o" "gcc" "src/rpc/CMakeFiles/jamm_rpc.dir/httpsim.cpp.o.d"
+  "/root/repo/src/rpc/registry.cpp" "src/rpc/CMakeFiles/jamm_rpc.dir/registry.cpp.o" "gcc" "src/rpc/CMakeFiles/jamm_rpc.dir/registry.cpp.o.d"
+  "/root/repo/src/rpc/wire.cpp" "src/rpc/CMakeFiles/jamm_rpc.dir/wire.cpp.o" "gcc" "src/rpc/CMakeFiles/jamm_rpc.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jamm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/jamm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlogger/CMakeFiles/jamm_netlogger.dir/DependInfo.cmake"
+  "/root/repo/build/src/ulm/CMakeFiles/jamm_ulm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_rpc.dir/httpsim.cpp.o"
+  "CMakeFiles/jamm_rpc.dir/httpsim.cpp.o.d"
+  "CMakeFiles/jamm_rpc.dir/registry.cpp.o"
+  "CMakeFiles/jamm_rpc.dir/registry.cpp.o.d"
+  "CMakeFiles/jamm_rpc.dir/wire.cpp.o"
+  "CMakeFiles/jamm_rpc.dir/wire.cpp.o.d"
+  "libjamm_rpc.a"
+  "libjamm_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/akenti.cpp" "src/security/CMakeFiles/jamm_security.dir/akenti.cpp.o" "gcc" "src/security/CMakeFiles/jamm_security.dir/akenti.cpp.o.d"
+  "/root/repo/src/security/certificate.cpp" "src/security/CMakeFiles/jamm_security.dir/certificate.cpp.o" "gcc" "src/security/CMakeFiles/jamm_security.dir/certificate.cpp.o.d"
+  "/root/repo/src/security/crypto.cpp" "src/security/CMakeFiles/jamm_security.dir/crypto.cpp.o" "gcc" "src/security/CMakeFiles/jamm_security.dir/crypto.cpp.o.d"
+  "/root/repo/src/security/gridmap.cpp" "src/security/CMakeFiles/jamm_security.dir/gridmap.cpp.o" "gcc" "src/security/CMakeFiles/jamm_security.dir/gridmap.cpp.o.d"
+  "/root/repo/src/security/secure_channel.cpp" "src/security/CMakeFiles/jamm_security.dir/secure_channel.cpp.o" "gcc" "src/security/CMakeFiles/jamm_security.dir/secure_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jamm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/jamm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/jamm_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/jamm_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/jamm_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlogger/CMakeFiles/jamm_netlogger.dir/DependInfo.cmake"
+  "/root/repo/build/src/ulm/CMakeFiles/jamm_ulm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_security.dir/akenti.cpp.o"
+  "CMakeFiles/jamm_security.dir/akenti.cpp.o.d"
+  "CMakeFiles/jamm_security.dir/certificate.cpp.o"
+  "CMakeFiles/jamm_security.dir/certificate.cpp.o.d"
+  "CMakeFiles/jamm_security.dir/crypto.cpp.o"
+  "CMakeFiles/jamm_security.dir/crypto.cpp.o.d"
+  "CMakeFiles/jamm_security.dir/gridmap.cpp.o"
+  "CMakeFiles/jamm_security.dir/gridmap.cpp.o.d"
+  "CMakeFiles/jamm_security.dir/secure_channel.cpp.o"
+  "CMakeFiles/jamm_security.dir/secure_channel.cpp.o.d"
+  "libjamm_security.a"
+  "libjamm_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/app_sensor.cpp" "src/sensors/CMakeFiles/jamm_sensors.dir/app_sensor.cpp.o" "gcc" "src/sensors/CMakeFiles/jamm_sensors.dir/app_sensor.cpp.o.d"
+  "/root/repo/src/sensors/factory.cpp" "src/sensors/CMakeFiles/jamm_sensors.dir/factory.cpp.o" "gcc" "src/sensors/CMakeFiles/jamm_sensors.dir/factory.cpp.o.d"
+  "/root/repo/src/sensors/host_sensors.cpp" "src/sensors/CMakeFiles/jamm_sensors.dir/host_sensors.cpp.o" "gcc" "src/sensors/CMakeFiles/jamm_sensors.dir/host_sensors.cpp.o.d"
+  "/root/repo/src/sensors/network_sensor.cpp" "src/sensors/CMakeFiles/jamm_sensors.dir/network_sensor.cpp.o" "gcc" "src/sensors/CMakeFiles/jamm_sensors.dir/network_sensor.cpp.o.d"
+  "/root/repo/src/sensors/process_sensor.cpp" "src/sensors/CMakeFiles/jamm_sensors.dir/process_sensor.cpp.o" "gcc" "src/sensors/CMakeFiles/jamm_sensors.dir/process_sensor.cpp.o.d"
+  "/root/repo/src/sensors/sensor.cpp" "src/sensors/CMakeFiles/jamm_sensors.dir/sensor.cpp.o" "gcc" "src/sensors/CMakeFiles/jamm_sensors.dir/sensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jamm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ulm/CMakeFiles/jamm_ulm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysmon/CMakeFiles/jamm_sysmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlogger/CMakeFiles/jamm_netlogger.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

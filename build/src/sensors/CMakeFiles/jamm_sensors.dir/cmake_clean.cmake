@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_sensors.dir/app_sensor.cpp.o"
+  "CMakeFiles/jamm_sensors.dir/app_sensor.cpp.o.d"
+  "CMakeFiles/jamm_sensors.dir/factory.cpp.o"
+  "CMakeFiles/jamm_sensors.dir/factory.cpp.o.d"
+  "CMakeFiles/jamm_sensors.dir/host_sensors.cpp.o"
+  "CMakeFiles/jamm_sensors.dir/host_sensors.cpp.o.d"
+  "CMakeFiles/jamm_sensors.dir/network_sensor.cpp.o"
+  "CMakeFiles/jamm_sensors.dir/network_sensor.cpp.o.d"
+  "CMakeFiles/jamm_sensors.dir/process_sensor.cpp.o"
+  "CMakeFiles/jamm_sensors.dir/process_sensor.cpp.o.d"
+  "CMakeFiles/jamm_sensors.dir/sensor.cpp.o"
+  "CMakeFiles/jamm_sensors.dir/sensor.cpp.o.d"
+  "libjamm_sensors.a"
+  "libjamm_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

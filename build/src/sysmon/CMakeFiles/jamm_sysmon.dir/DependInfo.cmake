@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sysmon/procfs.cpp" "src/sysmon/CMakeFiles/jamm_sysmon.dir/procfs.cpp.o" "gcc" "src/sysmon/CMakeFiles/jamm_sysmon.dir/procfs.cpp.o.d"
+  "/root/repo/src/sysmon/simhost.cpp" "src/sysmon/CMakeFiles/jamm_sysmon.dir/simhost.cpp.o" "gcc" "src/sysmon/CMakeFiles/jamm_sysmon.dir/simhost.cpp.o.d"
+  "/root/repo/src/sysmon/snmp.cpp" "src/sysmon/CMakeFiles/jamm_sysmon.dir/snmp.cpp.o" "gcc" "src/sysmon/CMakeFiles/jamm_sysmon.dir/snmp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jamm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

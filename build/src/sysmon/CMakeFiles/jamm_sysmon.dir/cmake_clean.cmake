@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_sysmon.dir/procfs.cpp.o"
+  "CMakeFiles/jamm_sysmon.dir/procfs.cpp.o.d"
+  "CMakeFiles/jamm_sysmon.dir/simhost.cpp.o"
+  "CMakeFiles/jamm_sysmon.dir/simhost.cpp.o.d"
+  "CMakeFiles/jamm_sysmon.dir/snmp.cpp.o"
+  "CMakeFiles/jamm_sysmon.dir/snmp.cpp.o.d"
+  "libjamm_sysmon.a"
+  "libjamm_sysmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_sysmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_transport.dir/inproc.cpp.o"
+  "CMakeFiles/jamm_transport.dir/inproc.cpp.o.d"
+  "CMakeFiles/jamm_transport.dir/message.cpp.o"
+  "CMakeFiles/jamm_transport.dir/message.cpp.o.d"
+  "CMakeFiles/jamm_transport.dir/net_sink.cpp.o"
+  "CMakeFiles/jamm_transport.dir/net_sink.cpp.o.d"
+  "CMakeFiles/jamm_transport.dir/tcp.cpp.o"
+  "CMakeFiles/jamm_transport.dir/tcp.cpp.o.d"
+  "libjamm_transport.a"
+  "libjamm_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jamm_ulm.dir/binary.cpp.o"
+  "CMakeFiles/jamm_ulm.dir/binary.cpp.o.d"
+  "CMakeFiles/jamm_ulm.dir/record.cpp.o"
+  "CMakeFiles/jamm_ulm.dir/record.cpp.o.d"
+  "CMakeFiles/jamm_ulm.dir/xml.cpp.o"
+  "CMakeFiles/jamm_ulm.dir/xml.cpp.o.d"
+  "libjamm_ulm.a"
+  "libjamm_ulm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jamm_ulm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

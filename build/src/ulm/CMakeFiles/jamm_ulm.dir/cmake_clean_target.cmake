@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjamm_ulm.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for jamm_ulm.
+# This may be replaced when dependencies are built.

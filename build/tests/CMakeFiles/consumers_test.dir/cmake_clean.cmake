@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consumers_test.dir/consumers_test.cpp.o"
+  "CMakeFiles/consumers_test.dir/consumers_test.cpp.o.d"
+  "consumers_test"
+  "consumers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consumers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

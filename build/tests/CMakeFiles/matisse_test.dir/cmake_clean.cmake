@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matisse_test.dir/matisse_test.cpp.o"
+  "CMakeFiles/matisse_test.dir/matisse_test.cpp.o.d"
+  "matisse_test"
+  "matisse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matisse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlogger_test.dir/netlogger_test.cpp.o"
+  "CMakeFiles/netlogger_test.dir/netlogger_test.cpp.o.d"
+  "netlogger_test"
+  "netlogger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlogger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntp_test.dir/ntp_test.cpp.o"
+  "CMakeFiles/ntp_test.dir/ntp_test.cpp.o.d"
+  "ntp_test"
+  "ntp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

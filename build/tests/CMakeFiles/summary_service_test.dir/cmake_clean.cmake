@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_service_test.dir/summary_service_test.cpp.o"
+  "CMakeFiles/summary_service_test.dir/summary_service_test.cpp.o.d"
+  "summary_service_test"
+  "summary_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysmon_test.dir/sysmon_test.cpp.o"
+  "CMakeFiles/sysmon_test.dir/sysmon_test.cpp.o.d"
+  "sysmon_test"
+  "sysmon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysmon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulm_test.dir/ulm_test.cpp.o"
+  "CMakeFiles/ulm_test.dir/ulm_test.cpp.o.d"
+  "ulm_test"
+  "ulm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
