@@ -10,7 +10,11 @@
 //    admin;
 //  * an overview monitor that pages only when BOTH the primary and the
 //    backup server are down (§2.2's 2 A.M. example);
-//  * an archiver recording a sampled history.
+//  * an archiver recording a sampled history;
+//  * self-telemetry: the monitor's own vitals served as "/metrics" from
+//    the same HTTP server that serves sensor configuration, and every
+//    event carrying a NetLogger-style trace (sensor → manager → gateway
+//    → archiver hops with per-hop timestamps).
 #include <cstdio>
 
 #include "archive/archive.hpp"
@@ -22,6 +26,9 @@
 #include "rpc/httpsim.hpp"
 #include "sensors/host_sensors.hpp"
 #include "sensors/process_sensor.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/http_export.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace jamm;  // NOLINT: example brevity
 
@@ -119,15 +126,30 @@ mode = always
   archive::EventArchive archive("grid-history");
   archive.SetSamplingPolicy(0.25);  // sample normal traffic, keep errors
   consumers::ArchiverAgent archiver("grid-history", archive,
-                                    "inproc:archive");
+                                    "inproc:archive", &clock);
   (void)archiver.SubscribeTo(ftp_server.gateway);
   (void)archiver.SubscribeTo(backup.gateway);
+
+  // Self-telemetry: the registry every subsystem instruments itself into,
+  // published two ways — a "/metrics" text document on the same HTTP
+  // server that serves grid.conf, and periodic TELEMETRY.* ULM events into
+  // the primary's gateway (so they reach the archive like any sensor
+  // event: the monitor monitoring itself).
+  telemetry::TelemetryExporter::Options texp;
+  texp.instance = "ftp.lbl.gov";
+  texp.emit_interval = 30 * kSecond;
+  telemetry::TelemetryExporter exporter(telemetry::Metrics(), clock, texp);
+  telemetry::ServeMetrics(exporter, http);
+  exporter.SetEventSink([&ftp_server](const ulm::Record& rec) {
+    ftp_server.gateway.Publish(rec);
+  });
 
   auto tick = [&](int seconds, auto&& perturb) {
     for (int s = 0; s < seconds; ++s) {
       perturb(s);
       ftp_server.manager->Tick();
       backup.manager->Tick();
+      exporter.Tick();
       clock.Advance(kSecond);
     }
   };
@@ -171,5 +193,27 @@ mode = always
   std::printf("archive holds %zu of %llu ingested events (sampled)\n",
               archive.size(),
               static_cast<unsigned long long>(archive.ingested()));
+
+  // Every archived sensor event carries a trace; show one end-to-end.
+  std::printf("== event trace (NetLogger-style, one archived event) ==\n");
+  for (const auto& rec : archive.QueryEvents("VMSTAT_*", 0, clock.Now())) {
+    if (!telemetry::HasTrace(rec)) continue;
+    const auto ctx = telemetry::Extract(rec);
+    std::printf("  trace %s %s:\n",
+                telemetry::IdToHex(ctx->trace_id).c_str(),
+                rec.event_name().c_str());
+    for (const auto& hop : telemetry::Hops(rec)) {
+      std::printf("    %-8s @ %lld us\n", hop.name.c_str(),
+                  static_cast<long long>(hop.ts));
+    }
+    break;
+  }
+
+  // The same registry snapshot a consumer would GET from "/metrics".
+  std::printf("== self-telemetry (GET %s) ==\n",
+              exporter.options().http_path.c_str());
+  exporter.Tick();  // refresh the served document one last time
+  auto metrics_doc = http.Get(exporter.options().http_path);
+  if (metrics_doc.ok()) std::printf("%s", metrics_doc->c_str());
   return 0;
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build the concurrency-sensitive tests under ThreadSanitizer and run them.
+#
+# The telemetry registry (sharded atomic counters/histograms, trace id
+# minting) and the gateway fan-out are the only deliberately concurrent
+# code in the repo; they carry the ctest label "concurrency". This script
+# configures a dedicated build tree with -DJAMM_SANITIZE=thread and runs
+# exactly that label, failing on any reported race.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-tsan}"
+
+cmake -B "$build_dir" -S "$repo_root" -DJAMM_SANITIZE=thread
+cmake --build "$build_dir" -j --target telemetry_test gateway_test
+ctest --test-dir "$build_dir" -L concurrency --output-on-failure
+
+echo "tsan: concurrency-labelled tests clean"

@@ -4,8 +4,31 @@
 #include <sstream>
 
 #include "common/strings.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace jamm::archive {
+
+namespace {
+
+struct ArchiveTelemetry {
+  telemetry::Counter& ingested;
+  telemetry::Counter& dropped;
+  telemetry::Counter& saves;
+  telemetry::Histogram& save_us;
+  telemetry::Histogram& save_batch;  // records per flush
+};
+
+ArchiveTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static ArchiveTelemetry t{m.counter("archive.ingested"),
+                            m.counter("archive.dropped"),
+                            m.counter("archive.saves"),
+                            m.histogram("archive.save_us"),
+                            m.histogram("archive.save_batch")};
+  return t;
+}
+
+}  // namespace
 
 EventArchive::EventArchive(std::string name, std::uint64_t sampling_seed)
     : name_(std::move(name)), rng_(sampling_seed) {}
@@ -24,10 +47,12 @@ bool EventArchive::IsAbnormal(const ulm::Record& rec) {
 
 void EventArchive::Ingest(const ulm::Record& rec) {
   ++ingested_;
+  Instruments().ingested.Increment();
   const bool keep = (keep_abnormal_ && IsAbnormal(rec)) ||
                     normal_fraction_ >= 1.0 || rng_.Chance(normal_fraction_);
   if (!keep) {
     ++dropped_;
+    Instruments().dropped.Increment();
     return;
   }
   store_.emplace(rec.timestamp(), rec);
@@ -68,6 +93,10 @@ std::vector<ulm::Record> EventArchive::QueryHost(const std::string& host,
 }
 
 Status EventArchive::SaveTo(const std::string& path) const {
+  auto& tm = Instruments();
+  tm.saves.Increment();
+  tm.save_batch.Record(store_.size());
+  telemetry::ScopedTimer save_timer(&tm.save_us);
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::Unavailable("cannot open " + path);
   for (const auto& [ts, rec] : store_) {

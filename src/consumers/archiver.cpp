@@ -1,12 +1,32 @@
 #include "consumers/archiver.hpp"
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace jamm::consumers {
 
+namespace {
+
+struct ArchiverTelemetry {
+  telemetry::Counter& events_received;
+  telemetry::Histogram& ingest_us;
+};
+
+ArchiverTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static ArchiverTelemetry t{m.counter("archiver.events_received"),
+                             m.histogram("archiver.ingest_us")};
+  return t;
+}
+
+}  // namespace
+
 ArchiverAgent::ArchiverAgent(std::string name, archive::EventArchive& archive,
-                             std::string address)
+                             std::string address, const Clock* clock)
     : name_(std::move(name)),
       archive_(archive),
-      address_(std::move(address)) {}
+      address_(std::move(address)),
+      clock_(clock) {}
 
 ArchiverAgent::~ArchiverAgent() { UnsubscribeAll(); }
 
@@ -14,7 +34,22 @@ Status ArchiverAgent::SubscribeTo(gateway::EventGateway& gw,
                                   const gateway::FilterSpec& spec,
                                   const std::string& principal) {
   auto sub = gw.Subscribe(
-      name_, spec, [this](const ulm::Record& rec) { archive_.Ingest(rec); },
+      name_, spec,
+      [this](const ulm::Record& rec) {
+        auto& tm = Instruments();
+        tm.events_received.Increment();
+        telemetry::ScopedTimer ingest_timer(&tm.ingest_us);
+        // Traced records get their final hop stamped so the archived copy
+        // shows the full sensor → manager → gateway → archiver path.
+        if (telemetry::HasTrace(rec)) {
+          ulm::Record stamped = rec;
+          telemetry::StampHop(stamped, "archiver",
+                              clock_ ? clock_->Now() : rec.timestamp());
+          archive_.Ingest(stamped);
+        } else {
+          archive_.Ingest(rec);
+        }
+      },
       principal);
   if (!sub.ok()) return sub.status();
   subscriptions_.emplace_back(&gw, *sub);

@@ -16,8 +16,10 @@ namespace jamm::consumers {
 
 class ArchiverAgent {
  public:
+  /// `clock`, when given, timestamps the HOP.ARCHIVER trace stamp on
+  /// traced records; without it the record's own timestamp is used.
   ArchiverAgent(std::string name, archive::EventArchive& archive,
-                std::string address = "");
+                std::string address = "", const Clock* clock = nullptr);
   ~ArchiverAgent();
 
   ArchiverAgent(const ArchiverAgent&) = delete;
@@ -42,6 +44,7 @@ class ArchiverAgent {
   std::string name_;
   archive::EventArchive& archive_;
   std::string address_;
+  const Clock* clock_;
   std::vector<std::pair<gateway::EventGateway*, std::string>> subscriptions_;
 };
 

@@ -2,40 +2,104 @@
 
 #include "common/id.hpp"
 #include "common/strings.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "ulm/xml.hpp"
 
 namespace jamm::gateway {
+
+namespace {
+
+// Process-wide self-telemetry for the gateway hot paths, resolved once.
+struct GatewayTelemetry {
+  telemetry::Counter& events_in;
+  telemetry::Counter& events_delivered;
+  telemetry::Counter& events_filtered;
+  telemetry::Counter& queries;
+  telemetry::Counter& access_denied;
+  telemetry::Gauge& subscriptions;
+  telemetry::Histogram& fanout_us;
+};
+
+GatewayTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static GatewayTelemetry t{m.counter("gateway.events_in"),
+                            m.counter("gateway.events_delivered"),
+                            m.counter("gateway.events_filtered"),
+                            m.counter("gateway.queries"),
+                            m.counter("gateway.access_denied"),
+                            m.gauge("gateway.subscriptions"),
+                            m.histogram("gateway.fanout_us")};
+  return t;
+}
+
+}  // namespace
 
 EventGateway::EventGateway(std::string name, const Clock& clock)
     : name_(std::move(name)), clock_(clock) {}
 
 void EventGateway::Publish(const ulm::Record& rec) {
+  auto& tm = Instruments();
   ++stats_.events_in;
-  last_event_ = rec;
-  if (!rec.event_name().empty()) {
-    last_by_event_.insert_or_assign(rec.event_name(), rec);
+  tm.events_in.Increment();
+
+  // Traced records get this hop stamped; untraced records pass through
+  // untouched (no copy on the common path).
+  const ulm::Record* out = &rec;
+  ulm::Record stamped;
+  if (telemetry::HasTrace(rec)) {
+    stamped = rec;
+    telemetry::StampHop(stamped, "gateway", clock_.Now());
+    out = &stamped;
+  }
+
+  last_event_ = *out;
+  if (!out->event_name().empty()) {
+    last_by_event_.insert_or_assign(out->event_name(), *out);
   }
 
   // Summaries.
-  if (auto it = summaries_.find(rec.event_name()); it != summaries_.end()) {
-    auto value = rec.GetDouble(summary_fields_[rec.event_name()]);
-    if (value.ok()) it->second.Add(rec.timestamp(), *value);
+  if (auto it = summaries_.find(out->event_name()); it != summaries_.end()) {
+    auto value = out->GetDouble(summary_fields_[out->event_name()]);
+    if (value.ok()) it->second.Add(out->timestamp(), *value);
   }
 
-  // Fan-out with per-subscription filtering.
-  for (auto& [id, sub] : subscriptions_) {
-    if (sub.filter.ShouldDeliver(rec)) {
-      ++stats_.events_delivered;
-      sub.callback(rec);
+  // Fan-out with per-subscription filtering. Iterate over a snapshot of
+  // the subscription ids, not the map itself: a callback is allowed to
+  // subscribe or unsubscribe (a one-shot consumer removing itself is the
+  // classic case), which would invalidate a live map iterator.
+  //
+  // The latency histogram samples 1 publish in 8: the distribution is what
+  // matters, and sampling keeps the two steady_clock reads off 7/8 of the
+  // hot path (see bench_telemetry_overhead).
+  const bool sample_latency = (++fanout_sample_ & 7u) == 0;
+  telemetry::ScopedTimer fanout_timer(sample_latency ? &tm.fanout_us
+                                                     : nullptr);
+  fanout_ids_.clear();
+  fanout_ids_.reserve(subscriptions_.size());
+  for (const auto& [id, sub] : subscriptions_) fanout_ids_.push_back(id);
+  std::uint64_t delivered = 0, filtered = 0;
+  for (const auto& id : fanout_ids_) {
+    auto it = subscriptions_.find(id);
+    if (it == subscriptions_.end()) continue;  // unsubscribed mid-fan-out
+    Subscription& sub = it->second;
+    if (sub.filter.ShouldDeliver(*out)) {
+      ++delivered;
+      sub.callback(*out);
     } else {
-      ++stats_.events_filtered;
+      ++filtered;
     }
   }
+  stats_.events_delivered += delivered;
+  stats_.events_filtered += filtered;
+  if (delivered) tm.events_delivered.Add(delivered);
+  if (filtered) tm.events_filtered.Add(filtered);
 }
 
 Status EventGateway::CheckAccess(Action action,
                                  const std::string& principal) const {
   if (access_checker_ && !access_checker_(action, principal)) {
+    Instruments().access_denied.Increment();
     return Status::PermissionDenied(
         (principal.empty() ? std::string("anonymous") : principal) +
         " denied by gateway " + name_);
@@ -55,6 +119,7 @@ Result<std::string> EventGateway::Subscribe(const std::string& consumer,
   subscriptions_.emplace(
       id, Subscription{id, consumer, EventFilter(std::move(spec)),
                        std::move(callback)});
+  Instruments().subscriptions.Add(1);
   return id;
 }
 
@@ -62,12 +127,14 @@ Status EventGateway::Unsubscribe(const std::string& subscription_id) {
   if (subscriptions_.erase(subscription_id) == 0) {
     return Status::NotFound("no subscription " + subscription_id);
   }
+  Instruments().subscriptions.Add(-1);
   return Status::Ok();
 }
 
 Result<ulm::Record> EventGateway::Query(const std::string& event_glob,
                                         const std::string& principal) const {
   JAMM_RETURN_IF_ERROR(CheckAccess(Action::kQuery, principal));
+  Instruments().queries.Increment();
   if (event_glob.empty()) {
     if (!last_event_) return Status::NotFound("gateway has seen no events");
     return *last_event_;

@@ -136,6 +136,10 @@ class EventGateway {
   AccessChecker access_checker_;
   SensorControl sensor_control_;
   mutable Stats stats_;
+  /// Scratch id snapshot for Publish's fan-out, kept as a member so the
+  /// hot path reuses its capacity instead of allocating per event.
+  std::vector<std::string> fanout_ids_;
+  std::uint32_t fanout_sample_ = 0;  // 1-in-8 latency sampling phase
 };
 
 }  // namespace jamm::gateway

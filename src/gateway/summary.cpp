@@ -4,6 +4,11 @@ namespace jamm::gateway {
 
 void SummaryWindow::Add(TimePoint ts, double value) {
   samples_.push_back({ts, value});
+  // Prune on ingest too, against the newest timestamp seen: a gateway can
+  // run for days between GetSummary calls, and pruning only in Compute let
+  // the deque grow without bound in the meantime.
+  if (ts > newest_) newest_ = ts;
+  Prune(newest_);
 }
 
 void SummaryWindow::Prune(TimePoint now) {

@@ -33,7 +33,8 @@ class SummaryWindow {
   };
   void Prune(TimePoint now);
 
-  mutable std::deque<Sample> samples_;  // pruned lazily in Compute
+  mutable std::deque<Sample> samples_;  // pruned in Add and Compute
+  TimePoint newest_ = 0;                // newest sample ts seen
 };
 
 }  // namespace jamm::gateway

@@ -2,8 +2,39 @@
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace jamm::manager {
+
+namespace {
+
+// Process-wide self-telemetry for the manager's scheduling hot path.
+struct ManagerTelemetry {
+  telemetry::Counter& polls;
+  telemetry::Counter& events_forwarded;
+  telemetry::Counter& sensor_starts;
+  telemetry::Counter& sensor_stops;
+  telemetry::Counter& port_triggers;
+  telemetry::Counter& port_stops;
+  telemetry::Counter& config_refreshes;
+  telemetry::Histogram& tick_us;
+};
+
+ManagerTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static ManagerTelemetry t{m.counter("manager.polls"),
+                            m.counter("manager.events_forwarded"),
+                            m.counter("manager.sensor_starts"),
+                            m.counter("manager.sensor_stops"),
+                            m.counter("manager.port_triggers"),
+                            m.counter("manager.port_stops"),
+                            m.counter("manager.config_refreshes"),
+                            m.histogram("manager.tick_us")};
+  return t;
+}
+
+}  // namespace
 
 Result<RunMode> ParseRunMode(std::string_view text) {
   if (text == "always" || text.empty()) return RunMode::kAlways;
@@ -109,6 +140,7 @@ Status SensorManager::RefreshConfig() {
   auto text = config_fetcher_();
   if (!text.ok()) return text.status();
   ++stats_.config_refreshes;
+  Instruments().config_refreshes.Increment();
   if (*text == last_config_text_) return Status::Ok();
   auto config = Config::ParseString(*text);
   if (!config.ok()) return config.status();
@@ -120,6 +152,7 @@ Status SensorManager::RefreshConfig() {
 Status SensorManager::StartManaged(Managed& managed) {
   if (managed.sensor->running()) return Status::Ok();
   JAMM_RETURN_IF_ERROR(managed.sensor->Start());
+  Instruments().sensor_starts.Increment();
   managed.next_poll = options_.clock->Now();
   PublishSensor(managed);
   return Status::Ok();
@@ -128,6 +161,7 @@ Status SensorManager::StartManaged(Managed& managed) {
 Status SensorManager::StopManaged(Managed& managed) {
   if (!managed.sensor->running()) return Status::Ok();
   JAMM_RETURN_IF_ERROR(managed.sensor->Stop());
+  Instruments().sensor_stops.Increment();
   // Keep the directory entry but mark it stopped, so the Sensor Data GUI
   // still lists the sensor.
   if (options_.directory) {
@@ -160,6 +194,8 @@ void SensorManager::UnpublishSensor(const std::string& name) {
 }
 
 void SensorManager::Tick() {
+  auto& tm = Instruments();
+  telemetry::ScopedTimer tick_timer(&tm.tick_us);
   const TimePoint now = options_.clock->Now();
 
   // Periodic configuration refresh.
@@ -179,13 +215,22 @@ void SensorManager::Tick() {
     if (managed.mode != RunMode::kOnPort) continue;
     const bool want_running = port_monitor_.AnyActive(managed.ports);
     if (want_running && !managed.sensor->running()) {
-      if (StartManaged(managed).ok()) ++stats_.port_triggers;
+      if (StartManaged(managed).ok()) {
+        ++stats_.port_triggers;
+        tm.port_triggers.Increment();
+      }
     } else if (!want_running && managed.sensor->running()) {
-      if (StopManaged(managed).ok()) ++stats_.port_stops;
+      if (StopManaged(managed).ok()) {
+        ++stats_.port_stops;
+        tm.port_stops.Increment();
+      }
     }
   }
 
-  // Poll due sensors; forward everything to the gateway.
+  // Poll due sensors; forward everything to the gateway. The manager is
+  // where an event enters the pipeline, so this is where its trace is
+  // minted: HOP.SENSOR carries the sensor's own emission timestamp,
+  // HOP.MANAGER the forwarding time; downstream layers append their hops.
   std::vector<ulm::Record> events;
   for (auto& [name, managed] : sensors_) {
     if (!managed.sensor->running() || now < managed.next_poll) continue;
@@ -193,9 +238,16 @@ void SensorManager::Tick() {
     events.clear();
     managed.sensor->Poll(events);
     ++stats_.polls;
-    for (const auto& rec : events) {
+    tm.polls.Increment();
+    for (auto& rec : events) {
+      if (options_.trace_events) {
+        telemetry::EnsureTrace(rec);
+        telemetry::StampHop(rec, "sensor", rec.timestamp());
+        telemetry::StampHop(rec, "manager", now);
+      }
       if (options_.gateway) options_.gateway->Publish(rec);
       ++stats_.events_forwarded;
+      tm.events_forwarded.Increment();
     }
   }
 }

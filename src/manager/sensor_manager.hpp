@@ -48,6 +48,10 @@ class SensorManager {
     Duration config_refresh = 2 * kMinute;
     /// How long a port must stay quiet before port-triggered sensors stop.
     Duration port_idle_timeout = 5 * kSecond;
+    /// Mint a TRACE.ID and stamp HOP.SENSOR/HOP.MANAGER on every event
+    /// forwarded to the gateway, so the event's path through the system
+    /// is reconstructable downstream (telemetry/trace.hpp).
+    bool trace_events = true;
   };
 
   explicit SensorManager(Options options);

@@ -1,6 +1,26 @@
 #include "rpc/httpsim.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace jamm::rpc {
+
+namespace {
+
+struct HttpTelemetry {
+  telemetry::Counter& requests;
+  telemetry::Counter& not_modified;
+  telemetry::Counter& unavailable;
+};
+
+HttpTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static HttpTelemetry t{m.counter("rpc.http_requests"),
+                         m.counter("rpc.http_not_modified"),
+                         m.counter("rpc.http_unavailable")};
+  return t;
+}
+
+}  // namespace
 
 void HttpSimServer::Put(const std::string& path, std::string content) {
   std::lock_guard lock(mu_);
@@ -12,7 +32,11 @@ void HttpSimServer::Put(const std::string& path, std::string content) {
 Result<std::string> HttpSimServer::Get(const std::string& path) const {
   std::lock_guard lock(mu_);
   ++requests_;
-  if (!available_) return Status::Unavailable("http server down");
+  Instruments().requests.Increment();
+  if (!available_) {
+    Instruments().unavailable.Increment();
+    return Status::Unavailable("http server down");
+  }
   auto it = docs_.find(path);
   if (it == docs_.end()) return Status::NotFound("404: " + path);
   return it->second.content;
@@ -23,10 +47,15 @@ Result<std::string> HttpSimServer::GetIfModified(
     std::uint64_t* version_out) const {
   std::lock_guard lock(mu_);
   ++requests_;
-  if (!available_) return Status::Unavailable("http server down");
+  Instruments().requests.Increment();
+  if (!available_) {
+    Instruments().unavailable.Increment();
+    return Status::Unavailable("http server down");
+  }
   auto it = docs_.find(path);
   if (it == docs_.end()) return Status::NotFound("404: " + path);
   if (it->second.version == known_version) {
+    Instruments().not_modified.Increment();
     return Status::Aborted("304: not modified");
   }
   if (version_out) *version_out = it->second.version;

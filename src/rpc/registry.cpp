@@ -1,6 +1,28 @@
 #include "rpc/registry.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace jamm::rpc {
+
+namespace {
+
+struct RpcTelemetry {
+  telemetry::Counter& invocations;
+  telemetry::Counter& activations;
+  telemetry::Counter& unloads;
+  telemetry::Histogram& invoke_us;
+};
+
+RpcTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static RpcTelemetry t{m.counter("rpc.invocations"),
+                        m.counter("rpc.activations"),
+                        m.counter("rpc.unloads"),
+                        m.histogram("rpc.invoke_us")};
+  return t;
+}
+
+}  // namespace
 
 Result<std::string> MethodTableObject::Invoke(
     const std::string& method, const std::vector<std::string>& args) {
@@ -40,6 +62,8 @@ Status Registry::Unregister(const std::string& name) {
 Result<std::string> Registry::Invoke(const std::string& name,
                                      const std::string& method,
                                      const std::vector<std::string>& args) {
+  auto& tm = Instruments();
+  telemetry::ScopedTimer invoke_timer(&tm.invoke_us);
   auto it = slots_.find(name);
   if (it == slots_.end()) return Status::NotFound("no object " + name);
   Slot& slot = it->second;
@@ -49,9 +73,11 @@ Result<std::string> Registry::Invoke(const std::string& name,
     if (!slot.object) return Status::Internal("factory for " + name +
                                               " returned null");
     ++stats_.activations;
+    tm.activations.Increment();
   }
   slot.last_used = clock_.Now();
   ++stats_.invocations;
+  tm.invocations.Increment();
   return slot.object->Invoke(method, args);
 }
 
@@ -64,6 +90,7 @@ std::size_t Registry::MaintenanceTick() {
       slot.object.reset();  // "unload themselves after a period of inactivity"
       ++unloaded;
       ++stats_.unloads;
+      Instruments().unloads.Increment();
     }
   }
   return unloaded;

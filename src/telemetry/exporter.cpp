@@ -1,0 +1,94 @@
+#include "telemetry/exporter.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace jamm::telemetry {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+TelemetryExporter::TelemetryExporter(const MetricsRegistry& registry,
+                                     const Clock& clock)
+    : TelemetryExporter(registry, clock, Options{}) {}
+
+TelemetryExporter::TelemetryExporter(const MetricsRegistry& registry,
+                                     const Clock& clock, Options options)
+    : registry_(registry), clock_(clock), options_(std::move(options)) {}
+
+std::string TelemetryExporter::RenderText() const {
+  std::string out = "# jamm self-telemetry: " + options_.instance + " (" +
+                    std::to_string(registry_.size()) + " metrics)\n";
+  registry_.VisitCounters([&out](const Counter& c) {
+    out += "counter " + c.name() + " " + std::to_string(c.Value()) + "\n";
+  });
+  registry_.VisitGauges([&out](const Gauge& g) {
+    out += "gauge " + g.name() + " " + FormatDouble(g.Value()) + "\n";
+  });
+  registry_.VisitHistograms([&out](const Histogram& h) {
+    const HistogramSnapshot s = h.Snapshot();
+    out += "histogram " + h.name() + " count=" + std::to_string(s.count) +
+           " mean=" + FormatDouble(s.mean) + " p50=" + FormatDouble(s.p50) +
+           " p90=" + FormatDouble(s.p90) + " p99=" + FormatDouble(s.p99) +
+           " max=" + std::to_string(s.max) + "\n";
+  });
+  return out;
+}
+
+ulm::Record TelemetryExporter::BaseRecord(
+    const std::string& metric_kind, const std::string& metric_name) const {
+  ulm::Record rec(clock_.Now(), options_.instance, options_.prog,
+                  std::string(ulm::level::kUsage),
+                  "TELEMETRY." + ToUpper(metric_kind));
+  rec.SetField("METRIC", metric_name);
+  return rec;
+}
+
+std::size_t TelemetryExporter::EmitSnapshot() {
+  if (!event_sink_) return 0;
+  std::size_t emitted = 0;
+  registry_.VisitCounters([this, &emitted](const Counter& c) {
+    ulm::Record rec = BaseRecord("counter", c.name());
+    rec.SetField("VAL", static_cast<std::int64_t>(c.Value()));
+    event_sink_(rec);
+    ++emitted;
+  });
+  registry_.VisitGauges([this, &emitted](const Gauge& g) {
+    ulm::Record rec = BaseRecord("gauge", g.name());
+    rec.SetField("VAL", g.Value());
+    event_sink_(rec);
+    ++emitted;
+  });
+  registry_.VisitHistograms([this, &emitted](const Histogram& h) {
+    const HistogramSnapshot s = h.Snapshot();
+    ulm::Record rec = BaseRecord("histogram", h.name());
+    rec.SetField("COUNT", static_cast<std::int64_t>(s.count));
+    rec.SetField("MEAN", s.mean);
+    rec.SetField("P50", s.p50);
+    rec.SetField("P90", s.p90);
+    rec.SetField("P99", s.p99);
+    rec.SetField("MAX", static_cast<std::int64_t>(s.max));
+    event_sink_(rec);
+    ++emitted;
+  });
+  return emitted;
+}
+
+void TelemetryExporter::Tick() {
+  if (document_sink_) document_sink_(options_.http_path, RenderText());
+  if (options_.emit_interval <= 0 || !event_sink_) return;
+  const TimePoint now = clock_.Now();
+  if (now < next_emit_) return;
+  next_emit_ = now + options_.emit_interval;
+  EmitSnapshot();
+}
+
+}  // namespace jamm::telemetry

@@ -1,0 +1,80 @@
+// TelemetryExporter — makes the registry observable from outside the
+// process, two ways:
+//
+//   * a text document ("/metrics" style) pushed into a document sink —
+//     in practice rpc::HttpSimServer::Put, so consumers GET the snapshot
+//     exactly like they fetch sensor configuration (see
+//     telemetry/http_export.hpp for the one-line binding);
+//   * periodic ULM events pushed through an event sink — in practice
+//     gateway::EventGateway::Publish, so the monitor's own vitals flow
+//     down the same pipeline as sensor data and land in the archive: the
+//     monitor monitoring itself.
+//
+// The exporter deliberately depends only on callbacks, not on rpc/ or
+// gateway/, so those layers can link telemetry for their own
+// instrumentation without a dependency cycle.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "common/clock.hpp"
+#include "telemetry/metrics.hpp"
+#include "ulm/record.hpp"
+
+namespace jamm::telemetry {
+
+class TelemetryExporter {
+ public:
+  struct Options {
+    /// HOST field of emitted ULM records and the header of the text dump.
+    std::string instance = "localhost";
+    /// PROG field of emitted records.
+    std::string prog = "jamm-telemetry";
+    /// How often Tick() emits a ULM snapshot; 0 = only on EmitSnapshot().
+    Duration emit_interval = kMinute;
+    /// Document path handed to the document sink.
+    std::string http_path = "/metrics";
+  };
+
+  TelemetryExporter(const MetricsRegistry& registry, const Clock& clock);
+  TelemetryExporter(const MetricsRegistry& registry, const Clock& clock,
+                    Options options);
+
+  /// Render every registered metric as a line-oriented text document:
+  ///   counter gateway.events_in 42
+  ///   gauge gateway.subscriptions 3
+  ///   histogram gateway.fanout_us count=10 mean=1.2 p50=1 p90=2 p99=3 max=4
+  std::string RenderText() const;
+
+  using DocumentSink =
+      std::function<void(const std::string& path, std::string content)>;
+  using EventSink = std::function<void(const ulm::Record&)>;
+
+  void SetDocumentSink(DocumentSink sink) { document_sink_ = std::move(sink); }
+  void SetEventSink(EventSink sink) { event_sink_ = std::move(sink); }
+
+  /// Refresh the document sink and, when the emit interval has elapsed,
+  /// emit one ULM record per metric through the event sink. Call from the
+  /// host's scheduler loop alongside SensorManager::Tick().
+  void Tick();
+
+  /// Emit one snapshot immediately; returns the number of records sent.
+  std::size_t EmitSnapshot();
+
+  const Options& options() const { return options_; }
+
+ private:
+  ulm::Record BaseRecord(const std::string& metric_kind,
+                         const std::string& metric_name) const;
+
+  const MetricsRegistry& registry_;
+  const Clock& clock_;
+  Options options_;
+  DocumentSink document_sink_;
+  EventSink event_sink_;
+  TimePoint next_emit_ = 0;
+};
+
+}  // namespace jamm::telemetry

@@ -1,0 +1,25 @@
+// One-line binding between the TelemetryExporter and the rpc module's
+// HTTP-sim server. Header-only on purpose: jamm_telemetry must not link
+// jamm_rpc (rpc instruments itself with telemetry, and a static-library
+// cycle helps nobody), but any binary that has both — examples, tests,
+// services — can serve "/metrics" with this.
+#pragma once
+
+#include "rpc/httpsim.hpp"
+#include "telemetry/exporter.hpp"
+
+namespace jamm::telemetry {
+
+/// Wire the exporter's document output into `http` so consumers can
+/// `Get(exporter.options().http_path)` — typically "/metrics" — and push
+/// the first snapshot immediately.
+inline void ServeMetrics(TelemetryExporter& exporter,
+                         rpc::HttpSimServer& http) {
+  exporter.SetDocumentSink([&http](const std::string& path,
+                                   std::string content) {
+    http.Put(path, std::move(content));
+  });
+  http.Put(exporter.options().http_path, exporter.RenderText());
+}
+
+}  // namespace jamm::telemetry

@@ -1,7 +1,28 @@
 #include "transport/message.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace jamm::transport {
 namespace {
+
+// Wire-level self-telemetry: every frame either implementation (in-proc,
+// TCP) moves passes through Encode/DecodeFrame, so counting here covers
+// the whole transport layer.
+struct TransportTelemetry {
+  telemetry::Counter& frames_encoded;
+  telemetry::Counter& bytes_encoded;
+  telemetry::Counter& frames_decoded;
+  telemetry::Counter& decode_errors;
+};
+
+TransportTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static TransportTelemetry t{m.counter("transport.frames_encoded"),
+                              m.counter("transport.bytes_encoded"),
+                              m.counter("transport.frames_decoded"),
+                              m.counter("transport.decode_errors")};
+  return t;
+}
 
 void PutU32(std::string& out, std::uint32_t v) {
   for (int b = 0; b < 4; ++b) out.push_back(static_cast<char>((v >> (8 * b)) & 0xFF));
@@ -26,6 +47,9 @@ std::string EncodeFrame(const Message& msg) {
   out += msg.type;
   PutU32(out, static_cast<std::uint32_t>(msg.payload.size()));
   out += msg.payload;
+  auto& tm = Instruments();
+  tm.frames_encoded.Increment();
+  tm.bytes_encoded.Add(out.size());
   return out;
 }
 
@@ -33,7 +57,10 @@ Result<Message> DecodeFrame(std::string_view data, std::size_t* offset) {
   std::size_t i = *offset;
   std::uint32_t type_len;
   if (!GetU32(data, i, type_len)) return Status::NotFound("incomplete frame");
-  if (type_len > kMaxFrameBytes) return Status::ParseError("frame type too large");
+  if (type_len > kMaxFrameBytes) {
+    Instruments().decode_errors.Increment();
+    return Status::ParseError("frame type too large");
+  }
   i += 4;
   if (i + type_len > data.size()) return Status::NotFound("incomplete frame");
   std::string type(data.substr(i, type_len));
@@ -41,12 +68,14 @@ Result<Message> DecodeFrame(std::string_view data, std::size_t* offset) {
   std::uint32_t payload_len;
   if (!GetU32(data, i, payload_len)) return Status::NotFound("incomplete frame");
   if (payload_len > kMaxFrameBytes) {
+    Instruments().decode_errors.Increment();
     return Status::ParseError("frame payload too large");
   }
   i += 4;
   if (i + payload_len > data.size()) return Status::NotFound("incomplete frame");
   Message msg{std::move(type), std::string(data.substr(i, payload_len))};
   *offset = i + payload_len;
+  Instruments().frames_decoded.Increment();
   return msg;
 }
 

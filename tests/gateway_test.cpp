@@ -183,6 +183,26 @@ TEST(SummaryWindowTest, MatchesBruteForceOnRandomData) {
   EXPECT_NEAR(s.avg_60m, avg60, 1e-9);
 }
 
+TEST(SummaryWindowTest, BoundedWithoutComputeCalls) {
+  // Regression: pruning used to happen only in Compute, so a busy gateway
+  // whose consumers never asked for the summary grew the window without
+  // bound. Add() must keep the deque trimmed to the trailing hour on its
+  // own.
+  SummaryWindow window;
+  SimClock clock(0);
+  for (int i = 0; i < 2 * 60 * 60; ++i) {  // two hours at 1 Hz, no Compute
+    window.Add(clock.Now(), 1.0);
+    clock.Advance(kSecond);
+  }
+  // Exactly one trailing hour of samples may remain (+1 boundary sample).
+  EXPECT_LE(window.sample_count(), 3601u);
+  EXPECT_GE(window.sample_count(), 3600u);
+  // And the windows still compute correctly afterwards.
+  auto s = window.Compute(clock.Now());
+  EXPECT_EQ(s.count_1m, 60u);
+  EXPECT_NEAR(s.avg_60m, 1.0, 1e-9);
+}
+
 // ------------------------------------------------------------ EventGateway
 
 class GatewayTest : public ::testing::Test {
@@ -238,6 +258,51 @@ TEST_F(GatewayTest, UnsubscribeStopsDelivery) {
   EXPECT_EQ(got.size(), 1u);
   EXPECT_FALSE(gw_.Unsubscribe(*sub).ok());  // already gone
   EXPECT_FALSE(gw_.Unsubscribe("sub-999999").ok());
+}
+
+TEST_F(GatewayTest, CallbackMayUnsubscribeItselfDuringFanOut) {
+  // Regression: Publish used to iterate the live subscription map, so a
+  // callback unsubscribing (the classic one-shot consumer) invalidated
+  // the iterator mid-fan-out.
+  std::string one_shot_id;
+  int one_shot_events = 0;
+  auto sub = gw_.Subscribe("one-shot", {}, [&](const ulm::Record&) {
+    ++one_shot_events;
+    EXPECT_TRUE(gw_.Unsubscribe(one_shot_id).ok());
+  });
+  ASSERT_TRUE(sub.ok());
+  one_shot_id = *sub;
+
+  std::vector<ulm::Record> steady;
+  ASSERT_TRUE(gw_.Subscribe("steady", {}, [&](const ulm::Record& r) {
+                   steady.push_back(r);
+                 }).ok());
+
+  gw_.Publish(ValueEvent(1, "E", 1));
+  gw_.Publish(ValueEvent(2, "E", 2));
+
+  EXPECT_EQ(one_shot_events, 1);       // delivered once, then gone
+  EXPECT_EQ(steady.size(), 2u);        // the other subscriber unaffected
+  EXPECT_EQ(gw_.subscription_count(), 1u);
+}
+
+TEST_F(GatewayTest, CallbackMaySubscribeDuringFanOut) {
+  std::vector<ulm::Record> late;
+  bool subscribed = false;
+  ASSERT_TRUE(gw_.Subscribe("spawner", {}, [&](const ulm::Record&) {
+                   if (subscribed) return;
+                   subscribed = true;
+                   EXPECT_TRUE(gw_.Subscribe("late", {},
+                                             [&](const ulm::Record& r) {
+                                               late.push_back(r);
+                                             }).ok());
+                 }).ok());
+
+  gw_.Publish(ValueEvent(1, "E", 1));
+  EXPECT_EQ(gw_.subscription_count(), 2u);
+  // The subscriber added mid-fan-out sees subsequent events.
+  gw_.Publish(ValueEvent(2, "E", 2));
+  EXPECT_EQ(late.size(), 1u);
 }
 
 TEST_F(GatewayTest, QueryMostRecent) {
