@@ -1,0 +1,72 @@
+// Resilience layer overhead (ISSUE 2): the fault-injection decorator, the
+// retry wrapper, and the circuit breaker all sit on hot send/call paths,
+// so their no-fault cost must be negligible next to the transport itself.
+//
+// google-benchmark microbenchmarks:
+//   * raw in-proc channel send/receive vs the same through FaultyChannel
+//     with an all-pass plan (decorator tax);
+//   * Retryer::Run on an immediately-successful call (wrapper tax);
+//   * CircuitBreaker::Allow/RecordSuccess throughput (per-op gate tax).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/clock.hpp"
+#include "resilience/breaker.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/retry.hpp"
+#include "transport/inproc.hpp"
+
+using namespace jamm;              // NOLINT: bench brevity
+using namespace jamm::resilience;  // NOLINT
+
+namespace {
+
+void BM_RawChannelRoundTrip(benchmark::State& state) {
+  auto [a, b] = transport::MakeChannelPair("bench");
+  const transport::Message msg{"bench", "payload-of-reasonable-length"};
+  for (auto _ : state) {
+    (void)a->Send(msg);
+    benchmark::DoNotOptimize(b->TryReceive());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RawChannelRoundTrip);
+
+void BM_FaultyChannelPassThrough(benchmark::State& state) {
+  auto [a, b] = transport::MakeChannelPair("bench");
+  // An all-pass plan: every Send consults the plan and forwards.
+  auto faulty = WrapWithFaults(std::move(a), FaultSpec{});
+  const transport::Message msg{"bench", "payload-of-reasonable-length"};
+  for (auto _ : state) {
+    (void)faulty->Send(msg);
+    benchmark::DoNotOptimize(b->TryReceive());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultyChannelPassThrough);
+
+void BM_RetryerSuccessPath(benchmark::State& state) {
+  SimClock clock;
+  Retryer retryer({}, clock);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retryer.Run([] { return Status::Ok(); }));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RetryerSuccessPath);
+
+void BM_CircuitBreakerAllow(benchmark::State& state) {
+  SimClock clock;
+  CircuitBreaker breaker({}, clock);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(breaker.Allow());
+    breaker.RecordSuccess();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CircuitBreakerAllow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

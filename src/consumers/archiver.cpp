@@ -34,26 +34,53 @@ Status ArchiverAgent::SubscribeTo(gateway::EventGateway& gw,
                                   const gateway::FilterSpec& spec,
                                   const std::string& principal) {
   auto sub = gw.Subscribe(
-      name_, spec,
-      [this](const ulm::Record& rec) {
-        auto& tm = Instruments();
-        tm.events_received.Increment();
-        telemetry::ScopedTimer ingest_timer(&tm.ingest_us);
-        // Traced records get their final hop stamped so the archived copy
-        // shows the full sensor → manager → gateway → archiver path.
-        if (telemetry::HasTrace(rec)) {
-          ulm::Record stamped = rec;
-          telemetry::StampHop(stamped, "archiver",
-                              clock_ ? clock_->Now() : rec.timestamp());
-          archive_.Ingest(stamped);
-        } else {
-          archive_.Ingest(rec);
-        }
-      },
+      name_, spec, [this](const ulm::Record& rec) { IngestRecord(rec); },
       principal);
   if (!sub.ok()) return sub.status();
   subscriptions_.emplace_back(&gw, *sub);
   return Status::Ok();
+}
+
+void ArchiverAgent::IngestRecord(const ulm::Record& record) {
+  auto& tm = Instruments();
+  tm.events_received.Increment();
+  telemetry::ScopedTimer ingest_timer(&tm.ingest_us);
+  // Traced records get their final hop stamped so the archived copy
+  // shows the full sensor → manager → gateway → archiver path.
+  if (telemetry::HasTrace(record)) {
+    ulm::Record stamped = record;
+    telemetry::StampHop(stamped, "archiver",
+                        clock_ ? clock_->Now() : record.timestamp());
+    archive_.Ingest(stamped);
+  } else {
+    archive_.Ingest(record);
+  }
+}
+
+Status ArchiverAgent::AttachRemote(std::unique_ptr<gateway::GatewayClient> client,
+                                   const gateway::FilterSpec& spec) {
+  if (!client) return Status::InvalidArgument("null gateway client");
+  remote_ = std::move(client);
+  // Async so attaching never blocks on the reply: the client records the
+  // subscription spec and replays it after every reconnect, so a gateway
+  // that is down right now is caught on the next PumpRemote().
+  return remote_->SubscribeAsync(name_, spec);
+}
+
+std::size_t ArchiverAgent::PumpRemote() {
+  if (!remote_) return 0;
+  // Stage through the outage buffer rather than ingesting straight from
+  // DrainEvents: if the archive host stalls between pumps, the bounded
+  // buffer (drop-oldest) is what caps memory, not the client's queue.
+  for (auto& rec : remote_->DrainEvents()) {
+    remote_buffer_.Push(std::move(rec));
+  }
+  std::size_t ingested = 0;
+  while (auto rec = remote_buffer_.Pop()) {
+    IngestRecord(*rec);
+    ++ingested;
+  }
+  return ingested;
 }
 
 Status ArchiverAgent::PublishTo(directory::DirectoryPool& pool,

@@ -4,6 +4,8 @@
 // directory service entry indicating the contents of the archive."
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,8 @@
 #include "directory/replication.hpp"
 #include "directory/schema.hpp"
 #include "gateway/gateway.hpp"
+#include "gateway/service.hpp"
+#include "resilience/buffer.hpp"
 
 namespace jamm::consumers {
 
@@ -31,6 +35,22 @@ class ArchiverAgent {
                      const gateway::FilterSpec& spec = {},
                      const std::string& principal = "");
 
+  /// Wire-path feed (ISSUE 2): attach a GatewayClient — typically
+  /// dialer-backed, so it reconnects and resubscribes by itself — and
+  /// subscribe with `spec`. Drive with PumpRemote() from the host's poll
+  /// loop; events survive a gateway outage in a bounded buffer and flush
+  /// into the archive once drained.
+  Status AttachRemote(std::unique_ptr<gateway::GatewayClient> client,
+                      const gateway::FilterSpec& spec = {});
+
+  /// Drain the remote feed through the outage buffer into the archive;
+  /// returns records ingested this pump.
+  std::size_t PumpRemote();
+
+  /// Events evicted from the outage buffer (its capacity bounds memory
+  /// during long outages with a stalled archive host).
+  std::uint64_t remote_dropped() const { return remote_buffer_.dropped(); }
+
   /// Publish/refresh the archive's directory entry with a current
   /// contents summary.
   Status PublishTo(directory::DirectoryPool& pool,
@@ -41,11 +61,15 @@ class ArchiverAgent {
   void UnsubscribeAll();
 
  private:
+  void IngestRecord(const ulm::Record& record);
+
   std::string name_;
   archive::EventArchive& archive_;
   std::string address_;
   const Clock* clock_;
   std::vector<std::pair<gateway::EventGateway*, std::string>> subscriptions_;
+  std::unique_ptr<gateway::GatewayClient> remote_;
+  resilience::ReplayBuffer<ulm::Record> remote_buffer_{1024};
 };
 
 }  // namespace jamm::consumers

@@ -49,6 +49,29 @@ Status EventCollector::SubscribeTo(gateway::EventGateway& gw,
   return Status::Ok();
 }
 
+Status EventCollector::AttachRemote(
+    std::unique_ptr<gateway::GatewayClient> client,
+    const gateway::FilterSpec& spec) {
+  if (!client) return Status::InvalidArgument("null gateway client");
+  remote_ = std::move(client);
+  // Async: the spec is recorded and replayed after every reconnect, so a
+  // gateway that is down right now is caught on the next PumpRemote().
+  return remote_->SubscribeAsync(name_, spec);
+}
+
+std::size_t EventCollector::PumpRemote() {
+  if (!remote_) return 0;
+  for (auto& rec : remote_->DrainEvents()) {
+    remote_buffer_.Push(std::move(rec));
+  }
+  std::size_t added = 0;
+  while (auto rec = remote_buffer_.Pop()) {
+    collected_.push_back(std::move(*rec));
+    ++added;
+  }
+  return added;
+}
+
 std::vector<ulm::Record> EventCollector::Merged() const {
   std::vector<ulm::Record> out = collected_;
   netlogger::SortByTime(out);

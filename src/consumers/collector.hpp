@@ -6,15 +6,19 @@
 // such as nlv."
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "directory/replication.hpp"
 #include "directory/schema.hpp"
 #include "gateway/gateway.hpp"
+#include "gateway/service.hpp"
 #include "netlogger/merge.hpp"
+#include "resilience/buffer.hpp"
 
 namespace jamm::consumers {
 
@@ -43,6 +47,18 @@ class EventCollector {
   Status SubscribeTo(gateway::EventGateway& gw, const gateway::FilterSpec& spec,
                      const std::string& principal = "");
 
+  /// Wire-path feed (ISSUE 2): attach a dialer-backed GatewayClient that
+  /// reconnects and resubscribes on its own; drive with PumpRemote().
+  /// Events ride out gateway outages in a bounded drop-oldest buffer.
+  Status AttachRemote(std::unique_ptr<gateway::GatewayClient> client,
+                      const gateway::FilterSpec& spec = {});
+
+  /// Drain the remote feed into the collected set; returns records added.
+  std::size_t PumpRemote();
+
+  /// Events evicted from the outage buffer.
+  std::uint64_t remote_dropped() const { return remote_buffer_.dropped(); }
+
   /// Everything collected so far, time-merged.
   std::vector<ulm::Record> Merged() const;
 
@@ -60,6 +76,8 @@ class EventCollector {
   GatewayResolver resolver_;
   std::vector<ulm::Record> collected_;
   std::vector<std::pair<gateway::EventGateway*, std::string>> subscriptions_;
+  std::unique_ptr<gateway::GatewayClient> remote_;
+  resilience::ReplayBuffer<ulm::Record> remote_buffer_{1024};
 };
 
 }  // namespace jamm::consumers

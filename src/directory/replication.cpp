@@ -1,6 +1,26 @@
 #include "directory/replication.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace jamm::directory {
+
+namespace {
+
+struct PoolTelemetry {
+  telemetry::Counter& write_failovers;
+  telemetry::Counter& writes_unavailable;
+  telemetry::Counter& breaker_skips;
+};
+
+PoolTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static PoolTelemetry t{m.counter("directory.pool.write_failovers"),
+                         m.counter("directory.pool.writes_unavailable"),
+                         m.counter("directory.pool.breaker_skips")};
+  return t;
+}
+
+}  // namespace
 
 void Replicator::AddReplica(std::shared_ptr<DirectoryServer> replica) {
   replicas_.push_back({std::move(replica), 0});
@@ -32,15 +52,46 @@ bool Replicator::Converged() const {
 
 void DirectoryPool::AddServer(std::shared_ptr<DirectoryServer> server) {
   servers_.push_back(std::move(server));
+  breakers_.push_back(
+      breaker_clock_ ? std::make_unique<resilience::CircuitBreaker>(
+                           breaker_policy_, *breaker_clock_)
+                     : nullptr);
+}
+
+void DirectoryPool::SetBreakerPolicy(const resilience::BreakerPolicy& policy,
+                                     const Clock& clock) {
+  breaker_policy_ = policy;
+  breaker_clock_ = &clock;
+  for (auto& breaker : breakers_) {
+    breaker = std::make_unique<resilience::CircuitBreaker>(policy, clock);
+  }
+}
+
+bool DirectoryPool::AllowServer(std::size_t i) {
+  if (!breakers_[i]) return true;
+  if (breakers_[i]->Allow()) return true;
+  Instruments().breaker_skips.Increment();
+  return false;
+}
+
+void DirectoryPool::RecordOutcome(std::size_t i, const Status& status) {
+  if (!breakers_[i]) return;
+  if (status.code() == StatusCode::kUnavailable) {
+    breakers_[i]->RecordFailure();
+  } else {
+    breakers_[i]->RecordSuccess();
+  }
 }
 
 Result<Entry> DirectoryPool::Lookup(const Dn& dn,
                                     const std::string& principal) {
   Status last = Status::Unavailable("directory pool empty");
-  for (const auto& server : servers_) {
-    auto result = server->Lookup(dn, principal);
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (!AllowServer(i)) continue;
+    auto result = servers_[i]->Lookup(dn, principal);
+    RecordOutcome(i, result.ok() ? Status::Ok() : result.status());
     if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
-      last_served_by_ = server->address();
+      last_served_by_ = servers_[i]->address();
       return result;
     }
     last = result.status();
@@ -52,10 +103,12 @@ Result<SearchResult> DirectoryPool::Search(const Dn& base, SearchScope scope,
                                            const Filter& filter,
                                            const std::string& principal) {
   Status last = Status::Unavailable("directory pool empty");
-  for (const auto& server : servers_) {
-    auto result = server->Search(base, scope, filter, principal);
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (!AllowServer(i)) continue;
+    auto result = servers_[i]->Search(base, scope, filter, principal);
+    RecordOutcome(i, result.ok() ? Status::Ok() : result.status());
     if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
-      last_served_by_ = server->address();
+      last_served_by_ = servers_[i]->address();
       return result;
     }
     last = result.status();
@@ -63,15 +116,49 @@ Result<SearchResult> DirectoryPool::Search(const Dn& base, SearchScope scope,
   return last;
 }
 
+Status DirectoryPool::WriteOp(
+    const std::function<Status(DirectoryServer&)>& op) {
+  if (servers_.empty()) return Status::Unavailable("directory pool empty");
+  Status last = Status::Unavailable("all directory servers unavailable");
+  // Start at the current write primary; on failure promote the next live
+  // server so subsequent writes go straight there (sticky failover). The
+  // demoted primary reconverges through a Replicator rooted at the
+  // promoted server once it revives.
+  for (std::size_t k = 0; k < servers_.size(); ++k) {
+    const std::size_t i = (write_index_ + k) % servers_.size();
+    if (!AllowServer(i)) continue;
+    Status status = op(*servers_[i]);
+    RecordOutcome(i, status);
+    if (status.code() == StatusCode::kUnavailable) {
+      last = status;
+      continue;
+    }
+    if (i != write_index_) {
+      write_index_ = i;
+      Instruments().write_failovers.Increment();
+    }
+    last_served_by_ = servers_[i]->address();
+    return status;
+  }
+  Instruments().writes_unavailable.Increment();
+  return last;
+}
+
 Status DirectoryPool::Upsert(const Entry& entry,
                              const std::string& principal) {
-  if (servers_.empty()) return Status::Unavailable("directory pool empty");
-  return servers_.front()->Upsert(entry, principal);
+  return WriteOp([&](DirectoryServer& server) {
+    return server.Upsert(entry, principal);
+  });
 }
 
 Status DirectoryPool::Delete(const Dn& dn, const std::string& principal) {
-  if (servers_.empty()) return Status::Unavailable("directory pool empty");
-  return servers_.front()->Delete(dn, principal);
+  return WriteOp(
+      [&](DirectoryServer& server) { return server.Delete(dn, principal); });
+}
+
+std::string DirectoryPool::write_primary() const {
+  if (servers_.empty()) return "";
+  return servers_[write_index_]->address();
 }
 
 }  // namespace jamm::directory

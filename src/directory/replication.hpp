@@ -8,12 +8,14 @@
 // to a replica when the primary dies.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "directory/server.hpp"
+#include "resilience/breaker.hpp"
 
 namespace jamm::directory {
 
@@ -44,12 +46,25 @@ class Replicator {
   std::vector<Tracked> replicas_;
 };
 
-/// Ordered server list with read failover: reads try each server until one
-/// answers; writes go to the primary (index 0) only, as LDAP replicas are
-/// read-only.
+/// Ordered server list with failover. Reads try each server in order
+/// until one answers. Writes target the current write primary (initially
+/// index 0) and, when it is down, fail over to the next live server,
+/// which is promoted to write primary (ISSUE 2: the paper's noted weak
+/// spot — "failure of the sensor directory server could take down the
+/// entire system"). A write primary that died and revived is stale until
+/// a Replicator rooted at the promoted server pushes the missed changes
+/// back (see the write-during-primary-outage regression test).
+///
+/// Optional per-server circuit breakers (SetBreakerPolicy) skip servers
+/// that keep failing until their cooldown elapses, instead of probing a
+/// corpse on every operation.
 class DirectoryPool {
  public:
   void AddServer(std::shared_ptr<DirectoryServer> server);
+
+  /// Enable per-server circuit breakers; `clock` drives the cooldown.
+  void SetBreakerPolicy(const resilience::BreakerPolicy& policy,
+                        const Clock& clock);
 
   Result<Entry> Lookup(const Dn& dn, const std::string& principal = "");
   Result<SearchResult> Search(const Dn& base, SearchScope scope,
@@ -62,10 +77,23 @@ class DirectoryPool {
   /// tests and benches observe failover happening.
   const std::string& last_served_by() const { return last_served_by_; }
 
+  /// Address of the current write primary (promotion target after write
+  /// failover); empty for an empty pool.
+  std::string write_primary() const;
+
   std::size_t size() const { return servers_.size(); }
 
  private:
+  /// True if server `i` may be tried now (breaker closed or probing).
+  bool AllowServer(std::size_t i);
+  void RecordOutcome(std::size_t i, const Status& status);
+  Status WriteOp(const std::function<Status(DirectoryServer&)>& op);
+
   std::vector<std::shared_ptr<DirectoryServer>> servers_;
+  std::vector<std::unique_ptr<resilience::CircuitBreaker>> breakers_;
+  resilience::BreakerPolicy breaker_policy_;
+  const Clock* breaker_clock_ = nullptr;
+  std::size_t write_index_ = 0;
   std::string last_served_by_;
 };
 

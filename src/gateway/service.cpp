@@ -1,9 +1,11 @@
 #include "gateway/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "common/strings.hpp"
+#include "telemetry/metrics.hpp"
 #include "transport/net_sink.hpp"
 #include "ulm/xml.hpp"
 
@@ -173,27 +175,163 @@ void GatewayService::DropConnection(Connection& conn) {
 
 // ----------------------------------------------------------------- client
 
+namespace {
+
+struct ClientTelemetry {
+  telemetry::Counter& reconnects;
+  telemetry::Counter& reconnect_failures;
+  telemetry::Counter& resubscribes;
+  telemetry::Counter& stale_replies;
+  telemetry::Counter& pending_dropped;
+};
+
+ClientTelemetry& ClientInstruments() {
+  auto& m = telemetry::Metrics();
+  static ClientTelemetry t{m.counter("gateway.client.reconnects"),
+                           m.counter("gateway.client.reconnect_failures"),
+                           m.counter("gateway.client.resubscribes"),
+                           m.counter("gateway.client.stale_replies"),
+                           m.counter("gateway.client.pending_dropped")};
+  return t;
+}
+
+using SteadyPoint = std::chrono::steady_clock::time_point;
+
+SteadyPoint DeadlineIn(Duration timeout) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::microseconds(timeout);
+}
+
+Duration RemainingUntil(SteadyPoint deadline) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             deadline - std::chrono::steady_clock::now())
+      .count();
+}
+
+std::string SubscribePayload(const std::string& consumer,
+                             const FilterSpec& spec, bool xml) {
+  std::string payload = consumer + "\n" + spec.ToString();
+  if (xml) payload += "\nxml";
+  return payload;
+}
+
+/// Control reply types the server can send; everything else on the stream
+/// is event traffic or unknown.
+bool IsControlReply(const std::string& type) {
+  return type == "gw.ok" || type == "gw.summary" ||
+         type == "gw.query.reply" || type == "gw.xml";
+}
+
+}  // namespace
+
+GatewayClient::RecordedSub* GatewayClient::FindSub(std::uint64_t key) {
+  for (auto& sub : subs_) {
+    if (sub.key == key) return &sub;
+  }
+  return nullptr;
+}
+
+bool GatewayClient::AdoptControl(const transport::Message& msg) {
+  if (awaited_.empty()) return false;
+  if (msg.type != "gw.ok" && msg.type != "gw.error") return false;
+  // Replies arrive in request order on the channel, so the oldest awaited
+  // request is the one this reply answers.
+  Awaited a = awaited_.front();
+  awaited_.pop_front();
+  if (a.kind == Awaited::Kind::kSubscribe && msg.type == "gw.ok") {
+    if (RecordedSub* sub = FindSub(a.sub_key)) sub->id = msg.payload;
+  }
+  // A gw.error here means a replayed auth/subscribe was rejected; the
+  // subscription keeps an empty id and the failure shows in telemetry.
+  if (msg.type == "gw.error") {
+    ClientInstruments().reconnect_failures.Increment();
+  }
+  return true;
+}
+
+void GatewayClient::BufferEvent(const transport::Message& msg) {
+  auto rec = ulm::Record::FromAscii(msg.payload);
+  if (!rec.ok()) return;
+  if (!pending_events_.Push(std::move(*rec))) {
+    ClientInstruments().pending_dropped.Increment();
+  }
+}
+
+Status GatewayClient::Reconnect() {
+  if (!dialer_) {
+    return Status::Unavailable("gateway client has no dialer to reconnect");
+  }
+  auto& t = ClientInstruments();
+  auto fresh = dialer_();
+  if (!fresh.ok()) {
+    t.reconnect_failures.Increment();
+    channel_.reset();
+    return fresh.status();
+  }
+  channel_ = std::move(*fresh);
+  awaited_.clear();
+  t.reconnects.Increment();
+  // Replay the session pipelined: send everything now, adopt the replies
+  // as they interleave with the resumed event stream.
+  if (authenticated_) {
+    JAMM_RETURN_IF_ERROR(channel_->Send({"gw.auth", principal_}));
+    awaited_.push_back({Awaited::Kind::kAuth, 0});
+  }
+  for (auto& sub : subs_) {
+    sub.id.clear();
+    JAMM_RETURN_IF_ERROR(channel_->Send(
+        {"gw.subscribe", SubscribePayload(sub.consumer, sub.spec, sub.xml)}));
+    awaited_.push_back({Awaited::Kind::kSubscribe, sub.key});
+    t.resubscribes.Increment();
+  }
+  return Status::Ok();
+}
+
+Status GatewayClient::SendControl(const transport::Message& msg) {
+  if (!channel_) {
+    if (!dialer_) return Status::Unavailable("gateway client not connected");
+    JAMM_RETURN_IF_ERROR(Reconnect());
+  }
+  Status sent = channel_->Send(msg);
+  if (!sent.ok() && sent.code() == StatusCode::kUnavailable && dialer_) {
+    JAMM_RETURN_IF_ERROR(Reconnect());
+    sent = channel_->Send(msg);
+  }
+  return sent;
+}
+
 Result<transport::Message> GatewayClient::WaitFor(const std::string& type,
                                                   Duration timeout) {
-  // Events that arrive while awaiting a control reply are buffered.
+  // Absolute deadline: interleaved events and stale replies must not
+  // reset the clock, or a control call on a busy subscription could block
+  // far past its timeout.
+  const SteadyPoint deadline = DeadlineIn(timeout);
   while (true) {
-    auto msg = channel_->Receive(timeout);
+    const Duration remaining = RemainingUntil(deadline);
+    if (remaining <= 0) {
+      return Status::Timeout("deadline exceeded waiting for " + type);
+    }
+    auto msg = channel_->Receive(remaining);
     if (!msg.ok()) return msg.status();
+    if (msg->type == transport::kEventMessageType) {
+      // Events that arrive while awaiting a control reply are buffered.
+      BufferEvent(*msg);
+      continue;
+    }
+    if (AdoptControl(*msg)) continue;
     if (msg->type == type) return std::move(*msg);
     if (msg->type == "gw.error") {
       return Status::Internal("gateway error: " + msg->payload);
     }
-    if (msg->type == transport::kEventMessageType) {
-      auto rec = ulm::Record::FromAscii(msg->payload);
-      if (rec.ok()) pending_events_.push_back(std::move(*rec));
-      continue;
-    }
-    // Unexpected control message; skip it.
+    // Stale control reply, e.g. a late gw.ok after a timed-out call.
+    ClientInstruments().stale_replies.Increment();
   }
 }
 
 Status GatewayClient::Authenticate(const std::string& principal) {
-  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.auth", principal}));
+  principal_ = principal;
+  authenticated_ = true;
+  JAMM_RETURN_IF_ERROR(SendControl({"gw.auth", principal}));
   auto reply = WaitFor("gw.ok", kSecond);
   return reply.ok() ? Status::Ok() : reply.status();
 }
@@ -201,35 +339,48 @@ Status GatewayClient::Authenticate(const std::string& principal) {
 Result<std::string> GatewayClient::Subscribe(const std::string& consumer,
                                              const FilterSpec& spec,
                                              bool xml) {
-  std::string payload = consumer + "\n" + spec.ToString();
-  if (xml) payload += "\nxml";
-  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.subscribe", payload}));
+  JAMM_RETURN_IF_ERROR(
+      SendControl({"gw.subscribe", SubscribePayload(consumer, spec, xml)}));
   auto reply = WaitFor("gw.ok", kSecond);
   if (!reply.ok()) return reply.status();
+  // Record the spec so a reconnect can replay it.
+  subs_.push_back({next_sub_key_++, consumer, spec, xml, reply->payload});
   return reply->payload;
 }
 
+Status GatewayClient::SubscribeAsync(const std::string& consumer,
+                                     const FilterSpec& spec, bool xml) {
+  JAMM_RETURN_IF_ERROR(
+      SendControl({"gw.subscribe", SubscribePayload(consumer, spec, xml)}));
+  subs_.push_back({next_sub_key_++, consumer, spec, xml, ""});
+  awaited_.push_back({Awaited::Kind::kSubscribe, subs_.back().key});
+  return Status::Ok();
+}
+
 Status GatewayClient::StartSensor(const std::string& sensor) {
-  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.sensor.start", sensor}));
+  JAMM_RETURN_IF_ERROR(SendControl({"gw.sensor.start", sensor}));
   auto reply = WaitFor("gw.ok", kSecond);
   return reply.ok() ? Status::Ok() : reply.status();
 }
 
 Status GatewayClient::StopSensor(const std::string& sensor) {
-  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.sensor.stop", sensor}));
+  JAMM_RETURN_IF_ERROR(SendControl({"gw.sensor.stop", sensor}));
   auto reply = WaitFor("gw.ok", kSecond);
   return reply.ok() ? Status::Ok() : reply.status();
 }
 
 Status GatewayClient::Unsubscribe(const std::string& subscription_id) {
-  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.unsubscribe", subscription_id}));
+  std::erase_if(subs_, [&](const RecordedSub& sub) {
+    return sub.id == subscription_id;
+  });
+  JAMM_RETURN_IF_ERROR(SendControl({"gw.unsubscribe", subscription_id}));
   auto reply = WaitFor("gw.ok", kSecond);
   return reply.ok() ? Status::Ok() : reply.status();
 }
 
 Result<ulm::Record> GatewayClient::Query(const std::string& event_glob,
                                          Duration timeout) {
-  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.query", event_glob}));
+  JAMM_RETURN_IF_ERROR(SendControl({"gw.query", event_glob}));
   auto msg = WaitFor("gw.query.reply", timeout);
   if (!msg.ok()) return msg.status();
   return ulm::Record::FromAscii(msg->payload);
@@ -237,7 +388,7 @@ Result<ulm::Record> GatewayClient::Query(const std::string& event_glob,
 
 Result<std::string> GatewayClient::QueryXml(const std::string& event_glob,
                                             Duration timeout) {
-  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.query.xml", event_glob}));
+  JAMM_RETURN_IF_ERROR(SendControl({"gw.query.xml", event_glob}));
   auto msg = WaitFor("gw.xml", timeout);
   if (!msg.ok()) return msg.status();
   return msg->payload;
@@ -245,33 +396,73 @@ Result<std::string> GatewayClient::QueryXml(const std::string& event_glob,
 
 Result<SummaryData> GatewayClient::Summary(const std::string& event_name,
                                            Duration timeout) {
-  JAMM_RETURN_IF_ERROR(channel_->Send({"gw.summary", event_name}));
+  JAMM_RETURN_IF_ERROR(SendControl({"gw.summary", event_name}));
   auto msg = WaitFor("gw.summary", timeout);
   if (!msg.ok()) return msg.status();
   return DecodeSummary(msg->payload);
 }
 
 Result<ulm::Record> GatewayClient::NextEvent(Duration timeout) {
-  if (!pending_events_.empty()) {
-    ulm::Record rec = std::move(pending_events_.front());
-    pending_events_.erase(pending_events_.begin());
-    return rec;
-  }
-  auto msg = channel_->Receive(timeout);
-  if (!msg.ok()) return msg.status();
-  if (msg->type != transport::kEventMessageType) {
+  const SteadyPoint deadline = DeadlineIn(timeout);
+  int reconnects = 0;
+  while (true) {
+    if (auto rec = pending_events_.Pop()) return std::move(*rec);
+    if (!channel_) {
+      if (!dialer_ || reconnects >= kMaxReconnectsPerCall) {
+        return Status::Unavailable("gateway client not connected");
+      }
+      ++reconnects;
+      JAMM_RETURN_IF_ERROR(Reconnect());
+    }
+    const Duration remaining = RemainingUntil(deadline);
+    if (remaining <= 0) {
+      return Status::Timeout("no event within timeout");
+    }
+    auto msg = channel_->Receive(remaining);
+    if (!msg.ok()) {
+      if (msg.status().code() == StatusCode::kUnavailable && dialer_ &&
+          reconnects < kMaxReconnectsPerCall) {
+        // Connection died mid-stream: re-dial, resubscribe, and keep
+        // waiting within the same deadline.
+        ++reconnects;
+        JAMM_RETURN_IF_ERROR(Reconnect());
+        continue;
+      }
+      return msg.status();
+    }
+    if (msg->type == transport::kEventMessageType) {
+      return ulm::Record::FromAscii(msg->payload);
+    }
+    if (AdoptControl(*msg)) continue;
+    if (msg->type == "gw.error") {
+      return Status::Internal("gateway error: " + msg->payload);
+    }
+    if (IsControlReply(msg->type)) {
+      // A stale control reply (e.g. a late gw.ok after a timed-out call)
+      // must not poison the event stream: skip it.
+      ClientInstruments().stale_replies.Increment();
+      continue;
+    }
     return Status::Internal("expected event, got " + msg->type);
   }
-  return ulm::Record::FromAscii(msg->payload);
 }
 
 std::vector<ulm::Record> GatewayClient::DrainEvents() {
-  std::vector<ulm::Record> out;
-  out.swap(pending_events_);
+  if ((!channel_ || !channel_->IsOpen()) && dialer_) {
+    (void)Reconnect();  // restore the stream; events resume next pump
+  }
+  std::vector<ulm::Record> out = pending_events_.DrainAll();
+  if (!channel_) return out;
   while (auto msg = channel_->TryReceive()) {
-    if (msg->type != transport::kEventMessageType) continue;
-    auto rec = ulm::Record::FromAscii(msg->payload);
-    if (rec.ok()) out.push_back(std::move(*rec));
+    if (msg->type == transport::kEventMessageType) {
+      auto rec = ulm::Record::FromAscii(msg->payload);
+      if (rec.ok()) out.push_back(std::move(*rec));
+      continue;
+    }
+    if (AdoptControl(*msg)) continue;
+    if (IsControlReply(msg->type)) {
+      ClientInstruments().stale_replies.Increment();
+    }
   }
   return out;
 }

@@ -20,10 +20,14 @@
 //   "gw.ok" / "gw.error" / "gw.xml" / "gw.summary"
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "gateway/gateway.hpp"
+#include "resilience/buffer.hpp"
 #include "transport/message.hpp"
 
 namespace jamm::gateway {
@@ -57,17 +61,42 @@ class GatewayService {
 };
 
 /// Consumer-side convenience wrapper around the protocol.
+///
+/// Resilience (ISSUE 2): constructed with a Dialer instead of a channel,
+/// the client records its principal and subscription specs and, when the
+/// connection dies, transparently re-dials, re-authenticates, and replays
+/// every subscription — NextEvent() keeps a consumer streaming across a
+/// gateway crash without manual intervention. Replayed control requests
+/// are pipelined (never block on their replies); the replies are adopted
+/// as they interleave with the event stream.
+///
+/// Single-threaded by design, like every poll-driven component.
 class GatewayClient {
  public:
+  using Dialer =
+      std::function<Result<std::unique_ptr<transport::Channel>>()>;
+
   explicit GatewayClient(std::unique_ptr<transport::Channel> channel)
-      : channel_(std::move(channel)) {}
+      : channel_(std::move(channel)), pending_events_(kDefaultPendingCap) {}
+
+  /// Reconnecting client: the channel is (re-)established via `dialer`.
+  explicit GatewayClient(Dialer dialer)
+      : dialer_(std::move(dialer)), pending_events_(kDefaultPendingCap) {}
 
   Status Authenticate(const std::string& principal);
 
-  /// Subscribe; the stream then arrives via Receive()/TryReceive().
-  /// `xml` requests the XML event format.
+  /// Subscribe; the stream then arrives via NextEvent()/DrainEvents().
+  /// `xml` requests the XML event format. Blocks on the gateway's reply,
+  /// so the serving side must be pumped concurrently; poll-driven callers
+  /// use SubscribeAsync instead.
   Result<std::string> Subscribe(const std::string& consumer,
                                 const FilterSpec& spec, bool xml = false);
+
+  /// Non-blocking subscribe: sends the request and records the spec; the
+  /// subscription id is adopted from the gateway's reply when it later
+  /// interleaves with the stream (subscription_id() until then: "").
+  Status SubscribeAsync(const std::string& consumer, const FilterSpec& spec,
+                        bool xml = false);
 
   /// Ask the host's sensor manager (via the gateway) to start or stop a
   /// sensor by name.
@@ -82,20 +111,74 @@ class GatewayClient {
   Result<SummaryData> Summary(const std::string& event_name,
                               Duration timeout = kSecond);
 
-  /// Next streamed event (blocking with timeout). Control replies are
-  /// consumed internally; only events come back.
+  /// Next streamed event, blocking up to `timeout` total (an absolute
+  /// deadline: interleaved control traffic does not reset the clock).
+  /// Stale control replies are skipped; only gw.error surfaces. On a dead
+  /// connection a dialer-backed client reconnects and resubscribes, then
+  /// keeps waiting within the same deadline.
   Result<ulm::Record> NextEvent(Duration timeout);
-  /// Drain any already-arrived events without blocking.
+  /// Drain any already-arrived events without blocking. A dialer-backed
+  /// client whose connection died re-establishes it first.
   std::vector<ulm::Record> DrainEvents();
+
+  /// Re-dial and replay authentication + recorded subscriptions
+  /// (pipelined; replies are adopted as they arrive). Needs a Dialer.
+  Status Reconnect();
+
+  bool connected() const { return channel_ && channel_->IsOpen(); }
+
+  /// Streamed events that arrive while a control reply is awaited are
+  /// buffered, bounded, dropping oldest (a busy subscription must not run
+  /// the client out of memory); drops are counted here and in telemetry.
+  void set_pending_capacity(std::size_t capacity) {
+    pending_events_.set_capacity(capacity);
+  }
+  std::uint64_t pending_dropped() const { return pending_events_.dropped(); }
+
+  std::size_t recorded_subscription_count() const { return subs_.size(); }
+  /// Id of the i-th recorded subscription ("" until its reply arrives).
+  const std::string& subscription_id(std::size_t i) const {
+    return subs_[i].id;
+  }
 
   transport::Channel& channel() { return *channel_; }
 
  private:
+  static constexpr std::size_t kDefaultPendingCap = 1024;
+  static constexpr int kMaxReconnectsPerCall = 3;
+
+  struct RecordedSub {
+    std::uint64_t key;  // stable id for reply adoption
+    std::string consumer;
+    FilterSpec spec;
+    bool xml;
+    std::string id;  // gateway-assigned; empty until adopted
+  };
+  /// A pipelined control request whose reply is still outstanding.
+  struct Awaited {
+    enum class Kind { kAuth, kSubscribe };
+    Kind kind;
+    std::uint64_t sub_key = 0;
+  };
+
   Result<transport::Message> WaitFor(const std::string& type,
                                      Duration timeout);
+  /// Adopt `msg` if it answers the oldest pipelined control request.
+  bool AdoptControl(const transport::Message& msg);
+  void BufferEvent(const transport::Message& msg);
+  /// Ensure a live channel (dialing if needed) and send; one reconnect
+  /// attempt on a dead connection.
+  Status SendControl(const transport::Message& msg);
+  RecordedSub* FindSub(std::uint64_t key);
 
+  Dialer dialer_;
   std::unique_ptr<transport::Channel> channel_;
-  std::vector<ulm::Record> pending_events_;
+  std::string principal_;
+  bool authenticated_ = false;
+  std::vector<RecordedSub> subs_;
+  std::deque<Awaited> awaited_;
+  std::uint64_t next_sub_key_ = 1;
+  resilience::ReplayBuffer<ulm::Record> pending_events_;
 };
 
 }  // namespace jamm::gateway

@@ -103,6 +103,10 @@ void Network::SendPacket(const Packet& packet) {
 }
 
 void Network::ForwardFrom(NodeId node, const Packet& packet) {
+  if (fault_hook_ && fault_hook_(node, packet)) {
+    Drop(DropInfo::Cause::kInjected, node, packet);
+    return;
+  }
   if (node == packet.dst) {
     Deliver(node, packet);
     return;
@@ -225,6 +229,7 @@ void Network::Drop(DropInfo::Cause cause, NodeId at, const Packet& packet) {
     case DropInfo::Cause::kQueueFull: ++stats_.drops_queue; break;
     case DropInfo::Cause::kRandomLoss: ++stats_.drops_loss; break;
     case DropInfo::Cause::kReceiverOverload: ++stats_.drops_receiver; break;
+    case DropInfo::Cause::kInjected: ++stats_.drops_injected; break;
   }
   if (drop_tap_) drop_tap_({cause, at, packet});
 }

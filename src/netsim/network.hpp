@@ -129,7 +129,7 @@ class Network {
   // --------------------------------------------------------- observation
 
   struct DropInfo {
-    enum class Cause { kQueueFull, kRandomLoss, kReceiverOverload };
+    enum class Cause { kQueueFull, kRandomLoss, kReceiverOverload, kInjected };
     Cause cause;
     NodeId at;
     Packet packet;
@@ -137,12 +137,20 @@ class Network {
   using DropTap = std::function<void(const DropInfo&)>;
   void SetDropTap(DropTap tap) { drop_tap_ = std::move(tap); }
 
+  /// Deterministic fault injection (ISSUE 2): called for every packet as
+  /// it is forwarded from a node; returning true drops it there (counted
+  /// as Cause::kInjected). Lets resilience tests cut a specific path at a
+  /// specific simulated time without touching link configs.
+  using FaultHook = std::function<bool(NodeId at, const Packet& packet)>;
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   struct Stats {
     std::uint64_t packets_sent = 0;
     std::uint64_t packets_delivered = 0;
     std::uint64_t drops_queue = 0;
     std::uint64_t drops_loss = 0;
     std::uint64_t drops_receiver = 0;
+    std::uint64_t drops_injected = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -193,6 +201,7 @@ class Network {
   bool routes_dirty_ = false;
   std::map<std::pair<NodeId, std::uint64_t>, DeliverHandler> handlers_;
   DropTap drop_tap_;
+  FaultHook fault_hook_;
   Stats stats_;
 };
 

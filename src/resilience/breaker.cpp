@@ -1,0 +1,80 @@
+#include "resilience/breaker.hpp"
+
+#include "telemetry/metrics.hpp"
+
+namespace jamm::resilience {
+
+namespace {
+
+struct BreakerTelemetry {
+  telemetry::Counter& opens;
+  telemetry::Counter& rejections;
+  telemetry::Counter& closes;
+};
+
+BreakerTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static BreakerTelemetry t{m.counter("resilience.breaker.opens"),
+                            m.counter("resilience.breaker.rejections"),
+                            m.counter("resilience.breaker.closes")};
+  return t;
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(BreakerPolicy policy, const Clock& clock)
+    : policy_(policy), clock_(clock) {}
+
+bool CircuitBreaker::Allow() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (clock_.Now() - opened_at_ < policy_.open_for) {
+        ++rejections_;
+        Instruments().rejections.Increment();
+        return false;
+      }
+      state_ = BreakerState::kHalfOpen;
+      probes_in_flight_ = 0;
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ >= policy_.half_open_probes) {
+        ++rejections_;
+        Instruments().rejections.Increment();
+        return false;
+      }
+      ++probes_in_flight_;
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (state_ == BreakerState::kHalfOpen) Instruments().closes.Increment();
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  probes_in_flight_ = 0;
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (state_ == BreakerState::kHalfOpen) {
+    Open();  // failed probe: back to cooldown
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= policy_.failure_threshold) {
+    Open();
+  }
+}
+
+void CircuitBreaker::Open() {
+  state_ = BreakerState::kOpen;
+  opened_at_ = clock_.Now();
+  consecutive_failures_ = 0;
+  probes_in_flight_ = 0;
+  ++opens_;
+  Instruments().opens.Increment();
+}
+
+}  // namespace jamm::resilience

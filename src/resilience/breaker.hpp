@@ -1,0 +1,58 @@
+// Circuit breaker: stop hammering a peer that keeps failing (ISSUE 2).
+// Closed → (threshold consecutive failures) → Open → (cooldown elapses) →
+// Half-open, which admits a limited number of probes; a probe success
+// closes the breaker, a probe failure reopens it and restarts the
+// cooldown. Time comes from an injected Clock so tests drive transitions
+// deterministically with a SimClock.
+//
+// Single-threaded by design, like the poll-driven clients that embed it
+// (DESIGN.md §8: components are single-threaded state machines).
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+
+namespace jamm::resilience {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+struct BreakerPolicy {
+  /// Consecutive failures that trip the breaker.
+  int failure_threshold = 5;
+  /// How long an open breaker rejects before probing again.
+  Duration open_for = 5 * kSecond;
+  /// Probes admitted while half-open before further calls are rejected.
+  int half_open_probes = 1;
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker(BreakerPolicy policy, const Clock& clock);
+
+  /// True if a call may proceed now. An open breaker whose cooldown has
+  /// elapsed transitions to half-open and admits up to half_open_probes.
+  bool Allow();
+
+  /// Report the outcome of an admitted call.
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const { return state_; }
+  std::uint64_t opens() const { return opens_; }
+  std::uint64_t rejections() const { return rejections_; }
+
+ private:
+  void Open();
+
+  BreakerPolicy policy_;
+  const Clock& clock_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int probes_in_flight_ = 0;
+  TimePoint opened_at_ = 0;
+  std::uint64_t opens_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+}  // namespace jamm::resilience

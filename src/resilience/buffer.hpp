@@ -1,0 +1,71 @@
+// Bounded drop-oldest buffer for consumers that must survive outages
+// without unbounded memory growth (ISSUE 2): a gateway client buffering
+// streamed events while a control reply is awaited, an archiver holding
+// drained events across a reconnect. When full, the oldest element is
+// evicted (the stream's newest data is the valuable part for monitoring)
+// and the eviction is counted so telemetry can surface the loss.
+//
+// Single-threaded, like the poll-driven clients that embed it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace jamm::resilience {
+
+template <typename T>
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Append; evicts the oldest element when full. Returns false when an
+  /// eviction happened (the caller may want to count it too).
+  bool Push(T item) {
+    bool evicted = false;
+    if (items_.size() >= capacity_) {
+      items_.pop_front();
+      ++dropped_;
+      evicted = true;
+    }
+    items_.push_back(std::move(item));
+    return !evicted;
+  }
+
+  std::optional<T> Pop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Remove and return everything, oldest first.
+  std::vector<T> DrainAll() {
+    std::vector<T> out(std::make_move_iterator(items_.begin()),
+                       std::make_move_iterator(items_.end()));
+    items_.clear();
+    return out;
+  }
+
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (items_.size() > capacity_) {
+      items_.pop_front();
+      ++dropped_;
+    }
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Total evictions over this buffer's lifetime.
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace jamm::resilience

@@ -1,0 +1,188 @@
+#include "resilience/fault.hpp"
+
+#include <algorithm>
+
+#include "telemetry/metrics.hpp"
+
+namespace jamm::resilience {
+
+namespace {
+
+struct FaultTelemetry {
+  telemetry::Counter& drops;
+  telemetry::Counter& duplicates;
+  telemetry::Counter& disconnects;
+  telemetry::Counter& delays;
+};
+
+FaultTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static FaultTelemetry t{m.counter("resilience.fault.drops"),
+                          m.counter("resilience.fault.duplicates"),
+                          m.counter("resilience.fault.disconnects"),
+                          m.counter("resilience.fault.delays")};
+  return t;
+}
+
+bool Listed(const std::vector<std::uint64_t>& at, std::uint64_t index) {
+  return std::find(at.begin(), at.end(), index) != at.end();
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultSpec spec)
+    : spec_(std::move(spec)),
+      send_rng_(spec_.seed),
+      // Independent stream so adding a delay never shifts drop decisions.
+      delay_rng_(spec_.seed ^ 0x9E3779B97F4A7C15ull) {}
+
+FaultOp FaultPlan::OnSend() {
+  std::lock_guard lock(mu_);
+  const std::uint64_t index = ++send_index_;  // 1-based
+  if (spec_.disconnect_at != 0 && index >= spec_.disconnect_at) {
+    return FaultOp::kDisconnect;
+  }
+  if (Listed(spec_.drop_at, index)) return FaultOp::kDrop;
+  if (Listed(spec_.duplicate_at, index)) return FaultOp::kDuplicate;
+  if (spec_.drop_rate > 0 && send_rng_.Chance(spec_.drop_rate)) {
+    return FaultOp::kDrop;
+  }
+  if (spec_.duplicate_rate > 0 && send_rng_.Chance(spec_.duplicate_rate)) {
+    return FaultOp::kDuplicate;
+  }
+  return FaultOp::kPass;
+}
+
+Duration FaultPlan::OnReceiveDelay() {
+  std::lock_guard lock(mu_);
+  if (spec_.max_delay <= 0 && spec_.min_delay <= 0) return 0;
+  const Duration lo = std::min(spec_.min_delay, spec_.max_delay);
+  const Duration hi = std::max(spec_.min_delay, spec_.max_delay);
+  return delay_rng_.Uniform(lo, hi);
+}
+
+std::uint64_t FaultPlan::sends_seen() const {
+  std::lock_guard lock(mu_);
+  return send_index_;
+}
+
+// -------------------------------------------------------- FaultyChannel
+
+FaultyChannel::FaultyChannel(std::unique_ptr<transport::Channel> inner,
+                             std::shared_ptr<FaultPlan> plan,
+                             const Clock* clock)
+    : inner_(std::move(inner)), plan_(std::move(plan)), clock_(clock) {}
+
+Status FaultyChannel::Send(const transport::Message& msg) {
+  switch (plan_->OnSend()) {
+    case FaultOp::kPass:
+      return inner_->Send(msg);
+    case FaultOp::kDrop:
+      Instruments().drops.Increment();
+      return Status::Ok();  // lost on the wire; the sender cannot tell
+    case FaultOp::kDuplicate: {
+      Instruments().duplicates.Increment();
+      Status first = inner_->Send(msg);
+      if (!first.ok()) return first;
+      return inner_->Send(msg);
+    }
+    case FaultOp::kDisconnect:
+      Instruments().disconnects.Increment();
+      inner_->Close();
+      return Status::Unavailable("fault injection: connection severed");
+  }
+  return Status::Internal("unreachable");
+}
+
+void FaultyChannel::PullArrived() {
+  while (auto msg = inner_->TryReceive()) {
+    Duration delay = plan_->OnReceiveDelay();
+    if (delay > 0) Instruments().delays.Increment();
+    const TimePoint visible = (clock_ ? clock_->Now() : 0) + delay;
+    held_.emplace_back(visible, std::move(*msg));
+  }
+}
+
+Result<transport::Message> FaultyChannel::Receive(Duration timeout) {
+  if (!clock_ || !plan_->delays_configured()) return inner_->Receive(timeout);
+  std::lock_guard lock(mu_);
+  PullArrived();
+  if (!held_.empty()) {
+    if (held_.front().first <= clock_->Now()) {
+      transport::Message msg = std::move(held_.front().second);
+      held_.pop_front();
+      return msg;
+    }
+    // Something is in flight but not yet visible on the injected clock;
+    // the caller advances the clock and polls again.
+    return Status::Timeout("fault injection: message delayed");
+  }
+  auto msg = inner_->Receive(timeout);
+  if (!msg.ok()) return msg.status();
+  Duration delay = plan_->OnReceiveDelay();
+  if (delay <= 0) return std::move(*msg);
+  Instruments().delays.Increment();
+  held_.emplace_back(clock_->Now() + delay, std::move(*msg));
+  return Status::Timeout("fault injection: message delayed");
+}
+
+std::optional<transport::Message> FaultyChannel::TryReceive() {
+  if (!clock_ || !plan_->delays_configured()) return inner_->TryReceive();
+  std::lock_guard lock(mu_);
+  PullArrived();
+  if (held_.empty() || held_.front().first > clock_->Now()) {
+    return std::nullopt;
+  }
+  transport::Message msg = std::move(held_.front().second);
+  held_.pop_front();
+  return msg;
+}
+
+void FaultyChannel::Close() { inner_->Close(); }
+
+bool FaultyChannel::IsOpen() const { return inner_->IsOpen(); }
+
+std::string FaultyChannel::peer() const { return inner_->peer(); }
+
+std::unique_ptr<transport::Channel> WrapWithFaults(
+    std::unique_ptr<transport::Channel> inner, const FaultSpec& spec,
+    const Clock* clock) {
+  return std::make_unique<FaultyChannel>(
+      std::move(inner), std::make_shared<FaultPlan>(spec), clock);
+}
+
+// -------------------------------------------------------- CrashSchedule
+
+CrashSchedule::CrashSchedule(std::uint64_t seed, Duration mean_uptime,
+                             Duration mean_downtime, TimePoint start)
+    : rng_(seed),
+      mean_up_(std::max<Duration>(mean_uptime, 1)),
+      mean_down_(std::max<Duration>(mean_downtime, 1)),
+      start_(start) {}
+
+void CrashSchedule::ExtendTo(TimePoint t) {
+  while (toggles_.empty() || toggles_.back() <= t) {
+    const bool next_is_death = toggles_.size() % 2 == 0;
+    const double mean = static_cast<double>(
+        next_is_death ? mean_up_ : mean_down_);
+    const Duration seg = std::max<Duration>(
+        static_cast<Duration>(rng_.Exponential(mean)), 1);
+    const TimePoint prev = toggles_.empty() ? start_ : toggles_.back();
+    toggles_.push_back(prev + seg);
+  }
+}
+
+bool CrashSchedule::AliveAt(TimePoint t) {
+  if (t < start_) return true;
+  ExtendTo(t);
+  const auto it = std::upper_bound(toggles_.begin(), toggles_.end(), t);
+  const std::size_t toggles_before = it - toggles_.begin();
+  return toggles_before % 2 == 0;  // even number of flips: still alive
+}
+
+TimePoint CrashSchedule::NextTransitionAfter(TimePoint t) {
+  ExtendTo(t);
+  return *std::upper_bound(toggles_.begin(), toggles_.end(), t);
+}
+
+}  // namespace jamm::resilience

@@ -1,0 +1,143 @@
+// Deterministic fault injection (ISSUE 2). The paper's claim that JAMM
+// survives component death (§2.2) is only testable if tests can make
+// components die on schedule: messages dropped, delayed, duplicated,
+// connections severed, servers crashed and revived — all reproducibly
+// from a seed, never from real-world flakiness.
+//
+// Three injection points:
+//   * FaultyChannel — a transport::Channel decorator driven by a
+//     FaultPlan; wraps any channel (in-proc or TCP) so gateway/RPC wire
+//     traffic can be perturbed without either endpoint knowing;
+//   * CrashSchedule — seeded alternating up/down segments for components
+//     with a liveness switch (DirectoryServer::SetAlive, service
+//     teardown/revival in tests);
+//   * netsim::Network::SetFaultHook — packet-level drops in the simulator,
+//     driven from a FaultPlan (see netsim/network.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "transport/message.hpp"
+
+namespace jamm::resilience {
+
+/// What a FaultPlan decided for one message.
+enum class FaultOp { kPass, kDrop, kDuplicate, kDisconnect };
+
+/// Declarative fault schedule. Explicit 1-based message indices compose
+/// with seeded random rates; explicit entries win when both apply.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  // Random layer (per sent message).
+  double drop_rate = 0;
+  double duplicate_rate = 0;
+  // Receive-side delay, uniform in [min_delay, max_delay] per message;
+  // requires a Clock on the FaultyChannel to take effect.
+  Duration min_delay = 0;
+  Duration max_delay = 0;
+  // Explicit layer (1-based indices into the send sequence).
+  std::vector<std::uint64_t> drop_at;
+  std::vector<std::uint64_t> duplicate_at;
+  /// Sever the connection when this send index is reached; 0 = never.
+  std::uint64_t disconnect_at = 0;
+};
+
+/// A seeded decision stream. Thread-safe so a channel shared across a
+/// producer and a poll loop still consumes one deterministic sequence.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultSpec spec);
+
+  /// Decision for the next sent message (advances the send index).
+  FaultOp OnSend();
+
+  /// Extra visibility delay for the next received message.
+  Duration OnReceiveDelay();
+
+  bool delays_configured() const {
+    return spec_.max_delay > 0 || spec_.min_delay > 0;
+  }
+
+  std::uint64_t sends_seen() const;
+
+ private:
+  FaultSpec spec_;
+  mutable std::mutex mu_;
+  Rng send_rng_;
+  Rng delay_rng_;
+  std::uint64_t send_index_ = 0;  // messages decided so far
+};
+
+/// transport::Channel decorator applying a FaultPlan.
+///
+/// Send-side faults: kDrop swallows the message but reports success (the
+/// sender cannot tell — exactly like a lost datagram); kDuplicate forwards
+/// it twice; kDisconnect closes the underlying channel and returns
+/// Unavailable.
+///
+/// Receive-side delay needs a Clock: each inbound message becomes visible
+/// at arrival + delay. With a SimClock nothing can block until "time
+/// passes", so a delayed channel is poll-driven — Receive returns Timeout
+/// while only not-yet-visible messages are held, and the test advances the
+/// clock between polls.
+class FaultyChannel final : public transport::Channel {
+ public:
+  FaultyChannel(std::unique_ptr<transport::Channel> inner,
+                std::shared_ptr<FaultPlan> plan,
+                const Clock* clock = nullptr);
+
+  Status Send(const transport::Message& msg) override;
+  Result<transport::Message> Receive(Duration timeout) override;
+  std::optional<transport::Message> TryReceive() override;
+  void Close() override;
+  bool IsOpen() const override;
+  std::string peer() const override;
+
+ private:
+  /// Move everything already arrived on the inner channel into held_,
+  /// stamping each message's visibility time.
+  void PullArrived();
+
+  std::unique_ptr<transport::Channel> inner_;
+  std::shared_ptr<FaultPlan> plan_;
+  const Clock* clock_;
+  std::mutex mu_;
+  std::deque<std::pair<TimePoint, transport::Message>> held_;
+};
+
+/// Convenience: wrap a channel in a FaultyChannel with its own plan.
+std::unique_ptr<transport::Channel> WrapWithFaults(
+    std::unique_ptr<transport::Channel> inner, const FaultSpec& spec,
+    const Clock* clock = nullptr);
+
+/// Seeded alternating up/down schedule for server-crash experiments.
+/// Segment lengths are exponentially distributed around the given means;
+/// the component starts alive at `start`. Deterministic for a seed, lazily
+/// extended, so tests ask "is the directory alive at t?" and drive
+/// SetAlive from the answer.
+class CrashSchedule {
+ public:
+  CrashSchedule(std::uint64_t seed, Duration mean_uptime,
+                Duration mean_downtime, TimePoint start = 0);
+
+  bool AliveAt(TimePoint t);
+  /// First state change strictly after `t`.
+  TimePoint NextTransitionAfter(TimePoint t);
+
+ private:
+  void ExtendTo(TimePoint t);
+
+  Rng rng_;
+  Duration mean_up_;
+  Duration mean_down_;
+  TimePoint start_;
+  std::vector<TimePoint> toggles_;  // sorted; toggles_[0] = first death
+};
+
+}  // namespace jamm::resilience

@@ -1,0 +1,97 @@
+#include "resilience/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+
+namespace jamm::resilience {
+
+namespace {
+
+struct RetryTelemetry {
+  telemetry::Counter& attempts;
+  telemetry::Counter& retries;
+  telemetry::Counter& successes;
+  telemetry::Counter& exhausted;
+  telemetry::Counter& deadline_exhausted;
+};
+
+RetryTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static RetryTelemetry t{m.counter("resilience.retry.attempts"),
+                          m.counter("resilience.retry.retries"),
+                          m.counter("resilience.retry.successes"),
+                          m.counter("resilience.retry.exhausted"),
+                          m.counter("resilience.retry.deadline_exhausted")};
+  return t;
+}
+
+}  // namespace
+
+bool IsRetryable(const Status& status, const RetryPolicy& policy) {
+  if (status.code() == StatusCode::kUnavailable) return true;
+  if (status.code() == StatusCode::kTimeout) return policy.retry_timeouts;
+  return false;
+}
+
+Retryer::Retryer(RetryPolicy policy, const Clock& clock, std::uint64_t seed)
+    : policy_(policy), clock_(clock), rng_(seed) {
+  sleep_ = [](Duration d) {
+    std::this_thread::sleep_for(std::chrono::microseconds(d));
+  };
+}
+
+Duration Retryer::BackoffFor(int retry) const {
+  double backoff = static_cast<double>(policy_.initial_backoff);
+  for (int i = 1; i < retry; ++i) {
+    backoff *= policy_.multiplier;
+    if (backoff >= static_cast<double>(policy_.max_backoff)) break;
+  }
+  return std::min(policy_.max_backoff, static_cast<Duration>(backoff));
+}
+
+Status Retryer::Run(const std::function<Status()>& fn) {
+  auto& t = Instruments();
+  const TimePoint start = clock_.Now();
+  last_attempts_ = 0;
+  for (int attempt = 1;; ++attempt) {
+    ++last_attempts_;
+    t.attempts.Increment();
+    Status status = fn();
+    if (status.ok()) {
+      t.successes.Increment();
+      return status;
+    }
+    if (!IsRetryable(status, policy_)) return status;
+    if (attempt >= policy_.max_attempts) {
+      t.exhausted.Increment();
+      return status;
+    }
+    Duration pause = BackoffFor(attempt);
+    if (policy_.jitter > 0) {
+      pause = static_cast<Duration>(
+          static_cast<double>(pause) *
+          rng_.UniformReal(1.0 - policy_.jitter, 1.0 + policy_.jitter));
+    }
+    if (policy_.deadline > 0) {
+      const Duration remaining = start + policy_.deadline - clock_.Now();
+      if (remaining <= 0) {
+        t.deadline_exhausted.Increment();
+        return status;
+      }
+      // Never sleep past the deadline: the budget bounds the whole Run,
+      // not just the moment each retry is decided.
+      pause = std::min(pause, remaining);
+    }
+    if (pause > 0) sleep_(pause);
+    if (policy_.deadline > 0 && clock_.Now() - start >= policy_.deadline) {
+      t.deadline_exhausted.Increment();
+      return status;
+    }
+    t.retries.Increment();
+  }
+}
+
+}  // namespace jamm::resilience

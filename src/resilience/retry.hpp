@@ -1,0 +1,73 @@
+// Retry with exponential backoff, jitter, and an overall deadline budget
+// (ISSUE 2). The paper's availability story (§2.2: replicated directory
+// servers, consumers that outlive component death) needs every client path
+// to treat Unavailable as "try again, bounded", not "give up". Retryer is
+// that bound: attempts × backoff × deadline, whichever runs out first.
+//
+// Determinism: backoff jitter comes from a seeded Rng and time from an
+// injected Clock, so tests pair a SimClock with a sleep hook that advances
+// it and observe exact attempt counts — no real sleeping, no flakiness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace jamm::resilience {
+
+/// Tunables for Retryer. Defaults suit control-plane calls (directory
+/// writes, gateway control): a few quick attempts inside a 5 s budget.
+struct RetryPolicy {
+  int max_attempts = 5;  // total tries, including the first
+  Duration initial_backoff = 10 * kMillisecond;
+  double multiplier = 2.0;
+  Duration max_backoff = kSecond;
+  /// Jitter fraction: each pause is scaled by a uniform factor in
+  /// [1 - jitter, 1 + jitter] to de-synchronize retrying clients.
+  double jitter = 0.2;
+  /// Overall budget measured on the injected clock from the first attempt;
+  /// <= 0 disables it. Backoff pauses are truncated so the final attempt
+  /// never starts after the deadline.
+  Duration deadline = 5 * kSecond;
+  /// Whether kTimeout counts as retryable. Off by default: a timed-out
+  /// request may have been executed by the server (at-least-once hazard).
+  bool retry_timeouts = false;
+};
+
+/// True for status codes the policy considers transient.
+bool IsRetryable(const Status& status, const RetryPolicy& policy);
+
+class Retryer {
+ public:
+  Retryer(RetryPolicy policy, const Clock& clock, std::uint64_t seed = 1);
+
+  /// Replace how backoff pauses are spent (default: real sleep). Tests
+  /// inject a SimClock-advancing fake so nothing actually blocks.
+  using SleepFn = std::function<void(Duration)>;
+  void set_sleep(SleepFn sleep) { sleep_ = std::move(sleep); }
+
+  /// Run `fn` until it succeeds, fails non-retryably, or the attempt /
+  /// deadline budget is spent. Returns the last status.
+  Status Run(const std::function<Status()>& fn);
+
+  /// Pre-jitter pause before retry number `retry` (1-based), capped at
+  /// max_backoff. Exposed so tests can pin the growth curve.
+  Duration BackoffFor(int retry) const;
+
+  /// Attempts made by the most recent Run().
+  int last_attempts() const { return last_attempts_; }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  const Clock& clock_;
+  Rng rng_;
+  SleepFn sleep_;
+  int last_attempts_ = 0;
+};
+
+}  // namespace jamm::resilience

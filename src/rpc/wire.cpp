@@ -1,5 +1,7 @@
 #include "rpc/wire.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace jamm::rpc {
 namespace {
 
@@ -104,6 +106,39 @@ Result<std::string> RpcClient::Call(const std::string& object,
                                     const std::string& method,
                                     const std::vector<std::string>& args,
                                     Duration timeout) {
+  if (!dialer_) return CallOnce(object, method, args, timeout);
+
+  auto& m = telemetry::Metrics();
+  static telemetry::Counter& redials = m.counter("rpc.client.redials");
+
+  resilience::Retryer retryer(
+      policy_, clock_ ? *clock_ : SystemClock::Instance(), seed_);
+  if (retry_sleep_) retryer.set_sleep(retry_sleep_);
+  Result<std::string> out = Status::Internal("rpc call never attempted");
+  Status status = retryer.Run([&] {
+    if (!channel_) {
+      auto fresh = dialer_();
+      if (!fresh.ok()) return fresh.status();
+      channel_ = std::move(*fresh);
+      redials.Increment();
+    }
+    auto reply = CallOnce(object, method, args, timeout);
+    if (reply.ok()) {
+      out = std::move(reply);
+      return Status::Ok();
+    }
+    // A dead connection is useless for the next attempt; re-dial it.
+    if (reply.status().code() == StatusCode::kUnavailable) channel_.reset();
+    return reply.status();
+  });
+  if (!status.ok()) return status;
+  return out;
+}
+
+Result<std::string> RpcClient::CallOnce(const std::string& object,
+                                        const std::string& method,
+                                        const std::vector<std::string>& args,
+                                        Duration timeout) {
   std::vector<std::string> parts;
   parts.reserve(args.size() + 2);
   parts.push_back(object);

@@ -8,10 +8,12 @@
 //   "rpc.error"  payload = status text
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "resilience/retry.hpp"
 #include "rpc/registry.hpp"
 #include "transport/message.hpp"
 
@@ -41,17 +43,49 @@ class RpcServer {
 
 class RpcClient {
  public:
+  using Dialer =
+      std::function<Result<std::unique_ptr<transport::Channel>>()>;
+
   explicit RpcClient(std::unique_ptr<transport::Channel> channel)
       : channel_(std::move(channel)) {}
 
-  /// Synchronous call; waits up to `timeout` for the reply.
+  /// Reconnecting client (ISSUE 2): the channel is (re-)established via
+  /// `dialer` and transient transport failures are retried under `policy`
+  /// — Unavailable always (the connection is re-dialed first), Timeout
+  /// only when the policy opts in, since a timed-out call may already
+  /// have executed server-side. `clock` drives the retry deadline budget
+  /// (default: the system clock).
+  explicit RpcClient(Dialer dialer, resilience::RetryPolicy policy = {},
+                     const Clock* clock = nullptr, std::uint64_t seed = 1)
+      : dialer_(std::move(dialer)),
+        policy_(policy),
+        clock_(clock),
+        seed_(seed) {}
+
+  /// Synchronous call; waits up to `timeout` for the reply (per attempt
+  /// when retrying; the policy's deadline bounds the whole call).
   Result<std::string> Call(const std::string& object,
                            const std::string& method,
                            const std::vector<std::string>& args = {},
                            Duration timeout = 5 * kSecond);
 
+  /// Replace how retry pauses are spent (tests: advance a SimClock).
+  void set_retry_sleep(resilience::Retryer::SleepFn sleep) {
+    retry_sleep_ = std::move(sleep);
+  }
+
  private:
+  Result<std::string> CallOnce(const std::string& object,
+                               const std::string& method,
+                               const std::vector<std::string>& args,
+                               Duration timeout);
+
   std::unique_ptr<transport::Channel> channel_;
+  Dialer dialer_;
+  resilience::RetryPolicy policy_;
+  const Clock* clock_ = nullptr;
+  std::uint64_t seed_ = 1;
+  resilience::Retryer::SleepFn retry_sleep_;
 };
 
 }  // namespace jamm::rpc

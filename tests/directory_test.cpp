@@ -471,12 +471,16 @@ TEST_F(ReplicationTest, PoolFailsOverToReplica) {
   ASSERT_TRUE(search.ok());
   EXPECT_EQ(search->entries.size(), 1u);
 
-  // Writes require the primary.
-  EXPECT_EQ(pool.Upsert(schema::MakeHostEntry(suffix_, "x")).code(),
-            StatusCode::kUnavailable);
+  // Writes fail over too: the live replica is promoted to write primary
+  // (ISSUE 2 — previously this returned bare Unavailable).
+  EXPECT_TRUE(pool.Upsert(schema::MakeHostEntry(suffix_, "x")).ok());
+  EXPECT_EQ(pool.write_primary(), "ldap://replica");
+  ASSERT_TRUE(replica_->Lookup(schema::HostDn(suffix_, "x")).ok());
 
   replica_->SetAlive(false);
   EXPECT_EQ(pool.Lookup(schema::HostDn(suffix_, "dpss1")).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(pool.Upsert(schema::MakeHostEntry(suffix_, "y")).code(),
             StatusCode::kUnavailable);
 }
 

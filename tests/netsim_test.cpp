@@ -138,6 +138,46 @@ TEST_F(PairFixture, DropTailQueueOverflows) {
   EXPECT_EQ(drops[0].cause, Network::DropInfo::Cause::kQueueFull);
 }
 
+TEST_F(PairFixture, FaultHookInjectsDeterministicDrops) {
+  // Resilience tests (ISSUE 2) cut specific packets at specific nodes
+  // without touching link configs: the hook sees every forward decision.
+  LinkConfig link;
+  link.bandwidth_bps = 8e6;
+  link.delay = 0;
+  net_.Connect(a_, b_, link);
+  int delivered = 0;
+  net_.SetDeliverHandler(b_, 1, [&](const Packet&) { ++delivered; });
+
+  int sends_seen = 0;
+  net_.SetFaultHook([&](NodeId at, const Packet&) {
+    // Drop the first two packets as they leave the source.
+    return at == a_ && ++sends_seen <= 2;
+  });
+  for (int i = 0; i < 5; ++i) {
+    Packet pkt;
+    pkt.flow = 1;
+    pkt.size = 1000;
+    pkt.src = a_;
+    pkt.dst = b_;
+    net_.SendPacket(pkt);
+    sim_.RunAll();
+  }
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(net_.stats().drops_injected, 2u);
+  EXPECT_EQ(net_.stats().drops_queue, 0u);
+
+  // Clearing the hook restores normal forwarding.
+  net_.SetFaultHook(nullptr);
+  Packet pkt;
+  pkt.flow = 1;
+  pkt.size = 1000;
+  pkt.src = a_;
+  pkt.dst = b_;
+  net_.SendPacket(pkt);
+  sim_.RunAll();
+  EXPECT_EQ(delivered, 4);
+}
+
 TEST_F(PairFixture, RandomLossDropsFraction) {
   LinkConfig link;
   link.bandwidth_bps = 1e9;
