@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regression gate for the JSON-emitting benchmarks.
+#
+# Runs each bench that writes a BENCH_*.json results file and compares the
+# fresh numbers against the committed baseline at the repo root. Only
+# machine-independent RATIO metrics are compared (speedups, send
+# reductions): absolute rates vary with the host, but a ratio judged by
+# the median of paired passes should reproduce anywhere. A fresh ratio may
+# fall below baseline by at most TOLERANCE (fraction, default 0.35 — the
+# bars are >= 5x/10x with baselines around 16x, so a third of headroom is
+# noise allowance, not a loophole). The bench binaries additionally
+# enforce their hard acceptance floors themselves (non-zero exit).
+#
+# Usage: scripts/check_bench.sh [build-dir]   (default: build)
+#   TOLERANCE=0.5 scripts/check_bench.sh      # loosen for noisy machines
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+tolerance="${TOLERANCE:-0.35}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j --target bench_pipeline_throughput
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== bench_pipeline_throughput (floors enforced by the bench itself)"
+"$build_dir/bench/bench_pipeline_throughput" "$tmp/BENCH_pipeline.json"
+
+python3 - "$tmp/BENCH_pipeline.json" "$repo_root/BENCH_pipeline.json" \
+  "$tolerance" <<'PY'
+import json, sys
+
+fresh_path, base_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+fresh = json.load(open(fresh_path))["results"]
+base = json.load(open(base_path))["results"]
+
+RATIO_KEYS = ["encode_once_speedup_64subs", "send_reduction_batch16"]
+failed = False
+for key in RATIO_KEYS:
+    f, b = fresh[key], base[key]
+    floor = b * (1.0 - tol)
+    verdict = "ok" if f >= floor else "REGRESSION"
+    failed |= f < floor
+    print(f"  {key}: fresh {f:.2f}x vs baseline {b:.2f}x "
+          f"(min allowed {floor:.2f}x) ... {verdict}")
+sys.exit(1 if failed else 0)
+PY
+
+echo "bench: no regression beyond tolerance ${tolerance} vs committed baselines"

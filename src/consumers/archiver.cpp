@@ -58,12 +58,17 @@ void ArchiverAgent::IngestRecord(const ulm::Record& record) {
 }
 
 Status ArchiverAgent::AttachRemote(std::unique_ptr<gateway::GatewayClient> client,
-                                   const gateway::FilterSpec& spec) {
+                                   const gateway::FilterSpec& spec,
+                                   std::size_t batch_records) {
   if (!client) return Status::InvalidArgument("null gateway client");
   remote_ = std::move(client);
   // Async so attaching never blocks on the reply: the client records the
   // subscription spec and replays it after every reconnect, so a gateway
-  // that is down right now is caught on the next PumpRemote().
+  // that is down right now is caught on the next PumpRemote(). A batched
+  // subscription replays batched — the format rides with the recorded spec.
+  if (batch_records > 0) {
+    return remote_->SubscribeBatchedAsync(name_, spec, batch_records);
+  }
   return remote_->SubscribeAsync(name_, spec);
 }
 

@@ -40,8 +40,12 @@ class ArchiverAgent {
   /// subscribe with `spec`. Drive with PumpRemote() from the host's poll
   /// loop; events survive a gateway outage in a bounded buffer and flush
   /// into the archive once drained.
+  /// `batch_records` > 0 (ISSUE 3) negotiates batched binary delivery (up
+  /// to that many records per transport message); the outage buffer stays
+  /// bounded in records either way.
   Status AttachRemote(std::unique_ptr<gateway::GatewayClient> client,
-                      const gateway::FilterSpec& spec = {});
+                      const gateway::FilterSpec& spec = {},
+                      std::size_t batch_records = 0);
 
   /// Drain the remote feed through the outage buffer into the archive;
   /// returns records ingested this pump.

@@ -51,11 +51,16 @@ Status EventCollector::SubscribeTo(gateway::EventGateway& gw,
 
 Status EventCollector::AttachRemote(
     std::unique_ptr<gateway::GatewayClient> client,
-    const gateway::FilterSpec& spec) {
+    const gateway::FilterSpec& spec, std::size_t batch_records) {
   if (!client) return Status::InvalidArgument("null gateway client");
   remote_ = std::move(client);
   // Async: the spec is recorded and replayed after every reconnect, so a
   // gateway that is down right now is caught on the next PumpRemote().
+  // Batched subscriptions replay batched — the format is part of the
+  // recorded spec.
+  if (batch_records > 0) {
+    return remote_->SubscribeBatchedAsync(name_, spec, batch_records);
+  }
   return remote_->SubscribeAsync(name_, spec);
 }
 

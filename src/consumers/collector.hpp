@@ -50,8 +50,12 @@ class EventCollector {
   /// Wire-path feed (ISSUE 2): attach a dialer-backed GatewayClient that
   /// reconnects and resubscribes on its own; drive with PumpRemote().
   /// Events ride out gateway outages in a bounded drop-oldest buffer.
+  /// `batch_records` > 0 (ISSUE 3) negotiates batched binary delivery —
+  /// up to that many records per transport message; the outage buffer
+  /// stays bounded in records either way.
   Status AttachRemote(std::unique_ptr<gateway::GatewayClient> client,
-                      const gateway::FilterSpec& spec = {});
+                      const gateway::FilterSpec& spec = {},
+                      std::size_t batch_records = 0);
 
   /// Drain the remote feed into the collected set; returns records added.
   std::size_t PumpRemote();

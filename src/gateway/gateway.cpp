@@ -17,6 +17,8 @@ struct GatewayTelemetry {
   telemetry::Counter& events_filtered;
   telemetry::Counter& queries;
   telemetry::Counter& access_denied;
+  telemetry::Counter& encode_cache_hits;
+  telemetry::Counter& encode_cache_misses;
   telemetry::Gauge& subscriptions;
   telemetry::Histogram& fanout_us;
 };
@@ -28,6 +30,8 @@ GatewayTelemetry& Instruments() {
                             m.counter("gateway.events_filtered"),
                             m.counter("gateway.queries"),
                             m.counter("gateway.access_denied"),
+                            m.counter("gateway.encode_cache.hits"),
+                            m.counter("gateway.encode_cache.misses"),
                             m.gauge("gateway.subscriptions"),
                             m.histogram("gateway.fanout_us")};
   return t;
@@ -64,10 +68,13 @@ void EventGateway::Publish(const ulm::Record& rec) {
     if (value.ok()) it->second.Add(out->timestamp(), *value);
   }
 
-  // Fan-out with per-subscription filtering. Iterate over a snapshot of
-  // the subscription ids, not the map itself: a callback is allowed to
-  // subscribe or unsubscribe (a one-shot consumer removing itself is the
-  // classic case), which would invalidate a live map iterator.
+  // Fan-out with per-subscription filtering. The subscription vector is
+  // walked by index: entries sit behind stable shared_ptrs, so a callback
+  // subscribing (appends past `n`, invisible to this fan-out, even if the
+  // vector reallocates) or unsubscribing (flips `active`; swept below)
+  // cannot invalidate the walk. This costs O(1) per subscriber where the
+  // previous id-snapshot + map-find walk cost a string copy and an
+  // O(log n) lookup each.
   //
   // The latency histogram samples 1 publish in 8: the distribution is what
   // matters, and sampling keeps the two steady_clock reads off 7/8 of the
@@ -75,25 +82,36 @@ void EventGateway::Publish(const ulm::Record& rec) {
   const bool sample_latency = (++fanout_sample_ & 7u) == 0;
   telemetry::ScopedTimer fanout_timer(sample_latency ? &tm.fanout_us
                                                      : nullptr);
-  fanout_ids_.clear();
-  fanout_ids_.reserve(subscriptions_.size());
-  for (const auto& [id, sub] : subscriptions_) fanout_ids_.push_back(id);
+  // Encode-once fan-out (ISSUE 3): one EncodedRecord shared by every
+  // callback this publish, so N subscribers of one wire format cost one
+  // serialization, not N.
+  const ulm::EncodedRecord encoded(*out);
   std::uint64_t delivered = 0, filtered = 0;
-  for (const auto& id : fanout_ids_) {
-    auto it = subscriptions_.find(id);
-    if (it == subscriptions_.end()) continue;  // unsubscribed mid-fan-out
-    Subscription& sub = it->second;
+  ++fanout_depth_;
+  const std::size_t n = subscriptions_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    Subscription& sub = *subscriptions_[s];
+    if (!sub.active) continue;  // unsubscribed mid-fan-out
     if (sub.filter.ShouldDeliver(*out)) {
       ++delivered;
-      sub.callback(*out);
+      sub.callback(encoded);
     } else {
       ++filtered;
     }
+  }
+  if (--fanout_depth_ == 0 && sweep_pending_) {
+    std::erase_if(subscriptions_,
+                  [](const auto& sub) { return !sub->active; });
+    sweep_pending_ = false;
   }
   stats_.events_delivered += delivered;
   stats_.events_filtered += filtered;
   if (delivered) tm.events_delivered.Add(delivered);
   if (filtered) tm.events_filtered.Add(filtered);
+  if (encoded.encodes()) tm.encode_cache_misses.Add(encoded.encodes());
+  if (encoded.accesses() > encoded.encodes()) {
+    tm.encode_cache_hits.Add(encoded.accesses() - encoded.encodes());
+  }
 }
 
 Status EventGateway::CheckAccess(Action action,
@@ -107,25 +125,59 @@ Status EventGateway::CheckAccess(Action action,
   return Status::Ok();
 }
 
-Result<std::string> EventGateway::Subscribe(const std::string& consumer,
-                                            FilterSpec spec,
-                                            EventCallback callback,
-                                            const std::string& principal) {
+Result<std::string> EventGateway::AddSubscription(const std::string& consumer,
+                                                  FilterSpec spec,
+                                                  EncodedCallback callback,
+                                                  const std::string& principal) {
   JAMM_RETURN_IF_ERROR(CheckAccess(Action::kSubscribe, principal));
   if (!callback) {
     return Status::InvalidArgument("subscription needs a callback");
   }
   const std::string id = MakeId("sub");
-  subscriptions_.emplace(
-      id, Subscription{id, consumer, EventFilter(std::move(spec)),
-                       std::move(callback)});
+  auto sub = std::make_shared<Subscription>(Subscription{
+      id, consumer, EventFilter(std::move(spec)), std::move(callback)});
+  subscriptions_.push_back(sub);
+  subs_by_id_.emplace(id, std::move(sub));
   Instruments().subscriptions.Add(1);
   return id;
 }
 
+Result<std::string> EventGateway::Subscribe(const std::string& consumer,
+                                            FilterSpec spec,
+                                            EventCallback callback,
+                                            const std::string& principal) {
+  if (!callback) {
+    return Status::InvalidArgument("subscription needs a callback");
+  }
+  return AddSubscription(
+      consumer, std::move(spec),
+      [cb = std::move(callback)](const ulm::EncodedRecord& enc) {
+        cb(enc.record());
+      },
+      principal);
+}
+
+Result<std::string> EventGateway::SubscribeEncoded(
+    const std::string& consumer, FilterSpec spec, EncodedCallback callback,
+    const std::string& principal) {
+  return AddSubscription(consumer, std::move(spec), std::move(callback),
+                         principal);
+}
+
 Status EventGateway::Unsubscribe(const std::string& subscription_id) {
-  if (subscriptions_.erase(subscription_id) == 0) {
+  auto it = subs_by_id_.find(subscription_id);
+  if (it == subs_by_id_.end()) {
     return Status::NotFound("no subscription " + subscription_id);
+  }
+  // Deactivate now (an in-flight fan-out must skip it); the vector entry
+  // is swept once no fan-out is running.
+  it->second->active = false;
+  subs_by_id_.erase(it);
+  if (fanout_depth_ == 0) {
+    std::erase_if(subscriptions_,
+                  [](const auto& sub) { return !sub->active; });
+  } else {
+    sweep_pending_ = true;
   }
   Instruments().subscriptions.Add(-1);
   return Status::Ok();
@@ -199,14 +251,14 @@ Result<SummaryData> EventGateway::GetSummary(
 
 EventGateway::Stats EventGateway::stats() const {
   Stats s = stats_;
-  s.subscriptions = subscriptions_.size();
+  s.subscriptions = subs_by_id_.size();
   return s;
 }
 
 std::vector<std::string> EventGateway::consumers() const {
   std::vector<std::string> out;
-  out.reserve(subscriptions_.size());
-  for (const auto& [id, sub] : subscriptions_) out.push_back(sub.consumer);
+  out.reserve(subs_by_id_.size());
+  for (const auto& [id, sub] : subs_by_id_) out.push_back(sub->consumer);
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "common/status.hpp"
 #include "gateway/filter.hpp"
 #include "gateway/summary.hpp"
+#include "ulm/encoded.hpp"
 #include "ulm/record.hpp"
 
 namespace jamm::gateway {
@@ -37,6 +39,7 @@ class EventGateway {
   EventGateway(std::string name, const Clock& clock);
 
   const std::string& name() const { return name_; }
+  const Clock& clock() const { return clock_; }
 
   // ------------------------------------------------------- producer side
 
@@ -47,6 +50,11 @@ class EventGateway {
   // ------------------------------------------------------- consumer side
 
   using EventCallback = std::function<void(const ulm::Record&)>;
+  /// Encode-once variant (ISSUE 3): the callback receives the shared
+  /// per-publish EncodedRecord, so every subscriber wanting the same wire
+  /// format reuses one serialization. The EncodedRecord is only valid for
+  /// the duration of the callback — copy what you keep.
+  using EncodedCallback = std::function<void(const ulm::EncodedRecord&)>;
 
   /// Open a streaming subscription ("the consumer opens an event channel
   /// and the events are returned in a stream"). Returns the subscription
@@ -54,6 +62,10 @@ class EventGateway {
   Result<std::string> Subscribe(const std::string& consumer, FilterSpec spec,
                                 EventCallback callback,
                                 const std::string& principal = "");
+  Result<std::string> SubscribeEncoded(const std::string& consumer,
+                                       FilterSpec spec,
+                                       EncodedCallback callback,
+                                       const std::string& principal = "");
 
   Status Unsubscribe(const std::string& subscription_id);
 
@@ -112,7 +124,7 @@ class EventGateway {
   };
   Stats stats() const;
 
-  std::size_t subscription_count() const { return subscriptions_.size(); }
+  std::size_t subscription_count() const { return subs_by_id_.size(); }
   /// Consumers currently subscribed, for directory publication.
   std::vector<std::string> consumers() const;
 
@@ -123,12 +135,25 @@ class EventGateway {
     std::string id;
     std::string consumer;
     EventFilter filter;
-    EventCallback callback;
+    EncodedCallback callback;  // legacy EventCallbacks are adapted
+    bool active = true;        // false = unsubscribed, awaiting sweep
   };
+
+  Result<std::string> AddSubscription(const std::string& consumer,
+                                      FilterSpec spec,
+                                      EncodedCallback callback,
+                                      const std::string& principal);
 
   std::string name_;
   const Clock& clock_;
-  std::map<std::string, Subscription> subscriptions_;
+  /// Fan-out order. Subscriptions live behind stable shared_ptrs so
+  /// Publish can walk this vector by index with no per-subscriber lookup
+  /// or id-snapshot copy (both dominated the per-subscriber overhead in
+  /// bench_pipeline_throughput). Callbacks may append (invisible to the
+  /// in-flight fan-out) or deactivate entries; inactive entries are swept
+  /// once no fan-out is running.
+  std::vector<std::shared_ptr<Subscription>> subscriptions_;
+  std::map<std::string, std::shared_ptr<Subscription>> subs_by_id_;
   std::map<std::string, SummaryWindow> summaries_;      // event name → window
   std::map<std::string, std::string> summary_fields_;   // event name → field
   std::optional<ulm::Record> last_event_;
@@ -136,10 +161,9 @@ class EventGateway {
   AccessChecker access_checker_;
   SensorControl sensor_control_;
   mutable Stats stats_;
-  /// Scratch id snapshot for Publish's fan-out, kept as a member so the
-  /// hot path reuses its capacity instead of allocating per event.
-  std::vector<std::string> fanout_ids_;
   std::uint32_t fanout_sample_ = 0;  // 1-in-8 latency sampling phase
+  int fanout_depth_ = 0;             // re-entrant Publish guard for sweeps
+  bool sweep_pending_ = false;       // inactive entries await removal
 };
 
 }  // namespace jamm::gateway

@@ -16,6 +16,35 @@ transport::Message ErrorMessage(const Status& status) {
   return {"gw.error", status.ToString()};
 }
 
+// Server-side batching telemetry, resolved once.
+struct ServiceTelemetry {
+  telemetry::Counter& batches_sent;
+  telemetry::Counter& batched_records_sent;
+  telemetry::Histogram& batch_records;
+};
+
+ServiceTelemetry& ServiceInstruments() {
+  auto& m = telemetry::Metrics();
+  static ServiceTelemetry t{m.counter("gateway.service.batches_sent"),
+                            m.counter("gateway.service.batched_records_sent"),
+                            m.histogram("gateway.service.batch_records")};
+  return t;
+}
+
+/// Parse a subscription's format line: "" | "xml" | "batch[:N]".
+/// Returns false on a malformed batch size.
+bool ParseBatchFormat(const std::string& format, std::size_t* records) {
+  if (format == "batch") {
+    *records = GatewayService::kDefaultBatchRecords;
+    return true;
+  }
+  if (format.rfind("batch:", 0) != 0) return false;
+  auto n = ParseInt(format.substr(6));
+  if (!n.ok() || *n <= 0) return false;
+  *records = static_cast<std::size_t>(*n);
+  return true;
+}
+
 std::string EncodeSummary(const SummaryData& s) {
   char buf[160];
   std::snprintf(buf, sizeof(buf), "%.6f,%.6f,%.6f,%zu,%zu,%zu", s.avg_1m,
@@ -70,6 +99,16 @@ std::size_t GatewayService::PollOnce() {
       ++handled;
     }
   }
+  // Age-based flush: a partial batch must not sit forever on a stream
+  // that went quiet (the size trigger alone would strand it).
+  const TimePoint now = gateway_.clock().Now();
+  for (auto& conn : connections_) {
+    for (auto& [id, batch] : conn.batches) {
+      if (batch->count > 0 && now - batch->first_ts >= batch_max_age_) {
+        FlushBatch(*batch);
+      }
+    }
+  }
   auto dead = std::partition(
       connections_.begin(), connections_.end(),
       [](const Connection& c) { return c.channel->IsOpen(); });
@@ -93,33 +132,65 @@ void GatewayService::HandleMessage(Connection& conn,
       (void)conn.channel->Send(ErrorMessage(spec.status()));
       return;
     }
-    const bool as_xml = lines.size() > 2 && lines[2] == "xml";
-    // The subscription callback writes straight onto this connection's
+    const std::string format = lines.size() > 2 ? lines[2] : "";
+    // The subscription callbacks write straight onto this connection's
     // channel; a consumer that stops reading eventually closes the channel
-    // and PollOnce reaps the subscription.
+    // and PollOnce reaps the subscription. All formats subscribe encoded:
+    // the per-publish EncodedRecord means N subscribers of one format
+    // share a single serialization (ISSUE 3 encode-once).
     std::shared_ptr<transport::Channel> channel = conn.channel;
-    auto sub = gateway_.Subscribe(
-        consumer, *spec,
-        [channel, as_xml](const ulm::Record& rec) {
-          if (as_xml) {
-            (void)channel->Send({"gw.event.xml", ulm::ToXml(rec)});
-          } else {
-            (void)channel->Send({transport::kEventMessageType,
-                                 rec.ToAscii()});
-          }
-        },
-        conn.principal);
+    Result<std::string> sub = Status::Ok();
+    std::shared_ptr<BatchState> batch;
+    std::size_t batch_records = 0;
+    if (format.empty()) {
+      sub = gateway_.SubscribeEncoded(
+          consumer, *spec,
+          [channel](const ulm::EncodedRecord& enc) {
+            (void)channel->Send({transport::kEventMessageType, enc.Ascii()});
+          },
+          conn.principal);
+    } else if (format == "xml") {
+      sub = gateway_.SubscribeEncoded(
+          consumer, *spec,
+          [channel](const ulm::EncodedRecord& enc) {
+            (void)channel->Send({"gw.event.xml", enc.Xml()});
+          },
+          conn.principal);
+    } else if (ParseBatchFormat(format, &batch_records)) {
+      batch = std::make_shared<BatchState>();
+      batch->channel = channel;
+      batch->max_records = batch_records;
+      EventGateway* gw = &gateway_;
+      sub = gateway_.SubscribeEncoded(
+          consumer, *spec,
+          [batch, gw](const ulm::EncodedRecord& enc) {
+            if (batch->count == 0) batch->first_ts = gw->clock().Now();
+            batch->buffer += enc.Binary();
+            if (++batch->count >= batch->max_records) FlushBatch(*batch);
+          },
+          conn.principal);
+    } else {
+      (void)conn.channel->Send(ErrorMessage(
+          Status::InvalidArgument("unknown subscription format: " + format)));
+      return;
+    }
     if (!sub.ok()) {
       (void)conn.channel->Send(ErrorMessage(sub.status()));
       return;
     }
     conn.subscription_ids.push_back(*sub);
+    if (batch) conn.batches.emplace(*sub, std::move(batch));
     (void)conn.channel->Send({"gw.ok", *sub});
     return;
   }
   if (msg.type == "gw.unsubscribe") {
     Status s = gateway_.Unsubscribe(msg.payload);
     std::erase(conn.subscription_ids, msg.payload);
+    if (auto it = conn.batches.find(msg.payload); it != conn.batches.end()) {
+      // Ship what the subscription already buffered before it disappears.
+      if (it->second->count > 0) FlushBatch(*it->second);
+      conn.batches.erase(it);
+    }
     (void)conn.channel->Send(s.ok() ? transport::Message{"gw.ok", ""}
                                     : ErrorMessage(s));
     return;
@@ -170,7 +241,19 @@ void GatewayService::DropConnection(Connection& conn) {
     (void)gateway_.Unsubscribe(id);
   }
   conn.subscription_ids.clear();
+  conn.batches.clear();  // channel is dead; partial batches go with it
   conn.channel->Close();
+}
+
+void GatewayService::FlushBatch(BatchState& batch) {
+  auto& tm = ServiceInstruments();
+  tm.batches_sent.Increment();
+  tm.batched_records_sent.Add(batch.count);
+  tm.batch_records.Record(batch.count);
+  (void)batch.channel->Send(
+      {transport::kEventBatchMessageType, std::move(batch.buffer)});
+  batch.buffer.clear();  // moved-from: reset to a defined empty state
+  batch.count = 0;
 }
 
 // ----------------------------------------------------------------- client
@@ -183,6 +266,9 @@ struct ClientTelemetry {
   telemetry::Counter& resubscribes;
   telemetry::Counter& stale_replies;
   telemetry::Counter& pending_dropped;
+  telemetry::Counter& batches_received;
+  telemetry::Counter& batch_records_received;
+  telemetry::Counter& batch_decode_errors;
 };
 
 ClientTelemetry& ClientInstruments() {
@@ -191,7 +277,10 @@ ClientTelemetry& ClientInstruments() {
                            m.counter("gateway.client.reconnect_failures"),
                            m.counter("gateway.client.resubscribes"),
                            m.counter("gateway.client.stale_replies"),
-                           m.counter("gateway.client.pending_dropped")};
+                           m.counter("gateway.client.pending_dropped"),
+                           m.counter("gateway.client.batches_received"),
+                           m.counter("gateway.client.batch_records_received"),
+                           m.counter("gateway.client.batch_decode_errors")};
   return t;
 }
 
@@ -209,10 +298,16 @@ Duration RemainingUntil(SteadyPoint deadline) {
 }
 
 std::string SubscribePayload(const std::string& consumer,
-                             const FilterSpec& spec, bool xml) {
+                             const FilterSpec& spec,
+                             const std::string& format) {
   std::string payload = consumer + "\n" + spec.ToString();
-  if (xml) payload += "\nxml";
+  if (!format.empty()) payload += "\n" + format;
   return payload;
+}
+
+std::string BatchFormatLine(std::size_t batch_records) {
+  return batch_records == 0 ? "batch"
+                            : "batch:" + std::to_string(batch_records);
 }
 
 /// Control reply types the server can send; everything else on the stream
@@ -257,6 +352,34 @@ void GatewayClient::BufferEvent(const transport::Message& msg) {
   }
 }
 
+bool GatewayClient::BufferIfEvent(const transport::Message& msg) {
+  if (msg.type == transport::kEventMessageType) {
+    BufferEvent(msg);
+    return true;
+  }
+  if (msg.type == transport::kEventBatchMessageType) {
+    auto& t = ClientInstruments();
+    auto records = transport::DecodeEventBatch(msg);
+    if (!records.ok()) {
+      // A corrupt batch is dropped whole; the error is counted, not fatal
+      // to the stream (the next batch is independently decodable).
+      t.batch_decode_errors.Increment();
+      return true;
+    }
+    t.batches_received.Increment();
+    t.batch_records_received.Add(records->size());
+    // Unpacked into the RECORD-bounded pending buffer: capacity semantics
+    // are identical for batched and unbatched subscriptions.
+    for (auto& rec : *records) {
+      if (!pending_events_.Push(std::move(rec))) {
+        t.pending_dropped.Increment();
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
 Status GatewayClient::Reconnect() {
   if (!dialer_) {
     return Status::Unavailable("gateway client has no dialer to reconnect");
@@ -280,7 +403,8 @@ Status GatewayClient::Reconnect() {
   for (auto& sub : subs_) {
     sub.id.clear();
     JAMM_RETURN_IF_ERROR(channel_->Send(
-        {"gw.subscribe", SubscribePayload(sub.consumer, sub.spec, sub.xml)}));
+        {"gw.subscribe",
+         SubscribePayload(sub.consumer, sub.spec, sub.format)}));
     awaited_.push_back({Awaited::Kind::kSubscribe, sub.key});
     t.resubscribes.Increment();
   }
@@ -313,9 +437,9 @@ Result<transport::Message> GatewayClient::WaitFor(const std::string& type,
     }
     auto msg = channel_->Receive(remaining);
     if (!msg.ok()) return msg.status();
-    if (msg->type == transport::kEventMessageType) {
-      // Events that arrive while awaiting a control reply are buffered.
-      BufferEvent(*msg);
+    if (BufferIfEvent(*msg)) {
+      // Events (single or batched) that arrive while awaiting a control
+      // reply are buffered.
       continue;
     }
     if (AdoptControl(*msg)) continue;
@@ -336,25 +460,50 @@ Status GatewayClient::Authenticate(const std::string& principal) {
   return reply.ok() ? Status::Ok() : reply.status();
 }
 
-Result<std::string> GatewayClient::Subscribe(const std::string& consumer,
-                                             const FilterSpec& spec,
-                                             bool xml) {
+Result<std::string> GatewayClient::SubscribeWithFormat(
+    const std::string& consumer, const FilterSpec& spec,
+    const std::string& format) {
   JAMM_RETURN_IF_ERROR(
-      SendControl({"gw.subscribe", SubscribePayload(consumer, spec, xml)}));
+      SendControl({"gw.subscribe", SubscribePayload(consumer, spec, format)}));
   auto reply = WaitFor("gw.ok", kSecond);
   if (!reply.ok()) return reply.status();
   // Record the spec so a reconnect can replay it.
-  subs_.push_back({next_sub_key_++, consumer, spec, xml, reply->payload});
+  subs_.push_back({next_sub_key_++, consumer, spec, format, reply->payload});
   return reply->payload;
+}
+
+Status GatewayClient::SubscribeAsyncWithFormat(const std::string& consumer,
+                                               const FilterSpec& spec,
+                                               const std::string& format) {
+  JAMM_RETURN_IF_ERROR(
+      SendControl({"gw.subscribe", SubscribePayload(consumer, spec, format)}));
+  subs_.push_back({next_sub_key_++, consumer, spec, format, ""});
+  awaited_.push_back({Awaited::Kind::kSubscribe, subs_.back().key});
+  return Status::Ok();
+}
+
+Result<std::string> GatewayClient::Subscribe(const std::string& consumer,
+                                             const FilterSpec& spec,
+                                             bool xml) {
+  return SubscribeWithFormat(consumer, spec, xml ? "xml" : "");
 }
 
 Status GatewayClient::SubscribeAsync(const std::string& consumer,
                                      const FilterSpec& spec, bool xml) {
-  JAMM_RETURN_IF_ERROR(
-      SendControl({"gw.subscribe", SubscribePayload(consumer, spec, xml)}));
-  subs_.push_back({next_sub_key_++, consumer, spec, xml, ""});
-  awaited_.push_back({Awaited::Kind::kSubscribe, subs_.back().key});
-  return Status::Ok();
+  return SubscribeAsyncWithFormat(consumer, spec, xml ? "xml" : "");
+}
+
+Result<std::string> GatewayClient::SubscribeBatched(
+    const std::string& consumer, const FilterSpec& spec,
+    std::size_t batch_records) {
+  return SubscribeWithFormat(consumer, spec, BatchFormatLine(batch_records));
+}
+
+Status GatewayClient::SubscribeBatchedAsync(const std::string& consumer,
+                                            const FilterSpec& spec,
+                                            std::size_t batch_records) {
+  return SubscribeAsyncWithFormat(consumer, spec,
+                                  BatchFormatLine(batch_records));
 }
 
 Status GatewayClient::StartSensor(const std::string& sensor) {
@@ -433,6 +582,13 @@ Result<ulm::Record> GatewayClient::NextEvent(Duration timeout) {
     if (msg->type == transport::kEventMessageType) {
       return ulm::Record::FromAscii(msg->payload);
     }
+    if (msg->type == transport::kEventBatchMessageType) {
+      // Unpack into the pending buffer and pop from the front so batch
+      // records interleave with buffered singles in arrival order.
+      (void)BufferIfEvent(*msg);
+      if (auto rec = pending_events_.Pop()) return std::move(*rec);
+      continue;  // empty or undecodable batch: keep waiting
+    }
     if (AdoptControl(*msg)) continue;
     if (msg->type == "gw.error") {
       return Status::Internal("gateway error: " + msg->payload);
@@ -457,6 +613,18 @@ std::vector<ulm::Record> GatewayClient::DrainEvents() {
     if (msg->type == transport::kEventMessageType) {
       auto rec = ulm::Record::FromAscii(msg->payload);
       if (rec.ok()) out.push_back(std::move(*rec));
+      continue;
+    }
+    if (msg->type == transport::kEventBatchMessageType) {
+      auto& t = ClientInstruments();
+      auto records = transport::DecodeEventBatch(*msg);
+      if (!records.ok()) {
+        t.batch_decode_errors.Increment();
+        continue;
+      }
+      t.batches_received.Increment();
+      t.batch_records_received.Add(records->size());
+      for (auto& rec : *records) out.push_back(std::move(rec));
       continue;
     }
     if (AdoptControl(*msg)) continue;

@@ -4,12 +4,20 @@
 //
 // Protocol (Message.type / payload):
 //   "gw.auth"         principal            — identify this connection
-//   "gw.subscribe"    consumer\nfilterspec[\nxml]
-//                                          — open stream; reply gw.ok <id>;
-//                                            with "xml" events arrive as
+//   "gw.subscribe"    consumer\nfilterspec[\nformat]
+//                                          — open stream; reply gw.ok <id>.
+//                                            format "" streams ASCII
+//                                            ulm.event; "xml" streams
 //                                            gw.event.xml (§7.0's "consumer
-//                                            can request either format")
-//   "gw.unsubscribe"  subscription id      — reply gw.ok
+//                                            can request either format");
+//                                            "batch[:N]" (ISSUE 3) streams
+//                                            gw.event.batch frames of up to
+//                                            N (default 16) self-delimiting
+//                                            binary records, flushed when
+//                                            full or when the oldest queued
+//                                            record exceeds the batch age
+//   "gw.unsubscribe"  subscription id      — reply gw.ok (flushes any
+//                                            partial batch first)
 //   "gw.query"        event glob           — reply ulm.event / gw.error
 //   "gw.query.xml"    event glob           — reply gw.xml / gw.error
 //   "gw.summary"      event name           — reply gw.summary CSV
@@ -17,12 +25,14 @@
 //   "gw.sensor.stop"  sensor name            start/stop a sensor; gw.ok
 // Server → consumer:
 //   "ulm.event"       ASCII ULM record     — subscription traffic
+//   "gw.event.batch"  binary record batch  — batched subscription traffic
 //   "gw.ok" / "gw.error" / "gw.xml" / "gw.summary"
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -38,26 +48,52 @@ class GatewayService {
                  std::unique_ptr<transport::Listener> listener);
 
   /// Accept pending connections and process every pending request; returns
-  /// the number of requests handled. Call from the host's poll loop.
+  /// the number of requests handled. Also flushes event batches older than
+  /// the batch age. Call from the host's poll loop.
   std::size_t PollOnce();
 
   const std::string& address() const { return address_; }
   std::size_t connection_count() const { return connections_.size(); }
 
+  /// Flush policy knobs for "batch" subscriptions. A batch is sent when it
+  /// reaches its record limit (subscription-negotiated, default 16) or
+  /// when its oldest record has waited `batch_max_age` (default 50 ms on
+  /// the gateway's clock) — batching must never add unbounded latency to a
+  /// slow stream.
+  void set_batch_max_age(Duration age) { batch_max_age_ = age; }
+  Duration batch_max_age() const { return batch_max_age_; }
+  static constexpr std::size_t kDefaultBatchRecords = 16;
+  static constexpr Duration kDefaultBatchMaxAge = 50 * kMillisecond;
+
  private:
+  /// Accumulates one batch subscription's encoded records between flushes.
+  /// Shared between the subscription callback (appends) and the service
+  /// (age flush, unsubscribe flush).
+  struct BatchState {
+    std::shared_ptr<transport::Channel> channel;
+    std::string buffer;        // concatenated self-delimiting records
+    std::size_t count = 0;     // records in buffer
+    TimePoint first_ts = 0;    // when the oldest buffered record arrived
+    std::size_t max_records = kDefaultBatchRecords;
+  };
+
   struct Connection {
     std::shared_ptr<transport::Channel> channel;
     std::string principal;
     std::vector<std::string> subscription_ids;
+    /// subscription id → batch accumulator (batch subscriptions only).
+    std::map<std::string, std::shared_ptr<BatchState>> batches;
   };
 
   void HandleMessage(Connection& conn, const transport::Message& msg);
   void DropConnection(Connection& conn);
+  static void FlushBatch(BatchState& batch);
 
   EventGateway& gateway_;
   std::unique_ptr<transport::Listener> listener_;
   std::string address_;
   std::vector<Connection> connections_;
+  Duration batch_max_age_ = kDefaultBatchMaxAge;
 };
 
 /// Consumer-side convenience wrapper around the protocol.
@@ -97,6 +133,18 @@ class GatewayClient {
   /// interleaves with the stream (subscription_id() until then: "").
   Status SubscribeAsync(const std::string& consumer, const FilterSpec& spec,
                         bool xml = false);
+
+  /// Batched delivery (ISSUE 3): events arrive as gw.event.batch frames of
+  /// up to `batch_records` binary records per transport message;
+  /// NextEvent()/DrainEvents() decode them transparently, so the consumer
+  /// API is unchanged — only the wire gets ~batch_records× fewer sends.
+  /// `batch_records` 0 means the server default.
+  Result<std::string> SubscribeBatched(const std::string& consumer,
+                                       const FilterSpec& spec,
+                                       std::size_t batch_records = 0);
+  Status SubscribeBatchedAsync(const std::string& consumer,
+                               const FilterSpec& spec,
+                               std::size_t batch_records = 0);
 
   /// Ask the host's sensor manager (via the gateway) to start or stop a
   /// sensor by name.
@@ -151,8 +199,8 @@ class GatewayClient {
     std::uint64_t key;  // stable id for reply adoption
     std::string consumer;
     FilterSpec spec;
-    bool xml;
-    std::string id;  // gateway-assigned; empty until adopted
+    std::string format;  // "" (ASCII) | "xml" | "batch[:N]" wire format
+    std::string id;      // gateway-assigned; empty until adopted
   };
   /// A pipelined control request whose reply is still outstanding.
   struct Awaited {
@@ -166,6 +214,16 @@ class GatewayClient {
   /// Adopt `msg` if it answers the oldest pipelined control request.
   bool AdoptControl(const transport::Message& msg);
   void BufferEvent(const transport::Message& msg);
+  /// True for single-event and batch event traffic; records land in
+  /// pending_events_ (bounded in RECORDS, so one huge batch cannot blow
+  /// the memory cap a record cap implies).
+  bool BufferIfEvent(const transport::Message& msg);
+  Result<std::string> SubscribeWithFormat(const std::string& consumer,
+                                          const FilterSpec& spec,
+                                          const std::string& format);
+  Status SubscribeAsyncWithFormat(const std::string& consumer,
+                                  const FilterSpec& spec,
+                                  const std::string& format);
   /// Ensure a live channel (dialing if needed) and send; one reconnect
   /// attempt on a dead connection.
   Status SendControl(const transport::Message& msg);

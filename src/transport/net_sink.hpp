@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "netlogger/sinks.hpp"
 #include "transport/message.hpp"
@@ -14,6 +15,10 @@ namespace jamm::transport {
 inline constexpr char kEventMessageType[] = "ulm.event";
 /// Message type for binary-encoded ULM event traffic.
 inline constexpr char kBinaryEventMessageType[] = "ulm.event.bin";
+/// Batched event traffic (ISSUE 3): the payload is a concatenation of
+/// self-delimiting binary ULM records — no extra framing needed. One
+/// transport Send carries a whole batch.
+inline constexpr char kEventBatchMessageType[] = "gw.event.batch";
 
 class NetSink final : public netlogger::LogSink {
  public:
@@ -31,5 +36,8 @@ class NetSink final : public netlogger::LogSink {
 
 /// Decode an event message produced by NetSink (either encoding).
 Result<ulm::Record> DecodeEventMessage(const Message& msg);
+
+/// Decode a kEventBatchMessageType payload back into its records.
+Result<std::vector<ulm::Record>> DecodeEventBatch(const Message& msg);
 
 }  // namespace jamm::transport

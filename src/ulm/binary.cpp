@@ -34,9 +34,14 @@ void PutString(std::string& out, std::string_view s) {
 bool GetString(std::string_view data, std::size_t& i, std::string& s) {
   std::uint64_t len;
   if (!GetVarint(data, i, len)) return false;
-  if (i + len > data.size()) return false;
-  s.assign(data.substr(i, len));
-  i += len;
+  // NOT `i + len > data.size()`: a hostile varint length near SIZE_MAX
+  // would wrap i + len to a small value, pass the check, and then wrap
+  // `i += len` back into already-consumed input — on a stream decode that
+  // is an infinite loop re-reading the same bytes. GetVarint leaves
+  // i <= data.size(), so the subtraction cannot underflow.
+  if (len > data.size() - i) return false;
+  s.assign(data.substr(i, static_cast<std::size_t>(len)));
+  i += static_cast<std::size_t>(len);
   return true;
 }
 
@@ -71,7 +76,9 @@ std::string EncodeBinary(const Record& rec) {
 
 Result<Record> DecodeBinary(std::string_view data, std::size_t* offset) {
   std::size_t i = *offset;
-  if (i + 11 > data.size()) {
+  // Overflow-safe form of `i + 11 > data.size()`: a caller-supplied
+  // offset near SIZE_MAX must not wrap past the bound.
+  if (i > data.size() || data.size() - i < 11) {
     return Status::ParseError("binary ULM: truncated header");
   }
   const std::uint16_t magic = static_cast<std::uint8_t>(data[i]) |

@@ -1,0 +1,35 @@
+#include "ulm/encoded.hpp"
+
+#include "ulm/binary.hpp"
+#include "ulm/xml.hpp"
+
+namespace jamm::ulm {
+
+const std::string& EncodedRecord::Ascii() const {
+  ++accesses_;
+  if (!ascii_) {
+    ++encodes_;
+    ascii_ = rec_->ToAscii();
+  }
+  return *ascii_;
+}
+
+const std::string& EncodedRecord::Binary() const {
+  ++accesses_;
+  if (!binary_) {
+    ++encodes_;
+    binary_ = EncodeBinary(*rec_);
+  }
+  return *binary_;
+}
+
+const std::string& EncodedRecord::Xml() const {
+  ++accesses_;
+  if (!xml_) {
+    ++encodes_;
+    xml_ = ToXml(*rec_);
+  }
+  return *xml_;
+}
+
+}  // namespace jamm::ulm

@@ -1,0 +1,52 @@
+// Encode-once record wrapper (ISSUE 3). The gateway fan-out used to
+// re-serialize every published record once per subscriber — O(subscribers
+// × encode) on the hottest path in the system. An EncodedRecord wraps one
+// published Record and lazily caches each wire form (ASCII / binary / XML)
+// the first time any subscriber asks for it, so N subscribers of the same
+// format cost one encode plus N-1 string reads.
+//
+// Lifetime: the wrapper borrows the Record; both live only for the
+// duration of one Publish() fan-out. Callbacks must copy what they keep.
+// Single-threaded like the poll-driven fan-out that creates it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ulm/record.hpp"
+
+namespace jamm::ulm {
+
+class EncodedRecord {
+ public:
+  explicit EncodedRecord(const Record& rec) : rec_(&rec) {}
+
+  EncodedRecord(const EncodedRecord&) = delete;
+  EncodedRecord& operator=(const EncodedRecord&) = delete;
+
+  const Record& record() const { return *rec_; }
+
+  /// Each accessor encodes at most once per EncodedRecord; later calls
+  /// return the cached string by reference.
+  const std::string& Ascii() const;
+  const std::string& Binary() const;
+  const std::string& Xml() const;
+
+  /// Cache effectiveness for this record: how many accessor calls were
+  /// served ("accesses") and how many actually encoded ("encodes").
+  /// The gateway folds these into the process-wide telemetry counters
+  /// after each fan-out (ulm cannot link telemetry — it sits below it).
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t encodes() const { return encodes_; }
+
+ private:
+  const Record* rec_;
+  mutable std::optional<std::string> ascii_;
+  mutable std::optional<std::string> binary_;
+  mutable std::optional<std::string> xml_;
+  mutable std::uint64_t accesses_ = 0;
+  mutable std::uint64_t encodes_ = 0;
+};
+
+}  // namespace jamm::ulm

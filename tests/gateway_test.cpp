@@ -5,12 +5,16 @@
 // transports.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/rng.hpp"
 #include "gateway/filter.hpp"
 #include "gateway/gateway.hpp"
 #include "gateway/service.hpp"
 #include "transport/inproc.hpp"
+#include "transport/net_sink.hpp"
 #include "transport/tcp.hpp"
+#include "ulm/binary.hpp"
 
 namespace jamm::gateway {
 namespace {
@@ -305,6 +309,87 @@ TEST_F(GatewayTest, CallbackMaySubscribeDuringFanOut) {
   EXPECT_EQ(late.size(), 1u);
 }
 
+TEST_F(GatewayTest, EncodeOnceSharedAcrossEncodedSubscribers) {
+  // ISSUE 3 tentpole: Publish builds ONE EncodedRecord per record and every
+  // subscriber callback shares it, so N consumers of the same wire format
+  // cost one serialization, not N.
+  const ulm::EncodedRecord* seen = nullptr;
+  std::string first_binary;
+  ASSERT_TRUE(gw_.SubscribeEncoded("a", {}, [&](const ulm::EncodedRecord& enc) {
+                   seen = &enc;
+                   first_binary = enc.Binary();
+                   EXPECT_EQ(enc.encodes(), 1u);
+                 }).ok());
+  ASSERT_TRUE(gw_.SubscribeEncoded("b", {}, [&](const ulm::EncodedRecord& enc) {
+                   EXPECT_EQ(&enc, seen);  // the same shared instance
+                   EXPECT_EQ(enc.Binary(), first_binary);
+                   EXPECT_EQ(enc.encodes(), 1u);   // cache hit, no re-encode
+                   EXPECT_EQ(enc.accesses(), 2u);
+                   (void)enc.Ascii();              // a second format...
+                   EXPECT_EQ(enc.encodes(), 2u);   // ...encodes exactly once
+                 }).ok());
+  gw_.Publish(ValueEvent(5, "CPU", 42));
+  EXPECT_NE(seen, nullptr);
+  // The decoded form round-trips: subscribers saw the real record bytes.
+  auto decoded = ulm::DecodeBinaryStream(first_binary);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ((*decoded)[0].event_name(), "CPU");
+}
+
+TEST_F(GatewayTest, ChurnStressKeepsExactAccounting) {
+  // ISSUE 3 satellite: subscribers that unsubscribe/resubscribe from inside
+  // callbacks while a high-rate publisher runs. Churners only SELF-
+  // unsubscribe (after their delivery) and replacements spawned mid-fan-out
+  // are excluded from the in-flight snapshot, so for every publish each
+  // snapshotted subscription is either delivered or filtered — the
+  // delivered/filtered accounting must balance to the event exactly.
+  Rng rng(0xC0FFEE);
+  std::uint64_t churn_delivered = 0;
+  std::uint64_t churn_spawned = 0;
+  std::function<void()> spawn = [&] {
+    auto id = std::make_shared<std::string>();
+    auto res = gw_.Subscribe("churner", {}, [&, id](const ulm::Record&) {
+      ++churn_delivered;
+      if (rng.Chance(0.02)) {
+        EXPECT_TRUE(gw_.Unsubscribe(*id).ok());
+        spawn();  // replacement joins mid-fan-out; sees the NEXT event
+      }
+    });
+    ASSERT_TRUE(res.ok());
+    *id = *res;
+    ++churn_spawned;
+  };
+  std::uint64_t onchange_delivered = 0;
+  ASSERT_TRUE(gw_.Subscribe("onchange", *FilterSpec::Parse("on-change"),
+                            [&](const ulm::Record&) { ++onchange_delivered; })
+                  .ok());
+  for (int i = 0; i < 8; ++i) spawn();
+
+  const std::uint64_t kEvents = 20000;
+  std::uint64_t snapshot_attempts = 0;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    // Subscription changes only happen inside callbacks, so the count here
+    // IS the fan-out snapshot for this publish.
+    snapshot_attempts += gw_.subscription_count();
+    gw_.Publish(ValueEvent(static_cast<TimePoint>(i), "NETSTAT_RETRANS", 7));
+  }
+
+  const auto stats = gw_.stats();
+  EXPECT_EQ(stats.events_in, kEvents);
+  // The on-change subscriber's value never changes: first delivery only.
+  EXPECT_EQ(onchange_delivered, 1u);
+  EXPECT_EQ(stats.events_filtered, kEvents - 1);
+  // Every snapshotted attempt is accounted for: delivered or filtered.
+  EXPECT_EQ(stats.events_delivered + stats.events_filtered,
+            snapshot_attempts);
+  EXPECT_EQ(stats.events_delivered, churn_delivered + onchange_delivered);
+  // Churn is population-neutral (one replacement per self-unsubscribe) and
+  // actually happened.
+  EXPECT_EQ(gw_.subscription_count(), 9u);
+  EXPECT_GT(churn_spawned, 100u);
+}
+
 TEST_F(GatewayTest, QueryMostRecent) {
   EXPECT_FALSE(gw_.Query().ok());  // nothing yet
   gw_.Publish(ValueEvent(1, "A", 10));
@@ -481,6 +566,227 @@ TEST(GatewayServiceTest, WorksOverRealTcp) {
   auto event = client.NextEvent(kSecond);
   ASSERT_TRUE(event.ok());
   EXPECT_EQ(event->event_name(), "CPU");
+}
+
+// --------------------------------------------------- batched event delivery
+
+/// Shared scaffolding for the batch-protocol tests: a gateway served over
+/// in-proc transport plus the manual send/poll/receive handshake the other
+/// service tests use.
+struct ServiceHarness {
+  ServiceHarness() : clock(0), gw("gw", clock) {
+    auto listener = net.Listen("gw");
+    EXPECT_TRUE(listener.ok());
+    service.emplace(gw, std::move(*listener));
+  }
+
+  /// Dial a client and subscribe with a raw payload; returns the
+  /// subscription id from the gw.ok reply.
+  std::unique_ptr<GatewayClient> Connect(const std::string& sub_payload,
+                                         std::string* sub_id = nullptr) {
+    auto channel = net.Dial("gw");
+    EXPECT_TRUE(channel.ok());
+    auto client = std::make_unique<GatewayClient>(std::move(*channel));
+    service->PollOnce();  // accept
+    EXPECT_TRUE(client->channel().Send({"gw.subscribe", sub_payload}).ok());
+    service->PollOnce();
+    auto reply = client->channel().Receive(kSecond);
+    EXPECT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, "gw.ok");
+    if (sub_id && reply.ok()) *sub_id = reply->payload;
+    return client;
+  }
+
+  SimClock clock;
+  EventGateway gw;
+  transport::InProcNetwork net;
+  std::optional<GatewayService> service;
+};
+
+TEST(GatewayServiceTest, BatchedSubscriptionFlushesOnSize) {
+  ServiceHarness h;
+  auto client = h.Connect("batcher\nall\nbatch:4");
+
+  // Below the negotiated limit: nothing on the wire yet.
+  for (int i = 0; i < 3; ++i) h.gw.Publish(ValueEvent(i, "CPU", i));
+  EXPECT_FALSE(client->channel().TryReceive().has_value());
+
+  // The fourth record completes the batch: exactly ONE frame with all four.
+  h.gw.Publish(ValueEvent(3, "CPU", 3));
+  auto frame = client->channel().TryReceive();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, transport::kEventBatchMessageType);
+  auto records = transport::DecodeEventBatch(*frame);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ((*records)[i].timestamp(), i);
+    EXPECT_EQ((*records)[i].event_name(), "CPU");
+    EXPECT_NEAR(*(*records)[i].GetDouble("VAL"), i, 1e-9);
+  }
+  EXPECT_FALSE(client->channel().TryReceive().has_value());
+}
+
+TEST(GatewayServiceTest, BatchedSubscriptionFlushesOnAge) {
+  ServiceHarness h;
+  h.service->set_batch_max_age(10 * kMillisecond);
+  auto client = h.Connect("batcher\nall\nbatch:100");
+
+  h.gw.Publish(ValueEvent(1, "CPU", 1));
+  h.gw.Publish(ValueEvent(2, "CPU", 2));
+  h.service->PollOnce();  // oldest record is fresh — no flush yet
+  EXPECT_FALSE(client->channel().TryReceive().has_value());
+
+  h.clock.Advance(9 * kMillisecond);
+  h.service->PollOnce();  // 9 ms < 10 ms — still buffered
+  EXPECT_FALSE(client->channel().TryReceive().has_value());
+
+  h.clock.Advance(1 * kMillisecond);
+  h.service->PollOnce();  // age reached — partial batch ships
+  auto frame = client->channel().TryReceive();
+  ASSERT_TRUE(frame.has_value());
+  auto records = transport::DecodeEventBatch(*frame);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+
+  // The age clock restarts with the next buffered record.
+  h.gw.Publish(ValueEvent(3, "CPU", 3));
+  h.service->PollOnce();
+  EXPECT_FALSE(client->channel().TryReceive().has_value());
+  h.clock.Advance(10 * kMillisecond);
+  h.service->PollOnce();
+  frame = client->channel().TryReceive();
+  ASSERT_TRUE(frame.has_value());
+  records = transport::DecodeEventBatch(*frame);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+}
+
+TEST(GatewayServiceTest, UnsubscribeFlushesPartialBatch) {
+  ServiceHarness h;
+  std::string sub_id;
+  auto client = h.Connect("batcher\nall\nbatch:100", &sub_id);
+  ASSERT_FALSE(sub_id.empty());
+
+  h.gw.Publish(ValueEvent(1, "CPU", 1));
+  ASSERT_TRUE(client->channel().Send({"gw.unsubscribe", sub_id}).ok());
+  h.service->PollOnce();
+  // The buffered record ships BEFORE the gw.ok — no data loss on teardown.
+  auto frame = client->channel().Receive(kSecond);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->type, transport::kEventBatchMessageType);
+  auto records = transport::DecodeEventBatch(*frame);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+  auto ok = client->channel().Receive(kSecond);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->type, "gw.ok");
+  EXPECT_EQ(h.gw.subscription_count(), 0u);
+}
+
+TEST(GatewayServiceTest, BatchingReducesWireSends) {
+  // The acceptance bar: batch:16 must cut transport sends by >= 10x for
+  // the same event stream. Here it is exactly 16x by construction, while
+  // an unbatched subscriber on another connection still gets per-event
+  // ASCII frames — both protocols coexist.
+  ServiceHarness h;
+  auto plain = h.Connect("plain\nall");
+  auto batched = h.Connect("batched\nall\nbatch:16");
+
+  const int kEvents = 64;
+  for (int i = 0; i < kEvents; ++i) h.gw.Publish(ValueEvent(i, "CPU", i));
+
+  int plain_frames = 0, plain_records = 0;
+  while (auto msg = plain->channel().TryReceive()) {
+    EXPECT_EQ(msg->type, "ulm.event");
+    ++plain_frames;
+    ++plain_records;
+  }
+  int batch_frames = 0, batch_records = 0;
+  while (auto msg = batched->channel().TryReceive()) {
+    EXPECT_EQ(msg->type, transport::kEventBatchMessageType);
+    ++batch_frames;
+    auto records = transport::DecodeEventBatch(*msg);
+    ASSERT_TRUE(records.ok());
+    batch_records += static_cast<int>(records->size());
+  }
+  EXPECT_EQ(plain_frames, kEvents);
+  EXPECT_EQ(plain_records, kEvents);
+  EXPECT_EQ(batch_records, kEvents);  // no record lost to batching
+  EXPECT_EQ(batch_frames, kEvents / 16);
+  EXPECT_GE(plain_frames / batch_frames, 10);  // the >= 10x bar
+}
+
+TEST(GatewayServiceTest, BatchedClientDecodesTransparently) {
+  // Consumer API unchanged: NextEvent()/DrainEvents() unpack gw.event.batch
+  // frames and hand back single records in order.
+  ServiceHarness h;
+  auto channel = h.net.Dial("gw");
+  ASSERT_TRUE(channel.ok());
+  GatewayClient client(std::move(*channel));
+  h.service->PollOnce();  // accept
+  ASSERT_TRUE(client.SubscribeBatchedAsync("c", {}, 3).ok());
+  h.service->PollOnce();  // subscribe lands; gw.ok queued behind the stream
+
+  for (int i = 0; i < 3; ++i) h.gw.Publish(ValueEvent(i, "CPU", i));
+  for (int i = 0; i < 3; ++i) {
+    auto ev = client.NextEvent(kSecond);
+    ASSERT_TRUE(ev.ok());
+    EXPECT_EQ(ev->timestamp(), i);
+  }
+  // The pipelined gw.ok interleaved with the stream and was adopted.
+  EXPECT_EQ(client.recorded_subscription_count(), 1u);
+  EXPECT_FALSE(client.subscription_id(0).empty());
+
+  // A partial batch age-flushes and surfaces via DrainEvents().
+  h.gw.Publish(ValueEvent(7, "CPU", 7));
+  h.clock.Advance(h.service->batch_max_age());
+  h.service->PollOnce();
+  auto drained = client.DrainEvents();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].timestamp(), 7);
+  EXPECT_EQ(client.pending_dropped(), 0u);
+}
+
+TEST(GatewayServiceTest, MixedFormatsPerSubscription) {
+  // One connection may hold ASCII, XML, and batch subscriptions at once;
+  // each stream keeps its negotiated wire format.
+  ServiceHarness h;
+  auto client = h.Connect("ascii\nall");
+  ASSERT_TRUE(client->channel().Send({"gw.subscribe", "x\nall\nxml"}).ok());
+  h.service->PollOnce();
+  auto reply = client->channel().Receive(kSecond);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->type, "gw.ok");
+  ASSERT_TRUE(client->channel().Send({"gw.subscribe", "b\nall\nbatch:1"}).ok());
+  h.service->PollOnce();
+  reply = client->channel().Receive(kSecond);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->type, "gw.ok");
+
+  h.gw.Publish(ValueEvent(1, "CPU", 50));
+  std::map<std::string, int> by_type;
+  while (auto msg = client->channel().TryReceive()) ++by_type[msg->type];
+  EXPECT_EQ(by_type["ulm.event"], 1);
+  EXPECT_EQ(by_type["gw.event.xml"], 1);
+  EXPECT_EQ(by_type[transport::kEventBatchMessageType], 1);
+}
+
+TEST(GatewayServiceTest, BadBatchFormatRejected) {
+  ServiceHarness h;
+  auto channel = h.net.Dial("gw");
+  ASSERT_TRUE(channel.ok());
+  GatewayClient client(std::move(*channel));
+  h.service->PollOnce();
+  for (const char* payload :
+       {"c\nall\nbatch:0", "c\nall\nbatch:nope", "c\nall\nbogus"}) {
+    ASSERT_TRUE(client.channel().Send({"gw.subscribe", payload}).ok());
+    h.service->PollOnce();
+    auto reply = client.channel().Receive(kSecond);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, "gw.error") << payload;
+  }
+  EXPECT_EQ(h.gw.subscription_count(), 0u);
 }
 
 }  // namespace

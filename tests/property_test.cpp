@@ -20,6 +20,7 @@
 #include "ntp/ntp.hpp"
 #include "ulm/binary.hpp"
 #include "ulm/record.hpp"
+#include "ulm/xml.hpp"
 
 namespace jamm {
 namespace {
@@ -65,6 +66,67 @@ TEST_P(UlmRoundTrip, AsciiAndBinaryPreserveEverything) {
     auto binary = ulm::DecodeBinary(ulm::EncodeBinary(rec), &offset);
     ASSERT_TRUE(binary.ok());
     EXPECT_EQ(*binary, rec);
+  }
+}
+
+// ISSUE 3: the encode-once fan-out hands every subscriber format a cached
+// serialization of the SAME record, so the three wire forms must agree
+// byte-for-byte on what the record is: crossing codecs (ASCII → binary →
+// ASCII, binary → ASCII → binary) must preserve the timestamp, required
+// fields, and user-field insertion order exactly, and the XML projection
+// of a round-tripped record must be byte-identical to the original's.
+TEST_P(UlmRoundTrip, CrossCodecRoundTripsAreByteIdentical) {
+  Rng rng(0xBEEF01 ^ static_cast<std::uint64_t>(GetParam().field_count));
+  for (int trial = 0; trial < 100; ++trial) {
+    const ulm::Record rec = RandomRecord(rng, GetParam());
+
+    // ASCII → binary → ASCII, byte-identical.
+    auto from_ascii = ulm::Record::FromAscii(rec.ToAscii());
+    ASSERT_TRUE(from_ascii.ok());
+    std::size_t offset = 0;
+    auto via_binary = ulm::DecodeBinary(ulm::EncodeBinary(*from_ascii),
+                                        &offset);
+    ASSERT_TRUE(via_binary.ok());
+    EXPECT_EQ(via_binary->ToAscii(), rec.ToAscii());
+
+    // binary → ASCII → binary, byte-identical.
+    offset = 0;
+    auto from_binary = ulm::DecodeBinary(ulm::EncodeBinary(rec), &offset);
+    ASSERT_TRUE(from_binary.ok());
+    auto via_ascii = ulm::Record::FromAscii(from_binary->ToAscii());
+    ASSERT_TRUE(via_ascii.ok());
+    EXPECT_EQ(ulm::EncodeBinary(*via_ascii), ulm::EncodeBinary(rec));
+
+    // The XML projection agrees no matter which codec carried the record.
+    EXPECT_EQ(ulm::ToXml(*via_binary), ulm::ToXml(rec));
+    EXPECT_EQ(ulm::ToXml(*via_ascii), ulm::ToXml(rec));
+
+    // Fine-grained field invariants, so a failure names the culprit.
+    EXPECT_EQ(via_binary->timestamp(), rec.timestamp());
+    EXPECT_EQ(via_binary->host(), rec.host());
+    EXPECT_EQ(via_binary->prog(), rec.prog());
+    EXPECT_EQ(via_binary->lvl(), rec.lvl());
+    EXPECT_EQ(via_binary->event_name(), rec.event_name());
+    EXPECT_EQ(via_binary->fields(), rec.fields());  // insertion order too
+  }
+}
+
+// Batch framing (gw.event.batch) is a bare concatenation of
+// self-delimiting binary records: batch-encode → batch-decode must be the
+// identity on random record vectors, in order and in full.
+TEST_P(UlmRoundTrip, BatchEncodeDecodeIsIdentity) {
+  Rng rng(0xBEEF02 ^ static_cast<std::uint64_t>(GetParam().field_count));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<ulm::Record> batch;
+    const int n = static_cast<int>(rng.Uniform(0, 40));
+    std::string wire;
+    for (int i = 0; i < n; ++i) {
+      batch.push_back(RandomRecord(rng, GetParam()));
+      ulm::EncodeBinary(batch.back(), wire);
+    }
+    auto decoded = ulm::DecodeBinaryStream(wire);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, batch);
   }
 }
 

@@ -578,6 +578,47 @@ TEST(ConsumerResilienceTest, CollectorRemoteFeedCollects) {
   EXPECT_EQ(merged[0].event_name(), "A");  // time-merged for nlv
 }
 
+TEST(ConsumerResilienceTest, CollectorBatchedRemoteFeedCollects) {
+  // ISSUE 3: a collector attached with batch_records > 0 negotiates
+  // gw.event.batch delivery; the embedded client unpacks frames so the
+  // collector sees individual records, and a reconnect replays the SAME
+  // batched format.
+  SimClock clock;
+  transport::InProcNetwork net;
+  auto gw = std::make_unique<gateway::EventGateway>("gw", clock);
+  auto listener = net.Listen("gw");
+  ASSERT_TRUE(listener.ok());
+  auto service =
+      std::make_unique<gateway::GatewayService>(*gw, std::move(*listener));
+
+  consumers::EventCollector collector("coll", nullptr);
+  ASSERT_TRUE(collector
+                  .AttachRemote(std::make_unique<gateway::GatewayClient>(
+                                    [&net] { return net.Dial("gw"); }),
+                                {}, /*batch_records=*/3)
+                  .ok());
+  service->PollOnce();
+  for (int i = 0; i < 3; ++i) gw->Publish(ValueEvent(i + 1, "CPU", i));
+  EXPECT_EQ(collector.PumpRemote(), 3u);  // one frame, three records
+  EXPECT_EQ(collector.Merged().size(), 3u);
+
+  // Crash + revive: the replayed subscription is still batched.
+  service.reset();
+  gw.reset();
+  EXPECT_EQ(collector.PumpRemote(), 0u);
+  gw = std::make_unique<gateway::EventGateway>("gw", clock);
+  listener = net.Listen("gw");
+  ASSERT_TRUE(listener.ok());
+  service =
+      std::make_unique<gateway::GatewayService>(*gw, std::move(*listener));
+  EXPECT_EQ(collector.PumpRemote(), 0u);  // re-dial + replay subscribe
+  service->PollOnce();
+  for (int i = 0; i < 3; ++i) gw->Publish(ValueEvent(i + 10, "CPU", i));
+  EXPECT_EQ(collector.PumpRemote(), 3u);
+  EXPECT_EQ(collector.Merged().size(), 6u);
+  EXPECT_EQ(collector.remote_dropped(), 0u);
+}
+
 // --------------------------------------------- Directory write failover
 
 directory::Dn MustParse(const std::string& text) {

@@ -1,0 +1,152 @@
+// Fuzz-style corpus tests for the binary ULM decoder (ISSUE 3 satellite).
+// The gateway's batched event path feeds DecodeBinary/DecodeBinaryStream
+// bytes straight off the wire, so the decoder must treat every input as
+// hostile: truncations, oversized varints, bad magic/version, and random
+// mutations of valid encodings must return errors (or a valid record),
+// never crash, over-read, or fail to terminate.
+//
+// Deterministic Rng instead of a coverage-guided fuzzer: the toolchain
+// has no libFuzzer baked in, and a seeded corpus of tens of thousands of
+// mutants pins the same invariants reproducibly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ulm/binary.hpp"
+#include "ulm/record.hpp"
+
+namespace jamm::ulm {
+namespace {
+
+Record CorpusRecord(Rng& rng) {
+  Record rec(static_cast<TimePoint>(rng.Next() >> 1),
+             "host" + std::to_string(rng.Uniform(0, 9)), "prog",
+             std::string(level::kUsage),
+             rng.Chance(0.8) ? "Ev" + std::to_string(rng.Uniform(0, 99)) : "");
+  const int nfields = static_cast<int>(rng.Uniform(0, 12));
+  for (int f = 0; f < nfields; ++f) {
+    std::string value;
+    const int len = static_cast<int>(rng.Uniform(0, 40));
+    for (int c = 0; c < len; ++c) {
+      value += static_cast<char>(rng.Uniform(0, 255));  // any byte is legal
+    }
+    rec.SetField("F" + std::to_string(f), std::string_view(value));
+  }
+  return rec;
+}
+
+/// The decoder contract under fire: whatever the bytes, decoding either
+/// fails cleanly or yields records, and the out-offset never escapes the
+/// buffer or moves backwards (no over-read, no rewind loop).
+void MustDecodeSafely(const std::string& data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t before = offset;
+    auto rec = DecodeBinary(data, &offset);
+    if (!rec.ok()) return;  // clean rejection is success
+    ASSERT_LE(offset, data.size()) << "decoder over-read";
+    ASSERT_GT(offset, before) << "decoder failed to make progress";
+  }
+}
+
+TEST(UlmFuzzTest, TruncatedAtEveryByteRejectsOrParsesPrefix) {
+  Rng rng(0xFEED01);
+  const std::string data = EncodeBinary(CorpusRecord(rng));
+  for (std::size_t cut = 0; cut < data.size(); ++cut) {
+    std::size_t offset = 0;
+    auto rec = DecodeBinary(data.substr(0, cut), &offset);
+    // A strict prefix can never hold the whole record.
+    EXPECT_FALSE(rec.ok()) << "cut=" << cut;
+    EXPECT_EQ(offset, 0u) << "failed decode must not move the offset";
+  }
+}
+
+TEST(UlmFuzzTest, OversizedVarintCorpus) {
+  // Header + field-count positions stuffed with varints of every
+  // pathological shape: max-length, non-terminated, and wrap-around.
+  const std::string header = [] {
+    std::string h;
+    h.push_back('\x4C');
+    h.push_back('\x55');
+    h.push_back('\x01');
+    h.append(8, '\0');
+    return h;
+  }();
+  const std::vector<std::string> varints = {
+      std::string(10, '\xFF') + '\x01',  // 2^70-ish, > 64 bits
+      std::string(16, '\xFF'),           // never terminates
+      std::string(9, '\xFF') + '\x01',   // 2^63-ish, fits but huge
+      std::string(4, '\x80'),            // truncated continuation
+  };
+  for (const auto& v : varints) {
+    // As the field count.
+    MustDecodeSafely(header + v);
+    // As the first key length (valid field count of 4 first).
+    MustDecodeSafely(header + '\x04' + v + "trailing bytes");
+  }
+}
+
+TEST(UlmFuzzTest, BadMagicAndVersionCorpus) {
+  Rng rng(0xFEED02);
+  std::string data = EncodeBinary(CorpusRecord(rng));
+  for (int b0 = 0; b0 < 256; ++b0) {
+    std::string mutant = data;
+    mutant[0] = static_cast<char>(b0);
+    MustDecodeSafely(mutant);
+    mutant = data;
+    mutant[1] = static_cast<char>(b0);
+    MustDecodeSafely(mutant);
+    mutant = data;
+    mutant[2] = static_cast<char>(b0);
+    MustDecodeSafely(mutant);
+  }
+}
+
+TEST(UlmFuzzTest, RandomMutationsOfValidEncodingsNeverCrash) {
+  Rng rng(0xFEED03);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // A small stream of 1–4 valid records...
+    std::string data;
+    const int nrecs = static_cast<int>(rng.Uniform(1, 4));
+    for (int r = 0; r < nrecs; ++r) EncodeBinary(CorpusRecord(rng), data);
+    // ...with 1–8 random byte flips, insertions, or deletions.
+    const int edits = static_cast<int>(rng.Uniform(1, 8));
+    for (int e = 0; e < edits && !data.empty(); ++e) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.Uniform(0, static_cast<std::int64_t>(
+                                                      data.size() - 1)));
+      switch (rng.Uniform(0, 2)) {
+        case 0:
+          data[pos] = static_cast<char>(rng.Uniform(0, 255));
+          break;
+        case 1:
+          data.insert(pos, 1, static_cast<char>(rng.Uniform(0, 255)));
+          break;
+        default:
+          data.erase(pos, 1);
+          break;
+      }
+    }
+    MustDecodeSafely(data);
+    // The whole-stream API must agree: error or records, never a hang.
+    (void)DecodeBinaryStream(data);
+  }
+}
+
+TEST(UlmFuzzTest, PureGarbageCorpus) {
+  Rng rng(0xFEED04);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string data;
+    const int len = static_cast<int>(rng.Uniform(0, 200));
+    for (int c = 0; c < len; ++c) {
+      data += static_cast<char>(rng.Uniform(0, 255));
+    }
+    MustDecodeSafely(data);
+    (void)DecodeBinaryStream(data);
+  }
+}
+
+}  // namespace
+}  // namespace jamm::ulm

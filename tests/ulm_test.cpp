@@ -202,6 +202,67 @@ TEST(UlmBinaryTest, RejectsCorruption) {
   EXPECT_FALSE(DecodeBinary("", &offset).ok());
 }
 
+// ISSUE 3 satellite: the length check used to be `i + len > data.size()`,
+// which wraps when a hostile varint length is near SIZE_MAX — the sum
+// passes the bound, substr clamps, and `i += len` rewinds the offset into
+// already-consumed input (an infinite loop on a stream decode). These
+// tests pin the overflow-safe comparison.
+
+// Varint encoder mirroring the codec's wire format, for crafting hostile
+// lengths the real encoder would never emit.
+void PutHostileVarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+// Valid record header (magic, version, zero timestamp, nfields = 4)
+// ready for malicious field bytes.
+std::string HostileRecordHeader() {
+  std::string data;
+  data.push_back('\x4C');  // magic lo ("L")
+  data.push_back('\x55');  // magic hi ("U")
+  data.push_back('\x01');  // version
+  data.append(8, '\0');    // timestamp
+  data.push_back('\x04');  // nfields = 4
+  return data;
+}
+
+TEST(UlmBinaryTest, HostileVarintLengthNearSizeMaxRejected) {
+  std::string data = HostileRecordHeader();
+  PutHostileVarint(data, ~std::uint64_t{0});  // key length 2^64 - 1
+  data += "HOST";                             // residue, far short of len
+  std::size_t offset = 0;
+  auto decoded = DecodeBinary(data, &offset);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(UlmBinaryTest, WrappingLengthCannotRewindStreamDecode) {
+  // A valid record followed by a field whose length is exactly
+  // 2^64 - (offset after the varint): with the wrapping comparison the
+  // offset would land back on byte 0 and DecodeBinaryStream would decode
+  // the leading record forever.
+  std::string data = EncodeBinary(SampleRecord());
+  data += HostileRecordHeader();
+  // The wrap-to-zero length is 10 varint bytes long; aim past them.
+  const std::uint64_t len =
+      ~static_cast<std::uint64_t>(data.size() + 10) + 1;  // -(i) mod 2^64
+  PutHostileVarint(data, len);
+  data += "residue bytes";
+  auto decoded = DecodeBinaryStream(data);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(UlmBinaryTest, HugeCallerOffsetRejected) {
+  std::string data = EncodeBinary(SampleRecord());
+  std::size_t offset = ~std::size_t{0} - 4;  // would wrap `offset + 11`
+  EXPECT_FALSE(DecodeBinary(data, &offset).ok());
+}
+
 TEST(UlmBinaryTest, BinarySmallerThanAsciiForNumericHeavyRecords) {
   Record rec = SampleRecord();
   for (int i = 0; i < 20; ++i) {
