@@ -1,0 +1,219 @@
+// ISSUE 4: the cost of the liveness plane. Leases turn the read-optimized
+// directory into something managers write to on every heartbeat, so the
+// write path must be cheap at fleet scale: this bench measures heartbeat
+// renewal batches and reaper sweeps at 1k and 10k leased entries, plus the
+// machine-independent ratio against naive re-publication (Upsert per
+// entry — what a manager without RenewLeases would do every heartbeat,
+// invalidating the search cache each time).
+//
+// Emits BENCH_liveness.json (path = argv[1], default ./BENCH_liveness.json)
+// and enforces a hard floor: batched renewal must not be slower than
+// re-publication.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "directory/schema.hpp"
+#include "directory/server.hpp"
+
+using namespace jamm;             // NOLINT: bench brevity
+using namespace jamm::directory;  // NOLINT
+
+namespace {
+
+constexpr int kPasses = 15;
+constexpr TimePoint kFarFuture = 1000 * kMinute;
+
+Dn Suffix() { return *Dn::Parse("ou=sensors, o=jamm"); }
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Fleet {
+  std::unique_ptr<DirectoryServer> server;
+  std::vector<Dn> dns;          // every leased sensor entry
+  std::vector<Entry> entries;   // the same entries, for re-publication
+};
+
+/// `n` leased sensor entries across n/10 hosts, leases at `expiry`.
+Fleet Populate(int n, TimePoint expiry) {
+  Fleet fleet;
+  fleet.server = std::make_unique<DirectoryServer>(Suffix(), "ldap://bench");
+  const int hosts = n / 10;
+  for (int h = 0; h < hosts; ++h) {
+    const std::string host = "host" + std::to_string(h);
+    (void)fleet.server->Upsert(schema::MakeHostEntry(Suffix(), host));
+    for (int s = 0; s < 10; ++s) {
+      auto entry = schema::MakeSensorEntry(Suffix(), host,
+                                           "sensor" + std::to_string(s),
+                                           s % 2 ? "cpu" : "network",
+                                           "gw." + host, 1000, 0);
+      schema::StampLease(entry, expiry);
+      (void)fleet.server->Upsert(entry);
+      fleet.dns.push_back(entry.dn());
+      fleet.entries.push_back(std::move(entry));
+    }
+  }
+  return fleet;
+}
+
+struct Scale {
+  int entries;
+  double renew_per_s;      // entries renewed per second, batched
+  double republish_per_s;  // entries re-upserted per second (naive)
+  double sweep_scan_per_s; // reaper pass over N live entries, per second
+  double sweep_reap_per_s; // entries tombstoned per second, all expired
+};
+
+Scale RunScale(int n) {
+  Scale out{};
+  out.entries = n;
+
+  // Heartbeat renewal: one RenewLeases batch covering the fleet.
+  {
+    auto fleet = Populate(n, kFarFuture);
+    std::vector<double> per_s;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto renewed =
+          fleet.server->RenewLeases(fleet.dns, kFarFuture + pass + 1);
+      const double secs = SecondsSince(t0);
+      if (!renewed.ok() || static_cast<int>(*renewed) != n) {
+        std::fprintf(stderr, "renewal lost entries at scale %d\n", n);
+        std::exit(1);
+      }
+      per_s.push_back(n / secs);
+    }
+    out.renew_per_s = Median(per_s);
+  }
+
+  // Naive alternative: re-publish every entry each heartbeat.
+  {
+    auto fleet = Populate(n, kFarFuture);
+    std::vector<double> per_s;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (auto& entry : fleet.entries) {
+        schema::StampLease(entry, kFarFuture + pass + 1);
+        (void)fleet.server->Upsert(entry);
+      }
+      per_s.push_back(n / SecondsSince(t0));
+    }
+    out.republish_per_s = Median(per_s);
+  }
+
+  // Reaper sweep over a healthy fleet: pure scan, nothing to tombstone.
+  {
+    auto fleet = Populate(n, kFarFuture);
+    std::vector<double> per_s;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto reaped = fleet.server->ExpireLeases(kFarFuture - 1);
+      const double secs = SecondsSince(t0);
+      if (!reaped.ok() || *reaped != 0) {
+        std::fprintf(stderr, "scan sweep reaped entries at scale %d\n", n);
+        std::exit(1);
+      }
+      per_s.push_back(n / secs);
+    }
+    out.sweep_scan_per_s = Median(per_s);
+  }
+
+  // Worst-case sweep: the whole fleet's leases expired at once (a site
+  // power loss) — every entry tombstoned in one pass.
+  {
+    std::vector<double> per_s;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      auto fleet = Populate(n, /*expiry=*/kSecond);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto reaped = fleet.server->ExpireLeases(2 * kSecond);
+      const double secs = SecondsSince(t0);
+      if (!reaped.ok() || static_cast<int>(*reaped) != n) {
+        std::fprintf(stderr, "reap sweep missed entries at scale %d\n", n);
+        std::exit(1);
+      }
+      per_s.push_back(n / secs);
+    }
+    out.sweep_reap_per_s = Median(per_s);
+  }
+
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_liveness.json";
+
+  const Scale s1k = RunScale(1000);
+  const Scale s10k = RunScale(10000);
+  const double speedup_1k = s1k.renew_per_s / s1k.republish_per_s;
+  const double speedup_10k = s10k.renew_per_s / s10k.republish_per_s;
+
+  for (const Scale& s : {s1k, s10k}) {
+    std::printf(
+        "entries %5d: renew %.0f/s  republish %.0f/s  sweep(scan) %.0f/s  "
+        "sweep(reap) %.0f/s\n",
+        s.entries, s.renew_per_s, s.republish_per_s, s.sweep_scan_per_s,
+        s.sweep_reap_per_s);
+  }
+  std::printf("renew vs republish: %.2fx at 1k, %.2fx at 10k\n", speedup_1k,
+              speedup_10k);
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"bench_liveness\",\n");
+  std::fprintf(json,
+               "  \"workload\": \"leased sensor entries, 10 per host; "
+               "heartbeat renewal batch vs per-entry re-publication; reaper "
+               "sweeps healthy and fully-expired\",\n");
+  std::fprintf(json,
+               "  \"method\": \"median of %d passes per metric; ratios are "
+               "machine-independent\",\n",
+               kPasses);
+  std::fprintf(json, "  \"results\": {\n");
+  std::fprintf(json, "    \"scales\": [\n");
+  for (const Scale& s : {s1k, s10k}) {
+    std::fprintf(json,
+                 "      {\"entries\": %d, \"renew_per_s\": %.0f, "
+                 "\"republish_per_s\": %.0f, \"sweep_scan_per_s\": %.0f, "
+                 "\"sweep_reap_per_s\": %.0f}%s\n",
+                 s.entries, s.renew_per_s, s.republish_per_s,
+                 s.sweep_scan_per_s, s.sweep_reap_per_s,
+                 s.entries == 10000 ? "" : ",");
+  }
+  std::fprintf(json, "    ],\n");
+  std::fprintf(json, "    \"renew_vs_republish_speedup_1k\": %.2f,\n",
+               speedup_1k);
+  std::fprintf(json, "    \"renew_vs_republish_speedup_10k\": %.2f\n",
+               speedup_10k);
+  std::fprintf(json, "  }\n");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // Hard floor: the batched renewal path must not be materially slower
+  // than naive re-publication, or the heartbeat design is pointless
+  // (0.9 rather than 1.0 absorbs scheduler noise on loaded hosts).
+  if (speedup_10k < 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: renewal slower than re-publication at 10k (%.2fx)\n",
+                 speedup_10k);
+    return 1;
+  }
+  return 0;
+}

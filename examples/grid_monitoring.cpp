@@ -99,7 +99,7 @@ mode = always
   // Consumers.
   consumers::ProcessMonitorConsumer procmon("procmon", clock);
   consumers::ProcessActions actions;
-  actions.restart = true;
+  actions.restart.emplace();
   actions.email = [](const std::string& what) {
     std::printf("  [email to admin] %s — restarted automatically\n",
                 what.c_str());

@@ -11,6 +11,10 @@
 # noise allowance, not a loophole). The bench binaries additionally
 # enforce their hard acceptance floors themselves (non-zero exit).
 #
+# A missing baseline is not an error: the fresh results are recorded as
+# the new baseline ("no baseline, recording"), so a fresh checkout — or a
+# newly added bench — bootstraps itself on first run.
+#
 # Usage: scripts/check_bench.sh [build-dir]   (default: build)
 #   TOLERANCE=0.5 scripts/check_bench.sh      # loosen for noisy machines
 set -euo pipefail
@@ -20,25 +24,31 @@ build_dir="${1:-$repo_root/build}"
 tolerance="${TOLERANCE:-0.35}"
 
 cmake -B "$build_dir" -S "$repo_root"
-cmake --build "$build_dir" -j --target bench_pipeline_throughput
+cmake --build "$build_dir" -j --target bench_pipeline_throughput bench_liveness
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== bench_pipeline_throughput (floors enforced by the bench itself)"
-"$build_dir/bench/bench_pipeline_throughput" "$tmp/BENCH_pipeline.json"
-
-python3 - "$tmp/BENCH_pipeline.json" "$repo_root/BENCH_pipeline.json" \
-  "$tolerance" <<'PY'
+# compare_ratios <fresh.json> <baseline.json> <ratio-key> [<ratio-key>...]
+# Missing baseline → record fresh as baseline and pass.
+compare_ratios() {
+  local fresh="$1" base="$2"
+  shift 2
+  if [[ ! -f "$base" ]]; then
+    echo "  no baseline at ${base#$repo_root/}, recording fresh results"
+    cp "$fresh" "$base"
+    return 0
+  fi
+  python3 - "$fresh" "$base" "$tolerance" "$@" <<'PY'
 import json, sys
 
 fresh_path, base_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+keys = sys.argv[4:]
 fresh = json.load(open(fresh_path))["results"]
 base = json.load(open(base_path))["results"]
 
-RATIO_KEYS = ["encode_once_speedup_64subs", "send_reduction_batch16"]
 failed = False
-for key in RATIO_KEYS:
+for key in keys:
     f, b = fresh[key], base[key]
     floor = b * (1.0 - tol)
     verdict = "ok" if f >= floor else "REGRESSION"
@@ -47,5 +57,16 @@ for key in RATIO_KEYS:
           f"(min allowed {floor:.2f}x) ... {verdict}")
 sys.exit(1 if failed else 0)
 PY
+}
+
+echo "== bench_pipeline_throughput (floors enforced by the bench itself)"
+"$build_dir/bench/bench_pipeline_throughput" "$tmp/BENCH_pipeline.json"
+compare_ratios "$tmp/BENCH_pipeline.json" "$repo_root/BENCH_pipeline.json" \
+  encode_once_speedup_64subs send_reduction_batch16
+
+echo "== bench_liveness (floors enforced by the bench itself)"
+"$build_dir/bench/bench_liveness" "$tmp/BENCH_liveness.json"
+compare_ratios "$tmp/BENCH_liveness.json" "$repo_root/BENCH_liveness.json" \
+  renew_vs_republish_speedup_10k
 
 echo "bench: no regression beyond tolerance ${tolerance} vs committed baselines"

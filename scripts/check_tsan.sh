@@ -5,9 +5,10 @@
 # minting) and the gateway fan-out are the only deliberately concurrent
 # code in the repo; they carry the ctest label "concurrency". The
 # fault-injection suite (label "resilience") crosses threads in its
-# reconnect/retry paths and runs here too. This script configures a
-# dedicated build tree with -DJAMM_SANITIZE=thread and runs exactly those
-# labels, failing on any reported race.
+# reconnect/retry paths and runs here too, as does the seeded end-to-end
+# chaos harness (label "chaos"). This script configures a dedicated build
+# tree with -DJAMM_SANITIZE=thread and runs exactly those labels, failing
+# on any reported race.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -16,7 +17,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-tsan}"
 
 cmake -B "$build_dir" -S "$repo_root" -DJAMM_SANITIZE=thread
-cmake --build "$build_dir" -j --target telemetry_test gateway_test resilience_test
-ctest --test-dir "$build_dir" -L 'concurrency|resilience' --output-on-failure
+cmake --build "$build_dir" -j --target telemetry_test gateway_test resilience_test chaos_test
+ctest --test-dir "$build_dir" -L 'concurrency|resilience|chaos' --output-on-failure
 
-echo "tsan: concurrency/resilience-labelled tests clean"
+echo "tsan: concurrency/resilience/chaos-labelled tests clean"

@@ -1,6 +1,24 @@
 #include "consumers/process_monitor.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace jamm::consumers {
+
+namespace {
+
+struct MonitorTelemetry {
+  telemetry::Counter& restarts;
+  telemetry::Counter& quarantines;
+};
+
+MonitorTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static MonitorTelemetry t{m.counter("consumers.process_monitor.restarts"),
+                            m.counter("consumers.process_monitor.quarantines")};
+  return t;
+}
+
+}  // namespace
 
 ProcessMonitorConsumer::ProcessMonitorConsumer(std::string name,
                                                const Clock& clock)
@@ -12,25 +30,31 @@ Status ProcessMonitorConsumer::Watch(gateway::EventGateway& gw,
                                      sysmon::SimHost* host,
                                      const std::string& process_name,
                                      ProcessActions actions) {
+  auto watch = std::make_unique<Watched>();
+  watch->gw = &gw;
+  watch->host = host;
+  watch->process_name = process_name;
+  watch->actions = std::move(actions);
+  if (watch->actions.restart) {
+    watch->supervisor.emplace(*watch->actions.restart, clock_);
+  }
+  Watched* raw = watch.get();
   gateway::FilterSpec spec;
   spec.mode = gateway::FilterSpec::Mode::kAll;
   spec.event_glob = "PROC_*";
-  auto sub = gw.Subscribe(
-      name_, spec,
-      [this, host, process_name, actions](const ulm::Record& rec) {
-        HandleEvent(rec, host, process_name, actions);
-      });
+  auto sub = gw.Subscribe(name_, spec, [this, raw](const ulm::Record& rec) {
+    HandleEvent(*raw, rec);
+  });
   if (!sub.ok()) return sub.status();
-  watched_.push_back({&gw, *sub});
+  raw->subscription_id = *sub;
+  watched_.push_back(std::move(watch));
   return Status::Ok();
 }
 
-void ProcessMonitorConsumer::HandleEvent(const ulm::Record& rec,
-                                         sysmon::SimHost* host,
-                                         const std::string& process_name,
-                                         const ProcessActions& actions) {
+void ProcessMonitorConsumer::HandleEvent(Watched& watch,
+                                         const ulm::Record& rec) {
   const auto proc = rec.GetField("PROC");
-  if (!proc || *proc != process_name) return;
+  if (!proc || *proc != watch.process_name) return;
   const std::string& ev = rec.event_name();
   if (ev != sensors::event::kProcDiedNormal &&
       ev != sensors::event::kProcDiedAbnormal) {
@@ -38,25 +62,72 @@ void ProcessMonitorConsumer::HandleEvent(const ulm::Record& rec,
   }
   ++stats_.deaths_seen;
   const std::string description =
-      process_name + " on " + rec.host() + " " +
+      watch.process_name + " on " + rec.host() + " " +
       (ev == sensors::event::kProcDiedAbnormal ? "crashed" : "exited");
-  if (actions.restart && host) {
-    host->StartProcess(process_name);
-    ++stats_.restarts;
+  if (watch.supervisor && watch.host && !watch.quarantined) {
+    auto decision = watch.supervisor->OnFailure();
+    if (decision.action == resilience::Supervisor::Action::kQuarantine) {
+      Quarantine(watch, description);
+    } else if (decision.restart_at <= clock_.Now()) {
+      DoRestart(watch);  // first death in the window: restart inline
+    } else {
+      watch.restart_pending = true;
+      watch.restart_at = decision.restart_at;
+    }
   }
-  if (actions.email) {
-    actions.email(description);
+  if (watch.actions.email) {
+    watch.actions.email(description);
     ++stats_.emails;
   }
-  if (actions.page) {
-    actions.page(description);
+  if (watch.actions.page) {
+    watch.actions.page(description);
     ++stats_.pages;
   }
 }
 
+void ProcessMonitorConsumer::DoRestart(Watched& watch) {
+  watch.restart_pending = false;
+  watch.host->StartProcess(watch.process_name);
+  ++stats_.restarts;
+  Instruments().restarts.Increment();
+}
+
+void ProcessMonitorConsumer::Quarantine(Watched& watch,
+                                        const std::string& description) {
+  watch.quarantined = true;
+  watch.restart_pending = false;
+  ++stats_.quarantines;
+  Instruments().quarantines.Increment();
+  ulm::Record rec(clock_.Now(), watch.host ? watch.host->host() : "", name_,
+                  std::string(ulm::level::kAlert), kProcQuarantined);
+  rec.SetField("PROC", watch.process_name);
+  rec.SetField("REASON", description);
+  watch.gw->Publish(rec);
+}
+
+void ProcessMonitorConsumer::Tick() {
+  const TimePoint now = clock_.Now();
+  for (auto& watch : watched_) {
+    if (watch->restart_pending && !watch->quarantined &&
+        watch->restart_at <= now) {
+      DoRestart(*watch);
+    }
+  }
+}
+
+bool ProcessMonitorConsumer::IsQuarantined(
+    const std::string& process_name) const {
+  for (const auto& watch : watched_) {
+    if (watch->process_name == process_name && watch->quarantined) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void ProcessMonitorConsumer::UnsubscribeAll() {
   for (auto& w : watched_) {
-    (void)w.gw->Unsubscribe(w.subscription_id);
+    (void)w->gw->Unsubscribe(w->subscription_id);
   }
   watched_.clear();
 }

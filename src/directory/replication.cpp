@@ -84,11 +84,12 @@ void DirectoryPool::RecordOutcome(std::size_t i, const Status& status) {
 }
 
 Result<Entry> DirectoryPool::Lookup(const Dn& dn,
-                                    const std::string& principal) {
+                                    const std::string& principal,
+                                    bool live_only) {
   Status last = Status::Unavailable("directory pool empty");
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     if (!AllowServer(i)) continue;
-    auto result = servers_[i]->Lookup(dn, principal);
+    auto result = servers_[i]->Lookup(dn, principal, live_only);
     RecordOutcome(i, result.ok() ? Status::Ok() : result.status());
     if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
       last_served_by_ = servers_[i]->address();
@@ -101,11 +102,13 @@ Result<Entry> DirectoryPool::Lookup(const Dn& dn,
 
 Result<SearchResult> DirectoryPool::Search(const Dn& base, SearchScope scope,
                                            const Filter& filter,
-                                           const std::string& principal) {
+                                           const std::string& principal,
+                                           bool live_only) {
   Status last = Status::Unavailable("directory pool empty");
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     if (!AllowServer(i)) continue;
-    auto result = servers_[i]->Search(base, scope, filter, principal);
+    auto result = servers_[i]->Search(base, scope, filter, principal,
+                                      live_only);
     RecordOutcome(i, result.ok() ? Status::Ok() : result.status());
     if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
       last_served_by_ = servers_[i]->address();
@@ -154,6 +157,25 @@ Status DirectoryPool::Upsert(const Entry& entry,
 Status DirectoryPool::Delete(const Dn& dn, const std::string& principal) {
   return WriteOp(
       [&](DirectoryServer& server) { return server.Delete(dn, principal); });
+}
+
+Result<std::size_t> DirectoryPool::RenewLeases(const std::vector<Dn>& dns,
+                                               TimePoint expiry,
+                                               const std::string& principal,
+                                               std::vector<Dn>* missing) {
+  std::size_t renewed = 0;
+  Status status = WriteOp([&](DirectoryServer& server) {
+    // A failover retry must not double-report: reset the out-params so
+    // only the server that actually took the batch contributes.
+    renewed = 0;
+    if (missing) missing->clear();
+    auto result = server.RenewLeases(dns, expiry, principal, missing);
+    if (!result.ok()) return result.status();
+    renewed = *result;
+    return Status::Ok();
+  });
+  if (!status.ok()) return status;
+  return renewed;
 }
 
 std::string DirectoryPool::write_primary() const {

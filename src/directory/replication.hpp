@@ -66,12 +66,21 @@ class DirectoryPool {
   void SetBreakerPolicy(const resilience::BreakerPolicy& policy,
                         const Clock& clock);
 
-  Result<Entry> Lookup(const Dn& dn, const std::string& principal = "");
+  Result<Entry> Lookup(const Dn& dn, const std::string& principal = "",
+                       bool live_only = false);
   Result<SearchResult> Search(const Dn& base, SearchScope scope,
                               const Filter& filter,
-                              const std::string& principal = "");
+                              const std::string& principal = "",
+                              bool live_only = false);
   Status Upsert(const Entry& entry, const std::string& principal = "");
   Status Delete(const Dn& dn, const std::string& principal = "");
+
+  /// Heartbeat batch (ISSUE 4): renew every entry in `dns` to `expiry` on
+  /// the current write primary (sticky failover like any write). Entries
+  /// already reaped land in `missing` so the owner can re-publish them.
+  Result<std::size_t> RenewLeases(const std::vector<Dn>& dns, TimePoint expiry,
+                                  const std::string& principal = "",
+                                  std::vector<Dn>* missing = nullptr);
 
   /// Address of the server that satisfied the most recent read; lets
   /// tests and benches observe failover happening.

@@ -1,5 +1,6 @@
 #include "directory/schema.hpp"
 
+#include "common/strings.hpp"
 #include "common/time_util.hpp"
 
 namespace jamm::directory::schema {
@@ -63,6 +64,17 @@ Entry MakeArchiveEntry(const Dn& suffix, const std::string& archive_name,
   entry.Set(kAttrAddress, address);
   entry.Set(kAttrContents, contents);
   return entry;
+}
+
+void StampLease(Entry& entry, TimePoint expiry) {
+  entry.Set(kAttrLeaseExpires, std::to_string(expiry));
+}
+
+std::optional<TimePoint> LeaseExpiry(const Entry& entry) {
+  if (!entry.Has(kAttrLeaseExpires)) return std::nullopt;
+  auto expiry = ParseInt(entry.Get(kAttrLeaseExpires));
+  if (!expiry.ok()) return std::nullopt;
+  return static_cast<TimePoint>(*expiry);
 }
 
 Entry MakeSummaryEntry(const Dn& suffix, const std::string& host,

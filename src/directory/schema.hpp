@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/clock.hpp"
@@ -35,6 +36,11 @@ inline constexpr char kAttrAddress[] = "address";
 inline constexpr char kAttrContents[] = "contents";      // archive contents
 inline constexpr char kAttrMetric[] = "metric";          // summary data name
 inline constexpr char kAttrValue[] = "value";            // summary data value
+/// Lease expiry (ISSUE 4), microseconds on the deployment's injected
+/// clock. An entry carrying this attribute is liveness-tracked: its owner
+/// renews it via heartbeats and the directory's reaper tombstones it once
+/// overdue. Entries without it (hosts, archives) are immortal.
+inline constexpr char kAttrLeaseExpires[] = "leaseexpires";
 
 /// "host=<host>, <suffix>"
 Dn HostDn(const Dn& suffix, const std::string& host);
@@ -68,5 +74,13 @@ Entry MakeArchiveEntry(const Dn& suffix, const std::string& archive_name,
 /// throughput and latency data in the directory service").
 Entry MakeSummaryEntry(const Dn& suffix, const std::string& host,
                        const std::string& metric, double value);
+
+// ----------------------------------------------------------------- leases
+
+/// Stamp (or renew) `entry`'s lease to expire at `expiry`.
+void StampLease(Entry& entry, TimePoint expiry);
+
+/// The entry's lease expiry, or nullopt if it carries none (immortal).
+std::optional<TimePoint> LeaseExpiry(const Entry& entry);
 
 }  // namespace jamm::directory::schema

@@ -1,6 +1,31 @@
 #include "directory/server.hpp"
 
+#include <algorithm>
+#include <set>
+
+#include "directory/schema.hpp"
+#include "telemetry/metrics.hpp"
+
 namespace jamm::directory {
+
+namespace {
+
+// Lease-plane self-telemetry (ISSUE 4), resolved once.
+struct LeaseTelemetry {
+  telemetry::Counter& renewals;
+  telemetry::Counter& expirations;
+  telemetry::Counter& live_only_filtered;
+};
+
+LeaseTelemetry& LeaseInstruments() {
+  auto& m = telemetry::Metrics();
+  static LeaseTelemetry t{m.counter("directory.lease.renewals"),
+                          m.counter("directory.lease.expirations"),
+                          m.counter("directory.lease.live_only_filtered")};
+  return t;
+}
+
+}  // namespace
 
 DirectoryServer::DirectoryServer(Dn suffix, std::string address)
     : suffix_(std::move(suffix)), address_(std::move(address)) {}
@@ -62,13 +87,93 @@ Status DirectoryServer::DeleteLocked(const Dn& dn) {
   return Status::Ok();
 }
 
-void DirectoryServer::LogChange(Change::Type type, const Entry& entry) {
+void DirectoryServer::LogChange(Change::Type type, const Entry& entry,
+                                bool invalidate_cache) {
   Change change;
   change.seq = next_seq_++;
   change.type = type;
   change.entry = entry;
   changelog_.push_back(std::move(change));
-  search_cache_.clear();  // writes invalidate the read-optimized cache
+  // Writes invalidate the read-optimized cache — except lease renewals
+  // (invalidate_cache=false): a heartbeat changes liveness metadata, not
+  // search-visible data, and live_only reads bypass cached lease values.
+  if (invalidate_cache) search_cache_.clear();
+}
+
+bool DirectoryServer::LiveAt(const Entry& entry, TimePoint now) {
+  auto expiry = schema::LeaseExpiry(entry);
+  return !expiry || *expiry > now;
+}
+
+Result<std::size_t> DirectoryServer::RenewLeases(const std::vector<Dn>& dns,
+                                                 TimePoint expiry,
+                                                 const std::string& principal,
+                                                 std::vector<Dn>* missing) {
+  std::lock_guard lock(mu_);
+  JAMM_RETURN_IF_ERROR(CheckAlive());
+  std::size_t renewed = 0;
+  for (const Dn& dn : dns) {
+    JAMM_RETURN_IF_ERROR(CheckAccess(Operation::kWrite, dn, principal));
+    auto it = entries_.find(dn.ToString());
+    if (it == entries_.end()) {
+      if (missing) missing->push_back(dn);
+      continue;
+    }
+    schema::StampLease(it->second, expiry);
+    LogChange(Change::Type::kModify, it->second, /*invalidate_cache=*/false);
+    ++renewed;
+  }
+  stats_.leases_renewed += renewed;
+  stats_.writes += renewed;
+  if (renewed) LeaseInstruments().renewals.Add(renewed);
+  return renewed;
+}
+
+Result<std::size_t> DirectoryServer::ExpireLeases(TimePoint now) {
+  std::lock_guard lock(mu_);
+  JAMM_RETURN_IF_ERROR(CheckAlive());
+  // Everything overdue is a reap candidate...
+  std::set<std::string> doomed;
+  for (const auto& [key, entry] : entries_) {
+    if (!LiveAt(entry, now)) doomed.insert(key);
+  }
+  if (doomed.empty()) return std::size_t{0};
+  // ...unless a surviving entry depends on it: any kept entry reprieves
+  // its whole ancestor chain (tree integrity — a parent outlives its
+  // children). Iterate to a fixpoint; depth bounds the passes.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [key, entry] : entries_) {
+      if (doomed.count(key)) continue;
+      for (Dn p = entry.dn().Parent(); !p.IsRoot(); p = p.Parent()) {
+        if (doomed.erase(p.ToString()) > 0) changed = true;
+      }
+    }
+  }
+  // Tombstone deepest-first so replicas replaying the change log never see
+  // a parent delete before its children's.
+  std::vector<const Entry*> order;
+  order.reserve(doomed.size());
+  for (const std::string& key : doomed) order.push_back(&entries_.at(key));
+  std::sort(order.begin(), order.end(), [](const Entry* a, const Entry* b) {
+    return a->dn().depth() > b->dn().depth();
+  });
+  for (const Entry* entry : order) {
+    const Dn dn = entry->dn();
+    entries_.erase(dn.ToString());
+    LogChange(Change::Type::kDelete, Entry(dn));
+    ++stats_.writes;
+  }
+  const std::size_t reaped = order.size();
+  stats_.leases_expired += reaped;
+  LeaseInstruments().expirations.Add(reaped);
+  return reaped;
+}
+
+void DirectoryServer::SetClock(const Clock* clock) {
+  std::lock_guard lock(mu_);
+  clock_ = clock;
 }
 
 Status DirectoryServer::Add(const Entry& entry, const std::string& principal) {
@@ -116,13 +221,23 @@ Status DirectoryServer::Delete(const Dn& dn, const std::string& principal) {
 }
 
 Result<Entry> DirectoryServer::Lookup(const Dn& dn,
-                                      const std::string& principal) const {
+                                      const std::string& principal,
+                                      bool live_only) const {
   std::lock_guard lock(mu_);
   JAMM_RETURN_IF_ERROR(CheckAlive());
   JAMM_RETURN_IF_ERROR(CheckAccess(Operation::kRead, dn, principal));
+  if (live_only && !clock_) {
+    return Status::InvalidArgument("live_only lookup needs SetClock: " +
+                                   address_);
+  }
   ++stats_.reads;
   auto it = entries_.find(dn.ToString());
   if (it == entries_.end()) return Status::NotFound("no entry: " + dn.ToString());
+  if (live_only && !LiveAt(it->second, clock_->Now())) {
+    ++stats_.live_only_filtered;
+    LeaseInstruments().live_only_filtered.Increment();
+    return Status::NotFound("lease expired: " + dn.ToString());
+  }
   return it->second;
 }
 
@@ -134,14 +249,38 @@ std::string DirectoryServer::CacheKey(const Dn& base, SearchScope scope,
 
 Result<SearchResult> DirectoryServer::Search(
     const Dn& base, SearchScope scope, const Filter& filter,
-    const std::string& principal) const {
+    const std::string& principal, bool live_only) const {
   std::lock_guard lock(mu_);
   JAMM_RETURN_IF_ERROR(CheckAlive());
   JAMM_RETURN_IF_ERROR(CheckAccess(Operation::kRead, base, principal));
+  if (live_only && !clock_) {
+    return Status::InvalidArgument("live_only search needs SetClock: " +
+                                   address_);
+  }
   ++stats_.reads;
+  // live_only post-filters against the authoritative entry store, never
+  // the cache: renewals don't invalidate cached results, so a cached copy
+  // may hold a stale lease in either direction (it can neither resurrect
+  // the dead nor hide the renewed).
+  const auto live_filter = [&](const SearchResult& cached) -> SearchResult {
+    SearchResult out;
+    out.referrals = cached.referrals;
+    const TimePoint now = clock_->Now();
+    for (const Entry& entry : cached.entries) {
+      auto it = entries_.find(entry.dn().ToString());
+      if (it == entries_.end() || !LiveAt(it->second, now)) {
+        ++stats_.live_only_filtered;
+        LeaseInstruments().live_only_filtered.Increment();
+        continue;
+      }
+      out.entries.push_back(it->second);
+    }
+    return out;
+  };
   const std::string key = CacheKey(base, scope, filter);
   if (auto it = search_cache_.find(key); it != search_cache_.end()) {
     ++stats_.cache_hits;
+    if (live_only) return live_filter(it->second);
     return it->second;
   }
   ++stats_.cache_misses;
@@ -164,6 +303,7 @@ Result<SearchResult> DirectoryServer::Search(
     }
   }
   search_cache_[key] = result;
+  if (live_only) return live_filter(result);
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "directory/dn.hpp"
 #include "directory/entry.hpp"
 #include "directory/filter.hpp"
@@ -75,13 +76,45 @@ class DirectoryServer {
   /// Delete a leaf entry.
   Status Delete(const Dn& dn, const std::string& principal = "");
 
+  // ------------------------------------------------------------- leases
+  //
+  // ISSUE 4: the read-optimized directory's weak spot is staleness — a
+  // crashed sensor manager leaves entries consumers dial forever. Entries
+  // stamped with schema::kAttrLeaseExpires are liveness-tracked: owners
+  // renew them via heartbeat batches; the reaper tombstones overdue ones
+  // (the tombstones replicate like any delete, so replicas converge).
+
+  /// Renew the lease of every entry in `dns` to `expiry` in one batch.
+  /// Missing entries (already reaped — the owner should re-publish) are
+  /// appended to `missing` when given. Renewals log kModify changes for
+  /// replication but deliberately do NOT invalidate the search cache:
+  /// heartbeats are liveness-plane writes, and live_only reads consult the
+  /// authoritative entry store, never a cached lease. Returns renewals.
+  Result<std::size_t> RenewLeases(const std::vector<Dn>& dns, TimePoint expiry,
+                                  const std::string& principal = "",
+                                  std::vector<Dn>* missing = nullptr);
+
+  /// Reap every entry whose lease expired at or before `now`, logging a
+  /// kDelete tombstone each. An expired entry with a surviving descendant
+  /// is kept (tree integrity) until its subtree drains. Returns the number
+  /// of entries tombstoned.
+  Result<std::size_t> ExpireLeases(TimePoint now);
+
+  /// Clock for live_only reads (lease expiry is checked against it).
+  /// Without one, live_only requests fail InvalidArgument.
+  void SetClock(const Clock* clock);
+
   // -------------------------------------------------------------- reads
 
-  Result<Entry> Lookup(const Dn& dn, const std::string& principal = "") const;
+  /// `live_only` (ISSUE 4) filters out entries whose lease has expired but
+  /// that the reaper has not yet swept — consumers never dial the dead.
+  Result<Entry> Lookup(const Dn& dn, const std::string& principal = "",
+                       bool live_only = false) const;
 
   Result<SearchResult> Search(const Dn& base, SearchScope scope,
                               const Filter& filter,
-                              const std::string& principal = "") const;
+                              const std::string& principal = "",
+                              bool live_only = false) const;
 
   // ------------------------------------------------------ bind / access
 
@@ -124,6 +157,9 @@ class DirectoryServer {
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
     std::uint64_t entries = 0;
+    std::uint64_t leases_renewed = 0;   // heartbeat renewals applied
+    std::uint64_t leases_expired = 0;   // entries tombstoned by the reaper
+    std::uint64_t live_only_filtered = 0;  // expired entries hidden on read
   };
   Stats stats() const;
 
@@ -134,12 +170,16 @@ class DirectoryServer {
   Status AddLocked(const Entry& entry);
   Status ModifyLocked(const Entry& entry);
   Status DeleteLocked(const Dn& dn);
-  void LogChange(Change::Type type, const Entry& entry);
+  void LogChange(Change::Type type, const Entry& entry,
+                 bool invalidate_cache = true);
+  /// False if the entry's lease expired at or before `now`.
+  static bool LiveAt(const Entry& entry, TimePoint now);
   std::string CacheKey(const Dn& base, SearchScope scope,
                        const Filter& filter) const;
 
   Dn suffix_;
   std::string address_;
+  const Clock* clock_ = nullptr;  // for live_only reads
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;       // key: DN string (normalized)

@@ -21,13 +21,19 @@ struct ServiceTelemetry {
   telemetry::Counter& batches_sent;
   telemetry::Counter& batched_records_sent;
   telemetry::Histogram& batch_records;
+  telemetry::Counter& subscriber_dropped;  // records shed by overflow
+  telemetry::Counter& overload_events;
+  telemetry::Counter& overload_disconnects;
 };
 
 ServiceTelemetry& ServiceInstruments() {
   auto& m = telemetry::Metrics();
   static ServiceTelemetry t{m.counter("gateway.service.batches_sent"),
                             m.counter("gateway.service.batched_records_sent"),
-                            m.histogram("gateway.service.batch_records")};
+                            m.histogram("gateway.service.batch_records"),
+                            m.counter("gw.subscriber.dropped"),
+                            m.counter("gateway.service.overload_events"),
+                            m.counter("gateway.service.overload_disconnects")};
   return t;
 }
 
@@ -74,7 +80,47 @@ Result<SummaryData> DecodeSummary(const std::string& text) {
   return s;
 }
 
+/// Parse "queue:<policy>[:<cap>]". Returns non-OK on malformed input.
+Status ParseQueueSpec(const std::string& text, OverflowPolicy* policy,
+                      std::size_t* capacity) {
+  if (text.rfind("queue:", 0) != 0) {
+    return Status::InvalidArgument("bad queue spec: " + text);
+  }
+  std::string rest = text.substr(6);
+  const auto colon = rest.find(':');
+  std::string policy_text =
+      colon == std::string::npos ? rest : rest.substr(0, colon);
+  auto parsed = ParseOverflowPolicy(policy_text);
+  if (!parsed.ok()) return parsed.status();
+  *policy = *parsed;
+  if (colon != std::string::npos) {
+    auto cap = ParseInt(rest.substr(colon + 1));
+    if (!cap.ok() || *cap <= 0) {
+      return Status::InvalidArgument("bad queue capacity: " + text);
+    }
+    *capacity = static_cast<std::size_t>(*cap);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+Result<OverflowPolicy> ParseOverflowPolicy(std::string_view text) {
+  if (text == "drop-oldest") return OverflowPolicy::kDropOldest;
+  if (text == "drop-newest") return OverflowPolicy::kDropNewest;
+  if (text == "disconnect") return OverflowPolicy::kDisconnect;
+  return Status::InvalidArgument("unknown overflow policy '" +
+                                 std::string(text) + "'");
+}
+
+std::string_view OverflowPolicyName(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kDropOldest: return "drop-oldest";
+    case OverflowPolicy::kDropNewest: return "drop-newest";
+    case OverflowPolicy::kDisconnect: return "disconnect";
+  }
+  return "unknown";
+}
 
 GatewayService::GatewayService(EventGateway& gateway,
                                std::unique_ptr<transport::Listener> listener)
@@ -109,6 +155,7 @@ std::size_t GatewayService::PollOnce() {
       }
     }
   }
+  DrainQueues();
   auto dead = std::partition(
       connections_.begin(), connections_.end(),
       [](const Connection& c) { return c.channel->IsOpen(); });
@@ -133,32 +180,45 @@ void GatewayService::HandleMessage(Connection& conn,
       return;
     }
     const std::string format = lines.size() > 2 ? lines[2] : "";
-    // The subscription callbacks write straight onto this connection's
-    // channel; a consumer that stops reading eventually closes the channel
-    // and PollOnce reaps the subscription. All formats subscribe encoded:
-    // the per-publish EncodedRecord means N subscribers of one format
-    // share a single serialization (ISSUE 3 encode-once).
-    std::shared_ptr<transport::Channel> channel = conn.channel;
+    // Optional 4th line: slow-consumer overflow policy (ISSUE 4).
+    auto queue = std::make_shared<OutQueue>();
+    queue->channel = conn.channel;
+    queue->consumer = consumer;
+    if (lines.size() > 3 && !lines[3].empty()) {
+      Status parsed =
+          ParseQueueSpec(lines[3], &queue->policy, &queue->capacity);
+      if (!parsed.ok()) {
+        (void)conn.channel->Send(ErrorMessage(parsed));
+        return;
+      }
+    }
+    // The subscription callbacks write onto this connection's channel via
+    // the bounded outbound queue: the fast path sends synchronously, a
+    // consumer that stops draining sheds per its policy instead of
+    // stalling the fan-out. All formats subscribe encoded: the per-publish
+    // EncodedRecord means N subscribers of one format share a single
+    // serialization (ISSUE 3 encode-once).
     Result<std::string> sub = Status::Ok();
     std::shared_ptr<BatchState> batch;
     std::size_t batch_records = 0;
     if (format.empty()) {
       sub = gateway_.SubscribeEncoded(
           consumer, *spec,
-          [channel](const ulm::EncodedRecord& enc) {
-            (void)channel->Send({transport::kEventMessageType, enc.Ascii()});
+          [queue](const ulm::EncodedRecord& enc) {
+            SendOrQueue(*queue, {transport::kEventMessageType, enc.Ascii()},
+                        1);
           },
           conn.principal);
     } else if (format == "xml") {
       sub = gateway_.SubscribeEncoded(
           consumer, *spec,
-          [channel](const ulm::EncodedRecord& enc) {
-            (void)channel->Send({"gw.event.xml", enc.Xml()});
+          [queue](const ulm::EncodedRecord& enc) {
+            SendOrQueue(*queue, {"gw.event.xml", enc.Xml()}, 1);
           },
           conn.principal);
     } else if (ParseBatchFormat(format, &batch_records)) {
       batch = std::make_shared<BatchState>();
-      batch->channel = channel;
+      batch->queue = queue;
       batch->max_records = batch_records;
       EventGateway* gw = &gateway_;
       sub = gateway_.SubscribeEncoded(
@@ -179,6 +239,7 @@ void GatewayService::HandleMessage(Connection& conn,
       return;
     }
     conn.subscription_ids.push_back(*sub);
+    conn.out_queues.emplace(*sub, std::move(queue));
     if (batch) conn.batches.emplace(*sub, std::move(batch));
     (void)conn.channel->Send({"gw.ok", *sub});
     return;
@@ -191,6 +252,7 @@ void GatewayService::HandleMessage(Connection& conn,
       if (it->second->count > 0) FlushBatch(*it->second);
       conn.batches.erase(it);
     }
+    conn.out_queues.erase(msg.payload);
     (void)conn.channel->Send(s.ok() ? transport::Message{"gw.ok", ""}
                                     : ErrorMessage(s));
     return;
@@ -242,6 +304,17 @@ void GatewayService::DropConnection(Connection& conn) {
   }
   conn.subscription_ids.clear();
   conn.batches.clear();  // channel is dead; partial batches go with it
+  // Messages still queued for the dead channel will never arrive: count
+  // them, keeping delivered + dropped exact.
+  for (auto& [id, queue] : conn.out_queues) {
+    if (queue->queued_records > 0) {
+      queue->dropped_messages += queue->pending.size();
+      queue->dropped_records += queue->queued_records;
+      ServiceInstruments().subscriber_dropped.Add(
+          static_cast<std::int64_t>(queue->queued_records));
+    }
+  }
+  conn.out_queues.clear();
   conn.channel->Close();
 }
 
@@ -250,10 +323,143 @@ void GatewayService::FlushBatch(BatchState& batch) {
   tm.batches_sent.Increment();
   tm.batched_records_sent.Add(batch.count);
   tm.batch_records.Record(batch.count);
-  (void)batch.channel->Send(
-      {transport::kEventBatchMessageType, std::move(batch.buffer)});
+  const std::uint64_t records = batch.count;
+  SendOrQueue(*batch.queue,
+              {transport::kEventBatchMessageType, std::move(batch.buffer)},
+              records);
   batch.buffer.clear();  // moved-from: reset to a defined empty state
   batch.count = 0;
+}
+
+void GatewayService::SendOrQueue(OutQueue& queue, transport::Message msg,
+                                 std::uint64_t records) {
+  if (queue.disconnected) {
+    // Policy already fired; everything further is shed (and counted, so
+    // delivered + dropped stays exact).
+    queue.dropped_messages += 1;
+    queue.dropped_records += records;
+    ServiceInstruments().subscriber_dropped.Add(
+        static_cast<std::int64_t>(records));
+    return;
+  }
+  if (queue.pending.empty()) {
+    auto sent = queue.channel->TrySend(msg);
+    if (sent.ok() && *sent) {
+      queue.sent_messages += 1;
+      queue.sent_records += records;
+      return;
+    }
+    if (!sent.ok()) {
+      // Channel closed under us; PollOnce reaps the connection. Count the
+      // message as dropped rather than silently losing it.
+      queue.dropped_messages += 1;
+      queue.dropped_records += records;
+      ServiceInstruments().subscriber_dropped.Add(
+          static_cast<std::int64_t>(records));
+      return;
+    }
+    // Transport full: fall through and queue.
+  }
+  auto& tm = ServiceInstruments();
+  if (queue.pending.size() >= queue.capacity) {
+    switch (queue.policy) {
+      case OverflowPolicy::kDropOldest: {
+        auto& [old_msg, old_records] = queue.pending.front();
+        (void)old_msg;
+        queue.dropped_messages += 1;
+        queue.dropped_records += old_records;
+        queue.overload_drops_pending += old_records;
+        queue.queued_records -= old_records;
+        tm.subscriber_dropped.Add(static_cast<std::int64_t>(old_records));
+        queue.pending.pop_front();
+        break;
+      }
+      case OverflowPolicy::kDropNewest:
+        queue.dropped_messages += 1;
+        queue.dropped_records += records;
+        queue.overload_drops_pending += records;
+        tm.subscriber_dropped.Add(static_cast<std::int64_t>(records));
+        return;  // incoming message is the casualty
+      case OverflowPolicy::kDisconnect: {
+        // The consumer is too slow to be served: cut it off. Everything
+        // still queued (and the incoming message) counts as dropped.
+        std::uint64_t lost = records;
+        for (const auto& [pending_msg, pending_records] : queue.pending) {
+          (void)pending_msg;
+          lost += pending_records;
+        }
+        queue.dropped_messages += 1 + queue.pending.size();
+        queue.dropped_records += lost;
+        queue.overload_drops_pending += lost;
+        queue.queued_records = 0;
+        queue.pending.clear();
+        queue.disconnected = true;
+        queue.channel->Close();
+        tm.subscriber_dropped.Add(static_cast<std::int64_t>(lost));
+        tm.overload_disconnects.Increment();
+        return;
+      }
+    }
+  }
+  queue.queued_records += records;
+  queue.pending.emplace_back(std::move(msg), records);
+}
+
+void GatewayService::DrainQueues() {
+  for (auto& conn : connections_) {
+    for (auto& [id, queue] : conn.out_queues) {
+      while (!queue->pending.empty()) {
+        auto& [msg, records] = queue->pending.front();
+        auto sent = queue->channel->TrySend(msg);
+        if (!sent.ok()) {
+          // Dead channel: the reaper handles the connection; what is still
+          // queued counts as dropped when the connection is dropped.
+          break;
+        }
+        if (!*sent) break;  // still full — try again next poll
+        queue->sent_messages += 1;
+        queue->sent_records += records;
+        queue->queued_records -= records;
+        queue->pending.pop_front();
+      }
+      if (queue->overload_drops_pending > 0) {
+        // Surface the overload on the event stream itself, so operators
+        // (and chaos tests) see drops without scraping /metrics.
+        auto& tm = ServiceInstruments();
+        tm.overload_events.Increment();
+        ulm::Record rec(gateway_.clock().Now(), "", "gateway-service",
+                        std::string(ulm::level::kWarning), kOverloadEvent);
+        rec.SetField("CONSUMER", queue->consumer);
+        rec.SetField("DROPPED",
+                     static_cast<std::int64_t>(queue->overload_drops_pending));
+        rec.SetField("POLICY", OverflowPolicyName(queue->policy));
+        queue->overload_drops_pending = 0;
+        gateway_.Publish(rec);
+      }
+    }
+  }
+}
+
+std::vector<GatewayService::SubscriberQueueStats> GatewayService::QueueStats()
+    const {
+  std::vector<SubscriberQueueStats> out;
+  for (const auto& conn : connections_) {
+    for (const auto& [id, queue] : conn.out_queues) {
+      SubscriberQueueStats stats;
+      stats.subscription_id = id;
+      stats.consumer = queue->consumer;
+      stats.policy = queue->policy;
+      stats.queued_messages = queue->pending.size();
+      stats.queued_records = queue->queued_records;
+      stats.sent_messages = queue->sent_messages;
+      stats.sent_records = queue->sent_records;
+      stats.dropped_messages = queue->dropped_messages;
+      stats.dropped_records = queue->dropped_records;
+      stats.disconnected = queue->disconnected;
+      out.push_back(std::move(stats));
+    }
+  }
+  return out;
 }
 
 // ----------------------------------------------------------------- client
@@ -299,9 +505,13 @@ Duration RemainingUntil(SteadyPoint deadline) {
 
 std::string SubscribePayload(const std::string& consumer,
                              const FilterSpec& spec,
-                             const std::string& format) {
+                             const std::string& format,
+                             const std::string& queue) {
   std::string payload = consumer + "\n" + spec.ToString();
-  if (!format.empty()) payload += "\n" + format;
+  // The format line is a positional placeholder: it must be present
+  // (possibly empty) whenever a queue line follows.
+  if (!format.empty() || !queue.empty()) payload += "\n" + format;
+  if (!queue.empty()) payload += "\n" + queue;
   return payload;
 }
 
@@ -404,7 +614,7 @@ Status GatewayClient::Reconnect() {
     sub.id.clear();
     JAMM_RETURN_IF_ERROR(channel_->Send(
         {"gw.subscribe",
-         SubscribePayload(sub.consumer, sub.spec, sub.format)}));
+         SubscribePayload(sub.consumer, sub.spec, sub.format, sub.queue)}));
     awaited_.push_back({Awaited::Kind::kSubscribe, sub.key});
     t.resubscribes.Increment();
   }
@@ -460,24 +670,33 @@ Status GatewayClient::Authenticate(const std::string& principal) {
   return reply.ok() ? Status::Ok() : reply.status();
 }
 
+void GatewayClient::SetQueueSpec(OverflowPolicy policy,
+                                 std::size_t capacity) {
+  queue_spec_ = "queue:" + std::string(OverflowPolicyName(policy));
+  if (capacity > 0) queue_spec_ += ":" + std::to_string(capacity);
+}
+
 Result<std::string> GatewayClient::SubscribeWithFormat(
     const std::string& consumer, const FilterSpec& spec,
     const std::string& format) {
-  JAMM_RETURN_IF_ERROR(
-      SendControl({"gw.subscribe", SubscribePayload(consumer, spec, format)}));
+  JAMM_RETURN_IF_ERROR(SendControl(
+      {"gw.subscribe",
+       SubscribePayload(consumer, spec, format, queue_spec_)}));
   auto reply = WaitFor("gw.ok", kSecond);
   if (!reply.ok()) return reply.status();
   // Record the spec so a reconnect can replay it.
-  subs_.push_back({next_sub_key_++, consumer, spec, format, reply->payload});
+  subs_.push_back(
+      {next_sub_key_++, consumer, spec, format, queue_spec_, reply->payload});
   return reply->payload;
 }
 
 Status GatewayClient::SubscribeAsyncWithFormat(const std::string& consumer,
                                                const FilterSpec& spec,
                                                const std::string& format) {
-  JAMM_RETURN_IF_ERROR(
-      SendControl({"gw.subscribe", SubscribePayload(consumer, spec, format)}));
-  subs_.push_back({next_sub_key_++, consumer, spec, format, ""});
+  JAMM_RETURN_IF_ERROR(SendControl(
+      {"gw.subscribe",
+       SubscribePayload(consumer, spec, format, queue_spec_)}));
+  subs_.push_back({next_sub_key_++, consumer, spec, format, queue_spec_, ""});
   awaited_.push_back({Awaited::Kind::kSubscribe, subs_.back().key});
   return Status::Ok();
 }

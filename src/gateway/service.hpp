@@ -4,7 +4,7 @@
 //
 // Protocol (Message.type / payload):
 //   "gw.auth"         principal            — identify this connection
-//   "gw.subscribe"    consumer\nfilterspec[\nformat]
+//   "gw.subscribe"    consumer\nfilterspec[\nformat[\nqueue:...]]
 //                                          — open stream; reply gw.ok <id>.
 //                                            format "" streams ASCII
 //                                            ulm.event; "xml" streams
@@ -15,7 +15,12 @@
 //                                            N (default 16) self-delimiting
 //                                            binary records, flushed when
 //                                            full or when the oldest queued
-//                                            record exceeds the batch age
+//                                            record exceeds the batch age.
+//                                            Optional 4th line (ISSUE 4)
+//                                            "queue:<policy>[:<cap>]" picks
+//                                            the slow-consumer overflow
+//                                            policy: drop-oldest (default),
+//                                            drop-newest, or disconnect
 //   "gw.unsubscribe"  subscription id      — reply gw.ok (flushes any
 //                                            partial batch first)
 //   "gw.query"        event glob           — reply ulm.event / gw.error
@@ -42,6 +47,24 @@
 
 namespace jamm::gateway {
 
+/// Slow-consumer protection (ISSUE 4): every remote subscription writes
+/// through a bounded outbound queue. The fast path (queue empty, transport
+/// accepts) delivers synchronously; when the transport would block, events
+/// queue up to the capacity, and this policy decides what happens next.
+enum class OverflowPolicy {
+  kDropOldest,  // shed the oldest queued event (default: favour freshness)
+  kDropNewest,  // shed the incoming event (favour continuity)
+  kDisconnect,  // close the connection; the consumer must re-dial
+};
+
+Result<OverflowPolicy> ParseOverflowPolicy(std::string_view text);
+std::string_view OverflowPolicyName(OverflowPolicy policy);
+
+/// ULM event the service publishes on its own gateway when an overloaded
+/// subscription dropped events (fields CONSUMER, DROPPED, POLICY).
+/// Lowercase: must not match sensor-event globs.
+inline constexpr char kOverloadEvent[] = "gw.overload";
+
 class GatewayService {
  public:
   GatewayService(EventGateway& gateway,
@@ -64,13 +87,53 @@ class GatewayService {
   Duration batch_max_age() const { return batch_max_age_; }
   static constexpr std::size_t kDefaultBatchRecords = 16;
   static constexpr Duration kDefaultBatchMaxAge = 50 * kMillisecond;
+  /// Default outbound queue bound per remote subscription (messages).
+  static constexpr std::size_t kDefaultQueueCapacity = 1024;
+
+  /// Per-subscription outbound accounting, for tests and /metrics-style
+  /// inspection. delivered + dropped is exact: every event routed to the
+  /// subscription lands in exactly one bucket.
+  struct SubscriberQueueStats {
+    std::string subscription_id;
+    std::string consumer;
+    OverflowPolicy policy = OverflowPolicy::kDropOldest;
+    std::size_t queued_messages = 0;   // currently waiting
+    std::uint64_t queued_records = 0;
+    std::uint64_t sent_messages = 0;
+    std::uint64_t sent_records = 0;
+    std::uint64_t dropped_messages = 0;
+    std::uint64_t dropped_records = 0;
+    bool disconnected = false;  // kDisconnect policy fired
+  };
+  std::vector<SubscriberQueueStats> QueueStats() const;
 
  private:
+  /// Bounded outbound queue between the gateway fan-out (synchronous) and
+  /// one remote subscription's channel (which may refuse writes when the
+  /// consumer stops draining). Shared between the subscription callback
+  /// and the service's drain/flush paths.
+  struct OutQueue {
+    std::shared_ptr<transport::Channel> channel;
+    std::string consumer;
+    OverflowPolicy policy = OverflowPolicy::kDropOldest;
+    std::size_t capacity = kDefaultQueueCapacity;
+    /// message + how many ULM records it carries (1, or a batch's count).
+    std::deque<std::pair<transport::Message, std::uint64_t>> pending;
+    std::uint64_t queued_records = 0;
+    std::uint64_t sent_messages = 0;
+    std::uint64_t sent_records = 0;
+    std::uint64_t dropped_messages = 0;
+    std::uint64_t dropped_records = 0;
+    /// Records dropped since the last gw.overload event was published.
+    std::uint64_t overload_drops_pending = 0;
+    bool disconnected = false;
+  };
+
   /// Accumulates one batch subscription's encoded records between flushes.
   /// Shared between the subscription callback (appends) and the service
   /// (age flush, unsubscribe flush).
   struct BatchState {
-    std::shared_ptr<transport::Channel> channel;
+    std::shared_ptr<OutQueue> queue;
     std::string buffer;        // concatenated self-delimiting records
     std::size_t count = 0;     // records in buffer
     TimePoint first_ts = 0;    // when the oldest buffered record arrived
@@ -83,11 +146,20 @@ class GatewayService {
     std::vector<std::string> subscription_ids;
     /// subscription id → batch accumulator (batch subscriptions only).
     std::map<std::string, std::shared_ptr<BatchState>> batches;
+    /// subscription id → outbound queue (every remote subscription).
+    std::map<std::string, std::shared_ptr<OutQueue>> out_queues;
   };
 
   void HandleMessage(Connection& conn, const transport::Message& msg);
   void DropConnection(Connection& conn);
   static void FlushBatch(BatchState& batch);
+  /// Fast path: queue empty and transport accepts → synchronous send.
+  /// Otherwise queue, applying the overflow policy at capacity.
+  static void SendOrQueue(OutQueue& queue, transport::Message msg,
+                          std::uint64_t records);
+  /// Push queued messages into channels that have room again; publish
+  /// gw.overload events for queues that dropped since the last poll.
+  void DrainQueues();
 
   EventGateway& gateway_;
   std::unique_ptr<transport::Listener> listener_;
@@ -146,6 +218,12 @@ class GatewayClient {
                                const FilterSpec& spec,
                                std::size_t batch_records = 0);
 
+  /// Slow-consumer policy (ISSUE 4) requested by subsequent Subscribe*
+  /// calls: how the gateway handles this subscription when the client
+  /// stops draining. Recorded per subscription and replayed on reconnect.
+  /// `capacity` 0 means the server default.
+  void SetQueueSpec(OverflowPolicy policy, std::size_t capacity = 0);
+
   /// Ask the host's sensor manager (via the gateway) to start or stop a
   /// sensor by name.
   Status StartSensor(const std::string& sensor);
@@ -200,6 +278,7 @@ class GatewayClient {
     std::string consumer;
     FilterSpec spec;
     std::string format;  // "" (ASCII) | "xml" | "batch[:N]" wire format
+    std::string queue;   // "" | "queue:<policy>[:<cap>]" overflow policy
     std::string id;      // gateway-assigned; empty until adopted
   };
   /// A pipelined control request whose reply is still outstanding.
@@ -235,6 +314,7 @@ class GatewayClient {
   bool authenticated_ = false;
   std::vector<RecordedSub> subs_;
   std::deque<Awaited> awaited_;
+  std::string queue_spec_;  // applied to subsequent subscribes
   std::uint64_t next_sub_key_ = 1;
   resilience::ReplayBuffer<ulm::Record> pending_events_;
 };

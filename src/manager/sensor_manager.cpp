@@ -18,6 +18,11 @@ struct ManagerTelemetry {
   telemetry::Counter& port_triggers;
   telemetry::Counter& port_stops;
   telemetry::Counter& config_refreshes;
+  telemetry::Counter& config_stale;
+  telemetry::Counter& poll_errors;
+  telemetry::Counter& supervised_restarts;
+  telemetry::Counter& quarantines;
+  telemetry::Counter& lease_renewals;
   telemetry::Histogram& tick_us;
 };
 
@@ -30,6 +35,11 @@ ManagerTelemetry& Instruments() {
                             m.counter("manager.port_triggers"),
                             m.counter("manager.port_stops"),
                             m.counter("manager.config_refreshes"),
+                            m.counter("manager.config_stale"),
+                            m.counter("manager.poll_errors"),
+                            m.counter("manager.supervised_restarts"),
+                            m.counter("manager.quarantines"),
+                            m.counter("manager.lease_renewals"),
                             m.histogram("manager.tick_us")};
   return t;
 }
@@ -179,12 +189,28 @@ Status SensorManager::StopManaged(Managed& managed) {
 void SensorManager::PublishSensor(const Managed& managed) {
   if (!options_.directory) return;
   const std::string& host = options_.host->host();
+  const TimePoint now = options_.clock->Now();
+  // The host entry is the parent of every leased child and carries no
+  // lease itself: the reaper reprieves non-leaf entries anyway, and an
+  // immortal parent keeps re-registration cheap.
   (void)options_.directory->Upsert(directory::schema::MakeHostEntry(
       options_.directory_suffix, host));
-  (void)options_.directory->Upsert(directory::schema::MakeSensorEntry(
+  if (!options_.gateway_address.empty()) {
+    auto gw_entry = directory::schema::MakeGatewayEntry(
+        options_.directory_suffix, host, options_.gateway_address);
+    if (options_.lease_ttl > 0) {
+      directory::schema::StampLease(gw_entry, now + options_.lease_ttl);
+    }
+    (void)options_.directory->Upsert(gw_entry);
+  }
+  auto entry = directory::schema::MakeSensorEntry(
       options_.directory_suffix, host, managed.sensor->name(),
       managed.sensor->type(), options_.gateway_address,
-      managed.sensor->interval() / kMillisecond, options_.clock->Now()));
+      managed.sensor->interval() / kMillisecond, now);
+  if (options_.lease_ttl > 0) {
+    directory::schema::StampLease(entry, now + options_.lease_ttl);
+  }
+  (void)options_.directory->Upsert(entry);
 }
 
 void SensorManager::UnpublishSensor(const std::string& name) {
@@ -198,7 +224,9 @@ void SensorManager::Tick() {
   telemetry::ScopedTimer tick_timer(&tm.tick_us);
   const TimePoint now = options_.clock->Now();
 
-  // Periodic configuration refresh.
+  // Periodic configuration refresh. A failed fetch is survivable: keep
+  // running on the last-good configuration, but say so on the event
+  // stream so operators notice a manager drifting stale (ISSUE 4).
   if (options_.config_refresh > 0 && config_fetcher_ &&
       now >= next_config_refresh_) {
     next_config_refresh_ = now + options_.config_refresh;
@@ -207,12 +235,28 @@ void SensorManager::Tick() {
       JAMM_LOG(kWarn, "sensor-manager")
           << options_.host->host() << ": config refresh failed: "
           << s.ToString();
+      ++stats_.config_stale;
+      tm.config_stale.Increment();
+      PublishManagerEvent(event::kConfigStale, ulm::level::kWarning,
+                          s.ToString());
+    }
+  }
+
+  // Supervised restarts whose backoff delay has elapsed.
+  for (auto& [name, managed] : sensors_) {
+    if (managed.restart_pending && !managed.quarantined &&
+        now >= managed.restart_at) {
+      managed.restart_pending = false;
+      if (StartManaged(managed).ok()) {
+        ++stats_.supervised_restarts;
+        tm.supervised_restarts.Increment();
+      }
     }
   }
 
   // Port-monitor triggering.
   for (auto& [name, managed] : sensors_) {
-    if (managed.mode != RunMode::kOnPort) continue;
+    if (managed.mode != RunMode::kOnPort || managed.quarantined) continue;
     const bool want_running = port_monitor_.AnyActive(managed.ports);
     if (want_running && !managed.sensor->running()) {
       if (StartManaged(managed).ok()) {
@@ -236,9 +280,10 @@ void SensorManager::Tick() {
     if (!managed.sensor->running() || now < managed.next_poll) continue;
     managed.next_poll = now + managed.sensor->interval();
     events.clear();
-    managed.sensor->Poll(events);
+    Status polled = managed.sensor->Poll(events);
     ++stats_.polls;
     tm.polls.Increment();
+    // Events gathered before a failure are still forwarded.
     for (auto& rec : events) {
       if (options_.trace_events) {
         telemetry::EnsureTrace(rec);
@@ -249,12 +294,118 @@ void SensorManager::Tick() {
       ++stats_.events_forwarded;
       tm.events_forwarded.Increment();
     }
+    if (!polled.ok()) {
+      HandlePollFailure(name, managed, polled);
+    } else if (managed.supervisor) {
+      managed.supervisor->OnSuccess();
+    }
   }
+
+  // Heartbeat: renew this manager's directory leases in one batch.
+  if (options_.directory && options_.lease_ttl > 0 &&
+      options_.heartbeat_interval > 0 && now >= next_heartbeat_) {
+    next_heartbeat_ = now + options_.heartbeat_interval;
+    HeartbeatLeases(now);
+  }
+}
+
+void SensorManager::HandlePollFailure(const std::string& name,
+                                      Managed& managed,
+                                      const Status& status) {
+  auto& tm = Instruments();
+  ++stats_.poll_errors;
+  tm.poll_errors.Increment();
+  if (!managed.supervisor) {
+    managed.supervisor.emplace(options_.sensor_restart, *options_.clock);
+  }
+  auto decision = managed.supervisor->OnFailure();
+  if (decision.action == resilience::Supervisor::Action::kQuarantine) {
+    managed.quarantined = true;
+    managed.restart_pending = false;
+    (void)StopManaged(managed);
+    // De-register: a quarantined sensor must not look discoverable.
+    UnpublishSensor(name);
+    ++stats_.quarantines;
+    tm.quarantines.Increment();
+    JAMM_LOG(kWarn, "sensor-manager")
+        << options_.host->host() << ": sensor '" << name
+        << "' quarantined after repeated poll failures: "
+        << status.ToString();
+    PublishManagerEvent(event::kQuarantined, ulm::level::kAlert,
+                        "sensor " + name + ": " + status.ToString());
+    return;
+  }
+  // Restart the sensor: stop now, start when the backoff allows. The first
+  // failure in a calm period restarts within this very Tick.
+  (void)StopManaged(managed);
+  if (decision.restart_at <= options_.clock->Now()) {
+    if (StartManaged(managed).ok()) {
+      ++stats_.supervised_restarts;
+      tm.supervised_restarts.Increment();
+    }
+  } else {
+    managed.restart_pending = true;
+    managed.restart_at = decision.restart_at;
+  }
+}
+
+void SensorManager::HeartbeatLeases(TimePoint now) {
+  std::vector<directory::Dn> batch;
+  const std::string& host = options_.host->host();
+  for (const auto& [name, managed] : sensors_) {
+    if (!managed.sensor->running() || managed.quarantined) continue;
+    batch.push_back(directory::schema::SensorDn(options_.directory_suffix,
+                                                host, name));
+  }
+  if (!options_.gateway_address.empty() && !batch.empty()) {
+    batch.push_back(
+        directory::schema::GatewayDn(options_.directory_suffix, host));
+  }
+  if (batch.empty()) return;
+  const TimePoint expiry = now + options_.lease_ttl;
+  std::vector<directory::Dn> missing;
+  auto renewed = options_.directory->RenewLeases(batch, expiry, "", &missing);
+  if (!renewed.ok()) return;  // pool down; retried next heartbeat
+  stats_.lease_renewals += *renewed;
+  Instruments().lease_renewals.Add(static_cast<std::int64_t>(*renewed));
+  // Entries the directory lost (reaped during a partition, failed-over
+  // replica missing our writes) are simply re-published.
+  for (const auto& dn : missing) {
+    const std::string dn_text = dn.ToString();
+    for (const auto& [name, managed] : sensors_) {
+      if (directory::schema::SensorDn(options_.directory_suffix, host, name)
+              .ToString() == dn_text) {
+        PublishSensor(managed);
+        break;
+      }
+    }
+    if (!options_.gateway_address.empty() &&
+        directory::schema::GatewayDn(options_.directory_suffix, host)
+                .ToString() == dn_text &&
+        !sensors_.empty()) {
+      PublishSensor(sensors_.begin()->second);  // re-publishes gateway too
+    }
+  }
+}
+
+void SensorManager::PublishManagerEvent(std::string_view event_name,
+                                        std::string_view lvl,
+                                        std::string_view detail) {
+  if (!options_.gateway) return;
+  ulm::Record rec(options_.clock->Now(), options_.host->host(),
+                  "sensor-manager", std::string(lvl),
+                  std::string(event_name));
+  rec.SetField("DETAIL", detail);
+  options_.gateway->Publish(rec);
 }
 
 Status SensorManager::StartSensor(const std::string& name) {
   auto it = sensors_.find(name);
   if (it == sensors_.end()) return Status::NotFound("no sensor " + name);
+  // Manual start is the operator override that lifts quarantine.
+  it->second.quarantined = false;
+  it->second.restart_pending = false;
+  if (it->second.supervisor) it->second.supervisor->Reset();
   return StartManaged(it->second);
 }
 
@@ -262,6 +413,11 @@ Status SensorManager::StopSensor(const std::string& name) {
   auto it = sensors_.find(name);
   if (it == sensors_.end()) return Status::NotFound("no sensor " + name);
   return StopManaged(it->second);
+}
+
+bool SensorManager::IsQuarantined(const std::string& name) const {
+  auto it = sensors_.find(name);
+  return it != sensors_.end() && it->second.quarantined;
 }
 
 sensors::Sensor* SensorManager::FindSensor(const std::string& name) {

@@ -25,6 +25,7 @@
 #include "directory/schema.hpp"
 #include "gateway/gateway.hpp"
 #include "manager/port_monitor.hpp"
+#include "resilience/supervisor.hpp"
 #include "sensors/factory.hpp"
 
 namespace jamm::manager {
@@ -32,6 +33,17 @@ namespace jamm::manager {
 enum class RunMode { kAlways, kOnRequest, kOnPort };
 
 Result<RunMode> ParseRunMode(std::string_view text);
+
+/// Manager-emitted ULM events (ISSUE 4). Lowercase so they cannot match
+/// sensor-event globs like "PROC_*".
+namespace event {
+/// Config re-fetch failed; the manager keeps running on last-good config.
+inline constexpr char kConfigStale[] = "mgr.config.stale";
+/// A crash-looping sensor was quarantined and de-registered. Shares the
+/// process monitor's event name so one consumer subscription sees every
+/// quarantine in the system.
+inline constexpr char kQuarantined[] = "proc.quarantined";
+}  // namespace event
 
 class SensorManager {
  public:
@@ -52,6 +64,18 @@ class SensorManager {
     /// forwarded to the gateway, so the event's path through the system
     /// is reconstructable downstream (telemetry/trace.hpp).
     bool trace_events = true;
+    /// Liveness (ISSUE 4): directory entries this manager publishes carry
+    /// a lease of this TTL; Tick() renews them in a heartbeat batch every
+    /// `heartbeat_interval`. A manager that stops Ticking (crashed host)
+    /// stops renewing, and the directory's reaper tombstones its entries.
+    /// lease_ttl = 0 disables leases (entries are immortal, pre-ISSUE-4
+    /// behaviour).
+    Duration lease_ttl = 30 * kSecond;
+    Duration heartbeat_interval = 10 * kSecond;
+    /// Supervision for sensors whose Poll() returns errors: backoff
+    /// restarts, then crash-loop quarantine (de-registered from the
+    /// directory, `proc.quarantined` event published).
+    resilience::SupervisorPolicy sensor_restart;
   };
 
   explicit SensorManager(Options options);
@@ -88,12 +112,20 @@ class SensorManager {
   std::vector<std::string> RunningSensors() const;
   PortMonitor& port_monitor() { return port_monitor_; }
 
+  /// True if the named sensor has been quarantined by its supervisor.
+  bool IsQuarantined(const std::string& name) const;
+
   struct Stats {
     std::uint64_t polls = 0;
     std::uint64_t events_forwarded = 0;
     std::uint64_t config_refreshes = 0;
     std::uint64_t port_triggers = 0;   // sensor starts caused by ports
     std::uint64_t port_stops = 0;      // sensor stops caused by idle ports
+    std::uint64_t poll_errors = 0;     // non-OK sensor Polls
+    std::uint64_t supervised_restarts = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t lease_renewals = 0;  // entries renewed via heartbeats
+    std::uint64_t config_stale = 0;    // failed refreshes, last-good kept
   };
   const Stats& stats() const { return stats_; }
 
@@ -104,12 +136,22 @@ class SensorManager {
     std::vector<std::uint16_t> ports;
     TimePoint next_poll = 0;
     std::string config_fingerprint;  // to detect changed blocks
+    // Supervision state (created lazily on the first poll failure).
+    std::optional<resilience::Supervisor> supervisor;
+    TimePoint restart_at = 0;
+    bool restart_pending = false;
+    bool quarantined = false;
   };
 
   void PublishSensor(const Managed& managed);
   void UnpublishSensor(const std::string& name);
   Status StartManaged(Managed& managed);
   Status StopManaged(Managed& managed);
+  void HandlePollFailure(const std::string& name, Managed& managed,
+                         const Status& status);
+  void HeartbeatLeases(TimePoint now);
+  void PublishManagerEvent(std::string_view event_name, std::string_view lvl,
+                           std::string_view detail);
 
   Options options_;
   PortMonitor port_monitor_;
@@ -117,6 +159,7 @@ class SensorManager {
   std::function<Result<std::string>()> config_fetcher_;
   std::string last_config_text_;
   TimePoint next_config_refresh_ = 0;
+  TimePoint next_heartbeat_ = 0;
   Stats stats_;
 };
 

@@ -13,7 +13,20 @@
 #include <optional>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace jamm::resilience {
+
+namespace internal {
+/// Process-wide eviction counter shared by every ReplayBuffer
+/// instantiation, so buffer loss shows up in /metrics (ISSUE 4) next to
+/// the per-instance dropped() counts the embedding clients expose.
+inline telemetry::Counter& ReplayEvictions() {
+  static telemetry::Counter& c =
+      telemetry::Metrics().counter("resilience.replay_buffer.evictions");
+  return c;
+}
+}  // namespace internal
 
 template <typename T>
 class ReplayBuffer {
@@ -27,6 +40,7 @@ class ReplayBuffer {
     if (items_.size() >= capacity_) {
       items_.pop_front();
       ++dropped_;
+      internal::ReplayEvictions().Increment();
       evicted = true;
     }
     items_.push_back(std::move(item));
@@ -53,6 +67,7 @@ class ReplayBuffer {
     while (items_.size() > capacity_) {
       items_.pop_front();
       ++dropped_;
+      internal::ReplayEvictions().Increment();
     }
   }
 

@@ -1,0 +1,68 @@
+#include "resilience/supervisor.hpp"
+
+#include "telemetry/metrics.hpp"
+
+namespace jamm::resilience {
+
+namespace {
+
+struct SupervisorTelemetry {
+  telemetry::Counter& failures;
+  telemetry::Counter& restarts;
+  telemetry::Counter& quarantines;
+};
+
+SupervisorTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static SupervisorTelemetry t{m.counter("resilience.supervisor.failures"),
+                               m.counter("resilience.supervisor.restarts"),
+                               m.counter("resilience.supervisor.quarantines")};
+  return t;
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorPolicy policy, const Clock& clock)
+    : policy_(policy), clock_(clock) {}
+
+Supervisor::Decision Supervisor::OnFailure() {
+  auto& tm = Instruments();
+  tm.failures.Increment();
+  const TimePoint now = clock_.Now();
+  failures_.push_back(now);
+  while (!failures_.empty() && now - failures_.front() > policy_.window) {
+    failures_.pop_front();
+  }
+  if (quarantined_) return {Action::kQuarantine, 0};
+  const int in_window = static_cast<int>(failures_.size());
+  if (in_window > policy_.max_restarts) {
+    quarantined_ = true;
+    ++quarantines_;
+    tm.quarantines.Increment();
+    return {Action::kQuarantine, 0};
+  }
+  // Exponential backoff over the streak: failure #1 restarts now, #2 after
+  // initial_backoff, #3 after initial_backoff × multiplier, ... capped.
+  Duration delay = 0;
+  if (in_window > 1) {
+    double d = static_cast<double>(policy_.initial_backoff);
+    for (int i = 2; i < in_window; ++i) {
+      d *= policy_.backoff_multiplier;
+      if (d >= static_cast<double>(policy_.max_backoff)) break;
+    }
+    delay = static_cast<Duration>(d);
+    if (delay > policy_.max_backoff) delay = policy_.max_backoff;
+  }
+  ++restarts_granted_;
+  tm.restarts.Increment();
+  return {Action::kRestart, now + delay};
+}
+
+void Supervisor::OnSuccess() { failures_.clear(); }
+
+void Supervisor::Reset() {
+  failures_.clear();
+  quarantined_ = false;
+}
+
+}  // namespace jamm::resilience

@@ -1,0 +1,81 @@
+// Supervised restart policy (ISSUE 4). The paper's process monitor "might
+// run a script to restart the processes" — unconditionally. A process that
+// dies faster than it can be restarted turns that script into a crash
+// loop: restarts burn resources, flood the event stream, and never
+// converge. The Supervisor brings Erlang/systemd-style discipline to both
+// restart paths (ProcessMonitorConsumer for watched processes,
+// SensorManager for sensors whose Poll keeps failing):
+//
+//   * the first failure in a calm period restarts immediately;
+//   * repeated failures back off exponentially (initial_backoff ×
+//     multiplier^n, capped at max_backoff);
+//   * more than max_restarts failures inside a sliding window quarantines
+//     the target: no further restarts until an operator calls Reset().
+//
+// Time comes from the injected Clock, so chaos tests drive crash loops in
+// simulated time. Single-threaded, like every poll-driven component.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/clock.hpp"
+
+namespace jamm::resilience {
+
+struct SupervisorPolicy {
+  /// Delay before the SECOND restart in a failure streak (the first is
+  /// immediate — a single transient death should not add latency).
+  Duration initial_backoff = kSecond;
+  double backoff_multiplier = 2.0;
+  Duration max_backoff = 60 * kSecond;
+  /// Failures tolerated inside `window` before quarantine. The N+1-th
+  /// failure within the window quarantines instead of restarting.
+  int max_restarts = 5;
+  Duration window = 5 * kMinute;
+};
+
+class Supervisor {
+ public:
+  enum class Action { kRestart, kQuarantine };
+  struct Decision {
+    Action action = Action::kRestart;
+    /// When the restart may run (== now for an immediate restart).
+    /// Meaningless for kQuarantine.
+    TimePoint restart_at = 0;
+  };
+
+  Supervisor(SupervisorPolicy policy, const Clock& clock);
+
+  /// Record a failure at Now() and decide: restart (immediately or after
+  /// backoff) or quarantine. Once quarantined, every further failure
+  /// returns kQuarantine until Reset().
+  Decision OnFailure();
+
+  /// A healthy run was observed: clear the failure streak so the next
+  /// failure restarts immediately again. Does not lift quarantine.
+  void OnSuccess();
+
+  /// Operator override: forget history and lift quarantine.
+  void Reset();
+
+  bool quarantined() const { return quarantined_; }
+  /// Failures still inside the sliding window as of the last OnFailure.
+  int failures_in_window() const {
+    return static_cast<int>(failures_.size());
+  }
+  std::uint64_t restarts_granted() const { return restarts_granted_; }
+  std::uint64_t quarantines() const { return quarantines_; }
+
+  const SupervisorPolicy& policy() const { return policy_; }
+
+ private:
+  SupervisorPolicy policy_;
+  const Clock& clock_;
+  std::deque<TimePoint> failures_;  // within the window, oldest first
+  bool quarantined_ = false;
+  std::uint64_t restarts_granted_ = 0;
+  std::uint64_t quarantines_ = 0;
+};
+
+}  // namespace jamm::resilience

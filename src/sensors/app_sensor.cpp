@@ -20,7 +20,8 @@ void AppSensorBridge::SetStaticThreshold(std::string field, double limit) {
   threshold_set_ = true;
 }
 
-void AppSensorBridge::DoPoll(std::vector<ulm::Record>& out) {
+Status AppSensorBridge::DoPoll(std::vector<ulm::Record>& out) {
+  if (!poll_failure_.ok()) return poll_failure_;
   for (auto& rec : buffer_->TakeRecords()) {
     bool fire_threshold = false;
     double value = 0;
@@ -40,6 +41,7 @@ void AppSensorBridge::DoPoll(std::vector<ulm::Record>& out) {
       out.push_back(std::move(alert));
     }
   }
+  return Status::Ok();
 }
 
 }  // namespace jamm::sensors

@@ -39,14 +39,20 @@ class AppSensorBridge final : public Sensor {
   /// appended after it.
   void SetStaticThreshold(std::string field, double limit);
 
+  /// Deterministic failure injection (ISSUE 4): while set non-OK, every
+  /// DoPoll returns this status — the hook chaos tests use to drive the
+  /// manager's supervisor into backoff and quarantine. Set OK to heal.
+  void SetPollFailure(Status status) { poll_failure_ = std::move(status); }
+
  private:
-  void DoPoll(std::vector<ulm::Record>& out) override;
+  Status DoPoll(std::vector<ulm::Record>& out) override;
 
   std::shared_ptr<netlogger::MemorySink> buffer_;
   std::shared_ptr<netlogger::LogSink> sink_;
   std::string threshold_field_;
   double threshold_limit_ = 0;
   bool threshold_set_ = false;
+  Status poll_failure_;  // OK = healthy
 };
 
 }  // namespace jamm::sensors

@@ -8,9 +8,11 @@ VmstatSensor::VmstatSensor(std::string name, const Clock& clock,
     : Sensor(std::move(name), type::kCpu, clock, provider.host(), interval),
       provider_(provider) {}
 
-void VmstatSensor::DoPoll(std::vector<ulm::Record>& out) {
+Status VmstatSensor::DoPoll(std::vector<ulm::Record>& out) {
   auto metrics = provider_.Sample();
-  if (!metrics.ok()) return;  // tool failed this round; try next poll
+  // A failed sample is reported: repeated failures feed the manager's
+  // supervisor (ISSUE 4).
+  if (!metrics.ok()) return metrics.status();
 
   auto user = MakeEvent(event::kVmstatUserTime);
   user.SetField("VAL", metrics->cpu_user_pct);
@@ -31,6 +33,7 @@ void VmstatSensor::DoPoll(std::vector<ulm::Record>& out) {
   }
   last_interrupts_ = metrics->interrupts;
   have_last_ = true;
+  return Status::Ok();
 }
 
 NetstatSensor::NetstatSensor(std::string name, const Clock& clock,
@@ -41,9 +44,9 @@ NetstatSensor::NetstatSensor(std::string name, const Clock& clock,
       provider_(provider),
       emit_raw_counter_(emit_raw_counter) {}
 
-void NetstatSensor::DoPoll(std::vector<ulm::Record>& out) {
+Status NetstatSensor::DoPoll(std::vector<ulm::Record>& out) {
   auto metrics = provider_.Sample();
-  if (!metrics.ok()) return;
+  if (!metrics.ok()) return metrics.status();
 
   if (emit_raw_counter_) {
     auto raw = MakeEvent(event::kNetstatRetrans);
@@ -67,6 +70,7 @@ void NetstatSensor::DoPoll(std::vector<ulm::Record>& out) {
   last_retransmits_ = metrics->tcp_retransmits;
   last_window_ = metrics->tcp_window_bytes;
   have_last_ = true;
+  return Status::Ok();
 }
 
 IostatSensor::IostatSensor(std::string name, const Clock& clock,
@@ -75,9 +79,9 @@ IostatSensor::IostatSensor(std::string name, const Clock& clock,
     : Sensor(std::move(name), type::kDisk, clock, provider.host(), interval),
       provider_(provider) {}
 
-void IostatSensor::DoPoll(std::vector<ulm::Record>& out) {
+Status IostatSensor::DoPoll(std::vector<ulm::Record>& out) {
   auto metrics = provider_.Sample();
-  if (!metrics.ok()) return;
+  if (!metrics.ok()) return metrics.status();
   if (have_last_) {
     auto read = MakeEvent(event::kIostatReadKb);
     read.SetField("VAL", metrics->disk_read_kb - last_read_kb_);
@@ -89,6 +93,7 @@ void IostatSensor::DoPoll(std::vector<ulm::Record>& out) {
   last_read_kb_ = metrics->disk_read_kb;
   last_write_kb_ = metrics->disk_write_kb;
   have_last_ = true;
+  return Status::Ok();
 }
 
 }  // namespace jamm::sensors

@@ -33,7 +33,7 @@ class VmstatSensor final : public Sensor {
                sysmon::MetricsProvider& provider, Duration interval);
 
  private:
-  void DoPoll(std::vector<ulm::Record>& out) override;
+  Status DoPoll(std::vector<ulm::Record>& out) override;
 
   sysmon::MetricsProvider& provider_;
   std::int64_t last_interrupts_ = 0;
@@ -53,7 +53,7 @@ class NetstatSensor final : public Sensor {
                 bool emit_raw_counter = true);
 
  private:
-  void DoPoll(std::vector<ulm::Record>& out) override;
+  Status DoPoll(std::vector<ulm::Record>& out) override;
 
   sysmon::MetricsProvider& provider_;
   bool emit_raw_counter_;
@@ -69,7 +69,7 @@ class IostatSensor final : public Sensor {
                sysmon::MetricsProvider& provider, Duration interval);
 
  private:
-  void DoPoll(std::vector<ulm::Record>& out) override;
+  Status DoPoll(std::vector<ulm::Record>& out) override;
 
   sysmon::MetricsProvider& provider_;
   std::int64_t last_read_kb_ = 0;

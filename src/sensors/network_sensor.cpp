@@ -9,7 +9,7 @@ SnmpNetworkSensor::SnmpNetworkSensor(std::string name, const Clock& clock,
       device_(device),
       ifindex_(ifindex) {}
 
-void SnmpNetworkSensor::DoPoll(std::vector<ulm::Record>& out) {
+Status SnmpNetworkSensor::DoPoll(std::vector<ulm::Record>& out) {
   const std::int64_t in =
       device_.Counter(sysmon::oid::IfInOctets(ifindex_)).value_or(0);
   const std::int64_t out_octets =
@@ -48,6 +48,7 @@ void SnmpNetworkSensor::DoPoll(std::vector<ulm::Record>& out) {
   last_errors_ = errors;
   last_crc_ = crc;
   have_last_ = true;
+  return Status::Ok();
 }
 
 }  // namespace jamm::sensors

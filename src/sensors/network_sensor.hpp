@@ -28,7 +28,7 @@ class SnmpNetworkSensor final : public Sensor {
                     Duration interval);
 
  private:
-  void DoPoll(std::vector<ulm::Record>& out) override;
+  Status DoPoll(std::vector<ulm::Record>& out) override;
 
   const sysmon::SnmpAgent& device_;
   std::uint32_t ifindex_;

@@ -13,7 +13,7 @@ ProcessSensor::ProcessSensor(std::string name, const Clock& clock,
       user_threshold_(user_threshold),
       threshold_window_(threshold_window) {}
 
-void ProcessSensor::DoPoll(std::vector<ulm::Record>& out) {
+Status ProcessSensor::DoPoll(std::vector<ulm::Record>& out) {
   const auto info = host_machine_.FindProcess(process_name_);
   const bool running = info && info->running;
 
@@ -63,6 +63,7 @@ void ProcessSensor::DoPoll(std::vector<ulm::Record>& out) {
       above_threshold_ = false;  // re-arm
     }
   }
+  return Status::Ok();
 }
 
 }  // namespace jamm::sensors

@@ -31,7 +31,7 @@ class ProcessSensor final : public Sensor {
                 Duration threshold_window = 60 * kSecond);
 
  private:
-  void DoPoll(std::vector<ulm::Record>& out) override;
+  Status DoPoll(std::vector<ulm::Record>& out) override;
 
   sysmon::SimHost& host_machine_;
   std::string process_name_;

@@ -23,11 +23,12 @@ Status Sensor::Stop() {
   return OnStop();
 }
 
-void Sensor::Poll(std::vector<ulm::Record>& out) {
-  if (!running_) return;
+Status Sensor::Poll(std::vector<ulm::Record>& out) {
+  if (!running_) return Status::Ok();
   const std::size_t before = out.size();
-  DoPoll(out);
+  Status polled = DoPoll(out);
   events_emitted_ += out.size() - before;
+  return polled;
 }
 
 ulm::Record Sensor::MakeEvent(std::string_view event_name,

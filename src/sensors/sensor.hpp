@@ -38,8 +38,11 @@ class Sensor {
   Status Stop();
 
   /// Collect events since the last poll into `out`. Only legal while
-  /// running. The manager calls this every `interval()`.
-  void Poll(std::vector<ulm::Record>& out);
+  /// running. The manager calls this every `interval()`. A non-OK status
+  /// (a broken data source, a dead SNMP device) feeds the manager's
+  /// supervisor: repeated failures back off and eventually quarantine the
+  /// sensor (ISSUE 4). Events gathered before the failure are kept.
+  Status Poll(std::vector<ulm::Record>& out);
 
   /// Events emitted across the sensor's lifetime (for data-volume benches).
   std::uint64_t events_emitted() const { return events_emitted_; }
@@ -50,7 +53,7 @@ class Sensor {
 
   virtual Status OnStart() { return Status::Ok(); }
   virtual Status OnStop() { return Status::Ok(); }
-  virtual void DoPoll(std::vector<ulm::Record>& out) = 0;
+  virtual Status DoPoll(std::vector<ulm::Record>& out) = 0;
 
   /// New record stamped with now/host/sensor-name.
   ulm::Record MakeEvent(std::string_view event_name,

@@ -25,6 +25,14 @@ class InProcChannel final : public Channel {
     return Status::Ok();
   }
 
+  Result<bool> TrySend(const Message& msg) override {
+    if (out_->queue.TryPush(msg)) return true;
+    if (out_->queue.closed()) {
+      return Status::Unavailable("channel closed: " + peer_);
+    }
+    return false;  // full — would block
+  }
+
   Result<Message> Receive(Duration timeout) override {
     auto msg = in_->queue.PopFor(timeout);
     if (!msg) {

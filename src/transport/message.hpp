@@ -45,6 +45,18 @@ class Channel {
 
   virtual Status Send(const Message& msg) = 0;
 
+  /// Non-blocking send. Returns true if the message was accepted, false if
+  /// it would block (peer's buffer full — try again later), or an error
+  /// status if the channel is closed. The default falls back to the
+  /// blocking Send (correct for transports without a bounded local buffer);
+  /// bounded transports override it so callers like the gateway's
+  /// slow-consumer queues never stall on one subscriber.
+  virtual Result<bool> TrySend(const Message& msg) {
+    Status status = Send(msg);
+    if (!status.ok()) return status;
+    return true;
+  }
+
   /// Blocks up to `timeout`; Timeout status if nothing arrived, Unavailable
   /// if the peer closed and the buffer is drained.
   virtual Result<Message> Receive(Duration timeout) = 0;

@@ -1,0 +1,262 @@
+// Deterministic chaos harness (ISSUE 4). Every scenario drives the full
+// stack — managers, directory replicas, gateways, consumers — through a
+// seeded CrashSchedule on a SimClock, then asserts the liveness layer's
+// convergence invariants:
+//
+//   * a crashed manager's directory entries expire from the primary AND
+//     every replica within 2×TTL of simulated time;
+//   * a crash-looping process is quarantined within the supervision
+//     window and never restarted again;
+//   * consumers using live_only discovery only ever see live gateways;
+//   * a slow consumer cannot grow gateway memory past its queue bound,
+//     and the delivered/dropped/queued accounting stays exact.
+//
+// Everything is seeded and clocked: reruns are bit-identical, so a chaos
+// failure is a debuggable failure (ctest label: chaos).
+#include <gtest/gtest.h>
+
+#include "consumers/process_monitor.hpp"
+#include "directory/replication.hpp"
+#include "directory/schema.hpp"
+#include "gateway/gateway.hpp"
+#include "gateway/service.hpp"
+#include "manager/sensor_manager.hpp"
+#include "resilience/fault.hpp"
+#include "transport/inproc.hpp"
+
+namespace jamm {
+namespace {
+
+using directory::Dn;
+using directory::schema::GatewayDn;
+using directory::schema::SensorDn;
+
+constexpr char kVmstatConfig[] = R"(
+[sensor]
+name = vmstat
+kind = vmstat
+interval_ms = 1000
+mode = always
+)";
+
+/// One host's slice of the deployment: machine, gateway, manager.
+struct SimSite {
+  SimSite(const std::string& host_name, SimClock& clock, const Dn& suffix,
+          directory::DirectoryPool& pool)
+      : host(host_name, clock), gateway("gw." + host_name, clock) {
+    manager::SensorManager::Options options;
+    options.clock = &clock;
+    options.host = &host;
+    options.gateway = &gateway;
+    options.directory = &pool;
+    options.directory_suffix = suffix;
+    options.gateway_address = "inproc:gw." + host_name;
+    options.lease_ttl = 10 * kSecond;
+    options.heartbeat_interval = 3 * kSecond;
+    manager.emplace(std::move(options));
+    auto config = Config::ParseString(kVmstatConfig);
+    EXPECT_TRUE(config.ok());
+    EXPECT_TRUE(manager->ApplyConfig(*config).ok());
+  }
+
+  sysmon::SimHost host;
+  gateway::EventGateway gateway;
+  std::optional<manager::SensorManager> manager;
+};
+
+TEST(ChaosTest, CrashedManagerEntriesExpireOnEveryReplica) {
+  constexpr Duration kTtl = 10 * kSecond;
+  constexpr TimePoint kCrashAt = 20 * kSecond;
+  SimClock clock(0);
+  const Dn suffix = *Dn::Parse("ou=sensors, o=jamm");
+
+  auto primary =
+      std::make_shared<directory::DirectoryServer>(suffix, "ldap://primary");
+  auto replica1 =
+      std::make_shared<directory::DirectoryServer>(suffix, "ldap://r1");
+  auto replica2 =
+      std::make_shared<directory::DirectoryServer>(suffix, "ldap://r2");
+  for (auto& server : {primary, replica1, replica2}) server->SetClock(&clock);
+  directory::Replicator replicator(primary);
+  replicator.AddReplica(replica1);
+  replicator.AddReplica(replica2);
+  directory::DirectoryPool pool;
+  pool.AddServer(primary);
+
+  SimSite alpha("alpha.lbl.gov", clock, suffix, pool);
+  SimSite beta("beta.lbl.gov", clock, suffix, pool);
+  const Dn alpha_dn = SensorDn(suffix, "alpha.lbl.gov", "vmstat");
+  const Dn beta_dn = SensorDn(suffix, "beta.lbl.gov", "vmstat");
+
+  // replica2 crashes and revives on a seeded schedule throughout the run
+  // (scenario D): it must still converge whenever it is up.
+  resilience::CrashSchedule replica_schedule(/*seed=*/7, 6 * kSecond,
+                                             3 * kSecond);
+
+  TimePoint beta_gone_everywhere = -1;
+  for (TimePoint now = 0; now <= 60 * kSecond; now = clock.Now()) {
+    alpha.manager->Tick();
+    if (now < kCrashAt) beta.manager->Tick();  // beta's host dies at 20s
+
+    replica2->SetAlive(replica_schedule.AliveAt(now));
+    (void)primary->ExpireLeases(now);  // the reaper sweep
+    replicator.SyncAll();
+
+    // The live manager's entry must never disappear.
+    ASSERT_TRUE(primary->Lookup(alpha_dn).ok()) << "at t=" << now;
+    // Record when the crashed manager vanished from primary + the
+    // always-alive replica (replica2 converges when it revives).
+    if (beta_gone_everywhere < 0 && !primary->Lookup(beta_dn).ok() &&
+        !replica1->Lookup(beta_dn).ok()) {
+      beta_gone_everywhere = now;
+    }
+    clock.Advance(kSecond);
+  }
+
+  // Convergence bound: gone from every live replica within 2×TTL.
+  ASSERT_GE(beta_gone_everywhere, 0);
+  EXPECT_LE(beta_gone_everywhere, kCrashAt + 2 * kTtl);
+
+  // Revive replica2 and let replication catch up: all three converge on
+  // the same world — alpha alive, beta tombstoned.
+  replica2->SetAlive(true);
+  replicator.SyncAll();
+  EXPECT_TRUE(replicator.Converged());
+  for (auto& server : {primary, replica1, replica2}) {
+    EXPECT_TRUE(server->Lookup(alpha_dn).ok()) << server->address();
+    EXPECT_FALSE(server->Lookup(beta_dn).ok()) << server->address();
+    EXPECT_FALSE(
+        server->Lookup(GatewayDn(suffix, "beta.lbl.gov")).ok())
+        << server->address();
+  }
+
+  // Scenario C: live_only discovery only surfaces live gateways.
+  auto filter = directory::Filter::Parse("(objectclass=jammGateway)");
+  ASSERT_TRUE(filter.ok());
+  auto found = pool.Search(suffix, directory::SearchScope::kSubtree, *filter,
+                           "", /*live_only=*/true);
+  ASSERT_TRUE(found.ok());
+  ASSERT_EQ(found->entries.size(), 1u);
+  EXPECT_EQ(found->entries[0].Get(directory::schema::kAttrAddress),
+            "inproc:gw.alpha.lbl.gov");
+}
+
+TEST(ChaosTest, CrashLoopingProcessIsQuarantinedWithinWindow) {
+  SimClock clock(0);
+  sysmon::SimHost host("server1", clock);
+  gateway::EventGateway gw("gw", clock);
+  consumers::ProcessMonitorConsumer monitor("procmon", clock);
+
+  std::vector<ulm::Record> quarantine_events;
+  gateway::FilterSpec spec;
+  spec.event_glob = consumers::kProcQuarantined;
+  ASSERT_TRUE(gw.Subscribe("ops", spec, [&](const ulm::Record& rec) {
+                  quarantine_events.push_back(rec);
+                }).ok());
+
+  consumers::ProcessActions actions;
+  actions.restart.emplace();
+  actions.restart->initial_backoff = kSecond;
+  actions.restart->max_restarts = 3;
+  actions.restart->window = kMinute;
+  ASSERT_TRUE(monitor.Watch(gw, &host, "dpss", actions).ok());
+  host.StartProcess("dpss");
+
+  // The process's fate comes from a seeded schedule: short uptimes, so it
+  // dies faster than backoff restarts can stabilise it — a crash loop.
+  resilience::CrashSchedule process_schedule(/*seed=*/11, 2 * kSecond,
+                                             kSecond);
+  TimePoint quarantined_at = -1;
+  for (TimePoint now = 0; now <= 2 * kMinute; now = clock.Now()) {
+    auto proc = host.FindProcess("dpss");
+    if (proc && proc->running && !process_schedule.AliveAt(now)) {
+      host.StopProcess("dpss", /*crashed=*/true);
+      ulm::Record death(now, "server1", "procmon", "Error",
+                        sensors::event::kProcDiedAbnormal);
+      death.SetField("PROC", "dpss");
+      gw.Publish(death);
+    }
+    monitor.Tick();  // executes backoff restarts that came due
+    if (quarantined_at < 0 && monitor.IsQuarantined("dpss")) {
+      quarantined_at = now;
+    }
+    clock.Advance(500 * kMillisecond);
+  }
+
+  // Quarantined within one supervision window of the first death.
+  ASSERT_GE(quarantined_at, 0);
+  EXPECT_LE(quarantined_at, actions.restart->window);
+  ASSERT_EQ(quarantine_events.size(), 1u);
+  EXPECT_EQ(*quarantine_events[0].GetField("PROC"), "dpss");
+  // Quarantine is terminal: the monitor granted no restart after it.
+  const auto restarts = monitor.stats().restarts;
+  EXPECT_LE(restarts, static_cast<std::uint64_t>(
+                          actions.restart->max_restarts));
+  EXPECT_FALSE(host.FindProcess("dpss")->running);
+  EXPECT_EQ(monitor.stats().quarantines, 1u);
+}
+
+TEST(ChaosTest, SlowConsumerStaysBoundedUnderChaos) {
+  constexpr std::size_t kQueueCap = 16;
+  SimClock clock(0);
+  gateway::EventGateway gw("gw", clock);
+  transport::InProcNetwork net;
+  auto listener = net.Listen("gw");
+  ASSERT_TRUE(listener.ok());
+  gateway::GatewayService service(gw, std::move(*listener));
+
+  auto channel = net.Dial("gw");
+  ASSERT_TRUE(channel.ok());
+  gateway::GatewayClient client(std::move(*channel));
+  service.PollOnce();  // accept
+  ASSERT_TRUE(client.channel()
+                  .Send({"gw.subscribe",
+                         "slow\nall|CPU*\n\nqueue:drop-oldest:16"})
+                  .ok());
+  service.PollOnce();
+  auto reply = client.channel().Receive(kSecond);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->type, "gw.ok");
+
+  // The consumer drains only while its seeded schedule says it is healthy;
+  // its long sick segments overflow first the transport buffer (4096
+  // messages), then the bounded queue — where the protection kicks in.
+  resilience::CrashSchedule consumer_schedule(/*seed=*/3, 4 * kSecond,
+                                              30 * kSecond);
+  std::uint64_t published = 0;
+  std::uint64_t received = 0;
+  for (TimePoint now = 0; now <= 2 * kMinute; now = clock.Now()) {
+    for (int i = 0; i < 300; ++i) {
+      ulm::Record rec(now, "h", "sensor", "Usage", "CPU");
+      rec.SetField("VAL", static_cast<std::int64_t>(published++));
+      gw.Publish(rec);
+    }
+    service.PollOnce();
+    if (consumer_schedule.AliveAt(now)) {
+      received += client.DrainEvents().size();
+    }
+    // The core memory invariant: no matter how long the consumer has been
+    // sick, the gateway holds at most kQueueCap messages for it.
+    for (const auto& q : service.QueueStats()) {
+      ASSERT_LE(q.queued_messages, kQueueCap) << "at t=" << now;
+    }
+    clock.Advance(kSecond);
+  }
+
+  // Let the consumer fully recover, then check exact accounting:
+  // every published event was either delivered, dropped, or still queued —
+  // and after a full drain, delivered matches what the client saw.
+  received += client.DrainEvents().size();
+  service.PollOnce();
+  received += client.DrainEvents().size();
+  auto stats = service.QueueStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].sent_records + stats[0].dropped_records +
+                stats[0].queued_records,
+            published);
+  EXPECT_EQ(received, stats[0].sent_records);
+  EXPECT_GT(stats[0].dropped_records, 0u);  // the chaos actually bit
+}
+
+}  // namespace
+}  // namespace jamm

@@ -234,7 +234,7 @@ TEST(ProcessMonitorTest, RestartsAndNotifiesOnDeath) {
 
   std::vector<std::string> emails;
   ProcessActions actions;
-  actions.restart = true;
+  actions.restart.emplace();
   actions.email = [&](const std::string& msg) { emails.push_back(msg); };
   ASSERT_TRUE(monitor.Watch(gw, &host, "dpss", actions).ok());
 
@@ -259,7 +259,7 @@ TEST(ProcessMonitorTest, IgnoresOtherProcessesAndEvents) {
   gateway::EventGateway gw("gw", clock);
   ProcessMonitorConsumer monitor("m", clock);
   ProcessActions actions;
-  actions.restart = true;
+  actions.restart.emplace();
   ASSERT_TRUE(monitor.Watch(gw, &host, "dpss", actions).ok());
 
   ulm::Record other(1, "server1", "procmon", "Warning",
@@ -272,6 +272,74 @@ TEST(ProcessMonitorTest, IgnoresOtherProcessesAndEvents) {
   gw.Publish(started);
   EXPECT_EQ(monitor.stats().deaths_seen, 0u);
   EXPECT_EQ(monitor.stats().restarts, 0u);
+}
+
+TEST(ProcessMonitorTest, CrashLoopBacksOffThenQuarantines) {
+  SimClock clock(0);
+  sysmon::SimHost host("server1", clock);
+  gateway::EventGateway gw("gw", clock);
+  ProcessMonitorConsumer monitor("procmon-consumer", clock);
+
+  std::vector<ulm::Record> quarantined;
+  gateway::FilterSpec spec;
+  spec.event_glob = kProcQuarantined;
+  ASSERT_TRUE(gw.Subscribe("ops", spec, [&](const ulm::Record& rec) {
+                  quarantined.push_back(rec);
+                }).ok());
+
+  ProcessActions actions;
+  actions.restart.emplace();
+  actions.restart->initial_backoff = 2 * kSecond;
+  actions.restart->max_restarts = 2;
+  actions.restart->window = kMinute;
+  ASSERT_TRUE(monitor.Watch(gw, &host, "dpss", actions).ok());
+  host.StartProcess("dpss");
+
+  auto die = [&] {
+    host.StopProcess("dpss", /*crashed=*/true);
+    ulm::Record death(clock.Now(), "server1", "procmon", "Error",
+                      sensors::event::kProcDiedAbnormal);
+    death.SetField("PROC", "dpss");
+    gw.Publish(death);
+  };
+
+  // First death of a calm period: restarted inline, no Tick needed.
+  clock.Advance(kSecond);
+  die();
+  EXPECT_EQ(monitor.stats().restarts, 1u);
+  EXPECT_TRUE(host.FindProcess("dpss")->running);
+
+  // Second death: restart delayed by the backoff; Tick executes it once
+  // the delay elapses.
+  clock.Advance(kSecond);
+  die();
+  EXPECT_EQ(monitor.stats().restarts, 1u);  // not yet
+  EXPECT_FALSE(host.FindProcess("dpss")->running);
+  clock.Advance(kSecond);
+  monitor.Tick();  // t=3s, restart due at t=4s
+  EXPECT_EQ(monitor.stats().restarts, 1u);
+  clock.Advance(kSecond);
+  monitor.Tick();  // t=4s: backoff elapsed
+  EXPECT_EQ(monitor.stats().restarts, 2u);
+  EXPECT_TRUE(host.FindProcess("dpss")->running);
+
+  // Third death inside the window crosses max_restarts: quarantine.
+  clock.Advance(kSecond);
+  die();
+  EXPECT_TRUE(monitor.IsQuarantined("dpss"));
+  EXPECT_EQ(monitor.stats().quarantines, 1u);
+  EXPECT_FALSE(host.FindProcess("dpss")->running);
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0].event_name(), kProcQuarantined);
+  EXPECT_EQ(*quarantined[0].GetField("PROC"), "dpss");
+
+  // Quarantine is sticky: further deaths and ticks never restart.
+  clock.Advance(kMinute);
+  die();
+  monitor.Tick();
+  EXPECT_EQ(monitor.stats().restarts, 2u);
+  EXPECT_FALSE(host.FindProcess("dpss")->running);
+  EXPECT_EQ(quarantined.size(), 1u);  // announced once, not per death
 }
 
 // ---------------------------------------------------------- overview monitor

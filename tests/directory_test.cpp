@@ -524,5 +524,177 @@ TEST(SchemaTest, GatewayArchiveSummaryShapes) {
   EXPECT_EQ(sum.Get(schema::kAttrMetric), "net.throughput.mbps");
 }
 
+// -------------------------------------------------------- Leases (ISSUE 4)
+
+class LeaseTest : public ::testing::Test {
+ protected:
+  LeaseTest()
+      : clock_(0),
+        suffix_(MustParse("ou=sensors, o=jamm")),
+        server_(suffix_, "ldap://primary") {
+    server_.SetClock(&clock_);
+  }
+
+  /// Host (immortal) + leased sensor entry expiring at `expiry`.
+  Dn AddLeasedSensor(const std::string& host, const std::string& sensor,
+                     TimePoint expiry) {
+    (void)server_.Upsert(schema::MakeHostEntry(suffix_, host));
+    auto entry = schema::MakeSensorEntry(suffix_, host, sensor, "cpu",
+                                         "inproc:gw." + host, 1000, 0);
+    schema::StampLease(entry, expiry);
+    EXPECT_TRUE(server_.Upsert(entry).ok());
+    return entry.dn();
+  }
+
+  SimClock clock_;
+  Dn suffix_;
+  DirectoryServer server_;
+};
+
+TEST_F(LeaseTest, StampAndReadBack) {
+  Entry e(MustParse("host=h, ou=sensors, o=jamm"));
+  EXPECT_FALSE(schema::LeaseExpiry(e).has_value());  // immortal
+  schema::StampLease(e, 42 * kSecond);
+  ASSERT_TRUE(schema::LeaseExpiry(e).has_value());
+  EXPECT_EQ(*schema::LeaseExpiry(e), 42 * kSecond);
+}
+
+TEST_F(LeaseTest, RenewBatchUpdatesExpiryAndReportsMissing) {
+  Dn live = AddLeasedSensor("dpss1", "vmstat", 10 * kSecond);
+  Dn ghost = schema::SensorDn(suffix_, "dpss1", "never-registered");
+  std::vector<Dn> missing;
+  auto renewed =
+      server_.RenewLeases({live, ghost}, 60 * kSecond, "", &missing);
+  ASSERT_TRUE(renewed.ok());
+  EXPECT_EQ(*renewed, 1u);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], ghost);
+  auto entry = server_.Lookup(live);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(*schema::LeaseExpiry(*entry), 60 * kSecond);
+  EXPECT_EQ(server_.stats().leases_renewed, 1u);
+}
+
+TEST_F(LeaseTest, ReaperTombstonesOverdueEntries) {
+  Dn doomed = AddLeasedSensor("dpss1", "vmstat", 10 * kSecond);
+  Dn safe = AddLeasedSensor("dpss1", "netstat", 90 * kSecond);
+  auto reaped = server_.ExpireLeases(30 * kSecond);
+  ASSERT_TRUE(reaped.ok());
+  EXPECT_EQ(*reaped, 1u);
+  EXPECT_EQ(server_.Lookup(doomed).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(server_.Lookup(safe).ok());
+  // The immortal host entry survives.
+  EXPECT_TRUE(server_.Lookup(schema::HostDn(suffix_, "dpss1")).ok());
+  EXPECT_EQ(server_.stats().leases_expired, 1u);
+}
+
+TEST_F(LeaseTest, ReaperSparesExpiredParentWithLiveChild) {
+  // An expired parent whose child still lives must survive the sweep
+  // (tree integrity: deletes are leaf-only).
+  (void)server_.Upsert(schema::MakeHostEntry(suffix_, "dpss1"));
+  auto parent = Entry(MustParse("cn=group, host=dpss1, ou=sensors, o=jamm"));
+  schema::StampLease(parent, 10 * kSecond);
+  ASSERT_TRUE(server_.Upsert(parent).ok());
+  auto child =
+      Entry(MustParse("cn=leaf, cn=group, host=dpss1, ou=sensors, o=jamm"));
+  schema::StampLease(child, 90 * kSecond);
+  ASSERT_TRUE(server_.Upsert(child).ok());
+
+  auto reaped = server_.ExpireLeases(30 * kSecond);
+  ASSERT_TRUE(reaped.ok());
+  EXPECT_EQ(*reaped, 0u);  // parent reprieved by its live child
+  EXPECT_TRUE(server_.Lookup(parent.dn()).ok());
+
+  // Once the child expires too, both go in one sweep — and the tombstones
+  // must replay cleanly (child before parent) on a replica.
+  auto replica = std::make_shared<DirectoryServer>(suffix_, "ldap://replica");
+  auto primary_alias = std::shared_ptr<DirectoryServer>(
+      std::shared_ptr<DirectoryServer>(), &server_);
+  Replicator replicator(primary_alias);
+  replicator.AddReplica(replica);
+  ASSERT_GT(replicator.SyncAll(), 0u);
+  ASSERT_TRUE(replica->Lookup(child.dn()).ok());
+
+  auto both = server_.ExpireLeases(120 * kSecond);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(*both, 2u);
+  replicator.SyncAll();
+  EXPECT_TRUE(replicator.Converged());
+  EXPECT_EQ(replica->Lookup(parent.dn()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(replica->Lookup(child.dn()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(LeaseTest, LiveOnlyLookupHidesExpiredBeforeSweep) {
+  Dn dn = AddLeasedSensor("dpss1", "vmstat", 10 * kSecond);
+  clock_.Advance(20 * kSecond);  // past expiry; reaper has not run
+  EXPECT_TRUE(server_.Lookup(dn).ok());  // plain reads still see it
+  auto live = server_.Lookup(dn, "", /*live_only=*/true);
+  EXPECT_EQ(live.status().code(), StatusCode::kNotFound);
+  EXPECT_GE(server_.stats().live_only_filtered, 1u);
+  // Renewal resurrects it for live readers.
+  ASSERT_TRUE(server_.RenewLeases({dn}, clock_.Now() + 30 * kSecond).ok());
+  EXPECT_TRUE(server_.Lookup(dn, "", /*live_only=*/true).ok());
+}
+
+TEST_F(LeaseTest, LiveOnlyRequiresClock) {
+  DirectoryServer clockless(suffix_, "ldap://clockless");
+  auto s = clockless.Lookup(schema::HostDn(suffix_, "x"), "", true);
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LeaseTest, LiveOnlySearchFiltersCachedResults) {
+  Dn dn = AddLeasedSensor("dpss1", "vmstat", 10 * kSecond);
+  Filter all = MustFilter("(objectclass=jammSensor)");
+  // Prime the search cache while the entry is live.
+  auto warm = server_.Search(suffix_, SearchScope::kSubtree, all, "", true);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->entries.size(), 1u);
+  clock_.Advance(20 * kSecond);
+  // Renewals do not invalidate the cache, so this is a cache hit — the
+  // live filter must still consult the authoritative lease and hide the
+  // now-expired entry.
+  auto stale = server_.Search(suffix_, SearchScope::kSubtree, all, "", true);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_TRUE(stale->entries.empty());
+  // And the other direction: a renewal must resurrect the cached entry.
+  ASSERT_TRUE(server_.RenewLeases({dn}, clock_.Now() + 30 * kSecond).ok());
+  auto fresh = server_.Search(suffix_, SearchScope::kSubtree, all, "", true);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->entries.size(), 1u);
+}
+
+TEST_F(LeaseTest, PoolForwardsRenewalsWithFailover) {
+  auto primary =
+      std::make_shared<DirectoryServer>(suffix_, "ldap://primary2");
+  auto replica =
+      std::make_shared<DirectoryServer>(suffix_, "ldap://replica2");
+  Replicator replicator(primary);
+  replicator.AddReplica(replica);
+  DirectoryPool pool;
+  pool.AddServer(primary);
+  pool.AddServer(replica);
+  (void)primary->Upsert(schema::MakeHostEntry(suffix_, "dpss1"));
+  auto entry = schema::MakeSensorEntry(suffix_, "dpss1", "vmstat", "cpu",
+                                       "inproc:gw", 1000, 0);
+  schema::StampLease(entry, 10 * kSecond);
+  ASSERT_TRUE(primary->Upsert(entry).ok());
+  replicator.SyncAll();
+
+  // Primary dies: the renewal batch fails over to the replica and the
+  // out-params reflect only the server that took the write.
+  primary->SetAlive(false);
+  std::vector<Dn> missing;
+  auto renewed =
+      pool.RenewLeases({entry.dn()}, 60 * kSecond, "", &missing);
+  ASSERT_TRUE(renewed.ok());
+  EXPECT_EQ(*renewed, 1u);
+  EXPECT_TRUE(missing.empty());
+  auto on_replica = replica->Lookup(entry.dn());
+  ASSERT_TRUE(on_replica.ok());
+  EXPECT_EQ(*schema::LeaseExpiry(*on_replica), 60 * kSecond);
+}
+
 }  // namespace
 }  // namespace jamm::directory

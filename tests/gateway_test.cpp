@@ -11,6 +11,7 @@
 #include "gateway/filter.hpp"
 #include "gateway/gateway.hpp"
 #include "gateway/service.hpp"
+#include "telemetry/metrics.hpp"
 #include "transport/inproc.hpp"
 #include "transport/net_sink.hpp"
 #include "transport/tcp.hpp"
@@ -787,6 +788,147 @@ TEST(GatewayServiceTest, BadBatchFormatRejected) {
     EXPECT_EQ(reply->type, "gw.error") << payload;
   }
   EXPECT_EQ(h.gw.subscription_count(), 0u);
+}
+
+// ------------------------------------------- slow-consumer protection
+
+// The in-proc transport buffers 4096 messages per direction; a consumer
+// that never drains fills it, after which the subscription's bounded
+// outbound queue takes over (ISSUE 4).
+constexpr int kTransportCap = 4096;
+
+TEST(GatewayServiceTest, SlowConsumerDropOldestBoundsQueueExactly) {
+  ServiceHarness h;
+  auto client = h.Connect("slow\nall|CPU*\n\nqueue:drop-oldest:8");
+  const std::uint64_t dropped_before =
+      telemetry::Metrics().counter("gw.subscriber.dropped").Value();
+
+  const int kTotal = kTransportCap + 200;
+  for (int i = 0; i < kTotal; ++i) h.gw.Publish(ValueEvent(i, "CPU", i));
+
+  auto stats = h.service->QueueStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].consumer, "slow");
+  EXPECT_EQ(stats[0].policy, OverflowPolicy::kDropOldest);
+  // The queue bound holds no matter how far the consumer falls behind.
+  EXPECT_LE(stats[0].queued_messages, 8u);
+  // Every routed event is in exactly one bucket: sent, queued, or dropped.
+  EXPECT_EQ(stats[0].sent_records, static_cast<std::uint64_t>(kTransportCap));
+  EXPECT_EQ(stats[0].queued_records, 8u);
+  EXPECT_EQ(stats[0].dropped_records,
+            static_cast<std::uint64_t>(kTotal - kTransportCap - 8));
+  EXPECT_EQ(stats[0].sent_records + stats[0].queued_records +
+                stats[0].dropped_records,
+            static_cast<std::uint64_t>(kTotal));
+  // Drops are exported for /metrics.
+  EXPECT_EQ(telemetry::Metrics().counter("gw.subscriber.dropped").Value(),
+            dropped_before + stats[0].dropped_records);
+
+  // Drop-oldest favours freshness: once the consumer drains, the newest
+  // events are the ones that survived the overflow.
+  auto drained = client->DrainEvents();
+  h.service->PollOnce();  // push the queued tail into the freed transport
+  auto tail = client->DrainEvents();
+  drained.insert(drained.end(), tail.begin(), tail.end());
+  ASSERT_EQ(drained.size(), static_cast<std::size_t>(kTransportCap + 8));
+  EXPECT_EQ(drained.back().timestamp(), kTotal - 1);
+}
+
+TEST(GatewayServiceTest, SlowConsumerDropNewestKeepsOldestQueued) {
+  ServiceHarness h;
+  auto client = h.Connect("slow\nall|CPU*\n\nqueue:drop-newest:4");
+  const int kTotal = kTransportCap + 50;
+  for (int i = 0; i < kTotal; ++i) h.gw.Publish(ValueEvent(i, "CPU", i));
+
+  auto stats = h.service->QueueStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].queued_messages, 4u);
+  EXPECT_EQ(stats[0].sent_records + stats[0].queued_records +
+                stats[0].dropped_records,
+            static_cast<std::uint64_t>(kTotal));
+  // The casualties are the incoming events: the queue holds the four
+  // published right after the transport filled.
+  (void)client->DrainEvents();
+  h.service->PollOnce();
+  auto tail = client->DrainEvents();
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.front().timestamp(), kTransportCap);
+  EXPECT_EQ(tail.back().timestamp(), kTransportCap + 3);
+}
+
+TEST(GatewayServiceTest, SlowConsumerDisconnectPolicyCutsConnection) {
+  ServiceHarness h;
+  auto client = h.Connect("slow\nall|CPU*\n\nqueue:disconnect:4");
+  const int kTotal = kTransportCap + 10;
+  for (int i = 0; i < kTotal; ++i) h.gw.Publish(ValueEvent(i, "CPU", i));
+
+  auto stats = h.service->QueueStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].disconnected);
+  EXPECT_EQ(stats[0].queued_messages, 0u);  // queue flushed as dropped
+  EXPECT_FALSE(client->channel().IsOpen());
+  h.service->PollOnce();  // reaper collects the closed connection
+  EXPECT_EQ(h.service->connection_count(), 0u);
+  EXPECT_EQ(h.gw.subscription_count(), 0u);
+}
+
+TEST(GatewayServiceTest, OverloadPublishesGwOverloadEvent) {
+  ServiceHarness h;
+  // Local (in-process) observer for the gateway's own overload events.
+  std::vector<ulm::Record> overloads;
+  FilterSpec spec;
+  spec.event_glob = kOverloadEvent;
+  ASSERT_TRUE(h.gw.Subscribe("observer", spec, [&](const ulm::Record& rec) {
+                   overloads.push_back(rec);
+                 }).ok());
+
+  auto client = h.Connect("slow\nall|CPU*\n\nqueue:drop-oldest:2");
+  const int kTotal = kTransportCap + 20;
+  for (int i = 0; i < kTotal; ++i) h.gw.Publish(ValueEvent(i, "CPU", i));
+  h.service->PollOnce();
+
+  ASSERT_EQ(overloads.size(), 1u);
+  EXPECT_EQ(overloads[0].event_name(), kOverloadEvent);
+  EXPECT_EQ(*overloads[0].GetField("CONSUMER"), "slow");
+  EXPECT_EQ(*overloads[0].GetField("POLICY"), "drop-oldest");
+  auto dropped = overloads[0].GetInt("DROPPED");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, kTotal - kTransportCap - 2);
+}
+
+TEST(GatewayServiceTest, BadQueueSpecRejected) {
+  ServiceHarness h;
+  auto channel = h.net.Dial("gw");
+  ASSERT_TRUE(channel.ok());
+  GatewayClient client(std::move(*channel));
+  h.service->PollOnce();
+  for (const std::string queue_line :
+       {"queue:sometimes", "queue:drop-oldest:0", "queue:drop-oldest:x",
+        "bounded:drop-oldest"}) {
+    ASSERT_TRUE(client.channel()
+                    .Send({"gw.subscribe", "c\nall\n\n" + queue_line})
+                    .ok());
+    h.service->PollOnce();
+    auto reply = client.channel().Receive(kSecond);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, "gw.error") << queue_line;
+  }
+  EXPECT_EQ(h.gw.subscription_count(), 0u);
+}
+
+TEST(GatewayServiceTest, ClientQueueSpecRecordedAndSent) {
+  ServiceHarness h;
+  auto channel = h.net.Dial("gw");
+  ASSERT_TRUE(channel.ok());
+  GatewayClient client(std::move(*channel));
+  h.service->PollOnce();
+  client.SetQueueSpec(OverflowPolicy::kDropNewest, 16);
+  FilterSpec spec;
+  ASSERT_TRUE(client.SubscribeAsync("c", spec).ok());
+  h.service->PollOnce();
+  auto stats = h.service->QueueStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].policy, OverflowPolicy::kDropNewest);
 }
 
 }  // namespace

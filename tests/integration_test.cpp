@@ -168,7 +168,7 @@ TEST_F(PipelineTest, ProcessCrashRestartLoop) {
   consumers::ProcessMonitorConsumer monitor("procmon", clock_);
   int emails = 0;
   consumers::ProcessActions actions;
-  actions.restart = true;
+  actions.restart.emplace();
   actions.email = [&](const std::string&) { ++emails; };
   ASSERT_TRUE(monitor.Watch(host_a_->gateway, &host_a_->machine, "dpss",
                             actions)

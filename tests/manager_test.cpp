@@ -9,6 +9,7 @@
 #include "gateway/gateway.hpp"
 #include "manager/port_monitor.hpp"
 #include "manager/sensor_manager.hpp"
+#include "sensors/app_sensor.hpp"
 
 namespace jamm::manager {
 namespace {
@@ -231,6 +232,180 @@ TEST_F(ManagerTest, BadConfigsRejected) {
   EXPECT_FALSE(Apply("[sensor]\nname = x\nkind = vmstat\nmode = never\n").ok());
 }
 
+// ------------------------------------------- liveness & supervision (ISSUE 4)
+
+TEST_F(ManagerTest, ConfigStaleKeepsLastGoodAndEmitsEvent) {
+  std::vector<ulm::Record> stale_events;
+  gateway::FilterSpec spec;
+  spec.event_glob = event::kConfigStale;
+  ASSERT_TRUE(gateway_.Subscribe("ops", spec, [&](const ulm::Record& rec) {
+                  stale_events.push_back(rec);
+                }).ok());
+
+  manager_->SetConfigFetcher([]() -> Result<std::string> {
+    return std::string("[sensor]\nname = vm\nkind = vmstat\n");
+  });
+  manager_->Tick();
+  ASSERT_NE(manager_->FindSensor("vm"), nullptr);
+  EXPECT_EQ(manager_->stats().config_stale, 0u);
+
+  manager_->SetConfigFetcher([]() -> Result<std::string> {
+    return Status::Unavailable("http server down");
+  });
+  clock_.Advance(3 * kMinute);
+  manager_->Tick();
+  // Last-good config keeps running...
+  ASSERT_NE(manager_->FindSensor("vm"), nullptr);
+  EXPECT_TRUE(manager_->FindSensor("vm")->running());
+  // ...but the staleness is counted and announced on the event stream.
+  EXPECT_EQ(manager_->stats().config_stale, 1u);
+  ASSERT_EQ(stale_events.size(), 1u);
+  EXPECT_EQ(stale_events[0].event_name(), event::kConfigStale);
+  auto detail = stale_events[0].GetField("DETAIL");
+  ASSERT_TRUE(detail.has_value());
+  EXPECT_NE(detail->find("http server down"), std::string::npos);
+}
+
+TEST_F(ManagerTest, FailingSensorIsSupervisedThenQuarantined) {
+  // Rebuild the manager with a tight supervision policy so the crash loop
+  // resolves in a few simulated seconds.
+  SensorManager::Options options;
+  options.clock = &clock_;
+  options.host = &host_;
+  options.gateway = &gateway_;
+  options.directory = &pool_;
+  options.directory_suffix = suffix_;
+  options.gateway_address = "inproc:gw.dpss1";
+  options.sensor_restart.initial_backoff = kSecond;
+  options.sensor_restart.max_restarts = 2;
+  options.sensor_restart.window = kMinute;
+  manager_ = std::make_unique<SensorManager>(std::move(options));
+
+  std::vector<ulm::Record> quarantine_events;
+  gateway::FilterSpec spec;
+  spec.event_glob = event::kQuarantined;
+  ASSERT_TRUE(gateway_.Subscribe("ops", spec, [&](const ulm::Record& rec) {
+                  quarantine_events.push_back(rec);
+                }).ok());
+
+  ASSERT_TRUE(Apply(R"(
+[sensor]
+name = app
+kind = application
+interval_ms = 1000
+mode = always
+)").ok());
+  auto* app = dynamic_cast<sensors::AppSensorBridge*>(
+      manager_->FindSensor("app"));
+  ASSERT_NE(app, nullptr);
+  app->SetPollFailure(Status::Internal("sensor wedged"));
+
+  // First failure in a calm period: restarted within the same Tick.
+  manager_->Tick();
+  EXPECT_EQ(manager_->stats().poll_errors, 1u);
+  EXPECT_EQ(manager_->stats().supervised_restarts, 1u);
+  EXPECT_TRUE(manager_->FindSensor("app")->running());
+  EXPECT_FALSE(manager_->IsQuarantined("app"));
+
+  // Keep failing: backoff restarts, then quarantine once the 3rd failure
+  // lands inside the 1-minute window (max_restarts = 2).
+  for (int i = 0; i < 20 && !manager_->IsQuarantined("app"); ++i) {
+    clock_.Advance(kSecond);
+    manager_->Tick();
+  }
+  ASSERT_TRUE(manager_->IsQuarantined("app"));
+  EXPECT_EQ(manager_->stats().quarantines, 1u);
+  EXPECT_FALSE(manager_->FindSensor("app")->running());
+  // De-registered from the directory: consumers cannot discover it.
+  EXPECT_FALSE(SensorEntry("app").ok());
+  // Announced on the event stream.
+  ASSERT_EQ(quarantine_events.size(), 1u);
+  EXPECT_EQ(quarantine_events[0].event_name(), event::kQuarantined);
+  auto detail = quarantine_events[0].GetField("DETAIL");
+  ASSERT_TRUE(detail.has_value());
+  EXPECT_NE(detail->find("app"), std::string::npos);
+
+  // Quarantine is sticky: further ticks never restart it.
+  const auto restarts = manager_->stats().supervised_restarts;
+  for (int i = 0; i < 5; ++i) {
+    clock_.Advance(kSecond);
+    manager_->Tick();
+  }
+  EXPECT_FALSE(manager_->FindSensor("app")->running());
+  EXPECT_EQ(manager_->stats().supervised_restarts, restarts);
+
+  // Operator override: StartSensor lifts quarantine and re-registers.
+  app->SetPollFailure(Status::Ok());
+  ASSERT_TRUE(manager_->StartSensor("app").ok());
+  EXPECT_FALSE(manager_->IsQuarantined("app"));
+  EXPECT_TRUE(manager_->FindSensor("app")->running());
+  EXPECT_TRUE(SensorEntry("app").ok());
+}
+
+TEST_F(ManagerTest, HeartbeatRenewsDirectoryLeases) {
+  using directory::schema::LeaseExpiry;
+  ASSERT_TRUE(Apply(kBaseConfig).ok());
+  auto entry = SensorEntry("vmstat");
+  ASSERT_TRUE(entry.ok());
+  ASSERT_EQ(LeaseExpiry(*entry), 30 * kSecond);  // default lease_ttl
+
+  manager_->Tick();  // t=0: first heartbeat renews vmstat + gateway entry
+  EXPECT_EQ(manager_->stats().lease_renewals, 2u);
+
+  clock_.Advance(10 * kSecond);
+  manager_->Tick();  // next heartbeat due
+  EXPECT_EQ(manager_->stats().lease_renewals, 4u);
+  entry = SensorEntry("vmstat");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(LeaseExpiry(*entry), 10 * kSecond + 30 * kSecond);
+  auto gw_entry = pool_.Lookup(
+      directory::schema::GatewayDn(suffix_, "dpss1.lbl.gov"));
+  ASSERT_TRUE(gw_entry.ok());
+  EXPECT_EQ(LeaseExpiry(*gw_entry), 10 * kSecond + 30 * kSecond);
+  // The host entry stays immortal: it is a parent, not a liveness target.
+  auto host_entry = pool_.Lookup(
+      directory::schema::HostDn(suffix_, "dpss1.lbl.gov"));
+  ASSERT_TRUE(host_entry.ok());
+  EXPECT_FALSE(LeaseExpiry(*host_entry).has_value());
+}
+
+TEST_F(ManagerTest, HeartbeatRepublishesReapedEntries) {
+  ASSERT_TRUE(Apply(kBaseConfig).ok());
+  // The manager goes quiet past the TTL; the reaper tombstones its
+  // entries (this is what consumers see when a host dies).
+  clock_.Advance(40 * kSecond);
+  auto reaped = primary_->ExpireLeases(clock_.Now());
+  ASSERT_TRUE(reaped.ok());
+  EXPECT_GE(*reaped, 2u);  // vmstat sensor + gateway entry
+  EXPECT_FALSE(SensorEntry("vmstat").ok());
+
+  // The manager was merely slow, not dead: its next heartbeat notices the
+  // missing DNs and re-publishes them with a fresh lease.
+  manager_->Tick();
+  auto entry = SensorEntry("vmstat");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(directory::schema::LeaseExpiry(*entry),
+            clock_.Now() + 30 * kSecond);
+  EXPECT_TRUE(pool_.Lookup(
+      directory::schema::GatewayDn(suffix_, "dpss1.lbl.gov")).ok());
+}
+
+TEST_F(ManagerTest, RemovingWatchedPortStopsTriggeredSensor) {
+  ASSERT_TRUE(Apply(kBaseConfig).ok());
+  host_.AddPortTraffic(21, 1500);
+  manager_->Tick();
+  ASSERT_TRUE(manager_->FindSensor("netstat-ftp")->running());
+
+  // The port is unwatched while the triggered sensor is still running
+  // (e.g. an operator edits the watch list): next Tick stops it even
+  // though traffic is still flowing.
+  manager_->port_monitor().RemovePort(21);
+  host_.AddPortTraffic(21, 1500);
+  manager_->Tick();
+  EXPECT_FALSE(manager_->FindSensor("netstat-ftp")->running());
+  EXPECT_EQ(manager_->stats().port_stops, 1u);
+}
+
 // ------------------------------------------------------------ PortMonitor
 
 TEST(PortMonitorTest, ActivityWindow) {
@@ -262,6 +437,18 @@ TEST(PortMonitorTest, UnwatchedPortsNeverActive) {
   EXPECT_TRUE(monitor.IsActive(23));
   monitor.RemovePort(23);
   EXPECT_FALSE(monitor.IsActive(23));
+}
+
+TEST(PortMonitorTest, IdleTimeoutBoundaryIsInclusive) {
+  SimClock clock(0);
+  sysmon::SimHost host("h", clock);
+  PortMonitor monitor(clock, host, 5 * kSecond);
+  monitor.AddPort(21);
+  host.AddPortTraffic(21, 100);
+  clock.Advance(5 * kSecond);
+  EXPECT_TRUE(monitor.IsActive(21));  // exactly at the timeout: still live
+  clock.Advance(1);                   // one microsecond past
+  EXPECT_FALSE(monitor.IsActive(21));
 }
 
 TEST(PortMonitorTest, AnyActiveAcrossList) {

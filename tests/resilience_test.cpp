@@ -24,7 +24,9 @@
 #include "resilience/buffer.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/retry.hpp"
+#include "resilience/supervisor.hpp"
 #include "rpc/registry.hpp"
+#include "telemetry/metrics.hpp"
 #include "rpc/wire.hpp"
 #include "transport/inproc.hpp"
 #include "transport/net_sink.hpp"
@@ -791,6 +793,99 @@ TEST(RpcRetryTest, CallSurvivesSeveredConnection) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(*result, "hello");
   EXPECT_EQ(dials, 2);
+}
+
+// --------------------------------------------------------------- Supervisor
+
+TEST(SupervisorTest, FirstFailureRestartsImmediately) {
+  SimClock clock(0);
+  Supervisor sup({}, clock);
+  auto decision = sup.OnFailure();
+  EXPECT_EQ(decision.action, Supervisor::Action::kRestart);
+  EXPECT_EQ(decision.restart_at, clock.Now());
+  EXPECT_EQ(sup.restarts_granted(), 1u);
+}
+
+TEST(SupervisorTest, BackoffGrowsExponentiallyAndCaps) {
+  SimClock clock(0);
+  SupervisorPolicy policy;
+  policy.initial_backoff = kSecond;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = 4 * kSecond;
+  policy.max_restarts = 100;  // keep quarantine out of the way
+  policy.window = 1000 * kSecond;
+  Supervisor sup(policy, clock);
+  // Failure n in the streak waits initial × multiplier^(n-2), capped.
+  EXPECT_EQ(sup.OnFailure().restart_at, clock.Now());            // immediate
+  EXPECT_EQ(sup.OnFailure().restart_at, clock.Now() + kSecond);  // 1 s
+  EXPECT_EQ(sup.OnFailure().restart_at, clock.Now() + 2 * kSecond);
+  EXPECT_EQ(sup.OnFailure().restart_at, clock.Now() + 4 * kSecond);
+  EXPECT_EQ(sup.OnFailure().restart_at, clock.Now() + 4 * kSecond);  // capped
+}
+
+TEST(SupervisorTest, QuarantinesAfterMaxRestartsInWindow) {
+  SimClock clock(0);
+  SupervisorPolicy policy;
+  policy.max_restarts = 3;
+  policy.window = kMinute;
+  Supervisor sup(policy, clock);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sup.OnFailure().action, Supervisor::Action::kRestart);
+    clock.Advance(kSecond);
+  }
+  EXPECT_EQ(sup.OnFailure().action, Supervisor::Action::kQuarantine);
+  EXPECT_TRUE(sup.quarantined());
+  EXPECT_EQ(sup.quarantines(), 1u);
+  // Once quarantined, every further failure stays quarantined.
+  EXPECT_EQ(sup.OnFailure().action, Supervisor::Action::kQuarantine);
+}
+
+TEST(SupervisorTest, OldFailuresSlideOutOfWindow) {
+  SimClock clock(0);
+  SupervisorPolicy policy;
+  policy.max_restarts = 2;
+  policy.window = 10 * kSecond;
+  Supervisor sup(policy, clock);
+  // Failures spaced wider than the window never accumulate.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sup.OnFailure().action, Supervisor::Action::kRestart);
+    clock.Advance(11 * kSecond);
+  }
+  EXPECT_FALSE(sup.quarantined());
+}
+
+TEST(SupervisorTest, OnSuccessClearsStreakButNotQuarantine) {
+  SimClock clock(0);
+  SupervisorPolicy policy;
+  policy.max_restarts = 2;
+  policy.window = kMinute;
+  Supervisor sup(policy, clock);
+  (void)sup.OnFailure();
+  (void)sup.OnFailure();
+  sup.OnSuccess();
+  EXPECT_EQ(sup.failures_in_window(), 0);
+  // The streak restarts from "immediate" after a healthy run.
+  EXPECT_EQ(sup.OnFailure().restart_at, clock.Now());
+
+  (void)sup.OnFailure();
+  ASSERT_EQ(sup.OnFailure().action, Supervisor::Action::kQuarantine);
+  sup.OnSuccess();
+  EXPECT_TRUE(sup.quarantined());  // success does not lift quarantine
+  sup.Reset();
+  EXPECT_FALSE(sup.quarantined());
+  EXPECT_EQ(sup.OnFailure().action, Supervisor::Action::kRestart);
+}
+
+TEST(ReplayBufferTest, EvictionsSurfaceInTelemetry) {
+  auto& counter =
+      telemetry::Metrics().counter("resilience.replay_buffer.evictions");
+  const std::uint64_t before = counter.Value();
+  ReplayBuffer<int> buffer(2);
+  buffer.Push(1);
+  buffer.Push(2);
+  buffer.Push(3);            // evicts 1
+  buffer.set_capacity(1);    // evicts 2
+  EXPECT_EQ(counter.Value(), before + 2);
 }
 
 }  // namespace
