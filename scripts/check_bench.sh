@@ -24,7 +24,7 @@ build_dir="${1:-$repo_root/build}"
 tolerance="${TOLERANCE:-0.35}"
 
 cmake -B "$build_dir" -S "$repo_root"
-cmake --build "$build_dir" -j --target bench_pipeline_throughput bench_liveness
+cmake --build "$build_dir" -j --target bench_pipeline_throughput bench_liveness bench_archive
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -68,5 +68,10 @@ echo "== bench_liveness (floors enforced by the bench itself)"
 "$build_dir/bench/bench_liveness" "$tmp/BENCH_liveness.json"
 compare_ratios "$tmp/BENCH_liveness.json" "$repo_root/BENCH_liveness.json" \
   renew_vs_republish_speedup_10k
+
+echo "== bench_archive (floors enforced by the bench itself)"
+"$build_dir/bench/bench_archive" "$tmp/BENCH_archive.json"
+compare_ratios "$tmp/BENCH_archive.json" "$repo_root/BENCH_archive.json" \
+  ingest_speedup_4t
 
 echo "bench: no regression beyond tolerance ${tolerance} vs committed baselines"

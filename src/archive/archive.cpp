@@ -1,10 +1,15 @@
 #include "archive/archive.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 
 #include "common/strings.hpp"
 #include "telemetry/metrics.hpp"
+#include "ulm/binary.hpp"
 
 namespace jamm::archive {
 
@@ -13,30 +18,74 @@ namespace {
 struct ArchiveTelemetry {
   telemetry::Counter& ingested;
   telemetry::Counter& dropped;
+  telemetry::Counter& seals;
+  telemetry::Counter& compactions;
+  telemetry::Counter& compact_removed;
+  telemetry::Counter& query_calls;
+  telemetry::Counter& segments_scanned;
+  telemetry::Counter& segments_pruned;
+  telemetry::Counter& load_skipped;
   telemetry::Counter& saves;
+  telemetry::Histogram& seal_records;  // records per sealed segment
+  telemetry::Histogram& query_us;
   telemetry::Histogram& save_us;
-  telemetry::Histogram& save_batch;  // records per flush
 };
 
 ArchiveTelemetry& Instruments() {
   auto& m = telemetry::Metrics();
   static ArchiveTelemetry t{m.counter("archive.ingested"),
                             m.counter("archive.dropped"),
+                            m.counter("archive.seals"),
+                            m.counter("archive.compactions"),
+                            m.counter("archive.compact.removed"),
+                            m.counter("archive.query.calls"),
+                            m.counter("archive.query.segments_scanned"),
+                            m.counter("archive.query.segments_pruned"),
+                            m.counter("archive.load.segments_skipped"),
                             m.counter("archive.saves"),
-                            m.histogram("archive.save_us"),
-                            m.histogram("archive.save_batch")};
+                            m.histogram("archive.seal.records"),
+                            m.histogram("archive.query_us"),
+                            m.histogram("archive.save_us")};
   return t;
+}
+
+/// Process-wide round-robin thread index: thread k (in first-use order)
+/// always maps to stripe k % stripes, so single-threaded runs are fully
+/// deterministic (everything lands on stripe 0) and N ingest threads
+/// spread evenly.
+std::size_t ThreadOrdinal() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
 }
 
 }  // namespace
 
-EventArchive::EventArchive(std::string name, std::uint64_t sampling_seed)
-    : name_(std::move(name)), rng_(sampling_seed) {}
+EventArchive::EventArchive(std::string name, std::uint64_t sampling_seed,
+                           SegmentConfig config)
+    : name_(std::move(name)),
+      sampling_seed_(sampling_seed),
+      config_(config),
+      shared_(std::make_unique<Shared>()) {
+  if (config_.stripes == 0) config_.stripes = 1;
+  if (config_.max_records == 0) config_.max_records = 1;
+  stripes_.reserve(config_.stripes);
+  for (std::size_t i = 0; i < config_.stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+    // Distinct per-stripe streams, deterministic for a given seed.
+    stripes_.back()->rng.Seed(sampling_seed + 0x9E3779B97F4A7C15ull * i);
+  }
+}
 
 void EventArchive::SetSamplingPolicy(double normal_fraction,
                                      bool keep_abnormal) {
   normal_fraction_ = std::min(1.0, std::max(0.0, normal_fraction));
   keep_abnormal_ = keep_abnormal;
+}
+
+void EventArchive::SetCompactionPolicy(CompactionPolicy policy) {
+  compaction_ = std::move(policy);
 }
 
 bool EventArchive::IsAbnormal(const ulm::Record& rec) {
@@ -45,85 +94,452 @@ bool EventArchive::IsAbnormal(const ulm::Record& rec) {
          lvl == ulm::level::kAlert || lvl == ulm::level::kEmergency;
 }
 
-void EventArchive::Ingest(const ulm::Record& rec) {
-  ++ingested_;
-  Instruments().ingested.Increment();
-  const bool keep = (keep_abnormal_ && IsAbnormal(rec)) ||
-                    normal_fraction_ >= 1.0 || rng_.Chance(normal_fraction_);
-  if (!keep) {
-    ++dropped_;
-    Instruments().dropped.Increment();
-    return;
-  }
-  store_.emplace(rec.timestamp(), rec);
-  if (!rec.event_name().empty()) ++event_counts_[rec.event_name()];
+EventArchive::Stripe& EventArchive::StripeForThisThread() const {
+  return *stripes_[ThreadOrdinal() % stripes_.size()];
 }
 
-std::vector<ulm::Record> EventArchive::QueryRange(TimePoint t0,
-                                                  TimePoint t1) const {
-  std::vector<ulm::Record> out;
-  for (auto it = store_.lower_bound(t0); it != store_.end() && it->first < t1;
-       ++it) {
-    out.push_back(it->second);
+std::shared_ptr<Segment> EventArchive::NewSegment() {
+  // Caller holds a stripe lock; id assignment takes shared_->mu (the
+  // stripe-before-shared lock order used everywhere).
+  auto segment = std::make_shared<Segment>();
+  // Sized up front: growing a vector of Records re-copies every string
+  // they hold, which dominated the per-ingest cost before this hint.
+  segment->append_reserve = std::min<std::size_t>(config_.max_records, 65536);
+  std::lock_guard lock(shared_->mu);
+  segment->id = shared_->next_segment_id++;
+  return segment;
+}
+
+void EventArchive::SealLocked(Stripe& stripe) {
+  auto& tm = Instruments();
+  tm.seals.Increment();
+  tm.seal_records.Record(stripe.active->size());
+  std::lock_guard lock(shared_->mu);
+  shared_->sealed.push_back(std::move(stripe.active));
+  ++shared_->seal_count;
+  stripe.active.reset();
+}
+
+void EventArchive::Ingest(const ulm::Record& rec) {
+  auto& tm = Instruments();
+  tm.ingested.Increment();
+  Stripe& stripe = StripeForThisThread();
+  std::lock_guard lock(stripe.mu);
+  ++stripe.ingested;
+  // Order matters twice over: with sampling off (the common case) the
+  // first clause short-circuits past the IsAbnormal level compares, and
+  // with sampling on, IsAbnormal-then-Chance preserves the per-stripe rng
+  // stream the seed sampling tests pin down.
+  const bool keep = normal_fraction_ >= 1.0 ||
+                    (keep_abnormal_ && IsAbnormal(rec)) ||
+                    stripe.rng.Chance(normal_fraction_);
+  if (!keep) {
+    ++stripe.dropped;
+    tm.dropped.Increment();
+    return;
   }
+  if (!stripe.active) stripe.active = NewSegment();
+  stripe.active->Append(rec);
+  if (stripe.active->size() >= config_.max_records ||
+      stripe.active->Span() >= config_.max_span) {
+    SealLocked(stripe);
+  }
+}
+
+void EventArchive::IngestBatch(std::vector<ulm::Record>&& batch) {
+  if (batch.empty()) return;
+  auto& tm = Instruments();
+  tm.ingested.Add(batch.size());
+  Stripe& stripe = StripeForThisThread();
+  std::lock_guard lock(stripe.mu);
+  stripe.ingested += batch.size();
+  if (normal_fraction_ < 1.0) {
+    // Sampling on: per-record keep decisions, in frame order so the
+    // per-stripe rng stream matches record-at-a-time ingest exactly.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const bool keep = (keep_abnormal_ && IsAbnormal(batch[i])) ||
+                        stripe.rng.Chance(normal_fraction_);
+      if (keep) {
+        if (kept != i) batch[kept] = std::move(batch[i]);
+        ++kept;
+      } else {
+        ++stripe.dropped;
+        tm.dropped.Increment();
+      }
+    }
+    batch.resize(kept);
+    if (batch.empty()) return;
+  }
+  if (!stripe.active) stripe.active = NewSegment();
+  stripe.active->AppendFrame(std::move(batch));
+  if (stripe.active->size() >= config_.max_records ||
+      stripe.active->Span() >= config_.max_span) {
+    SealLocked(stripe);
+  }
+}
+
+std::size_t EventArchive::SealActive() {
+  std::size_t sealed = 0;
+  for (auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    if (stripe->active && !stripe->active->empty()) {
+      SealLocked(*stripe);
+      ++sealed;
+    }
+  }
+  return sealed;
+}
+
+double EventArchive::HashUnit(const ulm::Record& rec) const {
+  // FNV-1a over the record's canonical binary encoding, mixed with the
+  // sampling seed: stable across processes and Save/Load round trips.
+  const std::string bytes = ulm::EncodeBinary(rec);
+  std::uint64_t h = 1469598103934665603ull ^ sampling_seed_;
+  for (unsigned char b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::size_t EventArchive::Compact(TimePoint now) {
+  if (compaction_.tiers.empty()) return 0;
+  auto& tm = Instruments();
+  std::vector<std::shared_ptr<const Segment>> snapshot;
+  {
+    std::lock_guard lock(shared_->mu);
+    snapshot = shared_->sealed;
+  }
+  std::size_t removed = 0;
+  for (const auto& segment : snapshot) {
+    const Duration age = now - segment->max_ts;
+    std::uint32_t target = 0;
+    double fraction = 1.0;
+    for (std::size_t i = 0; i < compaction_.tiers.size(); ++i) {
+      if (age >= compaction_.tiers[i].older_than) {
+        target = static_cast<std::uint32_t>(i + 1);
+        fraction = compaction_.tiers[i].keep_fraction;
+      }
+    }
+    if (target <= segment->tier) continue;  // already at (or past) this tier
+    auto compacted = std::make_shared<Segment>();
+    compacted->id = segment->id;
+    compacted->tier = target;
+    compacted->append_reserve = segment->size();
+    segment->ForEachRecord([&](const ulm::Record& rec) {
+      if ((keep_abnormal_ && IsAbnormal(rec)) || HashUnit(rec) < fraction) {
+        compacted->Append(rec);
+      }
+    });
+    removed += segment->size() - compacted->size();
+    std::lock_guard lock(shared_->mu);
+    for (auto& slot : shared_->sealed) {
+      if (slot->id == segment->id) {
+        slot = std::move(compacted);
+        break;
+      }
+    }
+  }
+  tm.compactions.Increment();
+  tm.compact_removed.Add(removed);
+  return removed;
+}
+
+// ---------------------------------------------------------------- queries
+
+std::vector<ulm::Record> EventArchive::Collect(
+    TimePoint t0, TimePoint t1,
+    const std::function<bool(const Segment&)>& covers,
+    const std::function<bool(const ulm::Record&)>& matches,
+    QueryStats* stats) const {
+  auto& tm = Instruments();
+  tm.query_calls.Increment();
+  telemetry::ScopedTimer timer(&tm.query_us);
+  QueryStats local;
+
+  // Matches grouped per segment, keyed by id: deterministic merge order,
+  // and a segment sealed mid-query (seen as active, then again in the
+  // sealed list) is deduplicated — the sealed copy wins.
+  std::map<std::uint64_t, std::vector<ulm::Record>> groups;
+  auto scan = [&](const Segment& segment) {
+    ++local.segments_total;
+    if (!segment.CoversTime(t0, t1) || !covers(segment)) {
+      ++local.segments_pruned;
+      return;
+    }
+    ++local.segments_scanned;
+    std::vector<ulm::Record> hits;
+    segment.ForEachRecord([&](const ulm::Record& rec) {
+      if (rec.timestamp() >= t0 && rec.timestamp() < t1 && matches(rec)) {
+        hits.push_back(rec);
+      }
+    });
+    groups[segment.id] = std::move(hits);
+  };
+
+  // Active segments first (each under its stripe lock), the sealed
+  // snapshot second: a segment sealed between the phases shows up in the
+  // second and overwrites its phase-one copy, so nothing ingested before
+  // the query began can be missed or double-counted.
+  std::vector<std::uint64_t> seen_active;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    if (stripe->active && !stripe->active->empty()) {
+      scan(*stripe->active);
+      seen_active.push_back(stripe->active->id);
+    }
+  }
+  std::vector<std::shared_ptr<const Segment>> sealed;
+  {
+    std::lock_guard lock(shared_->mu);
+    sealed = shared_->sealed;
+  }
+  for (const auto& segment : sealed) {
+    if (std::find(seen_active.begin(), seen_active.end(), segment->id) !=
+        seen_active.end()) {
+      scan(*segment);  // overwrite the phase-one (possibly shorter) copy
+      --local.segments_total;
+      continue;
+    }
+    scan(*segment);
+  }
+
+  std::vector<ulm::Record> out;
+  for (auto& [id, hits] : groups) {
+    (void)id;
+    out.insert(out.end(), std::make_move_iterator(hits.begin()),
+               std::make_move_iterator(hits.end()));
+  }
+  // Stable: ties keep segment-id-then-arrival order, so the same query
+  // yields byte-identical results before and after a Save/Load round trip.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ulm::Record& a, const ulm::Record& b) {
+                     return a.timestamp() < b.timestamp();
+                   });
+  local.records_returned = out.size();
+  tm.segments_scanned.Add(local.segments_scanned);
+  tm.segments_pruned.Add(local.segments_pruned);
+  if (stats) *stats = local;
   return out;
+}
+
+std::vector<ulm::Record> EventArchive::QueryRange(TimePoint t0, TimePoint t1,
+                                                  QueryStats* stats) const {
+  return Collect(
+      t0, t1, [](const Segment&) { return true; },
+      [](const ulm::Record&) { return true; }, stats);
 }
 
 std::vector<ulm::Record> EventArchive::QueryEvents(
-    const std::string& event_glob, TimePoint t0, TimePoint t1) const {
-  std::vector<ulm::Record> out;
-  for (auto it = store_.lower_bound(t0); it != store_.end() && it->first < t1;
-       ++it) {
-    if (event_glob.empty() || GlobMatch(event_glob, it->second.event_name())) {
-      out.push_back(it->second);
-    }
-  }
-  return out;
+    const std::string& event_glob, TimePoint t0, TimePoint t1,
+    QueryStats* stats) const {
+  return Collect(
+      t0, t1,
+      [&](const Segment& s) { return s.MayContainEvent(event_glob); },
+      [&](const ulm::Record& rec) {
+        return event_glob.empty() || GlobMatch(event_glob, rec.event_name());
+      },
+      stats);
 }
 
 std::vector<ulm::Record> EventArchive::QueryHost(const std::string& host,
-                                                 TimePoint t0,
-                                                 TimePoint t1) const {
-  std::vector<ulm::Record> out;
-  for (auto it = store_.lower_bound(t0); it != store_.end() && it->first < t1;
-       ++it) {
-    if (it->second.host() == host) out.push_back(it->second);
+                                                 TimePoint t0, TimePoint t1,
+                                                 QueryStats* stats) const {
+  return Collect(
+      t0, t1, [&](const Segment& s) { return s.ContainsHost(host); },
+      [&](const ulm::Record& rec) { return rec.host() == host; }, stats);
+}
+
+// ------------------------------------------------------------ persistence
+
+std::string EventArchive::SaveToBytes() const {
+  // Snapshot every segment: sealed as shared pointers, actives as copies
+  // made under their stripe locks. Blocks are written in segment-id
+  // order, which a Load preserves — so save → load → save is
+  // byte-identical.
+  std::vector<std::shared_ptr<const Segment>> segments;
+  {
+    std::lock_guard lock(shared_->mu);
+    segments = shared_->sealed;
   }
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    if (stripe->active && !stripe->active->empty()) {
+      segments.push_back(std::make_shared<const Segment>(*stripe->active));
+    }
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const auto& a, const auto& b) { return a->id < b->id; });
+  std::string out;
+  AppendFileHeader(out, static_cast<std::uint32_t>(segments.size()));
+  for (const auto& segment : segments) AppendSegmentBlock(*segment, out);
   return out;
 }
 
 Status EventArchive::SaveTo(const std::string& path) const {
   auto& tm = Instruments();
   tm.saves.Increment();
-  tm.save_batch.Record(store_.size());
   telemetry::ScopedTimer save_timer(&tm.save_us);
-  std::ofstream out(path, std::ios::trunc);
+  const std::string bytes = SaveToBytes();
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
   if (!out) return Status::Unavailable("cannot open " + path);
-  for (const auto& [ts, rec] : store_) {
-    out << rec.ToAscii() << '\n';
-  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   out.flush();
   if (!out) return Status::Unavailable("write failed: " + path);
   return Status::Ok();
 }
 
-Result<EventArchive> EventArchive::LoadFrom(const std::string& name,
-                                            const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("archive file not found: " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  Status error;
-  auto records = ulm::ParseLog(buf.str(), &error);
-  if (!error.ok()) return error;
-  EventArchive archive(name);
-  for (const auto& rec : records) archive.Ingest(rec);
+Result<EventArchive> EventArchive::LoadFromBytes(std::string name,
+                                                 std::string_view data,
+                                                 std::uint64_t sampling_seed,
+                                                 SegmentConfig config) {
+  auto promised = ReadFileHeader(data);
+  if (!promised.ok()) return promised.status();
+
+  EventArchive archive(std::move(name), sampling_seed, config);
+  LoadStats stats;
+  std::set<std::uint64_t> seen_ids;
+  std::size_t offset = kFileHeaderBytes;
+  while (offset < data.size()) {
+    Segment segment;
+    const BlockOutcome outcome = ReadSegmentBlock(data, &offset, &segment);
+    if (outcome == BlockOutcome::kTruncated) {
+      stats.truncated = true;
+      break;
+    }
+    if (outcome == BlockOutcome::kSkipped) {
+      ++stats.segments_skipped;
+      continue;
+    }
+    // Segment ids are unique by construction; a duplicate means the block
+    // is a corrupt echo of another — skip it rather than shadow a
+    // legitimate segment in the id-keyed query merge.
+    if (!seen_ids.insert(segment.id).second) {
+      ++stats.segments_skipped;
+      continue;
+    }
+    ++stats.segments_loaded;
+    auto& shared = *archive.shared_;
+    shared.loaded_records += segment.size();
+    shared.next_segment_id = std::max(shared.next_segment_id, segment.id + 1);
+    shared.sealed.push_back(std::make_shared<const Segment>(std::move(segment)));
+  }
+  // The header promised a block count; fewer (or more) readable blocks
+  // means the tail was lost even if every byte present parsed cleanly.
+  if (stats.segments_loaded + stats.segments_skipped != *promised) {
+    stats.truncated = true;
+  }
+  Instruments().load_skipped.Add(stats.segments_skipped);
+  archive.load_stats_ = stats;
   return archive;
 }
 
+Result<EventArchive> EventArchive::LoadFrom(const std::string& name,
+                                            const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("archive file not found: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadFromBytes(name, buf.str());
+}
+
+// ------------------------------------------------------------------ stats
+
+std::size_t EventArchive::size() const {
+  std::size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    if (stripe->active) total += stripe->active->size();
+  }
+  std::lock_guard lock(shared_->mu);
+  for (const auto& segment : shared_->sealed) total += segment->size();
+  return total;
+}
+
+std::uint64_t EventArchive::ingested() const {
+  std::uint64_t total;
+  {
+    std::lock_guard lock(shared_->mu);
+    total = shared_->loaded_records;
+  }
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    total += stripe->ingested;
+  }
+  return total;
+}
+
+std::uint64_t EventArchive::dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    total += stripe->dropped;
+  }
+  return total;
+}
+
+std::uint64_t EventArchive::seal_count() const {
+  std::lock_guard lock(shared_->mu);
+  return shared_->seal_count;
+}
+
+std::size_t EventArchive::segment_count() const {
+  std::size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    if (stripe->active && !stripe->active->empty()) ++total;
+  }
+  std::lock_guard lock(shared_->mu);
+  return total + shared_->sealed.size();
+}
+
+std::pair<TimePoint, TimePoint> EventArchive::TimeSpan() const {
+  bool any = false;
+  TimePoint lo = 0, hi = 0;
+  auto fold = [&](const Segment& segment) {
+    if (segment.empty()) return;
+    if (!any) {
+      lo = segment.min_ts;
+      hi = segment.max_ts;
+      any = true;
+      return;
+    }
+    lo = std::min(lo, segment.min_ts);
+    hi = std::max(hi, segment.max_ts);
+  };
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    if (stripe->active) fold(*stripe->active);
+  }
+  std::vector<std::shared_ptr<const Segment>> sealed;
+  {
+    std::lock_guard lock(shared_->mu);
+    sealed = shared_->sealed;
+  }
+  for (const auto& segment : sealed) fold(*segment);
+  return {lo, hi};
+}
+
 std::string EventArchive::ContentsSummary() const {
+  std::map<std::string, std::uint64_t> merged;
+  auto fold = [&](const Segment& segment) {
+    for (const auto& [name, count] : segment.event_counts) {
+      merged[name] += count;
+    }
+  };
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    if (stripe->active) fold(*stripe->active);
+  }
+  std::vector<std::shared_ptr<const Segment>> sealed;
+  {
+    std::lock_guard lock(shared_->mu);
+    sealed = shared_->sealed;
+  }
+  for (const auto& segment : sealed) fold(*segment);
   std::string out;
-  for (const auto& [event_name, count] : event_counts_) {
+  for (const auto& [event_name, count] : merged) {
     if (!out.empty()) out += ' ';
     out += event_name + "(" + std::to_string(count) + ")";
   }

@@ -4,17 +4,36 @@
 // data, it is necessary to archive a good sampling of both 'normal' and
 // 'abnormal' system operation."
 //
-// The archive is an ingest-time-sampled, time-indexed store: abnormal
-// events (Error/Warning/Alert/Emergency) are always kept, normal events
-// are kept at a configurable sampling fraction (deterministic for a given
-// seed). Queries select by time range, event-name glob, and host.
+// ISSUE 5 rebuilt this as a segmented, time-partitioned store:
+//
+//   * ingest appends into lock-striped active segments, so multiple
+//     ArchiverAgents (threads) ingest concurrently without contending;
+//   * a segment seals when it hits a record-count or time-span bound;
+//     sealed segments are immutable and carry min/max-time, event-name,
+//     and host indexes, so QueryRange/QueryEvents/QueryHost prune to
+//     covering segments instead of scanning everything;
+//   * sealed segments compact by age tier — normal events are re-sampled
+//     down (deterministic, hash-based), abnormal events are always kept;
+//   * persistence is per-segment with checksummed headers (segment.hpp):
+//     a corrupt segment is skipped on load, never fatal, and partial
+//     loads are reported, never silent.
+//
+// Ingest-time sampling is unchanged from the seed: abnormal events
+// (Error/Warning/Alert/Emergency) are always kept, normal events are kept
+// at a configurable fraction (deterministic for a given seed).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "archive/segment.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
@@ -22,43 +41,157 @@
 
 namespace jamm::archive {
 
+/// Active-segment sealing bounds and the ingest lock-stripe count.
+/// Configure before concurrent use; not thread-safe to change mid-ingest.
+struct SegmentConfig {
+  /// Seal when the active segment holds this many records.
+  std::size_t max_records = 8192;
+  /// Seal when the active segment's record-timestamp span reaches this.
+  Duration max_span = kHour;
+  /// Independent ingest stripes (each with its own lock and active
+  /// segment). Threads are spread round-robin across stripes.
+  std::size_t stripes = 8;
+};
+
+/// One compaction tier: sealed segments whose newest record is older than
+/// `older_than` keep only `keep_fraction` of their normal events
+/// (abnormal events are always kept). Fractions are of the ORIGINAL
+/// population and must decrease with age, so deeper tiers keep a subset
+/// of shallower ones (the hash-based decision nests).
+struct CompactionTier {
+  Duration older_than = 0;
+  double keep_fraction = 1.0;
+};
+
+struct CompactionPolicy {
+  /// Ascending by `older_than`, descending by `keep_fraction`.
+  std::vector<CompactionTier> tiers;
+
+  /// 1 h → 25 %, 24 h → 5 % of normal events.
+  static CompactionPolicy Default() {
+    return {{{kHour, 0.25}, {24 * kHour, 0.05}}};
+  }
+};
+
+/// Per-query pruning accounting (pass to any Query* to collect it).
+struct QueryStats {
+  std::size_t segments_total = 0;    // segments considered
+  std::size_t segments_scanned = 0;  // covering segments actually read
+  std::size_t segments_pruned = 0;   // skipped via min/max-time, event, host
+  std::size_t records_returned = 0;
+};
+
+/// What LoadFrom managed to read. The archive is complete only when
+/// `ok()` — otherwise some segments were corrupt (skipped) or the file
+/// was cut short (truncated), and callers must not treat the loaded data
+/// as the whole archive.
+struct LoadStats {
+  std::size_t segments_loaded = 0;
+  std::size_t segments_skipped = 0;  // corrupt blocks resynchronized past
+  bool truncated = false;            // trailing bytes unreadable or missing
+
+  bool ok() const { return segments_skipped == 0 && !truncated; }
+};
+
 class EventArchive {
  public:
-  explicit EventArchive(std::string name, std::uint64_t sampling_seed = 1);
+  explicit EventArchive(std::string name, std::uint64_t sampling_seed = 1,
+                        SegmentConfig config = {});
+
+  EventArchive(EventArchive&&) = default;
+  EventArchive& operator=(EventArchive&&) = default;
 
   const std::string& name() const { return name_; }
+  const SegmentConfig& config() const { return config_; }
 
   /// Keep `normal_fraction` (0..1] of normal events; abnormal events
   /// (LVL in {Error, Warning, Alert, Emergency}) are always kept when
   /// `keep_abnormal` (default). Default policy keeps everything.
+  /// Configure before concurrent ingest begins.
   void SetSamplingPolicy(double normal_fraction, bool keep_abnormal = true);
 
+  /// Age-tiered re-sampling of sealed segments (see CompactionPolicy).
+  /// Configure before concurrent use.
+  void SetCompactionPolicy(CompactionPolicy policy);
+
   /// Store (subject to sampling). Never fails on policy drops — a dropped
-  /// event is policy, not an error.
+  /// event is policy, not an error. Thread-safe: concurrent callers land
+  /// on distinct lock stripes.
   void Ingest(const ulm::Record& rec);
 
-  // -------------------------------------------------------------- queries
+  /// Batched move form of Ingest — the archiver's production path, since
+  /// the gateway delivers events in batched frames (ISSUE 3) and the
+  /// decoded records are owned and disposable. One stripe-lock
+  /// acquisition covers the whole batch, which is spliced into the active
+  /// segment wholesale (no per-record moves). Sampling applies per record
+  /// exactly as in Ingest; `batch` is left empty. The segment seals after
+  /// the batch lands, so the record-count bound is "at least" here.
+  /// Thread-safe.
+  void IngestBatch(std::vector<ulm::Record>&& batch);
 
-  /// All stored records with t0 <= ts < t1, time-ordered.
-  std::vector<ulm::Record> QueryRange(TimePoint t0, TimePoint t1) const;
+  /// Seal every non-empty active segment now (flush before save/handoff);
+  /// returns segments sealed. Thread-safe.
+  std::size_t SealActive();
+
+  /// Apply the compaction policy to sealed segments older than its tiers;
+  /// returns records removed. Deterministic: the keep decision hashes the
+  /// record bytes with the sampling seed, so re-running — or running
+  /// after a Save/Load round trip — removes exactly the same records.
+  /// Thread-safe against concurrent ingest and queries.
+  std::size_t Compact(TimePoint now);
+
+  // -------------------------------------------------------------- queries
+  //
+  // All queries are thread-safe, return records time-ordered (ties broken
+  // deterministically by segment id, then in-segment order), and prune
+  // non-covering segments via the per-segment indexes.
+
+  /// All stored records with t0 <= ts < t1.
+  std::vector<ulm::Record> QueryRange(TimePoint t0, TimePoint t1,
+                                      QueryStats* stats = nullptr) const;
   /// Range narrowed by NL.EVNT glob ("" = all).
   std::vector<ulm::Record> QueryEvents(const std::string& event_glob,
-                                       TimePoint t0, TimePoint t1) const;
+                                       TimePoint t0, TimePoint t1,
+                                       QueryStats* stats = nullptr) const;
   /// Range narrowed by host.
   std::vector<ulm::Record> QueryHost(const std::string& host, TimePoint t0,
-                                     TimePoint t1) const;
+                                     TimePoint t1,
+                                     QueryStats* stats = nullptr) const;
 
   // ---------------------------------------------------------- persistence
 
+  /// Serialize every segment (sealed + active) — see segment.hpp for the
+  /// checksummed per-segment wire format.
+  std::string SaveToBytes() const;
   Status SaveTo(const std::string& path) const;
+
+  /// Load an archive image. Corrupt segments are skipped, a truncated
+  /// tail stops the load; both are reported via load_stats(), so partial
+  /// data is never silently presented as complete. A malformed file
+  /// header is an error. All loaded segments arrive sealed.
+  static Result<EventArchive> LoadFromBytes(std::string name,
+                                            std::string_view data,
+                                            std::uint64_t sampling_seed = 1,
+                                            SegmentConfig config = {});
   static Result<EventArchive> LoadFrom(const std::string& name,
                                        const std::string& path);
 
+  /// Stats from the LoadFrom that produced this archive (all-ok for an
+  /// archive born empty).
+  const LoadStats& load_stats() const { return load_stats_; }
+
   // -------------------------------------------------------------- stats
 
-  std::size_t size() const { return store_.size(); }
-  std::uint64_t ingested() const { return ingested_; }
-  std::uint64_t dropped() const { return dropped_; }
+  /// Records currently stored (after sampling and compaction).
+  std::size_t size() const;
+  std::uint64_t ingested() const;
+  std::uint64_t dropped() const;
+  /// Lifetime seals (the archiver refreshes its directory entry on this).
+  std::uint64_t seal_count() const;
+  /// Sealed segments + non-empty active segments.
+  std::size_t segment_count() const;
+  /// [min, max] record timestamp over all segments ({0, 0} when empty).
+  std::pair<TimePoint, TimePoint> TimeSpan() const;
 
   /// "EVNT_A(120) EVNT_B(3) ..." — fills the archive directory entry's
   /// contents attribute ("creates an archive directory service entry
@@ -66,16 +199,53 @@ class EventArchive {
   std::string ContentsSummary() const;
 
  private:
+  /// One ingest stripe: its own lock, active segment, sampling rng, and
+  /// counters, so concurrent ingest threads do not contend.
+  struct Stripe {
+    mutable std::mutex mu;
+    std::shared_ptr<Segment> active;  // null until first kept record
+    Rng rng;
+    std::uint64_t ingested = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  /// Shared sealed-segment state. Lock order: Stripe::mu before
+  /// Shared::mu (sealing nests); queries take them one at a time.
+  struct Shared {
+    mutable std::mutex mu;
+    std::vector<std::shared_ptr<const Segment>> sealed;
+    std::uint64_t seal_count = 0;
+    std::uint64_t next_segment_id = 0;
+    std::uint64_t loaded_records = 0;  // base for ingested() after a load
+  };
+
   static bool IsAbnormal(const ulm::Record& rec);
 
+  Stripe& StripeForThisThread() const;
+  /// Move the stripe's active segment to the sealed list. Caller holds
+  /// stripe.mu; takes shared_->mu nested.
+  void SealLocked(Stripe& stripe);
+  std::shared_ptr<Segment> NewSegment();
+  /// Deterministic per-record sampling unit in [0, 1) for compaction.
+  double HashUnit(const ulm::Record& rec) const;
+  /// Shared query walk: collect matching records from every covering
+  /// segment, merged time-ordered. `covers`/`matches` close over the
+  /// query's predicates.
+  std::vector<ulm::Record> Collect(
+      TimePoint t0, TimePoint t1,
+      const std::function<bool(const Segment&)>& covers,
+      const std::function<bool(const ulm::Record&)>& matches,
+      QueryStats* stats) const;
+
   std::string name_;
-  Rng rng_;
+  std::uint64_t sampling_seed_ = 1;
+  SegmentConfig config_;
   double normal_fraction_ = 1.0;
   bool keep_abnormal_ = true;
-  std::multimap<TimePoint, ulm::Record> store_;
-  std::map<std::string, std::uint64_t> event_counts_;
-  std::uint64_t ingested_ = 0;
-  std::uint64_t dropped_ = 0;
+  CompactionPolicy compaction_;
+  LoadStats load_stats_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::unique_ptr<Shared> shared_;
 };
 
 }  // namespace jamm::archive

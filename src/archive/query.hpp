@@ -1,0 +1,115 @@
+// ArchiveQueryService (ISSUE 5): serves an EventArchive to remote
+// consumers through the rpc layer, the way the paper's archive agent
+// makes archived data available for "historical analysis of system
+// performance". Consumers discover the archive via its directory entry
+// (address attribute), dial the rpc server hosting it, and query by
+// time range, event-name glob, or host.
+//
+// Wire protocol (rpc object methods, string-marshalled via rpc wire):
+//
+//   "arch.query"  args = [kind, t0, t1, predicate, offset?, limit?]
+//     kind       "range" | "events" | "host"
+//     t0, t1     decimal microseconds, half-open [t0, t1)
+//     predicate  event glob for "events", host name for "host", "" for
+//                "range"
+//     offset     decimal record offset for pagination (default 0)
+//     limit      records per page (default/cap chosen by the service)
+//     reply = marshalled [next_offset, total, batch] where `batch` is a
+//     concatenation of self-delimiting binary ULM records (the ISSUE-3
+//     batch frame format) and `next_offset` is "" on the final page.
+//
+//   "arch.stats"  args = []
+//     reply = marshalled [name, size, segments, ingested, dropped,
+//                         span_min, span_max, contents]
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "archive/archive.hpp"
+#include "rpc/registry.hpp"
+#include "rpc/wire.hpp"
+
+namespace jamm::archive {
+
+inline constexpr char kQueryMethod[] = "arch.query";
+inline constexpr char kStatsMethod[] = "arch.stats";
+
+/// Conventional rpc object name for an archive: "archive.<name>".
+std::string ArchiveObjectName(const std::string& archive_name);
+
+/// Read-side rpc facade over an EventArchive. Register it resident (the
+/// archive outlives calls) or wrap it in a factory for activatable use.
+class ArchiveQueryService final : public rpc::RemoteObject {
+ public:
+  explicit ArchiveQueryService(const EventArchive& archive,
+                               std::size_t default_page_records = 256);
+
+  Result<std::string> Invoke(const std::string& method,
+                             const std::vector<std::string>& args) override;
+
+  /// Hard cap on records per reply regardless of the requested limit, so
+  /// one greedy page cannot exceed the transport's frame bound.
+  static constexpr std::size_t kMaxPageRecords = 4096;
+
+ private:
+  const EventArchive& archive_;
+  std::size_t default_page_records_;
+};
+
+/// Register `archive` on `registry` under ArchiveObjectName(name).
+Status RegisterArchiveService(rpc::Registry& registry,
+                              const EventArchive& archive,
+                              std::size_t default_page_records = 256);
+
+/// Consumer-side convenience wrapper (GatewayClient-style) around the
+/// arch.query protocol: pages through results transparently and decodes
+/// the binary batches back into records. Built on RpcClient, so a
+/// dialer-backed instance re-dials and retries across server restarts.
+class ArchiveClient {
+ public:
+  ArchiveClient(std::unique_ptr<transport::Channel> channel,
+                std::string object_name);
+  /// Reconnecting client: the connection is (re-)established via
+  /// `dialer`, transient failures retried under `policy`.
+  ArchiveClient(rpc::RpcClient::Dialer dialer, std::string object_name,
+                resilience::RetryPolicy policy = {},
+                const Clock* clock = nullptr);
+
+  Result<std::vector<ulm::Record>> QueryRange(TimePoint t0, TimePoint t1);
+  Result<std::vector<ulm::Record>> QueryEvents(const std::string& event_glob,
+                                               TimePoint t0, TimePoint t1);
+  Result<std::vector<ulm::Record>> QueryHost(const std::string& host,
+                                             TimePoint t0, TimePoint t1);
+
+  struct RemoteStats {
+    std::string name;
+    std::uint64_t size = 0;
+    std::uint64_t segments = 0;
+    std::uint64_t ingested = 0;
+    std::uint64_t dropped = 0;
+    TimePoint span_min = 0;
+    TimePoint span_max = 0;
+    std::string contents;
+  };
+  Result<RemoteStats> Stats();
+
+  /// Records per page to request (0 = the service's default).
+  void set_page_records(std::size_t n) { page_records_ = n; }
+  /// Pages fetched over this client's lifetime (tests: proves paging).
+  std::uint64_t pages_fetched() const { return pages_fetched_; }
+
+ private:
+  Result<std::vector<ulm::Record>> Query(const std::string& kind,
+                                         const std::string& predicate,
+                                         TimePoint t0, TimePoint t1);
+
+  rpc::RpcClient rpc_;
+  std::string object_;
+  std::size_t page_records_ = 0;
+  std::uint64_t pages_fetched_ = 0;
+};
+
+}  // namespace jamm::archive

@@ -1,0 +1,198 @@
+#include "archive/segment.hpp"
+
+#include <array>
+
+#include "common/strings.hpp"
+#include "ulm/binary.hpp"
+
+namespace jamm::archive {
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void Put32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Put64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t Get32(std::string_view data, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t Get64(std::string_view data, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Segment::IndexRecord(const ulm::Record& rec) {
+  if (record_count_ == 0) {
+    min_ts = max_ts = rec.timestamp();
+  } else {
+    min_ts = std::min(min_ts, rec.timestamp());
+    max_ts = std::max(max_ts, rec.timestamp());
+  }
+  if (rec.event_name().empty()) {
+    ++unnamed_count;
+  } else {
+    bool counted = false;
+    for (auto& [name, count] : event_counts) {
+      if (name == rec.event_name()) {
+        ++count;
+        counted = true;
+        break;
+      }
+    }
+    if (!counted) event_counts.emplace_back(rec.event_name(), 1);
+  }
+  if (!ContainsHost(rec.host())) hosts.push_back(rec.host());
+  ++record_count_;
+}
+
+void Segment::Append(const ulm::Record& rec) { Append(ulm::Record(rec)); }
+
+void Segment::Append(ulm::Record&& rec) {
+  IndexRecord(rec);
+  if (!tail_open_ || chunks.empty()) {
+    chunks.emplace_back();
+    if (append_reserve != 0) chunks.back().reserve(append_reserve);
+    tail_open_ = true;
+  }
+  chunks.back().push_back(std::move(rec));
+}
+
+void Segment::AppendFrame(std::vector<ulm::Record>&& frame) {
+  if (frame.empty()) return;
+  for (const auto& rec : frame) IndexRecord(rec);
+  chunks.push_back(std::move(frame));
+  tail_open_ = false;
+}
+
+bool Segment::MayContainEvent(const std::string& glob) const {
+  if (glob.empty()) return !empty();
+  for (const auto& [name, count] : event_counts) {
+    (void)count;
+    if (GlobMatch(glob, name)) return true;
+  }
+  // Globs like "*" match even the empty event name.
+  return unnamed_count > 0 && GlobMatch(glob, "");
+}
+
+void AppendFileHeader(std::string& out, std::uint32_t segment_count) {
+  const std::size_t start = out.size();
+  Put32(out, kArchiveMagic);
+  Put32(out, kArchiveVersion);
+  Put32(out, segment_count);
+  Put32(out, Crc32(std::string_view(out).substr(start, 12)));
+}
+
+Result<std::uint32_t> ReadFileHeader(std::string_view data) {
+  if (data.size() < kFileHeaderBytes) {
+    return Status::ParseError("archive: file shorter than its header");
+  }
+  if (Get32(data, 0) != kArchiveMagic) {
+    return Status::ParseError("archive: bad file magic");
+  }
+  if (Get32(data, 4) != kArchiveVersion) {
+    return Status::ParseError("archive: unsupported version " +
+                              std::to_string(Get32(data, 4)));
+  }
+  if (Get32(data, 12) != Crc32(data.substr(0, 12))) {
+    return Status::ParseError("archive: file header checksum mismatch");
+  }
+  return Get32(data, 8);
+}
+
+void AppendSegmentBlock(const Segment& segment, std::string& out) {
+  std::string payload;
+  segment.ForEachRecord(
+      [&payload](const ulm::Record& rec) { ulm::EncodeBinary(rec, payload); });
+  const std::size_t start = out.size();
+  Put32(out, kSegmentMagic);
+  Put32(out, segment.tier);
+  Put64(out, segment.id);
+  Put64(out, segment.size());
+  Put64(out, static_cast<std::uint64_t>(segment.min_ts));
+  Put64(out, static_cast<std::uint64_t>(segment.max_ts));
+  Put64(out, payload.size());
+  Put32(out, Crc32(payload));
+  Put32(out, Crc32(std::string_view(out).substr(start, 52)));
+  out += payload;
+}
+
+BlockOutcome ReadSegmentBlock(std::string_view data, std::size_t* offset,
+                              Segment* out) {
+  const std::size_t at = *offset;
+  if (data.size() - at < kSegmentHeaderBytes) return BlockOutcome::kTruncated;
+  if (Get32(data, at + 52) != Crc32(data.substr(at, 52))) {
+    // The header (and with it payload_len) is untrustworthy — there is no
+    // reliable way to find the next block, so the rest of the file is lost.
+    return BlockOutcome::kTruncated;
+  }
+  // Header integrity is now checksum-backed; magic is a sanity re-check.
+  if (Get32(data, at) != kSegmentMagic) return BlockOutcome::kTruncated;
+  const std::uint64_t payload_len = Get64(data, at + 40);
+  if (payload_len > data.size() - at - kSegmentHeaderBytes) {
+    return BlockOutcome::kTruncated;  // promised bytes never made it to disk
+  }
+  const std::string_view payload =
+      data.substr(at + kSegmentHeaderBytes, payload_len);
+  *offset = at + kSegmentHeaderBytes + payload_len;  // resynchronized
+  if (Get32(data, at + 48) != Crc32(payload)) return BlockOutcome::kSkipped;
+  auto records = ulm::DecodeBinaryStream(payload);
+  if (!records.ok() || records->size() != Get64(data, at + 16)) {
+    return BlockOutcome::kSkipped;
+  }
+  Segment segment;
+  segment.id = Get64(data, at + 8);
+  segment.tier = Get32(data, at + 4);
+  segment.AppendFrame(std::move(*records));
+  // The header's time bounds must agree with the payload's; a mismatch
+  // means header and payload are from different writes.
+  if (!segment.empty() &&
+      (segment.min_ts != static_cast<TimePoint>(Get64(data, at + 24)) ||
+       segment.max_ts != static_cast<TimePoint>(Get64(data, at + 32)))) {
+    return BlockOutcome::kSkipped;
+  }
+  *out = std::move(segment);
+  return BlockOutcome::kLoaded;
+}
+
+}  // namespace jamm::archive

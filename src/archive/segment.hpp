@@ -1,0 +1,168 @@
+// Archive segments (ISSUE 5): the unit of storage, pruning, compaction,
+// and persistence for the segmented event archive.
+//
+// A segment is an append-only run of records covering a contiguous slice
+// of ingest. While active it is guarded by its owning stripe's lock; once
+// sealed it is immutable and shared freely between queries, compaction,
+// and persistence. Every segment carries the indexes queries prune on:
+// min/max record timestamp, per-event-name counts, and the host set — so
+// a time/glob/host query touches only covering segments.
+//
+// Persistence is per-segment with a checksummed header (layout below), so
+// one corrupt segment is skipped on load instead of poisoning the whole
+// archive file.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "ulm/record.hpp"
+
+namespace jamm::archive {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `data`. Used for the
+/// segment header and payload checksums; self-contained so the archive
+/// has no compression-library dependency.
+std::uint32_t Crc32(std::string_view data);
+
+/// One archive partition. Mutable only while active (under the owning
+/// stripe's lock); sealed segments are immutable.
+struct Segment {
+  std::uint64_t id = 0;
+  /// Deepest compaction tier already applied (0 = uncompacted).
+  std::uint32_t tier = 0;
+  TimePoint min_ts = 0;
+  TimePoint max_ts = 0;
+  /// Records in arrival order (roughly, but not strictly, time-ordered),
+  /// stored as the chunks they arrived in: AppendFrame splices a whole
+  /// owned batch in O(1) — no per-record moves, which is what makes the
+  /// batched ingest path cheap — while per-record Append grows a tail
+  /// chunk. Iteration order (chunk order, then in-chunk order) is exactly
+  /// arrival order, so persisted payload bytes do not depend on which
+  /// path the records took.
+  std::vector<std::vector<ulm::Record>> chunks;
+  /// Capacity hint for tail chunks the per-record Append path creates.
+  std::size_t append_reserve = 0;
+  /// NL.EVNT → count of records carrying it (the per-segment event index).
+  /// Flat and linearly scanned: a monitoring stream carries a handful of
+  /// distinct event names per segment, and the scan keeps the per-append
+  /// index update off the tree-allocation path Ingest is benchmarked on.
+  std::vector<std::pair<std::string, std::uint64_t>> event_counts;
+  /// Records with an empty NL.EVNT (plain ULM without the extension).
+  std::uint64_t unnamed_count = 0;
+  /// HOST values present (the per-segment host index), same flat layout.
+  std::vector<std::string> hosts;
+
+  void Append(const ulm::Record& rec);
+  /// Move form — the batched ingest path owns its records, so appending
+  /// costs string moves, not string copies.
+  void Append(ulm::Record&& rec);
+  /// Splice a whole owned batch in as one chunk: O(1) in the records
+  /// themselves, one index/min-max pass over them. Frame order becomes
+  /// arrival order.
+  void AppendFrame(std::vector<ulm::Record>&& frame);
+
+  /// Visit every record in arrival order.
+  template <typename Fn>
+  void ForEachRecord(Fn&& fn) const {
+    for (const auto& chunk : chunks) {
+      for (const auto& rec : chunk) fn(rec);
+    }
+  }
+
+  bool empty() const { return record_count_ == 0; }
+  std::size_t size() const { return record_count_; }
+
+  /// True if [min_ts, max_ts] intersects the half-open query [t0, t1).
+  bool CoversTime(TimePoint t0, TimePoint t1) const {
+    return record_count_ != 0 && min_ts < t1 && max_ts >= t0;
+  }
+  /// True if some record's event name could match `glob` ("" = all).
+  bool MayContainEvent(const std::string& glob) const;
+  bool ContainsHost(const std::string& host) const {
+    for (const auto& h : hosts) {
+      if (h == host) return true;
+    }
+    return false;
+  }
+
+  /// Record span in microseconds (0 for empty/single-timestamp segments).
+  Duration Span() const { return record_count_ == 0 ? 0 : max_ts - min_ts; }
+
+ private:
+  /// Fold one record into min/max-time and the event/host indexes and
+  /// count it. Called exactly once per stored record, before storage.
+  void IndexRecord(const ulm::Record& rec);
+
+  std::size_t record_count_ = 0;
+  /// Whether chunks.back() is a growable Append tail (false after an
+  /// AppendFrame splice — spliced chunks are never grown).
+  bool tail_open_ = false;
+};
+
+// ------------------------------------------------------------ wire format
+//
+// Archive file := file header, then one block per segment:
+//
+//   file header (16 bytes):
+//     u32  magic   "JARC" (0x4352414A LE)
+//     u32  version 1
+//     u32  segment_count
+//     u32  crc32 of the preceding 12 bytes
+//
+//   segment block := segment header (56 bytes) + payload:
+//     u32  magic   "SEG1" (0x31474553 LE)
+//     u32  tier
+//     u64  id
+//     u64  record_count
+//     i64  min_ts
+//     i64  max_ts
+//     u64  payload_len            (bytes of payload that follow)
+//     u32  payload_crc            (crc32 of the payload bytes)
+//     u32  header_crc             (crc32 of the preceding 52 bytes)
+//
+//   payload := record_count self-delimiting binary ULM records
+//              (ulm::EncodeBinary), concatenated.
+//
+// Every byte of the file is covered by exactly one of the three CRCs, so
+// any single-bit corruption is detected. A bad payload CRC (or a payload
+// that decodes to the wrong record count) skips that one segment — the
+// header told us its length, so the loader resynchronizes at the next
+// block. A bad header CRC means the length itself is untrustworthy: the
+// loader stops there and reports the remainder as truncated.
+
+inline constexpr std::uint32_t kArchiveMagic = 0x4352414Au;   // "JARC"
+inline constexpr std::uint32_t kArchiveVersion = 1;
+inline constexpr std::uint32_t kSegmentMagic = 0x31474553u;   // "SEG1"
+inline constexpr std::size_t kFileHeaderBytes = 16;
+inline constexpr std::size_t kSegmentHeaderBytes = 56;
+
+/// Append the archive file header for `segment_count` blocks to `out`.
+void AppendFileHeader(std::string& out, std::uint32_t segment_count);
+
+/// Validate the file header; returns the segment count it promises.
+Result<std::uint32_t> ReadFileHeader(std::string_view data);
+
+/// Append one segment block (header + payload) to `out`.
+void AppendSegmentBlock(const Segment& segment, std::string& out);
+
+/// Outcome of reading one segment block at *offset.
+enum class BlockOutcome {
+  kLoaded,     // segment decoded; *offset past the block
+  kSkipped,    // corrupt payload; *offset past the block (resynchronized)
+  kTruncated,  // header unreadable/untrustworthy; *offset unchanged — stop
+};
+
+/// Read one segment block. On kLoaded, `out` holds the segment; on
+/// kSkipped the block's bytes were consumed but its records are lost; on
+/// kTruncated nothing more can be read from `data`.
+BlockOutcome ReadSegmentBlock(std::string_view data, std::size_t* offset,
+                              Segment* out);
+
+}  // namespace jamm::archive

@@ -9,12 +9,14 @@ namespace {
 
 struct ArchiverTelemetry {
   telemetry::Counter& events_received;
+  telemetry::Counter& entry_refreshes;
   telemetry::Histogram& ingest_us;
 };
 
 ArchiverTelemetry& Instruments() {
   auto& m = telemetry::Metrics();
   static ArchiverTelemetry t{m.counter("archiver.events_received"),
+                             m.counter("archiver.entry_refreshes"),
                              m.histogram("archiver.ingest_us")};
   return t;
 }
@@ -55,6 +57,9 @@ void ArchiverAgent::IngestRecord(const ulm::Record& record) {
   } else {
     archive_.Ingest(record);
   }
+  // Sealing a segment changes what the directory entry advertises
+  // (contents, segment count, time span), so keep it current.
+  MaybeRefreshEntry();
 }
 
 Status ArchiverAgent::AttachRemote(std::unique_ptr<gateway::GatewayClient> client,
@@ -80,11 +85,26 @@ std::size_t ArchiverAgent::PumpRemote() {
   for (auto& rec : remote_->DrainEvents()) {
     remote_buffer_.Push(std::move(rec));
   }
-  std::size_t ingested = 0;
+  // The remote path owns every record it pumps, so it uses the archive's
+  // batched move ingest: one stripe-lock acquisition per pump, records
+  // stamped in place, nothing copied.
+  std::vector<ulm::Record> batch;
   while (auto rec = remote_buffer_.Pop()) {
-    IngestRecord(*rec);
-    ++ingested;
+    batch.push_back(std::move(*rec));
   }
+  if (batch.empty()) return 0;
+  auto& tm = Instruments();
+  tm.events_received.Add(batch.size());
+  telemetry::ScopedTimer ingest_timer(&tm.ingest_us);
+  for (auto& rec : batch) {
+    if (telemetry::HasTrace(rec)) {
+      telemetry::StampHop(rec, "archiver",
+                          clock_ ? clock_->Now() : rec.timestamp());
+    }
+  }
+  const std::size_t ingested = batch.size();
+  archive_.IngestBatch(std::move(batch));
+  MaybeRefreshEntry();
   return ingested;
 }
 
@@ -95,8 +115,21 @@ Status ArchiverAgent::PublishTo(directory::DirectoryPool& pool,
   directory::Entry container(suffix.Child("ou", "archives"));
   container.Set(directory::schema::kAttrObjectClass, "organizationalUnit");
   (void)pool.Upsert(container);
+  published_pool_ = &pool;
+  published_suffix_ = suffix;
+  published_seals_ = archive_.seal_count();
+  const auto [span_min, span_max] = archive_.TimeSpan();
   return pool.Upsert(directory::schema::MakeArchiveEntry(
-      suffix, name_, address_, archive_.ContentsSummary()));
+      suffix, name_, address_, archive_.ContentsSummary(),
+      archive_.segment_count(), span_min, span_max));
+}
+
+bool ArchiverAgent::MaybeRefreshEntry() {
+  if (published_pool_ == nullptr) return false;
+  const std::uint64_t seals = archive_.seal_count();
+  if (seals == published_seals_) return false;
+  Instruments().entry_refreshes.Increment();
+  return PublishTo(*published_pool_, published_suffix_).ok();
 }
 
 void ArchiverAgent::UnsubscribeAll() {

@@ -56,9 +56,16 @@ class ArchiverAgent {
   std::uint64_t remote_dropped() const { return remote_buffer_.dropped(); }
 
   /// Publish/refresh the archive's directory entry with a current
-  /// contents summary.
+  /// contents summary, segment count, and record-time span. Remembers the
+  /// pool/suffix so later seals refresh the same entry (ISSUE 5).
   Status PublishTo(directory::DirectoryPool& pool,
                    const directory::Dn& suffix);
+
+  /// Re-publish the directory entry if the archive sealed a segment since
+  /// the last publish; returns true when a refresh happened. Called
+  /// automatically after every ingest; callers that bypass the agent and
+  /// write to the archive directly can invoke it by hand.
+  bool MaybeRefreshEntry();
 
   archive::EventArchive& archive() { return archive_; }
 
@@ -74,6 +81,9 @@ class ArchiverAgent {
   std::vector<std::pair<gateway::EventGateway*, std::string>> subscriptions_;
   std::unique_ptr<gateway::GatewayClient> remote_;
   resilience::ReplayBuffer<ulm::Record> remote_buffer_{1024};
+  directory::DirectoryPool* published_pool_ = nullptr;
+  directory::Dn published_suffix_;
+  std::uint64_t published_seals_ = 0;
 };
 
 }  // namespace jamm::consumers

@@ -58,11 +58,17 @@ Entry MakeGatewayEntry(const Dn& suffix, const std::string& host,
 
 Entry MakeArchiveEntry(const Dn& suffix, const std::string& archive_name,
                        const std::string& address,
-                       const std::string& contents) {
+                       const std::string& contents, std::uint64_t segments,
+                       TimePoint span_min, TimePoint span_max) {
   Entry entry(ArchiveDn(suffix, archive_name));
   entry.Set(kAttrObjectClass, std::string(kArchiveClass));
   entry.Set(kAttrAddress, address);
   entry.Set(kAttrContents, contents);
+  entry.Set(kAttrSegments, std::to_string(segments));
+  if (span_min != 0 || span_max != 0) {
+    entry.Set(kAttrSpanMin, FormatUlmDate(span_min));
+    entry.Set(kAttrSpanMax, FormatUlmDate(span_max));
+  }
   return entry;
 }
 

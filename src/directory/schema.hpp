@@ -34,6 +34,9 @@ inline constexpr char kAttrConsumers[] = "consumers";    // current count
 inline constexpr char kAttrLastMessage[] = "lastmessage";
 inline constexpr char kAttrAddress[] = "address";
 inline constexpr char kAttrContents[] = "contents";      // archive contents
+inline constexpr char kAttrSegments[] = "segments";      // archive segments
+inline constexpr char kAttrSpanMin[] = "spanmin";        // oldest record, ULM DATE
+inline constexpr char kAttrSpanMax[] = "spanmax";        // newest record, ULM DATE
 inline constexpr char kAttrMetric[] = "metric";          // summary data name
 inline constexpr char kAttrValue[] = "value";            // summary data value
 /// Lease expiry (ISSUE 4), microseconds on the deployment's injected
@@ -66,9 +69,14 @@ Entry MakeSensorEntry(const Dn& suffix, const std::string& host,
 Entry MakeGatewayEntry(const Dn& suffix, const std::string& host,
                        const std::string& address);
 
+/// `segments` and the [span_min, span_max] record-time span (ISSUE 5) let
+/// consumers judge an archive's coverage from the directory alone; a span
+/// of {0, 0} (empty archive) publishes no span attributes.
 Entry MakeArchiveEntry(const Dn& suffix, const std::string& archive_name,
                        const std::string& address,
-                       const std::string& contents);
+                       const std::string& contents,
+                       std::uint64_t segments = 0, TimePoint span_min = 0,
+                       TimePoint span_max = 0);
 
 /// Summary-data publication (paper §7.0: "network sensors publish summary
 /// throughput and latency data in the directory service").

@@ -73,15 +73,21 @@ std::size_t RpcServer::PollOnce() {
     connections_.push_back(std::shared_ptr<transport::Channel>(
         std::move(*channel)));
   }
+  auto& m = telemetry::Metrics();
+  static telemetry::Counter& calls = m.counter("rpc.server.calls");
+  static telemetry::Counter& errors = m.counter("rpc.server.errors");
   std::size_t served = 0;
   for (auto& conn : connections_) {
     while (auto msg = conn->TryReceive()) {
+      calls.Increment();
       if (msg->type != "rpc.call") {
+        errors.Increment();
         (void)conn->Send({"rpc.error", "expected rpc.call"});
         continue;
       }
       auto parts = DecodeStrings(msg->payload);
       if (!parts.ok() || parts->size() < 2) {
+        errors.Increment();
         (void)conn->Send({"rpc.error", "malformed call"});
         continue;
       }
@@ -92,6 +98,7 @@ std::size_t RpcServer::PollOnce() {
       if (result.ok()) {
         (void)conn->Send({"rpc.ok", EncodeStrings({*result})});
       } else {
+        errors.Increment();
         (void)conn->Send({"rpc.error", result.status().ToString()});
       }
       ++served;

@@ -1,0 +1,146 @@
+// Fuzz-style corpus tests for the segmented archive loader (ISSUE 5
+// satellite). Archive files come off disk, and disks lie: truncations,
+// bit flips, and outright garbage must make LoadFromBytes return an error
+// or report skipped/truncated segments — never crash, never loop, and
+// never hand back partial data claiming it is complete.
+//
+// Deterministic Rng instead of a coverage-guided fuzzer, same as
+// ulm_fuzz_test: the toolchain has no libFuzzer, and a seeded corpus pins
+// the same invariants reproducibly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "archive/archive.hpp"
+#include "archive/segment.hpp"
+#include "common/rng.hpp"
+#include "ulm/record.hpp"
+
+namespace jamm::archive {
+namespace {
+
+std::string CorpusArchiveBytes(Rng& rng, std::size_t segments) {
+  SegmentConfig config;
+  config.stripes = 1;
+  config.max_records = 8;
+  EventArchive ar("fuzz", 1, config);
+  for (std::size_t s = 0; s < segments; ++s) {
+    for (int i = 0; i < 8; ++i) {
+      ulm::Record rec(static_cast<TimePoint>(rng.Uniform(0, 1000000)),
+                      "host" + std::to_string(rng.Uniform(0, 3)), "prog",
+                      rng.Chance(0.1) ? "Error" : "Usage",
+                      "Ev" + std::to_string(rng.Uniform(0, 9)));
+      rec.SetField("VAL", static_cast<std::int64_t>(rng.Next() >> 40));
+      ar.Ingest(rec);
+    }
+  }
+  return ar.SaveToBytes();
+}
+
+/// The loader contract under fire: whatever the bytes, LoadFromBytes
+/// either fails cleanly or returns an archive whose load_stats() admit to
+/// anything that went missing. `intact_records` is what a pristine load
+/// yields; a mutated load must never claim ok() while returning less.
+void MustLoadSafely(const std::string& data, std::size_t intact_records) {
+  auto loaded = EventArchive::LoadFromBytes("fuzz", data);
+  if (!loaded.ok()) return;  // clean rejection is success
+  const LoadStats& stats = loaded->load_stats();
+  if (loaded->size() < intact_records) {
+    EXPECT_FALSE(stats.ok())
+        << "lost " << (intact_records - loaded->size())
+        << " records but load_stats claims the archive is complete";
+  }
+}
+
+TEST(ArchiveFuzzTest, TruncatedAtEveryByteNeverSilent) {
+  Rng rng(0xA5C701);
+  const std::string data = CorpusArchiveBytes(rng, 4);
+  const std::size_t intact =
+      EventArchive::LoadFromBytes("fuzz", data)->size();
+  ASSERT_EQ(intact, 32u);
+  for (std::size_t cut = 0; cut < data.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    MustLoadSafely(data.substr(0, cut), intact);
+  }
+}
+
+TEST(ArchiveFuzzTest, EverySingleBitFlipIsDetected) {
+  Rng rng(0xA5C702);
+  const std::string data = CorpusArchiveBytes(rng, 3);
+  const std::size_t intact =
+      EventArchive::LoadFromBytes("fuzz", data)->size();
+  // Every byte of the file is covered by one of the three CRCs, so no
+  // single-bit flip may survive as an ok() load of a complete archive.
+  for (std::size_t at = 0; at < data.size(); ++at) {
+    std::string mutated = data;
+    mutated[at] ^= static_cast<char>(1u << rng.Uniform(0, 7));
+    SCOPED_TRACE("flip at byte " + std::to_string(at));
+    auto loaded = EventArchive::LoadFromBytes("fuzz", mutated);
+    if (!loaded.ok()) continue;
+    EXPECT_FALSE(loaded->load_stats().ok() && loaded->size() == intact &&
+                 loaded->SaveToBytes() == data)
+        << "corruption neither detected nor corrected";
+    MustLoadSafely(mutated, intact);
+  }
+}
+
+TEST(ArchiveFuzzTest, RandomMutationCorpus) {
+  Rng rng(0xA5C703);
+  const std::string data = CorpusArchiveBytes(rng, 5);
+  const std::size_t intact =
+      EventArchive::LoadFromBytes("fuzz", data)->size();
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = data;
+    const int edits = static_cast<int>(rng.Uniform(1, 16));
+    for (int e = 0; e < edits; ++e) {
+      mutated[static_cast<std::size_t>(
+          rng.Uniform(0, static_cast<std::int64_t>(mutated.size()) - 1))] =
+          static_cast<char>(rng.Uniform(0, 255));
+    }
+    SCOPED_TRACE("round " + std::to_string(round));
+    MustLoadSafely(mutated, intact);
+  }
+}
+
+TEST(ArchiveFuzzTest, GarbageCorpusRejectsOrReportsLoss) {
+  Rng rng(0xA5C704);
+  // Pure noise, with and without a valid-looking file header grafted on.
+  for (int round = 0; round < 500; ++round) {
+    const std::size_t len = static_cast<std::size_t>(rng.Uniform(0, 4096));
+    std::string noise;
+    noise.reserve(len + kFileHeaderBytes);
+    for (std::size_t i = 0; i < len; ++i) {
+      noise += static_cast<char>(rng.Uniform(0, 255));
+    }
+    SCOPED_TRACE("round " + std::to_string(round));
+    MustLoadSafely(noise, 0);
+
+    std::string framed;
+    AppendFileHeader(framed, static_cast<std::uint32_t>(rng.Uniform(0, 64)));
+    framed += noise;
+    auto loaded = EventArchive::LoadFromBytes("fuzz", framed);
+    ASSERT_TRUE(loaded.ok());  // the header itself is valid
+    if (!noise.empty()) {
+      EXPECT_FALSE(loaded->load_stats().ok())
+          << "random bytes after the header parsed as a complete archive";
+    }
+  }
+}
+
+TEST(ArchiveFuzzTest, HeaderCountMismatchIsTruncation) {
+  Rng rng(0xA5C705);
+  const std::string data = CorpusArchiveBytes(rng, 3);
+  // Rewrite the header to promise MORE segments than the file holds; the
+  // loader must flag the difference even though every present byte is good.
+  std::string promised_more;
+  AppendFileHeader(promised_more, 7);
+  promised_more += data.substr(kFileHeaderBytes);
+  auto loaded = EventArchive::LoadFromBytes("fuzz", promised_more);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->load_stats().segments_loaded, 3u);
+  EXPECT_TRUE(loaded->load_stats().truncated);
+}
+
+}  // namespace
+}  // namespace jamm::archive

@@ -11,7 +11,9 @@
 
 #include <cmath>
 
+#include "archive/archive.hpp"
 #include "common/rng.hpp"
+#include "common/strings.hpp"
 #include "common/time_util.hpp"
 #include "directory/schema.hpp"
 #include "directory/server.hpp"
@@ -344,6 +346,135 @@ INSTANTIATE_TEST_SUITE_P(
       };
       return "off" + absname(info.param.offset_ms) + "ms_drift" +
              absname(info.param.drift_ppm) + "ppm";
+    });
+
+// -------------------------------------------- segmented archive (ISSUE 5)
+
+struct ArchiveShape {
+  std::size_t stripes;
+  std::size_t max_records;
+  double normal_fraction;
+};
+
+class ArchiveQueries : public ::testing::TestWithParam<ArchiveShape> {};
+
+std::vector<std::string> ArchiveAscii(const std::vector<ulm::Record>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const auto& rec : rows) out.push_back(rec.ToAscii());
+  return out;
+}
+
+// Any query equals a brute-force filter of the full kept-record set: the
+// per-segment pruning indexes may only skip work, never records. The full
+// QueryRange order is deterministic (time, then segment id, then arrival),
+// so a narrower query must be an exact ordered subsequence of it.
+TEST_P(ArchiveQueries, EqualBruteForceFilterOverKeptRecords) {
+  const ArchiveShape& shape = GetParam();
+  archive::SegmentConfig config;
+  config.stripes = shape.stripes;
+  config.max_records = shape.max_records;
+  archive::EventArchive ar("prop", 11, config);
+  ar.SetSamplingPolicy(shape.normal_fraction);
+
+  Rng rng(0xA7C4 ^ shape.max_records);
+  for (int i = 0; i < 600; ++i) {
+    ulm::Record rec(rng.Uniform(0, 1000) * kSecond,
+                    "host" + std::to_string(rng.Uniform(0, 3)), "prog",
+                    rng.Chance(0.1) ? "Error" : "Usage",
+                    "Ev" + std::to_string(rng.Uniform(0, 9)));
+    rec.SetField("VAL", static_cast<std::int64_t>(i));
+    ar.Ingest(rec);
+  }
+  const auto kept = ar.QueryRange(0, 2000 * kSecond);
+  EXPECT_EQ(kept.size(), ar.size());
+
+  auto expect_filtered =
+      [&](const std::vector<ulm::Record>& got, TimePoint t0, TimePoint t1,
+          const std::function<bool(const ulm::Record&)>& pred) {
+        std::vector<ulm::Record> want;
+        for (const auto& rec : kept) {
+          if (rec.timestamp() >= t0 && rec.timestamp() < t1 && pred(rec)) {
+            want.push_back(rec);
+          }
+        }
+        EXPECT_EQ(ArchiveAscii(got), ArchiveAscii(want));
+      };
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const TimePoint t0 = rng.Uniform(0, 1000) * kSecond;
+    const TimePoint t1 = t0 + rng.Uniform(0, 400) * kSecond;
+    expect_filtered(ar.QueryRange(t0, t1), t0, t1,
+                    [](const ulm::Record&) { return true; });
+    const std::string glob = rng.Chance(0.5)
+                                 ? "Ev" + std::to_string(rng.Uniform(0, 9))
+                                 : "Ev*";
+    expect_filtered(ar.QueryEvents(glob, t0, t1), t0, t1,
+                    [&](const ulm::Record& rec) {
+                      return GlobMatch(glob, rec.event_name());
+                    });
+    const std::string host = "host" + std::to_string(rng.Uniform(0, 4));
+    expect_filtered(ar.QueryHost(host, t0, t1), t0, t1,
+                    [&](const ulm::Record& rec) { return rec.host() == host; });
+  }
+}
+
+// Save → Load preserves everything observable: every query answers
+// byte-identically, and compaction — whose keep decision hashes record
+// bytes with the sampling seed — removes exactly the same records whether
+// it runs before the round trip or after.
+TEST_P(ArchiveQueries, SaveLoadRoundTripIsObservationallyIdentical) {
+  const ArchiveShape& shape = GetParam();
+  archive::SegmentConfig config;
+  config.stripes = shape.stripes;
+  config.max_records = shape.max_records;
+  archive::EventArchive ar("prop", 23, config);
+  ar.SetSamplingPolicy(shape.normal_fraction);
+
+  Rng rng(0xF00D ^ shape.stripes);
+  for (int i = 0; i < 500; ++i) {
+    ulm::Record rec(rng.Uniform(0, 800) * kSecond,
+                    "host" + std::to_string(rng.Uniform(0, 3)), "prog",
+                    rng.Chance(0.1) ? "Warning" : "Usage",
+                    "Ev" + std::to_string(rng.Uniform(0, 6)));
+    rec.SetField("VAL", static_cast<std::int64_t>(i));
+    ar.Ingest(rec);
+  }
+  // Loading seals everything, so seal here too: the compaction comparison
+  // below needs both archives to see the same sealed segments.
+  ar.SealActive();
+  auto loaded = archive::EventArchive::LoadFromBytes("prop", ar.SaveToBytes(),
+                                                     23, config);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->load_stats().ok());
+  EXPECT_EQ(loaded->size(), ar.size());
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const TimePoint t0 = rng.Uniform(0, 800) * kSecond;
+    const TimePoint t1 = t0 + rng.Uniform(0, 300) * kSecond;
+    EXPECT_EQ(ArchiveAscii(ar.QueryRange(t0, t1)),
+              ArchiveAscii(loaded->QueryRange(t0, t1)));
+  }
+
+  archive::CompactionPolicy policy;
+  policy.tiers = {{kHour, 0.2}};
+  ar.SetCompactionPolicy(policy);
+  loaded->SetCompactionPolicy(policy);
+  const TimePoint when = ar.TimeSpan().second + 2 * kHour;
+  EXPECT_EQ(ar.Compact(when), loaded->Compact(when));
+  EXPECT_EQ(ArchiveAscii(ar.QueryRange(0, 2000 * kSecond)),
+            ArchiveAscii(loaded->QueryRange(0, 2000 * kSecond)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ArchiveQueries,
+    ::testing::Values(ArchiveShape{1, 32, 1.0}, ArchiveShape{1, 8, 0.5},
+                      ArchiveShape{4, 64, 1.0}, ArchiveShape{8, 16, 0.3},
+                      ArchiveShape{2, 512, 0.8}),
+    [](const ::testing::TestParamInfo<ArchiveShape>& info) {
+      return "s" + std::to_string(info.param.stripes) + "_r" +
+             std::to_string(info.param.max_records) + "_f" +
+             std::to_string(static_cast<int>(info.param.normal_fraction * 10));
     });
 
 }  // namespace
