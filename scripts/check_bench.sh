@@ -24,7 +24,7 @@ build_dir="${1:-$repo_root/build}"
 tolerance="${TOLERANCE:-0.35}"
 
 cmake -B "$build_dir" -S "$repo_root"
-cmake --build "$build_dir" -j --target bench_pipeline_throughput bench_liveness bench_archive
+cmake --build "$build_dir" -j --target bench_pipeline_throughput bench_liveness bench_archive bench_federation
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -73,5 +73,10 @@ echo "== bench_archive (floors enforced by the bench itself)"
 "$build_dir/bench/bench_archive" "$tmp/BENCH_archive.json"
 compare_ratios "$tmp/BENCH_archive.json" "$repo_root/BENCH_archive.json" \
   ingest_speedup_4t
+
+echo "== bench_federation (floors enforced by the bench itself)"
+"$build_dir/bench/bench_federation" "$tmp/BENCH_federation.json"
+compare_ratios "$tmp/BENCH_federation.json" "$repo_root/BENCH_federation.json" \
+  pushdown_send_reduction
 
 echo "bench: no regression beyond tolerance ${tolerance} vs committed baselines"

@@ -6,10 +6,11 @@
 # code in the repo; they carry the ctest label "concurrency". The
 # fault-injection suite (label "resilience") crosses threads in its
 # reconnect/retry paths and runs here too, as does the seeded end-to-end
-# chaos harness (label "chaos") and the segmented archive's lock-striped
-# concurrent ingest/query suite (label "archive"). This script configures
-# a dedicated build tree with -DJAMM_SANITIZE=thread and runs exactly
-# those labels, failing on any reported race.
+# chaos harness (label "chaos"), the segmented archive's lock-striped
+# concurrent ingest/query suite (label "archive"), and the republisher
+# tree's merge/dedup/pushdown paths (label "federation"). This script
+# configures a dedicated build tree with -DJAMM_SANITIZE=thread and runs
+# exactly those labels, failing on any reported race.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -18,7 +19,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-tsan}"
 
 cmake -B "$build_dir" -S "$repo_root" -DJAMM_SANITIZE=thread
-cmake --build "$build_dir" -j --target telemetry_test gateway_test resilience_test chaos_test archive_test
-ctest --test-dir "$build_dir" -L 'concurrency|resilience|chaos|archive' --output-on-failure
+cmake --build "$build_dir" -j --target telemetry_test gateway_test resilience_test chaos_test archive_test federation_test
+ctest --test-dir "$build_dir" -L 'concurrency|resilience|chaos|archive|federation' --output-on-failure
 
-echo "tsan: concurrency/resilience/chaos/archive-labelled tests clean"
+echo "tsan: concurrency/resilience/chaos/archive/federation-labelled tests clean"

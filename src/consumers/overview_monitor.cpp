@@ -1,6 +1,7 @@
 #include "consumers/overview_monitor.hpp"
 
 #include "common/strings.hpp"
+#include "ulm/record.hpp"
 
 namespace jamm::consumers {
 
@@ -8,15 +9,38 @@ OverviewMonitor::OverviewMonitor(std::string name) : name_(std::move(name)) {}
 
 OverviewMonitor::~OverviewMonitor() { UnsubscribeAll(); }
 
-Status OverviewMonitor::SubscribeTo(gateway::EventGateway& gw,
+Status OverviewMonitor::SubscribeTo(gateway::GatewaySurface& gw,
                                     const std::string& principal) {
   gateway::FilterSpec spec;  // all events
-  auto sub = gw.Subscribe(
-      name_, spec, [this](const ulm::Record& rec) { HandleEvent(rec); },
+  auto sub = gw.SubscribeEncoded(
+      name_, spec,
+      [this](const ulm::EncodedRecord& enc) { HandleEvent(enc.record()); },
       principal);
   if (!sub.ok()) return sub.status();
   subscriptions_.emplace_back(&gw, *sub);
   return Status::Ok();
+}
+
+Status OverviewMonitor::AttachRemote(
+    std::unique_ptr<gateway::GatewayClient> client,
+    const gateway::FilterSpec& spec, std::size_t batch_records) {
+  if (!client) return Status::InvalidArgument("null client");
+  Status subscribed =
+      client->SubscribeBatchedAsync(name_, spec, batch_records);
+  if (!subscribed.ok()) return subscribed;
+  remotes_.push_back(std::move(client));
+  return Status::Ok();
+}
+
+std::size_t OverviewMonitor::Pump() {
+  std::size_t processed = 0;
+  for (auto& client : remotes_) {
+    for (const ulm::Record& rec : client->DrainEvents()) {
+      HandleEvent(rec);
+      ++processed;
+    }
+  }
+  return processed;
 }
 
 void OverviewMonitor::AddRule(
@@ -51,10 +75,20 @@ void OverviewMonitor::HandleEvent(const ulm::Record& rec) {
       ++rule.fire_count;
       fire_counts_[rule.name] = rule.fire_count;
       if (rule.action) rule.action(rule.name);
+      EmitAlert(rule.name);
     } else if (!all) {
       rule.firing = false;  // re-arm
     }
   }
+}
+
+void OverviewMonitor::EmitAlert(const std::string& rule_name) {
+  if (!alert_sink_) return;
+  ulm::Record alert(alert_sink_->clock().Now(), name_, "overview",
+                    std::string(ulm::level::kAlert), kOverviewAlertEvent);
+  alert.SetField("RULE", rule_name);
+  alert.SetField("MONITOR", name_);
+  alert_sink_->Publish(alert);
 }
 
 std::uint64_t OverviewMonitor::fires(const std::string& rule_name) const {
@@ -67,6 +101,7 @@ void OverviewMonitor::UnsubscribeAll() {
     (void)gw->Unsubscribe(id);
   }
   subscriptions_.clear();
+  remotes_.clear();
 }
 
 }  // namespace jamm::consumers

@@ -22,6 +22,10 @@ Dn ArchiveDn(const Dn& suffix, const std::string& archive_name) {
   return suffix.Child("ou", "archives").Child("cn", archive_name);
 }
 
+Dn FederationDn(const Dn& suffix, const std::string& level_name) {
+  return suffix.Child("ou", "federation").Child("cn", level_name);
+}
+
 Entry MakeHostEntry(const Dn& suffix, const std::string& host) {
   Entry entry(HostDn(suffix, host));
   entry.Set(kAttrObjectClass, std::string(kHostClass));
@@ -81,6 +85,17 @@ std::optional<TimePoint> LeaseExpiry(const Entry& entry) {
   auto expiry = ParseInt(entry.Get(kAttrLeaseExpires));
   if (!expiry.ok()) return std::nullopt;
   return static_cast<TimePoint>(*expiry);
+}
+
+Entry MakeFederationEntry(const Dn& suffix, const std::string& level_name,
+                          const std::string& address, int tier,
+                          const std::vector<std::string>& children) {
+  Entry entry(FederationDn(suffix, level_name));
+  entry.Set(kAttrObjectClass, std::string(kFederationClass));
+  entry.Set(kAttrAddress, address);
+  entry.Set(kAttrTier, std::to_string(tier));
+  entry.Set(kAttrChildren, Join(children, ","));
+  return entry;
 }
 
 Entry MakeSummaryEntry(const Dn& suffix, const std::string& host,

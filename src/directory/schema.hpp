@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "directory/entry.hpp"
@@ -20,6 +21,10 @@ inline constexpr char kGatewayClass[] = "jammGateway";
 inline constexpr char kArchiveClass[] = "jammArchive";
 inline constexpr char kHostClass[] = "jammHost";
 inline constexpr char kSummaryClass[] = "jammSummary";
+/// A federation level (ISSUE 6): a republisher gateway re-exporting the
+/// merged stream of its children. Carries tier + children attrs so
+/// consumers can discover the nearest tier that covers what they watch.
+inline constexpr char kFederationClass[] = "jammFederation";
 
 // attribute names (lower-case, the directory's canonical form)
 inline constexpr char kAttrObjectClass[] = "objectclass";
@@ -44,6 +49,12 @@ inline constexpr char kAttrValue[] = "value";            // summary data value
 /// renews it via heartbeats and the directory's reaper tombstones it once
 /// overdue. Entries without it (hosts, archives) are immortal.
 inline constexpr char kAttrLeaseExpires[] = "leaseexpires";
+/// Federation level height (ISSUE 6): 0 = a leaf (host) gateway, each
+/// republisher is one more than its tallest child. Decimal string.
+inline constexpr char kAttrTier[] = "tier";
+/// Comma-separated names of the level's direct children — child federation
+/// levels for mid-tiers, leaf gateway names at the bottom.
+inline constexpr char kAttrChildren[] = "children";
 
 /// "host=<host>, <suffix>"
 Dn HostDn(const Dn& suffix, const std::string& host);
@@ -54,6 +65,8 @@ Dn SensorDn(const Dn& suffix, const std::string& host,
 Dn GatewayDn(const Dn& suffix, const std::string& host);
 /// "cn=<archive>, ou=archives, <suffix>"
 Dn ArchiveDn(const Dn& suffix, const std::string& archive_name);
+/// "cn=<level>, ou=federation, <suffix>"
+Dn FederationDn(const Dn& suffix, const std::string& level_name);
 
 Entry MakeHostEntry(const Dn& suffix, const std::string& host);
 
@@ -82,6 +95,13 @@ Entry MakeArchiveEntry(const Dn& suffix, const std::string& archive_name,
 /// throughput and latency data in the directory service").
 Entry MakeSummaryEntry(const Dn& suffix, const std::string& host,
                        const std::string& metric, double value);
+
+/// Publication entry for one federation level (ISSUE 6): where to
+/// subscribe (`address`), how high it sits (`tier`), and which levels or
+/// leaf gateways feed it (`children`).
+Entry MakeFederationEntry(const Dn& suffix, const std::string& level_name,
+                          const std::string& address, int tier,
+                          const std::vector<std::string>& children);
 
 // ----------------------------------------------------------------- leases
 

@@ -1,0 +1,118 @@
+#include "federation/topology.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.hpp"
+#include "directory/filter.hpp"
+#include "directory/schema.hpp"
+
+namespace jamm::federation {
+
+namespace {
+
+FederationTopology::Level LevelFromEntry(const directory::Entry& entry) {
+  FederationTopology::Level level;
+  level.name = entry.dn().IsRoot() ? "" : entry.dn().leaf().value;
+  level.address = entry.Get(directory::schema::kAttrAddress);
+  if (auto tier = ParseInt(entry.Get(directory::schema::kAttrTier));
+      tier.ok()) {
+    level.tier = static_cast<int>(*tier);
+  }
+  for (std::string& child :
+       Split(entry.Get(directory::schema::kAttrChildren), ',')) {
+    if (!child.empty()) level.children.push_back(std::move(child));
+  }
+  return level;
+}
+
+/// Leaf names reachable beneath `name`: children that are themselves
+/// registered levels recurse; anything else is a leaf gateway name.
+void CollectLeaves(const std::string& name,
+                   const std::map<std::string, FederationTopology::Level>&
+                       by_name,
+                   std::set<std::string>& visited,
+                   std::set<std::string>& leaves) {
+  if (!visited.insert(name).second) return;  // cycle guard
+  auto it = by_name.find(name);
+  if (it == by_name.end() || it->second.children.empty()) {
+    leaves.insert(name);
+    return;
+  }
+  for (const std::string& child : it->second.children) {
+    CollectLeaves(child, by_name, visited, leaves);
+  }
+}
+
+}  // namespace
+
+Status FederationTopology::RegisterLevel(const Level& level,
+                                         const std::string& principal) {
+  if (level.name.empty()) {
+    return Status::InvalidArgument("federation level needs a name");
+  }
+  // Levels live under "ou=federation, <suffix>"; make sure that container
+  // exists before publishing into it.
+  directory::Entry container(suffix_.Child("ou", "federation"));
+  container.Set(directory::schema::kAttrObjectClass, "organizationalUnit");
+  (void)pool_.Upsert(container, principal);
+  return pool_.Upsert(
+      directory::schema::MakeFederationEntry(suffix_, level.name,
+                                             level.address, level.tier,
+                                             level.children),
+      principal);
+}
+
+Result<std::vector<FederationTopology::Level>> FederationTopology::Levels(
+    const std::string& principal) const {
+  auto filter = directory::Filter::Parse("(objectclass=jammFederation)");
+  if (!filter.ok()) return filter.status();
+  auto found = pool_.Search(suffix_.Child("ou", "federation"),
+                            directory::SearchScope::kSubtree, *filter,
+                            principal);
+  if (!found.ok()) return found.status();
+  std::vector<Level> levels;
+  levels.reserve(found->entries.size());
+  for (const directory::Entry& entry : found->entries) {
+    levels.push_back(LevelFromEntry(entry));
+  }
+  std::sort(levels.begin(), levels.end(), [](const Level& a, const Level& b) {
+    return a.tier != b.tier ? a.tier < b.tier : a.name < b.name;
+  });
+  return levels;
+}
+
+Result<FederationTopology::Level> FederationTopology::Root(
+    const std::string& principal) const {
+  auto levels = Levels(principal);
+  if (!levels.ok()) return levels.status();
+  if (levels->empty()) return Status::NotFound("no federation levels");
+  return levels->back();  // Levels() sorts tier-ascending, name-ascending
+}
+
+Result<FederationTopology::Level> FederationTopology::NearestCovering(
+    const std::vector<std::string>& leaves,
+    const std::string& principal) const {
+  if (leaves.empty()) {
+    return Status::InvalidArgument("no leaves to cover");
+  }
+  auto levels = Levels(principal);
+  if (!levels.ok()) return levels.status();
+  std::map<std::string, Level> by_name;
+  for (const Level& level : *levels) by_name.emplace(level.name, level);
+  // Levels() order is tier-ascending, so the first covering hit is nearest.
+  for (const Level& level : *levels) {
+    std::set<std::string> visited, reachable;
+    CollectLeaves(level.name, by_name, visited, reachable);
+    const bool covers =
+        std::all_of(leaves.begin(), leaves.end(),
+                    [&reachable](const std::string& leaf) {
+                      return reachable.count(leaf) > 0;
+                    });
+    if (covers) return level;
+  }
+  return Status::NotFound("no federation level covers all leaves");
+}
+
+}  // namespace jamm::federation

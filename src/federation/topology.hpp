@@ -1,0 +1,54 @@
+// FederationTopology (ISSUE 6) — how a federation tree publishes its
+// shape in the sensor directory, the same way the paper's sensors and
+// gateways publish theirs (§3: "publish the location of all sensors and
+// their associated gateway"). Each level — leaf gateway or republisher —
+// registers one jammFederation entry under "ou=federation, <suffix>"
+// carrying its subscribe address, its tier (0 = leaf, parents one more
+// than their tallest child), and its direct children. Consumers then walk
+// the entries to find the root, or the NEAREST level that covers the set
+// of leaves they care about — subscribing low keeps traffic off the upper
+// tiers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "directory/entry.hpp"
+#include "directory/replication.hpp"
+
+namespace jamm::federation {
+
+class FederationTopology {
+ public:
+  FederationTopology(directory::DirectoryPool& pool, directory::Dn suffix)
+      : pool_(pool), suffix_(std::move(suffix)) {}
+
+  struct Level {
+    std::string name;
+    std::string address;  // where a GatewayService serves this level
+    int tier = 0;         // 0 = leaf gateway
+    std::vector<std::string> children;  // direct child level / leaf names
+  };
+
+  /// Publish (or refresh) one level's entry.
+  Status RegisterLevel(const Level& level, const std::string& principal = "");
+
+  /// Every registered level, leaf tiers first (tier ascending, then name).
+  Result<std::vector<Level>> Levels(const std::string& principal = "") const;
+
+  /// The highest-tier level (ties broken by name) — where a consumer that
+  /// wants everything subscribes.
+  Result<Level> Root(const std::string& principal = "") const;
+
+  /// The lowest-tier level whose descendant leaves include every name in
+  /// `leaves` (ties broken by name). NotFound when no level covers them.
+  Result<Level> NearestCovering(const std::vector<std::string>& leaves,
+                                const std::string& principal = "") const;
+
+ private:
+  directory::DirectoryPool& pool_;
+  directory::Dn suffix_;
+};
+
+}  // namespace jamm::federation

@@ -34,21 +34,13 @@ namespace jamm::gateway {
 /// Consumer-visible actions, for the access-control hook.
 enum class Action { kSubscribe, kQuery, kSummary, kStartSensor };
 
-class EventGateway {
+/// The consumer-facing surface a GatewayService serves over the wire
+/// (ISSUE 6). Both a plain EventGateway and a federation
+/// RepublisherGateway implement it, so the same gw.* protocol fronts a
+/// single monitored host or a whole aggregation tree — which is what lets
+/// republisher levels stack to arbitrary depth out of existing pieces.
+class GatewaySurface {
  public:
-  EventGateway(std::string name, const Clock& clock);
-
-  const std::string& name() const { return name_; }
-  const Clock& clock() const { return clock_; }
-
-  // ------------------------------------------------------- producer side
-
-  /// Sensors' events enter here (the sensor manager pushes each poll's
-  /// output). One call per record regardless of consumer count.
-  void Publish(const ulm::Record& rec);
-
-  // ------------------------------------------------------- consumer side
-
   using EventCallback = std::function<void(const ulm::Record&)>;
   /// Encode-once variant (ISSUE 3): the callback receives the shared
   /// per-publish EncodedRecord, so every subscriber wanting the same wire
@@ -56,29 +48,71 @@ class EventGateway {
   /// the duration of the callback — copy what you keep.
   using EncodedCallback = std::function<void(const ulm::EncodedRecord&)>;
 
+  virtual ~GatewaySurface() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const Clock& clock() const = 0;
+
+  /// Events enter the surface here; implementations fan them out.
+  virtual void Publish(const ulm::Record& rec) = 0;
+
+  virtual Result<std::string> SubscribeEncoded(
+      const std::string& consumer, FilterSpec spec, EncodedCallback callback,
+      const std::string& principal = "") = 0;
+  virtual Status Unsubscribe(const std::string& subscription_id) = 0;
+
+  virtual Result<ulm::Record> Query(const std::string& event_glob = "",
+                                    const std::string& principal = "") const = 0;
+  virtual Result<std::string> QueryXml(
+      const std::string& event_glob = "",
+      const std::string& principal = "") const = 0;
+  virtual Result<SummaryData> GetSummary(
+      const std::string& event_name, const std::string& principal = "") const = 0;
+
+  virtual Status StartSensor(const std::string& sensor,
+                             const std::string& principal = "") = 0;
+  virtual Status StopSensor(const std::string& sensor,
+                            const std::string& principal = "") = 0;
+};
+
+class EventGateway : public GatewaySurface {
+ public:
+  EventGateway(std::string name, const Clock& clock);
+
+  const std::string& name() const override { return name_; }
+  const Clock& clock() const override { return clock_; }
+
+  // ------------------------------------------------------- producer side
+
+  /// Sensors' events enter here (the sensor manager pushes each poll's
+  /// output). One call per record regardless of consumer count.
+  void Publish(const ulm::Record& rec) override;
+
+  // ------------------------------------------------------- consumer side
+
   /// Open a streaming subscription ("the consumer opens an event channel
   /// and the events are returned in a stream"). Returns the subscription
   /// id used to unsubscribe.
   Result<std::string> Subscribe(const std::string& consumer, FilterSpec spec,
                                 EventCallback callback,
                                 const std::string& principal = "");
-  Result<std::string> SubscribeEncoded(const std::string& consumer,
-                                       FilterSpec spec,
-                                       EncodedCallback callback,
-                                       const std::string& principal = "");
+  Result<std::string> SubscribeEncoded(
+      const std::string& consumer, FilterSpec spec, EncodedCallback callback,
+      const std::string& principal = "") override;
 
-  Status Unsubscribe(const std::string& subscription_id);
+  Status Unsubscribe(const std::string& subscription_id) override;
 
   /// Query mode: "the consumer does not open an event channel, but only
   /// requests the most recent event". `event_glob` narrows by NL.EVNT
   /// (empty = the most recent event of any kind).
   Result<ulm::Record> Query(const std::string& event_glob = "",
-                            const std::string& principal = "") const;
+                            const std::string& principal = "") const override;
 
   /// Query with the result converted to XML (paper §7.0: "a consumer can
   /// request either format").
-  Result<std::string> QueryXml(const std::string& event_glob = "",
-                               const std::string& principal = "") const;
+  Result<std::string> QueryXml(
+      const std::string& event_glob = "",
+      const std::string& principal = "") const override;
 
   // ----------------------------------------------------------- summaries
 
@@ -87,8 +121,9 @@ class EventGateway {
   void EnableSummary(const std::string& event_name,
                      const std::string& value_field = "VAL");
 
-  Result<SummaryData> GetSummary(const std::string& event_name,
-                                 const std::string& principal = "") const;
+  Result<SummaryData> GetSummary(
+      const std::string& event_name,
+      const std::string& principal = "") const override;
 
   // ------------------------------------------------------ sensor control
 
@@ -102,9 +137,9 @@ class EventGateway {
     sensor_control_ = std::move(control);
   }
   Status StartSensor(const std::string& sensor,
-                     const std::string& principal = "");
+                     const std::string& principal = "") override;
   Status StopSensor(const std::string& sensor,
-                    const std::string& principal = "");
+                    const std::string& principal = "") override;
 
   // ------------------------------------------------------ access control
 
@@ -113,6 +148,10 @@ class EventGateway {
   void SetAccessChecker(AccessChecker checker) {
     access_checker_ = std::move(checker);
   }
+
+  /// Exposed so wrappers (federation republishers) can enforce this
+  /// gateway's policy on subscriptions they route around the local fan-out.
+  Status CheckAccess(Action action, const std::string& principal) const;
 
   // ----------------------------------------------------------- telemetry
 
@@ -129,8 +168,6 @@ class EventGateway {
   std::vector<std::string> consumers() const;
 
  private:
-  Status CheckAccess(Action action, const std::string& principal) const;
-
   struct Subscription {
     std::string id;
     std::string consumer;

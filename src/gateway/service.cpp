@@ -122,7 +122,7 @@ std::string_view OverflowPolicyName(OverflowPolicy policy) {
   return "unknown";
 }
 
-GatewayService::GatewayService(EventGateway& gateway,
+GatewayService::GatewayService(GatewaySurface& gateway,
                                std::unique_ptr<transport::Listener> listener)
     : gateway_(gateway),
       listener_(std::move(listener)),
@@ -220,7 +220,7 @@ void GatewayService::HandleMessage(Connection& conn,
       batch = std::make_shared<BatchState>();
       batch->queue = queue;
       batch->max_records = batch_records;
-      EventGateway* gw = &gateway_;
+      GatewaySurface* gw = &gateway_;
       sub = gateway_.SubscribeEncoded(
           consumer, *spec,
           [batch, gw](const ulm::EncodedRecord& enc) {
@@ -693,11 +693,19 @@ Result<std::string> GatewayClient::SubscribeWithFormat(
 Status GatewayClient::SubscribeAsyncWithFormat(const std::string& consumer,
                                                const FilterSpec& spec,
                                                const std::string& format) {
-  JAMM_RETURN_IF_ERROR(SendControl(
-      {"gw.subscribe",
-       SubscribePayload(consumer, spec, format, queue_spec_)}));
+  Status sent = SendControl(
+      {"gw.subscribe", SubscribePayload(consumer, spec, format, queue_spec_)});
+  if (!sent.ok() && !dialer_) return sent;
+  // A dialer-backed client records the subscription even when the send
+  // failed: the subscription is declarative intent, and Reconnect() replays
+  // it (all four lines — consumer, filter spec, format, queue spec) once
+  // the gateway is reachable again. Previously a subscribe issued while the
+  // link was down was silently dropped from the replay set, so a
+  // republisher attaching to a not-yet-started downstream never streamed.
   subs_.push_back({next_sub_key_++, consumer, spec, format, queue_spec_, ""});
-  awaited_.push_back({Awaited::Kind::kSubscribe, subs_.back().key});
+  if (sent.ok()) {
+    awaited_.push_back({Awaited::Kind::kSubscribe, subs_.back().key});
+  }
   return Status::Ok();
 }
 
@@ -738,6 +746,11 @@ Status GatewayClient::StopSensor(const std::string& sensor) {
 }
 
 Status GatewayClient::Unsubscribe(const std::string& subscription_id) {
+  if (subscription_id.empty()) {
+    // "" is the placeholder id of every not-yet-adopted subscription;
+    // matching it would silently drop all of them from the replay set.
+    return Status::InvalidArgument("empty subscription id");
+  }
   std::erase_if(subs_, [&](const RecordedSub& sub) {
     return sub.id == subscription_id;
   });

@@ -67,7 +67,10 @@ inline constexpr char kOverloadEvent[] = "gw.overload";
 
 class GatewayService {
  public:
-  GatewayService(EventGateway& gateway,
+  /// Serves any GatewaySurface — a leaf EventGateway or a federation
+  /// RepublisherGateway (ISSUE 6); the wire protocol is identical either
+  /// way, which is what lets republisher tiers stack.
+  GatewayService(GatewaySurface& gateway,
                  std::unique_ptr<transport::Listener> listener);
 
   /// Accept pending connections and process every pending request; returns
@@ -161,7 +164,7 @@ class GatewayService {
   /// gw.overload events for queues that dropped since the last poll.
   void DrainQueues();
 
-  EventGateway& gateway_;
+  GatewaySurface& gateway_;
   std::unique_ptr<transport::Listener> listener_;
   std::string address_;
   std::vector<Connection> connections_;

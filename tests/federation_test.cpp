@@ -1,0 +1,564 @@
+// Federation tests (ISSUE 6): republisher merge/dedup/ordering, the
+// depth-3 pushdown acceptance path, local-eval fallback equivalence,
+// summary merge, group lifecycle, directory topology discovery, and the
+// overview monitor at the top of a tree.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consumers/overview_monitor.hpp"
+#include "directory/replication.hpp"
+#include "directory/schema.hpp"
+#include "federation/republisher.hpp"
+#include "federation/topology.hpp"
+#include "gateway/filter.hpp"
+#include "gateway/gateway.hpp"
+#include "gateway/service.hpp"
+#include "transport/inproc.hpp"
+#include "ulm/record.hpp"
+
+namespace jamm::federation {
+namespace {
+
+ulm::Record ValueEvent(TimePoint ts, const std::string& event, double value,
+                       const std::string& host = "h1",
+                       const std::string& prog = "sensor") {
+  ulm::Record rec(ts, host, prog, "Usage", event);
+  rec.SetField("VAL", value);
+  return rec;
+}
+
+gateway::FilterSpec CpuGlobSpec() {
+  auto spec = gateway::FilterSpec::Parse("all|CPU*");
+  EXPECT_TRUE(spec.ok());
+  return *spec;
+}
+
+// -------------------------------------------------------------- deduper
+
+TEST(StreamDeduperTest, AdmitsDuplicatesAndStaleExactly) {
+  StreamDeduper dedup;
+  const ulm::Record a = ValueEvent(5 * kSecond, "CPU", 10);
+  EXPECT_EQ(dedup.Admit(a), StreamDeduper::Verdict::kAdmit);
+  // Exact duplicate at the same timestamp: dropped.
+  EXPECT_EQ(dedup.Admit(a), StreamDeduper::Verdict::kDuplicate);
+  // Same timestamp, different payload: legal, admitted.
+  EXPECT_EQ(dedup.Admit(ValueEvent(5 * kSecond, "CPU", 11)),
+            StreamDeduper::Verdict::kAdmit);
+  // Time travel within the source: stale.
+  EXPECT_EQ(dedup.Admit(ValueEvent(3 * kSecond, "CPU", 9)),
+            StreamDeduper::Verdict::kStale);
+  // Progress re-arms the source.
+  EXPECT_EQ(dedup.Admit(ValueEvent(6 * kSecond, "CPU", 12)),
+            StreamDeduper::Verdict::kAdmit);
+  // Other sources are independent.
+  EXPECT_EQ(dedup.Admit(ValueEvent(1 * kSecond, "CPU", 1, "h2")),
+            StreamDeduper::Verdict::kAdmit);
+  EXPECT_EQ(dedup.source_count(), 2u);
+}
+
+// ------------------------------------------- depth-3 pushdown acceptance
+
+// Acceptance (ISSUE 6): a depth-3 tree (host gateway → site republisher →
+// region republisher) delivers a leaf-published event to a root
+// subscriber with pushdown enabled — and with lazy base streams the leaf
+// gateway carries exactly ONE outgoing stream no matter how many root
+// subscribers share the spec.
+TEST(FederationTest, DepthThreeDeliversLeafEventToRootViaPushdown) {
+  SimClock clock;
+  transport::InProcNetwork net;
+
+  gateway::EventGateway leaf("leaf", clock);
+  auto leaf_listener = net.Listen("leaf");
+  ASSERT_TRUE(leaf_listener.ok());
+  gateway::GatewayService leaf_service(leaf, std::move(*leaf_listener));
+
+  RepublisherGateway::Options lazy;
+  lazy.lazy_base_stream = true;
+
+  RepublisherGateway site("site", clock, lazy);
+  ASSERT_TRUE(
+      site.AddDownstream({"leaf", [&net] { return net.Dial("leaf"); }, true})
+          .ok());
+  auto site_listener = net.Listen("site");
+  ASSERT_TRUE(site_listener.ok());
+  gateway::GatewayService site_service(site, std::move(*site_listener));
+
+  RepublisherGateway region("region", clock, lazy);
+  ASSERT_TRUE(
+      region.AddDownstream({"site", [&net] { return net.Dial("site"); }, true})
+          .ok());
+
+  std::vector<std::string> delivered_a, delivered_b;
+  auto sub_a = region.SubscribeEncoded(
+      "root-a", CpuGlobSpec(),
+      [&](const ulm::EncodedRecord& enc) { delivered_a.push_back(enc.Ascii()); });
+  ASSERT_TRUE(sub_a.ok()) << sub_a.status().ToString();
+  auto sub_b = region.SubscribeEncoded(
+      "root-b", CpuGlobSpec(),
+      [&](const ulm::EncodedRecord& enc) { delivered_b.push_back(enc.Ascii()); });
+  ASSERT_TRUE(sub_b.ok());
+  // Identical specs share one pushdown group.
+  EXPECT_EQ(region.pushdown_group_count(), 1u);
+
+  auto tick = [&] {
+    leaf_service.PollOnce();
+    site.Pump();
+    site_service.PollOnce();
+    region.Pump();
+    clock.Advance(60 * kMillisecond);
+  };
+  for (int i = 0; i < 4; ++i) tick();  // let subscriptions propagate down
+
+  // The pushdown spec reached the leaf: one stream out of the leaf
+  // gateway, regardless of two root subscribers — and no base feeds,
+  // because nothing local needs them.
+  EXPECT_EQ(leaf.subscription_count(), 1u);
+  EXPECT_EQ(site.pushdown_group_count(), 1u);
+
+  leaf.Publish(ValueEvent(clock.Now(), "CPU", 42, "host-1"));
+  leaf.Publish(ValueEvent(clock.Now(), "MEM", 7, "host-1"));  // filtered out
+  for (int i = 0; i < 6; ++i) tick();
+
+  ASSERT_EQ(delivered_a.size(), 1u);
+  ASSERT_EQ(delivered_b.size(), 1u);
+  EXPECT_EQ(delivered_a[0], delivered_b[0]);
+  EXPECT_NE(delivered_a[0].find("NL.EVNT=CPU"), std::string::npos);
+  EXPECT_NE(delivered_a[0].find("HOST=host-1"), std::string::npos);
+  // Still one stream out of the leaf after traffic.
+  EXPECT_EQ(leaf.subscription_count(), 1u);
+
+  const auto site_stats = site.stats();
+  EXPECT_EQ(site_stats.pushdown_records, 1u);
+  EXPECT_EQ(site_stats.records_in, site_stats.republished +
+                                       site_stats.pushdown_records +
+                                       site_stats.duplicates_dropped +
+                                       site_stats.stale_dropped);
+}
+
+// ------------------------------------------------- merge / dedup / order
+
+TEST(FederationTest, MergesChildrenTimeOrdered) {
+  SimClock clock;
+  transport::InProcNetwork net;
+
+  gateway::EventGateway leaf_a("leaf-a", clock);
+  auto listener_a = net.Listen("leaf-a");
+  ASSERT_TRUE(listener_a.ok());
+  gateway::GatewayService service_a(leaf_a, std::move(*listener_a));
+
+  gateway::EventGateway leaf_b("leaf-b", clock);
+  auto listener_b = net.Listen("leaf-b");
+  ASSERT_TRUE(listener_b.ok());
+  gateway::GatewayService service_b(leaf_b, std::move(*listener_b));
+
+  RepublisherGateway site("site", clock);
+  ASSERT_TRUE(
+      site.AddDownstream({"leaf-a", [&net] { return net.Dial("leaf-a"); }})
+          .ok());
+  ASSERT_TRUE(
+      site.AddDownstream({"leaf-b", [&net] { return net.Dial("leaf-b"); }})
+          .ok());
+
+  std::vector<TimePoint> order;
+  auto sub = site.SubscribeEncoded("root", {}, [&](const ulm::EncodedRecord& enc) {
+    order.push_back(enc.record().timestamp());
+  });
+  ASSERT_TRUE(sub.ok());
+
+  site.Pump();  // establish base feeds
+  service_a.PollOnce();
+  service_b.PollOnce();
+
+  leaf_a.Publish(ValueEvent(1 * kSecond, "CPU", 1, "ha"));
+  leaf_a.Publish(ValueEvent(3 * kSecond, "CPU", 3, "ha"));
+  leaf_b.Publish(ValueEvent(2 * kSecond, "CPU", 2, "hb"));
+  clock.Advance(100 * kMillisecond);
+  service_a.PollOnce();  // age-flush partial batches
+  service_b.PollOnce();
+  site.Pump();
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1 * kSecond);
+  EXPECT_EQ(order[1], 2 * kSecond);
+  EXPECT_EQ(order[2], 3 * kSecond);
+}
+
+TEST(FederationTest, DropsDuplicatesAndStaleWithExactAccounting) {
+  SimClock clock;
+  transport::InProcNetwork net;
+
+  gateway::EventGateway leaf("leaf", clock);
+  auto listener = net.Listen("leaf");
+  ASSERT_TRUE(listener.ok());
+  gateway::GatewayService service(leaf, std::move(*listener));
+
+  RepublisherGateway site("site", clock);
+  ASSERT_TRUE(
+      site.AddDownstream({"leaf", [&net] { return net.Dial("leaf"); }}).ok());
+
+  std::size_t delivered = 0;
+  auto sub = site.SubscribeEncoded(
+      "root", {}, [&](const ulm::EncodedRecord&) { ++delivered; });
+  ASSERT_TRUE(sub.ok());
+  site.Pump();
+  service.PollOnce();
+
+  const ulm::Record rec = ValueEvent(5 * kSecond, "CPU", 10);
+  leaf.Publish(rec);
+  leaf.Publish(rec);  // exact duplicate
+  clock.Advance(100 * kMillisecond);
+  service.PollOnce();
+  site.Pump();
+  // Out-of-order arrivals WITHIN one pump are repaired by the time-sort;
+  // a record older than what already crossed a pump boundary is stale.
+  leaf.Publish(ValueEvent(3 * kSecond, "CPU", 9));
+  clock.Advance(100 * kMillisecond);
+  service.PollOnce();
+  site.Pump();
+
+  EXPECT_EQ(delivered, 1u);
+  const auto stats = site.stats();
+  EXPECT_EQ(stats.records_in, 3u);
+  EXPECT_EQ(stats.republished, 1u);
+  EXPECT_EQ(stats.duplicates_dropped, 1u);
+  EXPECT_EQ(stats.stale_dropped, 1u);
+  EXPECT_EQ(stats.records_in, stats.republished + stats.pushdown_records +
+                                  stats.duplicates_dropped +
+                                  stats.stale_dropped);
+}
+
+// ------------------------------------------------- local-eval fallback
+
+// A downstream that predates pushdown (supports_pushdown = false) is
+// served by evaluating the same spec locally — the subscriber-visible
+// stream must be byte-identical to the pushdown path.
+TEST(FederationTest, LocalEvalFallbackMatchesPushdownOutput) {
+  SimClock clock;
+  transport::InProcNetwork net;
+
+  auto build = [&](const std::string& prefix, bool supports_pushdown,
+                   gateway::EventGateway& leaf,
+                   gateway::GatewayService& service,
+                   RepublisherGateway& site) {
+    ASSERT_TRUE(site.AddDownstream({prefix + "-leaf",
+                                    [&net, prefix] {
+                                      return net.Dial(prefix + "-leaf");
+                                    },
+                                    supports_pushdown})
+                    .ok());
+    (void)leaf;
+    (void)service;
+  };
+
+  gateway::EventGateway leaf_p("p-leaf", clock);
+  auto listener_p = net.Listen("p-leaf");
+  ASSERT_TRUE(listener_p.ok());
+  gateway::GatewayService service_p(leaf_p, std::move(*listener_p));
+  RepublisherGateway site_p("p-site", clock);
+  build("p", true, leaf_p, service_p, site_p);
+
+  gateway::EventGateway leaf_f("f-leaf", clock);
+  auto listener_f = net.Listen("f-leaf");
+  ASSERT_TRUE(listener_f.ok());
+  gateway::GatewayService service_f(leaf_f, std::move(*listener_f));
+  RepublisherGateway site_f("f-site", clock);
+  build("f", false, leaf_f, service_f, site_f);
+
+  auto spec = gateway::FilterSpec::Parse("threshold:50|CPU*");
+  ASSERT_TRUE(spec.ok());
+
+  std::vector<std::string> out_p, out_f;
+  ASSERT_TRUE(site_p
+                  .SubscribeEncoded("c", *spec,
+                                    [&](const ulm::EncodedRecord& enc) {
+                                      out_p.push_back(enc.Ascii());
+                                    })
+                  .ok());
+  ASSERT_TRUE(site_f
+                  .SubscribeEncoded("c", *spec,
+                                    [&](const ulm::EncodedRecord& enc) {
+                                      out_f.push_back(enc.Ascii());
+                                    })
+                  .ok());
+  // The pushdown stack filters at the leaf; the fallback stack evaluates
+  // the group spec against the leaf's base stream.
+  site_p.Pump();
+  site_f.Pump();
+  service_p.PollOnce();
+  service_f.PollOnce();
+
+  const double values[] = {10, 60, 55, 40, 80, 80, 45, 51};
+  TimePoint ts = kSecond;
+  for (double v : values) {
+    leaf_p.Publish(ValueEvent(ts, "CPU", v));
+    leaf_f.Publish(ValueEvent(ts, "CPU", v));
+    leaf_p.Publish(ValueEvent(ts, "MEM", v));  // never matches the glob
+    leaf_f.Publish(ValueEvent(ts, "MEM", v));
+    ts += kSecond;
+  }
+  for (int i = 0; i < 3; ++i) {
+    clock.Advance(100 * kMillisecond);
+    service_p.PollOnce();
+    service_f.PollOnce();
+    site_p.Pump();
+    site_f.Pump();
+  }
+
+  EXPECT_FALSE(out_p.empty());
+  EXPECT_EQ(out_p, out_f);
+  EXPECT_GT(site_p.stats().pushdown_records, 0u);
+  EXPECT_EQ(site_f.stats().pushdown_records, 0u);  // all served locally
+}
+
+// ------------------------------------------------------------- summaries
+
+TEST(FederationTest, SummaryPushdownMergesChildrenWeighted) {
+  SimClock clock;
+  transport::InProcNetwork net;
+
+  RepublisherGateway::Options options;
+  options.summary_fetcher = [](const std::string& child,
+                               gateway::GatewayClient&,
+                               const std::string& event)
+      -> Result<gateway::SummaryData> {
+    EXPECT_EQ(event, "CPU");
+    gateway::SummaryData data;
+    if (child == "leaf-a") {
+      data.avg_1m = 10;
+      data.count_1m = 3;
+    } else {
+      data.avg_1m = 50;
+      data.count_1m = 1;
+    }
+    return data;
+  };
+  RepublisherGateway site("site", clock, options);
+  ASSERT_TRUE(
+      site.AddDownstream({"leaf-a", [&net] { return net.Dial("leaf-a"); }})
+          .ok());
+  ASSERT_TRUE(
+      site.AddDownstream({"leaf-b", [&net] { return net.Dial("leaf-b"); }})
+          .ok());
+
+  auto merged = site.GetSummary("CPU");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->count_1m, 4u);
+  EXPECT_DOUBLE_EQ(merged->avg_1m, (10 * 3 + 50 * 1) / 4.0);  // weighted
+  EXPECT_EQ(site.stats().summary_merges, 1u);
+}
+
+TEST(FederationTest, SummaryFallsBackToLocalWindowOnChildFailure) {
+  SimClock clock(kMinute);
+  transport::InProcNetwork net;
+
+  gateway::EventGateway leaf("leaf", clock);
+  auto listener = net.Listen("leaf");
+  ASSERT_TRUE(listener.ok());
+  gateway::GatewayService service(leaf, std::move(*listener));
+
+  RepublisherGateway::Options options;
+  options.summary_fetcher = [](const std::string&, gateway::GatewayClient&,
+                               const std::string&)
+      -> Result<gateway::SummaryData> {
+    return Status::Unavailable("child predates gw.summary");
+  };
+  RepublisherGateway site("site", clock, options);
+  site.EnableSummary("CPU");
+  ASSERT_TRUE(
+      site.AddDownstream({"leaf", [&net] { return net.Dial("leaf"); }}).ok());
+
+  // Local windows fill from the merged base stream.
+  site.Pump();
+  service.PollOnce();
+  leaf.Publish(ValueEvent(clock.Now(), "CPU", 30));
+  leaf.Publish(ValueEvent(clock.Now(), "CPU", 50));
+  clock.Advance(100 * kMillisecond);
+  service.PollOnce();
+  site.Pump();
+
+  auto summary = site.GetSummary("CPU");
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->count_1m, 2u);
+  EXPECT_DOUBLE_EQ(summary->avg_1m, 40);
+  EXPECT_EQ(site.stats().summary_fallbacks, 1u);
+}
+
+// ------------------------------------------------------ group lifecycle
+
+TEST(FederationTest, LastUnsubscribeTearsDownGroupAndLeafStream) {
+  SimClock clock;
+  transport::InProcNetwork net;
+
+  gateway::EventGateway leaf("leaf", clock);
+  auto listener = net.Listen("leaf");
+  ASSERT_TRUE(listener.ok());
+  gateway::GatewayService service(leaf, std::move(*listener));
+
+  RepublisherGateway::Options lazy;
+  lazy.lazy_base_stream = true;
+  RepublisherGateway site("site", clock, lazy);
+  ASSERT_TRUE(
+      site.AddDownstream({"leaf", [&net] { return net.Dial("leaf"); }}).ok());
+
+  auto sub_a = site.SubscribeEncoded("a", CpuGlobSpec(),
+                                     [](const ulm::EncodedRecord&) {});
+  auto sub_b = site.SubscribeEncoded("b", CpuGlobSpec(),
+                                     [](const ulm::EncodedRecord&) {});
+  ASSERT_TRUE(sub_a.ok());
+  ASSERT_TRUE(sub_b.ok());
+  EXPECT_EQ(site.pushdown_group_count(), 1u);
+  site.Pump();
+  service.PollOnce();
+  EXPECT_EQ(leaf.subscription_count(), 1u);
+
+  EXPECT_TRUE(site.Unsubscribe(*sub_a).ok());
+  EXPECT_EQ(site.pushdown_group_count(), 1u);  // b still live
+  EXPECT_TRUE(site.Unsubscribe(*sub_b).ok());
+  EXPECT_EQ(site.pushdown_group_count(), 0u);
+  // Destroying the feed closed its channel; the leaf's service drops the
+  // connection — and the subscription — on its next poll.
+  service.PollOnce();
+  EXPECT_EQ(leaf.subscription_count(), 0u);
+  // Unknown ids are rejected, not swallowed.
+  EXPECT_FALSE(site.Unsubscribe(*sub_a).ok());
+}
+
+// --------------------------------------------------------------- topology
+
+TEST(FederationTopologyTest, RegistersDiscoversAndFindsNearestCover) {
+  auto suffix = directory::Dn::Parse("o=grid");
+  ASSERT_TRUE(suffix.ok());
+  auto server =
+      std::make_shared<directory::DirectoryServer>(*suffix, "ldap://d1");
+  directory::DirectoryPool pool;
+  pool.AddServer(server);
+  FederationTopology topology(pool, *suffix);
+
+  ASSERT_TRUE(
+      topology.RegisterLevel({"leaf-a", "inproc:leaf-a", 0, {}}).ok());
+  ASSERT_TRUE(
+      topology.RegisterLevel({"leaf-b", "inproc:leaf-b", 0, {}}).ok());
+  ASSERT_TRUE(
+      topology.RegisterLevel({"leaf-c", "inproc:leaf-c", 0, {}}).ok());
+  ASSERT_TRUE(topology
+                  .RegisterLevel(
+                      {"site-1", "inproc:site-1", 1, {"leaf-a", "leaf-b"}})
+                  .ok());
+  ASSERT_TRUE(
+      topology.RegisterLevel({"site-2", "inproc:site-2", 1, {"leaf-c"}})
+          .ok());
+  ASSERT_TRUE(topology
+                  .RegisterLevel(
+                      {"region", "inproc:region", 2, {"site-1", "site-2"}})
+                  .ok());
+
+  auto levels = topology.Levels();
+  ASSERT_TRUE(levels.ok());
+  ASSERT_EQ(levels->size(), 6u);
+  EXPECT_EQ(levels->front().tier, 0);   // tier-ascending
+  EXPECT_EQ(levels->back().name, "region");
+
+  auto root = topology.Root();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->name, "region");
+  EXPECT_EQ(root->address, "inproc:region");
+
+  // Both leaves under one site: subscribe at the site, not the root.
+  auto near = topology.NearestCovering({"leaf-a", "leaf-b"});
+  ASSERT_TRUE(near.ok());
+  EXPECT_EQ(near->name, "site-1");
+  // Leaves split across sites: only the region covers them.
+  near = topology.NearestCovering({"leaf-a", "leaf-c"});
+  ASSERT_TRUE(near.ok());
+  EXPECT_EQ(near->name, "region");
+  // A single leaf is covered by itself.
+  near = topology.NearestCovering({"leaf-c"});
+  ASSERT_TRUE(near.ok());
+  EXPECT_EQ(near->name, "leaf-c");
+  // Unknown leaf: nothing covers it.
+  EXPECT_EQ(topology.NearestCovering({"leaf-x"}).status().code(),
+            StatusCode::kNotFound);
+
+  // The published entries carry the schema attributes.
+  auto entry = pool.Lookup(directory::schema::FederationDn(*suffix, "site-1"));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->Get(directory::schema::kAttrObjectClass),
+            directory::schema::kFederationClass);
+  EXPECT_EQ(entry->Get(directory::schema::kAttrTier), "1");
+  EXPECT_EQ(entry->Get(directory::schema::kAttrChildren), "leaf-a,leaf-b");
+}
+
+// ------------------------------------------------ overview monitor atop
+
+// The paper's overview consumer ("page the admin only if both the primary
+// and backup are down") sits at the top of the tree: one remote feed from
+// the root level sees every host, and the filter spec pushes down to the
+// leaf.
+TEST(FederationTest, OverviewMonitorEvaluatesMultiHostRuleAtRoot) {
+  SimClock clock;
+  transport::InProcNetwork net;
+
+  gateway::EventGateway leaf("leaf", clock);
+  auto leaf_listener = net.Listen("leaf");
+  ASSERT_TRUE(leaf_listener.ok());
+  gateway::GatewayService leaf_service(leaf, std::move(*leaf_listener));
+
+  RepublisherGateway::Options lazy;
+  lazy.lazy_base_stream = true;
+  RepublisherGateway root("root", clock, lazy);
+  ASSERT_TRUE(
+      root.AddDownstream({"leaf", [&net] { return net.Dial("leaf"); }}).ok());
+  auto root_listener = net.Listen("root");
+  ASSERT_TRUE(root_listener.ok());
+  gateway::GatewayService root_service(root, std::move(*root_listener));
+
+  consumers::OverviewMonitor monitor("pager");
+  monitor.PublishAlertsTo(root);
+  auto above_90 = [](const ulm::Record& rec) {
+    auto value = rec.GetDouble("VAL");
+    return value.ok() && *value > 90;
+  };
+  monitor.AddRule("both-hot",
+                  {{"primary", "CPU", above_90}, {"backup", "CPU", above_90}},
+                  nullptr);
+  ASSERT_TRUE(monitor
+                  .AttachRemote(std::make_unique<gateway::GatewayClient>(
+                                    [&net] { return net.Dial("root"); }),
+                                CpuGlobSpec())
+                  .ok());
+
+  // The alert stream is consumable like any other event in the tree.
+  std::size_t alerts = 0;
+  auto alert_sub = root.SubscribeEncoded(
+      "ops", {}, [&](const ulm::EncodedRecord& enc) {
+        if (enc.record().event_name() == consumers::kOverviewAlertEvent) {
+          EXPECT_EQ(enc.record().GetField("RULE"), "both-hot");
+          ++alerts;
+        }
+      });
+  ASSERT_TRUE(alert_sub.ok());
+
+  auto tick = [&] {
+    leaf_service.PollOnce();
+    root.Pump();
+    root_service.PollOnce();
+    monitor.Pump();
+    clock.Advance(60 * kMillisecond);
+  };
+  for (int i = 0; i < 4; ++i) tick();
+
+  leaf.Publish(ValueEvent(clock.Now(), "CPU", 95, "primary"));
+  for (int i = 0; i < 4; ++i) tick();
+  EXPECT_EQ(monitor.fires("both-hot"), 0u);  // only one host is hot
+
+  leaf.Publish(ValueEvent(clock.Now(), "CPU", 97, "backup"));
+  for (int i = 0; i < 4; ++i) tick();
+  EXPECT_EQ(monitor.fires("both-hot"), 1u);
+  EXPECT_EQ(alerts, 1u);
+}
+
+}  // namespace
+}  // namespace jamm::federation

@@ -9,6 +9,7 @@
 //  * NTP convergence across drift/offset grids.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 
 #include "archive/archive.hpp"
@@ -17,7 +18,12 @@
 #include "common/time_util.hpp"
 #include "directory/schema.hpp"
 #include "directory/server.hpp"
+#include "federation/republisher.hpp"
 #include "gateway/filter.hpp"
+#include "gateway/gateway.hpp"
+#include "gateway/service.hpp"
+#include "gateway/summary.hpp"
+#include "transport/inproc.hpp"
 #include "netsim/tcp.hpp"
 #include "ntp/ntp.hpp"
 #include "ulm/binary.hpp"
@@ -476,6 +482,166 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.max_records) + "_f" +
              std::to_string(static_cast<int>(info.param.normal_fraction * 10));
     });
+
+// --------------------------------------- federation pushdown equivalence
+
+// ISSUE 6: where a filter spec is evaluated must be invisible to the
+// subscriber. For every filter mode, a republisher whose downstream
+// accepts pushdown (spec evaluated at the leaf gateway) and a republisher
+// that falls back to local evaluation (spec evaluated against the leaf's
+// base stream) must deliver byte-identical ASCII, record for record, over
+// a seeded random stream.
+struct FederationSpec {
+  const char* spec;
+  std::uint64_t seed;
+};
+
+class FederationEquivalence
+    : public ::testing::TestWithParam<FederationSpec> {};
+
+TEST_P(FederationEquivalence, PushdownAndLocalEvalAreByteIdentical) {
+  SimClock clock;
+  transport::InProcNetwork net;
+
+  // Two independent leaf→site stacks; only `supports_pushdown` differs.
+  gateway::EventGateway leaf_p("p-leaf", clock), leaf_f("f-leaf", clock);
+  auto listener_p = net.Listen("p-leaf");
+  auto listener_f = net.Listen("f-leaf");
+  ASSERT_TRUE(listener_p.ok());
+  ASSERT_TRUE(listener_f.ok());
+  gateway::GatewayService service_p(leaf_p, std::move(*listener_p));
+  gateway::GatewayService service_f(leaf_f, std::move(*listener_f));
+  federation::RepublisherGateway site_p("p-site", clock);
+  federation::RepublisherGateway site_f("f-site", clock);
+  ASSERT_TRUE(site_p.AddDownstream(
+                        {"p-leaf", [&net] { return net.Dial("p-leaf"); },
+                         /*supports_pushdown=*/true})
+                  .ok());
+  ASSERT_TRUE(site_f.AddDownstream(
+                        {"f-leaf", [&net] { return net.Dial("f-leaf"); },
+                         /*supports_pushdown=*/false})
+                  .ok());
+
+  auto spec = gateway::FilterSpec::Parse(GetParam().spec);
+  ASSERT_TRUE(spec.ok()) << GetParam().spec;
+  std::vector<std::string> out_p, out_f;
+  ASSERT_TRUE(site_p
+                  .SubscribeEncoded("c", *spec,
+                                    [&](const ulm::EncodedRecord& enc) {
+                                      out_p.push_back(enc.Ascii());
+                                    })
+                  .ok());
+  ASSERT_TRUE(site_f
+                  .SubscribeEncoded("c", *spec,
+                                    [&](const ulm::EncodedRecord& enc) {
+                                      out_f.push_back(enc.Ascii());
+                                    })
+                  .ok());
+  // Let the pushdown subscription (and the fallback base feed) reach the
+  // leaves before data flows.
+  site_p.Pump();
+  site_f.Pump();
+  service_p.PollOnce();
+  service_f.PollOnce();
+
+  Rng rng(GetParam().seed);
+  const char* events[] = {"CPU0", "CPU9", "MEM"};  // MEM never matches
+  TimePoint ts = kSecond;
+  for (int i = 0; i < 200; ++i) {
+    // Strictly increasing timestamps keep publish order == merge order,
+    // so both stateful filter instances see the same sequence.
+    ts += rng.Uniform(1, 2 * kSecond);
+    ulm::Record rec(ts, "h" + std::to_string(rng.Uniform(0, 3)), "sensor",
+                    "Usage", events[rng.Uniform(0, 2)]);
+    rec.SetField("VAL", static_cast<double>(rng.Uniform(0, 100)));
+    leaf_p.Publish(rec);
+    leaf_f.Publish(rec);
+    if (i % 10 == 9) {
+      clock.Advance(100 * kMillisecond);  // past batch_max_age: flush
+      service_p.PollOnce();
+      service_f.PollOnce();
+      site_p.Pump();
+      site_f.Pump();
+    }
+  }
+  for (int i = 0; i < 3; ++i) {  // drain stragglers
+    clock.Advance(100 * kMillisecond);
+    service_p.PollOnce();
+    service_f.PollOnce();
+    site_p.Pump();
+    site_f.Pump();
+  }
+
+  EXPECT_FALSE(out_p.empty()) << GetParam().spec;
+  EXPECT_EQ(out_p, out_f);
+  // And the two paths really were different paths.
+  EXPECT_GT(site_p.stats().pushdown_records, 0u);
+  EXPECT_EQ(site_f.stats().pushdown_records, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, FederationEquivalence,
+    ::testing::Values(FederationSpec{"all|CPU*", 0xF0A},
+                      FederationSpec{"on-change|CPU*", 0xF0B},
+                      FederationSpec{"threshold:50|CPU*", 0xF0C},
+                      FederationSpec{"delta:20|CPU*", 0xF0D}),
+    [](const ::testing::TestParamInfo<FederationSpec>& info) {
+      std::string name(info.param.spec);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// The summary side of pushdown: merging per-leaf window summaries
+// (weighted by sample count) must agree with one window that saw every
+// sample, no matter how samples are partitioned across leaves.
+TEST(FederationSummaryProperty, MergedLeafWindowsMatchGlobalWindow) {
+  Rng rng(0x5CA1E);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int leaves = static_cast<int>(rng.Uniform(1, 5));
+    std::vector<gateway::SummaryWindow> windows(leaves);
+    gateway::SummaryWindow global;
+    TimePoint ts = kSecond;
+    const int samples = static_cast<int>(rng.Uniform(10, 200));
+    for (int i = 0; i < samples; ++i) {
+      ts += rng.Uniform(1, 3 * kSecond);
+      const double value = rng.UniformReal(0, 100);
+      windows[rng.Uniform(0, leaves - 1)].Add(ts, value);
+      global.Add(ts, value);
+    }
+    const TimePoint now = ts;
+
+    SimClock clock(now);
+    transport::InProcNetwork net;
+    auto sink = net.Listen("x");  // dialable endpoint; never polled
+    ASSERT_TRUE(sink.ok());
+    federation::RepublisherGateway::Options options;
+    options.summary_fetcher =
+        [&](const std::string& child, gateway::GatewayClient&,
+            const std::string&) -> Result<gateway::SummaryData> {
+      auto index = ParseInt(child.substr(child.find('-') + 1));
+      EXPECT_TRUE(index.ok());
+      return windows[*index].Compute(now);
+    };
+    federation::RepublisherGateway site("site", clock, options);
+    for (int leaf = 0; leaf < leaves; ++leaf) {
+      const std::string name = "leaf-" + std::to_string(leaf);
+      ASSERT_TRUE(
+          site.AddDownstream({name, [&net] { return net.Dial("x"); }}).ok());
+    }
+
+    auto merged = site.GetSummary("CPU");
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    const gateway::SummaryData expect = global.Compute(now);
+    EXPECT_EQ(merged->count_1m, expect.count_1m);
+    EXPECT_EQ(merged->count_10m, expect.count_10m);
+    EXPECT_EQ(merged->count_60m, expect.count_60m);
+    EXPECT_NEAR(merged->avg_1m, expect.avg_1m, 1e-9);
+    EXPECT_NEAR(merged->avg_10m, expect.avg_10m, 1e-9);
+    EXPECT_NEAR(merged->avg_60m, expect.avg_60m, 1e-9);
+  }
+}
 
 }  // namespace
 }  // namespace jamm

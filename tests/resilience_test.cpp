@@ -876,6 +876,85 @@ TEST(SupervisorTest, OnSuccessClearsStreakButNotQuarantine) {
   EXPECT_EQ(sup.OnFailure().action, Supervisor::Action::kRestart);
 }
 
+// Regression (ISSUE 6 satellite): a federation republisher's feed
+// subscriptions carry every line of the subscribe payload — consumer,
+// filter spec, wire format, queue spec. The reconnect replay must
+// preserve all four, including for a subscription issued while the
+// downstream was DOWN (which used to be silently dropped from the replay
+// set because the failed send returned before recording it).
+TEST(GatewayReconnectTest, ReplayPreservesEverySubscriptionLine) {
+  SimClock clock;
+  transport::InProcNetwork net;
+
+  gateway::GatewayClient client([&net] { return net.Dial("gw"); });
+  client.SetQueueSpec(gateway::OverflowPolicy::kDropNewest, 7);
+  auto spec = gateway::FilterSpec::Parse("all|CPU*");
+  ASSERT_TRUE(spec.ok());
+  // The gateway is not up yet: the send fails, but a dialer-backed client
+  // must record the subscription for replay.
+  EXPECT_TRUE(
+      client.SubscribeBatchedAsync("site/all|CPU*", *spec, 32).ok());
+  EXPECT_EQ(client.recorded_subscription_count(), 1u);
+
+  auto check_all_lines = [&](gateway::EventGateway& gw,
+                             gateway::GatewayService& service,
+                             TimePoint base_ts) {
+    EXPECT_EQ(gw.subscription_count(), 1u);
+    gw.Publish(ValueEvent(base_ts, "MEM", 5));  // must be filtered out
+    gw.Publish(ValueEvent(base_ts + 1, "CPU", 10));
+    gw.Publish(ValueEvent(base_ts + 2, "CPU", 20));
+    gw.Publish(ValueEvent(base_ts + 3, "CPU", 30));
+    clock.Advance(100 * kMillisecond);
+    service.PollOnce();  // age-flush the partial batch
+    auto queues = service.QueueStats();
+    ASSERT_EQ(queues.size(), 1u);
+    // Line 1 (consumer) and line 4 (queue spec).
+    EXPECT_EQ(queues[0].consumer, "site/all|CPU*");
+    EXPECT_EQ(queues[0].policy, gateway::OverflowPolicy::kDropNewest);
+    // Line 3 (batch format): three records crossed as one batch frame.
+    EXPECT_EQ(queues[0].sent_messages, 1u);
+    EXPECT_EQ(queues[0].sent_records, 3u);
+    // Line 2 (filter spec): MEM never reached the subscription.
+    auto events = client.DrainEvents();
+    ASSERT_EQ(events.size(), 3u);
+    for (const auto& event : events) EXPECT_EQ(event.event_name(), "CPU");
+  };
+
+  auto gw = std::make_unique<gateway::EventGateway>("gw", clock);
+  auto listener = net.Listen("gw");
+  ASSERT_TRUE(listener.ok());
+  auto service =
+      std::make_unique<gateway::GatewayService>(*gw, std::move(*listener));
+  EXPECT_TRUE(client.DrainEvents().empty());  // dials + replays
+  service->PollOnce();
+  check_all_lines(*gw, *service, 1);
+
+  // Crash and revive: the replay must repeat every line, not just the
+  // consumer + spec.
+  service.reset();
+  gw.reset();
+  gw = std::make_unique<gateway::EventGateway>("gw", clock);
+  listener = net.Listen("gw");
+  ASSERT_TRUE(listener.ok());
+  service =
+      std::make_unique<gateway::GatewayService>(*gw, std::move(*listener));
+  EXPECT_TRUE(client.DrainEvents().empty());
+  service->PollOnce();
+  check_all_lines(*gw, *service, 100);
+}
+
+// Regression: Unsubscribe("") used to match every not-yet-adopted
+// subscription (their placeholder ids are empty) and wipe them from the
+// replay set.
+TEST(GatewayReconnectTest, EmptyUnsubscribeDoesNotWipeReplaySet) {
+  transport::InProcNetwork net;
+  gateway::GatewayClient client([&net] { return net.Dial("gw"); });
+  EXPECT_TRUE(client.SubscribeAsync("collector", {}).ok());
+  EXPECT_EQ(client.recorded_subscription_count(), 1u);  // id not yet adopted
+  EXPECT_FALSE(client.Unsubscribe("").ok());
+  EXPECT_EQ(client.recorded_subscription_count(), 1u);
+}
+
 TEST(ReplayBufferTest, EvictionsSurfaceInTelemetry) {
   auto& counter =
       telemetry::Metrics().counter("resilience.replay_buffer.evictions");
