@@ -6,16 +6,19 @@
 // sweeps query selectivity to show segment pruning: a narrow time-range
 // glob query must scan only covering segments, not the whole archive.
 //
-// The segmented store is measured two ways: record-at-a-time Ingest (the
-// seed's API shape) and IngestBatch, the production path — the gateway
-// delivers events in batched frames (ISSUE 3), so the archiver hands the
-// archive owned batches and records move instead of copy. The headline
-// speedup compares the batched path against the legacy store at the same
-// thread count.
+// The segmented store is measured three ways: record-at-a-time Ingest
+// (the seed's API shape), IngestBatch over owned Record vectors (the PR 6
+// production path, now a conversion shim that transcribes each Record
+// into the flat arena at ingest), and IngestBatch over FlatBatch frames
+// (ISSUE 7) — the zero-copy arena splice the archiver pump and gateway
+// frames feed directly. The headline speedup compares the best batched
+// mode against the legacy store at the same thread count.
 //
 // Emits BENCH_archive.json (path = argv[1], default ./BENCH_archive.json)
 // and enforces the hard acceptance floors itself:
 //   * segmented ingest at 4 threads >= 5x the legacy store at 4 threads;
+//   * flat-frame ingest >= 3x the Record-vector shim at 4 threads;
+//   * the Record-vector shim >= 2x the legacy store at 4 threads;
 //   * the narrow query scans fewer segments than the archive holds.
 #include <algorithm>
 #include <chrono>
@@ -27,6 +30,7 @@
 #include <vector>
 
 #include "archive/archive.hpp"
+#include "ulm/flat.hpp"
 
 using namespace jamm;  // NOLINT: bench brevity
 
@@ -158,15 +162,54 @@ double IngestBatchedPerSec(archive::EventArchive& ar, int threads) {
   return kEvents / SecondsSince(t0);
 }
 
+/// The ISSUE 7 flat path: the same stride-share pre-chunked into
+/// FlatBatch arenas (what the archiver's remote pump hands over), so the
+/// timed region is the splice — one stripe-lock acquisition and an O(1)
+/// chunk adoption per batch, plus the per-record index update.
+std::vector<std::vector<ulm::FlatBatch>> BuildFlatFrames(int threads) {
+  const auto& events = AllEvents();
+  std::vector<std::vector<ulm::FlatBatch>> per_thread(
+      static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    auto& frames = per_thread[static_cast<std::size_t>(t)];
+    ulm::FlatBatch batch;
+    for (std::size_t i = static_cast<std::size_t>(t); i < events.size();
+         i += static_cast<std::size_t>(threads)) {
+      (void)batch.Append(events[i]);
+      if (batch.size() == kBatchRecords) {
+        frames.push_back(std::move(batch));
+        batch = {};
+      }
+    }
+    if (!batch.empty()) frames.push_back(std::move(batch));
+  }
+  return per_thread;
+}
+
+double IngestFlatPerSec(archive::EventArchive& ar, int threads) {
+  auto per_thread = BuildFlatFrames(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&ar, frames = &per_thread[static_cast<std::size_t>(
+                                     t)]] {
+      for (auto& frame : *frames) ar.IngestBatch(std::move(frame));
+    });
+  }
+  for (auto& w : workers) w.join();
+  return kEvents / SecondsSince(t0);
+}
+
+enum class Mode { kRecord, kBatch, kFlat };
+
 struct IngestCell {
   int threads;
   std::size_t segment_records;  // 0 = legacy store
-  bool batched;
+  Mode mode;
   double events_per_s;
 };
 
-IngestCell RunSegmented(int threads, std::size_t segment_records,
-                        bool batched) {
+IngestCell RunSegmented(int threads, std::size_t segment_records, Mode mode) {
   std::vector<double> per_s;
   for (int pass = 0; pass < kIngestPasses; ++pass) {
     archive::SegmentConfig config;
@@ -174,15 +217,16 @@ IngestCell RunSegmented(int threads, std::size_t segment_records,
     config.max_span = 1000 * kHour;  // record bound governs the sweep
     config.stripes = 8;
     archive::EventArchive ar("bench", 1, config);
-    per_s.push_back(batched ? IngestBatchedPerSec(ar, threads)
-                            : IngestEventsPerSec(ar, threads));
+    per_s.push_back(mode == Mode::kBatch   ? IngestBatchedPerSec(ar, threads)
+                    : mode == Mode::kFlat ? IngestFlatPerSec(ar, threads)
+                                          : IngestEventsPerSec(ar, threads));
     if (ar.size() != kEvents) {
       std::fprintf(stderr, "segmented store lost records: %zu of %d\n",
                    ar.size(), kEvents);
       std::exit(1);
     }
   }
-  return {threads, segment_records, batched, Median(per_s)};
+  return {threads, segment_records, mode, Median(per_s)};
 }
 
 IngestCell RunLegacy(int threads) {
@@ -195,7 +239,15 @@ IngestCell RunLegacy(int threads) {
       std::exit(1);
     }
   }
-  return {threads, 0, false, Median(per_s)};
+  return {threads, 0, Mode::kRecord, Median(per_s)};
+}
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kRecord: return "record";
+    case Mode::kBatch: return "batch";
+    default: return "flat";
+  }
 }
 
 struct QueryCell {
@@ -241,8 +293,9 @@ int main(int argc, char** argv) {
   for (int threads : thread_sweep) {
     cells.push_back(RunLegacy(threads));
     for (std::size_t seg : segment_sweep) {
-      cells.push_back(RunSegmented(threads, seg, false));
-      cells.push_back(RunSegmented(threads, seg, true));
+      cells.push_back(RunSegmented(threads, seg, Mode::kRecord));
+      cells.push_back(RunSegmented(threads, seg, Mode::kBatch));
+      cells.push_back(RunSegmented(threads, seg, Mode::kFlat));
     }
   }
   for (const auto& cell : cells) {
@@ -250,16 +303,16 @@ int main(int argc, char** argv) {
       std::printf("legacy          %dt:              %12.0f events/s\n",
                   cell.threads, cell.events_per_s);
     } else {
-      std::printf("segmented %s %dt, seg %6zu: %12.0f events/s\n",
-                  cell.batched ? "batch " : "record", cell.threads,
-                  cell.segment_records, cell.events_per_s);
+      std::printf("segmented %-6s %dt, seg %6zu: %12.0f events/s\n",
+                  ModeName(cell.mode), cell.threads, cell.segment_records,
+                  cell.events_per_s);
     }
   }
 
-  auto rate = [&](int threads, std::size_t seg, bool batched) {
+  auto rate = [&](int threads, std::size_t seg, Mode mode) {
     for (const auto& cell : cells) {
       if (cell.threads == threads && cell.segment_records == seg &&
-          cell.batched == batched) {
+          cell.mode == mode) {
         return cell.events_per_s;
       }
     }
@@ -268,17 +321,38 @@ int main(int argc, char** argv) {
   // Best batched segmented configuration per thread count vs legacy at
   // the SAME thread count: what the production (gateway-framed) ingest
   // path sustains against the seed store fed the same events.
-  auto best_segmented = [&](int threads) {
+  auto best_segmented = [&](int threads, Mode mode) {
     double best = 0;
     for (std::size_t seg : segment_sweep) {
-      best = std::max(best, rate(threads, seg, true));
+      best = std::max(best, rate(threads, seg, mode));
     }
     return best;
   };
-  const double speedup_1t = best_segmented(1) / rate(1, 0, false);
-  const double speedup_4t = best_segmented(4) / rate(4, 0, false);
+  // "Segmented vs legacy" takes the segmented store's best batched mode.
+  // Since ISSUE 7 that is the FlatBatch arena-splice path — the one the
+  // production producers (archiver pump, gateway frames) actually feed —
+  // while the owned-Record-vector overload survives as a compatibility
+  // shim that now pays its flat conversion at ingest instead of deferring
+  // string work to every query.
+  auto best_batched = [&](int threads) {
+    return std::max(best_segmented(threads, Mode::kBatch),
+                    best_segmented(threads, Mode::kFlat));
+  };
+  const double speedup_1t = best_batched(1) / rate(1, 0, Mode::kRecord);
+  const double speedup_4t = best_batched(4) / rate(4, 0, Mode::kRecord);
   std::printf("segmented vs legacy: %.2fx at 1 thread, %.2fx at 4 threads\n",
               speedup_1t, speedup_4t);
+  // ISSUE 7: the flat arena-splice path against the PR 6 batched path
+  // (owned Record vectors) at the same thread count, and the conversion
+  // shim itself against the legacy store — it must stay a win even while
+  // paying the Record→flat transcription.
+  const double flat_speedup_4t =
+      best_segmented(4, Mode::kFlat) / best_segmented(4, Mode::kBatch);
+  const double convert_speedup_4t =
+      best_segmented(4, Mode::kBatch) / rate(4, 0, Mode::kRecord);
+  std::printf("flat vs batched ingest at 4 threads: %.2fx\n", flat_speedup_4t);
+  std::printf("Record-vector conversion shim vs legacy at 4 threads: %.2fx\n",
+              convert_speedup_4t);
 
   // ---- query selectivity sweep over a sealed 1M-event archive
   archive::SegmentConfig config;
@@ -309,6 +383,20 @@ int main(int argc, char** argv) {
                  speedup_4t);
     return 1;
   }
+  if (flat_speedup_4t < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: flat-batch ingest at 4 threads is %.2fx the Record "
+                 "batched path (floor: 3x)\n",
+                 flat_speedup_4t);
+    return 1;
+  }
+  if (convert_speedup_4t < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: the Record-vector conversion shim at 4 threads is "
+                 "%.2fx the legacy store (floor: 2x)\n",
+                 convert_speedup_4t);
+    return 1;
+  }
   const QueryCell& narrow = queries.front();
   if (narrow.segments_scanned >= narrow.segments_total) {
     std::fprintf(stderr,
@@ -329,9 +417,10 @@ int main(int argc, char** argv) {
                "  \"workload\": \"1M events, 8 hosts, 8 event names; "
                "lock-striped segmented store vs the seed single-mutex "
                "store; thread x segment-size ingest sweep in both "
-               "record-at-a-time and batched (gateway-framed, move-based) "
-               "modes; speedups compare the batched production path to "
-               "legacy at the same thread count; query selectivity sweep "
+               "record-at-a-time, batched (gateway-framed, move-based), and "
+               "flat (FlatBatch arena-splice, ISSUE 7) modes; speedups "
+               "compare the batched production path to legacy at the same "
+               "thread count, and flat to batched; query selectivity sweep "
                "with pruning stats\",\n");
   std::fprintf(json,
                "  \"method\": \"median of %d ingest / %d query passes; "
@@ -346,9 +435,8 @@ int main(int argc, char** argv) {
                  "\"threads\": %d, \"segment_records\": %zu, "
                  "\"events_per_s\": %.0f}%s\n",
                  cell.segment_records == 0 ? "legacy" : "segmented",
-                 cell.batched ? "batch" : "record", cell.threads,
-                 cell.segment_records, cell.events_per_s,
-                 i + 1 == cells.size() ? "" : ",");
+                 ModeName(cell.mode), cell.threads, cell.segment_records,
+                 cell.events_per_s, i + 1 == cells.size() ? "" : ",");
   }
   std::fprintf(json, "    ],\n");
   std::fprintf(json, "    \"queries\": [\n");
@@ -365,6 +453,10 @@ int main(int argc, char** argv) {
   std::fprintf(json, "    ],\n");
   std::fprintf(json, "    \"ingest_speedup_1t\": %.2f,\n", speedup_1t);
   std::fprintf(json, "    \"ingest_speedup_4t\": %.2f,\n", speedup_4t);
+  std::fprintf(json, "    \"flat_ingest_speedup_4t\": %.2f,\n",
+               flat_speedup_4t);
+  std::fprintf(json, "    \"convert_ingest_speedup_4t\": %.2f,\n",
+               convert_speedup_4t);
   std::fprintf(json,
                "    \"narrow_query_segment_scan_fraction\": %.4f\n",
                static_cast<double>(narrow.segments_scanned) /

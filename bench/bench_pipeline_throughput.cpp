@@ -28,13 +28,19 @@
 #include <string>
 #include <vector>
 
+#include <map>
+#include <thread>
+
+#include "archive/archive.hpp"
 #include "gateway/gateway.hpp"
 #include "gateway/service.hpp"
 #include "sensors/host_sensors.hpp"
 #include "sysmon/simhost.hpp"
 #include "transport/inproc.hpp"
 #include "transport/net_sink.hpp"
+#include "transport/ring.hpp"
 #include "ulm/binary.hpp"
+#include "ulm/flat.hpp"
 
 using namespace jamm;  // NOLINT: bench brevity
 
@@ -184,6 +190,188 @@ WireRow MeasureWire(const std::vector<ulm::Record>& events, std::size_t batch,
   return best;
 }
 
+// ------------------------------------------- Part C: flat record hot path
+
+constexpr int kFlatEvents = 200000;
+constexpr int kFlatSubs = 8;
+constexpr std::size_t kFlatFrame = 256;
+constexpr double kMinFlatSpeedup = 3.0;
+
+archive::EventArchive MakePipelineArchive() {
+  archive::SegmentConfig config;
+  config.max_records = 8192;
+  config.max_span = 1000 * kHour;
+  config.stripes = 8;
+  return archive::EventArchive("bench", 1, config);
+}
+
+/// The pre-ISSUE-7 shape of one sensor→manager→gateway→republisher→archive
+/// trip, reconstructed faithfully: a string-keyed Record is COPIED at each
+/// hand-off (manager queue, gateway cache/fan-out, federation republish),
+/// hop stamps go through string-keyed SetField, routing and summary
+/// bookkeeping compare event-name strings, and the archive takes owned
+/// Record frames (the PR 6 batched path).
+double TimedLegacyPipelinePass(const std::vector<ulm::Record>& events) {
+  auto ar = MakePipelineArchive();
+  std::map<std::string, std::uint64_t> summary;
+  ulm::Record last_event;  // gateway last-event caches (GetLastEvent)
+  std::map<std::string, ulm::Record> last_by_event;
+  std::vector<std::string> want;
+  for (int s = 0; s < kFlatSubs; ++s) {
+    want.push_back(s % 2 ? events[0].event_name() : "other.event");
+  }
+  std::vector<ulm::Record> frame;
+  frame.reserve(kFlatFrame);
+  std::uint64_t sink = 0;
+  const double t0 = NowSeconds();
+  for (int i = 0; i < kFlatEvents; ++i) {
+    const auto& rec = events[static_cast<std::size_t>(i) % events.size()];
+    ulm::Record hop1 = rec;                    // manager queue hand-off
+    hop1.SetField("HOP.MGR", "1");
+    ulm::Record hop2 = hop1;                   // gateway fan-out copy
+    hop2.SetField("HOP.GW", "1");
+    summary[hop2.event_name()]++;              // string-keyed summary
+    last_event = hop2;                         // gateway caches: two full
+    last_by_event[hop2.event_name()] = hop2;   // Record copies per publish
+    ulm::EncodedRecord enc(hop2);
+    for (const auto& w : want) {               // per-subscriber routing
+      if (hop2.event_name() == w) sink += enc.Binary().size();
+    }
+    ulm::Record hop3 = hop2;                   // republisher hand-off
+    hop3.SetField("HOP.FED", "1");
+    frame.push_back(std::move(hop3));
+    if (frame.size() == kFlatFrame) {
+      ar.IngestBatch(std::move(frame));
+      frame = {};
+      frame.reserve(kFlatFrame);
+    }
+  }
+  if (!frame.empty()) ar.IngestBatch(std::move(frame));
+  const double elapsed = NowSeconds() - t0;
+  if (sink == 0 || ar.size() != static_cast<std::size_t>(kFlatEvents)) {
+    std::fprintf(stderr, "legacy pipeline lost records\n");
+    std::exit(1);
+  }
+  return elapsed;
+}
+
+/// The same trip on the flat core. The sensor edge builds flat records
+/// natively with pre-interned symbols (what the migrated SensorManager
+/// does), so the corpus is flat before the timed region — symmetric with
+/// the legacy pass, which starts from its native Record corpus. Each
+/// event then pays the manager hand-off copy, symbol stamps, symbol-keyed
+/// summary/routing, encode-once off the view, and a FlatBatch splice into
+/// the archive.
+double TimedFlatPipelinePass(const std::vector<ulm::Record>& events) {
+  auto ar = MakePipelineArchive();
+  std::map<ulm::Symbol, std::uint64_t> summary;
+  ulm::FlatRecord last_event;  // gateway last-event caches (GetLastEvent)
+  std::map<ulm::Symbol, ulm::FlatRecord> last_by_event;
+  const ulm::Symbol hop_mgr = ulm::InternSymbol("HOP.MGR");
+  const ulm::Symbol hop_gw = ulm::InternSymbol("HOP.GW");
+  const ulm::Symbol hop_fed = ulm::InternSymbol("HOP.FED");
+  std::vector<ulm::Symbol> want;
+  for (int s = 0; s < kFlatSubs; ++s) {
+    want.push_back(s % 2 ? ulm::InternSymbol(events[0].event_name())
+                         : ulm::InternSymbol("other.event"));
+  }
+  std::vector<ulm::FlatRecord> corpus;  // the sensors' native output
+  corpus.reserve(events.size());
+  for (const auto& rec : events) corpus.push_back(ulm::FlatRecord::FromRecord(rec));
+  ulm::FlatRecord scratch;
+  ulm::FlatBatch batch;
+  std::uint64_t sink = 0;
+  const double t0 = NowSeconds();
+  for (int i = 0; i < kFlatEvents; ++i) {
+    scratch = corpus[static_cast<std::size_t>(i) % corpus.size()];
+    scratch.SetField(hop_mgr, "1");
+    scratch.SetField(hop_gw, "1");             // view rides the gateway hop
+    const ulm::RecordView view = scratch.View();
+    summary[view.event_sym()]++;               // symbol-keyed summary
+    last_event = scratch;                      // gateway caches: two flat
+    last_by_event[view.event_sym()] = scratch;  // buffer copies per publish
+    ulm::EncodedRecord enc(view);
+    for (ulm::Symbol w : want) {               // per-subscriber routing
+      if (view.event_sym() == w) sink += enc.Binary().size();
+    }
+    scratch.SetField(hop_fed, "1");            // republisher stamp, in place
+    (void)batch.Append(scratch.View());
+    if (batch.size() == kFlatFrame) {
+      ar.IngestBatch(std::move(batch));
+      batch = {};
+    }
+  }
+  if (!batch.empty()) ar.IngestBatch(std::move(batch));
+  const double elapsed = NowSeconds() - t0;
+  if (sink == 0 || ar.size() != static_cast<std::size_t>(kFlatEvents)) {
+    std::fprintf(stderr, "flat pipeline lost records\n");
+    std::exit(1);
+  }
+  return elapsed;
+}
+
+struct FlatRow {
+  double legacy_rate;
+  double flat_rate;
+  double speedup;  // median of paired ratios
+};
+
+FlatRow MeasureFlatPipeline(const std::vector<ulm::Record>& events) {
+  (void)TimedLegacyPipelinePass(events);  // warm both paths
+  (void)TimedFlatPipelinePass(events);
+  double legacy = 1e30, flat = 1e30;
+  std::vector<double> ratios;
+  for (int r = 0; r < kRepeats; ++r) {
+    const double l = TimedLegacyPipelinePass(events);
+    const double f = TimedFlatPipelinePass(events);
+    legacy = std::min(legacy, l);
+    flat = std::min(flat, f);
+    ratios.push_back(l / f);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  return {kFlatEvents / legacy, kFlatEvents / flat, ratios[ratios.size() / 2]};
+}
+
+// ------------------------------------------------- Part D: ring channels
+
+constexpr int kHopMessages = 400000;
+
+/// One producer thread blasting small frames across a channel pair to a
+/// consumer draining on the main thread — the in-proc sensor→manager hop.
+double TimedHopPass(bool ring) {
+  auto [tx, rx] = ring ? transport::MakeRingChannelPair("bench", 4096)
+                       : transport::MakeChannelPair("bench", 4096);
+  const transport::Message msg{"event", "DATE=x HOST=h PROG=p LVL=Usage"};
+  const double t0 = NowSeconds();
+  std::thread producer([tx = tx.get(), &msg] {
+    for (int i = 0; i < kHopMessages; ++i) (void)tx->Send(msg);
+  });
+  std::uint64_t got = 0;
+  while (got < static_cast<std::uint64_t>(kHopMessages)) {
+    if (rx->Receive(kSecond).ok()) ++got;
+  }
+  producer.join();
+  return NowSeconds() - t0;
+}
+
+double MeasureRingHopSpeedup(double* mutex_rate, double* ring_rate) {
+  (void)TimedHopPass(false);  // warm
+  (void)TimedHopPass(true);
+  double mutexed = 1e30, ringed = 1e30;
+  std::vector<double> ratios;
+  for (int r = 0; r < kRepeats; ++r) {
+    const double m = TimedHopPass(false);
+    const double g = TimedHopPass(true);
+    mutexed = std::min(mutexed, m);
+    ringed = std::min(ringed, g);
+    ratios.push_back(m / g);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  *mutex_rate = kHopMessages / mutexed;
+  *ring_rate = kHopMessages / ringed;
+  return ratios[ratios.size() / 2];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -233,6 +421,24 @@ int main(int argc, char** argv) {
                 r.records_per_s, cut);
   }
 
+  // Part C: flat record hot path (ISSUE 7).
+  std::printf("\nflat pipeline (%d events, %d subscribers, 3 hops + archive, "
+              "median of %d paired ratios)\n",
+              kFlatEvents, kFlatSubs, kRepeats);
+  const FlatRow flat = MeasureFlatPipeline(events);
+  std::printf("string-keyed Record: %12.0f events/s\n", flat.legacy_rate);
+  std::printf("flat RecordView:     %12.0f events/s  (%.2fx)\n",
+              flat.flat_rate, flat.speedup);
+
+  // Part D: ring vs mutex in-proc hop (ISSUE 7).
+  double mutex_rate = 0, ring_rate = 0;
+  const double ring_speedup = MeasureRingHopSpeedup(&mutex_rate, &ring_rate);
+  std::printf("\nin-proc hop (%d messages, 1 producer thread, median of %d "
+              "paired ratios)\n", kHopMessages, kRepeats);
+  std::printf("mutex+condvar queue: %12.0f msgs/s\n", mutex_rate);
+  std::printf("MPSC ring:           %12.0f msgs/s  (%.2fx)\n", ring_rate,
+              ring_speedup);
+
   // Acceptance metrics.
   const double speedup64 = fanout.back().speedup;
   double reduction16 = 0;
@@ -245,6 +451,9 @@ int main(int argc, char** argv) {
               speedup64, kMinSpeedup64);
   std::printf("send reduction at batch 16: %.1fx (floor %.1fx)\n",
               reduction16, kMinSendReduction16);
+  std::printf("flat pipeline speedup: %.2fx (floor %.1fx)\n", flat.speedup,
+              kMinFlatSpeedup);
+  std::printf("ring hop speedup: %.2fx\n", ring_speedup);
 
   // Machine-readable results for scripts/check_bench.sh.
   std::FILE* json = std::fopen(json_path.c_str(), "w");
@@ -285,8 +494,15 @@ int main(int argc, char** argv) {
   std::fprintf(json, "    \"encode_once_speedup_floor\": %.1f,\n",
                kMinSpeedup64);
   std::fprintf(json, "    \"send_reduction_batch16\": %.1f,\n", reduction16);
-  std::fprintf(json, "    \"send_reduction_floor\": %.1f\n",
+  std::fprintf(json, "    \"send_reduction_floor\": %.1f,\n",
                kMinSendReduction16);
+  std::fprintf(json, "    \"flat_pipeline\": {\"legacy_per_s\": %.0f, "
+               "\"flat_per_s\": %.0f},\n", flat.legacy_rate, flat.flat_rate);
+  std::fprintf(json, "    \"flat_speedup\": %.2f,\n", flat.speedup);
+  std::fprintf(json, "    \"flat_speedup_floor\": %.1f,\n", kMinFlatSpeedup);
+  std::fprintf(json, "    \"ring_hop\": {\"mutex_per_s\": %.0f, "
+               "\"ring_per_s\": %.0f},\n", mutex_rate, ring_rate);
+  std::fprintf(json, "    \"ring_hop_speedup\": %.2f\n", ring_speedup);
   std::fprintf(json, "  }\n}\n");
   std::fclose(json);
   std::printf("\nwrote %s\n", json_path.c_str());
@@ -295,6 +511,12 @@ int main(int argc, char** argv) {
     std::printf("FAIL: pipeline acceptance bars not met\n");
     return 1;
   }
-  std::printf("PASS: encode-once and batching meet their floors\n");
+  if (flat.speedup < kMinFlatSpeedup) {
+    std::printf("FAIL: flat pipeline speedup %.2fx below floor %.1fx\n",
+                flat.speedup, kMinFlatSpeedup);
+    return 1;
+  }
+  std::printf("PASS: encode-once, batching, and the flat hot path meet "
+              "their floors\n");
   return 0;
 }

@@ -62,7 +62,8 @@ PY
 echo "== bench_pipeline_throughput (floors enforced by the bench itself)"
 "$build_dir/bench/bench_pipeline_throughput" "$tmp/BENCH_pipeline.json"
 compare_ratios "$tmp/BENCH_pipeline.json" "$repo_root/BENCH_pipeline.json" \
-  encode_once_speedup_64subs send_reduction_batch16
+  encode_once_speedup_64subs send_reduction_batch16 flat_speedup \
+  ring_hop_speedup
 
 echo "== bench_liveness (floors enforced by the bench itself)"
 "$build_dir/bench/bench_liveness" "$tmp/BENCH_liveness.json"
@@ -72,7 +73,7 @@ compare_ratios "$tmp/BENCH_liveness.json" "$repo_root/BENCH_liveness.json" \
 echo "== bench_archive (floors enforced by the bench itself)"
 "$build_dir/bench/bench_archive" "$tmp/BENCH_archive.json"
 compare_ratios "$tmp/BENCH_archive.json" "$repo_root/BENCH_archive.json" \
-  ingest_speedup_4t
+  ingest_speedup_4t flat_ingest_speedup_4t convert_ingest_speedup_4t
 
 echo "== bench_federation (floors enforced by the bench itself)"
 "$build_dir/bench/bench_federation" "$tmp/BENCH_federation.json"

@@ -1,6 +1,7 @@
 #include "archive/archive.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <fstream>
 #include <map>
@@ -94,6 +95,16 @@ bool EventArchive::IsAbnormal(const ulm::Record& rec) {
          lvl == ulm::level::kAlert || lvl == ulm::level::kEmergency;
 }
 
+bool EventArchive::IsAbnormal(ulm::Symbol lvl) {
+  static const std::array<ulm::Symbol, 4> kAbnormal = {
+      ulm::InternSymbol(ulm::level::kError),
+      ulm::InternSymbol(ulm::level::kWarning),
+      ulm::InternSymbol(ulm::level::kAlert),
+      ulm::InternSymbol(ulm::level::kEmergency)};
+  return lvl == kAbnormal[0] || lvl == kAbnormal[1] || lvl == kAbnormal[2] ||
+         lvl == kAbnormal[3];
+}
+
 EventArchive::Stripe& EventArchive::StripeForThisThread() const {
   return *stripes_[ThreadOrdinal() % stripes_.size()];
 }
@@ -102,8 +113,8 @@ std::shared_ptr<Segment> EventArchive::NewSegment() {
   // Caller holds a stripe lock; id assignment takes shared_->mu (the
   // stripe-before-shared lock order used everywhere).
   auto segment = std::make_shared<Segment>();
-  // Sized up front: growing a vector of Records re-copies every string
-  // they hold, which dominated the per-ingest cost before this hint.
+  // Pre-sizes the tail chunk's field vector and value arena so the
+  // per-record Append path settles into append-only writes.
   segment->append_reserve = std::min<std::size_t>(config_.max_records, 65536);
   std::lock_guard lock(shared_->mu);
   segment->id = shared_->next_segment_id++;
@@ -118,6 +129,30 @@ void EventArchive::SealLocked(Stripe& stripe) {
   shared_->sealed.push_back(std::move(stripe.active));
   ++shared_->seal_count;
   stripe.active.reset();
+}
+
+void EventArchive::Ingest(const ulm::RecordView& view) {
+  auto& tm = Instruments();
+  tm.ingested.Increment();
+  Stripe& stripe = StripeForThisThread();
+  std::lock_guard lock(stripe.mu);
+  ++stripe.ingested;
+  // Same clause order as the legacy Ingest below, so both paths draw
+  // identical per-stripe rng streams for the same records.
+  const bool keep = normal_fraction_ >= 1.0 ||
+                    (keep_abnormal_ && IsAbnormal(view.lvl_sym())) ||
+                    stripe.rng.Chance(normal_fraction_);
+  if (!keep) {
+    ++stripe.dropped;
+    tm.dropped.Increment();
+    return;
+  }
+  if (!stripe.active) stripe.active = NewSegment();
+  stripe.active->Append(view);
+  if (stripe.active->size() >= config_.max_records ||
+      stripe.active->Span() >= config_.max_span) {
+    SealLocked(stripe);
+  }
 }
 
 void EventArchive::Ingest(const ulm::Record& rec) {
@@ -140,6 +175,42 @@ void EventArchive::Ingest(const ulm::Record& rec) {
   }
   if (!stripe.active) stripe.active = NewSegment();
   stripe.active->Append(rec);
+  if (stripe.active->size() >= config_.max_records ||
+      stripe.active->Span() >= config_.max_span) {
+    SealLocked(stripe);
+  }
+}
+
+void EventArchive::IngestBatch(ulm::FlatBatch&& batch) {
+  if (batch.empty()) return;
+  auto& tm = Instruments();
+  tm.ingested.Add(batch.size());
+  Stripe& stripe = StripeForThisThread();
+  std::lock_guard lock(stripe.mu);
+  stripe.ingested += batch.size();
+  if (normal_fraction_ < 1.0) {
+    // Sampling on: per-record keep decisions, in batch order so the
+    // per-stripe rng stream matches record-at-a-time ingest exactly.
+    ulm::FlatBatch kept;
+    kept.Reserve(batch.size(), batch.value_bytes());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const ulm::RecordView view = batch.View(i);
+      const bool keep = (keep_abnormal_ && IsAbnormal(view.lvl_sym())) ||
+                        stripe.rng.Chance(normal_fraction_);
+      if (keep) {
+        // Cannot overflow: the kept subset is no larger than `batch`,
+        // which already fit one arena.
+        (void)kept.Append(view);
+      } else {
+        ++stripe.dropped;
+        tm.dropped.Increment();
+      }
+    }
+    batch = std::move(kept);
+    if (batch.empty()) return;
+  }
+  if (!stripe.active) stripe.active = NewSegment();
+  stripe.active->AppendFlatFrame(std::move(batch));
   if (stripe.active->size() >= config_.max_records ||
       stripe.active->Span() >= config_.max_span) {
     SealLocked(stripe);
@@ -191,10 +262,12 @@ std::size_t EventArchive::SealActive() {
   return sealed;
 }
 
-double EventArchive::HashUnit(const ulm::Record& rec) const {
+double EventArchive::HashUnit(const ulm::RecordView& view) const {
   // FNV-1a over the record's canonical binary encoding, mixed with the
-  // sampling seed: stable across processes and Save/Load round trips.
-  const std::string bytes = ulm::EncodeBinary(rec);
+  // sampling seed: stable across processes and Save/Load round trips (the
+  // flat encoding is byte-identical to the legacy one, so compaction
+  // decisions survived the flat-core migration unchanged).
+  const std::string bytes = ulm::EncodeBinary(view);
   std::uint64_t h = 1469598103934665603ull ^ sampling_seed_;
   for (unsigned char b : bytes) {
     h ^= b;
@@ -227,9 +300,10 @@ std::size_t EventArchive::Compact(TimePoint now) {
     compacted->id = segment->id;
     compacted->tier = target;
     compacted->append_reserve = segment->size();
-    segment->ForEachRecord([&](const ulm::Record& rec) {
-      if ((keep_abnormal_ && IsAbnormal(rec)) || HashUnit(rec) < fraction) {
-        compacted->Append(rec);
+    segment->ForEachView([&](const ulm::RecordView& view) {
+      if ((keep_abnormal_ && IsAbnormal(view.lvl_sym())) ||
+          HashUnit(view) < fraction) {
+        compacted->Append(view);
       }
     });
     removed += segment->size() - compacted->size();
@@ -251,7 +325,7 @@ std::size_t EventArchive::Compact(TimePoint now) {
 std::vector<ulm::Record> EventArchive::Collect(
     TimePoint t0, TimePoint t1,
     const std::function<bool(const Segment&)>& covers,
-    const std::function<bool(const ulm::Record&)>& matches,
+    const std::function<bool(const ulm::RecordView&)>& matches,
     QueryStats* stats) const {
   auto& tm = Instruments();
   tm.query_calls.Increment();
@@ -270,9 +344,11 @@ std::vector<ulm::Record> EventArchive::Collect(
     }
     ++local.segments_scanned;
     std::vector<ulm::Record> hits;
-    segment.ForEachRecord([&](const ulm::Record& rec) {
-      if (rec.timestamp() >= t0 && rec.timestamp() < t1 && matches(rec)) {
-        hits.push_back(rec);
+    // Predicates run on the view (symbol compares, no allocation); only
+    // matching records pay the legacy-Record materialization.
+    segment.ForEachView([&](const ulm::RecordView& view) {
+      if (view.timestamp() >= t0 && view.timestamp() < t1 && matches(view)) {
+        hits.push_back(view.ToRecord());
       }
     });
     groups[segment.id] = std::move(hits);
@@ -328,7 +404,7 @@ std::vector<ulm::Record> EventArchive::QueryRange(TimePoint t0, TimePoint t1,
                                                   QueryStats* stats) const {
   return Collect(
       t0, t1, [](const Segment&) { return true; },
-      [](const ulm::Record&) { return true; }, stats);
+      [](const ulm::RecordView&) { return true; }, stats);
 }
 
 std::vector<ulm::Record> EventArchive::QueryEvents(
@@ -337,8 +413,8 @@ std::vector<ulm::Record> EventArchive::QueryEvents(
   return Collect(
       t0, t1,
       [&](const Segment& s) { return s.MayContainEvent(event_glob); },
-      [&](const ulm::Record& rec) {
-        return event_glob.empty() || GlobMatch(event_glob, rec.event_name());
+      [&](const ulm::RecordView& view) {
+        return event_glob.empty() || GlobMatch(event_glob, view.event_name());
       },
       stats);
 }
@@ -346,9 +422,17 @@ std::vector<ulm::Record> EventArchive::QueryEvents(
 std::vector<ulm::Record> EventArchive::QueryHost(const std::string& host,
                                                  TimePoint t0, TimePoint t1,
                                                  QueryStats* stats) const {
+  // One symbol lookup (Find, not Intern: query strings must not grow the
+  // table) turns the per-record host check into a 4-byte compare. A host
+  // the process never interned cannot be stored in any segment.
+  const auto host_sym = ulm::FindSymbol(host);
   return Collect(
-      t0, t1, [&](const Segment& s) { return s.ContainsHost(host); },
-      [&](const ulm::Record& rec) { return rec.host() == host; }, stats);
+      t0, t1,
+      [&](const Segment& s) { return host_sym && s.ContainsHost(*host_sym); },
+      [&](const ulm::RecordView& view) {
+        return host_sym && view.host_sym() == *host_sym;
+      },
+      stats);
 }
 
 // ------------------------------------------------------------ persistence
@@ -522,10 +606,12 @@ std::pair<TimePoint, TimePoint> EventArchive::TimeSpan() const {
 }
 
 std::string EventArchive::ContentsSummary() const {
-  std::map<std::string, std::uint64_t> merged;
+  // Keyed by the interned name's characters (stable for the process
+  // lifetime), so the summary stays alphabetical as before.
+  std::map<std::string_view, std::uint64_t> merged;
   auto fold = [&](const Segment& segment) {
-    for (const auto& [name, count] : segment.event_counts) {
-      merged[name] += count;
+    for (const auto& [sym, count] : segment.event_counts) {
+      merged[ulm::SymbolName(sym)] += count;
     }
   };
   for (const auto& stripe : stripes_) {
@@ -541,7 +627,8 @@ std::string EventArchive::ContentsSummary() const {
   std::string out;
   for (const auto& [event_name, count] : merged) {
     if (!out.empty()) out += ' ';
-    out += event_name + "(" + std::to_string(count) + ")";
+    out += event_name;
+    out += "(" + std::to_string(count) + ")";
   }
   return out;
 }

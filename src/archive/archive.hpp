@@ -37,6 +37,7 @@
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "ulm/flat.hpp"
 #include "ulm/record.hpp"
 
 namespace jamm::archive {
@@ -116,17 +117,24 @@ class EventArchive {
 
   /// Store (subject to sampling). Never fails on policy drops — a dropped
   /// event is policy, not an error. Thread-safe: concurrent callers land
-  /// on distinct lock stripes.
+  /// on distinct lock stripes. The view form is the flat hot path (ISSUE
+  /// 7): the keep decision is symbol compares and the kept record is one
+  /// arena copy; the legacy form converts on the way in.
+  void Ingest(const ulm::RecordView& view);
   void Ingest(const ulm::Record& rec);
 
-  /// Batched move form of Ingest — the archiver's production path, since
-  /// the gateway delivers events in batched frames (ISSUE 3) and the
-  /// decoded records are owned and disposable. One stripe-lock
-  /// acquisition covers the whole batch, which is spliced into the active
-  /// segment wholesale (no per-record moves). Sampling applies per record
-  /// exactly as in Ingest; `batch` is left empty. The segment seals after
-  /// the batch lands, so the record-count bound is "at least" here.
-  /// Thread-safe.
+  /// Batched ingest — the archiver's production path, since the gateway
+  /// delivers events in batched frames (ISSUE 3). One stripe-lock
+  /// acquisition covers the whole batch. The flat form splices the
+  /// batch's arena into the active segment in O(1) when sampling is off
+  /// (no per-record work at all); sampling applies per record in batch
+  /// order, with keep decisions drawn from the same per-stripe rng stream
+  /// as Ingest, so batched and record-at-a-time ingest of the same
+  /// records keep exactly the same ones. `batch` is left empty. The
+  /// segment seals after the batch lands, so the record-count bound is
+  /// "at least" here. Thread-safe.
+  void IngestBatch(ulm::FlatBatch&& batch);
+  /// Legacy batched form: per-record conversion into a flat chunk.
   void IngestBatch(std::vector<ulm::Record>&& batch);
 
   /// Seal every non-empty active segment now (flush before save/handoff);
@@ -220,6 +228,9 @@ class EventArchive {
   };
 
   static bool IsAbnormal(const ulm::Record& rec);
+  /// Symbol form — the flat ingest path's keep decision is four 4-byte
+  /// compares against the pre-interned abnormal level symbols.
+  static bool IsAbnormal(ulm::Symbol lvl);
 
   Stripe& StripeForThisThread() const;
   /// Move the stripe's active segment to the sealed list. Caller holds
@@ -227,14 +238,14 @@ class EventArchive {
   void SealLocked(Stripe& stripe);
   std::shared_ptr<Segment> NewSegment();
   /// Deterministic per-record sampling unit in [0, 1) for compaction.
-  double HashUnit(const ulm::Record& rec) const;
+  double HashUnit(const ulm::RecordView& view) const;
   /// Shared query walk: collect matching records from every covering
   /// segment, merged time-ordered. `covers`/`matches` close over the
-  /// query's predicates.
+  /// query's predicates; matching views are materialized into the result.
   std::vector<ulm::Record> Collect(
       TimePoint t0, TimePoint t1,
       const std::function<bool(const Segment&)>& covers,
-      const std::function<bool(const ulm::Record&)>& matches,
+      const std::function<bool(const ulm::RecordView&)>& matches,
       QueryStats* stats) const;
 
   std::string name_;

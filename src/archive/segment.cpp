@@ -3,7 +3,6 @@
 #include <array>
 
 #include "common/strings.hpp"
-#include "ulm/binary.hpp"
 
 namespace jamm::archive {
 
@@ -51,6 +50,10 @@ std::uint64_t Get64(std::string_view data, std::size_t at) {
   return v;
 }
 
+/// Arena reserve per expected record when pre-sizing a tail chunk; typical
+/// monitoring records carry a few short field values.
+constexpr std::size_t kValueBytesPerRecordHint = 64;
+
 }  // namespace
 
 std::uint32_t Crc32(std::string_view data) {
@@ -62,54 +65,88 @@ std::uint32_t Crc32(std::string_view data) {
   return crc ^ 0xFFFFFFFFu;
 }
 
-void Segment::IndexRecord(const ulm::Record& rec) {
+void Segment::IndexView(const ulm::RecordView& view) {
   if (record_count_ == 0) {
-    min_ts = max_ts = rec.timestamp();
+    min_ts = max_ts = view.timestamp();
   } else {
-    min_ts = std::min(min_ts, rec.timestamp());
-    max_ts = std::max(max_ts, rec.timestamp());
+    min_ts = std::min(min_ts, view.timestamp());
+    max_ts = std::max(max_ts, view.timestamp());
   }
-  if (rec.event_name().empty()) {
+  if (view.event_sym() == ulm::kEmptySymbol) {
     ++unnamed_count;
   } else {
     bool counted = false;
-    for (auto& [name, count] : event_counts) {
-      if (name == rec.event_name()) {
+    for (auto& [sym, count] : event_counts) {
+      if (sym == view.event_sym()) {
         ++count;
         counted = true;
         break;
       }
     }
-    if (!counted) event_counts.emplace_back(rec.event_name(), 1);
+    if (!counted) event_counts.emplace_back(view.event_sym(), 1);
   }
-  if (!ContainsHost(rec.host())) hosts.push_back(rec.host());
+  if (!ContainsHost(view.host_sym())) hosts.push_back(view.host_sym());
   ++record_count_;
 }
 
-void Segment::Append(const ulm::Record& rec) { Append(ulm::Record(rec)); }
-
-void Segment::Append(ulm::Record&& rec) {
-  IndexRecord(rec);
+ulm::FlatBatch& Segment::TailChunk() {
   if (!tail_open_ || chunks.empty()) {
     chunks.emplace_back();
-    if (append_reserve != 0) chunks.back().reserve(append_reserve);
+    if (append_reserve != 0) {
+      chunks.back().Reserve(append_reserve,
+                            append_reserve * kValueBytesPerRecordHint);
+    }
     tail_open_ = true;
   }
-  chunks.back().push_back(std::move(rec));
+  return chunks.back();
+}
+
+void Segment::Append(const ulm::RecordView& view) {
+  if (!TailChunk().Append(view)) {
+    tail_open_ = false;  // tail arena full (~4 GiB): rotate chunks
+    if (!TailChunk().Append(view)) return;  // single unstorable record
+  }
+  IndexView(view);
+}
+
+void Segment::Append(const ulm::Record& rec) {
+  ulm::FlatBatch* tail = &TailChunk();
+  if (!tail->Append(rec)) {
+    tail_open_ = false;  // tail arena full (~4 GiB): rotate chunks
+    tail = &TailChunk();
+    if (!tail->Append(rec)) return;  // single unstorable record
+  }
+  IndexView(tail->View(tail->size() - 1));
+}
+
+void Segment::AppendFlatFrame(ulm::FlatBatch&& batch) {
+  if (batch.empty()) return;
+  for (std::size_t i = 0; i < batch.size(); ++i) IndexView(batch.View(i));
+  chunks.push_back(std::move(batch));
+  tail_open_ = false;
 }
 
 void Segment::AppendFrame(std::vector<ulm::Record>&& frame) {
   if (frame.empty()) return;
-  for (const auto& rec : frame) IndexRecord(rec);
-  chunks.push_back(std::move(frame));
-  tail_open_ = false;
+  ulm::FlatBatch batch;
+  batch.Reserve(frame.size(), frame.size() * kValueBytesPerRecordHint);
+  for (const auto& rec : frame) {
+    if (!batch.Append(rec)) {
+      // Frame larger than one 4 GiB arena: splice what fits, keep going.
+      AppendFlatFrame(std::move(batch));
+      batch = ulm::FlatBatch();
+      if (!batch.Append(rec)) continue;  // single unstorable record
+    }
+  }
+  AppendFlatFrame(std::move(batch));
+  frame.clear();
 }
 
 bool Segment::MayContainEvent(const std::string& glob) const {
   if (glob.empty()) return !empty();
-  for (const auto& [name, count] : event_counts) {
+  for (const auto& [sym, count] : event_counts) {
     (void)count;
-    if (GlobMatch(glob, name)) return true;
+    if (GlobMatch(glob, ulm::SymbolName(sym))) return true;
   }
   // Globs like "*" match even the empty event name.
   return unnamed_count > 0 && GlobMatch(glob, "");
@@ -142,8 +179,8 @@ Result<std::uint32_t> ReadFileHeader(std::string_view data) {
 
 void AppendSegmentBlock(const Segment& segment, std::string& out) {
   std::string payload;
-  segment.ForEachRecord(
-      [&payload](const ulm::Record& rec) { ulm::EncodeBinary(rec, payload); });
+  segment.ForEachView(
+      [&payload](const ulm::RecordView& view) { view.EncodeBinary(payload); });
   const std::size_t start = out.size();
   Put32(out, kSegmentMagic);
   Put32(out, segment.tier);
@@ -176,14 +213,17 @@ BlockOutcome ReadSegmentBlock(std::string_view data, std::size_t* offset,
       data.substr(at + kSegmentHeaderBytes, payload_len);
   *offset = at + kSegmentHeaderBytes + payload_len;  // resynchronized
   if (Get32(data, at + 48) != Crc32(payload)) return BlockOutcome::kSkipped;
-  auto records = ulm::DecodeBinaryStream(payload);
-  if (!records.ok() || records->size() != Get64(data, at + 16)) {
+  // Decode straight into one flat chunk — no per-record Record
+  // materialization on the load path.
+  ulm::FlatBatch batch;
+  if (!batch.DecodeBinaryStreamInto(payload).ok() ||
+      batch.size() != Get64(data, at + 16)) {
     return BlockOutcome::kSkipped;
   }
   Segment segment;
   segment.id = Get64(data, at + 8);
   segment.tier = Get32(data, at + 4);
-  segment.AppendFrame(std::move(*records));
+  segment.AppendFlatFrame(std::move(batch));
   // The header's time bounds must agree with the payload's; a mismatch
   // means header and payload are from different writes.
   if (!segment.empty() &&

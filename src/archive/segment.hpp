@@ -8,6 +8,15 @@
 // min/max record timestamp, per-event-name counts, and the host set — so
 // a time/glob/host query touches only covering segments.
 //
+// ISSUE 7 moved segment storage onto the flat record core (ulm/flat.hpp):
+// records are held as FlatBatch chunks — one contiguous value arena and
+// one field vector per chunk, with event/host/prog/lvl as interned
+// symbols — so a stored record costs a dozen bytes of metadata plus its
+// value bytes instead of a heap string per field, and the per-record
+// index fold is 4-byte symbol compares instead of string compares.
+// Iteration hands out RecordViews; the wire format below is unchanged
+// (flat EncodeBinary is byte-identical to the legacy codec).
+//
 // Persistence is per-segment with a checksummed header (layout below), so
 // one corrupt segment is skipped on load instead of poisoning the whole
 // archive file.
@@ -22,6 +31,8 @@
 
 #include "common/clock.hpp"
 #include "common/status.hpp"
+#include "ulm/flat.hpp"
+#include "ulm/intern.hpp"
 #include "ulm/record.hpp"
 
 namespace jamm::archive {
@@ -40,40 +51,48 @@ struct Segment {
   TimePoint min_ts = 0;
   TimePoint max_ts = 0;
   /// Records in arrival order (roughly, but not strictly, time-ordered),
-  /// stored as the chunks they arrived in: AppendFrame splices a whole
-  /// owned batch in O(1) — no per-record moves, which is what makes the
-  /// batched ingest path cheap — while per-record Append grows a tail
-  /// chunk. Iteration order (chunk order, then in-chunk order) is exactly
+  /// stored as flat chunks: AppendFlatFrame splices a whole owned batch
+  /// in O(1) — no per-record copies, which is what makes the batched
+  /// ingest path cheap — while per-record Append grows a tail chunk's
+  /// arena. Iteration order (chunk order, then in-chunk order) is exactly
   /// arrival order, so persisted payload bytes do not depend on which
   /// path the records took.
-  std::vector<std::vector<ulm::Record>> chunks;
-  /// Capacity hint for tail chunks the per-record Append path creates.
+  std::vector<ulm::FlatBatch> chunks;
+  /// Record-count reserve hint for tail chunks the per-record Append path
+  /// creates.
   std::size_t append_reserve = 0;
-  /// NL.EVNT → count of records carrying it (the per-segment event index).
-  /// Flat and linearly scanned: a monitoring stream carries a handful of
-  /// distinct event names per segment, and the scan keeps the per-append
-  /// index update off the tree-allocation path Ingest is benchmarked on.
-  std::vector<std::pair<std::string, std::uint64_t>> event_counts;
+  /// NL.EVNT symbol → count of records carrying it (the per-segment event
+  /// index). Flat and linearly scanned: a monitoring stream carries a
+  /// handful of distinct event names per segment, and each per-append
+  /// index update is a few 4-byte compares.
+  std::vector<std::pair<ulm::Symbol, std::uint64_t>> event_counts;
   /// Records with an empty NL.EVNT (plain ULM without the extension).
   std::uint64_t unnamed_count = 0;
-  /// HOST values present (the per-segment host index), same flat layout.
-  std::vector<std::string> hosts;
+  /// HOST symbols present (the per-segment host index), same flat layout.
+  std::vector<ulm::Symbol> hosts;
 
+  /// Copy one record into the tail chunk (legacy form converts/interns).
+  void Append(const ulm::RecordView& view);
   void Append(const ulm::Record& rec);
-  /// Move form — the batched ingest path owns its records, so appending
-  /// costs string moves, not string copies.
-  void Append(ulm::Record&& rec);
-  /// Splice a whole owned batch in as one chunk: O(1) in the records
-  /// themselves, one index/min-max pass over them. Frame order becomes
+  /// Splice a whole owned flat batch in as one chunk: O(1) in the records
+  /// themselves, one index/min-max pass over them. Batch order becomes
   /// arrival order.
+  void AppendFlatFrame(ulm::FlatBatch&& batch);
+  /// Legacy batched form: converts the frame into one flat chunk.
   void AppendFrame(std::vector<ulm::Record>&& frame);
 
-  /// Visit every record in arrival order.
+  /// Visit every record in arrival order as a RecordView (no
+  /// materialization). The view is only valid inside the callback.
+  template <typename Fn>
+  void ForEachView(Fn&& fn) const {
+    for (const auto& chunk : chunks) {
+      for (std::size_t i = 0; i < chunk.size(); ++i) fn(chunk.View(i));
+    }
+  }
+  /// Legacy spelling: materializes a Record per visit — prefer ForEachView.
   template <typename Fn>
   void ForEachRecord(Fn&& fn) const {
-    for (const auto& chunk : chunks) {
-      for (const auto& rec : chunk) fn(rec);
-    }
+    ForEachView([&](const ulm::RecordView& view) { fn(view.ToRecord()); });
   }
 
   bool empty() const { return record_count_ == 0; }
@@ -85,11 +104,17 @@ struct Segment {
   }
   /// True if some record's event name could match `glob` ("" = all).
   bool MayContainEvent(const std::string& glob) const;
-  bool ContainsHost(const std::string& host) const {
-    for (const auto& h : hosts) {
+  bool ContainsHost(ulm::Symbol host) const {
+    for (ulm::Symbol h : hosts) {
       if (h == host) return true;
     }
     return false;
+  }
+  /// String form resolves without growing the symbol table: a host the
+  /// process has never interned cannot be in any segment.
+  bool ContainsHost(std::string_view host) const {
+    const auto sym = ulm::FindSymbol(host);
+    return sym && ContainsHost(*sym);
   }
 
   /// Record span in microseconds (0 for empty/single-timestamp segments).
@@ -97,12 +122,15 @@ struct Segment {
 
  private:
   /// Fold one record into min/max-time and the event/host indexes and
-  /// count it. Called exactly once per stored record, before storage.
-  void IndexRecord(const ulm::Record& rec);
+  /// count it. Called exactly once per stored record.
+  void IndexView(const ulm::RecordView& view);
+  /// The tail chunk the per-record Append path grows (opens one if the
+  /// last chunk is a sealed splice or its arena is full).
+  ulm::FlatBatch& TailChunk();
 
   std::size_t record_count_ = 0;
   /// Whether chunks.back() is a growable Append tail (false after an
-  /// AppendFrame splice — spliced chunks are never grown).
+  /// AppendFlatFrame splice — spliced chunks are never grown).
   bool tail_open_ = false;
 };
 

@@ -256,6 +256,15 @@ void RepublisherGateway::Publish(const ulm::Record& rec) {
   local_.Publish(rec);
 }
 
+void RepublisherGateway::PublishFlat(ulm::FlatRecord& rec) {
+  ++stats_.records_in;
+  ++stats_.republished;
+  FedCounters& counters = Counters();
+  counters.records_in.Increment();
+  counters.republished.Increment();
+  local_.PublishFlat(rec);
+}
+
 Result<std::string> RepublisherGateway::SubscribeEncoded(
     const std::string& consumer, gateway::FilterSpec spec,
     EncodedCallback callback, const std::string& principal) {

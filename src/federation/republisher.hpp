@@ -117,8 +117,11 @@ class RepublisherGateway : public gateway::GatewaySurface {
   const Clock& clock() const override { return local_.clock(); }
 
   /// Local injection — the republisher's own events (gw.overload from the
-  /// service fronting it, overview alerts) enter the fan-out here.
+  /// service fronting it, overview alerts) enter the fan-out here. The
+  /// flat form hands the record straight to the local gateway's flat
+  /// fan-out (no legacy materialization).
   void Publish(const ulm::Record& rec) override;
+  void PublishFlat(ulm::FlatRecord& rec) override;
 
   Result<std::string> SubscribeEncoded(
       const std::string& consumer, gateway::FilterSpec spec,

@@ -64,6 +64,26 @@ std::string FilterSpec::ToString() const {
   return out;
 }
 
+ulm::Symbol EventFilter::value_field_sym() {
+  if (!value_field_interned_) {
+    value_field_sym_ = ulm::InternSymbol(spec_.value_field);
+    value_field_interned_ = true;
+  }
+  return value_field_sym_;
+}
+
+bool EventFilter::GlobAllows(ulm::Symbol event_sym) {
+  if (spec_.event_glob.empty()) return true;
+  auto it = glob_by_event_.find(event_sym);
+  if (it != glob_by_event_.end()) return it->second;
+  // Distinct event names are few; the glob runs once per name, then every
+  // later record of that event costs one map probe on a 4-byte key.
+  const bool allowed =
+      GlobMatch(spec_.event_glob, ulm::SymbolName(event_sym));
+  glob_by_event_.emplace(event_sym, allowed);
+  return allowed;
+}
+
 bool EventFilter::ShouldDeliver(const ulm::Record& rec) {
   if (!spec_.event_glob.empty() &&
       !GlobMatch(spec_.event_glob, rec.event_name())) {
@@ -76,20 +96,39 @@ bool EventFilter::ShouldDeliver(const ulm::Record& rec) {
   auto value = rec.GetDouble(spec_.value_field);
   if (!value.ok()) return true;
 
-  const std::string key = rec.host() + "|" + rec.prog() + "|" + rec.event_name();
+  // Interned key so the legacy overload shares per-source state with the
+  // flat one (mixed publishes must see one filter history).
+  const SourceKey key = {ulm::InternSymbol(rec.host()),
+                         ulm::InternSymbol(rec.prog()),
+                         ulm::InternSymbol(rec.event_name())};
+  return Decide(key, *value);
+}
+
+bool EventFilter::ShouldDeliver(const ulm::RecordView& view) {
+  if (!GlobAllows(view.event_sym())) return false;
+  if (spec_.mode == FilterSpec::Mode::kAll) return true;
+
+  auto value = view.GetDouble(value_field_sym());
+  if (!value.ok()) return true;
+
+  const SourceKey key = {view.host_sym(), view.prog_sym(), view.event_sym()};
+  return Decide(key, *value);
+}
+
+bool EventFilter::Decide(const SourceKey& key, double value) {
   SourceState& state = sources_[key];
 
   switch (spec_.mode) {
     case FilterSpec::Mode::kAll:
       return true;
     case FilterSpec::Mode::kOnChange: {
-      const bool deliver = !state.has_last || *value != state.last_value;
+      const bool deliver = !state.has_last || value != state.last_value;
       state.has_last = true;
-      state.last_value = *value;
+      state.last_value = value;
       return deliver;
     }
     case FilterSpec::Mode::kThreshold: {
-      const bool above = *value > spec_.threshold;
+      const bool above = value > spec_.threshold;
       // Deliver on every crossing, plus the first sample if it is already
       // above ("send an event if CPU load becomes greater than 50%").
       const bool deliver = state.has_side ? (above != state.above) : above;
@@ -100,15 +139,15 @@ bool EventFilter::ShouldDeliver(const ulm::Record& rec) {
     case FilterSpec::Mode::kDeltaPercent: {
       if (!state.has_last) {
         state.has_last = true;
-        state.last_value = *value;
+        state.last_value = value;
         return true;
       }
       const double base = std::abs(state.last_value);
-      const double change = std::abs(*value - state.last_value);
+      const double change = std::abs(value - state.last_value);
       const double pct = base > 0 ? 100.0 * change / base
                                   : (change > 0 ? spec_.delta_percent : 0);
       if (pct >= spec_.delta_percent) {
-        state.last_value = *value;  // delta is relative to last *delivered*
+        state.last_value = value;  // delta is relative to last *delivered*
         return true;
       }
       return false;

@@ -14,10 +14,13 @@
 // source so one filter tracks many sensors.
 #pragma once
 
+#include <array>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "common/status.hpp"
+#include "ulm/flat.hpp"
 #include "ulm/record.hpp"
 
 namespace jamm::gateway {
@@ -48,8 +51,13 @@ class EventFilter {
   const FilterSpec& spec() const { return spec_; }
 
   /// True if this record should be delivered to the subscriber. Updates
-  /// internal per-source state.
+  /// internal per-source state. Both overloads share that state (per
+  /// host/prog/event symbols), so mixed legacy/flat publishes see one
+  /// consistent filter history.
   bool ShouldDeliver(const ulm::Record& rec);
+  /// Flat fast path: symbol compares and a cached per-event glob verdict
+  /// — no string concatenation, no allocation per record.
+  bool ShouldDeliver(const ulm::RecordView& view);
 
  private:
   struct SourceState {
@@ -60,8 +68,17 @@ class EventFilter {
     bool above = false;             // threshold side last seen
   };
 
+  using SourceKey = std::array<ulm::Symbol, 3>;  // host, prog, event
+
+  bool GlobAllows(ulm::Symbol event_sym);
+  bool Decide(const SourceKey& key, double value);
+  ulm::Symbol value_field_sym();
+
   FilterSpec spec_;
-  std::map<std::string, SourceState> sources_;  // key: host|prog|event
+  ulm::Symbol value_field_sym_ = ulm::kEmptySymbol;  // lazily interned
+  bool value_field_interned_ = false;
+  std::map<ulm::Symbol, bool> glob_by_event_;  // event symbol → glob verdict
+  std::map<SourceKey, SourceState> sources_;
 };
 
 }  // namespace jamm::gateway

@@ -43,29 +43,43 @@ EventGateway::EventGateway(std::string name, const Clock& clock)
     : name_(std::move(name)), clock_(clock) {}
 
 void EventGateway::Publish(const ulm::Record& rec) {
+  // One conversion into the reusable scratch, then the flat fan-out does
+  // everything. Re-entrant publishes (a callback publishing an alert back
+  // into this gateway) get a local record — the outer fan-out still holds
+  // views into the scratch arena.
+  if (fanout_depth_ == 0) {
+    publish_scratch_.AssignRecord(rec);
+    PublishFlat(publish_scratch_);
+  } else {
+    ulm::FlatRecord local = ulm::FlatRecord::FromRecord(rec);
+    PublishFlat(local);
+  }
+}
+
+void EventGateway::PublishFlat(ulm::FlatRecord& rec) {
   auto& tm = Instruments();
   ++stats_.events_in;
   tm.events_in.Increment();
 
-  // Traced records get this hop stamped; untraced records pass through
-  // untouched (no copy on the common path).
-  const ulm::Record* out = &rec;
-  ulm::Record stamped;
-  if (telemetry::HasTrace(rec)) {
-    stamped = rec;
-    telemetry::StampHop(stamped, "gateway", clock_.Now());
-    out = &stamped;
+  // Traced records get this hop stamped IN PLACE — the flat pipeline
+  // passes one record by reference, so tracing no longer forces a copy.
+  if (telemetry::HasTrace(rec.View())) {
+    telemetry::StampHop(rec, "gateway", clock_.Now());
+  }
+  const ulm::RecordView view = rec.View();
+
+  // Query caches: flat-record assignment reuses the destination's arena
+  // capacity, so steady-state publishes do not allocate here.
+  last_event_ = rec;
+  has_last_event_ = true;
+  if (view.event_sym() != ulm::kEmptySymbol) {
+    last_by_event_[view.event_sym()] = rec;
   }
 
-  last_event_ = *out;
-  if (!out->event_name().empty()) {
-    last_by_event_.insert_or_assign(out->event_name(), *out);
-  }
-
-  // Summaries.
-  if (auto it = summaries_.find(out->event_name()); it != summaries_.end()) {
-    auto value = out->GetDouble(summary_fields_[out->event_name()]);
-    if (value.ok()) it->second.Add(out->timestamp(), *value);
+  // Summaries (symbol-keyed: one 4-byte map probe per publish).
+  if (auto it = summaries_.find(view.event_sym()); it != summaries_.end()) {
+    auto value = view.GetDouble(summary_fields_[view.event_sym()]);
+    if (value.ok()) it->second.Add(view.timestamp(), *value);
   }
 
   // Fan-out with per-subscription filtering. The subscription vector is
@@ -82,17 +96,18 @@ void EventGateway::Publish(const ulm::Record& rec) {
   const bool sample_latency = (++fanout_sample_ & 7u) == 0;
   telemetry::ScopedTimer fanout_timer(sample_latency ? &tm.fanout_us
                                                      : nullptr);
-  // Encode-once fan-out (ISSUE 3): one EncodedRecord shared by every
-  // callback this publish, so N subscribers of one wire format cost one
-  // serialization, not N.
-  const ulm::EncodedRecord encoded(*out);
+  // Encode-once fan-out (ISSUE 3): one view-backed EncodedRecord shared
+  // by every callback this publish, so N subscribers of one wire format
+  // cost one (flat-transcoded) serialization, not N. Legacy callbacks
+  // that need a Record pay one materialization, cached alongside.
+  const ulm::EncodedRecord encoded(view);
   std::uint64_t delivered = 0, filtered = 0;
   ++fanout_depth_;
   const std::size_t n = subscriptions_.size();
   for (std::size_t s = 0; s < n; ++s) {
     Subscription& sub = *subscriptions_[s];
     if (!sub.active) continue;  // unsubscribed mid-fan-out
-    if (sub.filter.ShouldDeliver(*out)) {
+    if (sub.filter.ShouldDeliver(view)) {
       ++delivered;
       sub.callback(encoded);
     } else {
@@ -188,22 +203,25 @@ Result<ulm::Record> EventGateway::Query(const std::string& event_glob,
   JAMM_RETURN_IF_ERROR(CheckAccess(Action::kQuery, principal));
   Instruments().queries.Increment();
   if (event_glob.empty()) {
-    if (!last_event_) return Status::NotFound("gateway has seen no events");
-    return *last_event_;
+    if (!has_last_event_) return Status::NotFound("gateway has seen no events");
+    return last_event_.ToRecord();
   }
-  // Exact name fast path, then glob scan over the per-event latest map.
-  if (auto it = last_by_event_.find(event_glob); it != last_by_event_.end()) {
-    return it->second;
+  // Exact name fast path (Find, not Intern: query strings must not grow
+  // the symbol table), then glob scan over the per-event latest map.
+  if (auto sym = ulm::FindSymbol(event_glob)) {
+    if (auto it = last_by_event_.find(*sym); it != last_by_event_.end()) {
+      return it->second.ToRecord();
+    }
   }
-  const ulm::Record* best = nullptr;
-  for (const auto& [ev_name, rec] : last_by_event_) {
-    if (GlobMatch(event_glob, ev_name) &&
+  const ulm::FlatRecord* best = nullptr;
+  for (const auto& [ev_sym, rec] : last_by_event_) {
+    if (GlobMatch(event_glob, ulm::SymbolName(ev_sym)) &&
         (!best || rec.timestamp() > best->timestamp())) {
       best = &rec;
     }
   }
   if (!best) return Status::NotFound("no event matching '" + event_glob + "'");
-  return *best;
+  return best->ToRecord();
 }
 
 Result<std::string> EventGateway::QueryXml(const std::string& event_glob,
@@ -235,14 +253,17 @@ Status EventGateway::StopSensor(const std::string& sensor,
 
 void EventGateway::EnableSummary(const std::string& event_name,
                                  const std::string& value_field) {
-  summaries_[event_name];  // default-construct the window
-  summary_fields_[event_name] = value_field;
+  const ulm::Symbol ev = ulm::InternSymbol(event_name);
+  summaries_[ev];  // default-construct the window
+  summary_fields_[ev] = ulm::InternSymbol(value_field);
 }
 
 Result<SummaryData> EventGateway::GetSummary(
     const std::string& event_name, const std::string& principal) const {
   JAMM_RETURN_IF_ERROR(CheckAccess(Action::kSummary, principal));
-  auto it = summaries_.find(event_name);
+  auto sym = ulm::FindSymbol(event_name);
+  if (!sym) return Status::NotFound("no summary configured for " + event_name);
+  auto it = summaries_.find(*sym);
   if (it == summaries_.end()) {
     return Status::NotFound("no summary configured for " + event_name);
   }

@@ -27,6 +27,7 @@
 #include "gateway/filter.hpp"
 #include "gateway/summary.hpp"
 #include "ulm/encoded.hpp"
+#include "ulm/flat.hpp"
 #include "ulm/record.hpp"
 
 namespace jamm::gateway {
@@ -55,6 +56,14 @@ class GatewaySurface {
 
   /// Events enter the surface here; implementations fan them out.
   virtual void Publish(const ulm::Record& rec) = 0;
+
+  /// Flat-path entry (ISSUE 7): the record arrives by reference, is
+  /// stamped in place when traced, and fans out as a RecordView with zero
+  /// copies. Non-const because hop stamping mutates the record — which is
+  /// the point: the pipeline annotates one record instead of copying it
+  /// at every layer. Surfaces without a native flat path (federation
+  /// republishers) fall back to the legacy Publish via one conversion.
+  virtual void PublishFlat(ulm::FlatRecord& rec) { Publish(rec.ToRecord()); }
 
   virtual Result<std::string> SubscribeEncoded(
       const std::string& consumer, FilterSpec spec, EncodedCallback callback,
@@ -85,8 +94,11 @@ class EventGateway : public GatewaySurface {
   // ------------------------------------------------------- producer side
 
   /// Sensors' events enter here (the sensor manager pushes each poll's
-  /// output). One call per record regardless of consumer count.
+  /// output). One call per record regardless of consumer count. The
+  /// legacy overload converts into a reusable scratch FlatRecord and
+  /// forwards — there is ONE fan-out implementation, the flat one.
   void Publish(const ulm::Record& rec) override;
+  void PublishFlat(ulm::FlatRecord& rec) override;
 
   // ------------------------------------------------------- consumer side
 
@@ -191,10 +203,15 @@ class EventGateway : public GatewaySurface {
   /// once no fan-out is running.
   std::vector<std::shared_ptr<Subscription>> subscriptions_;
   std::map<std::string, std::shared_ptr<Subscription>> subs_by_id_;
-  std::map<std::string, SummaryWindow> summaries_;      // event name → window
-  std::map<std::string, std::string> summary_fields_;   // event name → field
-  std::optional<ulm::Record> last_event_;
-  std::map<std::string, ulm::Record> last_by_event_;    // event name → last
+  // Symbol-keyed caches (ISSUE 7): the per-publish writes are flat-record
+  // assignments that reuse capacity, so the query caches stop allocating
+  // on the hot path. Query materializes legacy Records on demand.
+  std::map<ulm::Symbol, SummaryWindow> summaries_;    // event sym → window
+  std::map<ulm::Symbol, ulm::Symbol> summary_fields_; // event sym → field sym
+  ulm::FlatRecord last_event_;
+  bool has_last_event_ = false;
+  std::map<ulm::Symbol, ulm::FlatRecord> last_by_event_;  // event sym → last
+  ulm::FlatRecord publish_scratch_;  // legacy Publish conversion buffer
   AccessChecker access_checker_;
   SensorControl sensor_control_;
   mutable Stats stats_;

@@ -283,14 +283,17 @@ void SensorManager::Tick() {
     Status polled = managed.sensor->Poll(events);
     ++stats_.polls;
     tm.polls.Increment();
-    // Events gathered before a failure are still forwarded.
+    // Events gathered before a failure are still forwarded. Each record
+    // is converted into the reusable flat scratch once; tracing stamps it
+    // in place and the gateway fans the same buffer out by reference.
     for (auto& rec : events) {
+      publish_scratch_.AssignRecord(rec);
       if (options_.trace_events) {
-        telemetry::EnsureTrace(rec);
-        telemetry::StampHop(rec, "sensor", rec.timestamp());
-        telemetry::StampHop(rec, "manager", now);
+        telemetry::EnsureTrace(publish_scratch_);
+        telemetry::StampHop(publish_scratch_, "sensor", rec.timestamp());
+        telemetry::StampHop(publish_scratch_, "manager", now);
       }
-      if (options_.gateway) options_.gateway->Publish(rec);
+      if (options_.gateway) options_.gateway->PublishFlat(publish_scratch_);
       ++stats_.events_forwarded;
       tm.events_forwarded.Increment();
     }

@@ -160,6 +160,10 @@ class SensorManager {
   std::string last_config_text_;
   TimePoint next_config_refresh_ = 0;
   TimePoint next_heartbeat_ = 0;
+  /// Reusable flat conversion buffer for the poll→publish loop (ISSUE 7):
+  /// each polled record is converted once, trace-stamped in place, and
+  /// handed to the gateway by reference — zero steady-state allocation.
+  ulm::FlatRecord publish_scratch_;
   Stats stats_;
 };
 

@@ -30,6 +30,20 @@ std::uint64_t NextTraceId() {
   return id ? id : 1;  // 0 means "no trace"
 }
 
+/// The three trace-context keys, interned once for the flat overloads.
+struct TraceSyms {
+  ulm::Symbol trace_id;
+  ulm::Symbol span_id;
+  ulm::Symbol parent_span_id;
+};
+
+const TraceSyms& Syms() {
+  static const TraceSyms s{ulm::InternSymbol(field::kTraceId),
+                           ulm::InternSymbol(field::kSpanId),
+                           ulm::InternSymbol(field::kParentSpanId)};
+  return s;
+}
+
 }  // namespace
 
 TraceContext TraceContext::NewRoot() {
@@ -85,6 +99,33 @@ void Inject(const TraceContext& ctx, ulm::Record& rec) {
   }
 }
 
+void Inject(const TraceContext& ctx, ulm::FlatRecord& rec) {
+  if (!ctx.valid()) return;
+  const TraceSyms& syms = Syms();
+  rec.SetField(syms.trace_id, IdToHex(ctx.trace_id));
+  rec.SetField(syms.span_id, IdToHex(ctx.span_id));
+  if (ctx.parent_span_id != 0) {
+    rec.SetField(syms.parent_span_id, IdToHex(ctx.parent_span_id));
+  }
+}
+
+std::optional<TraceContext> Extract(const ulm::RecordView& view) {
+  const TraceSyms& syms = Syms();
+  auto trace = view.GetField(syms.trace_id);
+  if (!trace) return std::nullopt;
+  auto trace_id = HexToId(*trace);
+  if (!trace_id || *trace_id == 0) return std::nullopt;
+  TraceContext ctx;
+  ctx.trace_id = *trace_id;
+  if (auto span = view.GetField(syms.span_id)) {
+    if (auto span_id = HexToId(*span)) ctx.span_id = *span_id;
+  }
+  if (auto parent = view.GetField(syms.parent_span_id)) {
+    if (auto parent_id = HexToId(*parent)) ctx.parent_span_id = *parent_id;
+  }
+  return ctx;
+}
+
 std::optional<TraceContext> Extract(const ulm::Record& rec) {
   auto trace = rec.GetField(field::kTraceId);
   if (!trace) return std::nullopt;
@@ -105,6 +146,10 @@ bool HasTrace(const ulm::Record& rec) {
   return rec.HasField(field::kTraceId);
 }
 
+bool HasTrace(const ulm::RecordView& view) {
+  return view.HasField(Syms().trace_id);
+}
+
 TraceContext EnsureTrace(ulm::Record& rec) {
   if (auto existing = Extract(rec)) return *existing;
   TraceContext ctx = TraceContext::NewRoot();
@@ -112,8 +157,20 @@ TraceContext EnsureTrace(ulm::Record& rec) {
   return ctx;
 }
 
+TraceContext EnsureTrace(ulm::FlatRecord& rec) {
+  if (auto existing = Extract(rec.View())) return *existing;
+  TraceContext ctx = TraceContext::NewRoot();
+  Inject(ctx, rec);
+  return ctx;
+}
+
 void StampHop(ulm::Record& rec, std::string_view hop, TimePoint ts) {
   rec.SetField(std::string(field::kHopPrefix) + ToUpper(hop), ts);
+}
+
+void StampHop(ulm::FlatRecord& rec, std::string_view hop, TimePoint ts) {
+  rec.SetField(ulm::InternSymbol(std::string(field::kHopPrefix) + ToUpper(hop)),
+               ts);
 }
 
 std::vector<Hop> Hops(const ulm::Record& rec) {

@@ -21,6 +21,7 @@
 
 #include "common/clock.hpp"
 #include "telemetry/metrics.hpp"
+#include "ulm/flat.hpp"
 #include "ulm/record.hpp"
 
 namespace jamm::telemetry {
@@ -53,19 +54,28 @@ std::optional<std::uint64_t> HexToId(std::string_view hex);
 
 /// Write TRACE.ID/SPAN.ID (and SPAN.PARENT when set) into the record.
 void Inject(const TraceContext& ctx, ulm::Record& rec);
+void Inject(const TraceContext& ctx, ulm::FlatRecord& rec);
 
 /// Read the context back; nullopt when the record carries no trace.
 std::optional<TraceContext> Extract(const ulm::Record& rec);
+std::optional<TraceContext> Extract(const ulm::RecordView& view);
 
 bool HasTrace(const ulm::Record& rec);
+/// Flat-path variant: one interned-symbol field scan, no allocation.
+bool HasTrace(const ulm::RecordView& view);
 
 /// Extract, or mint-and-inject a new root when absent. The entry point of
 /// the pipeline (the sensor manager) calls this on every outbound record.
 TraceContext EnsureTrace(ulm::Record& rec);
+TraceContext EnsureTrace(ulm::FlatRecord& rec);
 
 /// Stamp a per-hop timestamp: HOP.<NAME> = ts (µs since epoch). `hop` is
 /// uppercased; restamping the same hop overwrites.
 void StampHop(ulm::Record& rec, std::string_view hop, TimePoint ts);
+/// Flat-path variant: stamps in place (the flat pipeline passes records
+/// by reference, so hops never force a copy). The HOP.<NAME> key interns
+/// once per distinct hop name.
+void StampHop(ulm::FlatRecord& rec, std::string_view hop, TimePoint ts);
 
 struct Hop {
   std::string name;  // uppercased, without the HOP. prefix

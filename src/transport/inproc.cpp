@@ -1,5 +1,7 @@
 #include "transport/inproc.hpp"
 
+#include "transport/ring.hpp"
+
 namespace jamm::transport {
 namespace {
 
@@ -51,7 +53,14 @@ class InProcChannel final : public Channel {
     in_->queue.Close();
   }
 
-  bool IsOpen() const override { return !out_->queue.closed(); }
+  void CloseSend() override { out_->queue.Close(); }
+
+  bool IsOpen() const override {
+    // Both directions: after a peer-initiated close the INBOUND side is
+    // what's closed first — checking only our outbound queue reported
+    // IsOpen()==true while Receive was already failing Unavailable.
+    return !out_->queue.closed() && !in_->queue.closed();
+  }
 
   std::string peer() const override { return peer_; }
 
@@ -127,7 +136,10 @@ Result<std::unique_ptr<Channel>> InProcNetwork::Dial(const std::string& name) {
     }
     pending = it->second.pending;
   }
-  auto [client, server] = MakeChannelPair(name);
+  auto [client, server] =
+      opts_.ring_channels
+          ? MakeRingChannelPair(name, opts_.channel_capacity)
+          : MakeChannelPair(name, opts_.channel_capacity);
   if (!pending->TryPush(std::move(server))) {
     return Status::Unavailable("listener backlog full or closed: " + name);
   }

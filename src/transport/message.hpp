@@ -65,6 +65,16 @@ class Channel {
   virtual std::optional<Message> TryReceive() = 0;
 
   virtual void Close() = 0;
+
+  /// Half-close: stop sending but keep receiving what the peer already
+  /// sent (like shutdown(SHUT_WR)). The peer observes our direction
+  /// closed; our inbound side drains normally. Transports without
+  /// per-direction state fall back to a full Close.
+  virtual void CloseSend() { Close(); }
+
+  /// True only while BOTH directions are usable: a channel whose peer
+  /// has closed (inbound drained-or-draining, sends doomed) is not open,
+  /// even if our own outbound queue still accepts writes.
   virtual bool IsOpen() const = 0;
 
   /// Diagnostic peer name ("inproc:gateway-a", "127.0.0.1:4823").

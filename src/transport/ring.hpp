@@ -1,0 +1,36 @@
+// Lock-free MPSC ring-buffer channel (ISSUE 7). The mutex+condvar
+// BoundedQueue behind MakeChannelPair costs a lock acquisition per
+// message in BOTH directions of every in-proc hop — sensor → manager →
+// gateway pipelines take three of them per event. A ring channel pair
+// replaces each direction with a bounded Vyukov-style ring:
+//
+//   * producers claim slots with one CAS on the enqueue cursor (multi-
+//     producer safe, so many sensor threads can share one channel);
+//   * the single consumer pops with plain loads/stores — no CAS, no
+//     lock, no syscall on the fast path (per-slot sequence numbers
+//     provide the release/acquire hand-off);
+//   * blocking Send/Receive degrade gracefully: spin, then yield, then
+//     microsleep, so an idle consumer does not burn a core.
+//
+// Contract differences from MakeChannelPair: each END's Receive/
+// TryReceive must be called from one thread at a time (single-consumer —
+// exactly how every component in jamm drives a Channel), and capacity is
+// rounded up to a power of two. Everything else — Close/CloseSend/
+// IsOpen/drain-after-close semantics — matches the inproc channel.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "transport/message.hpp"
+
+namespace jamm::transport {
+
+/// A connected pair of ring-backed channels; what one sends the other
+/// receives. `capacity` is per direction, rounded up to a power of two.
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+MakeRingChannelPair(const std::string& name = "ring",
+                    std::size_t capacity = 4096);
+
+}  // namespace jamm::transport

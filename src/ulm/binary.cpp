@@ -1,10 +1,7 @@
 #include "ulm/binary.hpp"
 
 namespace jamm::ulm {
-namespace {
-
-constexpr std::uint16_t kMagic = 0x554C;
-constexpr std::uint8_t kVersion = 1;
+namespace detail {
 
 void PutVarint(std::string& out, std::uint64_t v) {
   while (v >= 0x80) {
@@ -31,7 +28,8 @@ void PutString(std::string& out, std::string_view s) {
   out.append(s);
 }
 
-bool GetString(std::string_view data, std::size_t& i, std::string& s) {
+bool GetStringView(std::string_view data, std::size_t& i,
+                   std::string_view& s) {
   std::uint64_t len;
   if (!GetVarint(data, i, len)) return false;
   // NOT `i + len > data.size()`: a hostile varint length near SIZE_MAX
@@ -40,8 +38,27 @@ bool GetString(std::string_view data, std::size_t& i, std::string& s) {
   // is an infinite loop re-reading the same bytes. GetVarint leaves
   // i <= data.size(), so the subtraction cannot underflow.
   if (len > data.size() - i) return false;
-  s.assign(data.substr(i, static_cast<std::size_t>(len)));
+  s = data.substr(i, static_cast<std::size_t>(len));
   i += static_cast<std::size_t>(len);
+  return true;
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::uint16_t kMagic = 0x554C;
+constexpr std::uint8_t kVersion = 1;
+
+using detail::GetStringView;
+using detail::GetVarint;
+using detail::PutString;
+using detail::PutVarint;
+
+bool GetString(std::string_view data, std::size_t& i, std::string& s) {
+  std::string_view v;
+  if (!GetStringView(data, i, v)) return false;
+  s.assign(v);
   return true;
 }
 

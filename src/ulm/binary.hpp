@@ -32,4 +32,14 @@ Result<Record> DecodeBinary(std::string_view data, std::size_t* offset);
 /// Decode a whole concatenated stream.
 Result<std::vector<Record>> DecodeBinaryStream(std::string_view data);
 
+namespace detail {
+/// Wire primitives shared with the flat transcoder (ulm/flat.cpp) so both
+/// codecs emit byte-identical streams. GetStringView returns a view into
+/// `data` — valid only while the buffer lives.
+void PutVarint(std::string& out, std::uint64_t v);
+bool GetVarint(std::string_view data, std::size_t& i, std::uint64_t& v);
+void PutString(std::string& out, std::string_view s);
+bool GetStringView(std::string_view data, std::size_t& i, std::string_view& s);
+}  // namespace detail
+
 }  // namespace jamm::ulm

@@ -1,0 +1,208 @@
+#include "ulm/intern.hpp"
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace jamm::ulm {
+
+namespace {
+
+// Id → name lookup is a two-level array so Name() never takes a lock:
+// fixed-size blocks are allocated under the writer lock and published
+// with a release store; readers index with acquire loads. Entries for
+// ids < size_ are written before size_ is advanced, so any id a reader
+// legitimately holds (handed out by Intern after the advance) names a
+// fully published entry.
+constexpr std::size_t kBlockBits = 12;  // 4096 entries per block
+constexpr std::size_t kBlockSize = std::size_t{1} << kBlockBits;
+constexpr std::size_t kMaxBlocks = 1 << 14;  // 67M symbols — a backstop
+
+constexpr std::size_t kShards = 16;
+
+std::size_t ShardOf(std::size_t hash) { return hash & (kShards - 1); }
+
+// Lock-free read path: each shard carries a fixed open-addressing probe
+// array of (hash32, symbol) entries, published with release stores after
+// the symbol's name is readable through the lock-free Name() path. The
+// steady state of a monitoring stream — every event name, host, and field
+// key already interned — then resolves with a handful of atomic loads and
+// one string compare, no lock. Strings that fall out of the probe array
+// (capacity exhausted, long probe chains) still resolve through the
+// mutex-protected shard map; the array is an accelerator, not the truth.
+constexpr std::size_t kProbeSlots = 8192;  // per shard; 16 shards → 1 MiB
+constexpr std::size_t kMaxProbe = 16;
+
+std::uint32_t HashTag(std::size_t hash) {
+  // A second mix of the hash, so the tag disagrees with the slot index
+  // bits and false tag matches are rare (and caught by the compare).
+  return static_cast<std::uint32_t>((hash * 0x9E3779B97F4A7C15ull) >> 32) | 1u;
+}
+
+}  // namespace
+
+struct SymbolTable::Impl {
+  using Block = std::array<std::string_view, kBlockSize>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    // Keys are views into `storage` strings, which never move.
+    std::unordered_map<std::string_view, Symbol> map;
+    // Packed (HashTag << 32 | symbol + 1); 0 = empty. Append-only.
+    std::array<std::atomic<std::uint64_t>, kProbeSlots> probe{};
+  };
+
+  std::array<Shard, kShards> shards;
+
+  // Writer state, serialized by grow_mu: id assignment and the backing
+  // byte storage. deque never relocates elements, so views stay valid.
+  std::mutex grow_mu;
+  std::deque<std::string> storage;
+
+  std::array<std::atomic<Block*>, kMaxBlocks> blocks{};
+  std::atomic<std::uint32_t> count{0};
+
+  ~Impl() {
+    for (auto& slot : blocks) delete slot.load(std::memory_order_relaxed);
+  }
+
+  std::string_view Entry(Symbol id) const {
+    const Block* block =
+        blocks[id >> kBlockBits].load(std::memory_order_acquire);
+    assert(block != nullptr && "symbol id from a different table?");
+    return (*block)[id & (kBlockSize - 1)];
+  }
+
+  // Lock-free lookup in the shard's probe array. A hit is verified by
+  // comparing the interned name, so a HashTag collision can never return
+  // the wrong symbol. Returns nullopt on miss (which includes "interned
+  // but evicted from the probe array" — callers fall back to the map).
+  std::optional<Symbol> ProbeFind(const Shard& shard, std::size_t hash,
+                                  std::string_view s) const {
+    const std::uint64_t tag = HashTag(hash);
+    std::size_t idx = (hash >> 4) & (kProbeSlots - 1);
+    for (std::size_t i = 0; i < kMaxProbe; ++i) {
+      const std::uint64_t e =
+          shard.probe[idx].load(std::memory_order_acquire);
+      if (e == 0) return std::nullopt;  // chain ends: never inserted
+      if ((e >> 32) == tag) {
+        const Symbol id = static_cast<Symbol>(e & 0xFFFFFFFFu) - 1;
+        if (Entry(id) == s) return id;
+      }
+      idx = (idx + 1) & (kProbeSlots - 1);
+    }
+    return std::nullopt;
+  }
+
+  // Publish (hash, id) into the probe array. Runs under grow_mu, so
+  // writers don't race each other; plain CAS guards against nothing more
+  // than the ordering the memory model demands for readers. If the probe
+  // window is full the entry is simply not cached — the shard map still
+  // has it.
+  void ProbeInsert(Shard& shard, std::size_t hash, Symbol id) {
+    const std::uint64_t entry =
+        (static_cast<std::uint64_t>(HashTag(hash)) << 32) |
+        (static_cast<std::uint64_t>(id) + 1);
+    std::size_t idx = (hash >> 4) & (kProbeSlots - 1);
+    for (std::size_t i = 0; i < kMaxProbe; ++i) {
+      std::uint64_t expected = 0;
+      if (shard.probe[idx].compare_exchange_strong(
+              expected, entry, std::memory_order_release,
+              std::memory_order_relaxed)) {
+        return;
+      }
+      idx = (idx + 1) & (kProbeSlots - 1);
+    }
+  }
+};
+
+SymbolTable::SymbolTable() : impl_(new Impl) {
+  // Symbol 0 is the empty string by construction, everywhere.
+  const Symbol empty = Intern("");
+  (void)empty;
+  assert(empty == kEmptySymbol);
+}
+
+SymbolTable::~SymbolTable() { delete impl_; }
+
+Symbol SymbolTable::Intern(std::string_view s) {
+  const std::size_t hash = std::hash<std::string_view>{}(s);
+  Impl::Shard& shard = impl_->shards[ShardOf(hash)];
+  // Hot path: already interned and still in the probe window — no lock.
+  // This is the steady state of a monitoring stream, where every field
+  // key, host, and event name repeats millions of times.
+  if (auto hit = impl_->ProbeFind(shard, hash, s)) return *hit;
+  {
+    std::lock_guard lock(shard.mu);
+    auto it = shard.map.find(s);
+    if (it != shard.map.end()) return it->second;
+  }
+  // Miss: assign the id and publish the name under the writer lock, then
+  // insert into the shard map. Another thread may have raced the same
+  // string in — re-check under the shard lock and keep the winner (the
+  // loser's arena copy is wasted bytes, not a correctness problem).
+  std::lock_guard grow(impl_->grow_mu);
+  {
+    std::lock_guard lock(shard.mu);
+    auto it = shard.map.find(s);
+    if (it != shard.map.end()) return it->second;
+  }
+  const Symbol id = impl_->count.load(std::memory_order_relaxed);
+  if ((id >> kBlockBits) >= kMaxBlocks) {
+    assert(false && "symbol table exhausted");
+    return kEmptySymbol;
+  }
+  impl_->storage.emplace_back(s);
+  const std::string_view stable = impl_->storage.back();
+  auto& slot = impl_->blocks[id >> kBlockBits];
+  Impl::Block* block = slot.load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new Impl::Block{};
+    slot.store(block, std::memory_order_release);
+  }
+  (*block)[id & (kBlockSize - 1)] = stable;
+  impl_->count.store(id + 1, std::memory_order_release);
+  {
+    std::lock_guard lock(shard.mu);
+    shard.map.emplace(stable, id);
+  }
+  // Cache in the lock-free probe array last, so any reader that sees the
+  // probe entry can already resolve the name through Entry().
+  impl_->ProbeInsert(shard, hash, id);
+  return id;
+}
+
+std::optional<Symbol> SymbolTable::Find(std::string_view s) const {
+  const std::size_t hash = std::hash<std::string_view>{}(s);
+  const Impl::Shard& shard = impl_->shards[ShardOf(hash)];
+  if (auto hit = impl_->ProbeFind(shard, hash, s)) return hit;
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(s);
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view SymbolTable::Name(Symbol id) const {
+  // The acquire load pairs with Intern's release store: every entry with
+  // an id below `n` is fully published before this thread reads it.
+  const std::uint32_t n = impl_->count.load(std::memory_order_acquire);
+  (void)n;
+  assert(id < n);
+  return impl_->Entry(id);
+}
+
+std::size_t SymbolTable::size() const {
+  return impl_->count.load(std::memory_order_acquire);
+}
+
+SymbolTable& Symbols() {
+  // Leaked intentionally: interned views must outlive every static
+  // consumer, and the table is process-lifetime by contract.
+  static SymbolTable* table = new SymbolTable;
+  return *table;
+}
+
+}  // namespace jamm::ulm

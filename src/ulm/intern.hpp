@@ -1,0 +1,75 @@
+// Process-wide string interning for the flat ULM record core (ISSUE 7).
+//
+// Monitoring streams repeat the same small strings millions of times —
+// event names, hosts, program names, levels, field keys — and the legacy
+// string-keyed Record paid hashing, small-string churn, and compares for
+// every one on every hop. A SymbolTable maps each distinct string to a
+// dense 32-bit Symbol once; after that, every hop compares and copies
+// 4-byte ids.
+//
+// Lifetime: interned strings live for the lifetime of the table (for the
+// global table, the process). The id space is append-only — symbols are
+// never recycled — so a Symbol, and the string_view Name() returns for
+// it, remain valid forever. That is what lets RecordView alias interned
+// names with no reference counting (DESIGN.md §15).
+//
+// Thread safety: Intern/Find take a short per-shard lock; Name() is
+// lock-free (ids are published with release/acquire ordering), so the
+// read side — the hot fan-out and ingest paths — never blocks.
+//
+// Growth: the table grows with the set of DISTINCT strings, which is
+// small and bounded for production sensor traffic. Do not intern
+// unbounded attacker-controlled values (record field VALUES are never
+// interned — only keys and the low-cardinality required fields).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace jamm::ulm {
+
+/// Dense id for an interned string. Symbol 0 is always the empty string.
+using Symbol = std::uint32_t;
+inline constexpr Symbol kEmptySymbol = 0;
+
+class SymbolTable {
+ public:
+  SymbolTable();
+  ~SymbolTable();
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Insert-or-find. Interning the same bytes always yields the same id.
+  Symbol Intern(std::string_view s);
+
+  /// Find without inserting — for query-side lookups that must not grow
+  /// the table (an unknown string can match nothing, so callers treat
+  /// nullopt as "matches no record").
+  std::optional<Symbol> Find(std::string_view s) const;
+
+  /// The interned bytes for `id`. Lock-free; the view is valid for the
+  /// table's lifetime. `id` must have been returned by Intern on this
+  /// table.
+  std::string_view Name(Symbol id) const;
+
+  /// Distinct strings interned so far.
+  std::size_t size() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-wide table every FlatRecord/FlatBatch uses.
+SymbolTable& Symbols();
+
+/// Shorthands against the global table.
+inline Symbol InternSymbol(std::string_view s) { return Symbols().Intern(s); }
+inline std::string_view SymbolName(Symbol id) { return Symbols().Name(id); }
+inline std::optional<Symbol> FindSymbol(std::string_view s) {
+  return Symbols().Find(s);
+}
+
+}  // namespace jamm::ulm

@@ -33,20 +33,19 @@ void AppendValue(std::string& out, std::string_view value) {
   out += '"';
 }
 
-void AppendPair(std::string& out, std::string_view key, std::string_view value) {
-  if (!out.empty()) out += ' ';
-  out += key;
-  out += '=';
-  AppendValue(out, value);
-}
-
 // Scans one field=value token starting at `i`; advances `i` past it.
 Status ScanPair(std::string_view line, std::size_t& i, std::string& key,
                 std::string& value) {
   while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
   if (i >= line.size()) return Status::NotFound("end of line");
   const std::size_t key_start = i;
-  while (i < line.size() && line[i] != '=' && line[i] != ' ') ++i;
+  // Tab delimits a key exactly like space does — the value scan below
+  // already stopped at tabs, and Validate rejects tabs in field names, so
+  // the tokenizer and the validator agree on what a key can contain.
+  while (i < line.size() && line[i] != '=' && line[i] != ' ' &&
+         line[i] != '\t') {
+    ++i;
+  }
   if (i >= line.size() || line[i] != '=') {
     return Status::ParseError("expected '=' after field name near offset " +
                               std::to_string(key_start));
@@ -86,6 +85,39 @@ Status ScanPair(std::string_view line, std::size_t& i, std::string& key,
 
 }  // namespace
 
+namespace detail {
+
+void AppendUlmPair(std::string& out, std::string_view key,
+                   std::string_view value) {
+  if (!out.empty()) out += ' ';
+  out += key;
+  out += '=';
+  AppendValue(out, value);
+}
+
+void AppendUlmDouble(std::string& out, double value) {
+  // %.6f expands huge magnitudes in fixed notation (1e300 needs ~308
+  // digits), so the buffer must grow on demand — a fixed 32-byte buffer
+  // silently truncated anything >= ~1e26 and the record round-tripped as
+  // a different number.
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "%.6f", value);
+  if (n < 0) return;
+  if (static_cast<std::size_t>(n) < sizeof(buf)) {
+    out.append(buf, static_cast<std::size_t>(n));
+    return;
+  }
+  const std::size_t old = out.size();
+  out.resize(old + static_cast<std::size_t>(n) + 1);
+  std::snprintf(out.data() + old, static_cast<std::size_t>(n) + 1, "%.6f",
+                value);
+  out.resize(old + static_cast<std::size_t>(n));
+}
+
+}  // namespace detail
+
+using detail::AppendUlmPair;
+
 Record::Record(TimePoint timestamp, std::string host, std::string prog,
                std::string lvl, std::string event_name)
     : timestamp_(timestamp),
@@ -117,18 +149,18 @@ void Record::SetField(std::string_view key, std::int64_t value) {
 }
 
 void Record::SetField(std::string_view key, double value) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6f", value);
-  SetField(key, std::string_view(buf));
+  std::string formatted;
+  detail::AppendUlmDouble(formatted, value);
+  SetField(key, std::string_view(formatted));
 }
 
 std::optional<std::string> Record::GetField(std::string_view key) const {
   if (key == field::kHost) return host_;
   if (key == field::kProg) return prog_;
   if (key == field::kLevel) return lvl_;
-  if (key == field::kEvent) return event_name_.empty()
-                                       ? std::optional<std::string>{}
-                                       : std::optional<std::string>{event_name_};
+  // NL.EVNT follows the same present-and-empty contract as the other
+  // core fields (see record.hpp); emptiness only affects serialization.
+  if (key == field::kEvent) return event_name_;
   for (const auto& [k, v] : fields_) {
     if (k == key) return v;
   }
@@ -153,12 +185,12 @@ bool Record::HasField(std::string_view key) const {
 
 std::string Record::ToAscii() const {
   std::string out;
-  AppendPair(out, field::kDate, FormatUlmDate(timestamp_));
-  AppendPair(out, field::kHost, host_);
-  AppendPair(out, field::kProg, prog_);
-  AppendPair(out, field::kLevel, lvl_);
-  if (!event_name_.empty()) AppendPair(out, field::kEvent, event_name_);
-  for (const auto& [k, v] : fields_) AppendPair(out, k, v);
+  AppendUlmPair(out, field::kDate, FormatUlmDate(timestamp_));
+  AppendUlmPair(out, field::kHost, host_);
+  AppendUlmPair(out, field::kProg, prog_);
+  AppendUlmPair(out, field::kLevel, lvl_);
+  if (!event_name_.empty()) AppendUlmPair(out, field::kEvent, event_name_);
+  for (const auto& [k, v] : fields_) AppendUlmPair(out, k, v);
   return out;
 }
 
@@ -209,7 +241,9 @@ Status Record::Validate() const {
     (void)v;
     if (k.empty()) return Status::InvalidArgument("ULM record: empty field name");
     for (char c : k) {
-      if (c == ' ' || c == '=' || c == '"') {
+      // Tab and newline would desync the ASCII tokenizer (keys are never
+      // quoted), so they are as illegal in a field name as space/'='/'"'.
+      if (c == ' ' || c == '=' || c == '"' || c == '\t' || c == '\n') {
         return Status::InvalidArgument("ULM record: bad char in field name '" +
                                        k + "'");
       }

@@ -83,7 +83,16 @@ class Record {
     fields_.emplace_back(std::move(key), std::move(value));
   }
 
-  /// User-field lookup; nullopt when absent.
+  /// Field lookup; nullopt when absent.
+  ///
+  /// Core-field contract (uniform across HOST/PROG/LVL/NL.EVNT): these
+  /// four are members of every Record, so GetField always returns their
+  /// current value — possibly the empty string — and HasField is always
+  /// true for them. Emptiness is not absence: an empty NL.EVNT means "no
+  /// NetLogger event-name extension" for serialization (ToAscii omits
+  /// it), but the field still reads as present-and-empty, exactly like
+  /// an empty HOST/PROG/LVL. DATE is not surfaced through GetField; use
+  /// timestamp().
   std::optional<std::string> GetField(std::string_view key) const;
   Result<std::int64_t> GetInt(std::string_view key) const;
   Result<double> GetDouble(std::string_view key) const;
@@ -119,5 +128,17 @@ class Record {
 /// Parse a whole log (one record per line; blank lines skipped). Returns
 /// records parsed so far plus the first error, if any, via `error`.
 std::vector<Record> ParseLog(std::string_view text, Status* error = nullptr);
+
+namespace detail {
+/// Append " key=value" (no leading space when `out` is empty) using the
+/// ULM quoting rules. Shared by Record::ToAscii and the flat transcoder
+/// so both emit byte-identical lines.
+void AppendUlmPair(std::string& out, std::string_view key,
+                   std::string_view value);
+/// Append the canonical ULM decimal form of `value` (%.6f, grown on
+/// demand so huge magnitudes are never truncated). Shared by
+/// Record::SetField(double) and FlatRecord::SetField(double).
+void AppendUlmDouble(std::string& out, double value);
+}  // namespace detail
 
 }  // namespace jamm::ulm

@@ -27,6 +27,7 @@
 #include "netsim/tcp.hpp"
 #include "ntp/ntp.hpp"
 #include "ulm/binary.hpp"
+#include "ulm/flat.hpp"
 #include "ulm/record.hpp"
 #include "ulm/xml.hpp"
 
@@ -135,6 +136,57 @@ TEST_P(UlmRoundTrip, BatchEncodeDecodeIsIdentity) {
     auto decoded = ulm::DecodeBinaryStream(wire);
     ASSERT_TRUE(decoded.ok());
     EXPECT_EQ(*decoded, batch);
+  }
+}
+
+// ISSUE 7: the flat core's codecs are TRANSCODERS — a RecordView must
+// serialize byte-identically to the equivalent legacy Record in every
+// wire format, whichever way the flat record was built (converted from a
+// Record or parsed from ASCII). This is the invariant that lets flat and
+// legacy components interoperate on the wire indefinitely.
+TEST_P(UlmRoundTrip, FlatTranscodersAreByteIdenticalToLegacy) {
+  Rng rng(0xBEEF03 ^ static_cast<std::uint64_t>(GetParam().field_count));
+  for (int trial = 0; trial < 100; ++trial) {
+    const ulm::Record rec = RandomRecord(rng, GetParam());
+
+    // Built by conversion.
+    const ulm::FlatRecord flat = ulm::FlatRecord::FromRecord(rec);
+    const ulm::RecordView view = flat.View();
+    EXPECT_EQ(view.ToAscii(), rec.ToAscii());
+    EXPECT_EQ(ulm::EncodeBinary(view), ulm::EncodeBinary(rec));
+    EXPECT_EQ(view.ToXml(), ulm::ToXml(rec));
+    EXPECT_EQ(view.ToRecord(), rec);
+
+    // Built by the flat ASCII parser.
+    auto parsed = ulm::FlatRecord::FromAscii(rec.ToAscii());
+    ASSERT_TRUE(parsed.ok()) << rec.ToAscii();
+    EXPECT_EQ(parsed->View().ToAscii(), rec.ToAscii());
+    EXPECT_EQ(ulm::EncodeBinary(parsed->View()), ulm::EncodeBinary(rec));
+  }
+}
+
+// The batched flat decoder and the legacy stream decoder must agree on
+// every stream: same records, in order, and re-encoding each decoded view
+// reproduces the wire bytes exactly.
+TEST_P(UlmRoundTrip, FlatBatchDecodeMatchesLegacyStreamDecode) {
+  Rng rng(0xBEEF04 ^ static_cast<std::uint64_t>(GetParam().field_count));
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.Uniform(0, 40));
+    std::string wire;
+    for (int i = 0; i < n; ++i) {
+      ulm::EncodeBinary(RandomRecord(rng, GetParam()), wire);
+    }
+    auto legacy = ulm::DecodeBinaryStream(wire);
+    ASSERT_TRUE(legacy.ok());
+    ulm::FlatBatch batch;
+    ASSERT_TRUE(batch.DecodeBinaryStreamInto(wire).ok());
+    ASSERT_EQ(batch.size(), legacy->size());
+    std::string reencoded;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch.View(i).ToRecord(), (*legacy)[i]);
+      batch.View(i).EncodeBinary(reencoded);
+    }
+    EXPECT_EQ(reencoded, wire);
   }
 }
 

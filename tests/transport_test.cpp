@@ -3,13 +3,16 @@
 // NetLogger-over-transport sink in both ASCII and binary encodings.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "netlogger/logger.hpp"
 #include "transport/inproc.hpp"
 #include "transport/message.hpp"
 #include "transport/net_sink.hpp"
+#include "transport/ring.hpp"
 #include "transport/tcp.hpp"
 
 namespace jamm::transport {
@@ -182,6 +185,137 @@ TEST(InProcTest, AcceptTimesOutWithoutDial) {
   auto chan = (*listener)->Accept(5 * kMillisecond);
   ASSERT_FALSE(chan.ok());
   EXPECT_EQ(chan.status().code(), StatusCode::kTimeout);
+}
+
+TEST(InProcTest, CloseSendHalfClosesAndPeerIsOpenSeesIt) {
+  // S4 regression (ISSUE 7): IsOpen() used to inspect only the outbound
+  // queue, so a channel whose INBOUND side was gone still claimed to be
+  // open. CloseSend() makes the broken case deterministic: after a
+  // half-close, both ends must report not-open, while the untouched
+  // return path still carries traffic.
+  auto [a, b] = MakeChannelPair();
+  ASSERT_TRUE(a->Send({"n", "1"}).ok());
+  ASSERT_TRUE(a->Send({"n", "2"}).ok());
+  a->CloseSend();
+  EXPECT_FALSE(a->IsOpen());  // its send side is closed
+  EXPECT_FALSE(b->IsOpen());  // inbound dead — the pre-fix code said true
+  // Drain-after-close: queued messages still arrive, then Unavailable.
+  EXPECT_EQ(b->Receive(kSecond)->payload, "1");
+  EXPECT_EQ(b->Receive(kSecond)->payload, "2");
+  EXPECT_EQ(b->Receive(5 * kMillisecond).status().code(),
+            StatusCode::kUnavailable);
+  // The b→a direction was never closed and still delivers.
+  ASSERT_TRUE(b->Send({"back", "x"}).ok());
+  EXPECT_EQ(a->Receive(kSecond)->type, "back");
+}
+
+// -------------------------------------------------------------------- ring
+
+TEST(RingTest, PairDeliversBothDirectionsInOrder) {
+  auto [a, b] = MakeRingChannelPair();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a->Send({"n", std::to_string(i)}).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto msg = b->Receive(kSecond);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->payload, std::to_string(i));
+  }
+  ASSERT_TRUE(b->Send({"pong", ""}).ok());
+  EXPECT_EQ(a->Receive(kSecond)->type, "pong");
+}
+
+TEST(RingTest, TryReceiveNonBlockingAndTimeout) {
+  auto [a, b] = MakeRingChannelPair();
+  EXPECT_FALSE(b->TryReceive().has_value());
+  auto timed = b->Receive(5 * kMillisecond);
+  ASSERT_FALSE(timed.ok());
+  EXPECT_EQ(timed.status().code(), StatusCode::kTimeout);
+  (void)a->Send({"x", ""});
+  auto msg = b->TryReceive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, "x");
+}
+
+TEST(RingTest, CloseSemanticsMatchInProc) {
+  auto [a, b] = MakeRingChannelPair();
+  ASSERT_TRUE(a->Send({"n", "1"}).ok());
+  a->CloseSend();
+  EXPECT_FALSE(a->IsOpen());
+  EXPECT_FALSE(b->IsOpen());  // S4 contract holds for rings too
+  EXPECT_FALSE(a->Send({"n", "2"}).ok());
+  EXPECT_EQ(b->Receive(kSecond)->payload, "1");  // drain after close
+  EXPECT_EQ(b->Receive(5 * kMillisecond).status().code(),
+            StatusCode::kUnavailable);
+  ASSERT_TRUE(b->Send({"back", ""}).ok());  // return path unaffected
+  EXPECT_EQ(a->Receive(kSecond)->type, "back");
+  b->Close();
+  EXPECT_FALSE(b->IsOpen());
+}
+
+TEST(RingTest, BlockingSendSurvivesTinyCapacity) {
+  // Capacity rounds up to a power of two; 2 slots force the producer into
+  // the spin/yield/sleep backoff while the consumer drains.
+  auto [a, b] = MakeRingChannelPair("tiny", 2);
+  constexpr int kCount = 1000;
+  std::thread producer([&a = a] {
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_TRUE(a->Send({"n", std::to_string(i)}).ok());
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    auto msg = b->Receive(5 * kSecond);
+    ASSERT_TRUE(msg.ok()) << i;
+    EXPECT_EQ(msg->payload, std::to_string(i));
+  }
+  producer.join();
+}
+
+TEST(RingTest, MultiProducerSingleConsumerKeepsPerProducerOrder) {
+  auto [a, b] = MakeRingChannelPair("mpsc", 64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&a = a, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(
+            a->Send({std::to_string(p), std::to_string(i)}).ok());
+      }
+    });
+  }
+  // The single consumer sees an interleaving, but each producer's stream
+  // stays FIFO (the CAS claims slots in that producer's program order).
+  std::vector<int> next(kProducers, 0);
+  for (int n = 0; n < kProducers * kPerProducer; ++n) {
+    auto msg = b->Receive(5 * kSecond);
+    ASSERT_TRUE(msg.ok()) << n;
+    const int p = std::stoi(msg->type);
+    EXPECT_EQ(std::stoi(msg->payload), next[static_cast<std::size_t>(p)]);
+    ++next[static_cast<std::size_t>(p)];
+  }
+  for (auto& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next[static_cast<std::size_t>(p)], kPerProducer);
+  }
+}
+
+TEST(RingTest, NetworkOptionBacksDialedChannelsWithRings) {
+  InProcNetwork net(InProcNetwork::Options{/*ring_channels=*/true,
+                                           /*channel_capacity=*/128});
+  auto listener = net.Listen("gw");
+  ASSERT_TRUE(listener.ok());
+  auto client = net.Dial("gw");
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->Accept(kSecond);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*client)->Send({"subscribe", "cpu"}).ok());
+  auto msg = (*server)->Receive(kSecond);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->payload, "cpu");
+  ASSERT_TRUE((*server)->Send({"event", "DATE=..."}).ok());
+  EXPECT_EQ((*client)->Receive(kSecond)->type, "event");
 }
 
 // --------------------------------------------------------------------- tcp

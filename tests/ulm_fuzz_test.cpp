@@ -10,11 +10,14 @@
 // mutants pins the same invariants reproducibly.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "ulm/binary.hpp"
+#include "ulm/flat.hpp"
 #include "ulm/record.hpp"
 
 namespace jamm::ulm {
@@ -145,6 +148,106 @@ TEST(UlmFuzzTest, PureGarbageCorpus) {
     }
     MustDecodeSafely(data);
     (void)DecodeBinaryStream(data);
+  }
+}
+
+// --------------------------------------------------------- ISSUE 7 corpus
+
+TEST(UlmFuzzTest, HostileKeyCorpusNeverRoundTripsBadKeys) {
+  // S2 alignment property: a key containing any of these bytes must fail
+  // Validate, and whatever the parser makes of the hostile line, a record
+  // that parses AND validates must round-trip. Tab gets the extra
+  // delimiter guarantee: it splits a key exactly like space, so a
+  // tab-embedded "key" is a malformed pair, not a dirty key.
+  Rng rng(0xFEED05);
+  const std::string bad_chars = "\t\n =\"";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string key = "K" + std::to_string(trial);
+    // Insert after the first byte: a leading delimiter is just inter-pair
+    // whitespace, which says nothing about keys.
+    const std::size_t pos =
+        static_cast<std::size_t>(rng.Uniform(1, static_cast<std::int64_t>(key.size())));
+    key.insert(pos, 1,
+               bad_chars[static_cast<std::size_t>(
+                   rng.Uniform(0, static_cast<std::int64_t>(bad_chars.size() - 1)))]);
+    Record rec(0, "h", "p", "Usage", "E");
+    rec.SetField(key, "v");
+    EXPECT_FALSE(rec.Validate().ok()) << "key=" << key;
+    // Feed the hostile key through the parsers raw.
+    const std::string line =
+        "DATE=20000330112320.957943 HOST=h PROG=p LVL=Usage " + key + "=v";
+    auto parsed = Record::FromAscii(line);
+    if (key.find('\t') != std::string::npos) {
+      // Tab is a delimiter: the embedded-tab "key" parses as a pair with
+      // no '=' and the whole line is rejected.
+      EXPECT_FALSE(parsed.ok()) << "line=" << line;
+    }
+    if (parsed.ok() && parsed->Validate().ok()) {
+      auto rt = Record::FromAscii(parsed->ToAscii());
+      ASSERT_TRUE(rt.ok()) << "line=" << line;
+      EXPECT_EQ(*rt, *parsed);
+    }
+    auto flat = FlatRecord::FromAscii(line);
+    EXPECT_EQ(parsed.ok(), flat.ok()) << "parsers disagree on: " << line;
+    if (parsed.ok() && flat.ok()) {
+      EXPECT_EQ(flat->ToRecord(), *parsed);
+    }
+  }
+}
+
+TEST(UlmFuzzTest, ExtremeDoubleCorpusRoundTrips) {
+  // S1 regression corpus: magnitudes from 2^40 up to DBL_MAX formatted
+  // with the grow-on-demand "%.6f" writer. At these magnitudes the
+  // 6-decimal rounding error is far below half an ulp, so the ASCII and
+  // binary round trips must reproduce the exact double.
+  Rng rng(0xFEED06);
+  std::vector<double> corpus = {std::numeric_limits<double>::max(),
+                                -std::numeric_limits<double>::max(), 1e300,
+                                -1e300, 1e26, -1e26};
+  for (int i = 0; i < 500; ++i) {
+    const double mant = rng.UniformReal(1.0, 2.0);
+    const int exp = static_cast<int>(rng.Uniform(40, 1023));
+    corpus.push_back(std::ldexp(rng.Chance(0.5) ? mant : -mant, exp));
+  }
+  for (double value : corpus) {
+    Record rec(0, "h", "p", "Usage", "E");
+    rec.SetField("V", value);
+    auto ascii = Record::FromAscii(rec.ToAscii());
+    ASSERT_TRUE(ascii.ok()) << value;
+    EXPECT_EQ(*ascii->GetDouble("V"), value);
+    std::size_t offset = 0;
+    auto bin = DecodeBinary(EncodeBinary(rec), &offset);
+    ASSERT_TRUE(bin.ok()) << value;
+    EXPECT_EQ(*bin->GetDouble("V"), value);
+    // The flat writer shares the same primitive; byte-identical output.
+    FlatRecord flat(0, "h", "p", "Usage", "E");
+    flat.SetField("V", value);
+    EXPECT_EQ(flat.View().ToAscii(), rec.ToAscii());
+  }
+}
+
+TEST(UlmFuzzTest, ValidRecordsAlwaysRoundTripThroughEveryCodec) {
+  // The Validate ⇒ round-trip property (S5): any record that passes
+  // Validate survives ASCII and binary round trips exactly, through the
+  // legacy codecs and the flat transcoders alike.
+  Rng rng(0xFEED07);
+  for (int trial = 0; trial < 500; ++trial) {
+    Record rec = CorpusRecord(rng);
+    // CorpusRecord draws a raw 63-bit timestamp (fine for the binary
+    // codec); the ASCII DATE grammar only spans four-digit years, so pin
+    // the property to a representable instant.
+    rec.set_timestamp(rng.Uniform(0, 4102444800) * kSecond +
+                      rng.Uniform(0, 999999));
+    if (!rec.Validate().ok()) continue;  // values are unrestricted; keys pass
+    auto ascii = Record::FromAscii(rec.ToAscii());
+    ASSERT_TRUE(ascii.ok());
+    EXPECT_EQ(*ascii, rec);
+    auto flat_ascii = FlatRecord::FromAscii(rec.ToAscii());
+    ASSERT_TRUE(flat_ascii.ok());
+    EXPECT_EQ(flat_ascii->ToRecord(), rec);
+    const FlatRecord flat = FlatRecord::FromRecord(rec);
+    EXPECT_EQ(flat.View().ToAscii(), rec.ToAscii());
+    EXPECT_EQ(EncodeBinary(flat.View()), EncodeBinary(rec));
   }
 }
 

@@ -3,6 +3,8 @@
 // emission, and randomized property sweeps.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.hpp"
 #include "common/time_util.hpp"
 #include "ulm/binary.hpp"
@@ -129,6 +131,66 @@ TEST(UlmAsciiTest, GetDoubleAndMissingField) {
   EXPECT_FALSE(rec.GetInt("ABSENT").ok());
   EXPECT_FALSE(rec.GetField("ABSENT").has_value());
   EXPECT_TRUE(rec.HasField("LOAD"));
+}
+
+TEST(UlmAsciiTest, HugeDoubleValuesSerializeInFull) {
+  // Regression (ISSUE 7 S1): SetField(double) formatted into a fixed
+  // 32-byte buffer, so any %.6f rendering of 32+ characters (magnitudes
+  // from ~1e26 up) was silently truncated — the stored value was a
+  // chopped prefix of the real number.
+  Record rec = SampleRecord();
+  rec.SetField("BIG", 1e300);
+  rec.SetField("NEG", -1e300);
+  rec.SetField("MAX", std::numeric_limits<double>::max());
+  // %.6f of ±1e300 is 301 integer digits plus ".000000".
+  ASSERT_TRUE(rec.GetField("BIG").has_value());
+  EXPECT_EQ(rec.GetField("BIG")->size(), 308u);
+  EXPECT_EQ(rec.GetField("NEG")->size(), 309u);
+  EXPECT_DOUBLE_EQ(*rec.GetDouble("BIG"), 1e300);
+  EXPECT_DOUBLE_EQ(*rec.GetDouble("NEG"), -1e300);
+  EXPECT_DOUBLE_EQ(*rec.GetDouble("MAX"), std::numeric_limits<double>::max());
+  auto parsed = Record::FromAscii(rec.ToAscii());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rec);
+}
+
+TEST(UlmAsciiTest, ValidateRejectsTabAndNewlineInFieldNames) {
+  // Regression (ISSUE 7 S2): Validate rejected space/'='/'"' in field
+  // names but let '\t' and '\n' through, even though the ASCII tokenizer
+  // treats them as delimiters (keys are never quoted) — a "valid" record
+  // serialized into a line that parsed back differently or not at all.
+  for (const char* key : {"BAD\tKEY", "BAD\nKEY", "TRAIL\t", "\nLEAD"}) {
+    Record rec = SampleRecord();
+    rec.SetField(key, "v");
+    EXPECT_FALSE(rec.Validate().ok()) << "key accepted: " << key;
+  }
+}
+
+TEST(UlmAsciiTest, TabDelimitsKeysExactlyLikeSpace) {
+  // Companion to the S2 fix: the key scan now stops at '\t' as the value
+  // scan always did, so a tab-truncated key is a parse error instead of
+  // silently becoming a field name Validate would reject.
+  EXPECT_FALSE(Record::FromAscii("DATE=20000101000000.0 HOST=h PROG=p "
+                                 "LVL=Usage A\tB=v")
+                   .ok());
+  // Tabs between pairs are ordinary separators.
+  auto rec = Record::FromAscii(
+      "DATE=20000101000000.0\tHOST=h\tPROG=p\tLVL=Usage\tK=v");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec->GetField("K"), "v");
+}
+
+TEST(UlmAsciiTest, CoreFieldLookupIsUniformWhenEmpty) {
+  // Regression (ISSUE 7 S3): GetField("NL.EVNT") returned nullopt when
+  // the event name was empty, while HOST/PROG/LVL answered
+  // present-and-empty — generic field-driven code saw the core fields
+  // behave inconsistently.
+  Record rec(0, "", "", "", "");
+  for (auto key : {field::kHost, field::kProg, field::kLevel, field::kEvent}) {
+    auto got = rec.GetField(key);
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(*got, "") << key;
+  }
 }
 
 TEST(UlmAsciiTest, ValidateCatchesBadRecords) {
