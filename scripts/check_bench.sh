@@ -24,7 +24,7 @@ build_dir="${1:-$repo_root/build}"
 tolerance="${TOLERANCE:-0.35}"
 
 cmake -B "$build_dir" -S "$repo_root"
-cmake --build "$build_dir" -j --target bench_pipeline_throughput bench_liveness bench_archive bench_federation
+cmake --build "$build_dir" -j --target bench_pipeline_throughput bench_liveness bench_archive bench_federation bench_nlv_primitives
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -79,5 +79,10 @@ echo "== bench_federation (floors enforced by the bench itself)"
 "$build_dir/bench/bench_federation" "$tmp/BENCH_federation.json"
 compare_ratios "$tmp/BENCH_federation.json" "$repo_root/BENCH_federation.json" \
   pushdown_send_reduction
+
+echo "== bench_nlv_primitives (floors enforced by the bench itself)"
+"$build_dir/bench/bench_nlv_primitives" "$tmp/BENCH_analysis.json"
+compare_ratios "$tmp/BENCH_analysis.json" "$repo_root/BENCH_analysis.json" \
+  sealed_compression_ratio lifeline_bytes_reduction
 
 echo "bench: no regression beyond tolerance ${tolerance} vs committed baselines"

@@ -25,6 +25,8 @@ struct ArchiveTelemetry {
   telemetry::Counter& query_calls;
   telemetry::Counter& segments_scanned;
   telemetry::Counter& segments_pruned;
+  telemetry::Counter& bytes_scanned;
+  telemetry::Counter& compressed_segments;
   telemetry::Counter& load_skipped;
   telemetry::Counter& saves;
   telemetry::Histogram& seal_records;  // records per sealed segment
@@ -42,6 +44,8 @@ ArchiveTelemetry& Instruments() {
                             m.counter("archive.query.calls"),
                             m.counter("archive.query.segments_scanned"),
                             m.counter("archive.query.segments_pruned"),
+                            m.counter("archive.query.bytes_scanned"),
+                            m.counter("archive.compress.segments"),
                             m.counter("archive.load.segments_skipped"),
                             m.counter("archive.saves"),
                             m.histogram("archive.seal.records"),
@@ -125,6 +129,13 @@ void EventArchive::SealLocked(Stripe& stripe) {
   auto& tm = Instruments();
   tm.seals.Increment();
   tm.seal_records.Record(stripe.active->size());
+  // Compress-on-seal happens here, while the stripe lock still makes the
+  // segment private — queries only see it once it lands in the sealed
+  // list below.
+  if (config_.compress_sealed) {
+    stripe.active->Compress();
+    tm.compressed_segments.Increment();
+  }
   std::lock_guard lock(shared_->mu);
   shared_->sealed.push_back(std::move(stripe.active));
   ++shared_->seal_count;
@@ -307,6 +318,11 @@ std::size_t EventArchive::Compact(TimePoint now) {
       }
     });
     removed += segment->size() - compacted->size();
+    // A compacted segment keeps its storage state: re-compress if the
+    // source rested compressed (or the config compresses every seal).
+    if (config_.compress_sealed || !segment->compressed.empty()) {
+      compacted->Compress();
+    }
     std::lock_guard lock(shared_->mu);
     for (auto& slot : shared_->sealed) {
       if (slot->id == segment->id) {
@@ -320,70 +336,87 @@ std::size_t EventArchive::Compact(TimePoint now) {
   return removed;
 }
 
+std::size_t EventArchive::CompressSealed() {
+  auto& tm = Instruments();
+  std::vector<std::shared_ptr<const Segment>> snapshot;
+  {
+    std::lock_guard lock(shared_->mu);
+    snapshot = shared_->sealed;
+  }
+  std::size_t compressed = 0;
+  for (const auto& segment : snapshot) {
+    if (segment->empty() || !segment->compressed.empty()) continue;
+    auto copy = std::make_shared<Segment>(*segment);
+    copy->Compress();
+    std::lock_guard lock(shared_->mu);
+    for (auto& slot : shared_->sealed) {
+      // Pointer match, not just id: if Compact swapped this segment while
+      // we were compressing the old copy, installing ours would resurrect
+      // the compacted-away records. Leave it — the next CompressSealed
+      // pass picks up the compacted replacement.
+      if (slot.get() == segment.get()) {
+        slot = std::move(copy);
+        ++compressed;
+        tm.compressed_segments.Increment();
+        break;
+      }
+    }
+  }
+  return compressed;
+}
+
+std::size_t EventArchive::StorageBytes() const {
+  std::size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    if (stripe->active) total += stripe->active->StorageBytes();
+  }
+  std::lock_guard lock(shared_->mu);
+  for (const auto& segment : shared_->sealed) total += segment->StorageBytes();
+  return total;
+}
+
 // ---------------------------------------------------------------- queries
+
+void EventArchive::NoteQueryStats(const QueryStats& stats) const {
+  auto& tm = Instruments();
+  tm.query_calls.Increment();
+  tm.segments_scanned.Add(stats.segments_scanned);
+  tm.segments_pruned.Add(stats.segments_pruned);
+  tm.bytes_scanned.Add(stats.bytes_scanned);
+}
 
 std::vector<ulm::Record> EventArchive::Collect(
     TimePoint t0, TimePoint t1,
     const std::function<bool(const Segment&)>& covers,
     const std::function<bool(const ulm::RecordView&)>& matches,
     QueryStats* stats) const {
-  auto& tm = Instruments();
-  tm.query_calls.Increment();
-  telemetry::ScopedTimer timer(&tm.query_us);
+  telemetry::ScopedTimer timer(&Instruments().query_us);
   QueryStats local;
 
-  // Matches grouped per segment, keyed by id: deterministic merge order,
-  // and a segment sealed mid-query (seen as active, then again in the
-  // sealed list) is deduplicated — the sealed copy wins.
-  std::map<std::uint64_t, std::vector<ulm::Record>> groups;
-  auto scan = [&](const Segment& segment) {
-    ++local.segments_total;
-    if (!segment.CoversTime(t0, t1) || !covers(segment)) {
-      ++local.segments_pruned;
-      return;
-    }
-    ++local.segments_scanned;
-    std::vector<ulm::Record> hits;
-    // Predicates run on the view (symbol compares, no allocation); only
-    // matching records pay the legacy-Record materialization.
-    segment.ForEachView([&](const ulm::RecordView& view) {
-      if (view.timestamp() >= t0 && view.timestamp() < t1 && matches(view)) {
-        hits.push_back(view.ToRecord());
-      }
-    });
-    groups[segment.id] = std::move(hits);
-  };
-
-  // Active segments first (each under its stripe lock), the sealed
-  // snapshot second: a segment sealed between the phases shows up in the
-  // second and overwrites its phase-one copy, so nothing ingested before
-  // the query began can be missed or double-counted.
-  std::vector<std::uint64_t> seen_active;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard lock(stripe->mu);
-    if (stripe->active && !stripe->active->empty()) {
-      scan(*stripe->active);
-      seen_active.push_back(stripe->active->id);
-    }
-  }
-  std::vector<std::shared_ptr<const Segment>> sealed;
-  {
-    std::lock_guard lock(shared_->mu);
-    sealed = shared_->sealed;
-  }
-  for (const auto& segment : sealed) {
-    if (std::find(seen_active.begin(), seen_active.end(), segment->id) !=
-        seen_active.end()) {
-      scan(*segment);  // overwrite the phase-one (possibly shorter) copy
-      --local.segments_total;
-      continue;
-    }
-    scan(*segment);
-  }
+  // One per-segment partial = that segment's matches; ScanPartials hands
+  // them back in segment-id order (and dedupes a segment sealed
+  // mid-query), so concatenation + stable sort reproduces the
+  // deterministic time-then-id-then-arrival order.
+  using Hits = std::vector<ulm::Record>;
+  std::vector<Hits> groups = ScanPartials<Hits>(
+      t0, t1, covers,
+      [&](const Segment& segment) {
+        Hits hits;
+        // Predicates run on the view (symbol compares, no allocation);
+        // only matching records pay the legacy-Record materialization.
+        segment.ForEachView([&](const ulm::RecordView& view) {
+          if (view.timestamp() >= t0 && view.timestamp() < t1 &&
+              matches(view)) {
+            hits.push_back(view.ToRecord());
+          }
+        });
+        return hits;
+      },
+      &local);
 
   std::vector<ulm::Record> out;
-  for (auto& [id, hits] : groups) {
-    (void)id;
+  for (auto& hits : groups) {
     out.insert(out.end(), std::make_move_iterator(hits.begin()),
                std::make_move_iterator(hits.end()));
   }
@@ -394,8 +427,6 @@ std::vector<ulm::Record> EventArchive::Collect(
                      return a.timestamp() < b.timestamp();
                    });
   local.records_returned = out.size();
-  tm.segments_scanned.Add(local.segments_scanned);
-  tm.segments_pruned.Add(local.segments_pruned);
   if (stats) *stats = local;
   return out;
 }

@@ -52,6 +52,12 @@ struct SegmentConfig {
   /// Independent ingest stripes (each with its own lock and active
   /// segment). Threads are spread round-robin across stripes.
   std::size_t stripes = 8;
+  /// Compress segments as they seal (ISSUE 8): the flat chunks are
+  /// replaced by a dictionary + delta-varint blob; pruning indexes stay
+  /// resident, queries decompress covering segments into a scratch batch.
+  /// Off by default — flip it (or call CompressSealed) when the archive
+  /// is read rarely enough that decode-on-scan beats resident bytes.
+  bool compress_sealed = false;
 };
 
 /// One compaction tier: sealed segments whose newest record is older than
@@ -80,6 +86,10 @@ struct QueryStats {
   std::size_t segments_scanned = 0;  // covering segments actually read
   std::size_t segments_pruned = 0;   // skipped via min/max-time, event, host
   std::size_t records_returned = 0;
+  /// Stored bytes of the segments actually scanned (Segment::StorageBytes:
+  /// blob size for compressed segments, chunk footprint otherwise) — the
+  /// pushdown economy measure: how much resting data this query touched.
+  std::size_t bytes_scanned = 0;
 };
 
 /// What LoadFrom managed to read. The archive is complete only when
@@ -145,8 +155,20 @@ class EventArchive {
   /// returns records removed. Deterministic: the keep decision hashes the
   /// record bytes with the sampling seed, so re-running — or running
   /// after a Save/Load round trip — removes exactly the same records.
-  /// Thread-safe against concurrent ingest and queries.
+  /// Thread-safe against concurrent ingest and queries. A compacted
+  /// segment stays compressed if its source was (or compress_sealed is
+  /// on).
   std::size_t Compact(TimePoint now);
+
+  /// Compress every sealed, still-uncompressed segment (copy-swap, same
+  /// idiom as Compact: in-flight queries keep their snapshot); returns
+  /// segments compressed. Thread-safe against concurrent ingest, queries,
+  /// and compaction — a segment Compact replaced mid-walk is left alone.
+  std::size_t CompressSealed();
+
+  /// Total resting bytes across all segments (Segment::StorageBytes) —
+  /// the numerator/denominator of the compression-ratio bench gate.
+  std::size_t StorageBytes() const;
 
   // -------------------------------------------------------------- queries
   //
@@ -247,6 +269,72 @@ class EventArchive {
       const std::function<bool(const Segment&)>& covers,
       const std::function<bool(const ulm::RecordView&)>& matches,
       QueryStats* stats) const;
+
+  /// Telemetry fold for one query walk (implemented in the .cpp, where
+  /// the instruments live).
+  void NoteQueryStats(const QueryStats& stats) const;
+
+  /// The generic two-phase segment walk every query — record collection
+  /// and the analysis engine's pushed-down partials alike — is built on:
+  /// visit actives under their stripe locks, then the sealed snapshot;
+  /// `scan(segment) -> Partial` runs once per covering segment, and a
+  /// segment sealed between the phases overwrites its phase-one entry in
+  /// the id-keyed map, so nothing ingested before the walk began is
+  /// missed, duplicated, or double-counted in the stats. Returns the
+  /// scanned partials in segment-id order (the deterministic merge order)
+  /// and fills everything in `stats` except records_returned.
+  template <typename Partial, typename CoversFn, typename ScanFn>
+  std::vector<Partial> ScanPartials(TimePoint t0, TimePoint t1,
+                                    const CoversFn& covers, const ScanFn& scan,
+                                    QueryStats* stats) const {
+    struct Entry {
+      bool scanned = false;
+      std::size_t bytes = 0;
+      Partial partial{};
+    };
+    std::map<std::uint64_t, Entry> entries;
+    auto visit = [&](const Segment& segment) {
+      Entry entry;
+      if (segment.CoversTime(t0, t1) && covers(segment)) {
+        entry.scanned = true;
+        entry.bytes = segment.StorageBytes();
+        entry.partial = scan(segment);
+      }
+      entries[segment.id] = std::move(entry);
+    };
+    for (const auto& stripe : stripes_) {
+      std::lock_guard lock(stripe->mu);
+      if (stripe->active && !stripe->active->empty()) visit(*stripe->active);
+    }
+    std::vector<std::shared_ptr<const Segment>> sealed;
+    {
+      std::lock_guard lock(shared_->mu);
+      sealed = shared_->sealed;
+    }
+    for (const auto& segment : sealed) visit(*segment);
+
+    QueryStats local;
+    std::vector<Partial> out;
+    out.reserve(entries.size());
+    for (auto& [id, entry] : entries) {
+      (void)id;
+      ++local.segments_total;
+      if (entry.scanned) {
+        ++local.segments_scanned;
+        local.bytes_scanned += entry.bytes;
+        out.push_back(std::move(entry.partial));
+      } else {
+        ++local.segments_pruned;
+      }
+    }
+    NoteQueryStats(local);
+    if (stats) *stats = local;
+    return out;
+  }
+
+  /// The analysis engine (analysis.hpp) runs its pushed-down partial
+  /// scans through ScanPartials directly.
+  friend class AnalysisEngine;
 
   std::string name_;
   std::uint64_t sampling_seed_ = 1;

@@ -104,6 +104,50 @@ Result<std::string> ArchiveQueryService::Invoke(
     }
   }
 
+  // Analysis kinds (ISSUE 8): run the pushdown engine, page over encoded
+  // elements, and append the server's QueryStats as a 4th reply part.
+  if (kind == "lifeline" || kind == "loadline" || kind == "point" ||
+      kind == "agg") {
+    auto spec = ParseAnalysisSpec(predicate);
+    if (!spec.ok()) {
+      t.errors.Increment();
+      return spec.status();
+    }
+    const AnalysisEngine engine(archive_);
+    QueryStats qstats;
+    std::vector<std::string> elements;
+    if (kind == "lifeline") {
+      for (const auto& l : engine.Lifelines(*spec, *t0, *t1, &qstats)) {
+        elements.push_back(EncodeLifeline(l));
+      }
+    } else if (kind == "loadline") {
+      for (const auto& b : engine.Loadline(*spec, *t0, *t1, &qstats)) {
+        elements.push_back(EncodeLoadBucket(b));
+      }
+    } else if (kind == "point") {
+      for (const auto& p : engine.Points(*spec, *t0, *t1, &qstats)) {
+        elements.push_back(EncodePointSample(p));
+      }
+    } else {
+      for (const auto& r : engine.Aggregate(*spec, *t0, *t1, &qstats)) {
+        elements.push_back(EncodeAggRow(r));
+      }
+    }
+    const std::size_t total = elements.size();
+    const std::size_t begin = std::min<std::size_t>(offset, total);
+    const std::size_t end = std::min(total, begin + limit);
+    std::vector<std::string> page(
+        std::make_move_iterator(elements.begin() + begin),
+        std::make_move_iterator(elements.begin() + end));
+    const std::string next =
+        end < total && end > begin ? std::to_string(end) : std::string();
+    t.pages.Increment();
+    t.records.Add(page.size());
+    return rpc::EncodeStrings({next, std::to_string(total),
+                               rpc::EncodeStrings(page),
+                               EncodeQueryStats(qstats)});
+  }
+
   std::vector<ulm::Record> rows;
   if (kind == "range") {
     rows = archive_.QueryRange(*t0, *t1);
@@ -204,6 +248,92 @@ Result<std::vector<ulm::Record>> ArchiveClient::Query(
     offset = *next_offset;
   }
   return out;
+}
+
+Result<std::vector<std::string>> ArchiveClient::QueryElements(
+    const std::string& kind, const AnalysisSpec& spec, TimePoint t0,
+    TimePoint t1) {
+  const std::string predicate = EncodeAnalysisSpec(spec);
+  std::vector<std::string> out;
+  std::uint64_t offset = 0;
+  while (true) {
+    auto reply = rpc_.Call(
+        object_, kQueryMethod,
+        {kind, std::to_string(t0), std::to_string(t1), predicate,
+         std::to_string(offset),
+         page_records_ > 0 ? std::to_string(page_records_) : std::string()});
+    if (!reply.ok()) return reply.status();
+    auto parts = rpc::DecodeStrings(*reply);
+    if (!parts.ok()) return parts.status();
+    if (parts->size() != 4) {
+      return Status::ParseError("arch.query analysis reply wants 4 parts, "
+                                "got " +
+                                std::to_string(parts->size()));
+    }
+    auto elements = rpc::DecodeStrings((*parts)[2]);
+    if (!elements.ok()) return elements.status();
+    out.insert(out.end(), std::make_move_iterator(elements->begin()),
+               std::make_move_iterator(elements->end()));
+    auto qstats = DecodeQueryStats((*parts)[3]);
+    if (!qstats.ok()) return qstats.status();
+    last_query_stats_ = *qstats;
+    ++pages_fetched_;
+    const std::string& next = (*parts)[0];
+    if (next.empty()) break;
+    auto next_offset = ParseNonNegative(next, "next_offset");
+    if (!next_offset.ok()) return next_offset.status();
+    if (*next_offset <= offset) {
+      // Same guard as the record path: a non-advancing cursor would loop
+      // forever; treat it as a broken server rather than spinning.
+      return Status::Internal("arch.query: pagination cursor did not advance");
+    }
+    offset = *next_offset;
+  }
+  return out;
+}
+
+namespace {
+
+/// Decode every element of an analysis reply with `decode`; the first
+/// malformed element fails the whole query (never a silent partial).
+template <typename T, typename Decode>
+Result<std::vector<T>> DecodeElements(
+    Result<std::vector<std::string>> elements, const Decode& decode) {
+  if (!elements.ok()) return elements.status();
+  std::vector<T> out;
+  out.reserve(elements->size());
+  for (const auto& element : *elements) {
+    auto decoded = decode(element);
+    if (!decoded.ok()) return decoded.status();
+    out.push_back(std::move(*decoded));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<TraceLifeline>> ArchiveClient::QueryLifelines(
+    const AnalysisSpec& spec, TimePoint t0, TimePoint t1) {
+  return DecodeElements<TraceLifeline>(QueryElements("lifeline", spec, t0, t1),
+                                       DecodeLifeline);
+}
+
+Result<std::vector<LoadBucket>> ArchiveClient::QueryLoadline(
+    const AnalysisSpec& spec, TimePoint t0, TimePoint t1) {
+  return DecodeElements<LoadBucket>(QueryElements("loadline", spec, t0, t1),
+                                    DecodeLoadBucket);
+}
+
+Result<std::vector<PointSample>> ArchiveClient::QueryPoints(
+    const AnalysisSpec& spec, TimePoint t0, TimePoint t1) {
+  return DecodeElements<PointSample>(QueryElements("point", spec, t0, t1),
+                                     DecodePointSample);
+}
+
+Result<std::vector<AggRow>> ArchiveClient::QueryAggregate(
+    const AnalysisSpec& spec, TimePoint t0, TimePoint t1) {
+  return DecodeElements<AggRow>(QueryElements("agg", spec, t0, t1),
+                                DecodeAggRow);
 }
 
 Result<ArchiveClient::RemoteStats> ArchiveClient::Stats() {

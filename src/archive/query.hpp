@@ -9,14 +9,23 @@
 //
 //   "arch.query"  args = [kind, t0, t1, predicate, offset?, limit?]
 //     kind       "range" | "events" | "host"
+//                | "lifeline" | "loadline" | "point" | "agg"  (ISSUE 8)
 //     t0, t1     decimal microseconds, half-open [t0, t1)
 //     predicate  event glob for "events", host name for "host", "" for
-//                "range"
+//                "range"; an encoded AnalysisSpec (analysis.hpp) for the
+//                analysis kinds
 //     offset     decimal record offset for pagination (default 0)
 //     limit      records per page (default/cap chosen by the service)
 //     reply = marshalled [next_offset, total, batch] where `batch` is a
 //     concatenation of self-delimiting binary ULM records (the ISSUE-3
 //     batch frame format) and `next_offset` is "" on the final page.
+//
+//     Analysis kinds page over analysis ELEMENTS (lifelines, buckets,
+//     points, agg rows) instead of records: `batch` is a marshalled
+//     string list of encoded elements, and the reply carries a 4th part —
+//     the server's QueryStats (EncodeQueryStats) — so consumers see the
+//     pushdown economy (bytes_scanned, segments_pruned) per query. The
+//     3-part record replies are unchanged (old clients keep working).
 //
 //   "arch.stats"  args = []
 //     reply = marshalled [name, size, segments, ingested, dropped,
@@ -28,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "archive/analysis.hpp"
 #include "archive/archive.hpp"
 #include "rpc/registry.hpp"
 #include "rpc/wire.hpp"
@@ -84,6 +94,22 @@ class ArchiveClient {
   Result<std::vector<ulm::Record>> QueryHost(const std::string& host,
                                              TimePoint t0, TimePoint t1);
 
+  /// Analysis accessors (ISSUE 8): the server runs the AnalysisEngine and
+  /// streams back summaries, never raw records. Page-transparent like the
+  /// record queries; after a successful call, last_query_stats() holds
+  /// the server-side QueryStats (bytes_scanned, segments_pruned, ...).
+  Result<std::vector<TraceLifeline>> QueryLifelines(const AnalysisSpec& spec,
+                                                    TimePoint t0, TimePoint t1);
+  Result<std::vector<LoadBucket>> QueryLoadline(const AnalysisSpec& spec,
+                                                TimePoint t0, TimePoint t1);
+  Result<std::vector<PointSample>> QueryPoints(const AnalysisSpec& spec,
+                                               TimePoint t0, TimePoint t1);
+  Result<std::vector<AggRow>> QueryAggregate(const AnalysisSpec& spec,
+                                             TimePoint t0, TimePoint t1);
+
+  /// Server-side stats of the last successful analysis query.
+  const QueryStats& last_query_stats() const { return last_query_stats_; }
+
   struct RemoteStats {
     std::string name;
     std::uint64_t size = 0;
@@ -105,11 +131,18 @@ class ArchiveClient {
   Result<std::vector<ulm::Record>> Query(const std::string& kind,
                                          const std::string& predicate,
                                          TimePoint t0, TimePoint t1);
+  /// Shared analysis pagination: collects the encoded element strings of
+  /// every page (same cursor-advance guard as Query) and captures the
+  /// final page's QueryStats into last_query_stats_.
+  Result<std::vector<std::string>> QueryElements(const std::string& kind,
+                                                 const AnalysisSpec& spec,
+                                                 TimePoint t0, TimePoint t1);
 
   rpc::RpcClient rpc_;
   std::string object_;
   std::size_t page_records_ = 0;
   std::uint64_t pages_fetched_ = 0;
+  QueryStats last_query_stats_;
 };
 
 }  // namespace jamm::archive

@@ -1,8 +1,10 @@
 #include "archive/segment.hpp"
 
 #include <array>
+#include <unordered_map>
 
 #include "common/strings.hpp"
+#include "ulm/binary.hpp"
 
 namespace jamm::archive {
 
@@ -53,6 +55,20 @@ std::uint64_t Get64(std::string_view data, std::size_t at) {
 /// Arena reserve per expected record when pre-sizing a tail chunk; typical
 /// monitoring records carry a few short field values.
 constexpr std::size_t kValueBytesPerRecordHint = 64;
+
+std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t UnZigZag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// The smallest possible compressed record: a 1-byte timestamp delta, four
+/// 1-byte dictionary indexes, and a 1-byte zero field count. Untrusted
+/// counts are sanity-capped against this before any allocation.
+constexpr std::uint64_t kMinCompressedRecordBytes = 6;
 
 }  // namespace
 
@@ -142,6 +158,158 @@ void Segment::AppendFrame(std::vector<ulm::Record>&& frame) {
   frame.clear();
 }
 
+std::string CompressPayload(const Segment& segment) {
+  using ulm::detail::PutVarint;
+  // Dictionary of every distinct symbol the segment uses, in first-use
+  // order. Symbols are already interned process-wide, so dictionary
+  // assignment is one hash-map probe on a 4-byte id per use — never a
+  // string hash. The blob stores the NAMES, so it is self-contained and
+  // stable across processes with different symbol numbering.
+  std::unordered_map<ulm::Symbol, std::uint32_t> index;
+  std::vector<ulm::Symbol> dict;
+  auto dict_id = [&](ulm::Symbol sym) {
+    auto [it, fresh] = index.try_emplace(
+        sym, static_cast<std::uint32_t>(dict.size()));
+    if (fresh) dict.push_back(sym);
+    return it->second;
+  };
+
+  // One pass assigns the dictionary and encodes the record bodies; the
+  // dictionary section is prepended afterwards.
+  // Timestamps are zigzag deltas from the previous record; the first
+  // record's delta is from 0 (i.e. absolute), which keeps the blob
+  // self-contained — DecompressPayload needs no header context.
+  std::string body;
+  TimePoint prev_ts = 0;
+  segment.ForEachView([&](const ulm::RecordView& view) {
+    // Delta in unsigned space: wraps instead of overflowing for extreme
+    // timestamp pairs, and the decoder's matching unsigned add undoes it.
+    PutVarint(body, ZigZag(static_cast<std::int64_t>(
+                        static_cast<std::uint64_t>(view.timestamp()) -
+                        static_cast<std::uint64_t>(prev_ts))));
+    prev_ts = view.timestamp();
+    PutVarint(body, dict_id(view.host_sym()));
+    PutVarint(body, dict_id(view.prog_sym()));
+    PutVarint(body, dict_id(view.lvl_sym()));
+    PutVarint(body, dict_id(view.event_sym()));
+    PutVarint(body, view.field_count());
+    for (std::uint32_t i = 0; i < view.field_count(); ++i) {
+      PutVarint(body, dict_id(view.field_key(i)));
+      const std::string_view value = view.field_value(i);
+      PutVarint(body, value.size());
+      body += value;
+    }
+  });
+
+  std::string blob;
+  PutVarint(blob, segment.size());
+  PutVarint(blob, dict.size());
+  for (ulm::Symbol sym : dict) {
+    const std::string_view name = ulm::SymbolName(sym);
+    PutVarint(blob, name.size());
+    blob += name;
+  }
+  blob += body;
+  return blob;
+}
+
+Status DecompressPayload(std::string_view blob, ulm::FlatBatch& out) {
+  using ulm::detail::GetVarint;
+  auto corrupt = [](const char* what) {
+    return Status::ParseError(std::string("compressed segment: ") + what);
+  };
+  std::size_t i = 0;
+  std::uint64_t record_count = 0, dict_n = 0;
+  if (!GetVarint(blob, i, record_count)) return corrupt("short record count");
+  if (!GetVarint(blob, i, dict_n)) return corrupt("short dictionary count");
+  // Every dictionary entry costs at least its 1-byte length prefix, so a
+  // count beyond the remaining bytes is garbage — reject before reserving.
+  if (dict_n > blob.size() - i) return corrupt("oversized dictionary");
+  std::vector<ulm::Symbol> dict;
+  dict.reserve(static_cast<std::size_t>(dict_n));
+  for (std::uint64_t d = 0; d < dict_n; ++d) {
+    std::uint64_t len = 0;
+    if (!GetVarint(blob, i, len)) return corrupt("short dictionary entry");
+    if (len > blob.size() - i) return corrupt("dictionary entry overruns");
+    dict.push_back(ulm::InternSymbol(blob.substr(i, len)));
+    i += len;
+  }
+  if (record_count > (blob.size() - i) / kMinCompressedRecordBytes) {
+    return corrupt("record count exceeds payload");
+  }
+
+  auto dict_sym = [&](std::uint64_t idx, ulm::Symbol* sym) {
+    if (idx >= dict.size()) return false;
+    *sym = dict[static_cast<std::size_t>(idx)];
+    return true;
+  };
+  ulm::FlatRecord scratch;
+  std::int64_t prev_ts = 0;  // mirrors the encoder: first delta is absolute
+  for (std::uint64_t r = 0; r < record_count; ++r) {
+    scratch.Clear();
+    std::uint64_t delta = 0;
+    if (!GetVarint(blob, i, delta)) return corrupt("short timestamp delta");
+    prev_ts = static_cast<std::int64_t>(static_cast<std::uint64_t>(prev_ts) +
+                                        static_cast<std::uint64_t>(
+                                            UnZigZag(delta)));
+    scratch.set_timestamp(prev_ts);
+    std::uint64_t idx = 0;
+    ulm::Symbol sym = ulm::kEmptySymbol;
+    if (!GetVarint(blob, i, idx) || !dict_sym(idx, &sym)) {
+      return corrupt("bad host index");
+    }
+    scratch.set_host_sym(sym);
+    if (!GetVarint(blob, i, idx) || !dict_sym(idx, &sym)) {
+      return corrupt("bad prog index");
+    }
+    scratch.set_prog_sym(sym);
+    if (!GetVarint(blob, i, idx) || !dict_sym(idx, &sym)) {
+      return corrupt("bad lvl index");
+    }
+    scratch.set_lvl_sym(sym);
+    if (!GetVarint(blob, i, idx) || !dict_sym(idx, &sym)) {
+      return corrupt("bad event index");
+    }
+    scratch.set_event_sym(sym);
+    std::uint64_t nfields = 0;
+    if (!GetVarint(blob, i, nfields)) return corrupt("short field count");
+    // A field is at least a key index, a length, and no bytes.
+    if (nfields > (blob.size() - i) / 2) return corrupt("oversized fields");
+    for (std::uint64_t f = 0; f < nfields; ++f) {
+      if (!GetVarint(blob, i, idx) || !dict_sym(idx, &sym)) {
+        return corrupt("bad field key index");
+      }
+      std::uint64_t len = 0;
+      if (!GetVarint(blob, i, len)) return corrupt("short field value");
+      if (len > blob.size() - i) return corrupt("field value overruns");
+      scratch.AddFieldUnchecked(sym, blob.substr(i, len));
+      i += len;
+    }
+    if (!out.Append(scratch.View())) return corrupt("batch arena overflow");
+  }
+  if (i != blob.size()) return corrupt("trailing bytes after records");
+  return Status::Ok();
+}
+
+void Segment::Compress() {
+  if (!compressed.empty() || record_count_ == 0) return;
+  compressed = CompressPayload(*this);
+  chunks.clear();
+  tail_open_ = false;
+}
+
+std::size_t Segment::StorageBytes() const {
+  if (!compressed.empty()) return compressed.size();
+  std::size_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.footprint_bytes();
+  return total;
+}
+
+bool Segment::DecompressScratch(ulm::FlatBatch& scratch) const {
+  return DecompressPayload(compressed, scratch).ok() &&
+         scratch.size() == record_count_;
+}
+
 bool Segment::MayContainEvent(const std::string& glob) const {
   if (glob.empty()) return !empty();
   for (const auto& [sym, count] : event_counts) {
@@ -178,11 +346,19 @@ Result<std::uint32_t> ReadFileHeader(std::string_view data) {
 }
 
 void AppendSegmentBlock(const Segment& segment, std::string& out) {
+  // A compressed segment persists its resting blob verbatim as a SEG2
+  // payload — no decompress/re-encode — which is what makes
+  // save → load → save byte-stable in the compressed state too.
   std::string payload;
-  segment.ForEachView(
-      [&payload](const ulm::RecordView& view) { view.EncodeBinary(payload); });
+  if (!segment.compressed.empty()) {
+    payload = segment.compressed;
+  } else {
+    segment.ForEachView([&payload](const ulm::RecordView& view) {
+      view.EncodeBinary(payload);
+    });
+  }
   const std::size_t start = out.size();
-  Put32(out, kSegmentMagic);
+  Put32(out, segment.compressed.empty() ? kSegmentMagic : kSegmentMagicV2);
   Put32(out, segment.tier);
   Put64(out, segment.id);
   Put64(out, segment.size());
@@ -204,7 +380,10 @@ BlockOutcome ReadSegmentBlock(std::string_view data, std::size_t* offset,
     return BlockOutcome::kTruncated;
   }
   // Header integrity is now checksum-backed; magic is a sanity re-check.
-  if (Get32(data, at) != kSegmentMagic) return BlockOutcome::kTruncated;
+  const std::uint32_t magic = Get32(data, at);
+  if (magic != kSegmentMagic && magic != kSegmentMagicV2) {
+    return BlockOutcome::kTruncated;
+  }
   const std::uint64_t payload_len = Get64(data, at + 40);
   if (payload_len > data.size() - at - kSegmentHeaderBytes) {
     return BlockOutcome::kTruncated;  // promised bytes never made it to disk
@@ -214,12 +393,16 @@ BlockOutcome ReadSegmentBlock(std::string_view data, std::size_t* offset,
   *offset = at + kSegmentHeaderBytes + payload_len;  // resynchronized
   if (Get32(data, at + 48) != Crc32(payload)) return BlockOutcome::kSkipped;
   // Decode straight into one flat chunk — no per-record Record
-  // materialization on the load path.
+  // materialization on the load path. SEG2 runs the hardened compressed
+  // decoder instead of the binary-ULM stream decoder; either way a decode
+  // failure or a record-count mismatch skips just this block.
   ulm::FlatBatch batch;
-  if (!batch.DecodeBinaryStreamInto(payload).ok() ||
-      batch.size() != Get64(data, at + 16)) {
+  if (magic == kSegmentMagicV2) {
+    if (!DecompressPayload(payload, batch).ok()) return BlockOutcome::kSkipped;
+  } else if (!batch.DecodeBinaryStreamInto(payload).ok()) {
     return BlockOutcome::kSkipped;
   }
+  if (batch.size() != Get64(data, at + 16)) return BlockOutcome::kSkipped;
   Segment segment;
   segment.id = Get64(data, at + 8);
   segment.tier = Get32(data, at + 4);
@@ -230,6 +413,14 @@ BlockOutcome ReadSegmentBlock(std::string_view data, std::size_t* offset,
       (segment.min_ts != static_cast<TimePoint>(Get64(data, at + 24)) ||
        segment.max_ts != static_cast<TimePoint>(Get64(data, at + 32)))) {
     return BlockOutcome::kSkipped;
+  }
+  if (magic == kSegmentMagicV2) {
+    // Validated: return the segment to its compressed resting state,
+    // keeping the payload bytes verbatim (indexes/min/max were just built
+    // from the decoded records above).
+    segment.compressed.assign(payload.data(), payload.size());
+    segment.chunks.clear();
+    segment.chunks.shrink_to_fit();
   }
   *out = std::move(segment);
   return BlockOutcome::kLoaded;

@@ -20,6 +20,15 @@
 // Persistence is per-segment with a checksummed header (layout below), so
 // one corrupt segment is skipped on load instead of poisoning the whole
 // archive file.
+//
+// ISSUE 8 added a compressed resting state for sealed segments: the flat
+// chunks are replaced by one dictionary + delta-varint blob (format below)
+// while the pruning indexes (min/max time, event counts, host set) stay
+// resident — so zone-map pruning never touches the blob, and a covering
+// segment decompresses into a scratch FlatBatch only when actually
+// scanned. Compression is transparent to every query and to persistence:
+// compressed segments save as SEG2 blocks carrying the blob verbatim, so
+// save → load → save is byte-stable in both states.
 #pragma once
 
 #include <cstdint>
@@ -70,6 +79,11 @@ struct Segment {
   std::uint64_t unnamed_count = 0;
   /// HOST symbols present (the per-segment host index), same flat layout.
   std::vector<ulm::Symbol> hosts;
+  /// Compressed resting state (ISSUE 8): when non-empty, `chunks` is empty
+  /// and the records live in this dictionary + delta-varint blob
+  /// (CompressPayload format). Indexes and counts above stay resident, so
+  /// pruning never decompresses. Only sealed segments are ever compressed.
+  std::string compressed;
 
   /// Copy one record into the tail chunk (legacy form converts/interns).
   void Append(const ulm::RecordView& view);
@@ -81,10 +95,19 @@ struct Segment {
   /// Legacy batched form: converts the frame into one flat chunk.
   void AppendFrame(std::vector<ulm::Record>&& frame);
 
-  /// Visit every record in arrival order as a RecordView (no
-  /// materialization). The view is only valid inside the callback.
+  /// Visit every record in arrival order as a RecordView. For an
+  /// uncompressed segment there is no materialization; a compressed
+  /// segment decodes into a scratch FlatBatch first (its blob was
+  /// validated when built, so the decode cannot fail). The view is only
+  /// valid inside the callback.
   template <typename Fn>
   void ForEachView(Fn&& fn) const {
+    if (!compressed.empty()) {
+      ulm::FlatBatch scratch;
+      if (!DecompressScratch(scratch)) return;  // unreachable post-validation
+      for (std::size_t i = 0; i < scratch.size(); ++i) fn(scratch.View(i));
+      return;
+    }
     for (const auto& chunk : chunks) {
       for (std::size_t i = 0; i < chunk.size(); ++i) fn(chunk.View(i));
     }
@@ -120,7 +143,21 @@ struct Segment {
   /// Record span in microseconds (0 for empty/single-timestamp segments).
   Duration Span() const { return record_count_ == 0 ? 0 : max_ts - min_ts; }
 
+  /// Replace the flat chunks with the compressed blob. Must only run on a
+  /// segment no other thread can see (the still-private seal candidate, or
+  /// a private copy about to be swapped in); no-op when already compressed
+  /// or empty. Indexes, counts, and time bounds are untouched.
+  void Compress();
+  /// Bytes this segment's records currently occupy: the blob size when
+  /// compressed, otherwise the chunks' arena + metadata footprint. The
+  /// unit QueryStats::bytes_scanned is denominated in.
+  std::size_t StorageBytes() const;
+
  private:
+  /// Decode the compressed blob into `scratch`; false only if the blob is
+  /// corrupt (impossible for blobs built by Compress or validated by the
+  /// loader).
+  bool DecompressScratch(ulm::FlatBatch& scratch) const;
   /// Fold one record into min/max-time and the event/host indexes and
   /// count it. Called exactly once per stored record.
   void IndexView(const ulm::RecordView& view);
@@ -145,7 +182,7 @@ struct Segment {
 //     u32  crc32 of the preceding 12 bytes
 //
 //   segment block := segment header (56 bytes) + payload:
-//     u32  magic   "SEG1" (0x31474553 LE)
+//     u32  magic   "SEG1" (0x31474553 LE) or "SEG2" (0x32474553 LE)
 //     u32  tier
 //     u64  id
 //     u64  record_count
@@ -155,21 +192,51 @@ struct Segment {
 //     u32  payload_crc            (crc32 of the payload bytes)
 //     u32  header_crc             (crc32 of the preceding 52 bytes)
 //
-//   payload := record_count self-delimiting binary ULM records
-//              (ulm::EncodeBinary), concatenated.
+//   SEG1 payload := record_count self-delimiting binary ULM records
+//                   (ulm::EncodeBinary), concatenated.
+//   SEG2 payload := one CompressPayload blob (compressed segments persist
+//                   their resting blob verbatim):
+//
+//     varint  record_count        (must match the header's)
+//     varint  dict_n
+//     dict_n × (varint len, bytes)   local string dictionary, first-use
+//                                    order over host/prog/lvl/event/field
+//                                    keys (built from the interned symbols)
+//     record_count × record:
+//       zigzag-varint  ts delta from the previous record (first record:
+//                      from the segment's min_ts), arrival order
+//       varint × 4     host, prog, lvl, event dictionary indexes
+//       varint         nfields
+//       nfields × (varint key index, varint value len, value bytes)
 //
 // Every byte of the file is covered by exactly one of the three CRCs, so
 // any single-bit corruption is detected. A bad payload CRC (or a payload
 // that decodes to the wrong record count) skips that one segment — the
 // header told us its length, so the loader resynchronizes at the next
 // block. A bad header CRC means the length itself is untrustworthy: the
-// loader stops there and reports the remainder as truncated.
+// loader stops there and reports the remainder as truncated. SEG2 decode
+// is hardened independently of the CRCs (every varint and length is
+// bounds-checked, indexes validated against the dictionary, trailing
+// bytes rejected), so a corrupt blob whose checksums were recomputed
+// still skips cleanly instead of crashing or looping.
 
 inline constexpr std::uint32_t kArchiveMagic = 0x4352414Au;   // "JARC"
 inline constexpr std::uint32_t kArchiveVersion = 1;
 inline constexpr std::uint32_t kSegmentMagic = 0x31474553u;   // "SEG1"
+inline constexpr std::uint32_t kSegmentMagicV2 = 0x32474553u; // "SEG2"
 inline constexpr std::size_t kFileHeaderBytes = 16;
 inline constexpr std::size_t kSegmentHeaderBytes = 56;
+
+/// Build the dictionary + delta-varint blob for `segment` (which must be
+/// uncompressed). Deterministic: dictionary order is first use in arrival
+/// order, so equal record sequences compress to equal bytes.
+std::string CompressPayload(const Segment& segment);
+
+/// Decode a CompressPayload blob, appending its records to `out` in
+/// arrival order. Hardened against arbitrary bytes: never crashes, never
+/// loops, and rejects truncation, bad indexes, and trailing garbage. On
+/// error `out` may hold a prefix of the records.
+Status DecompressPayload(std::string_view blob, ulm::FlatBatch& out);
 
 /// Append the archive file header for `segment_count` blocks to `out`.
 void AppendFileHeader(std::string& out, std::uint32_t segment_count);

@@ -224,6 +224,13 @@ class FlatBatch {
   std::size_t size() const { return metas_.size(); }
   bool empty() const { return metas_.empty(); }
   std::size_t value_bytes() const { return values_.size(); }
+  /// In-memory bytes this batch holds records in: the value arena plus the
+  /// field and per-record metadata vectors. The archive's bytes_scanned
+  /// accounting (QueryStats) is denominated in this.
+  std::size_t footprint_bytes() const {
+    return values_.size() + fields_.size() * sizeof(FlatField) +
+           metas_.size() * sizeof(Meta);
+  }
 
   /// Borrow record i; invalidated by Append*/Clear on this batch.
   RecordView View(std::size_t i) const {
