@@ -24,7 +24,7 @@ build_dir="${1:-$repo_root/build}"
 tolerance="${TOLERANCE:-0.35}"
 
 cmake -B "$build_dir" -S "$repo_root"
-cmake --build "$build_dir" -j --target bench_pipeline_throughput bench_liveness bench_archive bench_federation bench_nlv_primitives
+cmake --build "$build_dir" -j --target bench_pipeline_throughput bench_liveness bench_archive bench_federation bench_nlv_primitives bench_directory
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -84,5 +84,10 @@ echo "== bench_nlv_primitives (floors enforced by the bench itself)"
 "$build_dir/bench/bench_nlv_primitives" "$tmp/BENCH_analysis.json"
 compare_ratios "$tmp/BENCH_analysis.json" "$repo_root/BENCH_analysis.json" \
   sealed_compression_ratio lifeline_bytes_reduction
+
+echo "== bench_directory (floors enforced by the bench itself)"
+"$build_dir/bench/bench_directory" "$tmp/BENCH_directory.json"
+compare_ratios "$tmp/BENCH_directory.json" "$repo_root/BENCH_directory.json" \
+  read_saturation_ratio recovery_vs_populate_speedup
 
 echo "bench: no regression beyond tolerance ${tolerance} vs committed baselines"

@@ -1,41 +1,126 @@
 #include "directory/replication.hpp"
 
+#include <algorithm>
+#include <set>
+
+#include "directory/wal.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace jamm::directory {
 
 namespace {
 
+constexpr std::size_t kShipBatch = 256;  // changes per replication batch
+
 struct PoolTelemetry {
   telemetry::Counter& write_failovers;
   telemetry::Counter& writes_unavailable;
   telemetry::Counter& breaker_skips;
+  telemetry::Counter& referral_chases;
+  telemetry::Counter& referral_cache_hits;
 };
 
 PoolTelemetry& Instruments() {
   auto& m = telemetry::Metrics();
   static PoolTelemetry t{m.counter("directory.pool.write_failovers"),
                          m.counter("directory.pool.writes_unavailable"),
-                         m.counter("directory.pool.breaker_skips")};
+                         m.counter("directory.pool.breaker_skips"),
+                         m.counter("directory.pool.referral_chases"),
+                         m.counter("directory.pool.referral_cache_hits")};
+  return t;
+}
+
+struct ReplicaTelemetry {
+  telemetry::Counter& lagging;
+  telemetry::Counter& resynced;
+};
+
+ReplicaTelemetry& ReplicaInstruments() {
+  auto& m = telemetry::Metrics();
+  static ReplicaTelemetry t{m.counter("dir.replica.lagging"),
+                            m.counter("dir.replica.resynced")};
   return t;
 }
 
 }  // namespace
 
+// ----------------------------------------------------------- Replicator
+
 void Replicator::AddReplica(std::shared_ptr<DirectoryServer> replica) {
-  replicas_.push_back({std::move(replica), 0});
+  replicas_.push_back({std::move(replica), 0, 0, 0, 0, false});
 }
 
 std::size_t Replicator::SyncAll() {
+  const std::uint64_t head = primary_->last_seq();
   std::size_t applied = 0;
   for (auto& tracked : replicas_) {
-    if (!tracked.server->alive()) continue;
-    for (const auto& change : primary_->ChangesSince(tracked.applied_seq)) {
-      if (tracked.server->ApplyReplicated(change).ok()) {
-        tracked.applied_seq = change.seq;
-        ++applied;
-      } else {
-        break;  // keep ordering; retry from this change next sync
+    const bool has_lag = tracked.applied_seq < head;
+    if (!tracked.server->alive()) {
+      // Unreachable: re-probe with exponential backoff (skip 1, 2, 4, ...
+      // sync rounds, capped) instead of silently skipping forever, and
+      // account the lag while it lasts.
+      if (has_lag) {
+        tracked.behind = true;
+        ReplicaInstruments().lagging.Increment();
+      }
+      if (tracked.skip_rounds > 0) {
+        --tracked.skip_rounds;
+        continue;
+      }
+      tracked.misses = std::min<std::uint32_t>(tracked.misses + 1, 16);
+      tracked.skip_rounds =
+          std::min<std::uint32_t>(1u << std::min<std::uint32_t>(
+                                      tracked.misses - 1, 15),
+                                  max_backoff_rounds_);
+      continue;
+    }
+    // Back up: any backoff budget is void — probe now.
+    tracked.skip_rounds = 0;
+    // Ship committed frames in batches from the replica's offset.
+    bool push_failed = false;
+    for (;;) {
+      std::uint64_t next = tracked.offset;
+      auto batch =
+          primary_->wal().ReadFrom(tracked.offset, kShipBatch, &next);
+      if (batch.empty()) {
+        tracked.offset = next;  // clamp if the primary's log shrank
+        break;
+      }
+      // A reset offset may re-ship frames the replica already has.
+      std::vector<Change> fresh;
+      fresh.reserve(batch.size());
+      for (auto& change : batch) {
+        if (change.seq > tracked.applied_seq) fresh.push_back(std::move(change));
+      }
+      std::size_t batch_applied = 0;
+      Status status = fresh.empty()
+                          ? Status::Ok()
+                          : tracked.server->ApplyReplicatedBatch(
+                                fresh, &batch_applied);
+      applied += batch_applied;
+      if (batch_applied > 0) {
+        tracked.applied_seq = fresh[batch_applied - 1].seq;
+      }
+      if (!status.ok()) {
+        push_failed = true;
+        break;  // keep ordering; retry from this offset next sync
+      }
+      tracked.offset = next;
+    }
+    if (push_failed) {
+      tracked.misses = std::min<std::uint32_t>(tracked.misses + 1, 16);
+      tracked.skip_rounds =
+          std::min<std::uint32_t>(1u << std::min<std::uint32_t>(
+                                      tracked.misses - 1, 15),
+                                  max_backoff_rounds_);
+      tracked.behind = true;
+      ReplicaInstruments().lagging.Increment();
+    } else {
+      tracked.misses = 0;
+      tracked.skip_rounds = 0;
+      if (tracked.behind && tracked.applied_seq >= primary_->last_seq()) {
+        tracked.behind = false;
+        ReplicaInstruments().resynced.Increment();
       }
     }
   }
@@ -49,6 +134,19 @@ bool Replicator::Converged() const {
   }
   return true;
 }
+
+std::uint64_t Replicator::QuorumSeq() const {
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(replicas_.size() + 1);
+  seqs.push_back(primary_->last_seq());
+  for (const auto& tracked : replicas_) seqs.push_back(tracked.applied_seq);
+  std::sort(seqs.begin(), seqs.end(), std::greater<>());
+  // seqs[k-1] is held by at least k members; a majority is n/2 + 1.
+  const std::size_t majority = seqs.size() / 2 + 1;
+  return seqs[majority - 1];
+}
+
+// -------------------------------------------------------- DirectoryPool
 
 void DirectoryPool::AddServer(std::shared_ptr<DirectoryServer> server) {
   servers_.push_back(std::move(server));
@@ -67,6 +165,15 @@ void DirectoryPool::SetBreakerPolicy(const resilience::BreakerPolicy& policy,
   }
 }
 
+void DirectoryPool::SetResolver(Resolver resolver) {
+  resolver_ = std::move(resolver);
+}
+
+void DirectoryPool::SetReferralCacheTtl(Duration ttl, const Clock& clock) {
+  referral_ttl_ = ttl;
+  referral_clock_ = &clock;
+}
+
 bool DirectoryPool::AllowServer(std::size_t i) {
   if (!breakers_[i]) return true;
   if (breakers_[i]->Allow()) return true;
@@ -83,19 +190,94 @@ void DirectoryPool::RecordOutcome(std::size_t i, const Status& status) {
   }
 }
 
+std::shared_ptr<DirectoryServer> DirectoryPool::Resolve(
+    const std::string& address) const {
+  for (const auto& server : servers_) {
+    if (server->address() == address) return server;
+  }
+  if (resolver_) return resolver_(address);
+  return nullptr;
+}
+
+std::shared_ptr<DirectoryServer> DirectoryPool::CachedRoute(const Dn& dn) {
+  const TimePoint now = referral_clock_ ? referral_clock_->Now() : 0;
+  const Route* best = nullptr;
+  for (auto it = referral_cache_.begin(); it != referral_cache_.end();) {
+    if (it->second.expires != 0 && it->second.expires <= now) {
+      it = referral_cache_.erase(it);  // lease-driven invalidation
+      continue;
+    }
+    if (dn.IsUnder(it->second.suffix) &&
+        (best == nullptr ||
+         it->second.suffix.depth() > best->suffix.depth())) {
+      best = &it->second;
+    }
+    ++it;
+  }
+  if (best == nullptr) return nullptr;
+  auto server = Resolve(best->target);
+  if (server) Instruments().referral_cache_hits.Increment();
+  return server;
+}
+
+void DirectoryPool::CacheRoute(const Dn& suffix, const std::string& target) {
+  if (referral_clock_ == nullptr || referral_ttl_ <= 0) return;
+  referral_cache_[suffix.ToString()] =
+      Route{suffix, target, referral_clock_->Now() + referral_ttl_};
+}
+
+void DirectoryPool::DropRoutesTo(const std::string& target) {
+  for (auto it = referral_cache_.begin(); it != referral_cache_.end();) {
+    if (it->second.target == target) it = referral_cache_.erase(it);
+    else ++it;
+  }
+}
+
 Result<Entry> DirectoryPool::Lookup(const Dn& dn,
                                     const std::string& principal,
                                     bool live_only) {
+  // A cached shard route short-circuits the failover loop entirely.
+  if (auto routed = CachedRoute(dn)) {
+    auto result = routed->Lookup(dn, principal, live_only);
+    if (result.ok()) {
+      last_served_by_ = routed->address();
+      return result;
+    }
+    if (result.status().code() == StatusCode::kUnavailable) {
+      DropRoutesTo(routed->address());  // stale route; fall back to the pool
+    }
+  }
   Status last = Status::Unavailable("directory pool empty");
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     if (!AllowServer(i)) continue;
     auto result = servers_[i]->Lookup(dn, principal, live_only);
     RecordOutcome(i, result.ok() ? Status::Ok() : result.status());
-    if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
-      last_served_by_ = servers_[i]->address();
-      return result;
+    if (result.status().code() == StatusCode::kUnavailable) {
+      last = result.status();
+      continue;
     }
-    last = result.status();
+    last_served_by_ = servers_[i]->address();
+    if (!result.ok() && result.status().code() == StatusCode::kNotFound) {
+      // The entry may live on another shard: chase the referral chain.
+      auto ref = servers_[i]->MatchReferral(dn);
+      for (std::size_t depth = 0; ref && depth < kMaxChase; ++depth) {
+        auto target = Resolve(ref->target);
+        if (!target) break;
+        Instruments().referral_chases.Increment();
+        auto chased = target->Lookup(dn, principal, live_only);
+        if (chased.ok()) {
+          CacheRoute(ref->suffix, ref->target);
+          last_served_by_ = target->address();
+          return chased;
+        }
+        if (chased.status().code() != StatusCode::kNotFound) break;
+        auto next = target->MatchReferral(dn);
+        // A shard pointing back at itself (or nowhere) ends the chase.
+        if (next && next->target == ref->target) break;
+        ref = next;
+      }
+    }
+    return result;
   }
   return last;
 }
@@ -110,11 +292,58 @@ Result<SearchResult> DirectoryPool::Search(const Dn& base, SearchScope scope,
     auto result = servers_[i]->Search(base, scope, filter, principal,
                                       live_only);
     RecordOutcome(i, result.ok() ? Status::Ok() : result.status());
-    if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
-      last_served_by_ = servers_[i]->address();
-      return result;
+    if (result.status().code() == StatusCode::kUnavailable) {
+      last = result.status();
+      continue;
     }
-    last = result.status();
+    last_served_by_ = servers_[i]->address();
+    if (result.ok() && !result->referrals.empty()) {
+      // Chase continuation references across shards: merge the remote
+      // results, dedup by DN, and drop each referral we resolved.
+      SearchResult merged = *std::move(result);
+      std::set<std::string> seen;
+      for (const Entry& entry : merged.entries) {
+        seen.insert(entry.dn().ToString());
+      }
+      std::vector<Referral> pending = std::move(merged.referrals);
+      merged.referrals.clear();
+      std::set<std::string> visited;
+      std::size_t chased = 0;
+      while (!pending.empty() && chased < kMaxChase) {
+        Referral ref = std::move(pending.back());
+        pending.pop_back();
+        if (!visited.insert(ref.target).second) continue;
+        auto target = Resolve(ref.target);
+        if (!target) {
+          merged.referrals.push_back(std::move(ref));
+          continue;
+        }
+        Instruments().referral_chases.Increment();
+        ++chased;
+        auto remote = target->Search(base, scope, filter, principal,
+                                     live_only);
+        if (!remote.ok()) {
+          merged.referrals.push_back(std::move(ref));
+          continue;
+        }
+        CacheRoute(ref.suffix, ref.target);
+        for (Entry& entry : remote->entries) {
+          if (seen.insert(entry.dn().ToString()).second) {
+            merged.entries.push_back(std::move(entry));
+          }
+        }
+        for (Referral& further : remote->referrals) {
+          pending.push_back(std::move(further));
+        }
+      }
+      for (Referral& ref : pending) merged.referrals.push_back(std::move(ref));
+      std::sort(merged.entries.begin(), merged.entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.dn().ToString() < b.dn().ToString();
+                });
+      return merged;
+    }
+    return result;
   }
   return last;
 }
@@ -123,12 +352,22 @@ Status DirectoryPool::WriteOp(
     const std::function<Status(DirectoryServer&)>& op) {
   if (servers_.empty()) return Status::Unavailable("directory pool empty");
   Status last = Status::Unavailable("all directory servers unavailable");
-  // Start at the current write primary; on failure promote the next live
-  // server so subsequent writes go straight there (sticky failover). The
-  // demoted primary reconverges through a Replicator rooted at the
-  // promoted server once it revives.
-  for (std::size_t k = 0; k < servers_.size(); ++k) {
-    const std::size_t i = (write_index_ + k) % servers_.size();
+  // Try the current write primary first; if it is down, promote the most
+  // caught-up live candidate (highest last_seq — the quorum-election
+  // winner) so no acked write is rolled back by electing a stale replica.
+  std::vector<std::size_t> order;
+  order.reserve(servers_.size());
+  order.push_back(write_index_);
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (i != write_index_) candidates.push_back(i);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return servers_[a]->last_seq() > servers_[b]->last_seq();
+                   });
+  order.insert(order.end(), candidates.begin(), candidates.end());
+  for (std::size_t i : order) {
     if (!AllowServer(i)) continue;
     Status status = op(*servers_[i]);
     RecordOutcome(i, status);
@@ -147,16 +386,84 @@ Status DirectoryPool::WriteOp(
   return last;
 }
 
+Status DirectoryPool::ChaseWrite(
+    const Referral& first, const Dn& dn,
+    const std::function<Status(DirectoryServer&)>& op) {
+  std::optional<Referral> ref = first;
+  for (std::size_t depth = 0; ref && depth < kMaxChase; ++depth) {
+    auto target = Resolve(ref->target);
+    if (!target) break;
+    Instruments().referral_chases.Increment();
+    Status status = op(*target);
+    if (status.code() == StatusCode::kAborted) {
+      auto next = target->MatchReferral(dn);
+      if (next && next->target == ref->target) break;
+      ref = next;
+      continue;
+    }
+    if (status.ok()) {
+      CacheRoute(ref->suffix, ref->target);
+      last_served_by_ = target->address();
+    }
+    return status;
+  }
+  return Status::Aborted("unresolvable referral for " + dn.ToString());
+}
+
 Status DirectoryPool::Upsert(const Entry& entry,
                              const std::string& principal) {
-  return WriteOp([&](DirectoryServer& server) {
+  const auto op = [&](DirectoryServer& server) {
     return server.Upsert(entry, principal);
+  };
+  if (auto routed = CachedRoute(entry.dn())) {
+    Status status = op(*routed);
+    if (status.ok()) {
+      last_served_by_ = routed->address();
+      return status;
+    }
+    DropRoutesTo(routed->address());  // stale route; retry through the pool
+  }
+  Status status = WriteOp(op);
+  if (status.code() == StatusCode::kAborted) {
+    // The write primary referred the subtree away — follow it.
+    auto ref = servers_[write_index_]->MatchReferral(entry.dn());
+    if (ref) return ChaseWrite(*ref, entry.dn(), op);
+  }
+  return status;
+}
+
+Status DirectoryPool::UpsertBatch(const std::vector<Entry>& entries,
+                                  const std::string& principal) {
+  Status status = WriteOp([&](DirectoryServer& server) {
+    return server.UpsertBatch(entries, principal);
   });
+  if (status.code() != StatusCode::kAborted) return status;
+  // Some entries straddle a shard boundary: fall back to per-entry
+  // upserts, each chasing its own referral.
+  for (const Entry& entry : entries) {
+    JAMM_RETURN_IF_ERROR(Upsert(entry, principal));
+  }
+  return Status::Ok();
 }
 
 Status DirectoryPool::Delete(const Dn& dn, const std::string& principal) {
-  return WriteOp(
-      [&](DirectoryServer& server) { return server.Delete(dn, principal); });
+  const auto op = [&](DirectoryServer& server) {
+    return server.Delete(dn, principal);
+  };
+  if (auto routed = CachedRoute(dn)) {
+    Status status = op(*routed);
+    if (status.ok()) {
+      last_served_by_ = routed->address();
+      return status;
+    }
+    DropRoutesTo(routed->address());
+  }
+  Status status = WriteOp(op);
+  if (status.code() == StatusCode::kAborted) {
+    auto ref = servers_[write_index_]->MatchReferral(dn);
+    if (ref) return ChaseWrite(*ref, dn, op);
+  }
+  return status;
 }
 
 Result<std::size_t> DirectoryPool::RenewLeases(const std::vector<Dn>& dns,
@@ -164,17 +471,62 @@ Result<std::size_t> DirectoryPool::RenewLeases(const std::vector<Dn>& dns,
                                                const std::string& principal,
                                                std::vector<Dn>* missing) {
   std::size_t renewed = 0;
+  std::vector<Dn> unplaced;
   Status status = WriteOp([&](DirectoryServer& server) {
     // A failover retry must not double-report: reset the out-params so
     // only the server that actually took the batch contributes.
     renewed = 0;
-    if (missing) missing->clear();
-    auto result = server.RenewLeases(dns, expiry, principal, missing);
+    unplaced.clear();
+    auto result = server.RenewLeases(dns, expiry, principal, &unplaced);
     if (!result.ok()) return result.status();
     renewed = *result;
     return Status::Ok();
   });
   if (!status.ok()) return status;
+  // DNs the primary doesn't hold may live on other shards: group them per
+  // referral target and renew there in one batch each.
+  if (!unplaced.empty() && !servers_.empty()) {
+    auto& primary = *servers_[write_index_];
+    std::map<std::string, std::pair<Referral, std::vector<Dn>>> groups;
+    std::vector<Dn> leftovers;
+    for (Dn& dn : unplaced) {
+      std::shared_ptr<DirectoryServer> routed = CachedRoute(dn);
+      std::optional<Referral> ref;
+      if (!routed) {
+        ref = primary.MatchReferral(dn);
+        if (ref) routed = Resolve(ref->target);
+      }
+      if (routed) {
+        auto& group = groups[routed->address()];
+        if (ref) group.first = *ref;
+        group.second.push_back(std::move(dn));
+      } else {
+        leftovers.push_back(std::move(dn));
+      }
+    }
+    for (auto& [address, group] : groups) {
+      auto target = Resolve(address);
+      if (!target) {
+        for (Dn& dn : group.second) leftovers.push_back(std::move(dn));
+        continue;
+      }
+      Instruments().referral_chases.Increment();
+      std::vector<Dn> shard_missing;
+      auto result =
+          target->RenewLeases(group.second, expiry, principal, &shard_missing);
+      if (!result.ok()) {
+        for (Dn& dn : group.second) leftovers.push_back(std::move(dn));
+        continue;
+      }
+      renewed += *result;
+      if (!group.first.target.empty()) {
+        CacheRoute(group.first.suffix, group.first.target);
+      }
+      for (Dn& dn : shard_missing) leftovers.push_back(std::move(dn));
+    }
+    unplaced = std::move(leftovers);
+  }
+  if (missing) *missing = std::move(unplaced);
   return renewed;
 }
 

@@ -1,0 +1,148 @@
+#include "directory/shard.hpp"
+
+#include <algorithm>
+
+#include "directory/filter.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace jamm::directory {
+
+namespace {
+
+telemetry::Counter& MigrationsCompleted() {
+  static telemetry::Counter& c =
+      telemetry::Metrics().counter("directory.shard.migrations_completed");
+  return c;
+}
+
+/// Wrap entries as lenient replicated adds (seq 0: the target mints its
+/// own — migration changes enter the target's log as local history).
+std::vector<Change> AsAdds(const std::vector<Entry>& entries) {
+  std::vector<Change> changes;
+  changes.reserve(entries.size());
+  for (const Entry& entry : entries) {
+    Change change;
+    change.type = Change::Type::kAdd;
+    change.entry = entry;
+    changes.push_back(std::move(change));
+  }
+  return changes;
+}
+
+}  // namespace
+
+ShardMigrator::ShardMigrator(std::shared_ptr<DirectoryServer> source,
+                             std::shared_ptr<DirectoryServer> target,
+                             Dn subtree, Options options)
+    : source_(std::move(source)),
+      target_(std::move(target)),
+      subtree_(std::move(subtree)),
+      options_(options) {}
+
+Status ShardMigrator::StepCopy() {
+  if (!copy_started_) {
+    // Fence first, then read: every change after `catchup_seq_` will be
+    // re-shipped in kCatchUp, so a write racing this snapshot read is
+    // never lost — at worst it is applied twice (the apply is lenient).
+    catchup_seq_ = source_->last_seq();
+    auto result =
+        source_->Search(subtree_, SearchScope::kSubtree, Filter::MatchAll());
+    if (!result.ok()) return result.status();
+    copy_list_ = std::move(result->entries);
+    std::sort(copy_list_.begin(), copy_list_.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.dn().depth() != b.dn().depth()) {
+                  return a.dn().depth() < b.dn().depth();  // parents first
+                }
+                return a.dn().ToString() < b.dn().ToString();
+              });
+    copy_started_ = true;
+  }
+  const std::size_t end =
+      std::min(copy_cursor_ + options_.copy_batch, copy_list_.size());
+  if (copy_cursor_ < end) {
+    std::vector<Entry> batch(copy_list_.begin() + copy_cursor_,
+                             copy_list_.begin() + end);
+    JAMM_RETURN_IF_ERROR(target_->ApplyReplicatedBatch(AsAdds(batch)));
+    stats_.copied += batch.size();
+    copy_cursor_ = end;
+  }
+  if (copy_cursor_ >= copy_list_.size()) {
+    copy_list_.clear();
+    phase_ = Phase::kCatchUp;
+  }
+  return Status::Ok();
+}
+
+Status ShardMigrator::StepCatchUp() {
+  if (!source_->alive()) {
+    return Status::Unavailable("migration source down: " + source_->address());
+  }
+  auto delta = source_->ChangesSince(catchup_seq_);
+  std::uint64_t max_seq = catchup_seq_;
+  std::vector<Change> relevant;
+  for (Change& change : delta) {
+    max_seq = std::max(max_seq, change.seq);
+    // The target owns its own referral layout; everything else under the
+    // subtree replays (leases included — renewals must not be lost).
+    if (change.type == Change::Type::kReferral) continue;
+    if (!change.entry.dn().IsUnder(subtree_)) continue;
+    change.seq = 0;  // the target mints its own
+    relevant.push_back(std::move(change));
+  }
+  if (!relevant.empty()) {
+    JAMM_RETURN_IF_ERROR(target_->ApplyReplicatedBatch(relevant));
+    stats_.caught_up += relevant.size();
+  }
+  const bool drained = relevant.empty();
+  catchup_seq_ = max_seq;
+  if (drained) phase_ = Phase::kCutover;
+  return Status::Ok();
+}
+
+Status ShardMigrator::StepCutover() {
+  // One snapshot swap on the source installs the referral and removes the
+  // local entries; the returned set is the final authoritative state
+  // (leases as of the swap) and is flushed to the target. Writes racing
+  // the cutover either land before it (caught by this final set) or get
+  // the referral and chase to the target through the pool.
+  auto final_entries = source_->CutoverSubtree(subtree_, target_->address());
+  if (!final_entries.ok()) return final_entries.status();
+  if (!final_entries->empty()) {
+    JAMM_RETURN_IF_ERROR(target_->ApplyReplicatedBatch(AsAdds(*final_entries)));
+    stats_.moved_final = final_entries->size();
+  }
+  phase_ = Phase::kDone;
+  MigrationsCompleted().Increment();
+  return Status::Ok();
+}
+
+Result<ShardMigrator::Phase> ShardMigrator::Step() {
+  ++stats_.steps;
+  Status status = Status::Ok();
+  switch (phase_) {
+    case Phase::kCopy:
+      status = StepCopy();
+      break;
+    case Phase::kCatchUp:
+      status = StepCatchUp();
+      break;
+    case Phase::kCutover:
+      status = StepCutover();
+      break;
+    case Phase::kDone:
+      break;
+  }
+  if (!status.ok()) return status;
+  return phase_;
+}
+
+Status ShardMigrator::Run() {
+  while (phase_ != Phase::kDone) {
+    auto step = Step();
+    if (!step.ok()) return step.status();
+  }
+  return Status::Ok();
+}
+
+}  // namespace jamm::directory

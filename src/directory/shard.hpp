@@ -1,0 +1,92 @@
+// Online shard migration (ISSUE 9): split a hot subtree off a directory
+// server onto another server while reads and writes continue.
+//
+// The migration runs in phases, each advanced by Step() so a driver (or a
+// chaos schedule) can interleave traffic, crashes, and syncs:
+//
+//   kCopy     — bulk-copy the subtree snapshot to the target in batches,
+//               parents-first. The source stays authoritative; writes and
+//               renewals keep landing there.
+//   kCatchUp  — ship the source changes that arrived since the copy began
+//               (filtered to the subtree), repeatedly, until a pass finds
+//               the delta drained.
+//   kCutover  — source.CutoverSubtree(): one atomic snapshot swap installs
+//               the referral and drops the local copies, returning the
+//               final authoritative entries (current leases included),
+//               which are flushed to the target. From this instant the
+//               source answers the subtree with a referral and the pool
+//               chases it; no read ever finds neither.
+//   kDone
+//
+// A source crash mid-migration is safe: nothing about the migration is
+// acked to anyone until the cutover commits, and the cutover itself is a
+// WAL-logged transaction — after Restart() the source either still owns
+// the subtree (cutover never committed; re-run the migration) or the
+// referral is durable (migration complete).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "directory/replication.hpp"
+#include "directory/server.hpp"
+
+namespace jamm::directory {
+
+struct MigrationOptions {
+  std::size_t copy_batch = 512;  // entries copied per kCopy step
+};
+
+class ShardMigrator {
+ public:
+  enum class Phase { kCopy, kCatchUp, kCutover, kDone };
+
+  using Options = MigrationOptions;
+
+  /// Move `subtree` from `source` to `target`. The target's suffix must
+  /// cover the subtree (typically the target is created with the subtree
+  /// as its suffix).
+  ShardMigrator(std::shared_ptr<DirectoryServer> source,
+                std::shared_ptr<DirectoryServer> target, Dn subtree,
+                Options options = {});
+
+  /// Advance one phase chunk (one copy batch, one catch-up pass, or the
+  /// cutover). Returns the phase now current. A failed step (e.g. the
+  /// source crashed mid-copy) leaves the phase unchanged; call Step()
+  /// again once the server is back.
+  Result<Phase> Step();
+
+  /// Step() until kDone.
+  Status Run();
+
+  Phase phase() const { return phase_; }
+
+  struct Stats {
+    std::uint64_t copied = 0;       // entries shipped during kCopy
+    std::uint64_t caught_up = 0;    // delta changes shipped during kCatchUp
+    std::uint64_t moved_final = 0;  // entries in the cutover flush
+    std::uint64_t steps = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Status StepCopy();
+  Status StepCatchUp();
+  Status StepCutover();
+
+  std::shared_ptr<DirectoryServer> source_;
+  std::shared_ptr<DirectoryServer> target_;
+  Dn subtree_;
+  Options options_;
+  Phase phase_ = Phase::kCopy;
+  Stats stats_;
+
+  bool copy_started_ = false;
+  std::vector<Entry> copy_list_;   // subtree snapshot, parents-first
+  std::size_t copy_cursor_ = 0;
+  std::uint64_t catchup_seq_ = 0;  // last source seq shipped
+};
+
+}  // namespace jamm::directory

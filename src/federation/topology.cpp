@@ -52,15 +52,16 @@ Status FederationTopology::RegisterLevel(const Level& level,
   if (level.name.empty()) {
     return Status::InvalidArgument("federation level needs a name");
   }
-  // Levels live under "ou=federation, <suffix>"; make sure that container
-  // exists before publishing into it.
+  // Levels live under "ou=federation, <suffix>"; the container and the
+  // level publish as one batch — one lock, one WAL commit, one snapshot
+  // swap on the serving shard (ISSUE 9).
   directory::Entry container(suffix_.Child("ou", "federation"));
   container.Set(directory::schema::kAttrObjectClass, "organizationalUnit");
-  (void)pool_.Upsert(container, principal);
-  return pool_.Upsert(
-      directory::schema::MakeFederationEntry(suffix_, level.name,
-                                             level.address, level.tier,
-                                             level.children),
+  return pool_.UpsertBatch(
+      {container,
+       directory::schema::MakeFederationEntry(suffix_, level.name,
+                                              level.address, level.tier,
+                                              level.children)},
       principal);
 }
 

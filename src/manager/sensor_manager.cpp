@@ -68,6 +68,13 @@ SensorManager::SensorManager(Options options)
           return start ? StartSensor(name) : StopSensor(name);
         });
   }
+  // Sharded directory (ISSUE 9): cache chased referral routes no longer
+  // than a lease — a shard layout change is visible to the pool at worst
+  // one TTL after cutover, the same staleness bound leases already give.
+  if (options_.directory && options_.clock && options_.lease_ttl > 0) {
+    options_.directory->SetReferralCacheTtl(options_.lease_ttl,
+                                            *options_.clock);
+  }
 }
 
 Status SensorManager::ApplyConfig(const Config& config) {

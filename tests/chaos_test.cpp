@@ -15,9 +15,15 @@
 // failure is a debuggable failure (ctest label: chaos).
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "consumers/process_monitor.hpp"
 #include "directory/replication.hpp"
 #include "directory/schema.hpp"
+#include "directory/shard.hpp"
+#include "directory/wal.hpp"
+#include "telemetry/metrics.hpp"
 #include "gateway/gateway.hpp"
 #include "federation/republisher.hpp"
 #include "gateway/service.hpp"
@@ -376,6 +382,342 @@ TEST(ChaosTest, FederationTreeReconvergesAfterMidTierCrashes) {
   EXPECT_EQ(total.records_in, total.republished + total.pushdown_records +
                                   total.duplicates_dropped +
                                   total.stale_dropped);
+}
+
+// ISSUE 9: seeded hard kills of the shard primary mid-heartbeat-storm and
+// of the replica mid-catch-up. Crash() loses every volatile structure and
+// the unsynced WAL tail; the invariants are:
+//   * no acked write (structural or renewal) is ever lost — after the
+//     final reconvergence every tracked entry is on both servers with at
+//     least its last acked lease;
+//   * once heartbeats for a subset stop, the pool reconverges — the dead
+//     entries vanish from every server — within 2×TTL;
+//   * accounting is exact: both servers end with precisely the modeled
+//     entry count.
+TEST(ChaosTest, DirectoryCrashStormLosesNoAckedWrite) {
+  constexpr Duration kTtl = 10 * kSecond;
+  SimClock clock(0);
+  const Dn suffix = *Dn::Parse("ou=sensors, o=jamm");
+  auto storage = std::make_shared<directory::WalStorage>();
+  auto primary = std::make_shared<directory::DirectoryServer>(
+      suffix, "ldap://primary", storage);
+  auto replica =
+      std::make_shared<directory::DirectoryServer>(suffix, "ldap://replica");
+  primary->SetClock(&clock);
+  replica->SetClock(&clock);
+  directory::Replicator forward(primary);
+  forward.AddReplica(replica);
+  directory::DirectoryPool pool;
+  pool.AddServer(primary);
+  pool.AddServer(replica);
+
+  // Population: four hosts, six leased sensors each, all acked up front.
+  std::vector<Dn> all_sensors;
+  std::vector<Dn> h3_sensors;
+  for (int h = 0; h < 4; ++h) {
+    const std::string host = "h" + std::to_string(h);
+    ASSERT_TRUE(
+        pool.Upsert(directory::schema::MakeHostEntry(suffix, host)).ok());
+    for (int s = 0; s < 6; ++s) {
+      auto entry = directory::schema::MakeSensorEntry(
+          suffix, host, "s" + std::to_string(s), "cpu", "inproc:gw." + host,
+          1000, 0);
+      directory::schema::StampLease(entry, kTtl);
+      ASSERT_TRUE(pool.Upsert(entry).ok());
+      all_sensors.push_back(entry.dn());
+      if (h == 3) h3_sensors.push_back(entry.dn());
+    }
+  }
+  forward.SyncAll();
+  ASSERT_TRUE(forward.Converged());
+  const std::size_t initial_sensors = all_sensors.size();
+
+  // Last ACKED lease expiry per DN — the durability contract under test.
+  std::map<std::string, TimePoint> acked;
+  for (const Dn& dn : all_sensors) acked[dn.ToString()] = kTtl;
+
+  resilience::CrashSchedule primary_schedule(/*seed=*/5, 7 * kSecond,
+                                             2 * kSecond);
+  resilience::CrashSchedule replica_schedule(/*seed=*/9, 9 * kSecond,
+                                             3 * kSecond);
+  int primary_crashes = 0;
+  int replica_crashes = 0;
+  std::uint64_t acked_rounds = 0;
+  std::uint64_t dark_rounds = 0;  // both servers down: nothing acked
+
+  for (int tick = 0; tick <= 90; ++tick) {
+    const TimePoint now = clock.Now();
+    // Seeded HARD kills (volatile state + unsynced WAL tail gone), timed
+    // to land mid-storm and mid-catch-up.
+    if (!primary_schedule.AliveAt(now) && primary->alive()) {
+      primary->Crash();
+      ++primary_crashes;
+    } else if (primary_schedule.AliveAt(now) && !primary->alive()) {
+      primary->Restart();
+    }
+    if (!replica_schedule.AliveAt(now) && replica->alive()) {
+      replica->Crash();
+      ++replica_crashes;
+    } else if (replica_schedule.AliveAt(now) && !replica->alive()) {
+      replica->Restart();
+    }
+
+    // The heartbeat storm: every sensor renews every second, through the
+    // pool (sticky write failover decides who acks).
+    std::vector<Dn> missing;
+    auto renewed = pool.RenewLeases(all_sensors, now + kTtl, "", &missing);
+    if (renewed.ok()) {
+      ++acked_rounds;
+      std::set<std::string> missed;
+      for (const Dn& dn : missing) missed.insert(dn.ToString());
+      for (const Dn& dn : all_sensors) {
+        if (!missed.count(dn.ToString())) acked[dn.ToString()] = now + kTtl;
+      }
+    } else {
+      ++dark_rounds;
+    }
+
+    // Occasional new publication mid-storm.
+    if (tick % 7 == 3) {
+      auto extra = directory::schema::MakeSensorEntry(
+          suffix, "h0", "extra" + std::to_string(tick), "cpu",
+          "inproc:gw.h0", 1000, 0);
+      directory::schema::StampLease(extra, now + kTtl);
+      if (pool.Upsert(extra).ok()) {
+        all_sensors.push_back(extra.dn());
+        acked[extra.dn().ToString()] = now + kTtl;
+      }
+    }
+
+    // Reads of the pre-chaos population fail over; they must succeed
+    // whenever any server is up.
+    if (primary->alive() || replica->alive()) {
+      ASSERT_TRUE(
+          pool.Lookup(all_sensors[tick % initial_sensors]).ok())
+          << "at t=" << now;
+    }
+
+    forward.SyncAll();  // the replica may be killed mid-catch-up
+    clock.Advance(kSecond);
+  }
+  ASSERT_GT(primary_crashes, 0) << "schedule never crashed the primary";
+  ASSERT_GT(replica_crashes, 0) << "schedule never crashed the replica";
+  ASSERT_GT(acked_rounds, 0u);
+
+  // Reconverge: both up, ship both logs (failover writes live only in the
+  // promoted server's WAL until pushed back).
+  if (!primary->alive()) primary->Restart();
+  if (!replica->alive()) replica->Restart();
+  forward.SyncAll();
+  directory::Replicator reverse(replica);
+  reverse.AddReplica(primary);
+  reverse.SyncAll();
+  forward.SyncAll();
+  EXPECT_TRUE(forward.Converged());
+
+  // No acked write lost: every tracked entry is on both servers, carrying
+  // at least its last acked lease wherever that lease is still ahead.
+  const TimePoint storm_end = clock.Now();
+  for (const auto& [dn_text, expiry] : acked) {
+    const Dn dn = *Dn::Parse(dn_text);
+    for (const auto& server : {primary, replica}) {
+      auto entry = server->Lookup(dn);
+      ASSERT_TRUE(entry.ok()) << dn_text << " lost on " << server->address();
+      if (expiry > storm_end) {
+        auto lease = directory::schema::LeaseExpiry(*entry);
+        ASSERT_TRUE(lease.has_value());
+        EXPECT_GE(*lease, expiry) << dn_text;
+      }
+    }
+  }
+
+  // Phase 2 — convergence bound: h3's manager dies (its heartbeats stop);
+  // the reaper runs on the current write primary and the tombstones reach
+  // every server within 2×TTL.
+  std::vector<Dn> survivors;
+  std::set<std::string> dead;
+  for (const Dn& dn : h3_sensors) dead.insert(dn.ToString());
+  for (const Dn& dn : all_sensors) {
+    if (!dead.count(dn.ToString())) survivors.push_back(dn);
+  }
+  const TimePoint phase2_start = clock.Now();
+  TimePoint gone_everywhere = -1;
+  for (int tick = 0; tick <= 30; ++tick) {
+    const TimePoint now = clock.Now();
+    ASSERT_TRUE(pool.RenewLeases(survivors, now + kTtl).ok());
+    auto write_primary =
+        pool.write_primary() == "ldap://primary" ? primary : replica;
+    ASSERT_TRUE(write_primary->ExpireLeases(now).ok());
+    forward.SyncAll();
+    reverse.SyncAll();
+    if (gone_everywhere < 0) {
+      bool all_gone = true;
+      for (const std::string& dn_text : dead) {
+        const Dn dn = *Dn::Parse(dn_text);
+        if (primary->Lookup(dn).ok() || replica->Lookup(dn).ok()) {
+          all_gone = false;
+          break;
+        }
+      }
+      if (all_gone) gone_everywhere = now;
+    }
+    clock.Advance(kSecond);
+  }
+  ASSERT_GE(gone_everywhere, 0) << "dead sensors never reaped everywhere";
+  EXPECT_LE(gone_everywhere, phase2_start + 2 * kTtl);
+
+  // Accounting exact: both servers hold precisely the modeled population —
+  // four immortal hosts plus every tracked sensor except the reaped six.
+  const std::size_t expected_entries = 4 + acked.size() - dead.size();
+  EXPECT_EQ(primary->stats().entries, expected_entries);
+  EXPECT_EQ(replica->stats().entries, expected_entries);
+  for (const Dn& dn : survivors) {
+    EXPECT_TRUE(primary->Lookup(dn).ok()) << dn.ToString();
+    EXPECT_TRUE(replica->Lookup(dn).ok()) << dn.ToString();
+  }
+}
+
+// ISSUE 9: online shard split under chaos — the target shard is hard-killed
+// on a seeded schedule while the subtree is being copied and caught up, a
+// throttled heartbeat storm keeps renewing through the whole migration, and
+// a full read sweep runs every tick. Invariants: the migration completes
+// despite the kills (copies are WAL-durable on the target, failed steps
+// retry), ZERO reads fail at any point, renewals never go missing, and the
+// final accounting is exact on both sides of the split.
+TEST(ChaosTest, OnlineShardSplitServesEveryReadThroughTargetCrashes) {
+  constexpr Duration kTtl = 10 * kSecond;
+  SimClock clock(0);
+  const Dn suffix = *Dn::Parse("ou=sensors, o=jamm");
+  const Dn anl = *Dn::Parse("site=anl, ou=sensors, o=jamm");
+  auto source =
+      std::make_shared<directory::DirectoryServer>(suffix, "ldap://root");
+  auto target =
+      std::make_shared<directory::DirectoryServer>(anl, "ldap://anl");
+  source->SetClock(&clock);
+  target->SetClock(&clock);
+  directory::DirectoryPool pool;
+  pool.AddServer(source);
+  pool.SetResolver([&](const std::string& address)
+                       -> std::shared_ptr<directory::DirectoryServer> {
+    return address == "ldap://anl" ? target : nullptr;
+  });
+  pool.SetReferralCacheTtl(kTtl, clock);
+
+  directory::Entry site(anl);
+  site.Set(directory::schema::kAttrObjectClass, "organizationalUnit");
+  ASSERT_TRUE(source->Add(site).ok());
+  std::vector<Dn> population{anl};
+  std::vector<Dn> sensors;
+  for (int h = 0; h < 4; ++h) {
+    const std::string host = "mcs" + std::to_string(h);
+    ASSERT_TRUE(
+        source->Upsert(directory::schema::MakeHostEntry(anl, host)).ok());
+    population.push_back(directory::schema::HostDn(anl, host));
+    for (int s = 0; s < 3; ++s) {
+      auto entry = directory::schema::MakeSensorEntry(
+          anl, host, "s" + std::to_string(s), "cpu", "inproc:gw." + host,
+          1000, 0);
+      directory::schema::StampLease(entry, kTtl);
+      ASSERT_TRUE(source->Upsert(entry).ok());
+      population.push_back(entry.dn());
+      sensors.push_back(entry.dn());
+    }
+  }
+  // One host + sensor OUTSIDE the moving subtree: must never move.
+  ASSERT_TRUE(
+      source->Upsert(directory::schema::MakeHostEntry(suffix, "lbl1")).ok());
+  population.push_back(directory::schema::HostDn(suffix, "lbl1"));
+  auto outside = directory::schema::MakeSensorEntry(
+      suffix, "lbl1", "vmstat", "cpu", "inproc:gw.lbl1", 1000, 0);
+  directory::schema::StampLease(outside, kTtl);
+  ASSERT_TRUE(source->Upsert(outside).ok());
+  population.push_back(outside.dn());
+  sensors.push_back(outside.dn());
+
+  directory::ShardMigrator::Options options;
+  options.copy_batch = 2;  // many copy steps: a wide chaos window
+  directory::ShardMigrator migrator(source, target, anl, options);
+  resilience::CrashSchedule target_schedule(/*seed=*/17, 3 * kSecond,
+                                            2 * kSecond);
+  auto& completed =
+      telemetry::Metrics().counter("directory.shard.migrations_completed");
+  const auto completed_before = completed.Value();
+
+  std::uint64_t failed_reads = 0;
+  std::uint64_t step_retries = 0;
+  int tick = 0;
+  while (migrator.phase() != directory::ShardMigrator::Phase::kDone) {
+    ASSERT_LT(tick, 2000) << "migration failed to converge";
+    const bool pre_cutover =
+        migrator.phase() == directory::ShardMigrator::Phase::kCopy ||
+        migrator.phase() == directory::ShardMigrator::Phase::kCatchUp;
+    if (pre_cutover) {
+      // Seeded hard kills of the target while it is the passive side; a
+      // kill discards its unsynced tail, never a committed copy batch.
+      if (!target_schedule.AliveAt(clock.Now()) && target->alive()) {
+        target->Crash();
+      } else if (target_schedule.AliveAt(clock.Now()) && !target->alive()) {
+        target->Restart();
+      }
+    } else if (!target->alive()) {
+      target->Restart();  // past the point of no return it must serve
+    }
+
+    auto phase = migrator.Step();
+    if (!phase.ok()) ++step_retries;  // target down; phase held, retried
+
+    // Throttled heartbeat storm (every 3rd tick, so catch-up can drain).
+    if (tick % 3 == 0) {
+      std::vector<Dn> missing;
+      auto renewed =
+          pool.RenewLeases(sensors, clock.Now() + kTtl, "", &missing);
+      ASSERT_TRUE(renewed.ok()) << renewed.status().ToString();
+      EXPECT_TRUE(missing.empty()) << "renewal went missing at tick " << tick;
+    }
+    // Full read sweep: zero failed reads, at every point of the split.
+    for (const Dn& dn : population) {
+      if (!pool.Lookup(dn).ok()) ++failed_reads;
+    }
+    clock.Advance(kSecond);
+    ++tick;
+  }
+  EXPECT_EQ(failed_reads, 0u);
+  EXPECT_GT(step_retries, 0u) << "schedule never caught the migration";
+  EXPECT_EQ(completed.Value(), completed_before + 1);
+
+  // Post-split: a full renewal round crosses the referral and lands.
+  std::vector<Dn> missing;
+  auto renewed = pool.RenewLeases(sensors, clock.Now() + kTtl, "", &missing);
+  ASSERT_TRUE(renewed.ok());
+  EXPECT_EQ(*renewed, sensors.size());
+  EXPECT_TRUE(missing.empty());
+
+  // Accounting exact: the subtree lives on the target once each (site +
+  // 4 hosts + 12 sensors); the source keeps only the outside pair and
+  // answers the subtree with a referral.
+  EXPECT_EQ(target->stats().entries, 17u);
+  EXPECT_EQ(source->stats().entries, 2u);
+  auto ref = source->MatchReferral(sensors.front());
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->target, "ldap://anl");
+  EXPECT_FALSE(source->Lookup(directory::schema::HostDn(anl, "mcs0")).ok());
+  EXPECT_EQ(target->Lookup(directory::schema::HostDn(suffix, "lbl1"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  for (const Dn& dn : population) {
+    EXPECT_TRUE(pool.Lookup(dn).ok()) << dn.ToString();
+  }
+  // The post-split renewal reached the moved entries on the target.
+  auto moved = target->Lookup(sensors.front());
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*directory::schema::LeaseExpiry(*moved), clock.Now() + kTtl);
+  // A merged pool search sees the whole world exactly once.
+  auto world = pool.Search(suffix, directory::SearchScope::kSubtree,
+                           directory::Filter::MatchAll());
+  ASSERT_TRUE(world.ok());
+  EXPECT_TRUE(world->referrals.empty());
+  EXPECT_EQ(world->entries.size(), 19u);
 }
 
 }  // namespace

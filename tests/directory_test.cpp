@@ -1,8 +1,14 @@
 // Tests for the LDAP-model directory service: DN algebra, filter parsing
 // and matching (with property sweeps), the server's tree integrity, search
-// scopes, referrals, bind/access control, change log, replication, and
-// pool failover.
+// scopes, referrals, bind/access control, change log, replication, pool
+// failover, and the ISSUE-9 fault-tolerance layer: WAL crash recovery,
+// RCU snapshot reads under write saturation, referral chasing across
+// shards, and online shard migration.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "directory/dn.hpp"
@@ -10,6 +16,9 @@
 #include "directory/replication.hpp"
 #include "directory/schema.hpp"
 #include "directory/server.hpp"
+#include "directory/shard.hpp"
+#include "directory/wal.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace jamm::directory {
 namespace {
@@ -694,6 +703,644 @@ TEST_F(LeaseTest, PoolForwardsRenewalsWithFailover) {
   auto on_replica = replica->Lookup(entry.dn());
   ASSERT_TRUE(on_replica.ok());
   EXPECT_EQ(*schema::LeaseExpiry(*on_replica), 60 * kSecond);
+}
+
+// ----------------------------------------------- WAL + recovery (ISSUE 9)
+
+TEST(WalCodecTest, RoundTripsEveryChangeType) {
+  std::vector<Change> originals;
+
+  Change add;
+  add.seq = 7;
+  add.type = Change::Type::kAdd;
+  add.entry = Entry(MustParse("host=h1, ou=sensors, o=jamm"));
+  add.entry.Set("objectclass", "jammHost");
+  add.entry.Add("tag", "alpha");  // multi-valued attribute
+  add.entry.Add("tag", "beta");
+  originals.push_back(add);
+
+  Change modify = add;
+  modify.seq = 8;
+  modify.type = Change::Type::kModify;
+  originals.push_back(modify);
+
+  Change del;
+  del.seq = 9;
+  del.type = Change::Type::kDelete;
+  del.entry = Entry(MustParse("host=h1, ou=sensors, o=jamm"));
+  originals.push_back(del);
+
+  Change lease;
+  lease.seq = 10;
+  lease.type = Change::Type::kLease;
+  lease.entry = Entry(MustParse("cn=vmstat, host=h1, ou=sensors, o=jamm"));
+  lease.lease_expiry = 42 * kSecond;
+  originals.push_back(lease);
+
+  Change referral;
+  referral.seq = 11;
+  referral.type = Change::Type::kReferral;
+  referral.entry = Entry(MustParse("site=anl, ou=sensors, o=jamm"));
+  referral.referral_target = "ldap://anl-directory";
+  originals.push_back(referral);
+
+  for (const Change& original : originals) {
+    std::vector<std::uint8_t> buf;
+    EncodeChange(original, &buf);
+    Change decoded;
+    ASSERT_TRUE(DecodeChange(buf.data(), buf.size(), &decoded));
+    EXPECT_EQ(decoded.seq, original.seq);
+    EXPECT_EQ(decoded.type, original.type);
+    EXPECT_EQ(decoded.entry.dn(), original.entry.dn());
+    EXPECT_EQ(decoded.entry.attrs(), original.entry.attrs());
+    EXPECT_EQ(decoded.lease_expiry, original.lease_expiry);
+    EXPECT_EQ(decoded.referral_target, original.referral_target);
+    // Truncation and trailing garbage are both malformed.
+    EXPECT_FALSE(DecodeChange(buf.data(), buf.size() - 1, &decoded));
+    buf.push_back(0);
+    EXPECT_FALSE(DecodeChange(buf.data(), buf.size(), &decoded));
+  }
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() : suffix_(MustParse("ou=sensors, o=jamm")) {}
+  Dn suffix_;
+};
+
+TEST_F(RecoveryTest, CrashRecoversToLastAckedWrite) {
+  auto storage = std::make_shared<WalStorage>();
+  DirectoryServer server(suffix_, "ldap://durable", storage);
+  ASSERT_TRUE(server.Upsert(schema::MakeHostEntry(suffix_, "dpss1")).ok());
+  ASSERT_TRUE(server.Upsert(schema::MakeHostEntry(suffix_, "dpss2")).ok());
+  auto sensor = schema::MakeSensorEntry(suffix_, "dpss1", "vmstat", "cpu",
+                                        "inproc:gw.dpss1", 1000, 0);
+  ASSERT_TRUE(server.Upsert(sensor).ok());
+  const std::uint64_t acked_seq = server.last_seq();
+
+  server.Crash();
+  EXPECT_FALSE(server.alive());
+  EXPECT_EQ(server.Lookup(sensor.dn()).status().code(),
+            StatusCode::kUnavailable);
+
+  auto recovery = server.Restart();
+  EXPECT_EQ(recovery.records_replayed, 3u);
+  EXPECT_EQ(recovery.truncated_bytes, 0u);
+  EXPECT_EQ(recovery.entries, 3u);
+  EXPECT_EQ(recovery.last_seq, acked_seq);
+  EXPECT_TRUE(server.alive());
+  EXPECT_TRUE(server.Lookup(sensor.dn()).ok());
+  EXPECT_TRUE(server.Lookup(schema::HostDn(suffix_, "dpss2")).ok());
+  // Post-recovery writes continue the recovered sequence.
+  ASSERT_TRUE(server.Upsert(schema::MakeHostEntry(suffix_, "dpss3")).ok());
+  EXPECT_EQ(server.last_seq(), acked_seq + 1);
+}
+
+TEST_F(RecoveryTest, TornTailTruncatedOnRestart) {
+  auto storage = std::make_shared<WalStorage>();
+  DirectoryServer server(suffix_, "ldap://torn", storage);
+  ASSERT_TRUE(server.Upsert(schema::MakeHostEntry(suffix_, "a")).ok());
+  ASSERT_TRUE(server.Upsert(schema::MakeHostEntry(suffix_, "b")).ok());
+  ASSERT_TRUE(server.Upsert(schema::MakeHostEntry(suffix_, "c")).ok());
+  // Chop mid-way through the last frame: a crash mid-append.
+  storage->TruncateRaw(storage->size() - 3);
+  server.Crash();
+  auto recovery = server.Restart();
+  EXPECT_EQ(recovery.records_replayed, 2u);
+  EXPECT_GT(recovery.truncated_bytes, 0u);
+  EXPECT_TRUE(server.Lookup(schema::HostDn(suffix_, "b")).ok());
+  EXPECT_EQ(server.Lookup(schema::HostDn(suffix_, "c")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RecoveryTest, CorruptTailCaughtByChecksum) {
+  auto storage = std::make_shared<WalStorage>();
+  DirectoryServer server(suffix_, "ldap://corrupt", storage);
+  ASSERT_TRUE(server.Upsert(schema::MakeHostEntry(suffix_, "a")).ok());
+  ASSERT_TRUE(server.Upsert(schema::MakeHostEntry(suffix_, "b")).ok());
+  ASSERT_GT(storage->CorruptTail(4), 0u);  // flip bytes inside the last frame
+  server.Crash();
+  auto recovery = server.Restart();
+  EXPECT_EQ(recovery.records_replayed, 1u);
+  EXPECT_GT(recovery.truncated_bytes, 0u);
+  EXPECT_TRUE(server.Lookup(schema::HostDn(suffix_, "a")).ok());
+  EXPECT_EQ(server.Lookup(schema::HostDn(suffix_, "b")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RecoveryTest, FreshServerAdoptsCommittedStorage) {
+  auto storage = std::make_shared<WalStorage>();
+  {
+    DirectoryServer writer(suffix_, "ldap://old", storage);
+    ASSERT_TRUE(writer.Upsert(schema::MakeHostEntry(suffix_, "dpss1")).ok());
+  }  // old process gone; the storage (the "disk") survives
+  DirectoryServer heir(suffix_, "ldap://new", storage);
+  EXPECT_TRUE(heir.Lookup(schema::HostDn(suffix_, "dpss1")).ok());
+  EXPECT_EQ(heir.last_seq(), 1u);
+}
+
+TEST_F(RecoveryTest, LeaseRenewalsAndReferralsSurviveCrash) {
+  SimClock clock(0);
+  auto storage = std::make_shared<WalStorage>();
+  DirectoryServer server(suffix_, "ldap://leases", storage);
+  server.SetClock(&clock);
+  ASSERT_TRUE(server.Upsert(schema::MakeHostEntry(suffix_, "dpss1")).ok());
+  auto sensor = schema::MakeSensorEntry(suffix_, "dpss1", "vmstat", "cpu",
+                                        "inproc:gw.dpss1", 1000, 0);
+  schema::StampLease(sensor, 10 * kSecond);
+  ASSERT_TRUE(server.Upsert(sensor).ok());
+  // The renewal is a lease-cell store plus a compact kLease WAL record —
+  // no snapshot swap — but it must still be durable.
+  ASSERT_TRUE(server.RenewLeases({sensor.dn()}, 60 * kSecond).ok());
+  server.AddReferral(MustParse("site=anl, ou=sensors, o=jamm"), "ldap://anl");
+
+  server.Crash();
+  server.Restart();
+  auto back = server.Lookup(sensor.dn());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*schema::LeaseExpiry(*back), 60 * kSecond);
+  auto ref =
+      server.MatchReferral(MustParse("host=x, site=anl, ou=sensors, o=jamm"));
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->target, "ldap://anl");
+}
+
+TEST_F(RecoveryTest, UpsertBatchIsOneGroupCommit) {
+  DirectoryServer server(suffix_, "ldap://bulk");
+  std::vector<Entry> batch;
+  batch.push_back(schema::MakeHostEntry(suffix_, "dpss1"));
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(schema::MakeSensorEntry(suffix_, "dpss1",
+                                            "s" + std::to_string(i), "cpu",
+                                            "inproc:gw.dpss1", 1000, 0));
+  }
+  const auto commits_before = server.stats().wal_commits;
+  ASSERT_TRUE(server.UpsertBatch(batch).ok());
+  EXPECT_EQ(server.stats().wal_commits, commits_before + 1);
+  EXPECT_EQ(server.stats().entries, 9u);
+  // A bad entry mid-batch aborts the whole transaction: nothing published.
+  std::vector<Entry> bad;
+  bad.push_back(schema::MakeHostEntry(suffix_, "dpss2"));
+  bad.push_back(Entry(MustParse("cn=orphan, host=nope, ou=sensors, o=jamm")));
+  EXPECT_FALSE(server.UpsertBatch(bad).ok());
+  EXPECT_EQ(server.Lookup(schema::HostDn(suffix_, "dpss2")).status().code(),
+            StatusCode::kNotFound);
+}
+
+// The PR-4 staleness regression (ISSUE 9 satellite): a cached plain Search
+// used to carry the pre-renewal `leaseexpires`. Hits now re-materialize
+// from the authoritative lease cell.
+TEST_F(LeaseTest, CachedSearchServesRenewedLease) {
+  Dn dn = AddLeasedSensor("dpss1", "vmstat", 10 * kSecond);
+  Filter sensors = MustFilter("(objectclass=jammSensor)");
+  auto warm = server_.Search(suffix_, SearchScope::kSubtree, sensors);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->entries.size(), 1u);
+  EXPECT_EQ(*schema::LeaseExpiry(warm->entries[0]), 10 * kSecond);
+
+  ASSERT_TRUE(server_.RenewLeases({dn}, 300 * kSecond).ok());
+
+  const auto hits_before = server_.stats().cache_hits;
+  auto cached = server_.Search(suffix_, SearchScope::kSubtree, sensors);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(server_.stats().cache_hits, hits_before + 1);  // renewal kept it
+  ASSERT_EQ(cached->entries.size(), 1u);
+  EXPECT_EQ(*schema::LeaseExpiry(cached->entries[0]), 300 * kSecond);
+}
+
+// ------------------------------------------- RCU snapshot reads (ISSUE 9)
+
+TEST(SnapshotReadTest, ReadsProceedUnderWriteSaturation) {
+  SimClock clock(0);
+  Dn suffix = MustParse("ou=sensors, o=jamm");
+  DirectoryServer server(suffix, "ldap://rcu");
+  server.SetClock(&clock);
+  ASSERT_TRUE(server.Upsert(schema::MakeHostEntry(suffix, "dpss1")).ok());
+  std::vector<Dn> dns;
+  for (int i = 0; i < 32; ++i) {
+    auto entry = schema::MakeSensorEntry(suffix, "dpss1",
+                                         "s" + std::to_string(i), "cpu",
+                                         "inproc:gw.dpss1", 1000, 0);
+    schema::StampLease(entry, kSecond);
+    ASSERT_TRUE(server.Upsert(entry).ok());
+    dns.push_back(entry.dn());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> read_errors{0};
+  std::atomic<std::uint64_t> reads_done{0};
+  // Writer saturates the structural and renewal paths while a reader
+  // hammers the snapshot; every read must succeed (renewals keep every
+  // lease ahead of the frozen clock).
+  std::thread writer([&] {
+    TimePoint expiry = kSecond;
+    for (int round = 0; round < 300; ++round) {
+      expiry += kSecond;
+      (void)server.RenewLeases(dns, expiry);
+      (void)server.Upsert(
+          schema::MakeHostEntry(suffix, "churn" + std::to_string(round % 8)));
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    Filter all = Filter::MatchAll();
+    while (!stop.load()) {
+      std::uint64_t i = reads_done.fetch_add(1);
+      if (!server.Lookup(dns[i % dns.size()], "", /*live_only=*/true).ok()) {
+        read_errors.fetch_add(1);
+      }
+      if (!server.Search(suffix, SearchScope::kSubtree, all, "", true).ok()) {
+        read_errors.fetch_add(1);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(read_errors.load(), 0u);
+  EXPECT_GT(reads_done.load(), 0u);
+  EXPECT_TRUE(server.Lookup(dns[0], "", true).ok());
+}
+
+TEST_F(LeaseTest, TombstoneExpiryRacesRepublication) {
+  // Deterministic interleaving first: reap, re-publish the same DN, reap
+  // again — the fresh lease must be spared by the next sweep.
+  Dn dn = AddLeasedSensor("dpss1", "vmstat", 10 * kSecond);
+  ASSERT_EQ(*server_.ExpireLeases(30 * kSecond), 1u);
+  EXPECT_EQ(server_.Lookup(dn).status().code(), StatusCode::kNotFound);
+  auto reborn = schema::MakeSensorEntry(suffix_, "dpss1", "vmstat", "cpu",
+                                        "inproc:gw.dpss1", 1000, 0);
+  schema::StampLease(reborn, 90 * kSecond);
+  ASSERT_TRUE(server_.Upsert(reborn).ok());
+  EXPECT_EQ(*server_.ExpireLeases(60 * kSecond), 0u);
+  EXPECT_TRUE(server_.Lookup(dn).ok());
+
+  // Then concurrently: the reaper's deepest-first sweep races an owner
+  // re-publishing the same subtree. Any interleaving must keep the tree
+  // consistent — a sensor present implies its host parent present.
+  std::atomic<bool> stop{false};
+  std::thread reaper([&] {
+    for (int i = 1; i <= 150; ++i) {
+      ASSERT_TRUE(server_.ExpireLeases(i * 5 * kSecond).ok());
+    }
+    stop.store(true);
+  });
+  std::thread owner([&] {
+    std::uint64_t t = 0;
+    while (!stop.load()) {
+      ++t;
+      auto host = schema::MakeHostEntry(suffix_, "dpss1");
+      schema::StampLease(host, (t * 5 + 100) * kSecond);
+      (void)server_.Upsert(host);
+      auto sensor = schema::MakeSensorEntry(suffix_, "dpss1", "vmstat", "cpu",
+                                            "inproc:gw.dpss1", 1000, 0);
+      schema::StampLease(sensor, (t * 5 + 100) * kSecond);
+      (void)server_.Upsert(sensor);  // may race the host's tombstone; fine
+    }
+  });
+  reaper.join();
+  owner.join();
+  if (server_.Lookup(dn).ok()) {
+    EXPECT_TRUE(server_.Lookup(schema::HostDn(suffix_, "dpss1")).ok());
+  }
+}
+
+// --------------------------------------- Referral chasing pool (ISSUE 9)
+
+class ShardPoolTest : public ::testing::Test {
+ protected:
+  ShardPoolTest()
+      : clock_(0),
+        suffix_(MustParse("ou=sensors, o=jamm")),
+        anl_(MustParse("site=anl, ou=sensors, o=jamm")),
+        root_(std::make_shared<DirectoryServer>(suffix_, "ldap://root")),
+        shard_(std::make_shared<DirectoryServer>(anl_, "ldap://anl")) {
+    root_->SetClock(&clock_);
+    shard_->SetClock(&clock_);
+    pool_.AddServer(root_);
+    pool_.SetResolver([this](const std::string& address)
+                          -> std::shared_ptr<DirectoryServer> {
+      return address == "ldap://anl" ? shard_ : nullptr;
+    });
+    pool_.SetReferralCacheTtl(30 * kSecond, clock_);
+    Entry base(suffix_);
+    base.Set(schema::kAttrObjectClass, "organization");
+    EXPECT_TRUE(root_->Add(base).ok());
+    Entry site(anl_);
+    site.Set(schema::kAttrObjectClass, "organizationalUnit");
+    EXPECT_TRUE(shard_->Add(site).ok());
+    root_->AddReferral(anl_, "ldap://anl");
+  }
+
+  SimClock clock_;
+  Dn suffix_;
+  Dn anl_;
+  std::shared_ptr<DirectoryServer> root_;
+  std::shared_ptr<DirectoryServer> shard_;
+  DirectoryPool pool_;
+};
+
+TEST_F(ShardPoolTest, LookupChasesReferralAndCachesRoute) {
+  ASSERT_TRUE(shard_->Upsert(schema::MakeHostEntry(anl_, "mcs1")).ok());
+  auto found = pool_.Lookup(schema::HostDn(anl_, "mcs1"));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(pool_.last_served_by(), "ldap://anl");
+  EXPECT_EQ(pool_.referral_cache_size(), 1u);
+  // The second lookup rides the cached route (no referral round trip).
+  auto& hits = telemetry::Metrics().counter(
+      "directory.pool.referral_cache_hits");
+  const auto hits_before = hits.Value();
+  ASSERT_TRUE(pool_.Lookup(schema::HostDn(anl_, "mcs1")).ok());
+  EXPECT_GT(hits.Value(), hits_before);
+}
+
+TEST_F(ShardPoolTest, WritesChaseReferral) {
+  auto host = schema::MakeHostEntry(anl_, "mcs2");
+  ASSERT_TRUE(pool_.Upsert(host).ok());  // root aborts; the pool chases
+  EXPECT_TRUE(shard_->Lookup(host.dn()).ok());
+  EXPECT_EQ(root_->Lookup(host.dn()).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(pool_.Delete(host.dn()).ok());
+  EXPECT_EQ(shard_->Lookup(host.dn()).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ShardPoolTest, SearchMergesChasedShardResults) {
+  ASSERT_TRUE(root_->Upsert(schema::MakeHostEntry(suffix_, "lbl1")).ok());
+  ASSERT_TRUE(shard_->Upsert(schema::MakeHostEntry(anl_, "mcs1")).ok());
+  auto result =
+      pool_.Search(suffix_, SearchScope::kSubtree, Filter::MatchAll());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->referrals.empty());  // chased, not surfaced
+  std::vector<std::string> dns;
+  for (const Entry& e : result->entries) dns.push_back(e.dn().ToString());
+  EXPECT_NE(std::find(dns.begin(), dns.end(),
+                      schema::HostDn(suffix_, "lbl1").ToString()),
+            dns.end());
+  EXPECT_NE(std::find(dns.begin(), dns.end(),
+                      schema::HostDn(anl_, "mcs1").ToString()),
+            dns.end());
+  // Merged and deduplicated: every DN appears exactly once.
+  std::vector<std::string> uniq = dns;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  EXPECT_EQ(uniq.size(), dns.size());
+}
+
+TEST_F(ShardPoolTest, RenewalsRegroupAcrossShards) {
+  ASSERT_TRUE(root_->Upsert(schema::MakeHostEntry(suffix_, "lbl1")).ok());
+  auto local = schema::MakeSensorEntry(suffix_, "lbl1", "vmstat", "cpu",
+                                       "inproc:gw.lbl1", 1000, 0);
+  schema::StampLease(local, 10 * kSecond);
+  ASSERT_TRUE(root_->Upsert(local).ok());
+  ASSERT_TRUE(shard_->Upsert(schema::MakeHostEntry(anl_, "mcs1")).ok());
+  auto remote = schema::MakeSensorEntry(anl_, "mcs1", "netstat", "network",
+                                        "inproc:gw.mcs1", 1000, 0);
+  schema::StampLease(remote, 10 * kSecond);
+  ASSERT_TRUE(shard_->Upsert(remote).ok());
+
+  // One heartbeat batch spanning both shards: the root renews its own,
+  // refers the anl DN away, and the pool re-groups and renews it there.
+  std::vector<Dn> missing;
+  auto renewed = pool_.RenewLeases({local.dn(), remote.dn()}, 60 * kSecond,
+                                   "", &missing);
+  ASSERT_TRUE(renewed.ok());
+  EXPECT_EQ(*renewed, 2u);
+  EXPECT_TRUE(missing.empty());
+  EXPECT_EQ(*schema::LeaseExpiry(*root_->Lookup(local.dn())), 60 * kSecond);
+  EXPECT_EQ(*schema::LeaseExpiry(*shard_->Lookup(remote.dn())), 60 * kSecond);
+}
+
+TEST_F(ShardPoolTest, ReferralCacheExpiresWithLeaseTtl) {
+  ASSERT_TRUE(shard_->Upsert(schema::MakeHostEntry(anl_, "mcs1")).ok());
+  ASSERT_TRUE(pool_.Lookup(schema::HostDn(anl_, "mcs1")).ok());
+  EXPECT_EQ(pool_.referral_cache_size(), 1u);
+  clock_.Advance(31 * kSecond);  // past the TTL (== the lease bound)
+  // The cached route is expired: the next lookup drops it and re-chases
+  // through the root's referral, then re-caches with a fresh TTL.
+  auto& chases =
+      telemetry::Metrics().counter("directory.pool.referral_chases");
+  const auto chases_before = chases.Value();
+  ASSERT_TRUE(pool_.Lookup(schema::HostDn(anl_, "mcs1")).ok());
+  EXPECT_GT(chases.Value(), chases_before);
+  EXPECT_EQ(pool_.referral_cache_size(), 1u);
+}
+
+// ------------------------------------------- Replication depth (ISSUE 9)
+
+TEST(ReplicatorQuorumTest, QuorumSeqTracksMajority) {
+  Dn suffix = MustParse("ou=sensors, o=jamm");
+  auto primary = std::make_shared<DirectoryServer>(suffix, "ldap://p");
+  auto r1 = std::make_shared<DirectoryServer>(suffix, "ldap://r1");
+  auto r2 = std::make_shared<DirectoryServer>(suffix, "ldap://r2");
+  Replicator replicator(primary);
+  replicator.AddReplica(r1);
+  replicator.AddReplica(r2);
+  ASSERT_TRUE(primary->Upsert(schema::MakeHostEntry(suffix, "a")).ok());
+  ASSERT_TRUE(primary->Upsert(schema::MakeHostEntry(suffix, "b")).ok());
+  ASSERT_TRUE(primary->Upsert(schema::MakeHostEntry(suffix, "c")).ok());
+  // Only the primary holds seq 3: one of three is not a majority.
+  EXPECT_EQ(replicator.QuorumSeq(), 0u);
+  r2->SetAlive(false);
+  replicator.SyncAll();  // r1 catches up; r2 stays dark
+  EXPECT_EQ(replicator.QuorumSeq(), 3u);  // primary + r1 = 2 of 3
+}
+
+TEST(ReplicatorBackoffTest, DownReplicaBacksOffThenResyncs) {
+  Dn suffix = MustParse("ou=sensors, o=jamm");
+  auto primary = std::make_shared<DirectoryServer>(suffix, "ldap://p");
+  auto replica = std::make_shared<DirectoryServer>(suffix, "ldap://r");
+  Replicator replicator(primary);
+  replicator.AddReplica(replica);
+  replicator.set_max_backoff_rounds(4);
+  ASSERT_TRUE(primary->Upsert(schema::MakeHostEntry(suffix, "a")).ok());
+
+  auto& lagging = telemetry::Metrics().counter("dir.replica.lagging");
+  auto& resynced = telemetry::Metrics().counter("dir.replica.resynced");
+  const auto lag_before = lagging.Value();
+  const auto resynced_before = resynced.Value();
+
+  replica->SetAlive(false);
+  for (int round = 0; round < 6; ++round) {
+    EXPECT_EQ(replicator.SyncAll(), 0u);
+    EXPECT_EQ(replicator.replica_offset(0), 0u);
+  }
+  EXPECT_GT(lagging.Value(), lag_before);
+  EXPECT_EQ(resynced.Value(), resynced_before);
+  EXPECT_TRUE(replicator.Converged());  // down replicas don't count as live
+
+  // Back up: the next round probes immediately (no residual backoff),
+  // ships the backlog, and ticks the resync counter exactly once.
+  replica->SetAlive(true);
+  EXPECT_GT(replicator.SyncAll(), 0u);
+  EXPECT_TRUE(replicator.Converged());
+  EXPECT_TRUE(replica->Lookup(schema::HostDn(suffix, "a")).ok());
+  EXPECT_EQ(resynced.Value(), resynced_before + 1);
+}
+
+TEST(ReplicatorBackoffTest, ReplicaSurvivesItsOwnCrash) {
+  Dn suffix = MustParse("ou=sensors, o=jamm");
+  auto primary = std::make_shared<DirectoryServer>(suffix, "ldap://p");
+  auto replica = std::make_shared<DirectoryServer>(suffix, "ldap://r");
+  Replicator replicator(primary);
+  replicator.AddReplica(replica);
+  ASSERT_TRUE(primary->Upsert(schema::MakeHostEntry(suffix, "a")).ok());
+  ASSERT_TRUE(primary->Upsert(schema::MakeHostEntry(suffix, "b")).ok());
+  ASSERT_GT(replicator.SyncAll(), 0u);
+  ASSERT_TRUE(replicator.Converged());
+
+  // Replicated changes are WAL-logged on the replica too: its own crash
+  // loses nothing it acked, and shipping resumes where it left off.
+  replica->Crash();
+  auto recovery = replica->Restart();
+  EXPECT_EQ(recovery.entries, 2u);
+  EXPECT_TRUE(replica->Lookup(schema::HostDn(suffix, "a")).ok());
+  ASSERT_TRUE(primary->Upsert(schema::MakeHostEntry(suffix, "c")).ok());
+  EXPECT_GT(replicator.SyncAll(), 0u);
+  EXPECT_TRUE(replicator.Converged());
+  EXPECT_TRUE(replica->Lookup(schema::HostDn(suffix, "c")).ok());
+}
+
+// --------------------------------------------- Shard migration (ISSUE 9)
+
+TEST(ShardMigrationTest, OnlineSplitServesEveryRead) {
+  SimClock clock(0);
+  Dn suffix = MustParse("ou=sensors, o=jamm");
+  Dn anl = MustParse("site=anl, ou=sensors, o=jamm");
+  auto source = std::make_shared<DirectoryServer>(suffix, "ldap://root");
+  auto target = std::make_shared<DirectoryServer>(anl, "ldap://anl");
+  source->SetClock(&clock);
+  target->SetClock(&clock);
+
+  Entry base(suffix);
+  base.Set(schema::kAttrObjectClass, "organization");
+  ASSERT_TRUE(source->Add(base).ok());
+  Entry site(anl);
+  site.Set(schema::kAttrObjectClass, "organizationalUnit");
+  ASSERT_TRUE(source->Add(site).ok());
+  std::vector<Dn> population;
+  for (int i = 0; i < 12; ++i) {
+    auto host = schema::MakeHostEntry(anl, "mcs" + std::to_string(i));
+    ASSERT_TRUE(source->Upsert(host).ok());
+    population.push_back(host.dn());
+  }
+  ASSERT_TRUE(source->Upsert(schema::MakeHostEntry(suffix, "lbl1")).ok());
+
+  DirectoryPool pool;
+  pool.AddServer(source);
+  pool.SetResolver([&](const std::string& address)
+                       -> std::shared_ptr<DirectoryServer> {
+    return address == "ldap://anl" ? target : nullptr;
+  });
+
+  ShardMigrator::Options options;
+  options.copy_batch = 4;  // several copy steps so traffic interleaves
+  ShardMigrator migrator(source, target, anl, options);
+  std::uint64_t failed_reads = 0;
+  int round = 0;
+  while (migrator.phase() != ShardMigrator::Phase::kDone) {
+    ASSERT_LT(round, 1000) << "migration failed to converge";
+    auto phase = migrator.Step();
+    ASSERT_TRUE(phase.ok()) << phase.status().ToString();
+    // Zero failed reads: the whole population answers at every point.
+    for (const Dn& dn : population) {
+      if (!pool.Lookup(dn).ok()) ++failed_reads;
+    }
+    // Writes keep landing mid-migration (on the source until the cutover,
+    // chased to the target after). Bounded so the catch-up loop drains.
+    if (round < 6) {
+      auto churn = schema::MakeHostEntry(anl, "new" + std::to_string(round));
+      ASSERT_TRUE(pool.Upsert(churn).ok());
+      population.push_back(churn.dn());
+    }
+    ++round;
+  }
+  EXPECT_EQ(failed_reads, 0u);
+  EXPECT_GT(migrator.stats().copied, 0u);
+
+  // Accounting exact: the subtree lives on the target once each; the
+  // source answers it with a referral and holds no local copies.
+  auto moved = target->Search(anl, SearchScope::kSubtree, Filter::MatchAll());
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved->entries.size(), 1 + population.size());  // site + hosts
+  auto ref = source->MatchReferral(population.front());
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->target, "ldap://anl");
+  EXPECT_EQ(source->Lookup(population.front()).status().code(),
+            StatusCode::kNotFound);
+  for (const Dn& dn : population) {
+    EXPECT_TRUE(pool.Lookup(dn).ok()) << dn.ToString();
+  }
+  // The entry outside the subtree never moved.
+  EXPECT_TRUE(source->Lookup(schema::HostDn(suffix, "lbl1")).ok());
+  EXPECT_FALSE(target->Lookup(schema::HostDn(suffix, "lbl1")).ok());
+}
+
+TEST(ShardMigrationTest, RevivedPrimaryRejoinsMidMigration) {
+  Dn suffix = MustParse("ou=sensors, o=jamm");
+  Dn anl = MustParse("site=anl, ou=sensors, o=jamm");
+  auto primary = std::make_shared<DirectoryServer>(suffix, "ldap://primary");
+  auto replica = std::make_shared<DirectoryServer>(suffix, "ldap://replica");
+  auto target = std::make_shared<DirectoryServer>(anl, "ldap://anl");
+  Replicator replicator(primary);
+  replicator.AddReplica(replica);
+  DirectoryPool pool;
+  pool.AddServer(primary);
+  pool.AddServer(replica);
+  pool.SetResolver([&](const std::string& address)
+                       -> std::shared_ptr<DirectoryServer> {
+    return address == "ldap://anl" ? target : nullptr;
+  });
+
+  Entry base(suffix);
+  base.Set(schema::kAttrObjectClass, "organization");
+  ASSERT_TRUE(primary->Add(base).ok());
+  Entry site(anl);
+  site.Set(schema::kAttrObjectClass, "organizationalUnit");
+  ASSERT_TRUE(primary->Add(site).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        primary->Upsert(schema::MakeHostEntry(anl, "mcs" + std::to_string(i)))
+            .ok());
+  }
+  replicator.SyncAll();
+  ASSERT_TRUE(replicator.Converged());
+
+  // The primary dies; a write promotes the replica (sticky failover).
+  primary->SetAlive(false);
+  ASSERT_TRUE(pool.Upsert(schema::MakeHostEntry(suffix, "lbl9")).ok());
+  EXPECT_EQ(pool.write_primary(), "ldap://replica");
+
+  // The promoted replica starts splitting the anl subtree off…
+  ShardMigrator::Options options;
+  options.copy_batch = 2;
+  ShardMigrator migrator(replica, target, anl, options);
+  ASSERT_TRUE(migrator.Step().ok());  // mid-copy
+
+  // …and the old primary revives mid-migration. Failover is sticky:
+  // writes stay on the promoted replica; the stale primary takes no write.
+  primary->SetAlive(true);
+  ASSERT_TRUE(pool.Upsert(schema::MakeHostEntry(suffix, "lbl10")).ok());
+  EXPECT_EQ(pool.write_primary(), "ldap://replica");
+  EXPECT_FALSE(primary->Lookup(schema::HostDn(suffix, "lbl10")).ok());
+
+  ASSERT_TRUE(migrator.Run().ok());
+
+  // Reconvergence: a replicator rooted at the promoted server pushes the
+  // revived primary everything it missed — the failover writes, the
+  // tombstones, and the durable referral from the cutover.
+  Replicator reverse(replica);
+  reverse.AddReplica(primary);
+  reverse.SyncAll();
+  EXPECT_TRUE(reverse.Converged());
+  EXPECT_TRUE(primary->Lookup(schema::HostDn(suffix, "lbl10")).ok());
+  auto ref = primary->MatchReferral(schema::HostDn(anl, "mcs0"));
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->target, "ldap://anl");
+  EXPECT_FALSE(primary->Lookup(schema::HostDn(anl, "mcs0")).ok());
+  // Whichever pool member answers, every entry is reachable (the primary
+  // is first in read order, so this exercises its referral too).
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(pool.Lookup(schema::HostDn(anl, "mcs" + std::to_string(i)))
+                    .ok());
+  }
+  EXPECT_TRUE(pool.Lookup(schema::HostDn(suffix, "lbl9")).ok());
 }
 
 }  // namespace
