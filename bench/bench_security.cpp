@@ -1,0 +1,298 @@
+// ISSUE 10: the cost of the security fast path. Authorization sits on the
+// subscribe/lookup/start control plane, not the per-event data plane, so
+// the design claim is twofold: (1) control-plane checks are cheap — a
+// capability token verifies with one signature check, and the sharded
+// decision cache answers repeat (principal × resource × action) queries
+// without re-running the Akenti evaluation; (2) the per-event publish →
+// fan-out path through a secured gateway pays (near) zero authz tax,
+// because enforcement happened once at subscribe time.
+//
+// Emits BENCH_security.json (path = argv[1], default ./BENCH_security.json)
+// and enforces hard floors: the secured pipeline must keep >=95% of the
+// plain pipeline's throughput (<5% authz tax), and the decision cache must
+// not be slower than the full evaluation it memoizes.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gateway/gateway.hpp"
+#include "security/akenti.hpp"
+#include "security/certificate.hpp"
+#include "security/crypto.hpp"
+#include "security/token.hpp"
+#include "ulm/record.hpp"
+
+using namespace jamm;            // NOLINT: bench brevity
+using namespace jamm::security;  // NOLINT
+
+namespace {
+
+constexpr int kPasses = 15;
+constexpr int kMints = 5000;        // Mint calls per pass
+constexpr int kVerifies = 20000;    // Verify calls per pass
+constexpr int kChecks = 20000;      // Authorizer::Check calls per pass
+constexpr int kEvents = 20000;      // records published per pipeline pass
+constexpr int kSubscribers = 4;     // fan-out width in the pipeline
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Results {
+  double token_mint_per_s = 0;
+  double token_verify_per_s = 0;
+  double uncached_check_per_s = 0;
+  double cached_check_per_s = 0;
+  double cache_speedup = 0;
+  double plain_events_per_s = 0;
+  double secured_events_per_s = 0;
+  double authz_overhead_ratio = 0;  // secured / plain; 1.0 = zero tax
+};
+
+/// The LBNL subscriber condition every workload below evaluates against.
+PolicyEngine MakePolicy() {
+  PolicyEngine policy;
+  policy.AddUseCondition("gw.bench",
+                         {{action::kSubscribe, action::kQuery, action::kLookup},
+                          "/O=LBNL/*",
+                          "",
+                          ""});
+  return policy;
+}
+
+void BenchTokens(Results& out) {
+  Rng rng(601);
+  TokenAuthority authority("gw.bench", rng);
+  const std::set<std::string> actions = {action::kSubscribe, action::kQuery};
+  constexpr TimePoint kNotBefore = 0;
+  constexpr TimePoint kNotAfter = kHour;
+
+  {
+    std::vector<double> per_s;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::size_t sealed = 0;
+      for (int i = 0; i < kMints; ++i) {
+        sealed += authority
+                      .Mint("/O=LBNL/CN=alice", "gw.bench", actions,
+                            kNotBefore, kNotAfter, /*generation=*/1)
+                      .actions.size();
+      }
+      const double secs = SecondsSince(t0);
+      if (sealed != static_cast<std::size_t>(kMints) * actions.size()) {
+        std::fprintf(stderr, "mint sealed wrong action count\n");
+        std::exit(1);
+      }
+      per_s.push_back(kMints / secs);
+    }
+    out.token_mint_per_s = Median(per_s);
+  }
+
+  {
+    const CapabilityToken token = authority.Mint(
+        "/O=LBNL/CN=alice", "gw.bench", actions, kNotBefore, kNotAfter, 1);
+    // Sanity: a tampered copy must never verify, whatever the throughput.
+    CapabilityToken forged = token;
+    forged.principal = "/O=Evil/CN=mallory";
+    if (authority.Verify(forged, kMinute).ok()) {
+      std::fprintf(stderr, "FAIL: forged token verified\n");
+      std::exit(1);
+    }
+    std::vector<double> per_s;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const auto t0 = std::chrono::steady_clock::now();
+      int good = 0;
+      for (int i = 0; i < kVerifies; ++i) {
+        good += authority.Verify(token, kMinute + i % 100).ok();
+      }
+      const double secs = SecondsSince(t0);
+      if (good != kVerifies) {
+        std::fprintf(stderr, "genuine token failed to verify\n");
+        std::exit(1);
+      }
+      per_s.push_back(kVerifies / secs);
+    }
+    out.token_verify_per_s = Median(per_s);
+  }
+}
+
+/// One authenticated principal against MakePolicy(); `cached` toggles the
+/// decision cache so the same Check() loop measures a full Akenti
+/// evaluation vs a cache hit.
+double BenchChecks(bool cached) {
+  SimClock clock(kSecond);
+  Rng rng(cached ? 611 : 612);
+  CertificateAuthority ca("/O=Grid/CN=bench-ca", rng);
+  PolicyEngine policy = MakePolicy();
+  Authorizer authorizer(policy, {ca.ca_certificate()}, clock);
+  if (cached) authorizer.EnableDecisionCache();
+
+  KeyPair keys = GenerateKeyPair(rng);
+  Certificate cert =
+      ca.IssueIdentity("/O=LBNL/CN=alice", keys.public_key, 0, kHour);
+  auto principal = authorizer.Authenticate(cert);
+  if (!principal.ok()) {
+    std::fprintf(stderr, "bench principal failed to authenticate\n");
+    std::exit(1);
+  }
+
+  std::vector<double> per_s;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const auto t0 = std::chrono::steady_clock::now();
+    int granted = 0;
+    for (int i = 0; i < kChecks; ++i) {
+      granted +=
+          authorizer.Check("gw.bench", action::kSubscribe, *principal);
+    }
+    const double secs = SecondsSince(t0);
+    if (granted != kChecks) {
+      std::fprintf(stderr, "authorized principal was denied\n");
+      std::exit(1);
+    }
+    per_s.push_back(kChecks / secs);
+  }
+  ResetKeyRegistryForTest();
+  return Median(per_s);
+}
+
+/// Publish -> fan-out throughput through an EventGateway; `secured` wires
+/// the full Authorizer checker and subscribes with an authenticated
+/// principal, plain uses no checker at all. Enforcement runs once per
+/// Subscribe, so the per-event delta IS the authz tax.
+double BenchPipeline(bool secured) {
+  SimClock clock(kSecond);
+  Rng rng(secured ? 621 : 622);
+  CertificateAuthority ca("/O=Grid/CN=bench-ca", rng);
+  PolicyEngine policy = MakePolicy();
+  Authorizer authorizer(policy, {ca.ca_certificate()}, clock);
+  authorizer.EnableDecisionCache();
+
+  gateway::EventGateway gw("gw.bench", clock);
+  std::string principal;
+  if (secured) {
+    gw.SetAccessChecker(authorizer.GatewayChecker("gw.bench"));
+    KeyPair keys = GenerateKeyPair(rng);
+    Certificate cert =
+        ca.IssueIdentity("/O=LBNL/CN=alice", keys.public_key, 0, kHour);
+    auto authed = authorizer.Authenticate(cert);
+    if (!authed.ok()) {
+      std::fprintf(stderr, "pipeline principal failed to authenticate\n");
+      std::exit(1);
+    }
+    principal = *authed;
+  }
+
+  std::size_t delivered = 0;
+  for (int s = 0; s < kSubscribers; ++s) {
+    auto sub = gw.Subscribe("consumer" + std::to_string(s), {},
+                            [&delivered](const ulm::Record&) { ++delivered; },
+                            principal);
+    if (!sub.ok()) {
+      std::fprintf(stderr, "pipeline subscribe denied\n");
+      std::exit(1);
+    }
+  }
+
+  const ulm::Record rec(clock.Now(), "h1", "bench", "Usage", "CPU_LOAD");
+  std::vector<double> per_s;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const std::size_t before = delivered;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kEvents; ++i) gw.Publish(rec);
+    const double secs = SecondsSince(t0);
+    if (delivered - before !=
+        static_cast<std::size_t>(kEvents) * kSubscribers) {
+      std::fprintf(stderr, "pipeline lost events\n");
+      std::exit(1);
+    }
+    per_s.push_back(kEvents / secs);
+  }
+  ResetKeyRegistryForTest();
+  return Median(per_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_security.json";
+
+  Results r;
+  BenchTokens(r);
+  ResetKeyRegistryForTest();
+  r.uncached_check_per_s = BenchChecks(/*cached=*/false);
+  r.cached_check_per_s = BenchChecks(/*cached=*/true);
+  r.cache_speedup = r.cached_check_per_s / r.uncached_check_per_s;
+  r.plain_events_per_s = BenchPipeline(/*secured=*/false);
+  r.secured_events_per_s = BenchPipeline(/*secured=*/true);
+  r.authz_overhead_ratio = r.secured_events_per_s / r.plain_events_per_s;
+
+  std::printf("token mint %.0f/s  verify %.0f/s\n", r.token_mint_per_s,
+              r.token_verify_per_s);
+  std::printf("check: uncached %.0f/s  cached %.0f/s  (%.2fx)\n",
+              r.uncached_check_per_s, r.cached_check_per_s, r.cache_speedup);
+  std::printf("pipeline: plain %.0f ev/s  secured %.0f ev/s  (ratio %.3f)\n",
+              r.plain_events_per_s, r.secured_events_per_s,
+              r.authz_overhead_ratio);
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"bench_security\",\n");
+  std::fprintf(json,
+               "  \"workload\": \"capability token mint/verify; "
+               "Authorizer::Check with and without the decision cache; "
+               "publish fan-out (%d subscribers) through a plain vs secured "
+               "gateway\",\n",
+               kSubscribers);
+  std::fprintf(json,
+               "  \"method\": \"median of %d passes per metric; ratios are "
+               "machine-independent\",\n",
+               kPasses);
+  std::fprintf(json, "  \"results\": {\n");
+  std::fprintf(json, "    \"token_mint_per_s\": %.0f,\n", r.token_mint_per_s);
+  std::fprintf(json, "    \"token_verify_per_s\": %.0f,\n",
+               r.token_verify_per_s);
+  std::fprintf(json, "    \"uncached_check_per_s\": %.0f,\n",
+               r.uncached_check_per_s);
+  std::fprintf(json, "    \"cached_check_per_s\": %.0f,\n",
+               r.cached_check_per_s);
+  std::fprintf(json, "    \"cache_speedup\": %.2f,\n", r.cache_speedup);
+  std::fprintf(json, "    \"plain_events_per_s\": %.0f,\n",
+               r.plain_events_per_s);
+  std::fprintf(json, "    \"secured_events_per_s\": %.0f,\n",
+               r.secured_events_per_s);
+  std::fprintf(json, "    \"authz_overhead_ratio\": %.3f\n",
+               r.authz_overhead_ratio);
+  std::fprintf(json, "  }\n");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // Hard floors. The secured pipeline does no per-event security work by
+  // design; 0.95 rather than 1.0 absorbs scheduler noise on loaded hosts
+  // while still catching anyone who sneaks a check into the publish path.
+  if (r.authz_overhead_ratio < 0.95) {
+    std::fprintf(stderr, "FAIL: authz tax over 5%% (ratio %.3f)\n",
+                 r.authz_overhead_ratio);
+    return 1;
+  }
+  if (r.cache_speedup < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: decision cache slower than full evaluation (%.2fx)\n",
+                 r.cache_speedup);
+    return 1;
+  }
+  return 0;
+}

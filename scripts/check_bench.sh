@@ -5,7 +5,11 @@
 # fresh numbers against the committed baseline at the repo root. Only
 # machine-independent RATIO metrics are compared (speedups, send
 # reductions): absolute rates vary with the host, but a ratio judged by
-# the median of paired passes should reproduce anywhere. A fresh ratio may
+# the median of paired passes should reproduce anywhere. The one
+# exception is bench_security's token_verify_per_s — the token fast path
+# exists to keep verification off the critical-path budget, so a gross
+# throughput collapse (beyond the same tolerance) is gated even though
+# the absolute number is host-dependent. A fresh ratio may
 # fall below baseline by at most TOLERANCE (fraction, default 0.35 — the
 # bars are >= 5x/10x with baselines around 16x, so a third of headroom is
 # noise allowance, not a loophole). The bench binaries additionally
@@ -24,7 +28,7 @@ build_dir="${1:-$repo_root/build}"
 tolerance="${TOLERANCE:-0.35}"
 
 cmake -B "$build_dir" -S "$repo_root"
-cmake --build "$build_dir" -j --target bench_pipeline_throughput bench_liveness bench_archive bench_federation bench_nlv_primitives bench_directory
+cmake --build "$build_dir" -j --target bench_pipeline_throughput bench_liveness bench_archive bench_federation bench_nlv_primitives bench_directory bench_security
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -89,5 +93,10 @@ echo "== bench_directory (floors enforced by the bench itself)"
 "$build_dir/bench/bench_directory" "$tmp/BENCH_directory.json"
 compare_ratios "$tmp/BENCH_directory.json" "$repo_root/BENCH_directory.json" \
   read_saturation_ratio recovery_vs_populate_speedup
+
+echo "== bench_security (floors enforced by the bench itself)"
+"$build_dir/bench/bench_security" "$tmp/BENCH_security.json"
+compare_ratios "$tmp/BENCH_security.json" "$repo_root/BENCH_security.json" \
+  authz_overhead_ratio cache_speedup token_verify_per_s
 
 echo "bench: no regression beyond tolerance ${tolerance} vs committed baselines"

@@ -12,9 +12,12 @@
 # "analysis", ISSUE 8), the republisher tree's merge/dedup/pushdown
 # paths (label "federation"), the sharded WAL-backed directory's RCU
 # snapshot reads racing structural writes and the reaper (label
-# "directory", ISSUE 9), and the flat
+# "directory", ISSUE 9), the flat
 # ULM core (label "ulm", ISSUE 7): the lock-free symbol-interning table
-# and the MPSC ring channel's multi-producer stress tests. This script
+# and the MPSC ring channel's multi-producer stress tests, and the
+# security fast path (label "security", ISSUE 10): decision-cache lookups
+# and token mint/adopt racing policy reloads and re-authentication churn,
+# plus the wire-format fuzz corpus. This script
 # configures a dedicated build tree with -DJAMM_SANITIZE=thread and runs
 # exactly those labels, failing on any reported race.
 #
@@ -25,7 +28,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-tsan}"
 
 cmake -B "$build_dir" -S "$repo_root" -DJAMM_SANITIZE=thread
-cmake --build "$build_dir" -j --target telemetry_test gateway_test resilience_test chaos_test archive_test analysis_property_test federation_test directory_test flat_test ulm_test ulm_fuzz_test transport_test
-ctest --test-dir "$build_dir" -L 'concurrency|resilience|chaos|archive|analysis|federation|directory|ulm' --output-on-failure
+cmake --build "$build_dir" -j --target telemetry_test gateway_test resilience_test chaos_test archive_test analysis_property_test federation_test directory_test flat_test ulm_test ulm_fuzz_test transport_test security_test security_fuzz_test
+ctest --test-dir "$build_dir" -L 'concurrency|resilience|chaos|archive|analysis|federation|directory|ulm|security' --output-on-failure
 
-echo "tsan: concurrency/resilience/chaos/archive/analysis/federation/directory/ulm-labelled tests clean"
+echo "tsan: concurrency/resilience/chaos/archive/analysis/federation/directory/ulm/security-labelled tests clean"

@@ -260,6 +260,9 @@ Status DirectoryServer::CheckAccess(Operation op, const Dn& target,
     checker = access_checker_;
   }
   if (checker && *checker && !(*checker)(op, target, principal)) {
+    static telemetry::Counter& denied =
+        telemetry::Metrics().counter("directory.access_denied");
+    denied.Increment();
     return Status::PermissionDenied(
         (principal.empty() ? std::string("anonymous") : principal) +
         " may not access " + target.ToString());

@@ -102,13 +102,31 @@ Status RepublisherGateway::AddDownstream(DownstreamSpec spec) {
     }
   }
   downstreams_.push_back(Downstream{spec.name, std::move(spec.dialer),
-                                    spec.supports_pushdown, nullptr, nullptr});
+                                    spec.supports_pushdown,
+                                    std::move(spec.auth_payload),
+                                    /*cached_token=*/"", nullptr, nullptr});
   // A child added after groups formed joins every group: filtered feed if
   // it can push down, local-eval slice of its base stream otherwise.
   for (auto& [key, group] : groups_) {
     AttachChildToGroup(group, key, downstreams_.back());
   }
   return Status::Ok();
+}
+
+std::unique_ptr<gateway::GatewayClient> RepublisherGateway::MakeChildClient(
+    Downstream& child) const {
+  auto client = std::make_unique<gateway::GatewayClient>(child.dialer);
+  // Tokens chase the tree (ISSUE 10): once the child has minted a
+  // capability token for this tier's identity, new feeds present it —
+  // one signature verify at the child instead of a full certificate
+  // chain + policy evaluation per connection.
+  if (!child.cached_token.empty()) {
+    client->AuthenticateWithAsync(gateway::kAuthTokenPrefix +
+                                  child.cached_token);
+  } else if (!child.auth_payload.empty()) {
+    client->AuthenticateWithAsync(child.auth_payload);
+  }
+  return client;
 }
 
 void RepublisherGateway::EnsureBaseFeeds() {
@@ -118,7 +136,7 @@ void RepublisherGateway::EnsureBaseFeeds() {
                       local_.subscription_count() > 0 ||
                       GroupNeedsChildBase(d.name);
     if (!need) continue;
-    d.base = std::make_unique<gateway::GatewayClient>(d.dialer);
+    d.base = MakeChildClient(d);
     // Async + dialer-backed: recorded even if the child is down right now,
     // replayed on reconnect. Once established a base feed stays up —
     // tearing it down would lose dedup continuity and last-event state.
@@ -138,7 +156,7 @@ void RepublisherGateway::AttachChildToGroup(PushdownGroup& group,
                                             const std::string& group_key,
                                             Downstream& child) {
   if (child.supports_pushdown) {
-    auto client = std::make_unique<gateway::GatewayClient>(child.dialer);
+    auto client = MakeChildClient(child);
     client->SubscribeBatchedAsync(name_ + "/" + group_key, group.spec,
                                   options_.batch_records);
     group.feeds.emplace(child.name, std::move(client));
@@ -155,9 +173,16 @@ std::size_t RepublisherGateway::Pump() {
   // Base stream: merge every child's feed, time-order, dedup, republish.
   std::vector<std::pair<std::size_t, ulm::Record>> merged;
   for (std::size_t i = 0; i < downstreams_.size(); ++i) {
-    if (!downstreams_[i].base) continue;
-    for (ulm::Record& rec : downstreams_[i].base->DrainEvents()) {
+    Downstream& d = downstreams_[i];
+    if (!d.base) continue;
+    for (ulm::Record& rec : d.base->DrainEvents()) {
       merged.emplace_back(i, std::move(rec));
+    }
+    // Harvest the child-minted capability token for future connections
+    // (pushdown feeds, summary client, re-dials). The base feed's own
+    // reconnect replays its recorded credential regardless.
+    if (!d.base->token().empty() && d.base->token() != d.cached_token) {
+      d.cached_token = d.base->token();
     }
   }
   std::stable_sort(merged.begin(), merged.end(),
@@ -342,7 +367,7 @@ Result<gateway::SummaryData> RepublisherGateway::GetSummary(
   gateway::SummaryData merged;
   for (Downstream& child : downstreams_) {
     if (!child.summary) {
-      child.summary = std::make_unique<gateway::GatewayClient>(child.dialer);
+      child.summary = MakeChildClient(child);
     }
     Result<gateway::SummaryData> fetched =
         options_.summary_fetcher

@@ -101,6 +101,15 @@ class RepublisherGateway : public gateway::GatewaySurface {
     /// False for a downstream that predates filter pushdown: its slice of
     /// every pushdown group is evaluated locally instead.
     bool supports_pushdown = true;
+    /// Credential presented to the child on every new connection via
+    /// gw.auth (ISSUE 10) — typically a "cert\n…" bundle built with
+    /// security::MakeCertAuthPayload from THIS republisher's identity
+    /// (each tier presents its own certificate downstream, not the
+    /// consumer's). Empty = connect unauthenticated. Once the child mints
+    /// a capability token it is cached and preferred for subsequent
+    /// connections, so tokens chase the tree instead of re-running the
+    /// full certificate evaluation per feed.
+    std::string auth_payload;
   };
   Status AddDownstream(DownstreamSpec spec);
   std::size_t downstream_count() const { return downstreams_.size(); }
@@ -184,6 +193,14 @@ class RepublisherGateway : public gateway::GatewaySurface {
     std::string name;
     gateway::GatewayClient::Dialer dialer;
     bool supports_pushdown = true;
+    /// Credential replayed on every fresh connection (DownstreamSpec).
+    std::string auth_payload;
+    /// Last capability token the child minted for this republisher,
+    /// harvested from the base feed in Pump(). New feed/summary clients
+    /// present this (cheap token verify) instead of the full certificate
+    /// bundle; an expired token falls back to auth_payload on the child's
+    /// refusal because each client replays its own recorded credential.
+    std::string cached_token;
     /// Base "all" feed; null until EnsureBaseFeeds decides it is needed.
     std::unique_ptr<gateway::GatewayClient> base;
     /// Lazy request/reply client for summary fetches (kept off the event
@@ -215,6 +232,10 @@ class RepublisherGateway : public gateway::GatewaySurface {
   };
 
   void EnsureBaseFeeds();
+  /// New connection to `child`, authenticated with the cached token when
+  /// one exists, else the configured auth payload (ISSUE 10).
+  std::unique_ptr<gateway::GatewayClient> MakeChildClient(
+      Downstream& child) const;
   void AttachChildToGroup(PushdownGroup& group, const std::string& group_key,
                           Downstream& child);
   /// Encode once, deliver to every active member.

@@ -238,7 +238,7 @@ Status EventGateway::StartSensor(const std::string& sensor,
     return Status::Unimplemented("gateway " + name_ +
                                  " has no sensor manager attached");
   }
-  return sensor_control_(sensor, /*start=*/true);
+  return sensor_control_(sensor, /*start=*/true, principal);
 }
 
 Status EventGateway::StopSensor(const std::string& sensor,
@@ -248,7 +248,7 @@ Status EventGateway::StopSensor(const std::string& sensor,
     return Status::Unimplemented("gateway " + name_ +
                                  " has no sensor manager attached");
   }
-  return sensor_control_(sensor, /*start=*/false);
+  return sensor_control_(sensor, /*start=*/false, principal);
 }
 
 void EventGateway::EnableSummary(const std::string& event_name,

@@ -142,9 +142,11 @@ class EventGateway : public GatewaySurface {
   /// §7.1: "Starting new sensors is done by a request to a gateway, which
   /// then contacts a sensor manager." The host's manager registers this
   /// hook; remote consumers call StartSensor/StopSensor (access-checked
-  /// as Action::kStartSensor).
-  using SensorControl =
-      std::function<Status(const std::string& sensor, bool start)>;
+  /// as Action::kStartSensor). The requesting principal rides along
+  /// (ISSUE 10) so the manager can enforce its own authorization on top
+  /// of the gateway's check.
+  using SensorControl = std::function<Status(
+      const std::string& sensor, bool start, const std::string& principal)>;
   void SetSensorControl(SensorControl control) {
     sensor_control_ = std::move(control);
   }

@@ -167,6 +167,19 @@ std::size_t GatewayService::PollOnce() {
 void GatewayService::HandleMessage(Connection& conn,
                                    const transport::Message& msg) {
   if (msg.type == "gw.auth") {
+    if (authenticator_) {
+      auto outcome = authenticator_(msg.payload, conn.channel->peer());
+      if (!outcome.ok()) {
+        // A failed auth must not leave a stale principal on the
+        // connection from an earlier successful line.
+        conn.principal.clear();
+        (void)conn.channel->Send(ErrorMessage(outcome.status()));
+        return;
+      }
+      conn.principal = outcome->principal;
+      (void)conn.channel->Send({"gw.ok", outcome->token});
+      return;
+    }
     conn.principal = msg.payload;
     (void)conn.channel->Send({"gw.ok", ""});
     return;
@@ -546,6 +559,11 @@ bool GatewayClient::AdoptControl(const transport::Message& msg) {
   if (a.kind == Awaited::Kind::kSubscribe && msg.type == "gw.ok") {
     if (RecordedSub* sub = FindSub(a.sub_key)) sub->id = msg.payload;
   }
+  if (a.kind == Awaited::Kind::kAuth && msg.type == "gw.ok" &&
+      !msg.payload.empty()) {
+    // Replayed auth answered: adopt the (re-)minted capability token.
+    token_ = msg.payload;
+  }
   // A gw.error here means a replayed auth/subscribe was rejected; the
   // subscription keeps an empty id and the failure shows in telemetry.
   if (msg.type == "gw.error") {
@@ -605,9 +623,12 @@ Status GatewayClient::Reconnect() {
   awaited_.clear();
   t.reconnects.Increment();
   // Replay the session pipelined: send everything now, adopt the replies
-  // as they interleave with the resumed event stream.
+  // as they interleave with the resumed event stream. The auth line
+  // replays verbatim — for a cert bundle the gateway re-verifies and
+  // mints a fresh token; for a token line the old token must still be
+  // inside its TTL or the replay is rejected (shown in telemetry).
   if (authenticated_) {
-    JAMM_RETURN_IF_ERROR(channel_->Send({"gw.auth", principal_}));
+    JAMM_RETURN_IF_ERROR(channel_->Send({"gw.auth", auth_payload_}));
     awaited_.push_back({Awaited::Kind::kAuth, 0});
   }
   for (auto& sub : subs_) {
@@ -663,11 +684,35 @@ Result<transport::Message> GatewayClient::WaitFor(const std::string& type,
 }
 
 Status GatewayClient::Authenticate(const std::string& principal) {
-  principal_ = principal;
+  return AuthenticateWith(principal);
+}
+
+Status GatewayClient::AuthenticateWith(const std::string& auth_payload) {
+  auth_payload_ = auth_payload;
+  // The flag flips only after the explicit send: SendControl may dial the
+  // first connection via Reconnect(), which replays the credential when
+  // authenticated_ is already set — and the gateway would see (and mint
+  // for) the same auth line twice.
+  Status sent = SendControl({"gw.auth", auth_payload});
   authenticated_ = true;
-  JAMM_RETURN_IF_ERROR(SendControl({"gw.auth", principal}));
+  JAMM_RETURN_IF_ERROR(sent);
   auto reply = WaitFor("gw.ok", kSecond);
-  return reply.ok() ? Status::Ok() : reply.status();
+  if (!reply.ok()) return reply.status();
+  if (!reply->payload.empty()) token_ = reply->payload;
+  return Status::Ok();
+}
+
+Status GatewayClient::AuthenticateWithAsync(const std::string& auth_payload) {
+  auth_payload_ = auth_payload;
+  // See AuthenticateWith: flip the flag after the send, or a first-dial
+  // Reconnect() inside SendControl duplicates the auth line.
+  Status sent = SendControl({"gw.auth", auth_payload});
+  authenticated_ = true;
+  if (!sent.ok() && !dialer_) return sent;
+  // Like SubscribeAsync: with a dialer the credential is declarative
+  // intent — Reconnect() replays it once the gateway is reachable.
+  if (sent.ok()) awaited_.push_back({Awaited::Kind::kAuth, 0});
+  return Status::Ok();
 }
 
 void GatewayClient::SetQueueSpec(OverflowPolicy policy,

@@ -3,7 +3,17 @@
 // use after discovering the gateway's address in the sensor directory.
 //
 // Protocol (Message.type / payload):
-//   "gw.auth"         principal            — identify this connection
+//   "gw.auth"         principal            — identify this connection.
+//                                            With an Authenticator installed
+//                                            (ISSUE 10) the payload may also
+//                                            be "cert\n<bundle>" (certificate
+//                                            authentication; the gw.ok reply
+//                                            carries a minted capability
+//                                            token) or "token\n<token>"
+//                                            (resume with a prior token);
+//                                            a bare principal is then only
+//                                            honored for already-known
+//                                            sessions
 //   "gw.subscribe"    consumer\nfilterspec[\nformat[\nqueue:...]]
 //                                          — open stream; reply gw.ok <id>.
 //                                            format "" streams ASCII
@@ -65,6 +75,21 @@ std::string_view OverflowPolicyName(OverflowPolicy policy);
 /// Lowercase: must not match sensor-event globs.
 inline constexpr char kOverloadEvent[] = "gw.overload";
 
+/// gw.auth payload prefixes (ISSUE 10). Defined here — on the protocol —
+/// so the security layer (which builds/parses the bundles) and federation
+/// (which replays cached tokens down the tree) agree without either
+/// depending on the other.
+inline constexpr char kAuthCertPrefix[] = "cert\n";
+inline constexpr char kAuthTokenPrefix[] = "token\n";
+
+/// Outcome of an authenticated gw.auth line (ISSUE 10): the verified
+/// principal bound to the connection, and the capability token echoed to
+/// the client in the gw.ok payload ("" = none).
+struct AuthResult {
+  std::string principal;
+  std::string token;
+};
+
 class GatewayService {
  public:
   /// Serves any GatewaySurface — a leaf EventGateway or a federation
@@ -80,6 +105,16 @@ class GatewayService {
 
   const std::string& address() const { return address_; }
   std::size_t connection_count() const { return connections_.size(); }
+
+  /// Verifies gw.auth payloads (ISSUE 10). Unset = legacy behaviour (the
+  /// payload is trusted as the principal — access control then rests
+  /// entirely on the surface's checkers). The security layer's
+  /// Authorizer::GatewayAuthenticator produces one.
+  using Authenticator = std::function<Result<AuthResult>(
+      const std::string& payload, const std::string& peer)>;
+  void SetAuthenticator(Authenticator authenticator) {
+    authenticator_ = std::move(authenticator);
+  }
 
   /// Flush policy knobs for "batch" subscriptions. A batch is sent when it
   /// reaches its record limit (subscription-negotiated, default 16) or
@@ -169,6 +204,7 @@ class GatewayService {
   std::string address_;
   std::vector<Connection> connections_;
   Duration batch_max_age_ = kDefaultBatchMaxAge;
+  Authenticator authenticator_;
 };
 
 /// Consumer-side convenience wrapper around the protocol.
@@ -195,6 +231,20 @@ class GatewayClient {
       : dialer_(std::move(dialer)), pending_events_(kDefaultPendingCap) {}
 
   Status Authenticate(const std::string& principal);
+
+  /// ISSUE 10: authenticate with a prepared gw.auth payload (a cert
+  /// bundle or token line from the security layer). The payload is
+  /// recorded and replayed verbatim on every reconnect, exactly like
+  /// subscription specs. On success token() holds any capability token
+  /// the gateway returned.
+  Status AuthenticateWith(const std::string& auth_payload);
+  /// Non-blocking variant for poll-driven callers: the gw.ok (carrying
+  /// the token) is adopted when it interleaves with the stream.
+  Status AuthenticateWithAsync(const std::string& auth_payload);
+
+  /// Capability token minted by the gateway at auth time ("" until the
+  /// auth reply arrives, or when the gateway minted none).
+  const std::string& token() const { return token_; }
 
   /// Subscribe; the stream then arrives via NextEvent()/DrainEvents().
   /// `xml` requests the XML event format. Blocks on the gateway's reply,
@@ -313,7 +363,8 @@ class GatewayClient {
 
   Dialer dialer_;
   std::unique_ptr<transport::Channel> channel_;
-  std::string principal_;
+  std::string auth_payload_;  // replayed verbatim on reconnect
+  std::string token_;         // capability token from the last gw.ok
   bool authenticated_ = false;
   std::vector<RecordedSub> subs_;
   std::deque<Awaited> awaited_;

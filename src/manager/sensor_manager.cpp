@@ -64,7 +64,12 @@ SensorManager::SensorManager(Options options)
   // lifetime in every deployment here).
   if (options_.gateway) {
     options_.gateway->SetSensorControl(
-        [this](const std::string& name, bool start) {
+        [this](const std::string& name, bool start,
+               const std::string& principal) {
+          if (options_.control_access) {
+            JAMM_RETURN_IF_ERROR(
+                options_.control_access(name, start, principal));
+          }
           return start ? StartSensor(name) : StopSensor(name);
         });
   }

@@ -76,6 +76,15 @@ class SensorManager {
     /// restarts, then crash-loop quarantine (de-registered from the
     /// directory, `proc.quarantined` event published).
     resilience::SupervisorPolicy sensor_restart;
+    /// Manager-side authorization for gateway-relayed sensor control
+    /// (ISSUE 10). Called with the sensor name, start/stop, and the
+    /// requesting principal BEFORE the manager acts; null = allow all
+    /// (the gateway's own access checker is then the only gate). Wire
+    /// security::Authorizer::ManagerControlChecker here for Akenti-backed
+    /// policy.
+    std::function<Status(const std::string& sensor, bool start,
+                         const std::string& principal)>
+        control_access;
   };
 
   explicit SensorManager(Options options);

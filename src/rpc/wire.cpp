@@ -43,6 +43,12 @@ Result<std::vector<std::string>> DecodeStrings(std::string_view data) {
   if (!GetVarint(data, i, count)) {
     return Status::ParseError("rpc marshal: truncated count");
   }
+  // Every element costs at least one length byte, so a count beyond the
+  // remaining input is forged — reject it BEFORE reserving, or a hostile
+  // varint (up to 2^64) turns into a bad_alloc instead of a parse error.
+  if (count > data.size() - i) {
+    return Status::ParseError("rpc marshal: implausible count");
+  }
   std::vector<std::string> out;
   out.reserve(count);
   for (std::uint64_t k = 0; k < count; ++k) {
@@ -70,8 +76,13 @@ std::size_t RpcServer::PollOnce() {
   while (true) {
     auto channel = listener_->Accept(0);
     if (!channel.ok()) break;
+    std::unique_ptr<transport::Channel> accepted = std::move(*channel);
+    if (channel_wrapper_) {
+      accepted = channel_wrapper_(std::move(accepted));
+      if (!accepted) continue;  // wrapper rejected the connection
+    }
     connections_.push_back(std::shared_ptr<transport::Channel>(
-        std::move(*channel)));
+        std::move(accepted)));
   }
   auto& m = telemetry::Metrics();
   static telemetry::Counter& calls = m.counter("rpc.server.calls");

@@ -25,8 +25,20 @@ Result<std::vector<std::string>> DecodeStrings(std::string_view data);
 
 class RpcServer {
  public:
+  /// Wraps each accepted channel before the server first reads from it
+  /// (ISSUE 10) — the hook security::SecureChannel plugs into without
+  /// rpc depending on the security module. Returning null rejects the
+  /// connection. Applied at accept time, so installs only affect future
+  /// connections.
+  using ChannelWrapper = std::function<std::unique_ptr<transport::Channel>(
+      std::unique_ptr<transport::Channel>)>;
+
   RpcServer(Registry& registry,
             std::unique_ptr<transport::Listener> listener);
+
+  void SetChannelWrapper(ChannelWrapper wrapper) {
+    channel_wrapper_ = std::move(wrapper);
+  }
 
   /// Accept pending connections, serve pending calls; returns calls
   /// served. Also runs the registry's idle-unload maintenance.
@@ -38,6 +50,7 @@ class RpcServer {
   Registry& registry_;
   std::unique_ptr<transport::Listener> listener_;
   std::string address_;
+  ChannelWrapper channel_wrapper_;
   std::vector<std::shared_ptr<transport::Channel>> connections_;
 };
 

@@ -1,12 +1,59 @@
 #include "security/akenti.hpp"
 
 #include "common/strings.hpp"
+#include "rpc/wire.hpp"
+#include "security/secure_channel.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace jamm::security {
+namespace {
+
+/// Signing context for the gw.auth proof-of-possession line: binds the
+/// signature to this protocol so a certificate's issuance signature can
+/// never be replayed as an authentication proof.
+constexpr char kAuthProofContext[] = "\ngw.auth";
+
+struct SecurityTelemetry {
+  telemetry::Counter& grants;          // full-evaluation allows
+  telemetry::Counter& denies;          // full-evaluation denies
+  telemetry::Counter& cache_hits;      // Check() answered from the cache
+  telemetry::Counter& token_mints;
+  telemetry::Counter& token_verifies;  // successful AdoptToken validations
+  telemetry::Counter& token_expired;
+  telemetry::Counter& policy_reloads;
+};
+
+SecurityTelemetry& Instruments() {
+  auto& m = telemetry::Metrics();
+  static SecurityTelemetry t{m.counter("security.grants"),
+                             m.counter("security.denies"),
+                             m.counter("security.cache_hits"),
+                             m.counter("security.token_mints"),
+                             m.counter("security.token_verifies"),
+                             m.counter("security.token_expired"),
+                             m.counter("security.policy_reloads")};
+  return t;
+}
+
+std::string TokenSessionKey(const std::string& principal,
+                            const std::string& resource) {
+  return principal + '\x1f' + resource;
+}
+
+}  // namespace
 
 void PolicyEngine::AddUseCondition(const std::string& resource,
                                    UseCondition condition) {
   conditions_[resource].push_back(std::move(condition));
+}
+
+void PolicyEngine::SetUseConditions(const std::string& resource,
+                                    std::vector<UseCondition> conditions) {
+  if (conditions.empty()) {
+    conditions_.erase(resource);
+  } else {
+    conditions_[resource] = std::move(conditions);
+  }
 }
 
 std::set<std::string> PolicyEngine::AllowedActions(
@@ -38,6 +85,21 @@ std::set<std::string> PolicyEngine::AllowedActions(
   return granted;
 }
 
+std::string MakeCertAuthPayload(const Certificate& identity,
+                                const std::string& private_key,
+                                const std::vector<Certificate>& attrs) {
+  std::vector<std::string> parts;
+  parts.push_back(SerializeCertificate(identity));
+  parts.push_back(
+      Sign(private_key, identity.SignedPayload() + kAuthProofContext));
+  for (const auto& attr : attrs) parts.push_back(SerializeCertificate(attr));
+  return std::string(gateway::kAuthCertPrefix) + rpc::EncodeStrings(parts);
+}
+
+std::string MakeTokenAuthPayload(const CapabilityToken& token) {
+  return std::string(gateway::kAuthTokenPrefix) + EncodeToken(token);
+}
+
 Authorizer::Authorizer(PolicyEngine& policy,
                        std::vector<Certificate> trusted_roots,
                        const Clock& clock)
@@ -57,26 +119,235 @@ Result<std::string> Authorizer::Authenticate(
       session.attributes.push_back(attr);
     }
   }
-  sessions_[identity.subject] = std::move(session);
+  bool reauth = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reauth = sessions_.count(identity.subject) > 0;
+    sessions_[identity.subject] = std::move(session);
+  }
+  // A re-authentication may carry a different attribute set; cached
+  // verdicts for the old session must not survive it. Fresh principals
+  // cannot have cached entries (no-session denials are never cached).
+  if (reauth && cache_) cache_->BumpGeneration();
   return identity.subject;
 }
 
 std::set<std::string> Authorizer::AllowedActions(
     const std::string& resource, const std::string& principal) const {
-  auto it = sessions_.find(principal);
-  if (it == sessions_.end()) return {};
-  return policy_.AllowedActions(resource, it->second.identity,
-                                it->second.attributes);
+  std::set<std::string> granted;
+  const TimePoint now = clock_.Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto ts = token_sessions_.find(TokenSessionKey(principal, resource));
+      ts != token_sessions_.end() && now <= ts->second.not_after) {
+    granted = ts->second.actions;
+  }
+  if (auto it = sessions_.find(principal); it != sessions_.end()) {
+    auto policy = policy_.AllowedActions(resource, it->second.identity,
+                                         it->second.attributes);
+    granted.insert(policy.begin(), policy.end());
+  }
+  return granted;
+}
+
+void Authorizer::EmitAudit(const char* event, std::string_view lvl,
+                           const std::string& principal,
+                           const std::string& resource,
+                           const std::string& action,
+                           const std::string& detail) const {
+  if (!audit_sink_) return;
+  ulm::Record rec(clock_.Now(), "", "security", std::string(lvl), event);
+  rec.SetField("PRINCIPAL", principal.empty() ? "anonymous" : principal);
+  if (!resource.empty()) rec.SetField("RESOURCE", resource);
+  if (!action.empty()) rec.SetField("ACTION", action);
+  if (!detail.empty()) rec.SetField("DETAIL", detail);
+  audit_sink_(rec);
+}
+
+bool Authorizer::EvaluateAndAudit(const std::string& resource,
+                                  const std::string& action,
+                                  const std::string& principal) const {
+  const TimePoint now = clock_.Now();
+  bool allowed = false;
+  bool cacheable = false;       // only cert-session policy verdicts
+  bool token_answered = false;  // verdict came from a live token
+  bool token_expired = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto ts = token_sessions_.find(TokenSessionKey(principal, resource));
+    if (ts != token_sessions_.end()) {
+      if (now > ts->second.not_after) {
+        // Lazy expiry: the dead grant is dropped and the check falls
+        // through to any certificate session.
+        token_sessions_.erase(ts);
+        token_expired = true;
+      } else {
+        allowed = ts->second.actions.count(action) > 0;
+        token_answered = true;
+      }
+    }
+    if (!token_answered) {
+      auto it = sessions_.find(principal);
+      if (it != sessions_.end()) {
+        cacheable = true;  // the verdict depends only on session + policy
+        allowed = policy_
+                      .AllowedActions(resource, it->second.identity,
+                                      it->second.attributes)
+                      .count(action) > 0;
+      }
+    }
+  }
+  // Token verdicts are time-bound and must never enter the cache: a
+  // cached allow would outlive the token's not_after.
+  if (cacheable && cache_) {
+    cache_->Insert(principal, resource, action, allowed);
+  }
+  // Audits fire outside the lock: a sink that publishes into a gateway
+  // whose access checker calls back into this Authorizer must not
+  // deadlock (mu_ is not recursive).
+  auto& tm = Instruments();
+  if (token_expired) {
+    tm.token_expired.Increment();
+    EmitAudit(audit::kTokenExpired, ulm::level::kSecurity, principal, resource,
+              action, "token session expired");
+  }
+  if (allowed) {
+    tm.grants.Increment();
+    EmitAudit(audit::kGrant, ulm::level::kSecurity, principal, resource,
+              action, token_answered ? "token" : "policy");
+  } else {
+    tm.denies.Increment();
+    EmitAudit(audit::kDeny, ulm::level::kWarning, principal, resource, action,
+              token_answered ? "token lacks action"
+                             : (cacheable ? "policy" : "no session"));
+  }
+  return allowed;
 }
 
 bool Authorizer::Check(const std::string& resource, const std::string& action,
                        const std::string& principal) const {
-  return AllowedActions(resource, principal).count(action) > 0;
+  if (cache_) {
+    if (auto hit = cache_->Lookup(principal, resource, action)) {
+      Instruments().cache_hits.Increment();
+      return *hit;
+    }
+  }
+  return EvaluateAndAudit(resource, action, principal);
+}
+
+void Authorizer::SetGridMap(GridMap map) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gridmap_ = std::move(map);
+  has_gridmap_ = true;
 }
 
 Result<std::string> Authorizer::LocalUser(const std::string& principal) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!has_gridmap_) return Status::NotFound("no gridmap configured");
   return gridmap_.MapSubject(principal);
+}
+
+void Authorizer::EnableTokens(TokenAuthority authority) {
+  token_authority_.emplace(std::move(authority));
+}
+
+Result<CapabilityToken> Authorizer::MintToken(const std::string& resource,
+                                              const std::string& principal,
+                                              Duration ttl) {
+  if (!token_authority_) {
+    return Status::Unimplemented("authorizer has no token authority");
+  }
+  const TimePoint now = clock_.Now();
+  std::set<std::string> actions;
+  bool have_session = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(principal);
+    if (it != sessions_.end()) {
+      have_session = true;
+      actions = policy_.AllowedActions(resource, it->second.identity,
+                                       it->second.attributes);
+    }
+  }
+  if (!have_session) {
+    Instruments().denies.Increment();
+    EmitAudit(audit::kDeny, ulm::level::kWarning, principal, resource, "",
+              "token mint without a session");
+    return Status::PermissionDenied("no session for " + principal);
+  }
+  if (actions.empty()) {
+    Instruments().denies.Increment();
+    EmitAudit(audit::kDeny, ulm::level::kWarning, principal, resource, "",
+              "policy grants no actions");
+    return Status::PermissionDenied(principal + " has no actions on " +
+                                    resource);
+  }
+  CapabilityToken token = token_authority_->Mint(
+      principal, resource, actions, now, now + ttl,
+      cache_ ? cache_->generation() : 0);
+  Instruments().token_mints.Increment();
+  EmitAudit(audit::kTokenMint, ulm::level::kSecurity, principal, resource,
+            Join({actions.begin(), actions.end()}, ","),
+            "ttl=" + std::to_string(ttl));
+  return token;
+}
+
+Result<std::string> Authorizer::AdoptToken(const CapabilityToken& token) {
+  if (!token_authority_) {
+    return Status::Unimplemented("authorizer has no token authority");
+  }
+  const TimePoint now = clock_.Now();
+  Status verdict = token_authority_->Verify(token, now);
+  if (!verdict.ok()) {
+    auto& tm = Instruments();
+    // Expired-vs-forged matters for accounting: an expired token is
+    // routine (re-authenticate), a bad signature is an attack signal.
+    if (now > token.not_after &&
+        token_authority_->Verify(token, token.not_after).ok()) {
+      tm.token_expired.Increment();
+      EmitAudit(audit::kTokenExpired, ulm::level::kSecurity, token.principal,
+                token.resource, "", "presented after not_after");
+    } else {
+      tm.denies.Increment();
+      EmitAudit(audit::kDeny, ulm::level::kWarning, token.principal,
+                token.resource, "", verdict.ToString());
+    }
+    return verdict;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    token_sessions_[TokenSessionKey(token.principal, token.resource)] =
+        TokenSession{{token.actions.begin(), token.actions.end()},
+                     token.not_after};
+  }
+  auto& tm = Instruments();
+  tm.token_verifies.Increment();
+  tm.grants.Increment();
+  EmitAudit(audit::kGrant, ulm::level::kSecurity, token.principal,
+            token.resource, Join(token.actions, ","), "token adopted");
+  return token.principal;
+}
+
+void Authorizer::EnableDecisionCache(DecisionCache::Options options) {
+  cache_ = std::make_unique<DecisionCache>(options);
+}
+
+void Authorizer::PolicyReloaded() {
+  if (cache_) cache_->BumpGeneration();
+  Instruments().policy_reloads.Increment();
+  EmitAudit(audit::kPolicyReload, ulm::level::kSecurity, "", "", "",
+            cache_ ? "generation=" + std::to_string(cache_->generation())
+                   : "no cache");
+}
+
+void Authorizer::PolicyReloaded(
+    const std::function<void(PolicyEngine&)>& mutate) {
+  {
+    // Evaluations read the policy under mu_, so an edit applied here is
+    // atomic with respect to every racing Check()/MintToken().
+    std::lock_guard<std::mutex> lock(mu_);
+    mutate(policy_);
+  }
+  PolicyReloaded();
 }
 
 gateway::EventGateway::AccessChecker Authorizer::GatewayChecker(
@@ -106,6 +377,84 @@ directory::DirectoryServer::AccessChecker Authorizer::DirectoryChecker(
         return true;  // binding is how you become a principal
     }
     return false;
+  };
+}
+
+gateway::GatewayService::Authenticator Authorizer::GatewayAuthenticator(
+    const std::string& resource, Duration token_ttl) {
+  return [this, resource, token_ttl](const std::string& payload,
+                                     const std::string& peer)
+             -> Result<gateway::AuthResult> {
+    (void)peer;  // transport identity; the payload carries the proof
+    if (payload.rfind(gateway::kAuthCertPrefix, 0) == 0) {
+      auto parts = rpc::DecodeStrings(
+          std::string_view(payload).substr(sizeof(gateway::kAuthCertPrefix) - 1));
+      if (!parts.ok() || parts->size() < 2) {
+        return Status::ParseError("malformed cert auth payload");
+      }
+      auto identity = ParseCertificate((*parts)[0]);
+      if (!identity.ok()) return identity.status();
+      // Proof of possession: holding the certificate is public knowledge,
+      // holding its private key is not.
+      if (!Verify(identity->public_key,
+                  identity->SignedPayload() + kAuthProofContext,
+                  (*parts)[1])) {
+        Instruments().denies.Increment();
+        EmitAudit(audit::kDeny, ulm::level::kWarning, identity->subject,
+                  resource, "", "failed proof of key possession");
+        return Status::PermissionDenied("failed proof of key possession");
+      }
+      std::vector<Certificate> attrs;
+      for (std::size_t i = 2; i < parts->size(); ++i) {
+        auto attr = ParseCertificate((*parts)[i]);
+        if (attr.ok()) attrs.push_back(std::move(*attr));
+      }
+      auto principal = Authenticate(*identity, attrs);
+      if (!principal.ok()) {
+        Instruments().denies.Increment();
+        EmitAudit(audit::kDeny, ulm::level::kWarning, identity->subject,
+                  resource, "", principal.status().ToString());
+        return principal.status();
+      }
+      auto token = MintToken(resource, *principal, token_ttl);
+      if (!token.ok()) return token.status();
+      return gateway::AuthResult{*principal, EncodeToken(*token)};
+    }
+    if (payload.rfind(gateway::kAuthTokenPrefix, 0) == 0) {
+      auto token = DecodeToken(std::string_view(payload).substr(
+          sizeof(gateway::kAuthTokenPrefix) - 1));
+      if (!token.ok()) return token.status();
+      auto principal = AdoptToken(*token);
+      if (!principal.ok()) return principal.status();
+      // Echo the same token back: the client's recorded credential stays
+      // valid for the next reconnect (until the TTL runs out).
+      return gateway::AuthResult{*principal, EncodeToken(*token)};
+    }
+    // Legacy plain-principal line: a bare name proves nothing, so it is
+    // only honored for a principal that already authenticated here.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (sessions_.count(payload) > 0) {
+        return gateway::AuthResult{payload, ""};
+      }
+    }
+    Instruments().denies.Increment();
+    EmitAudit(audit::kDeny, ulm::level::kWarning, payload, resource, "",
+              "unauthenticated principal line");
+    return Status::PermissionDenied("principal " + payload +
+                                    " has not authenticated");
+  };
+}
+
+std::function<Status(const std::string&, bool, const std::string&)>
+Authorizer::ManagerControlChecker(const std::string& resource) const {
+  return [this, resource](const std::string& sensor, bool start,
+                          const std::string& principal) {
+    (void)start;  // start and stop are the same privilege in the paper
+    if (Check(resource, action::kStartSensor, principal)) return Status::Ok();
+    return Status::PermissionDenied(
+        (principal.empty() ? std::string("anonymous") : principal) +
+        " may not control sensor " + sensor);
   };
 }
 

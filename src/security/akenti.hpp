@@ -7,17 +7,35 @@
 // resource the user wants to access. This authorization interface could
 // return a list of allowed actions, or simply deny access if the user is
 // unauthorized."
+//
+// ISSUE 10 makes the interface production-fast and observable:
+//   * capability tokens (token.hpp) minted once at auth time seal the
+//     full evaluation into a signed bearer credential — honored until
+//     expiry even across policy reloads (revocation = short TTL);
+//   * a sharded decision cache (decision_cache.hpp) memoizes full Akenti
+//     evaluations per (principal × resource × action), invalidated by a
+//     generation bump on PolicyReloaded();
+//   * every full-evaluation verdict and token event is mirrored to an
+//     audit sink as a `sec.*` ULM record (cache hits are counted in
+//     telemetry but not audited — that is the point of the cache).
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "directory/server.hpp"
 #include "gateway/gateway.hpp"
+#include "gateway/service.hpp"
 #include "security/certificate.hpp"
+#include "security/decision_cache.hpp"
 #include "security/gridmap.hpp"
+#include "security/token.hpp"
+#include "ulm/record.hpp"
 
 namespace jamm::security {
 
@@ -44,9 +62,27 @@ inline constexpr char kLookup[] = "lookup";
 inline constexpr char kPublish[] = "publish";
 }  // namespace action
 
+/// Audit event names (`sec.*`, lowercase so they cannot match
+/// sensor-event globs). Fields: PRINCIPAL, RESOURCE, ACTION, DETAIL.
+namespace audit {
+inline constexpr char kGrant[] = "sec.grant";
+inline constexpr char kDeny[] = "sec.deny";
+inline constexpr char kTokenMint[] = "sec.token.mint";
+inline constexpr char kTokenExpired[] = "sec.token.expired";
+inline constexpr char kPolicyReload[] = "sec.policy.reload";
+}  // namespace audit
+
 class PolicyEngine {
  public:
   void AddUseCondition(const std::string& resource, UseCondition condition);
+
+  /// Replace every use condition on `resource` — what a stakeholder's
+  /// policy reload does (the condition set is re-read, not appended to).
+  /// An empty vector revokes the resource entirely. Racing evaluators
+  /// must be excluded by the caller; Authorizer::PolicyReloaded(mutator)
+  /// does that for you.
+  void SetUseConditions(const std::string& resource,
+                        std::vector<UseCondition> conditions);
 
   /// Union of actions granted to `identity` (with supporting verified
   /// `attributes`) on `resource`.
@@ -58,10 +94,24 @@ class PolicyEngine {
   std::map<std::string, std::vector<UseCondition>> conditions_;
 };
 
+/// Builds the wire payload a client sends as its `gw.auth` line when
+/// authenticating with certificates: the identity cert, a
+/// proof-of-possession signature, and any attribute certs.
+std::string MakeCertAuthPayload(const Certificate& identity,
+                                const std::string& private_key,
+                                const std::vector<Certificate>& attrs = {});
+/// The `gw.auth` line for resuming with a previously minted token.
+std::string MakeTokenAuthPayload(const CapabilityToken& token);
+
 /// The shared authorization interface. Principals authenticate once by
 /// presenting certificates (over the secure channel); each access point
 /// (gateway, directory, manager) then asks the same object whether an
 /// action is allowed.
+///
+/// Thread-safe: sessions and token sessions are mutex-guarded, the
+/// decision cache is internally sharded, and audit records are emitted
+/// outside all locks (so a sink publishing back into a gateway whose
+/// checker calls this Authorizer cannot deadlock).
 class Authorizer {
  public:
   Authorizer(PolicyEngine& policy, std::vector<Certificate> trusted_roots,
@@ -69,12 +119,16 @@ class Authorizer {
 
   /// Verify the identity (and any attribute certificates) and register
   /// the session. The returned principal token (the subject DN) is what
-  /// callers pass to gateways/directories.
+  /// callers pass to gateways/directories. Re-authenticating an existing
+  /// principal bumps the decision-cache generation (its attribute set may
+  /// have changed).
   Result<std::string> Authenticate(
       const Certificate& identity,
       const std::vector<Certificate>& attribute_certs = {});
 
-  /// The paper's "return a list of allowed actions".
+  /// The paper's "return a list of allowed actions": the policy verdict
+  /// for a certificate session, unioned with any live token session's
+  /// granted set.
   std::set<std::string> AllowedActions(const std::string& resource,
                                        const std::string& principal) const;
 
@@ -82,8 +136,53 @@ class Authorizer {
              const std::string& principal) const;
 
   /// Optional gridmap: maps authenticated subjects to local accounts.
-  void SetGridMap(GridMap map) { gridmap_ = std::move(map); has_gridmap_ = true; }
+  void SetGridMap(GridMap map);
   Result<std::string> LocalUser(const std::string& principal) const;
+
+  // ----------------------------------------------------- capability tokens
+
+  /// Enable token minting/verification under this authority (ISSUE 10).
+  void EnableTokens(TokenAuthority authority);
+  const TokenAuthority* token_authority() const {
+    return token_authority_ ? &*token_authority_ : nullptr;
+  }
+
+  /// Seal the principal's full evaluation on `resource` into a signed
+  /// token valid for `ttl` from now (inclusive at both edges). Requires a
+  /// certificate session; denies (with a sec.deny audit) when the policy
+  /// grants no actions at all.
+  Result<CapabilityToken> MintToken(const std::string& resource,
+                                    const std::string& principal,
+                                    Duration ttl);
+
+  /// Verify a presented token and register it as a token session: Check()
+  /// then answers from the token's sealed action set (never cached — the
+  /// verdict is time-bound) until not_after passes. Returns the principal.
+  Result<std::string> AdoptToken(const CapabilityToken& token);
+
+  // ------------------------------------------------------- decision cache
+
+  /// Memoize full Akenti evaluations (ISSUE 10).
+  void EnableDecisionCache(DecisionCache::Options options = {});
+  const DecisionCache* decision_cache() const { return cache_.get(); }
+
+  /// Stakeholders changed the policy: bump the cache generation (O(1)
+  /// invalidation) and audit. Live tokens are deliberately NOT revoked —
+  /// they expire on their own TTL.
+  void PolicyReloaded();
+
+  /// Reload with an in-flight edit: `mutate` runs against the policy
+  /// under the session mutex, so evaluations racing the reload see either
+  /// the old or the new condition set, never a torn one. Then the usual
+  /// generation bump + audit.
+  void PolicyReloaded(const std::function<void(PolicyEngine&)>& mutate);
+
+  // --------------------------------------------------------------- audit
+
+  using AuditSink = std::function<void(const ulm::Record&)>;
+  /// Where sec.* audit records go — typically the host gateway's Publish,
+  /// so audits ride the normal ULM pipeline to subscribers/archives.
+  void SetAuditSink(AuditSink sink) { audit_sink_ = std::move(sink); }
 
   // ----------------------------------------------------------- adapters
 
@@ -95,18 +194,51 @@ class Authorizer {
   directory::DirectoryServer::AccessChecker DirectoryChecker(
       const std::string& resource) const;
 
+  /// `gw.auth` handshake handler for a GatewayService fronting `resource`
+  /// (ISSUE 10). Accepts three payload forms:
+  ///   "cert\n" + bundle  — authenticate certificates, mint a token with
+  ///                        `token_ttl`, return it in the gw.ok payload;
+  ///   "token\n" + token  — verify + adopt a previously minted token;
+  ///   plain principal    — legacy; accepted only for an existing session
+  ///                        (a bare name proves nothing).
+  gateway::GatewayService::Authenticator GatewayAuthenticator(
+      const std::string& resource, Duration token_ttl = 30 * kSecond);
+
+  /// Authorization hook for a SensorManager relaying gateway-originated
+  /// start/stop requests (checks `start-sensor` on `resource`).
+  std::function<Status(const std::string& sensor, bool start,
+                       const std::string& principal)>
+  ManagerControlChecker(const std::string& resource) const;
+
  private:
   struct Session {
     Certificate identity;
     std::vector<Certificate> attributes;
   };
+  struct TokenSession {
+    std::set<std::string> actions;
+    TimePoint not_after = 0;
+  };
+
+  /// Full evaluation + cache fill + audit; the slow path behind Check().
+  bool EvaluateAndAudit(const std::string& resource, const std::string& action,
+                        const std::string& principal) const;
+  void EmitAudit(const char* event, std::string_view level,
+                 const std::string& principal, const std::string& resource,
+                 const std::string& action, const std::string& detail) const;
 
   PolicyEngine& policy_;
   std::vector<Certificate> trusted_roots_;
   const Clock& clock_;
+  mutable std::mutex mu_;  // guards sessions_, token_sessions_, gridmap_
   std::map<std::string, Session> sessions_;  // principal → session
+  /// principal \x1f resource → live token grant.
+  mutable std::map<std::string, TokenSession> token_sessions_;
   GridMap gridmap_;
   bool has_gridmap_ = false;
+  std::optional<TokenAuthority> token_authority_;
+  std::unique_ptr<DecisionCache> cache_;
+  AuditSink audit_sink_;
 };
 
 }  // namespace jamm::security

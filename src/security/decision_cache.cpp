@@ -1,0 +1,87 @@
+#include "security/decision_cache.hpp"
+
+namespace jamm::security {
+namespace {
+
+// \x1f (unit separator) cannot appear in DNs, resource names, or action
+// names, so the composite key is collision-free.
+std::string CacheKey(const std::string& principal, const std::string& resource,
+                     const std::string& action) {
+  std::string key;
+  key.reserve(principal.size() + resource.size() + action.size() + 2);
+  key += principal;
+  key += '\x1f';
+  key += resource;
+  key += '\x1f';
+  key += action;
+  return key;
+}
+
+}  // namespace
+
+DecisionCache::DecisionCache(Options options) : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.capacity_per_shard == 0) options_.capacity_per_shard = 1;
+  shards_ = std::make_unique<Shard[]>(options_.shards);
+}
+
+DecisionCache::Shard& DecisionCache::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % options_.shards];
+}
+
+std::optional<bool> DecisionCache::Lookup(const std::string& principal,
+                                          const std::string& resource,
+                                          const std::string& action) const {
+  const std::string key = CacheKey(principal, resource, action);
+  const std::uint64_t gen = generation();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (it->second.generation != gen) {
+    // Pre-reload verdict: evict lazily so a bumped generation never
+    // resurrects a stale grant (or deny).
+    shard.entries.erase(it);
+    stale_evicted_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.allowed;
+}
+
+void DecisionCache::Insert(const std::string& principal,
+                           const std::string& resource,
+                           const std::string& action, bool allowed) {
+  const std::string key = CacheKey(principal, resource, action);
+  // Generation read BEFORE the verdict is stored: if a BumpGeneration
+  // races this insert, the entry lands stamped with the old generation
+  // and the next lookup discards it — a stale verdict can be wasted,
+  // never honored past a bump.
+  const std::uint64_t gen = generation();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.entries.size() >= options_.capacity_per_shard &&
+      shard.entries.find(key) == shard.entries.end()) {
+    shard.entries.clear();
+    capacity_sweeps_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.entries[key] = Entry{allowed, gen};
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+DecisionCache::Stats DecisionCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.stale_evicted = stale_evicted_.load(std::memory_order_relaxed);
+  s.capacity_sweeps = capacity_sweeps_.load(std::memory_order_relaxed);
+  s.generation = generation();
+  return s;
+}
+
+}  // namespace jamm::security

@@ -1,0 +1,92 @@
+// Sharded authorization decision cache (ISSUE 10). The Akenti evaluation
+// — glob matches over use-conditions, attribute-certificate scans — is
+// far too slow to sit on a request path that fires per subscribe/query
+// across millions of consumers, so verdicts are memoized per
+// (principal × resource × action).
+//
+// Invalidation is a generation bump, not a scan: every entry is stamped
+// with the generation current at insert; a policy change bumps the global
+// generation, making every older entry miss (and lazily evicting it on
+// the next lookup). Bumping is one atomic increment regardless of cache
+// size — policy reloads stay O(1) while lookups stay lock-narrow
+// (one shard mutex, hashed by key).
+//
+// Time-dependent verdicts (capability-token sessions) must NOT be cached
+// here: an entry has no expiry, only a generation. The Authorizer keeps
+// token decisions out.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace jamm::security {
+
+class DecisionCache {
+ public:
+  struct Options {
+    std::size_t shards = 16;
+    /// Entries per shard; at capacity the shard is cleared (verdicts are
+    /// recomputable — a rare full re-evaluation beats LRU bookkeeping on
+    /// every hit).
+    std::size_t capacity_per_shard = 4096;
+  };
+
+  // Two constructors, not one defaulted argument: an NSDMI of a nested
+  // class cannot be used in the enclosing class's member declarations
+  // (function bodies are complete-class contexts; default arguments are
+  // not).
+  DecisionCache() : DecisionCache(Options{}) {}
+  explicit DecisionCache(Options options);
+
+  std::optional<bool> Lookup(const std::string& principal,
+                             const std::string& resource,
+                             const std::string& action) const;
+  void Insert(const std::string& principal, const std::string& resource,
+              const std::string& action, bool allowed);
+
+  /// Invalidate everything (policy changed): O(1), entries die lazily.
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;          // absent or stale-generation
+    std::uint64_t insertions = 0;
+    std::uint64_t stale_evicted = 0;   // old-generation entries removed
+    std::uint64_t capacity_sweeps = 0; // shard clears at capacity
+    std::uint64_t generation = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    bool allowed = false;
+    std::uint64_t generation = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;
+  };
+
+  Shard& ShardFor(const std::string& key) const;
+
+  Options options_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<std::uint64_t> generation_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  mutable std::atomic<std::uint64_t> stale_evicted_{0};
+  std::atomic<std::uint64_t> capacity_sweeps_{0};
+};
+
+}  // namespace jamm::security

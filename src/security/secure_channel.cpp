@@ -6,17 +6,6 @@
 #include "rpc/wire.hpp"
 
 namespace jamm::security {
-namespace {
-
-// A nonce proving the handshake message is fresh and that the sender
-// holds the certificate's private key: sig over (payload + nonce).
-struct Hello {
-  Certificate cert;
-  std::string nonce;
-  std::string proof;  // Sign(private_key, cert payload + nonce)
-};
-
-}  // namespace
 
 std::string SerializeCertificate(const Certificate& cert) {
   std::vector<std::string> fields;
@@ -64,40 +53,46 @@ SecureChannel::SecureChannel(std::unique_ptr<transport::Channel> inner,
                              SecureChannelOptions options)
     : inner_(std::move(inner)), options_(std::move(options)) {}
 
-Status SecureChannel::Handshake() {
-  if (handshake_done_) return Status::Ok();
+Status SecureChannel::Fail(Status status) {
+  failed_ = status;
+  buffered_sends_.clear();
+  inner_->Close();
+  return status;
+}
 
-  // Send our hello.
-  const std::string nonce =
-      Digest(options_.local_cert.subject + "|" +
-             std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+Status SecureChannel::StartHandshake() {
+  if (!failed_.ok()) return failed_;
+  if (hello_sent_ || handshake_done_) return Status::Ok();
+  nonce_ = Digest(options_.local_cert.subject + "|" +
+                  std::to_string(reinterpret_cast<std::uintptr_t>(this)));
   const std::string proof =
       Sign(options_.local_private_key,
-           options_.local_cert.SignedPayload() + nonce);
-  JAMM_RETURN_IF_ERROR(inner_->Send(
-      {"tls.hello", rpc::EncodeStrings({SerializeCertificate(
-                                            options_.local_cert),
-                                        nonce, proof})}));
+           options_.local_cert.SignedPayload() + nonce_);
+  Status sent = inner_->Send(
+      {"tls.hello",
+       rpc::EncodeStrings({SerializeCertificate(options_.local_cert), nonce_,
+                           proof})});
+  if (!sent.ok()) return sent;  // transport failure — not a verdict
+  hello_sent_ = true;
+  return Status::Ok();
+}
 
-  // Receive and verify the peer's hello.
-  auto msg = inner_->Receive(options_.handshake_timeout);
-  if (!msg.ok()) return msg.status();
-  if (msg->type != "tls.hello") {
-    return Status::PermissionDenied("peer did not start TLS-sim handshake");
+Status SecureChannel::CompleteWithHello(const transport::Message& hello) {
+  if (hello.type != "tls.hello") {
+    return Fail(
+        Status::PermissionDenied("peer did not start TLS-sim handshake"));
   }
-  auto parts = rpc::DecodeStrings(msg->payload);
+  auto parts = rpc::DecodeStrings(hello.payload);
   if (!parts.ok() || parts->size() != 3) {
-    return Status::ParseError("malformed tls.hello");
+    return Fail(Status::ParseError("malformed tls.hello"));
   }
   auto peer_cert = ParseCertificate((*parts)[0]);
-  if (!peer_cert.ok()) return peer_cert.status();
+  if (!peer_cert.ok()) return Fail(peer_cert.status());
   const std::string& peer_nonce = (*parts)[1];
   const std::string& peer_proof = (*parts)[2];
 
-  // Certificate chain: must descend from a trusted root and be in date.
-  // (Validity uses the peer cert's own window against "now" unknown here;
-  // the caller's trusted roots carry the clock policy. We check issuer
-  // signature; date checks happen at authorization time.)
+  // Certificate chain: must descend from a trusted root. Date checks
+  // happen at authorization time, where the verifier's clock lives.
   bool trusted = false;
   for (const auto& root : options_.trusted_roots) {
     if (root.subject == peer_cert->issuer &&
@@ -108,40 +103,79 @@ Status SecureChannel::Handshake() {
     }
   }
   if (!trusted) {
-    return Status::PermissionDenied("peer certificate not signed by a "
-                                    "trusted CA: " + peer_cert->subject);
+    return Fail(Status::PermissionDenied(
+        "peer certificate not signed by a trusted CA: " +
+        peer_cert->subject));
   }
   // Proof of possession: the peer must hold the certificate's key.
   if (!Verify(peer_cert->public_key,
               peer_cert->SignedPayload() + peer_nonce, peer_proof)) {
-    return Status::PermissionDenied("peer failed proof of key possession");
+    return Fail(
+        Status::PermissionDenied("peer failed proof of key possession"));
   }
   // Manager-style allowlist.
   if (!options_.allowed_peers.empty() &&
       !options_.allowed_peers.count(peer_cert->subject)) {
-    return Status::PermissionDenied("peer " + peer_cert->subject +
-                                    " not in the allowed list");
+    return Fail(Status::PermissionDenied("peer " + peer_cert->subject +
+                                         " not in the allowed list"));
   }
 
   // Session key: symmetric derivation both ends compute identically.
   std::vector<std::string> material = {options_.local_cert.public_key,
-                                       peer_cert->public_key, nonce,
+                                       peer_cert->public_key, nonce_,
                                        peer_nonce};
   std::sort(material.begin(), material.end());
   session_key_ = Digest(Join(material, "|"));
   peer_subject_ = peer_cert->subject;
   handshake_done_ = true;
+  return FlushBuffered();
+}
+
+Status SecureChannel::FlushBuffered() {
+  while (!buffered_sends_.empty()) {
+    transport::Message msg = std::move(buffered_sends_.front());
+    buffered_sends_.pop_front();
+    JAMM_RETURN_IF_ERROR(SendSealed(msg));
+  }
   return Status::Ok();
 }
 
-Status SecureChannel::Send(const transport::Message& msg) {
-  if (!handshake_done_) {
-    return Status::PermissionDenied("secure channel: handshake not done");
-  }
-  const std::string mac = Digest(session_key_ + "|" + msg.type + "|" +
-                                 msg.payload);
+Status SecureChannel::Handshake() {
+  if (handshake_done_) return Status::Ok();
+  if (!failed_.ok()) return failed_;
+  JAMM_RETURN_IF_ERROR(StartHandshake());
+  auto msg = inner_->Receive(options_.handshake_timeout);
+  if (!msg.ok()) return msg.status();  // timeout is transient, not sticky
+  return CompleteWithHello(*msg);
+}
+
+Status SecureChannel::SendSealed(const transport::Message& msg) {
+  const std::string mac =
+      Digest(session_key_ + "|" + msg.type + "|" + msg.payload);
   return inner_->Send(
       {"tls.msg", rpc::EncodeStrings({msg.type, msg.payload, mac})});
+}
+
+Status SecureChannel::Send(const transport::Message& msg) {
+  if (!failed_.ok()) return failed_;
+  if (!handshake_done_) {
+    JAMM_RETURN_IF_ERROR(StartHandshake());
+    // Opportunistic completion: the peer's hello may already be queued.
+    while (!handshake_done_) {
+      auto wire = inner_->TryReceive();
+      if (!wire) break;
+      JAMM_RETURN_IF_ERROR(CompleteWithHello(*wire));
+    }
+  }
+  if (!handshake_done_) {
+    if (buffered_sends_.size() >= kMaxBufferedSends) {
+      return Status::Unavailable("secure channel: handshake pending and "
+                                 "send buffer full");
+    }
+    buffered_sends_.push_back(msg);
+    return Status::Ok();
+  }
+  return SendSealed(msg);
 }
 
 Result<transport::Message> SecureChannel::Unwrap(
@@ -163,8 +197,14 @@ Result<transport::Message> SecureChannel::Unwrap(
 }
 
 Result<transport::Message> SecureChannel::Receive(Duration timeout) {
+  if (!failed_.ok()) return failed_;
   if (!handshake_done_) {
-    return Status::PermissionDenied("secure channel: handshake not done");
+    JAMM_RETURN_IF_ERROR(StartHandshake());
+    auto hello = inner_->Receive(timeout);
+    if (!hello.ok()) return hello.status();
+    JAMM_RETURN_IF_ERROR(CompleteWithHello(*hello));
+    // The handshake consumed an unknown slice of the budget; granting the
+    // data frame the full timeout again errs on the patient side.
   }
   auto wire = inner_->Receive(timeout);
   if (!wire.ok()) return wire.status();
@@ -172,7 +212,13 @@ Result<transport::Message> SecureChannel::Receive(Duration timeout) {
 }
 
 std::optional<transport::Message> SecureChannel::TryReceive() {
-  if (!handshake_done_) return std::nullopt;
+  if (!failed_.ok()) return std::nullopt;
+  if (!handshake_done_) {
+    if (!StartHandshake().ok()) return std::nullopt;
+    auto hello = inner_->TryReceive();
+    if (!hello) return std::nullopt;
+    if (!CompleteWithHello(*hello).ok()) return std::nullopt;
+  }
   auto wire = inner_->TryReceive();
   if (!wire) return std::nullopt;
   auto msg = Unwrap(*wire);
@@ -182,6 +228,31 @@ std::optional<transport::Message> SecureChannel::TryReceive() {
 
 std::string SecureChannel::peer() const {
   return "tls:" + (peer_subject_.empty() ? inner_->peer() : peer_subject_);
+}
+
+Result<std::unique_ptr<transport::Channel>> SecureListener::Accept(
+    Duration timeout) {
+  auto inner = inner_->Accept(timeout);
+  if (!inner.ok()) return inner.status();
+  auto secured =
+      std::make_unique<SecureChannel>(std::move(*inner), options_);
+  // Server hello goes out immediately; the dialer's hello is typically
+  // already queued, so the exchange often completes before first use.
+  (void)secured->StartHandshake();
+  return std::unique_ptr<transport::Channel>(std::move(secured));
+}
+
+ChannelDialer MakeSecureDialer(ChannelDialer inner,
+                               SecureChannelOptions options) {
+  return [inner = std::move(inner), options = std::move(options)]()
+             -> Result<std::unique_ptr<transport::Channel>> {
+    auto channel = inner();
+    if (!channel.ok()) return channel.status();
+    auto secured =
+        std::make_unique<SecureChannel>(std::move(*channel), options);
+    JAMM_RETURN_IF_ERROR(secured->StartHandshake());
+    return std::unique_ptr<transport::Channel>(std::move(secured));
+  };
 }
 
 }  // namespace jamm::security

@@ -10,8 +10,20 @@
 // their trusted roots (and the optional subject allowlist); a session key
 // is derived and every subsequent message carries a keyed digest. Uses
 // the simulated PKI from crypto.hpp — NOT real cryptography.
+//
+// ISSUE 10: the handshake is split-phase so single-threaded poll loops
+// can use secure channels. Our hello goes out eagerly (StartHandshake);
+// the exchange completes inside Receive/TryReceive when the peer's hello
+// arrives. Sends issued before completion are buffered (bounded) and
+// flushed, sealed, once the peer is verified — so a dialer can wrap a
+// channel, hand it to a GatewayClient or RpcClient, and the normal
+// request/reply flow drives the handshake underneath. Verification
+// failures are sticky: the channel closes and every later call returns
+// the failure. SecureListener and MakeSecureDialer package the two ends.
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <set>
@@ -38,34 +50,85 @@ struct SecureChannelOptions {
 };
 
 /// Wraps an established (plaintext) channel in the authenticated
-/// envelope. Both sides must call Handshake before exchanging messages.
+/// envelope. Either call Handshake() from both sides (blocking, needs
+/// two threads), or just start sending/receiving: the split-phase
+/// handshake completes under the first receives.
 class SecureChannel final : public transport::Channel {
  public:
   SecureChannel(std::unique_ptr<transport::Channel> inner,
                 SecureChannelOptions options);
 
-  /// Run the certificate exchange. On success, peer_subject() is set.
+  /// Run the certificate exchange to completion (blocks on the peer's
+  /// hello). On success, peer_subject() is set.
   Status Handshake();
+
+  /// Split-phase: send our hello now; completion happens lazily inside
+  /// Receive/TryReceive. Idempotent.
+  Status StartHandshake();
 
   const std::string& peer_subject() const { return peer_subject_; }
   bool handshake_done() const { return handshake_done_; }
+  /// Sticky verification failure, Ok while pending or succeeded.
+  const Status& handshake_status() const { return failed_; }
 
-  // transport::Channel interface (envelope-protected).
+  // transport::Channel interface (envelope-protected). Before the
+  // handshake completes, Send buffers (bounded at kMaxBufferedSends) and
+  // TryReceive returns nothing while advancing the handshake.
   Status Send(const transport::Message& msg) override;
   Result<transport::Message> Receive(Duration timeout) override;
   std::optional<transport::Message> TryReceive() override;
   void Close() override { inner_->Close(); }
-  bool IsOpen() const override { return inner_->IsOpen(); }
+  bool IsOpen() const override { return failed_.ok() && inner_->IsOpen(); }
   std::string peer() const override;
+
+  static constexpr std::size_t kMaxBufferedSends = 256;
 
  private:
   Result<transport::Message> Unwrap(const transport::Message& wire);
+  /// Verify the peer's tls.hello and derive the session key; failures
+  /// become sticky and close the channel.
+  Status CompleteWithHello(const transport::Message& hello);
+  Status SendSealed(const transport::Message& msg);
+  Status FlushBuffered();
+  Status Fail(Status status);
 
   std::unique_ptr<transport::Channel> inner_;
   SecureChannelOptions options_;
+  std::string nonce_;
   std::string session_key_;
   std::string peer_subject_;
+  bool hello_sent_ = false;
   bool handshake_done_ = false;
+  Status failed_ = Status::Ok();
+  std::deque<transport::Message> buffered_sends_;
 };
+
+/// Server side of ISSUE 10's authenticated endpoints: accepted channels
+/// come back wrapped, with the server hello already sent; the handshake
+/// completes under the service's normal TryReceive polling. Front a
+/// GatewayService or RpcServer listener with this (allowed_peers gives
+/// the manager's known-gateways restriction).
+class SecureListener final : public transport::Listener {
+ public:
+  SecureListener(std::unique_ptr<transport::Listener> inner,
+                 SecureChannelOptions options)
+      : inner_(std::move(inner)), options_(std::move(options)) {}
+
+  Result<std::unique_ptr<transport::Channel>> Accept(Duration timeout) override;
+  void Close() override { inner_->Close(); }
+  std::string address() const override { return inner_->address(); }
+
+ private:
+  std::unique_ptr<transport::Listener> inner_;
+  SecureChannelOptions options_;
+};
+
+/// Client side: wrap any dialer (GatewayClient::Dialer and
+/// RpcClient::Dialer are this same type) so every (re-)dial yields a
+/// SecureChannel with our hello already on the wire.
+using ChannelDialer =
+    std::function<Result<std::unique_ptr<transport::Channel>>()>;
+ChannelDialer MakeSecureDialer(ChannelDialer inner,
+                               SecureChannelOptions options);
 
 }  // namespace jamm::security

@@ -1,0 +1,113 @@
+#include "security/token.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "rpc/wire.hpp"
+
+namespace jamm::security {
+
+std::string CapabilityToken::SignedPayload() const {
+  // EncodeStrings gives unambiguous framing, so no field content can
+  // forge a different token with the same canonical bytes.
+  std::vector<std::string> fields = {"captok",
+                                     principal,
+                                     resource,
+                                     std::to_string(not_before),
+                                     std::to_string(not_after),
+                                     std::to_string(generation),
+                                     issuer};
+  fields.insert(fields.end(), actions.begin(), actions.end());
+  return rpc::EncodeStrings(fields);
+}
+
+bool CapabilityToken::HasAction(std::string_view action) const {
+  return std::binary_search(actions.begin(), actions.end(), action);
+}
+
+std::string EncodeToken(const CapabilityToken& token) {
+  std::vector<std::string> fields = {token.principal,
+                                     token.resource,
+                                     std::to_string(token.not_before),
+                                     std::to_string(token.not_after),
+                                     std::to_string(token.generation),
+                                     token.issuer,
+                                     token.signature};
+  fields.insert(fields.end(), token.actions.begin(), token.actions.end());
+  return rpc::EncodeStrings(fields);
+}
+
+Result<CapabilityToken> DecodeToken(std::string_view data) {
+  auto fields = rpc::DecodeStrings(data);
+  if (!fields.ok()) return fields.status();
+  if (fields->size() < 7) {
+    return Status::ParseError("capability token: wrong field count");
+  }
+  CapabilityToken token;
+  token.principal = (*fields)[0];
+  token.resource = (*fields)[1];
+  auto from = ParseInt((*fields)[2]);
+  auto to = ParseInt((*fields)[3]);
+  auto gen = ParseInt((*fields)[4]);
+  if (!from.ok() || !to.ok() || !gen.ok() || *gen < 0) {
+    return Status::ParseError("capability token: bad stamps");
+  }
+  token.not_before = *from;
+  token.not_after = *to;
+  token.generation = static_cast<std::uint64_t>(*gen);
+  token.issuer = (*fields)[5];
+  token.signature = (*fields)[6];
+  token.actions.assign(fields->begin() + 7, fields->end());
+  // HasAction binary-searches; a decoded token must uphold the sorted
+  // invariant Mint established (re-sorting would let a tampered action
+  // list re-canonicalize, so reject instead).
+  if (!std::is_sorted(token.actions.begin(), token.actions.end())) {
+    return Status::ParseError("capability token: actions not sorted");
+  }
+  return token;
+}
+
+Status VerifyToken(const CapabilityToken& token,
+                   const std::string& issuer_public_key, TimePoint now) {
+  if (!Verify(issuer_public_key, token.SignedPayload(), token.signature)) {
+    return Status::PermissionDenied("capability token: bad signature");
+  }
+  if (now < token.not_before) {
+    return Status::PermissionDenied("capability token not yet valid");
+  }
+  if (now > token.not_after) {
+    return Status::PermissionDenied("capability token expired");
+  }
+  return Status::Ok();
+}
+
+TokenAuthority::TokenAuthority(std::string issuer, Rng& rng)
+    : issuer_(std::move(issuer)), keys_(GenerateKeyPair(rng)) {}
+
+CapabilityToken TokenAuthority::Mint(std::string principal,
+                                     std::string resource,
+                                     const std::set<std::string>& actions,
+                                     TimePoint not_before, TimePoint not_after,
+                                     std::uint64_t generation) const {
+  CapabilityToken token;
+  token.principal = std::move(principal);
+  token.resource = std::move(resource);
+  token.actions.assign(actions.begin(), actions.end());  // set: sorted
+  token.not_before = not_before;
+  token.not_after = not_after;
+  token.generation = generation;
+  token.issuer = issuer_;
+  token.signature = Sign(keys_.private_key, token.SignedPayload());
+  return token;
+}
+
+Status TokenAuthority::Verify(const CapabilityToken& token,
+                              TimePoint now) const {
+  if (token.issuer != issuer_) {
+    return Status::PermissionDenied("capability token from foreign issuer: " +
+                                    token.issuer);
+  }
+  return VerifyToken(token, keys_.public_key, now);
+}
+
+}  // namespace jamm::security

@@ -1,0 +1,78 @@
+// Capability tokens (ISSUE 10) — the fast path of the paper's §7.1
+// authorization design. The full Akenti evaluation (certificate chain,
+// attribute certificates, use-condition globs) runs ONCE, at
+// authentication/subscribe time; its verdict is sealed into a short-lived
+// signed token naming the principal, the resource, and the exact action
+// set granted. Every later enforcement point verifies one signature and
+// consults a set — the per-event fan-out path re-checks nothing at all.
+//
+// Tokens are bearer credentials: once minted they are honored until
+// not_after even if the policy changes underneath (the generation stamp
+// records the policy epoch for observability, not validity — revocation
+// is "wait out the TTL", which is why TTLs are short). Validity is
+// inclusive at both window edges, matching VerifyCertificate.
+//
+// Signatures use the simulated PKI from crypto.hpp — NOT real
+// cryptography (see crypto.hpp's banner).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "security/crypto.hpp"
+
+namespace jamm::security {
+
+struct CapabilityToken {
+  std::string principal;             // authenticated subject DN
+  std::string resource;              // e.g. "gw.lbl" — one token per resource
+  std::vector<std::string> actions;  // granted actions, sorted + deduped
+  TimePoint not_before = 0;
+  TimePoint not_after = 0;           // inclusive: valid AT not_after
+  std::uint64_t generation = 0;      // policy epoch at mint time
+  std::string issuer;                // minting authority's name
+  std::string signature;             // authority's signature over the rest
+
+  /// Canonical byte string the signature covers (binary-safe framing).
+  std::string SignedPayload() const;
+
+  bool HasAction(std::string_view action) const;
+};
+
+/// Wire form (rpc::EncodeStrings framing, binary-safe).
+std::string EncodeToken(const CapabilityToken& token);
+Result<CapabilityToken> DecodeToken(std::string_view data);
+
+/// Signature + validity-window check against the issuing authority's
+/// public key. Window is inclusive at both edges: a token presented
+/// exactly at not_after is still good, one microsecond later it is not.
+Status VerifyToken(const CapabilityToken& token,
+                   const std::string& issuer_public_key, TimePoint now);
+
+/// Mints and verifies tokens under one key pair. An Authorizer owns one;
+/// remote verifiers need only the issuer name + public key.
+class TokenAuthority {
+ public:
+  TokenAuthority(std::string issuer, Rng& rng);
+
+  CapabilityToken Mint(std::string principal, std::string resource,
+                       const std::set<std::string>& actions,
+                       TimePoint not_before, TimePoint not_after,
+                       std::uint64_t generation) const;
+
+  /// VerifyToken + issuer-name match.
+  Status Verify(const CapabilityToken& token, TimePoint now) const;
+
+  const std::string& issuer() const { return issuer_; }
+  const std::string& public_key() const { return keys_.public_key; }
+
+ private:
+  std::string issuer_;
+  KeyPair keys_;
+};
+
+}  // namespace jamm::security

@@ -18,7 +18,12 @@
 #include <map>
 #include <set>
 
+#include "common/rng.hpp"
 #include "consumers/process_monitor.hpp"
+#include "security/akenti.hpp"
+#include "security/certificate.hpp"
+#include "security/crypto.hpp"
+#include "security/token.hpp"
 #include "directory/replication.hpp"
 #include "directory/schema.hpp"
 #include "directory/shard.hpp"
@@ -718,6 +723,232 @@ TEST(ChaosTest, OnlineShardSplitServesEveryReadThroughTargetCrashes) {
   ASSERT_TRUE(world.ok());
   EXPECT_TRUE(world->referrals.empty());
   EXPECT_EQ(world->entries.size(), 19u);
+}
+
+// ISSUE 10: the secured gateway under crash chaos. A client that sent its
+// cert-bundle auth line is killed mid-handshake (the gateway dies before
+// processing it); on revival the client's declarative credential replay
+// must complete the handshake unaided. Then a policy reload revokes one
+// principal while its subscription is live:
+//   * the live subscription keeps streaming (enforcement is at subscribe
+//     time — the per-event path re-checks nothing);
+//   * the already-minted bearer token keeps working on NEW connections
+//     until its not_after, and is refused after;
+//   * fresh cert authentications under the new policy are denied;
+//   * every sec.* audit event is accounted for exactly, including across
+//     seeded crash/revive cycles where credentials replay repeatedly.
+TEST(ChaosTest, SecuredGatewayCrashMidAuthAndPolicyReloadRace) {
+  SimClock clock(kSecond);
+  Rng rng(77);
+  security::CertificateAuthority ca("/O=Grid/CN=chaos-ca", rng);
+
+  security::PolicyEngine policy;
+  const security::UseCondition alice_cond{
+      {security::action::kSubscribe}, "/O=LBNL/CN=alice-chaos", "", ""};
+  const security::UseCondition bob_cond{
+      {security::action::kSubscribe}, "/O=LBNL/CN=bob-chaos", "", ""};
+  policy.AddUseCondition("gw.sec", alice_cond);
+  policy.AddUseCondition("gw.sec", bob_cond);
+
+  security::Authorizer authorizer(policy, {ca.ca_certificate()}, clock);
+  Rng authority_rng(78);
+  authorizer.EnableTokens(security::TokenAuthority("gw.sec", authority_rng));
+  authorizer.EnableDecisionCache();
+  std::map<std::string, int> audits;  // event name -> count
+  authorizer.SetAuditSink(
+      [&audits](const ulm::Record& rec) { ++audits[rec.event_name()]; });
+
+  const security::KeyPair alice_keys = security::GenerateKeyPair(rng);
+  const security::Certificate alice_cert = ca.IssueIdentity(
+      "/O=LBNL/CN=alice-chaos", alice_keys.public_key, 0, kHour);
+  const security::KeyPair bob_keys = security::GenerateKeyPair(rng);
+  const security::Certificate bob_cert = ca.IssueIdentity(
+      "/O=LBNL/CN=bob-chaos", bob_keys.public_key, 0, kHour);
+
+  transport::InProcNetwork net;
+  std::unique_ptr<gateway::EventGateway> gw;
+  std::unique_ptr<gateway::GatewayService> service;
+  auto revive = [&] {
+    gw = std::make_unique<gateway::EventGateway>("gw.sec", clock);
+    gw->SetAccessChecker(authorizer.GatewayChecker("gw.sec"));
+    auto listener = net.Listen("gw.sec");
+    ASSERT_TRUE(listener.ok());
+    service = std::make_unique<gateway::GatewayService>(
+        *gw, std::move(*listener));
+    service->SetAuthenticator(
+        authorizer.GatewayAuthenticator("gw.sec", /*token_ttl=*/20 * kSecond));
+  };
+  revive();
+  auto dial = [&net] { return net.Dial("gw.sec"); };
+
+  gateway::GatewayClient alice(dial);
+  ASSERT_TRUE(alice
+                  .AuthenticateWithAsync(security::MakeCertAuthPayload(
+                      alice_cert, alice_keys.private_key))
+                  .ok());
+  ASSERT_TRUE(alice.SubscribeAsync("alice", {}).ok());
+
+  gateway::GatewayClient bob(dial);
+  gateway::GatewayClient resumer(dial);
+  gateway::GatewayClient late(dial);
+  gateway::GatewayClient bob2(dial);
+
+  // Expected audit ledger, maintained step by step alongside the chaos.
+  int want_mints = 1, want_grants = 1, want_denies = 0;
+  int want_expired = 0, want_reloads = 0;
+
+  bool up = true;
+  int revivals = 0;
+  std::int64_t published = 0;
+  std::vector<std::int64_t> want_alice, want_bob, want_resumer;
+  std::vector<std::int64_t> got_alice, got_bob, got_resumer;
+  bool bob_streaming = false;
+  std::string bob_token;
+
+  auto collect = [](std::vector<std::int64_t>& into,
+                    std::vector<ulm::Record> events) {
+    for (const auto& event : events) {
+      auto seq = event.GetInt("SEQ");
+      ASSERT_TRUE(seq.ok());
+      into.push_back(*seq);
+    }
+  };
+
+  resilience::CrashSchedule schedule(/*seed=*/21, 10 * kSecond, 4 * kSecond);
+
+  for (int i = 0; i < 125; ++i) {
+    // --- crash plan: scripted through step 49, seeded 50..119, then up.
+    bool want_up;
+    if (i < 50) {
+      want_up = (i != 6);
+    } else if (i < 120) {
+      want_up = schedule.AliveAt(clock.Now());
+    } else {
+      want_up = true;
+    }
+    if (want_up && !up) {
+      revive();
+      up = true;
+      ++revivals;
+      // Alice's drain below replays her cert bundle: one mint, and her
+      // replayed subscribe re-evaluates (her own re-auth bumped the
+      // decision-cache generation, so the verdict is audited, not a hit).
+      want_mints += 1;
+      want_grants += 1;
+      if (i == 7) {
+        // Bob's step-5 auth line died with the gateway; his replay now
+        // completes the interrupted handshake.
+        want_mints += 1;
+        want_grants += 1;
+      } else {
+        // Post-reload replays: bob's mint is refused (no granted actions)
+        // and his replayed subscribe lands unauthenticated ("no session").
+        want_denies += 2;
+      }
+    } else if (!want_up && up) {
+      service.reset();
+      gw.reset();
+      up = false;
+      bob_streaming = false;  // his next replay is post-reload: denied
+    }
+
+    // --- scripted actors.
+    if (i == 10) {
+      // Stakeholder revokes bob; applied atomically with the reload.
+      authorizer.PolicyReloaded([&](security::PolicyEngine& p) {
+        p.SetUseConditions("gw.sec", {alice_cond});
+      });
+      want_reloads += 1;
+    }
+    if (i == 15) {
+      // Bob's bearer token (minted at step 7, TTL 20s) outlives the
+      // reload: a brand-new connection presenting it is granted — once at
+      // adoption, once at the token-answered subscribe.
+      ASSERT_FALSE(bob_token.empty());
+      ASSERT_TRUE(resumer
+                      .AuthenticateWithAsync(
+                          std::string(gateway::kAuthTokenPrefix) + bob_token)
+                      .ok());
+      ASSERT_TRUE(resumer.SubscribeAsync("bob-resumed", {}).ok());
+      want_grants += 2;
+    }
+    if (i == 32) {
+      // Past not_after (28s): the same token is expired, and the
+      // unauthenticated subscribe that follows is a "no session" deny.
+      ASSERT_TRUE(late.AuthenticateWithAsync(
+                          std::string(gateway::kAuthTokenPrefix) + bob_token)
+                      .ok());
+      ASSERT_TRUE(late.SubscribeAsync("bob-late", {}).ok());
+      want_expired += 1;
+      want_denies += 1;
+    }
+    if (i == 35) {
+      // Fresh cert authentication under the new policy: mint refused,
+      // subscribe lands unauthenticated.
+      ASSERT_TRUE(bob2.AuthenticateWithAsync(security::MakeCertAuthPayload(
+                          bob_cert, bob_keys.private_key))
+                      .ok());
+      ASSERT_TRUE(bob2.SubscribeAsync("bob-again", {}).ok());
+      want_denies += 2;
+    }
+
+    // --- pre-drain: detect dead channels, replay credentials.
+    collect(got_alice, alice.DrainEvents());
+    if (i >= 7) collect(got_bob, bob.DrainEvents());
+    if (i >= 15 && i < 50) collect(got_resumer, resumer.DrainEvents());
+    if (up) service->PollOnce();
+    if (i == 7) bob_streaming = true;
+
+    // --- publish while up; delivery is same-step (publish then poll).
+    if (up) {
+      ulm::Record rec(clock.Now(), "h1", "sensor", "Usage", "CPU_LOAD");
+      rec.SetField("SEQ", published);
+      gw->Publish(rec);
+      service->PollOnce();
+      want_alice.push_back(published);
+      if (bob_streaming) want_bob.push_back(published);
+      if (i >= 15 && i < 50) want_resumer.push_back(published);
+      ++published;
+    }
+
+    // --- post-drain: collect this step's deliveries.
+    collect(got_alice, alice.DrainEvents());
+    if (i >= 7) collect(got_bob, bob.DrainEvents());
+    if (i >= 15 && i < 50) collect(got_resumer, resumer.DrainEvents());
+    if (i >= 8 && bob_token.empty()) bob_token = bob.token();
+    if (i >= 33 && i <= 35) EXPECT_TRUE(late.DrainEvents().empty());
+    if (i >= 36 && i <= 38) EXPECT_TRUE(bob2.DrainEvents().empty());
+
+    if (i == 5) {
+      // Bob's handshake goes on the wire after the step's last poll...
+      // and the gateway dies at step 6 with the auth line unprocessed.
+      ASSERT_TRUE(bob.AuthenticateWithAsync(security::MakeCertAuthPayload(
+                          bob_cert, bob_keys.private_key))
+                      .ok());
+      ASSERT_TRUE(bob.SubscribeAsync("bob", {}).ok());
+    }
+
+    clock.Advance(kSecond);
+  }
+  ASSERT_GT(revivals, 1) << "schedule never crashed the secured gateway";
+
+  // Streams: alice saw every event published while the gateway was up —
+  // exactly once, across every crash/replay boundary. Bob's live
+  // subscription kept streaming THROUGH the policy reload (step 10) and
+  // only went dark at the first post-reload crash. The token-resumed
+  // subscription streamed from adoption on, outliving its token's expiry
+  // (enforcement is at subscribe time).
+  EXPECT_EQ(got_alice, want_alice);
+  EXPECT_EQ(got_bob, want_bob);
+  EXPECT_EQ(got_resumer, want_resumer);
+  ASSERT_GT(want_bob.size(), 5u);  // streamed well past the reload
+
+  // Exact sec.* accounting.
+  EXPECT_EQ(audits[security::audit::kTokenMint], want_mints);
+  EXPECT_EQ(audits[security::audit::kGrant], want_grants);
+  EXPECT_EQ(audits[security::audit::kDeny], want_denies);
+  EXPECT_EQ(audits[security::audit::kTokenExpired], want_expired);
+  EXPECT_EQ(audits[security::audit::kPolicyReload], want_reloads);
 }
 
 }  // namespace

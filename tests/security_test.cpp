@@ -2,18 +2,26 @@
 // certificate issuance/verification, gridmap parsing, Akenti-style
 // use-conditions + the shared authorization interface, its gateway and
 // directory adapters, and the SSL-sim secure channel (including the
-// sensor manager's known-gateways allowlist).
+// sensor manager's known-gateways allowlist). ISSUE 10 adds capability
+// tokens, the sharded decision cache, sec.* audit accounting, expiry-edge
+// regressions, a cached==uncached property sweep, and the end-to-end
+// three-enforcement-point test.
 #include <gtest/gtest.h>
 
 #include "directory/schema.hpp"
+#include "manager/sensor_manager.hpp"
 #include "security/akenti.hpp"
 #include "security/certificate.hpp"
 #include "security/crypto.hpp"
+#include "security/decision_cache.hpp"
 #include "security/gridmap.hpp"
+#include "security/token.hpp"
 #include "rpc/wire.hpp"
 #include "security/secure_channel.hpp"
+#include "sysmon/simhost.hpp"
 #include "transport/inproc.hpp"
 
+#include <mutex>
 #include <thread>
 
 namespace jamm::security {
@@ -349,11 +357,38 @@ TEST_F(SecureChannelTest, AllowlistRestrictsPeers) {
   }
 }
 
-TEST_F(SecureChannelTest, TrafficBeforeHandshakeRefused) {
+TEST_F(SecureChannelTest, TrafficBeforeHandshakeBuffersThenFlushes) {
+  // Split-phase handshake (ISSUE 10): Sends before the peer's hello
+  // arrives buffer plaintext-free and flush SEALED once it completes —
+  // single-threaded poll loops cannot block in a two-sided Handshake().
   auto [a_raw, b_raw] = transport::MakeChannelPair();
   SecureChannel a(std::move(a_raw), MakeOptions("/CN=x"));
-  EXPECT_FALSE(a.Send({"event", "x"}).ok());
+  EXPECT_TRUE(a.Send({"event", "early"}).ok());  // buffered, not on the wire
+  // No peer hello yet: receive times out, but the channel is NOT failed.
   EXPECT_FALSE(a.Receive(kMillisecond).ok());
+  EXPECT_TRUE(a.IsOpen());
+
+  // The peer comes up; the buffered send must arrive sealed.
+  SecureChannel b(std::move(b_raw), MakeOptions("/CN=y"));
+  ASSERT_TRUE(b.StartHandshake().ok());
+  ASSERT_TRUE(a.Send({"event", "late"}).ok());  // drives completion + flush
+  auto early = b.Receive(kSecond);
+  ASSERT_TRUE(early.ok()) << early.status().ToString();
+  EXPECT_EQ(early->payload, "early");
+  auto late = b.Receive(kSecond);
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late->payload, "late");
+}
+
+TEST_F(SecureChannelTest, BufferedSendsBounded) {
+  auto [a_raw, b_raw] = transport::MakeChannelPair();
+  SecureChannel a(std::move(a_raw), MakeOptions("/CN=x"));
+  for (std::size_t i = 0; i < SecureChannel::kMaxBufferedSends; ++i) {
+    ASSERT_TRUE(a.Send({"event", std::to_string(i)}).ok());
+  }
+  Status overflow = a.Send({"event", "overflow"});
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.code(), StatusCode::kUnavailable);
   (void)b_raw;
 }
 
@@ -380,6 +415,605 @@ TEST_F(SecureChannelTest, TamperedFramesRejected) {
   ASSERT_TRUE(b_injector->Send({"event", "plaintext"}).ok());
   msg = a.Receive(50 * kMillisecond);
   ASSERT_FALSE(msg.ok());
+}
+
+// ------------------------------------------------------- capability tokens
+
+class TokenTest : public ::testing::Test {
+ protected:
+  TokenTest() : rng_(31), authority_("gw.lbl-authority", rng_) {}
+
+  CapabilityToken Mint(TimePoint nb, TimePoint na) {
+    return authority_.Mint("/O=LBNL/CN=alice", "gw.lbl",
+                           {"query", "subscribe"}, nb, na, 7);
+  }
+
+  Rng rng_;
+  TokenAuthority authority_;
+};
+
+TEST_F(TokenTest, MintVerifyEncodeRoundTrip) {
+  CapabilityToken token = Mint(10 * kSecond, 40 * kSecond);
+  EXPECT_TRUE(authority_.Verify(token, 20 * kSecond).ok());
+  EXPECT_TRUE(token.HasAction("query"));
+  EXPECT_TRUE(token.HasAction("subscribe"));
+  EXPECT_FALSE(token.HasAction("publish"));
+
+  auto decoded = DecodeToken(EncodeToken(token));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->principal, token.principal);
+  EXPECT_EQ(decoded->resource, token.resource);
+  EXPECT_EQ(decoded->actions, token.actions);
+  EXPECT_EQ(decoded->not_before, token.not_before);
+  EXPECT_EQ(decoded->not_after, token.not_after);
+  EXPECT_EQ(decoded->generation, 7u);
+  EXPECT_EQ(decoded->issuer, "gw.lbl-authority");
+  EXPECT_TRUE(authority_.Verify(*decoded, 20 * kSecond).ok());
+}
+
+TEST_F(TokenTest, InclusiveWindowEdges) {
+  // Satellite regression (ISSUE 10): a token presented exactly at
+  // not_after must be accepted; one tick later it must not.
+  CapabilityToken token = Mint(10 * kSecond, 40 * kSecond);
+  EXPECT_FALSE(authority_.Verify(token, 10 * kSecond - 1).ok());
+  EXPECT_TRUE(authority_.Verify(token, 10 * kSecond).ok());
+  EXPECT_TRUE(authority_.Verify(token, 40 * kSecond).ok());
+  EXPECT_FALSE(authority_.Verify(token, 40 * kSecond + 1).ok());
+}
+
+TEST_F(TokenTest, TamperedFieldsRejected) {
+  const CapabilityToken token = Mint(0, kHour);
+  const TimePoint now = kSecond;
+  ASSERT_TRUE(authority_.Verify(token, now).ok());
+
+  CapabilityToken t = token;
+  t.principal = "/O=Evil/CN=mallory";
+  EXPECT_FALSE(authority_.Verify(t, now).ok());
+  t = token;
+  t.resource = "gw.other";
+  EXPECT_FALSE(authority_.Verify(t, now).ok());
+  t = token;
+  t.actions.push_back("start-sensor");
+  std::sort(t.actions.begin(), t.actions.end());
+  EXPECT_FALSE(authority_.Verify(t, now).ok());
+  t = token;
+  t.not_after = kHour * 1000;  // extend the lease
+  EXPECT_FALSE(authority_.Verify(t, now).ok());
+  t = token;
+  t.signature = "forged";
+  EXPECT_FALSE(authority_.Verify(t, now).ok());
+  t = token;
+  t.issuer = "someone-else";
+  EXPECT_FALSE(authority_.Verify(t, now).ok());
+}
+
+TEST_F(TokenTest, DecodeRejectsUnsortedActions) {
+  // The sorted action list is canonical: HasAction binary-searches, so a
+  // decoder that re-sorted a tampered list would silently canonicalize
+  // forgeries. Reject instead.
+  CapabilityToken token = Mint(0, kHour);
+  token.actions = {"subscribe", "query"};  // unsorted on the wire
+  EXPECT_FALSE(DecodeToken(EncodeToken(token)).ok());
+  EXPECT_FALSE(DecodeToken("junk").ok());
+  EXPECT_FALSE(DecodeToken("").ok());
+}
+
+TEST_F(TokenTest, WrongAuthorityRejected) {
+  Rng rng2(77);
+  TokenAuthority other("gw.lbl-authority", rng2);  // same name, other keys
+  CapabilityToken token = Mint(0, kHour);
+  EXPECT_FALSE(other.Verify(token, kSecond).ok());
+  EXPECT_FALSE(VerifyToken(token, other.public_key(), kSecond).ok());
+  EXPECT_TRUE(VerifyToken(token, authority_.public_key(), kSecond).ok());
+}
+
+// ---------------------------------------------------------- decision cache
+
+TEST(DecisionCacheTest, HitMissAndGenerationBump) {
+  DecisionCache cache;
+  EXPECT_FALSE(cache.Lookup("p", "r", "a").has_value());
+  cache.Insert("p", "r", "a", true);
+  cache.Insert("p", "r", "b", false);
+  ASSERT_TRUE(cache.Lookup("p", "r", "a").has_value());
+  EXPECT_TRUE(*cache.Lookup("p", "r", "a"));
+  EXPECT_FALSE(*cache.Lookup("p", "r", "b"));
+  // The \x1f-joined key must not confuse adjacent components.
+  EXPECT_FALSE(cache.Lookup("p", "ra", "").has_value());
+
+  cache.BumpGeneration();
+  EXPECT_FALSE(cache.Lookup("p", "r", "a").has_value());  // stale, evicted
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.generation, 1u);
+  EXPECT_GE(stats.stale_evicted, 1u);
+  EXPECT_GE(stats.hits, 3u);
+  EXPECT_GE(stats.misses, 2u);
+
+  // Entries inserted after the bump are valid under the new generation.
+  cache.Insert("p", "r", "a", false);
+  ASSERT_TRUE(cache.Lookup("p", "r", "a").has_value());
+  EXPECT_FALSE(*cache.Lookup("p", "r", "a"));
+}
+
+TEST(DecisionCacheTest, CapacitySweepClears) {
+  DecisionCache::Options options;
+  options.shards = 1;
+  options.capacity_per_shard = 8;
+  DecisionCache cache(options);
+  for (int i = 0; i < 64; ++i) {
+    cache.Insert("p" + std::to_string(i), "r", "a", true);
+  }
+  auto stats = cache.stats();
+  EXPECT_GE(stats.capacity_sweeps, 1u);
+  EXPECT_EQ(stats.insertions, 64u);
+  // Re-inserting an existing key at capacity does not sweep.
+  cache.Insert("p63", "r", "a", true);
+  EXPECT_EQ(cache.stats().capacity_sweeps, stats.capacity_sweeps);
+}
+
+// ------------------------------------------------- fast-path authorization
+
+/// PolicyTest's world plus ISSUE 10 machinery: token authority, decision
+/// cache, and a collecting audit sink.
+class FastPathTest : public ::testing::Test {
+ protected:
+  FastPathTest()
+      : rng_(13),
+        ca_("/O=Grid/CN=CA", rng_),
+        clock_(kSecond),
+        authorizer_(policy_, {ca_.ca_certificate()}, clock_) {
+    policy_.AddUseCondition("gw.lbl",
+                            {{action::kQuery}, "/O=LBNL/*", "", ""});
+    policy_.AddUseCondition(
+        "gw.lbl", {{action::kSubscribe}, "", "group", "didc"});
+    policy_.AddUseCondition(
+        "gw.lbl", {{action::kPublish, action::kStartSensor},
+                   "/O=LBNL/CN=admin", "", ""});
+    Rng authority_rng(91);
+    authorizer_.EnableTokens(TokenAuthority("gw.lbl", authority_rng));
+    authorizer_.EnableDecisionCache();
+    authorizer_.SetAuditSink([this](const ulm::Record& rec) {
+      std::lock_guard<std::mutex> lock(audit_mu_);
+      audits_.push_back(rec);
+    });
+  }
+
+  Certificate Identity(const std::string& subject) {
+    KeyPair keys = GenerateKeyPair(rng_);
+    return ca_.IssueIdentity(subject, keys.public_key, 0, kHour);
+  }
+
+  std::size_t AuditCount(std::string_view event) {
+    std::lock_guard<std::mutex> lock(audit_mu_);
+    std::size_t n = 0;
+    for (const auto& rec : audits_) {
+      if (rec.event_name() == event) ++n;
+    }
+    return n;
+  }
+
+  Rng rng_;
+  CertificateAuthority ca_;
+  SimClock clock_;
+  PolicyEngine policy_;
+  Authorizer authorizer_;
+  std::mutex audit_mu_;
+  std::vector<ulm::Record> audits_;
+};
+
+TEST_F(FastPathTest, MintRequiresSessionAndGrantedActions) {
+  // No session: denied and audited.
+  EXPECT_FALSE(authorizer_.MintToken("gw.lbl", "/CN=ghost", kSecond).ok());
+  EXPECT_EQ(AuditCount(audit::kDeny), 1u);
+
+  auto alice = authorizer_.Authenticate(Identity("/O=LBNL/CN=alice"));
+  ASSERT_TRUE(alice.ok());
+  // No actions on an unknown resource: denied.
+  EXPECT_FALSE(authorizer_.MintToken("gw.unknown", *alice, kSecond).ok());
+  EXPECT_EQ(AuditCount(audit::kDeny), 2u);
+
+  auto token = authorizer_.MintToken("gw.lbl", *alice, 30 * kSecond);
+  ASSERT_TRUE(token.ok());
+  EXPECT_EQ(token->principal, *alice);
+  EXPECT_TRUE(token->HasAction(action::kQuery));
+  EXPECT_FALSE(token->HasAction(action::kSubscribe));
+  EXPECT_EQ(token->not_before, clock_.Now());
+  EXPECT_EQ(token->not_after, clock_.Now() + 30 * kSecond);
+  EXPECT_EQ(AuditCount(audit::kTokenMint), 1u);
+}
+
+TEST_F(FastPathTest, TokenSessionAnswersUntilExactExpiry) {
+  auto alice = authorizer_.Authenticate(Identity("/O=LBNL/CN=alice"));
+  ASSERT_TRUE(alice.ok());
+  auto token = authorizer_.MintToken("gw.lbl", *alice, 10 * kSecond);
+  ASSERT_TRUE(token.ok());
+
+  // A remote verifier shares the authority's key pair (same seed) but has
+  // no certificate session for alice — every verdict comes from the token.
+  PolicyEngine empty_policy;
+  Authorizer verifier(empty_policy, {ca_.ca_certificate()}, clock_);
+  Rng authority_rng(91);
+  verifier.EnableTokens(TokenAuthority("gw.lbl", authority_rng));
+  ASSERT_TRUE(verifier.AdoptToken(*token).ok());
+
+  EXPECT_TRUE(verifier.Check("gw.lbl", action::kQuery, *alice));
+  EXPECT_FALSE(verifier.Check("gw.lbl", action::kSubscribe, *alice));
+
+  // Exactly at not_after the token is still good (inclusive window)...
+  clock_.Set(token->not_after);
+  EXPECT_TRUE(verifier.Check("gw.lbl", action::kQuery, *alice));
+  // ...one tick past it the session lazily expires and nothing backs the
+  // principal any more.
+  clock_.Set(token->not_after + 1);
+  EXPECT_FALSE(verifier.Check("gw.lbl", action::kQuery, *alice));
+  // Adopting the expired token is refused too.
+  EXPECT_FALSE(verifier.AdoptToken(*token).ok());
+}
+
+TEST_F(FastPathTest, TokensOutlivePolicyReloadNewVerdictsDoNot) {
+  auto alice = authorizer_.Authenticate(Identity("/O=LBNL/CN=alice"));
+  ASSERT_TRUE(alice.ok());
+  auto token = authorizer_.MintToken("gw.lbl", *alice, 30 * kSecond);
+  ASSERT_TRUE(token.ok());
+  ASSERT_TRUE(authorizer_.AdoptToken(*token).ok());
+
+  // Cache a policy verdict: alice cannot subscribe.
+  EXPECT_FALSE(authorizer_.Check("gw.lbl2", action::kSubscribe, *alice));
+
+  // Stakeholders grant subscribe on gw.lbl2 — visible only after reload.
+  policy_.AddUseCondition("gw.lbl2",
+                          {{action::kSubscribe}, "/O=LBNL/*", "", ""});
+  EXPECT_FALSE(authorizer_.Check("gw.lbl2", action::kSubscribe, *alice))
+      << "cached verdict must hold until the policy reload is announced";
+  authorizer_.PolicyReloaded();
+  EXPECT_TRUE(authorizer_.Check("gw.lbl2", action::kSubscribe, *alice));
+  EXPECT_EQ(AuditCount(audit::kPolicyReload), 1u);
+
+  // The live token is deliberately NOT revoked by the reload: bearer
+  // semantics, revocation = wait out the TTL.
+  EXPECT_TRUE(authorizer_.Check("gw.lbl", action::kQuery, *alice));
+  clock_.Advance(31 * kSecond);
+  // Past expiry the token session dies; the cert session still answers.
+  EXPECT_TRUE(authorizer_.Check("gw.lbl", action::kQuery, *alice));
+  EXPECT_EQ(AuditCount(audit::kTokenExpired), 1u);
+}
+
+TEST_F(FastPathTest, ClockSkewedVerifierRegression) {
+  auto alice = authorizer_.Authenticate(Identity("/O=LBNL/CN=alice"));
+  ASSERT_TRUE(alice.ok());
+  auto token = authorizer_.MintToken("gw.lbl", *alice, 10 * kSecond);
+  ASSERT_TRUE(token.ok());
+
+  PolicyEngine empty_policy;
+  // A verifier whose clock runs BEHIND the minting authority sees a token
+  // from the future and must refuse it until its own clock catches up.
+  SimClock skewed_back(clock_.Now() - 5 * kSecond);
+  Authorizer behind(empty_policy, {ca_.ca_certificate()}, skewed_back);
+  Rng r1(91);
+  behind.EnableTokens(TokenAuthority("gw.lbl", r1));
+  EXPECT_FALSE(behind.AdoptToken(*token).ok());
+  skewed_back.Set(token->not_before);
+  EXPECT_TRUE(behind.AdoptToken(*token).ok());
+
+  // A verifier AHEAD past not_after refuses it as expired.
+  SimClock skewed_fwd(token->not_after + kSecond);
+  Authorizer ahead(empty_policy, {ca_.ca_certificate()}, skewed_fwd);
+  Rng r2(91);
+  ahead.EnableTokens(TokenAuthority("gw.lbl", r2));
+  EXPECT_FALSE(ahead.AdoptToken(*token).ok());
+}
+
+TEST_F(FastPathTest, CachedEqualsUncachedRandomSweep) {
+  // Property (ISSUE 10): the decision cache is an invisible optimization —
+  // over any interleaving of checks and policy changes (with reloads
+  // announced), a cached authorizer and an uncached one sharing the same
+  // policy must agree on every verdict.
+  Authorizer uncached(policy_, {ca_.ca_certificate()}, clock_);
+
+  const std::vector<std::string> subjects = {
+      "/O=LBNL/CN=alice", "/O=LBNL/CN=admin", "/O=ANL/CN=bob",
+      "/O=Evil/CN=mallory"};
+  std::vector<std::string> principals;
+  for (const auto& subject : subjects) {
+    KeyPair keys = GenerateKeyPair(rng_);
+    Certificate cert = ca_.IssueIdentity(subject, keys.public_key, 0, kHour);
+    std::vector<Certificate> attrs;
+    if (subject == "/O=ANL/CN=bob") {
+      attrs.push_back(
+          ca_.IssueAttribute(subject, {{"group", "didc"}}, 0, kHour));
+    }
+    ASSERT_TRUE(authorizer_.Authenticate(cert, attrs).ok());
+    ASSERT_TRUE(uncached.Authenticate(cert, attrs).ok());
+    principals.push_back(subject);
+  }
+  principals.push_back("/CN=never-authenticated");
+
+  const std::vector<std::string> resources = {"gw.lbl", "gw.other"};
+  const std::vector<std::string> actions = {
+      action::kQuery, action::kSubscribe, action::kPublish,
+      action::kStartSensor, action::kLookup};
+
+  Rng sweep(2026);
+  for (int i = 0; i < 600; ++i) {
+    if (i == 200) {
+      // Stakeholder edit mid-sweep: both sides see the new policy, the
+      // cached side must invalidate via the announced reload.
+      policy_.AddUseCondition("gw.other",
+                              {{action::kLookup}, "/O=LBNL/*", "", ""});
+      authorizer_.PolicyReloaded();
+    }
+    const auto& p = principals[sweep.Uniform(0, principals.size() - 1)];
+    const auto& r = resources[sweep.Uniform(0, resources.size() - 1)];
+    const auto& a = actions[sweep.Uniform(0, actions.size() - 1)];
+    EXPECT_EQ(authorizer_.Check(r, a, p), uncached.Check(r, a, p))
+        << p << " / " << r << " / " << a << " at i=" << i;
+  }
+  ASSERT_NE(authorizer_.decision_cache(), nullptr);
+  EXPECT_GT(authorizer_.decision_cache()->stats().hits, 0u);
+}
+
+TEST_F(FastPathTest, AuditAccountingExact) {
+  auto alice = authorizer_.Authenticate(Identity("/O=LBNL/CN=alice"));
+  ASSERT_TRUE(alice.ok());
+
+  EXPECT_TRUE(authorizer_.Check("gw.lbl", action::kQuery, *alice));   // grant
+  EXPECT_TRUE(authorizer_.Check("gw.lbl", action::kQuery, *alice));   // cache hit: NO audit
+  EXPECT_FALSE(authorizer_.Check("gw.lbl", action::kSubscribe, *alice));  // deny
+  auto token = authorizer_.MintToken("gw.lbl", *alice, 10 * kSecond);  // mint
+  ASSERT_TRUE(token.ok());
+  ASSERT_TRUE(authorizer_.AdoptToken(*token).ok());                   // grant
+  authorizer_.PolicyReloaded();                                       // reload
+  clock_.Advance(11 * kSecond);
+  // Token session expired (audited) + falls through to the cert session,
+  // which still grants query (audited: the reload emptied the cache).
+  EXPECT_TRUE(authorizer_.Check("gw.lbl", action::kQuery, *alice));
+
+  EXPECT_EQ(AuditCount(audit::kGrant), 3u);
+  EXPECT_EQ(AuditCount(audit::kDeny), 1u);
+  EXPECT_EQ(AuditCount(audit::kTokenMint), 1u);
+  EXPECT_EQ(AuditCount(audit::kTokenExpired), 1u);
+  EXPECT_EQ(AuditCount(audit::kPolicyReload), 1u);
+  // Audit records carry the principal and ride the ULM pipeline.
+  std::lock_guard<std::mutex> lock(audit_mu_);
+  for (const auto& rec : audits_) {
+    EXPECT_EQ(rec.prog(), "security");
+    if (rec.event_name() == audit::kPolicyReload) continue;  // no principal
+    EXPECT_EQ(*rec.GetField("PRINCIPAL"), *alice);
+  }
+}
+
+TEST_F(FastPathTest, ConcurrentChurn) {
+  // TSan food: checks racing re-authentication, policy reloads, token
+  // mint/adopt, and cache generation bumps. Correctness here is "no data
+  // race, no deadlock"; verdict equivalence is the property test above.
+  Certificate alice_cert = Identity("/O=LBNL/CN=alice");
+  Certificate admin_cert = Identity("/O=LBNL/CN=admin");
+  ASSERT_TRUE(authorizer_.Authenticate(alice_cert).ok());
+  ASSERT_TRUE(authorizer_.Authenticate(admin_cert).ok());
+
+  std::vector<std::thread> checkers;
+  for (int t = 0; t < 4; ++t) {
+    checkers.emplace_back([this, t] {
+      const std::string principal =
+          (t % 2 == 0) ? "/O=LBNL/CN=alice" : "/O=LBNL/CN=admin";
+      for (int i = 0; i < 500; ++i) {
+        authorizer_.Check("gw.lbl", action::kQuery, principal);
+        authorizer_.Check("gw.lbl", action::kPublish, principal);
+        authorizer_.AllowedActions("gw.lbl", principal);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    authorizer_.PolicyReloaded();
+    ASSERT_TRUE(authorizer_.Authenticate(alice_cert).ok());  // re-auth bump
+    auto token =
+        authorizer_.MintToken("gw.lbl", "/O=LBNL/CN=admin", 10 * kSecond);
+    ASSERT_TRUE(token.ok());
+    ASSERT_TRUE(authorizer_.AdoptToken(*token).ok());
+  }
+  for (auto& thread : checkers) thread.join();
+  EXPECT_GE(AuditCount(audit::kPolicyReload), 50u);
+}
+
+// ------------------------------------------- end-to-end enforcement points
+
+/// ISSUE 10 acceptance: authorization enforced at the directory, at
+/// gateway subscription (via the gw.auth handshake), and at sensor start
+/// (manager-side hook), plus the manager's known-peer allowlist — with an
+/// authorized consumer's sensor→gateway→client flow unchanged.
+TEST(SecurityEndToEnd, ThreePointEnforcementAndManagerAllowlist) {
+  SimClock clock(kSecond);
+  Rng rng(101);
+  CertificateAuthority ca("/O=Grid/CN=CA", rng);
+
+  PolicyEngine policy;
+  policy.AddUseCondition(
+      "gw.host", {{action::kSubscribe, action::kQuery, action::kLookup},
+                  "/O=LBNL/*", "", ""});
+  policy.AddUseCondition(
+      "gw.host", {{action::kStartSensor, action::kPublish},
+                  "/O=LBNL/CN=admin", "", ""});
+  Authorizer authorizer(policy, {ca.ca_certificate()}, clock);
+  Rng authority_rng(55);
+  authorizer.EnableTokens(TokenAuthority("gw.host", authority_rng));
+  authorizer.EnableDecisionCache();
+
+  KeyPair alice_keys = GenerateKeyPair(rng);
+  Certificate alice_cert =
+      ca.IssueIdentity("/O=LBNL/CN=alice", alice_keys.public_key, 0, kHour);
+  KeyPair admin_keys = GenerateKeyPair(rng);
+  Certificate admin_cert =
+      ca.IssueIdentity("/O=LBNL/CN=admin", admin_keys.public_key, 0, kHour);
+  KeyPair evil_keys = GenerateKeyPair(rng);
+  // Mallory's certificate is perfectly valid — the CA vouches for the
+  // NAME, the policy decides what the name may do.
+  Certificate evil_cert =
+      ca.IssueIdentity("/O=Evil/CN=mallory", evil_keys.public_key, 0, kHour);
+
+  auto admin = authorizer.Authenticate(admin_cert);
+  ASSERT_TRUE(admin.ok());
+  auto alice = authorizer.Authenticate(alice_cert);
+  ASSERT_TRUE(alice.ok());
+  auto mallory = authorizer.Authenticate(evil_cert);
+  ASSERT_TRUE(mallory.ok());
+
+  // --- Enforcement point 1: directory lookup/search --------------------
+  auto suffix = *directory::Dn::Parse("ou=sensors, o=jamm");
+  directory::DirectoryServer dir(suffix, "ldap://dir");
+  dir.SetAccessChecker(authorizer.DirectoryChecker("gw.host"));
+  auto entry = directory::schema::MakeHostEntry(suffix, "h1");
+  ASSERT_TRUE(dir.Add(entry, *admin).ok());
+  EXPECT_TRUE(dir.Lookup(entry.dn(), *alice).ok());
+  auto denied_lookup = dir.Lookup(entry.dn(), *mallory);
+  ASSERT_FALSE(denied_lookup.ok());
+  EXPECT_EQ(denied_lookup.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_FALSE(dir.Lookup(entry.dn(), "").ok());  // anonymous denied
+
+  // --- Enforcement point 2: gateway subscription via gw.auth -----------
+  transport::InProcNetwork net;
+  gateway::EventGateway gw("gw.host", clock);
+  gw.SetAccessChecker(authorizer.GatewayChecker("gw.host"));
+  auto listener = net.Listen("gw.host");
+  ASSERT_TRUE(listener.ok());
+  gateway::GatewayService service(gw, std::move(*listener));
+  service.SetAuthenticator(
+      authorizer.GatewayAuthenticator("gw.host", 30 * kSecond));
+  auto dial = [&net] { return net.Dial("gw.host"); };
+
+  // Authorized consumer: cert-bundle handshake, then the normal stream.
+  gateway::GatewayClient good(dial);
+  ASSERT_TRUE(
+      good.AuthenticateWithAsync(
+              MakeCertAuthPayload(alice_cert, alice_keys.private_key))
+          .ok());
+  ASSERT_TRUE(good.SubscribeAsync("alice", {}).ok());
+  service.PollOnce();
+  gw.Publish(ulm::Record(clock.Now(), "h1", "sensor", "Usage", "CPU_LOAD"));
+  service.PollOnce();
+  auto events = good.DrainEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].event_name(), "CPU_LOAD");
+  // The handshake minted a capability token and the client adopted it.
+  ASSERT_FALSE(good.token().empty());
+  auto minted = DecodeToken(good.token());
+  ASSERT_TRUE(minted.ok());
+  EXPECT_EQ(minted->principal, *alice);
+
+  // Unauthorized consumer: valid certificate, but the policy grants
+  // mallory nothing — the handshake itself is refused (no actions to
+  // seal into a token) and the connection stays unauthenticated.
+  gateway::GatewayClient bad(dial);
+  ASSERT_TRUE(bad.AuthenticateWithAsync(
+                     MakeCertAuthPayload(evil_cert, evil_keys.private_key))
+                  .ok());
+  ASSERT_TRUE(bad.SubscribeAsync("mallory", {}).ok());
+  service.PollOnce();
+  gw.Publish(ulm::Record(clock.Now(), "h1", "sensor", "Usage", "CPU_LOAD"));
+  service.PollOnce();
+  EXPECT_TRUE(bad.DrainEvents().empty());
+  EXPECT_TRUE(bad.token().empty());
+  EXPECT_TRUE(bad.subscription_id(0).empty());
+
+  // A bare principal line (no proof) is worth nothing, even for a
+  // principal with a live session.
+  gateway::GatewayClient liar(dial);
+  ASSERT_TRUE(liar.AuthenticateWithAsync(*admin).ok());
+  ASSERT_TRUE(liar.SubscribeAsync("liar", {}).ok());
+  service.PollOnce();
+  gw.Publish(ulm::Record(clock.Now(), "h1", "sensor", "Usage", "CPU_LOAD"));
+  service.PollOnce();
+  // Legacy bare-name auth IS honored for an existing session (the session
+  // was established over the authenticated channel) — but an unknown name
+  // is not.
+  EXPECT_EQ(liar.DrainEvents().size(), 1u);
+  gateway::GatewayClient ghost(dial);
+  ASSERT_TRUE(ghost.AuthenticateWithAsync("/CN=ghost").ok());
+  ASSERT_TRUE(ghost.SubscribeAsync("ghost", {}).ok());
+  service.PollOnce();
+  gw.Publish(ulm::Record(clock.Now(), "h1", "sensor", "Usage", "CPU_LOAD"));
+  service.PollOnce();
+  EXPECT_TRUE(ghost.DrainEvents().empty());
+
+  // Token resume: a new connection presenting the minted token streams
+  // without re-running the certificate evaluation.
+  gateway::GatewayClient resumed(dial);
+  ASSERT_TRUE(resumed
+                  .AuthenticateWithAsync(
+                      std::string(gateway::kAuthTokenPrefix) + good.token())
+                  .ok());
+  ASSERT_TRUE(resumed.SubscribeAsync("alice-resumed", {}).ok());
+  service.PollOnce();
+  gw.Publish(ulm::Record(clock.Now(), "h1", "sensor", "Usage", "MEM_USED"));
+  service.PollOnce();
+  auto resumed_events = resumed.DrainEvents();
+  ASSERT_EQ(resumed_events.size(), 1u);
+  EXPECT_EQ(resumed_events[0].event_name(), "MEM_USED");
+
+  // --- Enforcement point 3: sensor start at the manager ----------------
+  // The manager's own gateway carries no checker, so the manager-side
+  // hook is the only gate — proving the paper's "defense in depth" layer
+  // works even when a gateway is misconfigured wide open.
+  sysmon::SimHost host("h1", clock);
+  gateway::EventGateway mgr_gw("gw.mgr", clock);
+  manager::SensorManager::Options mopts;
+  mopts.clock = &clock;
+  mopts.host = &host;
+  mopts.gateway = &mgr_gw;
+  mopts.control_access = authorizer.ManagerControlChecker("gw.host");
+  manager::SensorManager manager(std::move(mopts));
+  // admin holds start-sensor: passes authorization, fails on the missing
+  // sensor (NotFound proves the gate opened).
+  EXPECT_EQ(mgr_gw.StartSensor("cpu", *admin).code(), StatusCode::kNotFound);
+  // alice does not: refused before the manager even looks.
+  EXPECT_EQ(mgr_gw.StartSensor("cpu", *alice).code(),
+            StatusCode::kPermissionDenied);
+
+  // --- Manager peer allowlist (secure channel) -------------------------
+  auto mgr_listener = net.Listen("mgr.rpc");
+  ASSERT_TRUE(mgr_listener.ok());
+  KeyPair mgr_keys = GenerateKeyPair(rng);
+  SecureChannelOptions mgr_opts;
+  mgr_opts.local_cert = ca.IssueIdentity("/CN=sensor-manager",
+                                         mgr_keys.public_key, 0, kHour);
+  mgr_opts.local_private_key = mgr_keys.private_key;
+  mgr_opts.trusted_roots = {ca.ca_certificate()};
+  mgr_opts.allowed_peers = {"/CN=gateway-1"};
+  SecureListener secured(std::move(*mgr_listener), mgr_opts);
+
+  auto make_peer_options = [&](const std::string& subject) {
+    KeyPair keys = GenerateKeyPair(rng);
+    SecureChannelOptions options;
+    options.local_cert = ca.IssueIdentity(subject, keys.public_key, 0, kHour);
+    options.local_private_key = keys.private_key;
+    options.trusted_roots = {ca.ca_certificate()};
+    return options;
+  };
+
+  // The known gateway agent connects and traffic flows.
+  auto gw1_dial = MakeSecureDialer([&net] { return net.Dial("mgr.rpc"); },
+                                   make_peer_options("/CN=gateway-1"));
+  auto gw1 = gw1_dial();
+  ASSERT_TRUE(gw1.ok());
+  auto mgr_side = secured.Accept(kSecond);
+  ASSERT_TRUE(mgr_side.ok());
+  ASSERT_TRUE((*gw1)->Send({"mgr.ping", "1"}).ok());
+  auto ping = (*mgr_side)->Receive(kSecond);
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+  EXPECT_EQ(ping->type, "mgr.ping");
+  EXPECT_EQ((*mgr_side)->peer(), "tls:/CN=gateway-1");
+
+  // A rogue service with a perfectly valid CA-signed certificate is still
+  // refused: it is not on the manager's known-gateways list.
+  auto rogue_dial = MakeSecureDialer([&net] { return net.Dial("mgr.rpc"); },
+                                     make_peer_options("/CN=rogue-gw"));
+  auto rogue = rogue_dial();
+  ASSERT_TRUE(rogue.ok());
+  auto rogue_side = secured.Accept(kSecond);
+  ASSERT_TRUE(rogue_side.ok());
+  ASSERT_TRUE((*rogue)->Send({"mgr.ping", "2"}).ok());
+  auto refused = (*rogue_side)->Receive(kSecond);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_FALSE((*rogue_side)->IsOpen());
 }
 
 }  // namespace
