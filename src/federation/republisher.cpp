@@ -145,6 +145,46 @@ void RepublisherGateway::EnsureBaseFeeds() {
   }
 }
 
+void RepublisherGateway::RecoverChildAuth() {
+  auto recover = [](Downstream& d, gateway::GatewayClient* client) {
+    if (!client || !client->auth_rejected()) return;
+    // The child refused this client's credential — typically a harvested
+    // capability token that aged past its TTL before the client (or its
+    // reconnect) presented it. Retire the dead token so new clients stop
+    // replaying it.
+    if (!d.cached_token.empty() &&
+        client->auth_credential() ==
+            gateway::kAuthTokenPrefix + d.cached_token) {
+      d.cached_token.clear();
+    }
+    // Fall back to the strongest credential now available: a fresher
+    // harvested token if one exists, else the configured cert bundle.
+    // Re-auth only with a credential DIFFERENT from the refused one, so a
+    // genuinely denied principal cannot re-dial the child every pump.
+    const std::string fallback =
+        !d.cached_token.empty()
+            ? gateway::kAuthTokenPrefix + d.cached_token
+            : d.auth_payload;
+    if (!fallback.empty() && fallback != client->auth_credential()) {
+      (void)client->ReauthenticateWith(fallback);
+    }
+  };
+  for (Downstream& d : downstreams_) {
+    recover(d, d.base.get());
+    recover(d, d.summary.get());
+  }
+  for (auto& [key, group] : groups_) {
+    for (auto& [child, client] : group.feeds) {
+      for (Downstream& d : downstreams_) {
+        if (d.name == child) {
+          recover(d, client.get());
+          break;
+        }
+      }
+    }
+  }
+}
+
 bool RepublisherGateway::GroupNeedsChildBase(const std::string& child) const {
   for (const auto& [key, group] : groups_) {
     if (group.local_eval.count(child) > 0) return true;
@@ -167,6 +207,10 @@ void RepublisherGateway::AttachChildToGroup(PushdownGroup& group,
 
 std::size_t RepublisherGateway::Pump() {
   EnsureBaseFeeds();
+  // Feeds whose credential the child refused on the previous pump (the
+  // gw.error was adopted during that pump's drain) re-authenticate now
+  // with the cert bundle / a fresher token.
+  RecoverChildAuth();
   FedCounters& counters = Counters();
   std::size_t processed = 0;
 

@@ -198,8 +198,10 @@ class RepublisherGateway : public gateway::GatewaySurface {
     /// Last capability token the child minted for this republisher,
     /// harvested from the base feed in Pump(). New feed/summary clients
     /// present this (cheap token verify) instead of the full certificate
-    /// bundle; an expired token falls back to auth_payload on the child's
-    /// refusal because each client replays its own recorded credential.
+    /// bundle. When the child refuses a replayed token (expired TTL),
+    /// Pump()'s RecoverChildAuth notices the rejection, retires the dead
+    /// token, and re-authenticates the client with the cert bundle —
+    /// which mints a fresh token for the next harvest.
     std::string cached_token;
     /// Base "all" feed; null until EnsureBaseFeeds decides it is needed.
     std::unique_ptr<gateway::GatewayClient> base;
@@ -232,6 +234,11 @@ class RepublisherGateway : public gateway::GatewaySurface {
   };
 
   void EnsureBaseFeeds();
+  /// Re-authenticate any child client whose credential the child refused
+  /// (ISSUE 10): retire a rejected cached token and fall back to a
+  /// fresher token or the cert bundle, replaying the client's
+  /// subscriptions under the restored identity.
+  void RecoverChildAuth();
   /// New connection to `child`, authenticated with the cached token when
   /// one exists, else the configured auth payload (ISSUE 10).
   std::unique_ptr<gateway::GatewayClient> MakeChildClient(

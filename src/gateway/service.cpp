@@ -559,10 +559,18 @@ bool GatewayClient::AdoptControl(const transport::Message& msg) {
   if (a.kind == Awaited::Kind::kSubscribe && msg.type == "gw.ok") {
     if (RecordedSub* sub = FindSub(a.sub_key)) sub->id = msg.payload;
   }
-  if (a.kind == Awaited::Kind::kAuth && msg.type == "gw.ok" &&
-      !msg.payload.empty()) {
-    // Replayed auth answered: adopt the (re-)minted capability token.
-    token_ = msg.payload;
+  if (a.kind == Awaited::Kind::kAuth) {
+    if (msg.type == "gw.ok") {
+      auth_rejected_ = false;
+      // Replayed auth answered: adopt the (re-)minted capability token.
+      if (!msg.payload.empty()) token_ = msg.payload;
+    } else {
+      // The gateway refused the credential (expired token, revoked
+      // policy): the connection is anonymous now, and the dead token
+      // must not be harvested for further connections.
+      auth_rejected_ = true;
+      token_.clear();
+    }
   }
   // A gw.error here means a replayed auth/subscribe was rejected; the
   // subscription keeps an empty id and the failure shows in telemetry.
@@ -689,6 +697,7 @@ Status GatewayClient::Authenticate(const std::string& principal) {
 
 Status GatewayClient::AuthenticateWith(const std::string& auth_payload) {
   auth_payload_ = auth_payload;
+  auth_rejected_ = false;
   // The flag flips only after the explicit send: SendControl may dial the
   // first connection via Reconnect(), which replays the credential when
   // authenticated_ is already set — and the gateway would see (and mint
@@ -704,6 +713,7 @@ Status GatewayClient::AuthenticateWith(const std::string& auth_payload) {
 
 Status GatewayClient::AuthenticateWithAsync(const std::string& auth_payload) {
   auth_payload_ = auth_payload;
+  auth_rejected_ = false;
   // See AuthenticateWith: flip the flag after the send, or a first-dial
   // Reconnect() inside SendControl duplicates the auth line.
   Status sent = SendControl({"gw.auth", auth_payload});
@@ -713,6 +723,24 @@ Status GatewayClient::AuthenticateWithAsync(const std::string& auth_payload) {
   // intent — Reconnect() replays it once the gateway is reachable.
   if (sent.ok()) awaited_.push_back({Awaited::Kind::kAuth, 0});
   return Status::Ok();
+}
+
+Status GatewayClient::ReauthenticateWith(const std::string& auth_payload) {
+  auth_payload_ = auth_payload;
+  auth_rejected_ = false;
+  token_.clear();
+  authenticated_ = true;
+  if (dialer_) {
+    // The refused credential left this connection anonymous and its
+    // replayed subscribes denied; a clean re-dial replays the new auth
+    // line FIRST, then every recorded spec, restoring the stream under
+    // the new identity.
+    channel_.reset();
+    return Reconnect();
+  }
+  Status sent = SendControl({"gw.auth", auth_payload});
+  if (sent.ok()) awaited_.push_back({Awaited::Kind::kAuth, 0});
+  return sent;
 }
 
 void GatewayClient::SetQueueSpec(OverflowPolicy policy,

@@ -5,15 +5,15 @@
 // Protocol (Message.type / payload):
 //   "gw.auth"         principal            — identify this connection.
 //                                            With an Authenticator installed
-//                                            (ISSUE 10) the payload may also
-//                                            be "cert\n<bundle>" (certificate
+//                                            (ISSUE 10) the payload must be
+//                                            "cert\n<bundle>" (certificate
 //                                            authentication; the gw.ok reply
 //                                            carries a minted capability
 //                                            token) or "token\n<token>"
 //                                            (resume with a prior token);
-//                                            a bare principal is then only
-//                                            honored for already-known
-//                                            sessions
+//                                            a bare principal is then
+//                                            refused outright — it carries
+//                                            no proof of identity
 //   "gw.subscribe"    consumer\nfilterspec[\nformat[\nqueue:...]]
 //                                          — open stream; reply gw.ok <id>.
 //                                            format "" streams ASCII
@@ -246,6 +246,22 @@ class GatewayClient {
   /// auth reply arrives, or when the gateway minted none).
   const std::string& token() const { return token_; }
 
+  /// True after the gateway refused the last gw.auth line (e.g. an
+  /// expired capability token replayed on reconnect); cleared by the next
+  /// accepted auth or by ReauthenticateWith. While set, the connection is
+  /// anonymous and its subscribes are being denied — the owner should
+  /// swap in a stronger credential.
+  bool auth_rejected() const { return auth_rejected_; }
+  /// The credential currently recorded for replay (what gw.auth sends).
+  const std::string& auth_credential() const { return auth_payload_; }
+
+  /// Replace a refused credential (ISSUE 10): record `auth_payload` and
+  /// rebuild the session under it. With a dialer the connection is
+  /// re-established from scratch so the subscriptions denied while the
+  /// principal was cleared replay under the new identity; without one the
+  /// fresh auth line is pipelined on the existing channel.
+  Status ReauthenticateWith(const std::string& auth_payload);
+
   /// Subscribe; the stream then arrives via NextEvent()/DrainEvents().
   /// `xml` requests the XML event format. Blocks on the gateway's reply,
   /// so the serving side must be pumped concurrently; poll-driven callers
@@ -366,6 +382,7 @@ class GatewayClient {
   std::string auth_payload_;  // replayed verbatim on reconnect
   std::string token_;         // capability token from the last gw.ok
   bool authenticated_ = false;
+  bool auth_rejected_ = false;  // last gw.auth answered with gw.error
   std::vector<RecordedSub> subs_;
   std::deque<Awaited> awaited_;
   std::string queue_spec_;  // applied to subsequent subscribes

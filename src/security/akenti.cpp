@@ -171,8 +171,15 @@ bool Authorizer::EvaluateAndAudit(const std::string& resource,
   bool cacheable = false;       // only cert-session policy verdicts
   bool token_answered = false;  // verdict came from a live token
   bool token_expired = false;
+  std::uint64_t verdict_generation = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Generation captured under the same lock the policy is read under:
+    // PolicyReloaded(mutate) edits the policy while holding mu_ and bumps
+    // the generation after releasing it, so a verdict computed against
+    // the pre-reload policy is always stamped with the pre-reload
+    // generation — the bump then invalidates it before it can be honored.
+    if (cache_) verdict_generation = cache_->generation();
     auto ts = token_sessions_.find(TokenSessionKey(principal, resource));
     if (ts != token_sessions_.end()) {
       if (now > ts->second.not_after) {
@@ -199,7 +206,7 @@ bool Authorizer::EvaluateAndAudit(const std::string& resource,
   // Token verdicts are time-bound and must never enter the cache: a
   // cached allow would outlive the token's not_after.
   if (cacheable && cache_) {
-    cache_->Insert(principal, resource, action, allowed);
+    cache_->Insert(principal, resource, action, allowed, verdict_generation);
   }
   // Audits fire outside the lock: a sink that publishes into a gateway
   // whose access checker calls back into this Authorizer must not
@@ -424,25 +431,31 @@ gateway::GatewayService::Authenticator Authorizer::GatewayAuthenticator(
       auto token = DecodeToken(std::string_view(payload).substr(
           sizeof(gateway::kAuthTokenPrefix) - 1));
       if (!token.ok()) return token.status();
+      // A token is scoped to ONE resource: a credential minted for a
+      // different gateway must not establish an identity on this one,
+      // however valid its signature.
+      if (token->resource != resource) {
+        Instruments().denies.Increment();
+        EmitAudit(audit::kDeny, ulm::level::kWarning, token->principal,
+                  resource, "", "token scoped to " + token->resource);
+        return Status::PermissionDenied("token scoped to resource " +
+                                        token->resource);
+      }
       auto principal = AdoptToken(*token);
       if (!principal.ok()) return principal.status();
       // Echo the same token back: the client's recorded credential stays
       // valid for the next reconnect (until the TTL runs out).
       return gateway::AuthResult{*principal, EncodeToken(*token)};
     }
-    // Legacy plain-principal line: a bare name proves nothing, so it is
-    // only honored for a principal that already authenticated here.
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (sessions_.count(payload) > 0) {
-        return gateway::AuthResult{payload, ""};
-      }
-    }
+    // Legacy plain-principal line: refused outright. A bare name proves
+    // nothing — DNs are public, so honoring one for a principal with a
+    // live session would let ANY peer assume that identity the moment it
+    // authenticates anywhere else.
     Instruments().denies.Increment();
     EmitAudit(audit::kDeny, ulm::level::kWarning, payload, resource, "",
               "unauthenticated principal line");
     return Status::PermissionDenied("principal " + payload +
-                                    " has not authenticated");
+                                    " presented no credential");
   };
 }
 

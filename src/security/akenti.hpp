@@ -195,12 +195,14 @@ class Authorizer {
       const std::string& resource) const;
 
   /// `gw.auth` handshake handler for a GatewayService fronting `resource`
-  /// (ISSUE 10). Accepts three payload forms:
+  /// (ISSUE 10). Accepts two payload forms:
   ///   "cert\n" + bundle  — authenticate certificates, mint a token with
   ///                        `token_ttl`, return it in the gw.ok payload;
-  ///   "token\n" + token  — verify + adopt a previously minted token;
-  ///   plain principal    — legacy; accepted only for an existing session
-  ///                        (a bare name proves nothing).
+  ///   "token\n" + token  — verify + adopt a previously minted token
+  ///                        (refused unless scoped to `resource`).
+  /// A legacy plain-principal line is always refused: a bare name proves
+  /// nothing, and DNs are public — honoring one for a principal with a
+  /// live session would let any peer assume that identity.
   gateway::GatewayService::Authenticator GatewayAuthenticator(
       const std::string& resource, Duration token_ttl = 30 * kSecond);
 

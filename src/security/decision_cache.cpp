@@ -55,13 +55,9 @@ std::optional<bool> DecisionCache::Lookup(const std::string& principal,
 
 void DecisionCache::Insert(const std::string& principal,
                            const std::string& resource,
-                           const std::string& action, bool allowed) {
+                           const std::string& action, bool allowed,
+                           std::uint64_t gen) {
   const std::string key = CacheKey(principal, resource, action);
-  // Generation read BEFORE the verdict is stored: if a BumpGeneration
-  // races this insert, the entry lands stamped with the old generation
-  // and the next lookup discards it — a stale verdict can be wasted,
-  // never honored past a bump.
-  const std::uint64_t gen = generation();
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.entries.size() >= options_.capacity_per_shard &&

@@ -46,8 +46,20 @@ class DecisionCache {
   std::optional<bool> Lookup(const std::string& principal,
                              const std::string& resource,
                              const std::string& action) const;
+  /// Stamp the entry with `generation` — the generation the caller read
+  /// BEFORE (or while) computing the verdict. A verdict evaluated against
+  /// a pre-reload policy then lands stamped pre-reload even if the bump
+  /// races the insert, so the next lookup discards it instead of honoring
+  /// a revoked grant.
   void Insert(const std::string& principal, const std::string& resource,
-              const std::string& action, bool allowed);
+              const std::string& action, bool allowed,
+              std::uint64_t generation);
+  /// Convenience for verdicts computed atomically with the insert (no
+  /// policy read in between): stamps the current generation.
+  void Insert(const std::string& principal, const std::string& resource,
+              const std::string& action, bool allowed) {
+    Insert(principal, resource, action, allowed, generation());
+  }
 
   /// Invalidate everything (policy changed): O(1), entries die lazily.
   void BumpGeneration() {

@@ -54,8 +54,17 @@ SecureChannel::SecureChannel(std::unique_ptr<transport::Channel> inner,
     : inner_(std::move(inner)), options_(std::move(options)) {}
 
 Status SecureChannel::Fail(Status status) {
+  if (!buffered_sends_.empty()) {
+    // These sends were accepted (Ok) while the handshake was pending and
+    // can never be delivered now; record the loss in the sticky status so
+    // it is observable instead of silent.
+    status = Status(status.code(),
+                    status.message() + " (" +
+                        std::to_string(buffered_sends_.size()) +
+                        " buffered sends dropped)");
+    buffered_sends_.clear();
+  }
   failed_ = status;
-  buffered_sends_.clear();
   inner_->Close();
   return status;
 }

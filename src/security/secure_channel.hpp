@@ -73,7 +73,9 @@ class SecureChannel final : public transport::Channel {
 
   // transport::Channel interface (envelope-protected). Before the
   // handshake completes, Send buffers (bounded at kMaxBufferedSends) and
-  // TryReceive returns nothing while advancing the handshake.
+  // TryReceive returns nothing while advancing the handshake. Buffered
+  // sends are best-effort: if verification later fails they are dropped,
+  // and the sticky handshake_status() reports how many were lost.
   Status Send(const transport::Message& msg) override;
   Result<transport::Message> Receive(Duration timeout) override;
   std::optional<transport::Message> TryReceive() override;

@@ -13,9 +13,13 @@
 #include "directory/schema.hpp"
 #include "federation/republisher.hpp"
 #include "federation/topology.hpp"
+#include "common/rng.hpp"
 #include "gateway/filter.hpp"
 #include "gateway/gateway.hpp"
 #include "gateway/service.hpp"
+#include "security/akenti.hpp"
+#include "security/certificate.hpp"
+#include "security/token.hpp"
 #include "transport/inproc.hpp"
 #include "ulm/record.hpp"
 
@@ -136,6 +140,74 @@ TEST(FederationTest, DepthThreeDeliversLeafEventToRootViaPushdown) {
                                        site_stats.pushdown_records +
                                        site_stats.duplicates_dropped +
                                        site_stats.stale_dropped);
+}
+
+// ------------------------------------- child auth fallback (ISSUE 10)
+
+// A harvested capability token ages out before a new child feed presents
+// it: the child refuses the token, and the republisher must fall back to
+// its cert bundle instead of replaying the dead token forever (REVIEW
+// regression — the feed would otherwise stay anonymous and denied).
+TEST(FederationTest, ExpiredChildTokenFallsBackToCertBundle) {
+  SimClock clock(kSecond);
+  transport::InProcNetwork net;
+  Rng rng(7);
+  security::CertificateAuthority ca("/O=Grid/CN=CA", rng);
+  security::PolicyEngine policy;
+  policy.AddUseCondition(
+      "leaf", {{security::action::kSubscribe, security::action::kQuery},
+               "/O=Grid/CN=site", "", ""});
+  security::Authorizer authorizer(policy, {ca.ca_certificate()}, clock);
+  Rng authority_rng(8);
+  authorizer.EnableTokens(security::TokenAuthority("leaf", authority_rng));
+
+  gateway::EventGateway leaf("leaf", clock);
+  leaf.SetAccessChecker(authorizer.GatewayChecker("leaf"));
+  auto listener = net.Listen("leaf");
+  ASSERT_TRUE(listener.ok());
+  gateway::GatewayService service(leaf, std::move(*listener));
+  service.SetAuthenticator(
+      authorizer.GatewayAuthenticator("leaf", /*token_ttl=*/10 * kSecond));
+
+  security::KeyPair site_keys = security::GenerateKeyPair(rng);
+  security::Certificate site_cert =
+      ca.IssueIdentity("/O=Grid/CN=site", site_keys.public_key, 0, kHour);
+
+  RepublisherGateway site("site", clock);
+  RepublisherGateway::DownstreamSpec spec;
+  spec.name = "leaf";
+  spec.dialer = [&net] { return net.Dial("leaf"); };
+  spec.auth_payload =
+      security::MakeCertAuthPayload(site_cert, site_keys.private_key);
+  ASSERT_TRUE(site.AddDownstream(std::move(spec)).ok());
+
+  // Base feed comes up under the cert bundle; the minted token is
+  // harvested on the next pump.
+  site.Pump();         // dial + pipelined auth/subscribe
+  service.PollOnce();  // leaf verifies the bundle, mints, accepts
+  site.Pump();         // adopts gw.ok replies: token harvested
+  clock.Advance(30 * kSecond);  // the harvested token is long dead now
+
+  // A pushdown subscription spawns a NEW child feed, which presents the
+  // dead cached token: the leaf refuses it and denies the anonymous
+  // subscribe that follows.
+  std::vector<std::string> got;
+  auto sub = site.SubscribeEncoded(
+      "root", CpuGlobSpec(),
+      [&](const ulm::EncodedRecord& enc) { got.push_back(enc.Ascii()); });
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  service.PollOnce();  // refuses the token, denies the subscribe
+  site.Pump();         // the feed adopts the refusals...
+  site.Pump();         // ...and RecoverChildAuth replays the cert bundle
+  service.PollOnce();  // fresh cert auth + replayed subscribe accepted
+
+  leaf.Publish(ValueEvent(clock.Now(), "CPU_LOAD", 42));
+  service.PollOnce();
+  clock.Advance(60 * kMillisecond);  // age-flush the partial event batch
+  service.PollOnce();
+  site.Pump();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NE(got[0].find("NL.EVNT=CPU_LOAD"), std::string::npos);
 }
 
 // ------------------------------------------------- merge / dedup / order

@@ -534,6 +534,22 @@ TEST(DecisionCacheTest, HitMissAndGenerationBump) {
   EXPECT_FALSE(*cache.Lookup("p", "r", "a"));
 }
 
+TEST(DecisionCacheTest, ExplicitGenerationStampsPreReloadVerdicts) {
+  // TOCTOU regression: a verdict evaluated against the pre-reload policy
+  // but inserted AFTER the reload's generation bump must carry the
+  // pre-reload stamp the evaluator captured, so the next lookup discards
+  // it instead of honoring a revoked grant until the following reload.
+  DecisionCache cache;
+  const std::uint64_t before = cache.generation();
+  cache.BumpGeneration();  // the policy reload that raced the evaluation
+  cache.Insert("p", "r", "a", true, before);
+  EXPECT_FALSE(cache.Lookup("p", "r", "a").has_value());
+  // Re-evaluated under the new policy, the verdict caches normally.
+  cache.Insert("p", "r", "a", true, cache.generation());
+  ASSERT_TRUE(cache.Lookup("p", "r", "a").has_value());
+  EXPECT_TRUE(*cache.Lookup("p", "r", "a"));
+}
+
 TEST(DecisionCacheTest, CapacitySweepClears) {
   DecisionCache::Options options;
   options.shards = 1;
@@ -781,6 +797,38 @@ TEST_F(FastPathTest, AuditAccountingExact) {
   }
 }
 
+TEST_F(FastPathTest, AuthenticatorRefusesForeignTokensAndBareNames) {
+  auto alice = authorizer_.Authenticate(Identity("/O=LBNL/CN=alice"));
+  ASSERT_TRUE(alice.ok());
+  // The policy also grants alice on a second resource this gateway does
+  // NOT front.
+  authorizer_.PolicyReloaded([](PolicyEngine& p) {
+    p.AddUseCondition("gw.other", {{action::kQuery}, "/O=LBNL/*", "", ""});
+  });
+  auto authenticator = authorizer_.GatewayAuthenticator("gw.lbl");
+
+  // A token minted for gw.other is signature-valid but scoped elsewhere:
+  // it must not establish an identity on gw.lbl's connection.
+  auto foreign = authorizer_.MintToken("gw.other", *alice, 30 * kSecond);
+  ASSERT_TRUE(foreign.ok());
+  auto refused = authenticator(MakeTokenAuthPayload(*foreign), "peer");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kPermissionDenied);
+
+  // The same principal's token for THIS resource is accepted.
+  auto scoped = authorizer_.MintToken("gw.lbl", *alice, 30 * kSecond);
+  ASSERT_TRUE(scoped.ok());
+  auto accepted = authenticator(MakeTokenAuthPayload(*scoped), "peer");
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  EXPECT_EQ(accepted->principal, *alice);
+
+  // A bare principal line is refused even though alice holds a live
+  // session: DNs are public, a name alone proves nothing.
+  auto bare = authenticator(*alice, "peer");
+  ASSERT_FALSE(bare.ok());
+  EXPECT_EQ(bare.status().code(), StatusCode::kPermissionDenied);
+}
+
 TEST_F(FastPathTest, ConcurrentChurn) {
   // TSan food: checks racing re-authentication, policy reloads, token
   // mint/adopt, and cache generation bumps. Correctness here is "no data
@@ -913,18 +961,19 @@ TEST(SecurityEndToEnd, ThreePointEnforcementAndManagerAllowlist) {
   EXPECT_TRUE(bad.token().empty());
   EXPECT_TRUE(bad.subscription_id(0).empty());
 
-  // A bare principal line (no proof) is worth nothing, even for a
-  // principal with a live session.
+  // A bare principal line (no proof) is worth nothing — EVEN for a
+  // principal with a live session. DNs are public; if a bare name were
+  // honored against the session table, any peer could assume alice's
+  // identity the moment she authenticated anywhere (the bypass REVIEW
+  // flagged). Here the liar names admin, who authenticated above.
   gateway::GatewayClient liar(dial);
   ASSERT_TRUE(liar.AuthenticateWithAsync(*admin).ok());
   ASSERT_TRUE(liar.SubscribeAsync("liar", {}).ok());
   service.PollOnce();
   gw.Publish(ulm::Record(clock.Now(), "h1", "sensor", "Usage", "CPU_LOAD"));
   service.PollOnce();
-  // Legacy bare-name auth IS honored for an existing session (the session
-  // was established over the authenticated channel) — but an unknown name
-  // is not.
-  EXPECT_EQ(liar.DrainEvents().size(), 1u);
+  EXPECT_TRUE(liar.DrainEvents().empty());
+  EXPECT_TRUE(liar.auth_rejected());
   gateway::GatewayClient ghost(dial);
   ASSERT_TRUE(ghost.AuthenticateWithAsync("/CN=ghost").ok());
   ASSERT_TRUE(ghost.SubscribeAsync("ghost", {}).ok());
